@@ -1,0 +1,168 @@
+//! One benchmark per paper figure: each group times the exact
+//! computation its `fig*` binary runs, at a reduced scale, so
+//! `cargo bench` exercises every experiment's code path and tracks
+//! regressions in the end-to-end pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dosn_bench::{facebook_dataset, twitter_dataset};
+use dosn_core::{sweep, ModelKind, PolicyKind, StudyConfig};
+use dosn_replication::Connectivity;
+use dosn_socialgraph::DegreeHistogram;
+use dosn_trace::Dataset;
+use std::hint::black_box;
+
+const BENCH_USERS: usize = 600;
+
+fn quick_config(connectivity: Connectivity) -> StudyConfig {
+    StudyConfig::default()
+        .with_repetitions(1)
+        .with_connectivity(connectivity)
+        .with_threads(Some(2))
+}
+
+fn study_users(ds: &Dataset) -> (usize, Vec<dosn_socialgraph::UserId>) {
+    dosn_bench::study_users(ds)
+}
+
+fn bench_fig02(c: &mut Criterion) {
+    let fb = facebook_dataset(BENCH_USERS);
+    c.bench_function("fig02_degree_distribution", |b| {
+        b.iter(|| {
+            black_box(DegreeHistogram::of_replica_candidates(fb.graph())).mean()
+        })
+    });
+}
+
+fn degree_sweep_bench(
+    c: &mut Criterion,
+    name: &str,
+    dataset: &Dataset,
+    model: ModelKind,
+    connectivity: Connectivity,
+) {
+    let (degree, users) = study_users(dataset);
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group.bench_function("degree_sweep", |b| {
+        b.iter(|| {
+            black_box(sweep::degree_sweep(
+                dataset,
+                model,
+                &PolicyKind::paper_trio(),
+                &users,
+                degree,
+                &quick_config(connectivity),
+            ))
+            .rows()
+            .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig03(c: &mut Criterion) {
+    let fb = facebook_dataset(BENCH_USERS);
+    degree_sweep_bench(
+        c,
+        "fig03_fb_conrep_sporadic",
+        &fb,
+        ModelKind::sporadic_default(),
+        Connectivity::ConRep,
+    );
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    let fb = facebook_dataset(BENCH_USERS);
+    degree_sweep_bench(
+        c,
+        "fig04_fb_unconrep_fixed8h",
+        &fb,
+        ModelKind::fixed_hours(8),
+        Connectivity::UnconRep,
+    );
+}
+
+fn bench_fig05_06_07(c: &mut Criterion) {
+    // Figs. 5-7 share fig03's sweep (different metrics of the same
+    // table); bench the remaining models' sweeps.
+    let fb = facebook_dataset(BENCH_USERS);
+    degree_sweep_bench(
+        c,
+        "fig05_06_07_fb_conrep_randomlength",
+        &fb,
+        ModelKind::random_length_default(),
+        Connectivity::ConRep,
+    );
+    degree_sweep_bench(
+        c,
+        "fig05_06_07_fb_conrep_fixed2h",
+        &fb,
+        ModelKind::fixed_hours(2),
+        Connectivity::ConRep,
+    );
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    let fb = facebook_dataset(BENCH_USERS);
+    let (_, users) = study_users(&fb);
+    let mut group = c.benchmark_group("fig08_session_length_sweep");
+    group.sample_size(10);
+    group.bench_function("three_lengths", |b| {
+        b.iter(|| {
+            black_box(sweep::session_length_sweep(
+                &fb,
+                &[300, 3_600, 28_800],
+                &PolicyKind::paper_trio(),
+                &users,
+                3,
+                &quick_config(Connectivity::ConRep),
+            ))
+            .rows()
+            .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    let fb = facebook_dataset(BENCH_USERS);
+    let mut group = c.benchmark_group("fig09_user_degree_sweep");
+    group.sample_size(10);
+    group.bench_function("degrees_1_to_6", |b| {
+        b.iter(|| {
+            black_box(sweep::user_degree_sweep(
+                &fb,
+                ModelKind::sporadic_default(),
+                &PolicyKind::paper_trio(),
+                6,
+                &quick_config(Connectivity::ConRep),
+            ))
+            .rows()
+            .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig10_11(c: &mut Criterion) {
+    let tw = twitter_dataset(BENCH_USERS);
+    degree_sweep_bench(
+        c,
+        "fig10_11_twitter_conrep_sporadic",
+        &tw,
+        ModelKind::sporadic_default(),
+        Connectivity::ConRep,
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_fig02,
+    bench_fig03,
+    bench_fig04,
+    bench_fig05_06_07,
+    bench_fig08,
+    bench_fig09,
+    bench_fig10_11
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation: sparse interval sets (sweep-line) vs the dense bitmap, for
+//! the union/overlap operations that dominate the study's inner loops.
+//!
+//! The interval representation wins for realistic schedules (tens of
+//! sessions); the bitmap's constant ~10.8 KiB scan only catches up at
+//! extreme fragmentation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dosn_interval::{DaySchedule, DenseSchedule, SECONDS_PER_DAY};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_schedule(sessions: usize, session_len: u32, rng: &mut StdRng) -> DaySchedule {
+    let mut s = DaySchedule::new();
+    for _ in 0..sessions {
+        s.insert_wrapping(rng.gen_range(0..SECONDS_PER_DAY), session_len)
+            .expect("valid session");
+    }
+    s
+}
+
+fn bench_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("union");
+    for &sessions in &[4usize, 32, 128] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_schedule(sessions, 1200, &mut rng);
+        let b = random_schedule(sessions, 1200, &mut rng);
+        let (da, db) = (DenseSchedule::from(&a), DenseSchedule::from(&b));
+        group.bench_with_input(
+            BenchmarkId::new("interval-set", sessions),
+            &sessions,
+            |bench, _| bench.iter(|| black_box(a.union(&b)).online_seconds()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense-bitmap", sessions),
+            &sessions,
+            |bench, _| bench.iter(|| black_box(da.union(&db)).online_seconds()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlap_measure");
+    for &sessions in &[4usize, 32, 128] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_schedule(sessions, 1200, &mut rng);
+        let b = random_schedule(sessions, 1200, &mut rng);
+        let (da, db) = (DenseSchedule::from(&a), DenseSchedule::from(&b));
+        group.bench_with_input(
+            BenchmarkId::new("interval-set", sessions),
+            &sessions,
+            |bench, _| bench.iter(|| black_box(a.overlap_seconds(&b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense-bitmap", sessions),
+            &sessions,
+            |bench, _| bench.iter(|| black_box(da.overlap_seconds(&db))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_max_gap(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let s = random_schedule(32, 1200, &mut rng);
+    c.bench_function("max_gap/32-sessions", |b| {
+        b.iter(|| black_box(&s).max_gap())
+    });
+}
+
+criterion_group!(benches, bench_union, bench_overlap, bench_max_gap);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Placement policies head to head: time to place replicas for one user
+//! on a realistic dataset, per policy and connectivity mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dosn_bench::facebook_dataset;
+use dosn_onlinetime::{OnlineTimeModel, Sporadic};
+use dosn_replication::{Connectivity, MaxAv, MostActive, Random, ReplicaPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let dataset = facebook_dataset(2_000);
+    let mut rng = StdRng::seed_from_u64(1);
+    let schedules = Sporadic::default().schedules(&dataset, &mut rng);
+    let user = dataset
+        .users()
+        .max_by_key(|&u| dataset.replica_candidates(u).len())
+        .expect("non-empty dataset");
+    let policies: Vec<Box<dyn ReplicaPolicy>> = vec![
+        Box::new(MaxAv::availability()),
+        Box::new(MostActive::new()),
+        Box::new(Random::new()),
+    ];
+    let mut group = c.benchmark_group("place_10_replicas_high_degree_user");
+    for connectivity in [Connectivity::ConRep, Connectivity::UnconRep] {
+        for policy in &policies {
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), connectivity),
+                &connectivity,
+                |b, &conn| {
+                    b.iter(|| {
+                        let mut rng = StdRng::seed_from_u64(2);
+                        black_box(policy.place(&dataset, &schedules, user, 10, conn, &mut rng))
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

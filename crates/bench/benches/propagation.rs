@@ -1,0 +1,68 @@
+//! Delay machinery: the analytic time-connectivity-graph metric vs the
+//! event-driven replay, and scaling with replica count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dosn_core::replay::{replay_worst_delay_secs, simulate_update};
+use dosn_interval::Timestamp;
+use dosn_metrics::update_propagation_delay;
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+use dosn_interval::{DaySchedule, SECONDS_PER_DAY};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn ladder_schedules(n: usize) -> (Vec<UserId>, OnlineSchedules) {
+    // Overlapping ladder: replica i online [i*2h, i*2h + 3h).
+    let mut rng = StdRng::seed_from_u64(4);
+    let schedules = OnlineSchedules::new(
+        (0..n)
+            .map(|i| {
+                let jitter = rng.gen_range(0..1800);
+                DaySchedule::window_wrapping(
+                    ((i as u32 * 7200) + jitter) % SECONDS_PER_DAY,
+                    3 * 3600,
+                )
+                .expect("valid window")
+            })
+            .collect(),
+    );
+    ((0..n as u32).map(UserId::new).collect(), schedules)
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic_delay");
+    for &n in &[3usize, 6, 10] {
+        let (replicas, schedules) = ladder_schedules(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(update_propagation_delay(&replicas, &schedules)).worst_secs)
+        });
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(20);
+    for &n in &[3usize, 6, 10] {
+        let (replicas, schedules) = ladder_schedules(n);
+        group.bench_with_input(BenchmarkId::new("single_update", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(simulate_update(
+                    &replicas,
+                    &schedules,
+                    0,
+                    Timestamp::from_day_and_offset(1, 0),
+                ))
+                .actual_delay_secs()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("worst_case_scan", n), &n, |b, _| {
+            b.iter(|| black_box(replay_worst_delay_secs(&replicas, &schedules)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytic, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! The MaxAv engine: greedy set cover scaling with candidate count, and
+//! the greedy-vs-exhaustive ablation on small instances (where the
+//! optimum is computable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dosn_interval::{DaySchedule, IntervalSet, SECONDS_PER_DAY};
+use dosn_replication::set_cover::{greedy_cover, optimal_cover_measure};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_subsets(n: usize, sessions: usize, rng: &mut StdRng) -> Vec<IntervalSet> {
+    (0..n)
+        .map(|_| {
+            let mut s = DaySchedule::new();
+            for _ in 0..sessions {
+                s.insert_wrapping(rng.gen_range(0..SECONDS_PER_DAY), 1800)
+                    .expect("valid session");
+            }
+            s.into()
+        })
+        .collect()
+}
+
+fn bench_greedy_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_cover");
+    for &candidates in &[10usize, 40, 160] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let subsets = random_subsets(candidates, 8, &mut rng);
+        let universe = subsets
+            .iter()
+            .fold(IntervalSet::new(), |acc, s| acc.union(s));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(candidates),
+            &candidates,
+            |bench, _| bench.iter(|| black_box(greedy_cover(&universe, &subsets, 10)).len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_greedy_vs_optimal(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let subsets = random_subsets(12, 4, &mut rng);
+    let universe = subsets
+        .iter()
+        .fold(IntervalSet::new(), |acc, s| acc.union(s));
+    let mut group = c.benchmark_group("greedy_vs_optimal_12_candidates");
+    group.sample_size(10);
+    group.bench_function("greedy", |b| {
+        b.iter(|| black_box(greedy_cover(&universe, &subsets, 5)).len())
+    });
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| black_box(optimal_cover_measure(&universe, &subsets, 5)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy_scaling, bench_greedy_vs_optimal);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Substrate micro-benchmarks: DHT routing, anti-entropy sync, and the
+//! full-system trace replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dosn_bench::facebook_dataset;
+use dosn_consistency::{ProfileUpdate, ReplicaState};
+use dosn_core::StudyConfig;
+use dosn_dht::{ChordRing, DhtStore, Key, StoredUpdate};
+use dosn_interval::Timestamp;
+use dosn_node::SystemSim;
+use dosn_socialgraph::UserId;
+use std::hint::black_box;
+
+fn bench_dht_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht_lookup");
+    for &n in &[64u64, 512, 4096] {
+        let ring: ChordRing = (0..n).map(Key::from_name).collect();
+        let from = ring.nodes()[0];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut probe = 0u64;
+            b.iter(|| {
+                probe = probe.wrapping_add(1);
+                black_box(ring.lookup(from, Key::from_name(probe)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dht_store_churn(c: &mut Criterion) {
+    c.bench_function("dht_store_stabilize_512_keys", |b| {
+        b.iter(|| {
+            let mut ring: ChordRing = (0..128u64).map(Key::from_name).collect();
+            let mut store = DhtStore::new(3);
+            for i in 0..512 {
+                store
+                    .put(
+                        &ring,
+                        StoredUpdate {
+                            key: Key::from_name(i),
+                            published: Timestamp::new(i),
+                            sequence: i,
+                        },
+                    )
+                    .expect("non-empty ring");
+            }
+            // A wave of churn, then repair.
+            for i in 0..16u64 {
+                ring.leave(Key::from_name(i * 7)).expect("member");
+            }
+            black_box(store.stabilize(&ring)).len()
+        })
+    });
+}
+
+fn bench_anti_entropy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anti_entropy_sync");
+    for &updates in &[32usize, 256, 1024] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(updates),
+            &updates,
+            |b, &updates| {
+                b.iter(|| {
+                    let mut a = ReplicaState::new(UserId::new(1));
+                    let mut bb = ReplicaState::new(UserId::new(2));
+                    for i in 0..updates as u64 {
+                        let target = if i % 2 == 0 { &mut a } else { &mut bb };
+                        target.append(ProfileUpdate::new(
+                            UserId::new((i % 2) as u32 + 1),
+                            i / 2 + 1,
+                            Timestamp::new(i),
+                            "post",
+                        ));
+                    }
+                    black_box(a.sync_with(&mut bb))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let dataset = facebook_dataset(400);
+    let mut group = c.benchmark_group("full_system_replay");
+    group.sample_size(10);
+    group.bench_function("400_users_14_days", |b| {
+        b.iter(|| {
+            black_box(
+                SystemSim::new(&dataset)
+                    .replication_degree(3)
+                    .run(&StudyConfig::default()),
+            )
+            .posts_delivered()
+        })
+    });
+    group.finish();
+}
+
+fn bench_weekly_ops(c: &mut Criterion) {
+    use dosn_interval::{DaySchedule, WeekSchedule};
+    let a = WeekSchedule::from_day_types(
+        &DaySchedule::window_wrapping(8 * 3_600, 2 * 3_600).expect("valid"),
+        &DaySchedule::window_wrapping(14 * 3_600, 6 * 3_600).expect("valid"),
+    );
+    let b = WeekSchedule::from_day_types(
+        &DaySchedule::window_wrapping(9 * 3_600, 2 * 3_600).expect("valid"),
+        &DaySchedule::window_wrapping(20 * 3_600, 6 * 3_600).expect("valid"),
+    );
+    let mut group = c.benchmark_group("weekly_ops");
+    group.bench_function("intersection_max_gap", |bench| {
+        bench.iter(|| black_box(a.intersection(&b)).max_gap())
+    });
+    group.bench_function("union_fraction", |bench| {
+        bench.iter(|| black_box(a.union(&b)).fraction_of_week())
+    });
+    group.finish();
+}
+
+fn bench_dht_retrievability(c: &mut Criterion) {
+    use dosn_dht::ScheduleDrivenDht;
+    use dosn_onlinetime::{OnlineTimeModel, Sporadic};
+    use rand::{rngs::StdRng, SeedableRng};
+    let dataset = facebook_dataset(300);
+    let mut rng = StdRng::seed_from_u64(1);
+    let schedules = Sporadic::default().schedules(&dataset, &mut rng);
+    let dht = ScheduleDrivenDht::new(&schedules);
+    let mut group = c.benchmark_group("dht_retrievability");
+    group.sample_size(10);
+    group.bench_function("300_nodes_100_samples_k3", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(dht.retrievability(3, 100, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dht_lookup,
+    bench_dht_store_churn,
+    bench_anti_entropy,
+    bench_full_system,
+    bench_weekly_ops,
+    bench_dht_retrievability
+);
+criterion_main!(benches);

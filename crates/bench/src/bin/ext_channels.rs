@@ -1,0 +1,134 @@
+//! Extension experiment — update channels for unconnected replicas.
+//!
+//! Section V-C of the paper suggests third-party services (CDN, DHT,
+//! cloud storage) to cut the update propagation delay when replicas do
+//! not overlap in time, but never measures them. This binary does: for
+//! the studied users it compares
+//!
+//! * the ConRep friend-to-friend analytic worst-case delay,
+//! * a cloud/CDN channel (always-on store), and
+//! * a peer-hosted DHT channel (update stored on `k` peer nodes whose
+//!   own online times gate retrieval),
+//!
+//! reporting the mean worst-case per-replica fetch delay in hours.
+
+use dosn_bench::{facebook_dataset, figure_config, print_dataset_stats, study_users, users_from_args};
+use dosn_core::ModelKind;
+use dosn_dht::{ChordRing, CloudChannel, DhtChannel, Key, UpdateChannel};
+use dosn_interval::{Timestamp, SECONDS_PER_DAY};
+use dosn_metrics::{update_propagation_delay, Summary};
+use dosn_onlinetime::OnlineSchedules;
+use dosn_replication::{Connectivity, MaxAv, ReplicaPolicy};
+use dosn_trace::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Worst fetch delay over a grid of publish times, for one receiver.
+fn worst_fetch_hours(
+    channel: &dyn UpdateChannel,
+    receiver: &dosn_interval::DaySchedule,
+) -> Option<f64> {
+    let mut worst = 0u64;
+    for hour in 0..24u32 {
+        let published = Timestamp::from_day_and_offset(1, hour * 3_600);
+        worst = worst.max(channel.fetch_delay_secs(receiver, published)?);
+    }
+    Some(worst as f64 / 3_600.0)
+}
+
+fn main() {
+    let users = users_from_args();
+    let dataset: Dataset = facebook_dataset(users);
+    print_dataset_stats(&dataset);
+    let (degree, studied) = study_users(&dataset);
+    println!("studying {} users of degree {degree}\n", studied.len());
+
+    let model = ModelKind::sporadic_default().build();
+    let mut rng = StdRng::seed_from_u64(figure_config().seed());
+    let schedules: OnlineSchedules = model.schedules(&dataset, &mut rng);
+
+    // A DHT over all the OSN's nodes; each update replicated on 3 peers.
+    let ring: ChordRing = dataset
+        .users()
+        .map(|u| Key::from_name(u64::from(u.as_u32())))
+        .collect();
+    let cloud = CloudChannel::new(5);
+
+    let policy = MaxAv::availability();
+    let mut conrep_delay = Summary::new();
+    let mut cloud_delay = Summary::new();
+    let mut dht_delay = Summary::new();
+    let mut conrep_disconnected = 0usize;
+    let mut dht_unreachable = 0usize;
+
+    for &user in &studied {
+        // UnconRep placement: the scenario that needs a channel.
+        let replicas = policy.place(
+            &dataset,
+            &schedules,
+            user,
+            degree.min(5),
+            Connectivity::UnconRep,
+            &mut rng,
+        );
+        if replicas.len() < 2 {
+            continue;
+        }
+        // Friend-to-friend reference: worst-case analytic delay of the
+        // same set (None when the set is not time-connected — exactly
+        // why a channel is needed).
+        match update_propagation_delay(&replicas, &schedules).worst_hours() {
+            Some(h) => conrep_delay.add(h),
+            None => conrep_disconnected += 1,
+        }
+        // Channel delays: the publisher uploads, every replica fetches.
+        let update_key = Key::from_name(u64::from(user.as_u32()) | 1 << 40);
+        let holders = ring.successors(update_key, 3);
+        let dht = DhtChannel::new(
+            holders.iter().map(|&h| {
+                // Holder keys map back to user ids by construction.
+                let holder_user = dataset
+                    .users()
+                    .find(|u| Key::from_name(u64::from(u.as_u32())) == h)
+                    .expect("holder key derives from a user");
+                schedules[holder_user].clone()
+            }),
+            5,
+        );
+        for &r in &replicas {
+            if let Some(h) = worst_fetch_hours(&cloud, &schedules[r]) {
+                cloud_delay.add(h);
+            }
+            match worst_fetch_hours(&dht, &schedules[r]) {
+                Some(h) => dht_delay.add(h),
+                None => dht_unreachable += 1,
+            }
+        }
+    }
+
+    println!("== worst-case update delay by channel (hours) ==");
+    println!(
+        "{:<28} {:>10} {:>10} {:>8}",
+        "channel", "mean", "max", "n"
+    );
+    for (name, s) in [
+        ("friend-to-friend (ConRep)", &conrep_delay),
+        ("cloud / CDN", &cloud_delay),
+        ("peer DHT (k=3)", &dht_delay),
+    ] {
+        println!(
+            "{:<28} {:>10.2} {:>10.2} {:>8}",
+            name,
+            s.mean().unwrap_or(f64::NAN),
+            s.max().unwrap_or(f64::NAN),
+            s.count()
+        );
+    }
+    println!("\nreplica sets not time-connected (need a channel): {conrep_disconnected}");
+    println!("replica-receiver pairs the DHT could never serve: {dht_unreachable}");
+    println!(
+        "\nnote: a channel delay is bounded by the receiver's own absence (< {} h); \
+         friend-to-friend chains can exceed a full day.",
+        SECONDS_PER_DAY / 3_600
+    );
+}

@@ -1,0 +1,81 @@
+//! Extension experiment — executing the eventual-consistency protocol.
+//!
+//! The paper's delay metric is an analytic worst-case bound; this binary
+//! actually runs the version-vector anti-entropy protocol over the
+//! modeled co-online windows and reports measured convergence delays
+//! next to the analytic bound, per policy.
+
+use dosn_bench::{facebook_dataset, figure_config, print_dataset_stats, study_users, users_from_args};
+use dosn_consistency::ConvergenceSim;
+use dosn_core::ModelKind;
+use dosn_interval::Timestamp;
+use dosn_metrics::{update_propagation_delay, Summary};
+use dosn_replication::{Connectivity, MaxAv, MostActive, Random, ReplicaPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dataset = facebook_dataset(users_from_args());
+    print_dataset_stats(&dataset);
+    let (degree, users) = study_users(&dataset);
+    let budget = degree.min(5);
+    println!("studying {} users of degree {degree}, budget {budget}\n", users.len());
+
+    let model = ModelKind::sporadic_default().build();
+    let mut rng = StdRng::seed_from_u64(figure_config().seed());
+    let schedules = model.schedules(&dataset, &mut rng);
+
+    let policies: Vec<Box<dyn ReplicaPolicy>> = vec![
+        Box::new(MaxAv::availability()),
+        Box::new(MostActive::new()),
+        Box::new(Random::new()),
+    ];
+    println!(
+        "{:<14} {:>16} {:>16} {:>10} {:>8}",
+        "policy", "measured (h)", "analytic (h)", "syncs", "n"
+    );
+    for policy in &policies {
+        let mut measured = Summary::new();
+        let mut analytic = Summary::new();
+        let mut syncs = Summary::new();
+        for &user in &users {
+            let replicas = policy.place(
+                &dataset,
+                &schedules,
+                user,
+                budget,
+                Connectivity::ConRep,
+                &mut rng,
+            );
+            if replicas.len() < 2 {
+                continue;
+            }
+            let Some(bound) = update_propagation_delay(&replicas, &schedules).worst_hours()
+            else {
+                continue;
+            };
+            let sim = ConvergenceSim::new(replicas, &schedules, 6);
+            // Midday injection at the first replica.
+            let start = Timestamp::from_day_and_offset(1, 12 * 3_600);
+            let report = sim.inject_and_run(0, start, "status update");
+            if let Some(delay) = report.convergence_delay_secs(start) {
+                measured.add(delay as f64 / 3_600.0);
+                analytic.add(bound);
+                syncs.add(report.syncs as f64);
+            }
+        }
+        println!(
+            "{:<14} {:>16.2} {:>16.2} {:>10.1} {:>8}",
+            policy.name(),
+            measured.mean().unwrap_or(f64::NAN),
+            analytic.mean().unwrap_or(f64::NAN),
+            syncs.mean().unwrap_or(f64::NAN),
+            measured.count(),
+        );
+    }
+    println!(
+        "\nreading: measured convergence sits well below the analytic \
+         worst-case bound (the bound composes per-hop worst cases), and \
+         the policy ordering matches Fig. 7."
+    );
+}

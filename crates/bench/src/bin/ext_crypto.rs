@@ -1,0 +1,77 @@
+//! Extension experiment — what encrypted third-party storage really
+//! costs.
+//!
+//! The paper rules that F2F (ConRep) storage "does not necessitate any
+//! complicated encryption mechanisms", while third-party storage
+//! "involves complicated key management and distribution" (Section
+//! II-B2) — but never prices it. This binary does: for the studied
+//! users, it simulates a year of profile life (posts at the trace's
+//! per-user rate, plus friend grants and revocations at configurable
+//! annual rates) and reports the key-management overhead the UnconRep
+//! path incurs, per user, as the revocation rate varies. ConRep's cost
+//! column is identically zero.
+
+use dosn_bench::{facebook_dataset, print_dataset_stats, study_users, users_from_args};
+use dosn_dht::GroupKeyManager;
+use dosn_metrics::Summary;
+use dosn_socialgraph::UserId;
+
+fn main() {
+    let dataset = facebook_dataset(users_from_args());
+    print_dataset_stats(&dataset);
+    let (degree, users) = study_users(&dataset);
+    println!("studying {} users of degree {degree}\n", users.len());
+
+    // Posts per year extrapolated from the 14-day trace.
+    const TRACE_DAYS: f64 = 14.0;
+    println!(
+        "{:>18} {:>14} {:>14} {:>14} {:>14}",
+        "revocations/year", "key msgs", "encrypts", "re-encrypts", "total ops"
+    );
+    for revocations_per_year in [0u32, 1, 2, 5, 10] {
+        let mut key_msgs = Summary::new();
+        let mut encrypts = Summary::new();
+        let mut reencrypts = Summary::new();
+        let mut totals = Summary::new();
+        for &user in &users {
+            let friends: Vec<UserId> = dataset.replica_candidates(user).to_vec();
+            let yearly_posts =
+                (dataset.received_activities(user).len() as f64 * 365.0 / TRACE_DAYS) as u32;
+            let mut mgr = GroupKeyManager::new(user, friends.iter().copied());
+            // Interleave posts and revocations evenly over the year.
+            let posts_per_phase = yearly_posts / (revocations_per_year + 1);
+            let mut revoked = 0usize;
+            for phase in 0..=revocations_per_year {
+                for _ in 0..posts_per_phase {
+                    mgr.publish_update();
+                }
+                if phase < revocations_per_year && revoked < friends.len() {
+                    // Revoke one friend, then re-grant a replacement so
+                    // the friend count stays realistic.
+                    let victim = friends[revoked];
+                    mgr.revoke(victim).expect("still a member");
+                    revoked += 1;
+                    let _ = mgr.grant(victim); // re-added later in the year
+                }
+            }
+            let a = mgr.accounting();
+            key_msgs.add(a.key_messages as f64);
+            encrypts.add(a.encrypt_ops as f64);
+            reencrypts.add(a.reencrypt_ops as f64);
+            totals.add(a.total_ops() as f64);
+        }
+        println!(
+            "{:>18} {:>14.0} {:>14.0} {:>14.0} {:>14.0}",
+            revocations_per_year,
+            key_msgs.mean().unwrap_or(f64::NAN),
+            encrypts.mean().unwrap_or(f64::NAN),
+            reencrypts.mean().unwrap_or(f64::NAN),
+            totals.mean().unwrap_or(f64::NAN),
+        );
+    }
+    println!(
+        "\nreading: every yearly revocation forces a full re-encryption of the \
+         stored history plus a key fan-out; the F2F/ConRep design pays none of \
+         this, which is the paper's case for trusted-friend storage."
+    );
+}

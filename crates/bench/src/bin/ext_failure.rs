@@ -1,0 +1,32 @@
+//! Extension experiment — resilience to replica-host failure.
+//!
+//! The paper assumes every chosen friend keeps hosting; real nodes
+//! crash, churn, and defect. This binary damages each policy's
+//! placements with an independent per-host failure probability and
+//! reports the availability that survives — the brittleness ablation of
+//! the placement policies.
+
+use dosn_bench::{facebook_dataset, figure_config, print_dataset_stats, print_figure, study_users, users_from_args};
+use dosn_core::failure::failure_sweep;
+use dosn_core::{MetricKind, ModelKind, PolicyKind};
+
+fn main() {
+    let dataset = facebook_dataset(users_from_args());
+    print_dataset_stats(&dataset);
+    let (degree, users) = study_users(&dataset);
+    println!("studying {} users of degree {degree}, budget {}\n", users.len(), degree.min(6));
+    let table = failure_sweep(
+        &dataset,
+        ModelKind::sporadic_default(),
+        &PolicyKind::paper_trio(),
+        &users,
+        degree.min(6),
+        &[0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9],
+        &figure_config(),
+    );
+    print_figure(
+        "Extension — availability under replica-host failure",
+        &table,
+        &[MetricKind::Availability, MetricKind::ReplicasUsed],
+    );
+}

@@ -1,0 +1,54 @@
+//! Extension experiment — replica-hosting fairness.
+//!
+//! Section II-B1 requires placement to "balance the storage and
+//! communication overhead ... uniformly" but the paper never measures
+//! the imbalance its policies create. This binary places replicas for
+//! *every* user, reports the hosting-load distribution per policy
+//! (max/mean load, Gini, Jain, idle fraction), and shows what a per-node
+//! capacity cap buys and costs.
+
+use dosn_bench::{facebook_dataset, figure_config, print_dataset_stats, users_from_args};
+use dosn_core::loadbalance::{place_all, place_all_capped};
+use dosn_core::{ModelKind, PolicyKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dataset = facebook_dataset(users_from_args());
+    print_dataset_stats(&dataset);
+    let config = figure_config();
+    let model = ModelKind::sporadic_default().build();
+    let mut rng = StdRng::seed_from_u64(config.seed());
+    let schedules = model.schedules(&dataset, &mut rng);
+    const DEGREE: usize = 4;
+
+    println!("== hosting load, {DEGREE} replicas per user ==");
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}",
+        "placement", "max", "mean", "gini", "jain", "idle%", "availability"
+    );
+    let print_row = |label: &str, sys: &dosn_core::loadbalance::SystemPlacement| {
+        println!(
+            "{:<22} {:>8} {:>8.2} {:>8.3} {:>8.3} {:>8.1} {:>12.3}",
+            label,
+            sys.load().max_load(),
+            sys.load().mean_load(),
+            sys.load().gini(),
+            sys.load().jain_index(),
+            100.0 * sys.load().idle_fraction(),
+            sys.availability().mean().unwrap_or(f64::NAN),
+        );
+    };
+    for policy in PolicyKind::paper_trio() {
+        let sys = place_all(&dataset, &schedules, policy, DEGREE, &config);
+        print_row(policy.label(), &sys);
+    }
+    for capacity in [16usize, 8, 4] {
+        let sys = place_all_capped(&dataset, &schedules, DEGREE, capacity, &config);
+        print_row(&format!("capped(max {capacity})"), &sys);
+    }
+    println!(
+        "\nreading: uncapped MaxAv concentrates load on always-online friends; \
+         the cap flattens Gini toward 0 at a small availability cost."
+    );
+}

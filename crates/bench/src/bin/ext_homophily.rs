@@ -1,0 +1,73 @@
+//! Extension experiment — temporal homophily: do friends being online
+//! *together* help or hurt?
+//!
+//! Real friend groups share rhythms (same time zone, same habits). On a
+//! community-structured graph we dial the strength of that correlation
+//! from none (everyone's peak is personal) to full (whole communities
+//! share one peak) and measure what it does to availability,
+//! availability-on-demand-time, and the propagation delay at a fixed
+//! budget. Correlated schedules make replicas redundant (less of the
+//! day covered) but make friends easy to serve and replicas easy to
+//! sync — a trade-off the paper's single-peak datasets cannot exhibit.
+
+use dosn_bench::{figure_config, users_from_args};
+use dosn_core::ModelKind;
+use dosn_metrics::{availability, on_demand_time, update_propagation_delay, Summary};
+use dosn_replication::{Connectivity, MaxAv, ReplicaPolicy};
+use dosn_trace::synth::{GraphSpec, TraceSynthesizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let users = users_from_args().min(3_000);
+    println!(
+        "{:>10} {:>14} {:>16} {:>12} {:>6}",
+        "homophily", "availability", "on-demand-time", "delay (h)", "n"
+    );
+    for homophily in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut synth = TraceSynthesizer::new("sbm", users);
+        synth
+            .graph(GraphSpec::StochasticBlock {
+                communities: users / 60,
+                p_in: 0.35,
+                p_out: 0.002,
+            })
+            .temporal_homophily(homophily);
+        let dataset = synth.generate(figure_config().seed()).expect("generation succeeds");
+        let model = ModelKind::sporadic_default().build();
+        let mut rng = StdRng::seed_from_u64(figure_config().seed());
+        let schedules = model.schedules(&dataset, &mut rng);
+        let policy = MaxAv::availability();
+        let mut avail = Summary::new();
+        let mut aod = Summary::new();
+        let mut delay = Summary::new();
+        for user in dataset.users() {
+            let candidates = dataset.replica_candidates(user);
+            if candidates.len() < 8 {
+                continue;
+            }
+            let replicas =
+                policy.place(&dataset, &schedules, user, 4, Connectivity::ConRep, &mut rng);
+            avail.add(availability(user, &replicas, &schedules, true));
+            aod.add_opt(on_demand_time(user, &replicas, candidates, &schedules, true));
+            if replicas.len() >= 2 {
+                delay.add_opt(update_propagation_delay(&replicas, &schedules).worst_hours());
+            }
+        }
+        println!(
+            "{:>10.2} {:>14.3} {:>16.3} {:>12.1} {:>6}",
+            homophily,
+            avail.mean().unwrap_or(f64::NAN),
+            aod.mean().unwrap_or(f64::NAN),
+            delay.mean().unwrap_or(f64::NAN),
+            avail.count(),
+        );
+    }
+    println!(
+        "\nreading: as friends' schedules align, plain availability falls \
+         (replicas cover the same hours) while on-demand-time rises toward 1 \
+         (friends ask exactly when replicas are there) and the replica sync \
+         delay collapses — evidence that the paper's on-demand metrics, not \
+         raw availability, are the right target for real correlated users."
+    );
+}

@@ -1,0 +1,22 @@
+//! Fig. 2 — user degree distribution of both datasets.
+//!
+//! Prints `degree count` pairs for the Facebook-like (friend degree) and
+//! Twitter-like (follower degree) datasets, the series of the paper's
+//! Fig. 2.
+
+use dosn_bench::{facebook_dataset, print_dataset_stats, twitter_dataset, users_from_args};
+use dosn_socialgraph::DegreeHistogram;
+
+fn main() {
+    let users = users_from_args();
+    for dataset in [facebook_dataset(users), twitter_dataset(users)] {
+        print_dataset_stats(&dataset);
+        let hist = DegreeHistogram::of_replica_candidates(dataset.graph());
+        println!("# {} — user degree distribution", dataset.name());
+        println!("# degree users");
+        for (degree, count) in hist.iter() {
+            println!("{degree} {count}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,18 @@
+//! Fig. 3 — Facebook-ConRep: availability vs replication degree, for
+//! Sporadic / RandomLength / FixedLength(2 h) / FixedLength(8 h) and the
+//! MaxAv / MostActive / Random policies.
+
+use dosn_bench::{facebook_dataset, paper_models, run_panels, users_from_args};
+use dosn_core::MetricKind;
+use dosn_replication::Connectivity;
+
+fn main() {
+    let dataset = facebook_dataset(users_from_args());
+    run_panels(
+        "Fig. 3 Facebook-ConRep availability",
+        &dataset,
+        Connectivity::ConRep,
+        &paper_models(),
+        &[MetricKind::Availability, MetricKind::ReplicasUsed],
+    );
+}

@@ -1,0 +1,23 @@
+//! Fig. 4 — Facebook-UnconRep: availability vs replication degree for
+//! FixedLength(2 h) and FixedLength(8 h); compare against Fig. 3's
+//! ConRep panels to see the availability the connectivity constraint
+//! costs.
+
+use dosn_bench::{facebook_dataset, run_panels, users_from_args};
+use dosn_core::{MetricKind, ModelKind};
+use dosn_replication::Connectivity;
+
+fn main() {
+    let dataset = facebook_dataset(users_from_args());
+    let models = [
+        ("FixedLength(2hours)", ModelKind::fixed_hours(2)),
+        ("FixedLength(8hours)", ModelKind::fixed_hours(8)),
+    ];
+    run_panels(
+        "Fig. 4 Facebook-UnconRep availability",
+        &dataset,
+        Connectivity::UnconRep,
+        &models,
+        &[MetricKind::Availability, MetricKind::ReplicasUsed],
+    );
+}

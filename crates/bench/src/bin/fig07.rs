@@ -1,0 +1,17 @@
+//! Fig. 7 — Facebook-ConRep: update propagation delay (hours) vs
+//! replication degree for the four online-time models.
+
+use dosn_bench::{facebook_dataset, paper_models, run_panels, users_from_args};
+use dosn_core::MetricKind;
+use dosn_replication::Connectivity;
+
+fn main() {
+    let dataset = facebook_dataset(users_from_args());
+    run_panels(
+        "Fig. 7 Facebook-ConRep update propagation delay",
+        &dataset,
+        Connectivity::ConRep,
+        &paper_models(),
+        &[MetricKind::DelayHours, MetricKind::ObservedDelayHours],
+    );
+}

@@ -1,0 +1,35 @@
+//! Fig. 8 — Facebook-ConRep: effect of the Sporadic session length
+//! (100 s to 100 000 s, log axis) at replication degree 3, on
+//! availability, availability-on-demand-time/-activity, and delay.
+
+use dosn_bench::{
+    facebook_dataset, figure_config, print_dataset_stats, print_figure, study_users,
+    users_from_args,
+};
+use dosn_core::{sweep, MetricKind, PolicyKind};
+
+fn main() {
+    let dataset = facebook_dataset(users_from_args());
+    print_dataset_stats(&dataset);
+    let (degree, users) = study_users(&dataset);
+    println!("studying {} users of degree {degree}, replication degree 3\n", users.len());
+    let lengths = [100, 300, 1_000, 3_000, 10_000, 30_000, 86_400];
+    let table = sweep::session_length_sweep(
+        &dataset,
+        &lengths,
+        &PolicyKind::paper_trio(),
+        &users,
+        3,
+        &figure_config(),
+    );
+    print_figure(
+        "Fig. 8 Facebook-ConRep, Sporadic session-length sweep (replication degree 3)",
+        &table,
+        &[
+            MetricKind::Availability,
+            MetricKind::OnDemandTime,
+            MetricKind::OnDemandActivity,
+            MetricKind::DelayHours,
+        ],
+    );
+}

@@ -1,0 +1,27 @@
+//! Fig. 9 — Facebook-ConRep: effect of the user degree (1..10) under
+//! Sporadic with the maximum possible replication, on availability and
+//! delay.
+
+use dosn_bench::{facebook_dataset, figure_config, print_dataset_stats, print_figure, users_from_args};
+use dosn_core::{sweep, MetricKind, ModelKind, PolicyKind};
+
+fn main() {
+    let dataset = facebook_dataset(users_from_args());
+    print_dataset_stats(&dataset);
+    let table = sweep::user_degree_sweep(
+        &dataset,
+        ModelKind::sporadic_default(),
+        &PolicyKind::paper_trio(),
+        10,
+        &figure_config(),
+    );
+    print_figure(
+        "Fig. 9 Facebook-ConRep, Sporadic, user-degree sweep (max replication)",
+        &table,
+        &[
+            MetricKind::Availability,
+            MetricKind::DelayHours,
+            MetricKind::ReplicasUsed,
+        ],
+    );
+}

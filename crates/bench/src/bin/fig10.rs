@@ -1,0 +1,17 @@
+//! Fig. 10 — Twitter-ConRep: availability vs replication degree for the
+//! four online-time models (replicas on followers).
+
+use dosn_bench::{paper_models, run_panels, twitter_dataset, users_from_args};
+use dosn_core::MetricKind;
+use dosn_replication::Connectivity;
+
+fn main() {
+    let dataset = twitter_dataset(users_from_args());
+    run_panels(
+        "Fig. 10 Twitter-ConRep availability",
+        &dataset,
+        Connectivity::ConRep,
+        &paper_models(),
+        &[MetricKind::Availability, MetricKind::ReplicasUsed],
+    );
+}

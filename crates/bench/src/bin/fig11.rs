@@ -1,0 +1,19 @@
+//! Fig. 11 — Twitter-ConRep: availability-on-demand-time vs replication
+//! degree for the four online-time models. In FixedLength(8 h) some
+//! followers never connect to any replica, so the metric plateaus below
+//! 1.0 — the paper's Fig. 11d observation.
+
+use dosn_bench::{paper_models, run_panels, twitter_dataset, users_from_args};
+use dosn_core::MetricKind;
+use dosn_replication::Connectivity;
+
+fn main() {
+    let dataset = twitter_dataset(users_from_args());
+    run_panels(
+        "Fig. 11 Twitter-ConRep availability-on-demand-time",
+        &dataset,
+        Connectivity::ConRep,
+        &paper_models(),
+        &[MetricKind::OnDemandTime],
+    );
+}

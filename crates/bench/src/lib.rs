@@ -1,0 +1,163 @@
+//! Shared harness for the figure-reproduction binaries.
+//!
+//! Every `fig*` binary regenerates one figure of the paper: it builds the
+//! calibrated synthetic dataset, runs the corresponding sweep from
+//! [`dosn_core::sweep`], and prints the same series the paper plots
+//! (gnuplot-style blocks plus a full CSV). Binaries accept an optional
+//! user-count argument (`cargo run -p dosn-bench --bin fig03 -- 13884`
+//! reproduces the paper's full scale); the default is a faster
+//! reduced-scale run that preserves every qualitative trend.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use dosn_core::{MetricKind, StudyConfig, SweepTable};
+use dosn_trace::{synth, Dataset};
+
+/// Default reduced scale for figure binaries (users per dataset).
+pub const DEFAULT_USERS: usize = 4_000;
+
+/// The seed every figure binary uses, so printed numbers are
+/// reproducible run to run.
+pub const FIGURE_SEED: u64 = 2012;
+
+/// Parses the optional user-count CLI argument.
+///
+/// # Panics
+///
+/// Panics with a usage message when the argument is not a number.
+pub fn users_from_args() -> usize {
+    match std::env::args().nth(1) {
+        Some(arg) => arg
+            .parse()
+            .unwrap_or_else(|_| panic!("usage: fig* [user-count]; got {arg:?}")),
+        None => DEFAULT_USERS,
+    }
+}
+
+/// The Facebook-like dataset at the requested scale (the paper's
+/// filtered trace has 13 884 users).
+///
+/// # Panics
+///
+/// Panics if generation fails, which only happens for fewer than two
+/// users.
+pub fn facebook_dataset(users: usize) -> Dataset {
+    synth::facebook_like(users, FIGURE_SEED).expect("facebook-like generation succeeds")
+}
+
+/// The Twitter-like dataset at the requested scale (the paper's filtered
+/// trace has 14 933 users).
+///
+/// # Panics
+///
+/// Panics if generation fails, which only happens for fewer than two
+/// users.
+pub fn twitter_dataset(users: usize) -> Dataset {
+    synth::twitter_like(users, FIGURE_SEED).expect("twitter-like generation succeeds")
+}
+
+/// The study configuration the figures share: the paper's defaults with
+/// 5 repetitions.
+pub fn figure_config() -> StudyConfig {
+    StudyConfig::default().with_seed(FIGURE_SEED)
+}
+
+/// Prints a figure header, the plotted series for the chosen metrics,
+/// and the full CSV.
+pub fn print_figure(title: &str, table: &SweepTable, metrics: &[MetricKind]) {
+    println!("==== {title} ====");
+    for &metric in metrics {
+        println!("{}", table.to_plot_block(metric));
+    }
+    println!("-- csv --");
+    print!("{}", table.to_csv());
+    println!();
+}
+
+/// Prints dataset statistics in the shape of the paper's Section IV-A.
+pub fn print_dataset_stats(dataset: &Dataset) {
+    println!("-- dataset: {} --", dataset.name());
+    println!("{}", dataset.stats());
+    println!();
+}
+
+/// The degree the per-degree figures study. The paper picks 10 because
+/// both datasets have their modal user count there.
+pub const STUDY_DEGREE: usize = 10;
+
+/// The four online-time models of the paper's panel figures, with
+/// labels: Sporadic, RandomLength, FixedLength(2 h), FixedLength(8 h).
+pub fn paper_models() -> [(&'static str, dosn_core::ModelKind); 4] {
+    use dosn_core::ModelKind;
+    [
+        ("Sporadic", ModelKind::sporadic_default()),
+        ("RandomLength", ModelKind::random_length_default()),
+        ("FixedLength(2hours)", ModelKind::fixed_hours(2)),
+        ("FixedLength(8hours)", ModelKind::fixed_hours(8)),
+    ]
+}
+
+/// The users the per-degree figures average over: everyone at
+/// [`STUDY_DEGREE`]; falls back to the modal degree when a reduced-scale
+/// dataset has nobody there.
+pub fn study_users(dataset: &Dataset) -> (usize, Vec<dosn_socialgraph::UserId>) {
+    let users = dataset.users_with_degree(STUDY_DEGREE);
+    if !users.is_empty() {
+        return (STUDY_DEGREE, users);
+    }
+    let hist = dosn_socialgraph::DegreeHistogram::of_replica_candidates(dataset.graph());
+    let degree = hist.mode().unwrap_or(1).max(1);
+    (degree, dataset.users_with_degree(degree))
+}
+
+/// Runs one panel figure: a degree sweep for each paper model, printing
+/// the requested metric per panel (Figs. 3–7 and 10–11 are all this
+/// shape).
+pub fn run_panels(
+    figure: &str,
+    dataset: &Dataset,
+    connectivity: dosn_replication::Connectivity,
+    models: &[(&str, dosn_core::ModelKind)],
+    metrics: &[MetricKind],
+) {
+    use dosn_core::{sweep, PolicyKind};
+    print_dataset_stats(dataset);
+    let (degree, users) = study_users(dataset);
+    println!(
+        "studying {} users of degree {} ({})\n",
+        users.len(),
+        degree,
+        connectivity
+    );
+    let config = figure_config().with_connectivity(connectivity);
+    for (label, model) in models {
+        let table = sweep::degree_sweep(
+            dataset,
+            *model,
+            &PolicyKind::paper_trio(),
+            &users,
+            degree,
+            &config,
+        );
+        print_figure(&format!("{figure} — {label}"), &table, metrics);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_build_at_small_scale() {
+        let fb = facebook_dataset(100);
+        assert_eq!(fb.user_count(), 100);
+        let tw = twitter_dataset(100);
+        assert_eq!(tw.user_count(), 100);
+    }
+
+    #[test]
+    fn figure_config_uses_fixed_seed() {
+        assert_eq!(figure_config().seed(), FIGURE_SEED);
+    }
+}

@@ -1,0 +1,172 @@
+//! A small, dependency-free argument parser: positional words followed
+//! by `--flag [value]` options.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: positional words and `--key value` /
+/// `--switch` options.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_cli::args::Args;
+///
+/// let args = Args::parse(["sweep", "degree", "--users", "500", "--csv"].map(String::from));
+/// assert_eq!(args.positional(), ["sweep", "degree"]);
+/// assert_eq!(args.get("users"), Some("500"));
+/// assert!(args.has("csv"));
+/// assert_eq!(args.get_parsed::<usize>("users", 9).unwrap(), 500);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, Option<String>>,
+}
+
+/// Error produced when an option value fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError {
+    /// The option name (without dashes).
+    pub option: String,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid --{}: {}", self.option, self.reason)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an argument list (without the program name).
+    ///
+    /// A token starting with `--` is an option; it takes the following
+    /// token as its value unless that token is itself an option or
+    /// absent (making it a boolean switch).
+    pub fn parse<I>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut positional = Vec::new();
+        let mut options = BTreeMap::new();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(name) = token.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next(),
+                    _ => None,
+                };
+                options.insert(name.to_string(), value);
+            } else {
+                positional.push(token);
+            }
+        }
+        Args {
+            positional,
+            options,
+        }
+    }
+
+    /// The positional words, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Whether an option (with or without value) was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+
+    /// The raw value of an option, if present with a value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).and_then(|v| v.as_deref())
+    }
+
+    /// Parses an option value, falling back to `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when the option is present but unparsable or
+    /// valueless.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(None) => Err(ArgError {
+                option: name.to_string(),
+                reason: "expected a value".to_string(),
+            }),
+            Some(Some(raw)) => raw.parse().map_err(|_| ArgError {
+                option: name.to_string(),
+                reason: format!("cannot parse {raw:?}"),
+            }),
+        }
+    }
+
+    /// Parses a comma-separated list option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when any element fails to parse.
+    pub fn get_list<T: std::str::FromStr>(&self, name: &str) -> Result<Option<Vec<T>>, ArgError> {
+        let Some(raw) = self.get(name) else {
+            return Ok(None);
+        };
+        raw.split(',')
+            .map(|piece| {
+                piece.trim().parse().map_err(|_| ArgError {
+                    option: name.to_string(),
+                    reason: format!("cannot parse element {piece:?}"),
+                })
+            })
+            .collect::<Result<Vec<T>, ArgError>>()
+            .map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positional_and_options_mix() {
+        let a = parse(&["sweep", "degree", "--users", "100", "--csv", "--seed", "7"]);
+        assert_eq!(a.positional(), ["sweep", "degree"]);
+        assert_eq!(a.get("users"), Some("100"));
+        assert!(a.has("csv"));
+        assert_eq!(a.get("csv"), None);
+        assert_eq!(a.get_parsed("seed", 0u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn switch_before_option_does_not_swallow() {
+        let a = parse(&["--csv", "--users", "5"]);
+        assert!(a.has("csv"));
+        assert_eq!(a.get_parsed("users", 0usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let a = parse(&["--users", "banana"]);
+        assert_eq!(a.get_parsed("seed", 42u64).unwrap(), 42);
+        let err = a.get_parsed::<usize>("users", 0).unwrap_err();
+        assert!(err.to_string().contains("banana"));
+        let b = parse(&["--users"]);
+        assert!(b.get_parsed::<usize>("users", 0).is_err());
+    }
+
+    #[test]
+    fn list_parsing() {
+        let a = parse(&["--lengths", "100, 200,300"]);
+        assert_eq!(a.get_list::<u32>("lengths").unwrap(), Some(vec![100, 200, 300]));
+        assert_eq!(a.get_list::<u32>("missing").unwrap(), None);
+        let bad = parse(&["--lengths", "1,x"]);
+        assert!(bad.get_list::<u32>("lengths").is_err());
+    }
+}

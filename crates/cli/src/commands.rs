@@ -1,0 +1,553 @@
+//! Command dispatch and implementations. Every command writes to a
+//! supplied `io::Write`, so tests can capture output.
+
+use std::fmt;
+use std::io::Write;
+
+use dosn_core::replay::simulate_update;
+use dosn_core::{sweep, MetricKind, ModelKind, PolicyKind, StudyConfig};
+use dosn_interval::Timestamp;
+use dosn_metrics::update_propagation_delay;
+use dosn_replication::Connectivity;
+use dosn_socialgraph::UserId;
+use dosn_trace::parse::{parse_dataset, ParseKind};
+use dosn_trace::{synth, Dataset, TraceError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::{ArgError, Args};
+
+/// Error produced by a CLI run: bad arguments, unreadable files, or a
+/// dataset problem.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// An option failed to parse.
+    Arg(ArgError),
+    /// The command or sub-command is unknown.
+    Usage(String),
+    /// A dataset file could not be read.
+    Io(std::io::Error),
+    /// Dataset construction failed.
+    Trace(TraceError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Arg(e) => e.fmt(f),
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io(e) => write!(f, "cannot read dataset file: {e}"),
+            CliError::Trace(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Arg(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<TraceError> for CliError {
+    fn from(e: TraceError) -> Self {
+        CliError::Trace(e)
+    }
+}
+
+/// Runs a parsed command line, writing human output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown commands, malformed options, or
+/// dataset problems.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    match args.positional().first().map(String::as_str) {
+        None | Some("help") => {
+            writeln!(out, "{}", crate::USAGE)?;
+            Ok(())
+        }
+        Some("stats") => stats(args, out),
+        Some("sweep") => sweep_cmd(args, out),
+        Some("replay") => replay(args, out),
+        Some("system") => system(args, out),
+        Some("fairness") => fairness(args, out),
+        Some("predict") => predict(args, out),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command {other:?}; run `dosn help`"
+        ))),
+    }
+}
+
+/// Builds the dataset every command operates on.
+fn dataset(args: &Args) -> Result<Dataset, CliError> {
+    if let Some(edges_path) = args.get("edges") {
+        let activities_path = args.get("activities").ok_or_else(|| {
+            CliError::Usage("--edges requires --activities".to_string())
+        })?;
+        let edges = std::fs::read_to_string(edges_path)?;
+        let activities = std::fs::read_to_string(activities_path)?;
+        let kind = if args.has("directed") {
+            ParseKind::Directed
+        } else {
+            ParseKind::Undirected
+        };
+        let parsed = parse_dataset("parsed", &edges, &activities, kind)?;
+        return Ok(parsed.dataset);
+    }
+    let users = args.get_parsed("users", 2_000usize)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    match args.get("dataset").unwrap_or("facebook") {
+        "facebook" => Ok(synth::facebook_like(users, seed)?),
+        "twitter" => Ok(synth::twitter_like(users, seed)?),
+        other => Err(CliError::Usage(format!(
+            "unknown dataset family {other:?}; expected facebook or twitter"
+        ))),
+    }
+}
+
+fn model(args: &Args) -> Result<ModelKind, CliError> {
+    let spec = args.get("model").unwrap_or("sporadic");
+    parse_model(spec).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown model {spec:?}; expected sporadic[:SECS], fixed:HOURS or random"
+        ))
+    })
+}
+
+/// Parses a model spec like `sporadic`, `sporadic:600`, `fixed:8`,
+/// `random`.
+pub(crate) fn parse_model(spec: &str) -> Option<ModelKind> {
+    let (head, tail) = match spec.split_once(':') {
+        Some((h, t)) => (h, Some(t)),
+        None => (spec, None),
+    };
+    match (head, tail) {
+        ("sporadic", None) => Some(ModelKind::sporadic_default()),
+        ("sporadic", Some(secs)) => Some(ModelKind::Sporadic {
+            session_secs: secs.parse().ok()?,
+        }),
+        ("fixed", Some(hours)) => Some(ModelKind::fixed_hours(hours.parse().ok()?)),
+        ("random", None) => Some(ModelKind::random_length_default()),
+        _ => None,
+    }
+}
+
+fn policies(args: &Args) -> Result<Vec<PolicyKind>, CliError> {
+    let Some(raw) = args.get("policies") else {
+        return Ok(PolicyKind::paper_trio().to_vec());
+    };
+    raw.split(',')
+        .map(|name| match name.trim() {
+            "maxav" => Ok(PolicyKind::MaxAv),
+            "maxav-on-demand-time" => Ok(PolicyKind::MaxAvOnDemandTime),
+            "maxav-on-demand-activity" => Ok(PolicyKind::MaxAvOnDemandActivity),
+            "most-active" => Ok(PolicyKind::MostActive),
+            "random" => Ok(PolicyKind::Random),
+            other => Err(CliError::Usage(format!("unknown policy {other:?}"))),
+        })
+        .collect()
+}
+
+fn config(args: &Args) -> Result<StudyConfig, CliError> {
+    let mut config = StudyConfig::default()
+        .with_seed(args.get_parsed("seed", 42u64)?)
+        .with_repetitions(args.get_parsed("repetitions", 5usize)?);
+    if args.has("unconrep") {
+        config = config.with_connectivity(Connectivity::UnconRep);
+    }
+    Ok(config)
+}
+
+fn stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let ds = dataset(args)?;
+    writeln!(out, "dataset: {}", ds.name())?;
+    writeln!(out, "{}", ds.stats())?;
+    Ok(())
+}
+
+fn print_table(
+    table: &dosn_core::SweepTable,
+    args: &Args,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    if args.has("json") {
+        writeln!(out, "{}", table.to_json())?;
+    } else if args.has("csv") {
+        write!(out, "{}", table.to_csv())?;
+    } else if args.has("plot") {
+        for metric in [
+            MetricKind::Availability,
+            MetricKind::OnDemandTime,
+            MetricKind::DelayHours,
+        ] {
+            writeln!(out, "{}", crate::plot::render_chart(table, metric, 60, 14))?;
+        }
+    } else {
+        for metric in [
+            MetricKind::Availability,
+            MetricKind::OnDemandTime,
+            MetricKind::OnDemandActivity,
+            MetricKind::DelayHours,
+        ] {
+            writeln!(out, "{}", table.to_plot_block(metric))?;
+        }
+    }
+    Ok(())
+}
+
+fn sweep_cmd(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let ds = dataset(args)?;
+    let config = config(args)?;
+    let policies = policies(args)?;
+    match args.positional().get(1).map(String::as_str) {
+        Some("degree") => {
+            let degree = args.get_parsed("degree", 10usize)?;
+            let users = ds.users_with_degree(degree);
+            writeln!(
+                out,
+                "degree sweep over {} users of degree {degree}",
+                users.len()
+            )?;
+            let table = sweep::degree_sweep(&ds, model(args)?, &policies, &users, degree, &config);
+            print_table(&table, args, out)
+        }
+        Some("session") => {
+            let budget = args.get_parsed("budget", 3usize)?;
+            let lengths = args
+                .get_list::<u32>("lengths")?
+                .unwrap_or_else(|| vec![100, 1_000, 10_000, 86_400]);
+            let degree = args.get_parsed("degree", 10usize)?;
+            let users = ds.users_with_degree(degree);
+            writeln!(
+                out,
+                "session-length sweep over {} users of degree {degree}, budget {budget}",
+                users.len()
+            )?;
+            let table =
+                sweep::session_length_sweep(&ds, &lengths, &policies, &users, budget, &config);
+            print_table(&table, args, out)
+        }
+        Some("user-degree") => {
+            let max_degree = args.get_parsed("max-degree", 10usize)?;
+            let table =
+                sweep::user_degree_sweep(&ds, model(args)?, &policies, max_degree, &config);
+            print_table(&table, args, out)
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown sweep {other:?}; expected degree, session or user-degree"
+        ))),
+    }
+}
+
+fn replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let ds = dataset(args)?;
+    let budget = args.get_parsed("budget", 4usize)?;
+    let user = match args.get_parsed("user", usize::MAX)? {
+        usize::MAX => ds
+            .users()
+            .max_by_key(|&u| ds.replica_candidates(u).len())
+            .ok_or_else(|| CliError::Usage("dataset has no users".to_string()))?,
+        ix if ix < ds.user_count() => UserId::from_index(ix),
+        ix => {
+            return Err(CliError::Usage(format!(
+                "user {ix} out of range (dataset has {} users)",
+                ds.user_count()
+            )))
+        }
+    };
+    let config = config(args)?;
+    let built_model = model(args)?.build();
+    let mut rng = StdRng::seed_from_u64(config.seed());
+    let schedules = built_model.schedules(&ds, &mut rng);
+    let policy = PolicyKind::MaxAv.build();
+    let replicas = policy.place(&ds, &schedules, user, budget, config.connectivity(), &mut rng);
+    writeln!(out, "user {user}: {} replicas {replicas:?}", replicas.len())?;
+    if replicas.len() < 2 {
+        writeln!(out, "fewer than two replicas; nothing to propagate")?;
+        return Ok(());
+    }
+    let analytic = update_propagation_delay(&replicas, &schedules);
+    match analytic.worst_hours() {
+        Some(h) => writeln!(out, "analytic worst-case delay: {h:.2} h")?,
+        None => writeln!(out, "replica set is not time-connected")?,
+    }
+    let start = Timestamp::from_day_and_offset(1, 12 * 3_600);
+    let outcome = simulate_update(&replicas, &schedules, 0, start);
+    writeln!(out, "update injected at {start} on {}", replicas[0])?;
+    for (i, arrival) in outcome.arrivals().iter().enumerate() {
+        match arrival.arrival {
+            Some(t) => writeln!(
+                out,
+                "  {}: +{:.2} h (observed {:.2} h)",
+                arrival.replica,
+                t.seconds_since(start) as f64 / 3_600.0,
+                outcome.observed_delay_secs(i, &schedules).unwrap_or(0) as f64 / 3_600.0,
+            )?,
+            None => writeln!(out, "  {}: never reached", arrival.replica)?,
+        }
+    }
+    Ok(())
+}
+
+fn system(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let ds = dataset(args)?;
+    let config = config(args)?;
+    let budget = args.get_parsed("budget", 4usize)?;
+    let policy_list = policies(args)?;
+    let model = model(args)?;
+    for policy in policy_list {
+        let report = dosn_node::SystemSim::new(&ds)
+            .model(model)
+            .policy(policy)
+            .replication_degree(budget)
+            .run(&config);
+        writeln!(out, "== {} x{budget} ==", policy.label())?;
+        writeln!(out, "{report}\n")?;
+    }
+    Ok(())
+}
+
+fn fairness(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use dosn_core::loadbalance::{place_all, place_all_capped};
+    let ds = dataset(args)?;
+    let config = config(args)?;
+    let budget = args.get_parsed("budget", 4usize)?;
+    let built_model = model(args)?.build();
+    let mut rng = StdRng::seed_from_u64(config.seed());
+    let schedules = built_model.schedules(&ds, &mut rng);
+    writeln!(
+        out,
+        "{:<22} {:>8} {:>8} {:>8} {:>12}",
+        "placement", "max", "gini", "jain", "availability"
+    )?;
+    for policy in policies(args)? {
+        let sys = place_all(&ds, &schedules, policy, budget, &config);
+        writeln!(
+            out,
+            "{:<22} {:>8} {:>8.3} {:>8.3} {:>12.3}",
+            policy.label(),
+            sys.load().max_load(),
+            sys.load().gini(),
+            sys.load().jain_index(),
+            sys.availability().mean().unwrap_or(f64::NAN),
+        )?;
+    }
+    if let Some(capacity) = args.get_parsed::<usize>("capacity", 0).ok().filter(|&c| c > 0) {
+        let sys = place_all_capped(&ds, &schedules, budget, capacity, &config);
+        writeln!(
+            out,
+            "{:<22} {:>8} {:>8.3} {:>8.3} {:>12.3}",
+            format!("capped(max {capacity})"),
+            sys.load().max_load(),
+            sys.load().gini(),
+            sys.load().jain_index(),
+            sys.availability().mean().unwrap_or(f64::NAN),
+        )?;
+    }
+    Ok(())
+}
+
+fn predict(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use dosn_onlinetime::{PredictionQuality, SchedulePredictor};
+    let ds = dataset(args)?;
+    let span = ds
+        .activities()
+        .last()
+        .map(|a| a.timestamp().day_index() + 1)
+        .unwrap_or(0);
+    let history_days = args.get_parsed("history-days", span / 2)?;
+    if history_days == 0 || history_days >= span {
+        return Err(CliError::Usage(format!(
+            "--history-days must lie in 1..{span} for this {span}-day trace"
+        )));
+    }
+    let threshold = args.get_parsed("threshold", 0.25f64)?;
+    let session = args.get_parsed("session", 1_200u32)?;
+    let predictor = SchedulePredictor::new(session, threshold);
+    let mut precision = dosn_metrics::Summary::new();
+    let mut recall = dosn_metrics::Summary::new();
+    let mut f1 = dosn_metrics::Summary::new();
+    for user in ds.users() {
+        let predicted = predictor.predict(&ds, user, 0..history_days);
+        let actual = predictor.actual(&ds, user, history_days..span);
+        if predicted.is_empty() && actual.is_empty() {
+            continue;
+        }
+        let q = PredictionQuality::compare(&predicted, &actual);
+        precision.add_opt(q.precision());
+        recall.add_opt(q.recall());
+        f1.add_opt(q.f1());
+    }
+    writeln!(
+        out,
+        "schedule prediction: {history_days}-day history vs days {history_days}..{span}, \
+         threshold {threshold}, {session}s sessions"
+    )?;
+    writeln!(out, "precision: {precision}")?;
+    writeln!(out, "recall:    {recall}")?;
+    writeln!(out, "F1:        {f1}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(tokens: &[&str]) -> Result<String, CliError> {
+        let args = Args::parse(tokens.iter().map(|s| s.to_string()));
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf-8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_capture(&["help"]).unwrap();
+        assert!(text.contains("USAGE"));
+        let empty = run_capture(&[]).unwrap();
+        assert!(empty.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run_capture(&["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn stats_on_small_synthetic() {
+        let text = run_capture(&["stats", "--users", "120", "--seed", "1"]).unwrap();
+        assert!(text.contains("users:              120"), "{text}");
+        let tw = run_capture(&["stats", "--users", "120", "--dataset", "twitter"]).unwrap();
+        assert!(tw.contains("twitter-like"));
+    }
+
+    #[test]
+    fn stats_rejects_unknown_family() {
+        let err = run_capture(&["stats", "--dataset", "myspace"]).unwrap_err();
+        assert!(err.to_string().contains("myspace"));
+    }
+
+    #[test]
+    fn degree_sweep_plot_and_csv() {
+        let base = [
+            "sweep", "degree", "--users", "200", "--degree", "4", "--repetitions", "1",
+            "--policies", "maxav",
+        ];
+        let plot = run_capture(&base).unwrap();
+        assert!(plot.contains("# replication_degree — availability"));
+        let mut with_csv = base.to_vec();
+        with_csv.push("--csv");
+        let csv = run_capture(&with_csv).unwrap();
+        assert!(csv.contains("replication_degree,policy,metric"));
+        let mut with_json = base.to_vec();
+        with_json.push("--json");
+        let json = run_capture(&with_json).unwrap();
+        assert!(json.contains("\"x_label\":\"replication_degree\""));
+    }
+
+    #[test]
+    fn session_sweep_runs() {
+        let text = run_capture(&[
+            "sweep", "session", "--users", "200", "--degree", "4", "--budget", "2",
+            "--lengths", "600,3600", "--repetitions", "1", "--policies", "random",
+        ])
+        .unwrap();
+        assert!(text.contains("session_length_s"));
+    }
+
+    #[test]
+    fn user_degree_sweep_runs() {
+        let text = run_capture(&[
+            "sweep", "user-degree", "--users", "200", "--max-degree", "3",
+            "--repetitions", "1", "--policies", "maxav", "--unconrep",
+        ])
+        .unwrap();
+        assert!(text.contains("user_degree"));
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_kind_and_policy() {
+        assert!(run_capture(&["sweep", "banana"]).is_err());
+        assert!(run_capture(&["sweep", "degree", "--policies", "bogus"]).is_err());
+        assert!(run_capture(&["sweep", "degree", "--model", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn replay_runs_and_validates_user() {
+        let text = run_capture(&["replay", "--users", "200", "--budget", "3"]).unwrap();
+        assert!(text.contains("update injected") || text.contains("nothing to propagate"));
+        let err = run_capture(&["replay", "--users", "50", "--user", "5000"]).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn system_command_runs() {
+        let text = run_capture(&[
+            "system", "--users", "150", "--budget", "2", "--policies", "maxav",
+        ])
+        .unwrap();
+        assert!(text.contains("== maxav x2 =="));
+        assert!(text.contains("delivered:"));
+    }
+
+    #[test]
+    fn fairness_command_runs() {
+        let text = run_capture(&[
+            "fairness", "--users", "150", "--budget", "3", "--policies", "maxav,random",
+            "--capacity", "4",
+        ])
+        .unwrap();
+        assert!(text.contains("gini"));
+        assert!(text.contains("capped(max 4)"));
+        assert!(text.contains("random"));
+    }
+
+    #[test]
+    fn predict_command_runs_and_validates() {
+        let text = run_capture(&["predict", "--users", "150", "--history-days", "7"]).unwrap();
+        assert!(text.contains("precision:"), "{text}");
+        assert!(text.contains("F1:"));
+        let err = run_capture(&["predict", "--users", "150", "--history-days", "99"]).unwrap_err();
+        assert!(err.to_string().contains("history-days"));
+    }
+
+    #[test]
+    fn model_spec_parsing() {
+        assert_eq!(parse_model("sporadic"), Some(ModelKind::sporadic_default()));
+        assert_eq!(
+            parse_model("sporadic:600"),
+            Some(ModelKind::Sporadic { session_secs: 600 })
+        );
+        assert_eq!(parse_model("fixed:8"), Some(ModelKind::fixed_hours(8)));
+        assert_eq!(parse_model("random"), Some(ModelKind::random_length_default()));
+        assert_eq!(parse_model("fixed"), None);
+        assert_eq!(parse_model("sporadic:x"), None);
+    }
+
+    #[test]
+    fn parsed_dataset_path() {
+        // Uses the repository sample files (tests run from the crate
+        // dir, so go up two levels).
+        let text = run_capture(&[
+            "stats",
+            "--edges",
+            "../../data/sample_facebook.edges",
+            "--activities",
+            "../../data/sample_facebook.activities",
+        ])
+        .unwrap();
+        assert!(text.contains("users:              12"), "{text}");
+        let err = run_capture(&["stats", "--edges", "nope.edges"]).unwrap_err();
+        assert!(err.to_string().contains("--activities"));
+    }
+}

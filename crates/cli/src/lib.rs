@@ -1,0 +1,78 @@
+//! Command-line interface to the `dosn` study.
+//!
+//! The binary is `dosn`; run `dosn help` for usage. Commands:
+//!
+//! * `dosn stats` — dataset statistics (synthetic or parsed from files).
+//! * `dosn sweep degree|session|user-degree` — the paper's three sweeps,
+//!   printed as plot blocks or CSV.
+//! * `dosn replay` — propagate one update through a user's replica set
+//!   and print per-replica arrival times.
+//!
+//! The library portion exists so the argument parsing and command logic
+//! are unit-testable; `main` is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod args;
+mod commands;
+pub mod plot;
+
+pub use commands::{run, CliError};
+
+/// The usage text `dosn help` prints.
+pub const USAGE: &str = "\
+dosn — decentralized OSN replica-placement study
+
+USAGE:
+    dosn <COMMAND> [OPTIONS]
+
+COMMANDS:
+    stats         print dataset statistics
+    sweep         run a metric sweep (degree | session | user-degree)
+    replay        replay one update through a user's replica set
+    predict       schedule-prediction quality from trace history
+    system        full-system trace replay (delivery, staleness, overhead)
+    fairness      system-wide hosting-load distribution per policy
+    help          show this message
+
+DATASET OPTIONS (all commands):
+    --dataset facebook|twitter   synthetic dataset family [default: facebook]
+    --users N                    synthetic dataset size  [default: 2000]
+    --seed N                     RNG seed                [default: 42]
+    --edges FILE                 parse a real edge list instead
+    --activities FILE            parse a real activity list instead
+    --directed                   parsed edges are follows, not friendships
+
+SWEEP OPTIONS:
+    sweep degree       --degree K       sweep replication degree 0..=K over degree-K users
+    sweep session      --budget K --lengths 100,1000,10000
+    sweep user-degree  --max-degree D
+    --model sporadic|sporadic:SECS|fixed:HOURS|random   [default: sporadic]
+    --policies maxav,most-active,random                 [default: all three]
+    --unconrep                   lift the ConRep connectivity constraint
+    --repetitions N              repetitions for randomized components [default: 5]
+    --csv                        print the full CSV instead of plot blocks
+    --json                       print the table as a JSON document
+    --plot                       render ASCII charts in the terminal
+
+REPLAY / SYSTEM / FAIRNESS OPTIONS:
+    --user N                     dense user id [default: highest-degree user]
+    --budget K                   replication budget [default: 4]
+    --capacity C                 fairness: also show a load-capped placement
+
+PREDICT OPTIONS:
+    --history-days D             train on days 0..D [default: half the trace]
+    --threshold F                slot recurrence fraction [default: 0.25]
+    --session SECS               assumed session length [default: 1200]
+";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn usage_mentions_every_command() {
+        for cmd in ["stats", "sweep", "replay", "system", "fairness", "predict", "help"] {
+            assert!(crate::USAGE.contains(cmd), "usage must mention {cmd}");
+        }
+    }
+}

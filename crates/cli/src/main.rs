@@ -1,0 +1,19 @@
+use std::process::ExitCode;
+
+use dosn_cli::{args::Args, run};
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let mut stdout = std::io::stdout().lock();
+    match run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        // A closed pipe (e.g. `dosn ... | head`) is not an error.
+        Err(dosn_cli::CliError::Io(e)) if e.kind() == std::io::ErrorKind::BrokenPipe => {
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

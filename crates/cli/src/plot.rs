@@ -1,0 +1,172 @@
+//! Dependency-free ASCII charts for sweep tables, so `dosn sweep
+//! --plot` shows the paper's curves right in the terminal.
+
+use dosn_core::{MetricKind, SweepTable};
+
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders one metric of a sweep table as an ASCII line chart with one
+/// glyph per policy and a legend.
+///
+/// Returns a note instead of a chart when the table holds no data for
+/// the metric.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_cli::plot::render_chart;
+/// use dosn_core::{sweep, MetricKind, ModelKind, PolicyKind, StudyConfig};
+/// use dosn_trace::synth;
+///
+/// let ds = synth::facebook_like(150, 1).expect("generation succeeds");
+/// let users = ds.users_with_degree(4);
+/// let table = sweep::degree_sweep(
+///     &ds,
+///     ModelKind::sporadic_default(),
+///     &[PolicyKind::MaxAv],
+///     &users,
+///     4,
+///     &StudyConfig::default().with_repetitions(1),
+/// );
+/// let chart = render_chart(&table, MetricKind::Availability, 40, 10);
+/// assert!(chart.contains("maxav"));
+/// ```
+pub fn render_chart(table: &SweepTable, metric: MetricKind, width: usize, height: usize) -> String {
+    let width = width.clamp(16, 200);
+    let height = height.clamp(4, 60);
+    let policies = table.policies();
+    let series: Vec<(&str, Vec<(f64, f64)>)> = policies
+        .iter()
+        .map(|&p| (p, table.series(p, metric)))
+        .filter(|(_, s)| !s.is_empty())
+        .collect();
+    if series.is_empty() {
+        return format!("(no data for {})\n", metric.column());
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, s) in &series {
+        for &(x, y) in s {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+        y_min -= 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in s {
+            let col = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let row = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row;
+            grid[row][col.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = format!("{} vs {}\n", metric.column(), table.x_label());
+    for (r, line) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_max:>9.3}")
+        } else if r == height - 1 {
+            format!("{y_min:>9.3}")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&label);
+        out.push_str(" |");
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push_str(" +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    // X-axis labels: min under the left edge, max under the right.
+    let left = format!("{x_min:.0}");
+    let right = format!("{x_max:.0}");
+    let pad = width.saturating_sub(left.len() + right.len()).max(1);
+    out.push_str(&format!(
+        "{}{}{}{}\n",
+        " ".repeat(11),
+        left,
+        " ".repeat(pad),
+        right
+    ));
+    out.push_str("  legend:");
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!(" {}={}", GLYPHS[si % GLYPHS.len()], name));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_core::{sweep, ModelKind, PolicyKind, StudyConfig};
+    use dosn_trace::synth;
+
+    fn table() -> SweepTable {
+        let ds = synth::facebook_like(200, 1).unwrap();
+        let users = ds.users_with_degree(5);
+        sweep::degree_sweep(
+            &ds,
+            ModelKind::sporadic_default(),
+            &[PolicyKind::MaxAv, PolicyKind::Random],
+            &users,
+            5,
+            &StudyConfig::default().with_repetitions(1).with_threads(Some(1)),
+        )
+    }
+
+    #[test]
+    fn chart_contains_series_and_legend() {
+        let chart = render_chart(&table(), MetricKind::Availability, 40, 12);
+        assert!(chart.contains("availability vs replication_degree"));
+        assert!(chart.contains("*=maxav"));
+        assert!(chart.contains("o=random"));
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        // Axis frame present.
+        assert!(chart.contains(" +"));
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines.len() >= 12 + 3);
+    }
+
+    #[test]
+    fn empty_metric_yields_note() {
+        let ds = synth::facebook_like(100, 1).unwrap();
+        let t = sweep::degree_sweep(
+            &ds,
+            ModelKind::sporadic_default(),
+            &[PolicyKind::MaxAv],
+            &[],
+            3,
+            &StudyConfig::default().with_repetitions(1),
+        );
+        let chart = render_chart(&t, MetricKind::Availability, 40, 10);
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn dimensions_are_clamped() {
+        let chart = render_chart(&table(), MetricKind::Availability, 1, 1);
+        // Clamped to at least 16 x 4.
+        let plot_rows = chart.lines().filter(|l| l.contains('|')).count();
+        assert!(plot_rows >= 4);
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        // ReplicasUsed at degree 0..0 is constant; just ensure no panic.
+        let chart = render_chart(&table(), MetricKind::ReplicasUsed, 30, 8);
+        assert!(chart.contains("replicas_used"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Eventual consistency for replicated OSN profiles.
+//!
+//! The paper requires that "all the updates should be communicated
+//! across all the replicas with certain guarantee on data consistency"
+//! and judges eventual consistency adequate (Section II-B1), but builds
+//! no machinery for it. This crate supplies that machinery:
+//!
+//! * [`VersionVector`] — per-writer counters with the usual partial
+//!   order and least-upper-bound merge.
+//! * [`ProfileUpdate`] / [`ReplicaState`] — an append-only wall-post log
+//!   replicated by idempotent, commutative **anti-entropy**
+//!   ([`ReplicaState::sync_with`]): two replicas exchange exactly the
+//!   updates the other's version vector is missing.
+//! * [`LwwRegister`] — last-writer-wins registers (with a deterministic
+//!   concurrent-write tiebreak) for the profile's mutable fields.
+//! * [`ConvergenceSim`] — replays the co-online windows of a replica
+//!   set's daily schedules over multiple days, syncing on contact, and
+//!   reports when every replica converged — the consistency-layer view
+//!   of the paper's update propagation delay.
+//!
+//! # Examples
+//!
+//! ```
+//! use dosn_consistency::{ProfileUpdate, ReplicaState};
+//! use dosn_interval::Timestamp;
+//! use dosn_socialgraph::UserId;
+//!
+//! let mut a = ReplicaState::new(UserId::new(1));
+//! let mut b = ReplicaState::new(UserId::new(2));
+//! a.append(ProfileUpdate::new(UserId::new(1), 1, Timestamp::new(10), "post"));
+//! let exchanged = a.sync_with(&mut b);
+//! assert_eq!(exchanged, 1);
+//! assert_eq!(a.wall(), b.wall());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod lww;
+mod replica;
+mod sim;
+mod update;
+mod version;
+
+pub use lww::LwwRegister;
+pub use replica::ReplicaState;
+pub use sim::{ConvergenceReport, ConvergenceSim};
+pub use update::{ProfileUpdate, UpdateId};
+pub use version::{VectorOrdering, VersionVector};

@@ -1,0 +1,121 @@
+use dosn_interval::Timestamp;
+use dosn_socialgraph::UserId;
+
+/// A last-writer-wins register for mutable profile fields (display
+/// name, avatar, privacy settings).
+///
+/// Writes are totally ordered by `(timestamp, writer)`: concurrent
+/// writes at the same instant resolve deterministically toward the
+/// higher writer id, so every replica converges to the same value no
+/// matter the merge order.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_consistency::LwwRegister;
+/// use dosn_interval::Timestamp;
+/// use dosn_socialgraph::UserId;
+///
+/// let mut a = LwwRegister::new("alice");
+/// let mut b = a.clone();
+/// a.write("Alice B.", Timestamp::new(10), UserId::new(1));
+/// b.write("Alice!", Timestamp::new(20), UserId::new(2));
+/// a.merge(&b);
+/// assert_eq!(*a.value(), "Alice!");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LwwRegister<T> {
+    value: T,
+    written: Timestamp,
+    writer: UserId,
+}
+
+impl<T: Clone> LwwRegister<T> {
+    /// A register with an initial value (epoch write by the zero
+    /// writer).
+    pub fn new(initial: T) -> Self {
+        LwwRegister {
+            value: initial,
+            written: Timestamp::new(0),
+            writer: UserId::new(0),
+        }
+    }
+
+    /// The current value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// When and by whom the current value was written.
+    pub fn provenance(&self) -> (Timestamp, UserId) {
+        (self.written, self.writer)
+    }
+
+    /// Applies a local write. Returns whether the register changed
+    /// (an older or tied-and-lower write loses).
+    pub fn write(&mut self, value: T, at: Timestamp, by: UserId) -> bool {
+        if (at, by) > (self.written, self.writer) {
+            self.value = value;
+            self.written = at;
+            self.writer = by;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Merges a remote register state (idempotent, commutative,
+    /// associative).
+    pub fn merge(&mut self, other: &LwwRegister<T>) -> bool {
+        self.write(other.value.clone(), other.written, other.writer)
+    }
+}
+
+impl<T: Clone + Default> Default for LwwRegister<T> {
+    fn default() -> Self {
+        LwwRegister::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn later_write_wins() {
+        let mut r = LwwRegister::new(0);
+        assert!(r.write(1, Timestamp::new(10), UserId::new(1)));
+        assert!(!r.write(2, Timestamp::new(5), UserId::new(2)));
+        assert_eq!(*r.value(), 1);
+        assert_eq!(r.provenance(), (Timestamp::new(10), UserId::new(1)));
+    }
+
+    #[test]
+    fn concurrent_writes_tiebreak_by_writer() {
+        let mut a = LwwRegister::new("x");
+        let mut b = a.clone();
+        a.write("from-1", Timestamp::new(10), UserId::new(1));
+        b.write("from-2", Timestamp::new(10), UserId::new(2));
+        let mut a2 = a.clone();
+        a2.merge(&b);
+        let mut b2 = b.clone();
+        b2.merge(&a);
+        assert_eq!(a2, b2, "merge order must not matter");
+        assert_eq!(*a2.value(), "from-2");
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = LwwRegister::new(1);
+        a.write(5, Timestamp::new(3), UserId::new(4));
+        let snapshot = a.clone();
+        assert!(!a.merge(&snapshot));
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn default_register() {
+        let r: LwwRegister<u32> = LwwRegister::default();
+        assert_eq!(*r.value(), 0);
+    }
+}

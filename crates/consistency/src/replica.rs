@@ -1,0 +1,213 @@
+use std::collections::BTreeMap;
+
+use dosn_socialgraph::UserId;
+
+use crate::update::{ProfileUpdate, UpdateId};
+use crate::version::VersionVector;
+
+/// The replicated state one host keeps for one user's profile: the
+/// grow-only update log plus its version-vector summary.
+///
+/// Anti-entropy ([`ReplicaState::sync_with`]) is idempotent and
+/// commutative: any sequence of pairwise syncs that eventually connects
+/// all replicas converges them to the same state, regardless of order —
+/// the eventual-consistency guarantee the paper asks of a decentralized
+/// OSN.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_consistency::{ProfileUpdate, ReplicaState};
+/// use dosn_interval::Timestamp;
+/// use dosn_socialgraph::UserId;
+///
+/// let mut host = ReplicaState::new(UserId::new(9));
+/// host.append(ProfileUpdate::new(UserId::new(9), 1, Timestamp::new(0), "first"));
+/// assert_eq!(host.wall().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaState {
+    host: UserId,
+    /// Updates keyed by identity; BTreeMap keeps iteration stable.
+    updates: BTreeMap<UpdateId, ProfileUpdate>,
+    version: VersionVector,
+}
+
+impl ReplicaState {
+    /// An empty replica hosted by `host`.
+    pub fn new(host: UserId) -> Self {
+        ReplicaState {
+            host,
+            updates: BTreeMap::new(),
+            version: VersionVector::new(),
+        }
+    }
+
+    /// The hosting node.
+    pub fn host(&self) -> UserId {
+        self.host
+    }
+
+    /// The version-vector summary of everything this replica has.
+    pub fn version(&self) -> &VersionVector {
+        &self.version
+    }
+
+    /// Number of updates held.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Appends an update (local write or remote delivery). Duplicate
+    /// deliveries are ignored, making the operation idempotent.
+    ///
+    /// Returns whether the update was new.
+    pub fn append(&mut self, update: ProfileUpdate) -> bool {
+        let id = update.id();
+        if self.updates.contains_key(&id) {
+            return false;
+        }
+        self.version.record(id.writer, id.seq);
+        self.updates.insert(id, update);
+        true
+    }
+
+    /// Whether this replica already holds `(writer, seq)`.
+    pub fn holds(&self, id: UpdateId) -> bool {
+        self.updates.contains_key(&id)
+    }
+
+    /// The updates the peer (summarized by `remote`) is missing.
+    ///
+    /// Uses the per-writer counters, so it is exact for gap-free
+    /// per-writer histories — which local writes guarantee by
+    /// construction.
+    pub fn missing_for(&self, remote: &VersionVector) -> Vec<ProfileUpdate> {
+        self.updates
+            .values()
+            .filter(|u| !remote.covers(u.id().writer, u.id().seq))
+            .cloned()
+            .collect()
+    }
+
+    /// Bidirectional anti-entropy with another replica of the same
+    /// profile: each side delivers what the other is missing. Returns
+    /// the number of updates exchanged. Afterwards both replicas hold
+    /// identical logs.
+    pub fn sync_with(&mut self, other: &mut ReplicaState) -> usize {
+        let to_other = self.missing_for(other.version());
+        let to_self = other.missing_for(self.version());
+        let exchanged = to_other.len() + to_self.len();
+        for u in to_other {
+            other.append(u);
+        }
+        for u in to_self {
+            self.append(u);
+        }
+        exchanged
+    }
+
+    /// The materialized wall: all updates in deterministic display order
+    /// (creation time, writer, sequence).
+    pub fn wall(&self) -> Vec<&ProfileUpdate> {
+        let mut wall: Vec<&ProfileUpdate> = self.updates.values().collect();
+        wall.sort_by_key(|u| u.wall_key());
+        wall
+    }
+
+    /// Whether two replicas hold exactly the same state.
+    pub fn converged_with(&self, other: &ReplicaState) -> bool {
+        self.updates == other.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::Timestamp;
+
+    fn update(writer: u32, seq: u64, t: u64) -> ProfileUpdate {
+        ProfileUpdate::new(UserId::new(writer), seq, Timestamp::new(t), format!("{writer}/{seq}"))
+    }
+
+    #[test]
+    fn append_is_idempotent() {
+        let mut r = ReplicaState::new(UserId::new(1));
+        assert!(r.append(update(1, 1, 10)));
+        assert!(!r.append(update(1, 1, 10)));
+        assert_eq!(r.len(), 1);
+        assert!(r.holds(UpdateId { writer: UserId::new(1), seq: 1 }));
+    }
+
+    #[test]
+    fn sync_exchanges_exactly_the_difference() {
+        let mut a = ReplicaState::new(UserId::new(1));
+        let mut b = ReplicaState::new(UserId::new(2));
+        a.append(update(1, 1, 10));
+        a.append(update(1, 2, 20));
+        b.append(update(2, 1, 15));
+        let exchanged = a.sync_with(&mut b);
+        assert_eq!(exchanged, 3);
+        assert!(a.converged_with(&b));
+        // Re-sync exchanges nothing.
+        assert_eq!(a.sync_with(&mut b), 0);
+    }
+
+    #[test]
+    fn sync_is_commutative_in_outcome() {
+        let build = || {
+            let mut a = ReplicaState::new(UserId::new(1));
+            let mut b = ReplicaState::new(UserId::new(2));
+            let mut c = ReplicaState::new(UserId::new(3));
+            a.append(update(1, 1, 10));
+            b.append(update(2, 1, 5));
+            c.append(update(3, 1, 7));
+            (a, b, c)
+        };
+        // Order 1: a-b, b-c, a-b.
+        let (mut a1, mut b1, mut c1) = build();
+        a1.sync_with(&mut b1);
+        b1.sync_with(&mut c1);
+        a1.sync_with(&mut b1);
+        // Order 2: b-c, a-c, a-b.
+        let (mut a2, mut b2, mut c2) = build();
+        b2.sync_with(&mut c2);
+        a2.sync_with(&mut c2);
+        a2.sync_with(&mut b2);
+        assert!(a1.converged_with(&a2));
+        assert!(b1.converged_with(&b2));
+        assert!(c1.converged_with(&c2));
+        assert!(a1.converged_with(&b1) && b1.converged_with(&c1));
+    }
+
+    #[test]
+    fn wall_is_deterministic_across_replicas() {
+        let mut a = ReplicaState::new(UserId::new(1));
+        let mut b = ReplicaState::new(UserId::new(2));
+        a.append(update(1, 1, 30));
+        b.append(update(2, 1, 10));
+        b.append(update(2, 2, 20));
+        a.sync_with(&mut b);
+        let wall_a: Vec<String> = a.wall().iter().map(|u| u.content().to_string()).collect();
+        let wall_b: Vec<String> = b.wall().iter().map(|u| u.content().to_string()).collect();
+        assert_eq!(wall_a, wall_b);
+        assert_eq!(wall_a, vec!["2/1", "2/2", "1/1"]);
+    }
+
+    #[test]
+    fn missing_for_respects_counters() {
+        let mut a = ReplicaState::new(UserId::new(1));
+        a.append(update(1, 1, 1));
+        a.append(update(1, 2, 2));
+        let mut remote = VersionVector::new();
+        remote.record(UserId::new(1), 1);
+        let missing = a.missing_for(&remote);
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].id().seq, 2);
+    }
+}

@@ -1,0 +1,319 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dosn_interval::{DaySchedule, Timestamp, SECONDS_PER_DAY};
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+
+use crate::replica::ReplicaState;
+use crate::update::ProfileUpdate;
+
+/// The outcome of one convergence simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// When each replica (in replica-set order) first held the injected
+    /// update; `None` if it never did within the horizon.
+    pub receipt: Vec<Option<Timestamp>>,
+    /// When the last replica received it — full convergence.
+    pub converged_at: Option<Timestamp>,
+    /// Pairwise anti-entropy rounds executed.
+    pub syncs: usize,
+    /// Total updates exchanged across all rounds.
+    pub exchanged: usize,
+}
+
+impl ConvergenceReport {
+    /// Seconds from injection to full convergence.
+    pub fn convergence_delay_secs(&self, injected: Timestamp) -> Option<u64> {
+        self.converged_at.map(|t| t.seconds_since(injected))
+    }
+}
+
+/// Replays the anti-entropy protocol over a replica set's co-online
+/// windows: whenever two replicas are online together they sync, and an
+/// update injected at one replica spreads epidemically.
+///
+/// This is the consistency layer's view of the paper's update
+/// propagation delay: where the analytic metric bounds the worst case on
+/// the time-connectivity graph, the simulator executes the actual
+/// version-vector protocol and reports when state really converged.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_consistency::ConvergenceSim;
+/// use dosn_interval::{DaySchedule, Timestamp};
+/// use dosn_onlinetime::OnlineSchedules;
+/// use dosn_socialgraph::UserId;
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let schedules = OnlineSchedules::new(vec![
+///     DaySchedule::window_wrapping(0, 7_200)?,
+///     DaySchedule::window_wrapping(3_600, 7_200)?,
+/// ]);
+/// let sim = ConvergenceSim::new(vec![UserId::new(0), UserId::new(1)], &schedules, 3);
+/// let report = sim.inject_and_run(0, Timestamp::new(0), "post");
+/// assert_eq!(report.convergence_delay_secs(Timestamp::new(0)), Some(3_600));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvergenceSim {
+    replicas: Vec<UserId>,
+    /// Pairwise co-online schedules, row-major upper use.
+    co_online: Vec<Option<DaySchedule>>,
+    horizon_days: u64,
+    schedules_snapshot: Vec<DaySchedule>,
+}
+
+impl ConvergenceSim {
+    /// Builds a simulator for `replicas` over `horizon_days` days.
+    pub fn new(replicas: Vec<UserId>, schedules: &OnlineSchedules, horizon_days: u64) -> Self {
+        let n = replicas.len();
+        let mut co_online = vec![None; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let inter = schedules[replicas[i]].intersection(&schedules[replicas[j]]);
+                let inter = (!inter.is_empty()).then_some(inter);
+                co_online[i * n + j].clone_from(&inter);
+                co_online[j * n + i] = inter;
+            }
+        }
+        ConvergenceSim {
+            schedules_snapshot: replicas.iter().map(|&r| schedules[r].clone()).collect(),
+            replicas,
+            co_online,
+            horizon_days: horizon_days.max(1),
+        }
+    }
+
+    /// The replica set.
+    pub fn replicas(&self) -> &[UserId] {
+        &self.replicas
+    }
+
+    fn pair(&self, i: usize, j: usize) -> Option<&DaySchedule> {
+        self.co_online[i * self.replicas.len() + j].as_ref()
+    }
+
+    /// Injects `content` as an update authored by the origin replica's
+    /// host at `start`, then replays syncs until convergence or the
+    /// horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin_index` is out of range.
+    pub fn inject_and_run(
+        &self,
+        origin_index: usize,
+        start: Timestamp,
+        content: &str,
+    ) -> ConvergenceReport {
+        assert!(origin_index < self.replicas.len(), "origin out of range");
+        let n = self.replicas.len();
+        let mut states: Vec<ReplicaState> =
+            self.replicas.iter().map(|&r| ReplicaState::new(r)).collect();
+        let update = ProfileUpdate::new(self.replicas[origin_index], 1, start, content);
+        let update_id = update.id();
+        states[origin_index].append(update);
+
+        let mut receipt: Vec<Option<Timestamp>> = vec![None; n];
+        receipt[origin_index] = Some(start);
+
+        // Event queue: co-online window starts within the horizon, plus
+        // the injection instant for every pair co-online right then.
+        let mut queue: BinaryHeap<Reverse<(Timestamp, usize, usize)>> = BinaryHeap::new();
+        let first_day = start.day_index();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let Some(windows) = self.pair(i, j) else { continue };
+                for day in first_day..first_day + self.horizon_days {
+                    for w in windows.windows() {
+                        let t = Timestamp::from_day_and_offset(day, w.start());
+                        if t >= start {
+                            queue.push(Reverse((t, i, j)));
+                        }
+                    }
+                }
+                if windows.contains(start.time_of_day()) {
+                    queue.push(Reverse((start, i, j)));
+                }
+            }
+        }
+
+        let mut syncs = 0usize;
+        let mut exchanged = 0usize;
+        while let Some(Reverse((t, i, j))) = queue.pop() {
+            let (lo, hi) = (i.min(j), i.max(j));
+            let (head, tail) = states.split_at_mut(hi);
+            let moved = head[lo].sync_with(&mut tail[0]);
+            syncs += 1;
+            exchanged += moved;
+            if moved > 0 {
+                for &r in &[lo, hi] {
+                    if receipt[r].is_none() && states[r].holds(update_id) {
+                        receipt[r] = Some(t);
+                        // Immediate relay: any pair with r currently
+                        // co-online syncs at this same instant.
+                        for other in 0..n {
+                            if other != r {
+                                if let Some(w) = self.pair(r, other) {
+                                    if w.contains(t.time_of_day()) {
+                                        queue.push(Reverse((t, r, other)));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if receipt.iter().all(Option::is_some) {
+                break;
+            }
+        }
+
+        let converged_at = receipt
+            .iter()
+            .copied()
+            .collect::<Option<Vec<Timestamp>>>()
+            .and_then(|ts| ts.into_iter().max());
+        ConvergenceReport {
+            receipt,
+            converged_at,
+            syncs,
+            exchanged,
+        }
+    }
+
+    /// Seconds each replica is online per day (diagnostic of the
+    /// snapshot the simulator took).
+    pub fn online_seconds(&self) -> Vec<u32> {
+        self.schedules_snapshot
+            .iter()
+            .map(DaySchedule::online_seconds)
+            .collect()
+    }
+
+    /// The simulation horizon in days.
+    pub fn horizon_days(&self) -> u64 {
+        self.horizon_days
+    }
+
+    /// Upper bound on how late a receipt can be within the horizon.
+    pub fn horizon_end(&self, start: Timestamp) -> Timestamp {
+        Timestamp::from_day_and_offset(start.day_index() + self.horizon_days, 0)
+            .saturating_add(u64::from(SECONDS_PER_DAY))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::SECONDS_PER_HOUR;
+
+    fn schedules(windows: &[&[(u32, u32)]]) -> OnlineSchedules {
+        OnlineSchedules::new(
+            windows
+                .iter()
+                .map(|sessions| {
+                    let mut s = DaySchedule::new();
+                    for &(start, len) in *sessions {
+                        s.insert_wrapping(start, len).unwrap();
+                    }
+                    s
+                })
+                .collect(),
+        )
+    }
+
+    fn ids(n: u32) -> Vec<UserId> {
+        (0..n).map(UserId::new).collect()
+    }
+
+    #[test]
+    fn two_replica_convergence() {
+        let h = SECONDS_PER_HOUR;
+        let s = schedules(&[&[(0, 2 * h)], &[(h, 2 * h)]]);
+        let sim = ConvergenceSim::new(ids(2), &s, 2);
+        let report = sim.inject_and_run(0, Timestamp::new(0), "x");
+        assert_eq!(report.convergence_delay_secs(Timestamp::new(0)), Some(u64::from(h)));
+        assert_eq!(report.receipt[0], Some(Timestamp::new(0)));
+        assert!(report.exchanged >= 1);
+    }
+
+    #[test]
+    fn injection_during_co_online_window_is_instant() {
+        let s = schedules(&[&[(0, 1_000)], &[(0, 1_000)]]);
+        let sim = ConvergenceSim::new(ids(2), &s, 2);
+        let start = Timestamp::new(500);
+        let report = sim.inject_and_run(0, start, "x");
+        assert_eq!(report.convergence_delay_secs(start), Some(0));
+    }
+
+    #[test]
+    fn chain_relays_across_windows() {
+        let h = SECONDS_PER_HOUR;
+        // 0 meets 1 at [2h, 3h); 1 meets 2 at [5h, 6h). Same day.
+        let s = schedules(&[
+            &[(0, 3 * h)],
+            &[(2 * h, 4 * h)],
+            &[(5 * h, 2 * h)],
+        ]);
+        let sim = ConvergenceSim::new(ids(3), &s, 2);
+        let report = sim.inject_and_run(0, Timestamp::new(0), "x");
+        assert_eq!(report.receipt[1], Some(Timestamp::from_day_and_offset(0, 2 * h)));
+        assert_eq!(report.receipt[2], Some(Timestamp::from_day_and_offset(0, 5 * h)));
+    }
+
+    #[test]
+    fn same_instant_relay_through_shared_window() {
+        let h = SECONDS_PER_HOUR;
+        // 1 is co-online with both 0 and 2 at [2h, 3h); 0 and 2 never
+        // overlap directly. The relay happens within the same window.
+        let s = schedules(&[
+            &[(2 * h, h)],
+            &[(2 * h, h)],
+            &[(2 * h, h)],
+        ]);
+        let sim = ConvergenceSim::new(ids(3), &s, 2);
+        let report = sim.inject_and_run(0, Timestamp::from_day_and_offset(0, 2 * h), "x");
+        assert_eq!(
+            report.convergence_delay_secs(Timestamp::from_day_and_offset(0, 2 * h)),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn disconnected_replica_never_converges() {
+        let s = schedules(&[&[(0, 100)], &[(50_000, 100)]]);
+        let sim = ConvergenceSim::new(ids(2), &s, 3);
+        let report = sim.inject_and_run(0, Timestamp::new(0), "x");
+        assert_eq!(report.receipt[1], None);
+        assert_eq!(report.converged_at, None);
+    }
+
+    #[test]
+    fn converges_on_a_later_day_when_needed() {
+        let h = SECONDS_PER_HOUR;
+        // Windows overlap daily at [23h, 24h) ∩ [23.5h, 24h).
+        let s = schedules(&[&[(23 * h, h)], &[(23 * h + 1_800, 1_800)]]);
+        let sim = ConvergenceSim::new(ids(2), &s, 3);
+        // Inject just after today's overlap ended.
+        let start = Timestamp::from_day_and_offset(0, 0);
+        let report = sim.inject_and_run(0, start, "x");
+        assert_eq!(
+            report.receipt[1],
+            Some(Timestamp::from_day_and_offset(0, 23 * h + 1_800))
+        );
+    }
+
+    #[test]
+    fn horizon_accessors() {
+        let s = schedules(&[&[(0, 100)]]);
+        let sim = ConvergenceSim::new(ids(1), &s, 0);
+        assert_eq!(sim.horizon_days(), 1, "clamped to at least a day");
+        assert_eq!(sim.online_seconds(), vec![100]);
+        assert!(sim.horizon_end(Timestamp::new(0)).as_secs() >= u64::from(SECONDS_PER_DAY));
+        assert_eq!(sim.replicas().len(), 1);
+    }
+}

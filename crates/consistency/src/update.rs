@@ -1,0 +1,94 @@
+use dosn_interval::Timestamp;
+use dosn_socialgraph::UserId;
+
+/// Globally unique identity of one profile update: the writer plus their
+/// per-writer sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UpdateId {
+    /// The update's author.
+    pub writer: UserId,
+    /// 1-based per-writer sequence number.
+    pub seq: u64,
+}
+
+/// One append-only profile update (a wall post, a status change).
+///
+/// Updates are immutable once created; replication is a grow-only set of
+/// them, which is what makes anti-entropy commutative and idempotent.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_consistency::ProfileUpdate;
+/// use dosn_interval::Timestamp;
+/// use dosn_socialgraph::UserId;
+///
+/// let u = ProfileUpdate::new(UserId::new(3), 1, Timestamp::new(60), "hello wall");
+/// assert_eq!(u.id().seq, 1);
+/// assert_eq!(u.content(), "hello wall");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProfileUpdate {
+    id: UpdateId,
+    created: Timestamp,
+    content: String,
+}
+
+impl ProfileUpdate {
+    /// Creates an update by `writer` with their sequence number `seq`.
+    pub fn new(
+        writer: UserId,
+        seq: u64,
+        created: Timestamp,
+        content: impl Into<String>,
+    ) -> Self {
+        ProfileUpdate {
+            id: UpdateId { writer, seq },
+            created,
+            content: content.into(),
+        }
+    }
+
+    /// The unique identity.
+    pub fn id(&self) -> UpdateId {
+        self.id
+    }
+
+    /// Creation time.
+    pub fn created(&self) -> Timestamp {
+        self.created
+    }
+
+    /// The payload.
+    pub fn content(&self) -> &str {
+        &self.content
+    }
+
+    /// Display ordering on a wall: creation time, then writer, then
+    /// sequence — total and deterministic across replicas.
+    pub fn wall_key(&self) -> (Timestamp, UserId, u64) {
+        (self.created, self.id.writer, self.id.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_key_orders_deterministically() {
+        let a = ProfileUpdate::new(UserId::new(2), 1, Timestamp::new(5), "a");
+        let b = ProfileUpdate::new(UserId::new(1), 1, Timestamp::new(5), "b");
+        let c = ProfileUpdate::new(UserId::new(1), 2, Timestamp::new(4), "c");
+        let mut wall = vec![a.clone(), b.clone(), c.clone()];
+        wall.sort_by_key(ProfileUpdate::wall_key);
+        assert_eq!(wall, vec![c, b, a]);
+    }
+
+    #[test]
+    fn accessors() {
+        let u = ProfileUpdate::new(UserId::new(1), 7, Timestamp::new(9), "x");
+        assert_eq!(u.id(), UpdateId { writer: UserId::new(1), seq: 7 });
+        assert_eq!(u.created(), Timestamp::new(9));
+    }
+}

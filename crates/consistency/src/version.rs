@@ -1,0 +1,177 @@
+use std::collections::BTreeMap;
+
+use dosn_socialgraph::UserId;
+
+/// How two version vectors relate under the causal partial order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VectorOrdering {
+    /// Identical vectors.
+    Equal,
+    /// `self` causally precedes the other.
+    Before,
+    /// `self` causally follows the other.
+    After,
+    /// Neither dominates: concurrent histories.
+    Concurrent,
+}
+
+/// A version vector: one monotonic counter per writer.
+///
+/// The summary a replica keeps of which updates it has seen; two
+/// replicas syncing exchange exactly the updates the other's vector
+/// lacks.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_consistency::{VectorOrdering, VersionVector};
+/// use dosn_socialgraph::UserId;
+///
+/// let mut a = VersionVector::new();
+/// a.record(UserId::new(1), 1);
+/// let mut b = a.clone();
+/// b.record(UserId::new(2), 1);
+/// assert_eq!(a.compare(&b), VectorOrdering::Before);
+/// a.merge(&b);
+/// assert_eq!(a.compare(&b), VectorOrdering::Equal);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VersionVector {
+    counters: BTreeMap<UserId, u64>,
+}
+
+impl VersionVector {
+    /// The empty vector (no updates seen).
+    pub fn new() -> Self {
+        VersionVector::default()
+    }
+
+    /// The counter for one writer (zero when unseen).
+    pub fn get(&self, writer: UserId) -> u64 {
+        self.counters.get(&writer).copied().unwrap_or(0)
+    }
+
+    /// Records having seen `writer`'s update number `seq`.
+    ///
+    /// Counters only move forward; recording an older sequence is a
+    /// no-op, which makes delivery idempotent.
+    pub fn record(&mut self, writer: UserId, seq: u64) {
+        let entry = self.counters.entry(writer).or_insert(0);
+        *entry = (*entry).max(seq);
+    }
+
+    /// Whether an update `(writer, seq)` is already covered.
+    pub fn covers(&self, writer: UserId, seq: u64) -> bool {
+        self.get(writer) >= seq
+    }
+
+    /// Least upper bound: after `merge`, `self` covers everything either
+    /// vector covered.
+    pub fn merge(&mut self, other: &VersionVector) {
+        for (&writer, &seq) in &other.counters {
+            self.record(writer, seq);
+        }
+    }
+
+    /// Compares under the causal partial order.
+    pub fn compare(&self, other: &VersionVector) -> VectorOrdering {
+        let mut less = false;
+        let mut greater = false;
+        let writers = self.counters.keys().chain(other.counters.keys());
+        for &w in writers {
+            let (a, b) = (self.get(w), other.get(w));
+            if a < b {
+                less = true;
+            }
+            if a > b {
+                greater = true;
+            }
+        }
+        match (less, greater) {
+            (false, false) => VectorOrdering::Equal,
+            (true, false) => VectorOrdering::Before,
+            (false, true) => VectorOrdering::After,
+            (true, true) => VectorOrdering::Concurrent,
+        }
+    }
+
+    /// Total updates covered (sum of counters) — a cheap progress
+    /// measure.
+    pub fn total(&self) -> u64 {
+        self.counters.values().sum()
+    }
+
+    /// Iterates over `(writer, counter)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, u64)> + '_ {
+        self.counters.iter().map(|(&w, &c)| (w, c))
+    }
+}
+
+impl std::fmt::Display for VersionVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<")?;
+        for (i, (w, c)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{w}:{c}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vv(pairs: &[(u32, u64)]) -> VersionVector {
+        let mut v = VersionVector::new();
+        for &(w, s) in pairs {
+            v.record(UserId::new(w), s);
+        }
+        v
+    }
+
+    #[test]
+    fn record_is_monotone() {
+        let mut v = VersionVector::new();
+        v.record(UserId::new(1), 5);
+        v.record(UserId::new(1), 3);
+        assert_eq!(v.get(UserId::new(1)), 5);
+        assert!(v.covers(UserId::new(1), 4));
+        assert!(!v.covers(UserId::new(1), 6));
+        assert!(!v.covers(UserId::new(2), 1));
+    }
+
+    #[test]
+    fn compare_all_cases() {
+        assert_eq!(vv(&[]).compare(&vv(&[])), VectorOrdering::Equal);
+        assert_eq!(vv(&[(1, 1)]).compare(&vv(&[(1, 1)])), VectorOrdering::Equal);
+        assert_eq!(vv(&[(1, 1)]).compare(&vv(&[(1, 2)])), VectorOrdering::Before);
+        assert_eq!(vv(&[(1, 2)]).compare(&vv(&[(1, 1)])), VectorOrdering::After);
+        assert_eq!(
+            vv(&[(1, 1)]).compare(&vv(&[(2, 1)])),
+            VectorOrdering::Concurrent
+        );
+        // Missing writer behaves as zero.
+        assert_eq!(
+            vv(&[(1, 1), (2, 1)]).compare(&vv(&[(1, 1)])),
+            VectorOrdering::After
+        );
+    }
+
+    #[test]
+    fn merge_is_lub() {
+        let mut a = vv(&[(1, 3), (2, 1)]);
+        let b = vv(&[(1, 1), (3, 2)]);
+        a.merge(&b);
+        assert_eq!(a, vv(&[(1, 3), (2, 1), (3, 2)]));
+        assert_eq!(a.total(), 6);
+    }
+
+    #[test]
+    fn display_lists_writers() {
+        assert_eq!(vv(&[(1, 2)]).to_string(), "<u1:2>");
+        assert_eq!(vv(&[]).to_string(), "<>");
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests: anti-entropy must converge regardless of write
+//! placement and sync order, and version vectors must summarize logs
+//! exactly.
+
+use dosn_consistency::{LwwRegister, ProfileUpdate, ReplicaState, VectorOrdering, VersionVector};
+use dosn_interval::Timestamp;
+use dosn_socialgraph::UserId;
+use proptest::prelude::*;
+
+/// A randomized workload: writes assigned to replicas, then a random
+/// sync schedule.
+#[derive(Debug, Clone)]
+struct Workload {
+    replica_count: usize,
+    /// (writing replica, timestamp) — sequence numbers are assigned per
+    /// writer in order.
+    writes: Vec<(usize, u64)>,
+    /// (a, b) pairwise syncs, applied in order.
+    syncs: Vec<(usize, usize)>,
+}
+
+fn workload() -> impl Strategy<Value = Workload> {
+    (2usize..6).prop_flat_map(|replica_count| {
+        (
+            prop::collection::vec((0..replica_count, 0u64..10_000), 0..24),
+            prop::collection::vec((0..replica_count, 0..replica_count), 0..40),
+        )
+            .prop_map(move |(writes, syncs)| Workload {
+                replica_count,
+                writes,
+                syncs,
+            })
+    })
+}
+
+fn run(w: &Workload) -> Vec<ReplicaState> {
+    let mut states: Vec<ReplicaState> = (0..w.replica_count)
+        .map(|i| ReplicaState::new(UserId::new(i as u32)))
+        .collect();
+    let mut seq = vec![0u64; w.replica_count];
+    for &(r, t) in &w.writes {
+        seq[r] += 1;
+        states[r].append(ProfileUpdate::new(
+            UserId::new(r as u32),
+            seq[r],
+            Timestamp::new(t),
+            format!("w{r}#{}", seq[r]),
+        ));
+    }
+    for &(a, b) in &w.syncs {
+        if a == b {
+            continue;
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = states.split_at_mut(hi);
+        head[lo].sync_with(&mut tail[0]);
+    }
+    states
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn full_sync_round_converges_everyone(w in workload()) {
+        let mut states = run(&w);
+        // One complete round-robin pass connects all replicas.
+        for a in 0..states.len() {
+            for b in (a + 1)..states.len() {
+                let (head, tail) = states.split_at_mut(b);
+                head[a].sync_with(&mut tail[0]);
+            }
+        }
+        // A second half-pass back-propagates the stragglers.
+        for a in (0..states.len()).rev() {
+            for b in (a + 1)..states.len() {
+                let (head, tail) = states.split_at_mut(b);
+                head[a].sync_with(&mut tail[0]);
+            }
+        }
+        let reference = &states[0];
+        for s in &states[1..] {
+            prop_assert!(reference.converged_with(s));
+            prop_assert_eq!(reference.version(), s.version());
+        }
+        // Total updates preserved: nothing lost, nothing duplicated.
+        prop_assert_eq!(reference.len(), w.writes.len());
+    }
+
+    #[test]
+    fn version_vector_summarizes_log_exactly(w in workload()) {
+        let states = run(&w);
+        for s in &states {
+            for u in s.wall() {
+                prop_assert!(s.version().covers(u.id().writer, u.id().seq));
+            }
+            let total: u64 = s.version().iter().map(|(_, c)| c).sum();
+            prop_assert_eq!(total as usize, s.len(), "gap-free per-writer logs");
+        }
+    }
+
+    #[test]
+    fn sync_is_idempotent(w in workload()) {
+        let mut states = run(&w);
+        if states.len() < 2 {
+            return Ok(());
+        }
+        let (head, tail) = states.split_at_mut(1);
+        head[0].sync_with(&mut tail[0]);
+        let snap_a = head[0].clone();
+        let snap_b = tail[0].clone();
+        let moved = head[0].sync_with(&mut tail[0]);
+        prop_assert_eq!(moved, 0);
+        prop_assert!(head[0].converged_with(&snap_a));
+        prop_assert!(tail[0].converged_with(&snap_b));
+    }
+
+    #[test]
+    fn vector_compare_is_antisymmetric(
+        a in prop::collection::vec((0u32..5, 1u64..20), 0..6),
+        b in prop::collection::vec((0u32..5, 1u64..20), 0..6),
+    ) {
+        let mut va = VersionVector::new();
+        for (w, s) in a { va.record(UserId::new(w), s); }
+        let mut vb = VersionVector::new();
+        for (w, s) in b { vb.record(UserId::new(w), s); }
+        let forward = va.compare(&vb);
+        let backward = vb.compare(&va);
+        let expected = match forward {
+            VectorOrdering::Equal => VectorOrdering::Equal,
+            VectorOrdering::Before => VectorOrdering::After,
+            VectorOrdering::After => VectorOrdering::Before,
+            VectorOrdering::Concurrent => VectorOrdering::Concurrent,
+        };
+        prop_assert_eq!(backward, expected);
+        // Merge produces an upper bound of both.
+        let mut merged = va.clone();
+        merged.merge(&vb);
+        prop_assert!(matches!(merged.compare(&va), VectorOrdering::Equal | VectorOrdering::After));
+        prop_assert!(matches!(merged.compare(&vb), VectorOrdering::Equal | VectorOrdering::After));
+    }
+
+    #[test]
+    fn lww_merge_order_never_matters(
+        writes in prop::collection::vec((0u64..100, 0u32..5, 0i32..1000), 1..10),
+    ) {
+        let apply = |order: &[usize]| {
+            // A real writer issues at most one write per instant, so the
+            // (timestamp, writer) pairs must be distinct for LWW's total
+            // order to be meaningful; the index suffix enforces that.
+            let mut registers: Vec<LwwRegister<i32>> = writes
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, w, v))| {
+                    let mut r = LwwRegister::new(-1);
+                    r.write(v, Timestamp::new(t * 16 + i as u64), UserId::new(w));
+                    r
+                })
+                .collect();
+            let mut acc = LwwRegister::new(-1);
+            for &i in order {
+                acc.merge(&registers[i]);
+            }
+            // Also merge into the first register in reverse, to vary
+            // association.
+            for i in (0..registers.len()).rev() {
+                let r = registers[i].clone();
+                registers[0].merge(&r);
+            }
+            (acc.value().to_owned(), registers[0].value().to_owned())
+        };
+        let forward: Vec<usize> = (0..writes.len()).collect();
+        let reverse: Vec<usize> = (0..writes.len()).rev().collect();
+        let (f_acc, f_first) = apply(&forward);
+        let (r_acc, r_first) = apply(&reverse);
+        prop_assert_eq!(f_acc, r_acc);
+        prop_assert_eq!(f_first, r_first);
+    }
+}

@@ -1,0 +1,164 @@
+use dosn_replication::Connectivity;
+
+/// Shared configuration for a study run.
+///
+/// A non-consuming builder: chain `with_*` methods off
+/// [`StudyConfig::default`].
+///
+/// # Examples
+///
+/// ```
+/// use dosn_core::StudyConfig;
+/// use dosn_replication::Connectivity;
+///
+/// let config = StudyConfig::default()
+///     .with_connectivity(Connectivity::UnconRep)
+///     .with_repetitions(3)
+///     .with_seed(7);
+/// assert_eq!(config.repetitions(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyConfig {
+    connectivity: Connectivity,
+    include_owner: bool,
+    repetitions: usize,
+    seed: u64,
+    threads: Option<usize>,
+}
+
+impl Default for StudyConfig {
+    /// The paper's defaults: connected replicas, the owner serves their
+    /// own profile while online, randomized components repeated 5 times,
+    /// and as many worker threads as the machine offers.
+    fn default() -> Self {
+        StudyConfig {
+            connectivity: Connectivity::ConRep,
+            include_owner: true,
+            repetitions: 5,
+            seed: 42,
+            threads: None,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// Sets the replica connectivity mode.
+    #[must_use]
+    pub fn with_connectivity(mut self, connectivity: Connectivity) -> Self {
+        self.connectivity = connectivity;
+        self
+    }
+
+    /// Sets whether the owner's own online time counts toward
+    /// availability.
+    #[must_use]
+    pub fn with_include_owner(mut self, include_owner: bool) -> Self {
+        self.include_owner = include_owner;
+        self
+    }
+
+    /// Sets how many times randomized components are repeated (results
+    /// are averaged). Clamped to at least 1.
+    #[must_use]
+    pub fn with_repetitions(mut self, repetitions: usize) -> Self {
+        self.repetitions = repetitions.max(1);
+        self
+    }
+
+    /// Sets the base RNG seed; every derived RNG is a deterministic
+    /// function of it.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the worker thread count (`None` = machine parallelism).
+    #[must_use]
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The replica connectivity mode.
+    pub fn connectivity(&self) -> Connectivity {
+        self.connectivity
+    }
+
+    /// Whether the owner's online time counts toward availability.
+    pub fn include_owner(&self) -> bool {
+        self.include_owner
+    }
+
+    /// Repetition count for randomized components.
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+
+    /// The base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The effective worker thread count.
+    pub fn effective_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(1)
+            })
+            .max(1)
+    }
+}
+
+/// Derives a per-(repetition, user) RNG seed from the base seed, so
+/// results do not depend on thread scheduling.
+pub(crate) fn derive_seed(base: u64, repetition: usize, user_index: usize) -> u64 {
+    // SplitMix64-style mixing.
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul((repetition as u64).wrapping_add(1)))
+        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul((user_index as u64).wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = StudyConfig::default();
+        assert_eq!(c.connectivity(), Connectivity::ConRep);
+        assert!(c.include_owner());
+        assert_eq!(c.repetitions(), 5);
+        assert!(c.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = StudyConfig::default()
+            .with_connectivity(Connectivity::UnconRep)
+            .with_include_owner(false)
+            .with_repetitions(0)
+            .with_seed(9)
+            .with_threads(Some(2));
+        assert_eq!(c.connectivity(), Connectivity::UnconRep);
+        assert!(!c.include_owner());
+        assert_eq!(c.repetitions(), 1, "clamped to at least one");
+        assert_eq!(c.seed(), 9);
+        assert_eq!(c.effective_threads(), 2);
+    }
+
+    #[test]
+    fn derived_seeds_differ() {
+        let a = derive_seed(42, 0, 0);
+        let b = derive_seed(42, 0, 1);
+        let c = derive_seed(42, 1, 0);
+        let d = derive_seed(43, 0, 0);
+        assert!(a != b && a != c && a != d && b != c);
+        assert_eq!(a, derive_seed(42, 0, 0), "deterministic");
+    }
+}

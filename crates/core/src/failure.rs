@@ -1,0 +1,201 @@
+//! Failure injection: how do the metrics degrade when replica hosts
+//! fail?
+//!
+//! The paper scopes out "breach of trust or node compromise", but any
+//! deployment needs to know how brittle a placement is: if a fraction of
+//! the chosen hosts disappears (crash, uninstall, defection), how much
+//! availability survives? This module knocks out random subsets of a
+//! placement and re-measures, and sweeps the failure fraction per
+//! policy.
+
+use dosn_metrics::Summary;
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+use dosn_trace::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{derive_seed, StudyConfig};
+use crate::experiment::evaluate_replica_set;
+use crate::kinds::{ModelKind, PolicyKind};
+use crate::results::{SweepRow, SweepTable};
+
+/// Removes a uniform random subset of `placement`, each host failing
+/// independently with probability `fail_fraction`.
+///
+/// The owner never fails — we measure the system around a user, not the
+/// user's own device.
+pub fn fail_hosts(
+    placement: &[UserId],
+    fail_fraction: f64,
+    rng: &mut StdRng,
+) -> Vec<UserId> {
+    let p = fail_fraction.clamp(0.0, 1.0);
+    placement
+        .iter()
+        .copied()
+        .filter(|_| rng.gen::<f64>() >= p)
+        .collect()
+}
+
+/// Availability (and survivor count) under repeated random host
+/// failures of one placement.
+#[allow(clippy::too_many_arguments)]
+pub fn availability_under_failure(
+    dataset: &Dataset,
+    schedules: &OnlineSchedules,
+    user: UserId,
+    placement: &[UserId],
+    fail_fraction: f64,
+    repetitions: usize,
+    include_owner: bool,
+    seed: u64,
+) -> (Summary, Summary) {
+    let mut availability = Summary::new();
+    let mut survivors = Summary::new();
+    for rep in 0..repetitions.max(1) {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, rep, user.index()));
+        let alive = fail_hosts(placement, fail_fraction, &mut rng);
+        let m = evaluate_replica_set(dataset, schedules, user, &alive, include_owner);
+        availability.add(m.availability);
+        survivors.add(alive.len() as f64);
+    }
+    (availability, survivors)
+}
+
+/// Sweeps the host-failure fraction for each policy at a fixed
+/// replication budget: the resilience ablation. X axis = failure
+/// fraction, metrics cell = post-failure availability (in the
+/// `availability` summary) with survivor counts in `replicas_used`.
+#[allow(clippy::too_many_arguments)]
+pub fn failure_sweep(
+    dataset: &Dataset,
+    model: ModelKind,
+    policies: &[PolicyKind],
+    users: &[UserId],
+    replication_degree: usize,
+    fail_fractions: &[f64],
+    config: &StudyConfig,
+) -> SweepTable {
+    let built_model = model.build();
+    let mut model_rng = StdRng::seed_from_u64(derive_seed(config.seed(), 0, usize::MAX));
+    let schedules = built_model.schedules(dataset, &mut model_rng);
+    let mut rows = Vec::new();
+    for &policy in policies {
+        let built_policy = policy.build();
+        // Place once per user, then damage the placement repeatedly.
+        let placements: Vec<(UserId, Vec<UserId>)> = users
+            .iter()
+            .map(|&user| {
+                let mut rng =
+                    StdRng::seed_from_u64(derive_seed(config.seed(), 1, user.index()));
+                let placement = built_policy.place(
+                    dataset,
+                    schedules_ref(&schedules),
+                    user,
+                    replication_degree,
+                    config.connectivity(),
+                    &mut rng,
+                );
+                (user, placement)
+            })
+            .collect();
+        for &fraction in fail_fractions {
+            let mut cell = crate::results::CellMetrics::default();
+            for (user, placement) in &placements {
+                for rep in 0..config.repetitions() {
+                    let mut rng = StdRng::seed_from_u64(derive_seed(
+                        config.seed() ^ 0xFA11,
+                        rep,
+                        user.index(),
+                    ));
+                    let alive = fail_hosts(placement, fraction, &mut rng);
+                    let m = evaluate_replica_set(
+                        dataset,
+                        schedules_ref(&schedules),
+                        *user,
+                        &alive,
+                        config.include_owner(),
+                    );
+                    cell.add(&m);
+                }
+            }
+            rows.push(SweepRow {
+                x: fraction,
+                policy: policy.label().to_string(),
+                cell,
+            });
+        }
+    }
+    SweepTable::new("fail_fraction", rows)
+}
+
+/// Identity helper so the borrow in the closure-heavy code above reads
+/// clearly.
+fn schedules_ref(s: &OnlineSchedules) -> &OnlineSchedules {
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::MetricKind;
+    use dosn_trace::synth;
+
+    #[test]
+    fn fail_fraction_extremes() {
+        let placement: Vec<UserId> = (1..=10).map(UserId::new).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(fail_hosts(&placement, 0.0, &mut rng).len(), 10);
+        assert!(fail_hosts(&placement, 1.0, &mut rng).is_empty());
+        let half = fail_hosts(&placement, 0.5, &mut rng);
+        assert!(half.len() < 10);
+    }
+
+    #[test]
+    fn availability_degrades_monotonically_in_expectation() {
+        let ds = synth::facebook_like(200, 5).unwrap();
+        let model = ModelKind::sporadic_default().build();
+        let mut rng = StdRng::seed_from_u64(2);
+        let schedules = model.schedules(&ds, &mut rng);
+        let user = ds
+            .users()
+            .max_by_key(|&u| ds.replica_candidates(u).len())
+            .unwrap();
+        let placement: Vec<UserId> = ds.replica_candidates(user).iter().copied().take(8).collect();
+        let at = |f: f64| {
+            availability_under_failure(&ds, &schedules, user, &placement, f, 20, true, 7)
+                .0
+                .mean()
+                .unwrap()
+        };
+        let (none, half, all) = (at(0.0), at(0.5), at(1.0));
+        assert!(none >= half && half >= all, "{none:.3} {half:.3} {all:.3}");
+        // With every host down only the owner remains.
+        let owner_only = schedules[user].fraction_of_day();
+        assert!((all - owner_only).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_sweep_shape() {
+        let ds = synth::facebook_like(200, 5).unwrap();
+        let users = ds.users_with_degree(5);
+        let table = failure_sweep(
+            &ds,
+            ModelKind::sporadic_default(),
+            &[PolicyKind::MaxAv, PolicyKind::Random],
+            &users,
+            4,
+            &[0.0, 0.3, 0.6],
+            &StudyConfig::default().with_repetitions(3),
+        );
+        assert_eq!(table.x_label(), "fail_fraction");
+        assert_eq!(table.rows().len(), 6);
+        let series = table.series("maxav", MetricKind::Availability);
+        assert_eq!(series.len(), 3);
+        assert!(series[0].1 >= series[2].1, "{series:?}");
+        // Survivor counts fall with the failure fraction.
+        let used = table.series("maxav", MetricKind::ReplicasUsed);
+        assert!(used[0].1 > used[2].1);
+    }
+}

@@ -1,0 +1,198 @@
+use dosn_onlinetime::{FixedLength, OnlineTimeModel, RandomLength, Sporadic};
+use dosn_replication::{MaxAv, MostActive, Random, ReplicaPolicy};
+
+/// A value-level description of an online-time model, so sweeps can be
+/// configured from plain data (CLI flags, tables) and instantiated on
+/// demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Per-activity sessions of the given length (paper default 1200 s).
+    Sporadic {
+        /// Session length in seconds.
+        session_secs: u32,
+    },
+    /// One daily window of the given length for every user.
+    FixedLength {
+        /// Window length in seconds.
+        window_secs: u32,
+    },
+    /// One daily window per user, drawn from `[min_secs, max_secs]`.
+    RandomLength {
+        /// Smallest window, seconds.
+        min_secs: u32,
+        /// Largest window, seconds.
+        max_secs: u32,
+    },
+}
+
+impl ModelKind {
+    /// The paper's default Sporadic model (20-minute sessions).
+    pub fn sporadic_default() -> Self {
+        ModelKind::Sporadic { session_secs: 1200 }
+    }
+
+    /// A FixedLength model of `hours` hours.
+    pub fn fixed_hours(hours: u32) -> Self {
+        ModelKind::FixedLength {
+            window_secs: hours * 3600,
+        }
+    }
+
+    /// The paper's RandomLength model (2 to 8 hours).
+    pub fn random_length_default() -> Self {
+        ModelKind::RandomLength {
+            min_secs: 2 * 3600,
+            max_secs: 8 * 3600,
+        }
+    }
+
+    /// Whether the model involves randomness beyond the trace (and so
+    /// benefits from repetitions).
+    pub fn is_randomized(&self) -> bool {
+        // Sporadic places each activity at a random point in its
+        // session; RandomLength draws per-user lengths; FixedLength is
+        // random only for activity-less users.
+        !matches!(self, ModelKind::FixedLength { .. })
+    }
+
+    /// Instantiates the model.
+    pub fn build(&self) -> Box<dyn OnlineTimeModel> {
+        match *self {
+            ModelKind::Sporadic { session_secs } => {
+                Box::new(Sporadic::with_session_len(session_secs))
+            }
+            ModelKind::FixedLength { window_secs } => Box::new(FixedLength::seconds(window_secs)),
+            ModelKind::RandomLength { min_secs, max_secs } => Box::new(RandomLength::hours(
+                min_secs.div_ceil(3600),
+                max_secs / 3600,
+            )),
+        }
+    }
+
+    /// Human-readable label used in result tables, e.g.
+    /// `"sporadic(1200s)"` or `"fixed-length(2h)"`.
+    pub fn label(&self) -> String {
+        match *self {
+            ModelKind::Sporadic { session_secs } => format!("sporadic({session_secs}s)"),
+            ModelKind::FixedLength { window_secs } => {
+                if window_secs % 3600 == 0 {
+                    format!("fixed-length({}h)", window_secs / 3600)
+                } else {
+                    format!("fixed-length({window_secs}s)")
+                }
+            }
+            ModelKind::RandomLength { min_secs, max_secs } => {
+                format!("random-length({}h-{}h)", min_secs / 3600, max_secs / 3600)
+            }
+        }
+    }
+}
+
+/// A value-level description of a replica placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Greedy set cover maximizing availability.
+    MaxAv,
+    /// Greedy set cover maximizing availability-on-demand-time.
+    MaxAvOnDemandTime,
+    /// Greedy set cover maximizing availability-on-demand-activity.
+    MaxAvOnDemandActivity,
+    /// Top-k most interactive candidates.
+    MostActive,
+    /// Uniformly random candidates.
+    Random,
+}
+
+impl PolicyKind {
+    /// The paper's three headline policies, in plot order.
+    pub fn paper_trio() -> [PolicyKind; 3] {
+        [PolicyKind::MaxAv, PolicyKind::MostActive, PolicyKind::Random]
+    }
+
+    /// Whether the policy draws on the RNG.
+    pub fn is_randomized(&self) -> bool {
+        matches!(self, PolicyKind::MostActive | PolicyKind::Random)
+    }
+
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn ReplicaPolicy> {
+        match self {
+            PolicyKind::MaxAv => Box::new(MaxAv::availability()),
+            PolicyKind::MaxAvOnDemandTime => Box::new(MaxAv::on_demand_time()),
+            PolicyKind::MaxAvOnDemandActivity => Box::new(MaxAv::on_demand_activity()),
+            PolicyKind::MostActive => Box::new(MostActive::new()),
+            PolicyKind::Random => Box::new(Random::new()),
+        }
+    }
+
+    /// The label used in result tables (matches the built policy's
+    /// `name()`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::MaxAv => "maxav",
+            PolicyKind::MaxAvOnDemandTime => "maxav-on-demand-time",
+            PolicyKind::MaxAvOnDemandActivity => "maxav-on-demand-activity",
+            PolicyKind::MostActive => "most-active",
+            PolicyKind::Random => "random",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_built_instances() {
+        for kind in [
+            PolicyKind::MaxAv,
+            PolicyKind::MaxAvOnDemandTime,
+            PolicyKind::MaxAvOnDemandActivity,
+            PolicyKind::MostActive,
+            PolicyKind::Random,
+        ] {
+            assert_eq!(kind.label(), kind.build().name());
+        }
+    }
+
+    #[test]
+    fn model_labels() {
+        assert_eq!(ModelKind::sporadic_default().label(), "sporadic(1200s)");
+        assert_eq!(ModelKind::fixed_hours(2).label(), "fixed-length(2h)");
+        assert_eq!(
+            ModelKind::random_length_default().label(),
+            "random-length(2h-8h)"
+        );
+        assert_eq!(
+            ModelKind::FixedLength { window_secs: 100 }.label(),
+            "fixed-length(100s)"
+        );
+    }
+
+    #[test]
+    fn randomization_flags() {
+        assert!(ModelKind::sporadic_default().is_randomized());
+        assert!(!ModelKind::fixed_hours(8).is_randomized());
+        assert!(ModelKind::random_length_default().is_randomized());
+        assert!(!PolicyKind::MaxAv.is_randomized());
+        assert!(PolicyKind::Random.is_randomized());
+        assert!(PolicyKind::MostActive.is_randomized());
+    }
+
+    #[test]
+    fn built_models_have_expected_parameters() {
+        // Smoke-check the instantiations via their names.
+        assert_eq!(ModelKind::sporadic_default().build().name(), "sporadic");
+        assert_eq!(ModelKind::fixed_hours(4).build().name(), "fixed-length");
+        assert_eq!(
+            ModelKind::random_length_default().build().name(),
+            "random-length"
+        );
+    }
+}

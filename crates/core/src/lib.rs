@@ -1,0 +1,82 @@
+//! The `dosn` simulator: the paper's experimental pipeline, end to end.
+//!
+//! A study run wires the other crates together, per Section IV of the
+//! paper:
+//!
+//! 1. take a [`Dataset`](dosn_trace::Dataset) (real trace or calibrated
+//!    synthetic stand-in);
+//! 2. approximate every user's daily online pattern with a
+//!    [`ModelKind`] (Sporadic / FixedLength / RandomLength);
+//! 3. place profile replicas with a [`PolicyKind`] (MaxAv / MostActive /
+//!    Random) under a connectivity mode;
+//! 4. measure availability, availability-on-demand-time/-activity, and
+//!    update propagation delay, averaged over the studied users and over
+//!    repetitions of the randomized components.
+//!
+//! The sweeps behind every figure of the paper live in [`sweep`]:
+//! [`sweep::degree_sweep`] (replication degree 0..k, Figs. 3–7, 10, 11),
+//! [`sweep::session_length_sweep`] (Fig. 8) and
+//! [`sweep::user_degree_sweep`] (Fig. 9). Results come back as a
+//! [`SweepTable`] that prints the same series the paper plots.
+//!
+//! An event-driven cross-check of the analytic delay metric lives in
+//! [`replay`]: it propagates a concrete update replica-to-replica along
+//! the modeled schedules and reports actual and observed delays.
+//!
+//! # Examples
+//!
+//! ```
+//! use dosn_core::{ModelKind, PolicyKind, StudyConfig, sweep};
+//! use dosn_trace::synth;
+//!
+//! let ds = synth::facebook_like(200, 1).expect("generation succeeds");
+//! let config = StudyConfig::default().with_repetitions(2);
+//! let users = ds.users_with_degree(5);
+//! let table = sweep::degree_sweep(
+//!     &ds,
+//!     ModelKind::sporadic_default(),
+//!     &[PolicyKind::MaxAv, PolicyKind::Random],
+//!     &users,
+//!     5,
+//!     &config,
+//! );
+//! assert!(!table.rows().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod config;
+mod experiment;
+pub mod failure;
+mod kinds;
+pub mod loadbalance;
+pub mod replay;
+mod results;
+pub mod sweep;
+
+pub use config::StudyConfig;
+pub use experiment::{evaluate_prefixes, evaluate_user, UserMetrics};
+pub use kinds::{ModelKind, PolicyKind};
+pub use results::{MetricKind, SweepRow, SweepTable};
+
+/// Convenience re-exports of the sibling crates' main types.
+pub mod prelude {
+    pub use crate::{
+        v_sweep_reexports::*, MetricKind, ModelKind, PolicyKind, StudyConfig, SweepTable,
+        UserMetrics,
+    };
+    pub use dosn_interval::{DayOfWeek, DaySchedule, Timestamp, WeekSchedule};
+    pub use dosn_metrics::Summary;
+    pub use dosn_onlinetime::{
+        FixedLength, OnlineTimeModel, RandomLength, Sporadic, Weekly, WithCoreGroup,
+    };
+    pub use dosn_replication::{Connectivity, MaxAv, MostActive, Random, ReplicaPolicy};
+    pub use dosn_socialgraph::UserId;
+    pub use dosn_trace::{synth, Dataset};
+}
+
+#[doc(hidden)]
+pub mod v_sweep_reexports {
+    pub use crate::sweep::{degree_sweep, session_length_sweep, user_degree_sweep};
+}

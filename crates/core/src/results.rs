@@ -1,0 +1,353 @@
+use dosn_metrics::Summary;
+
+use crate::experiment::UserMetrics;
+
+/// Which metric a table query refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// Fraction of the day the profile is reachable.
+    Availability,
+    /// Availability over the accessing friends' online time.
+    OnDemandTime,
+    /// Availability over historical activity instants.
+    OnDemandActivity,
+    /// Worst-case (actual) update propagation delay, hours.
+    DelayHours,
+    /// User-perceived (observed) update delay, hours.
+    ObservedDelayHours,
+    /// Replicas actually used.
+    ReplicasUsed,
+}
+
+impl MetricKind {
+    /// All metrics, in report order.
+    pub const ALL: [MetricKind; 6] = [
+        MetricKind::Availability,
+        MetricKind::OnDemandTime,
+        MetricKind::OnDemandActivity,
+        MetricKind::DelayHours,
+        MetricKind::ObservedDelayHours,
+        MetricKind::ReplicasUsed,
+    ];
+
+    /// Column name used in CSV output.
+    pub fn column(&self) -> &'static str {
+        match self {
+            MetricKind::Availability => "availability",
+            MetricKind::OnDemandTime => "on_demand_time",
+            MetricKind::OnDemandActivity => "on_demand_activity",
+            MetricKind::DelayHours => "delay_hours",
+            MetricKind::ObservedDelayHours => "observed_delay_hours",
+            MetricKind::ReplicasUsed => "replicas_used",
+        }
+    }
+}
+
+/// Aggregated metrics for one (x, policy) cell of a sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellMetrics {
+    /// Availability summary across users and repetitions.
+    pub availability: Summary,
+    /// Availability-on-demand-time summary.
+    pub on_demand_time: Summary,
+    /// Availability-on-demand-activity summary.
+    pub on_demand_activity: Summary,
+    /// Propagation delay summary (hours), over connected replica sets.
+    pub delay_hours: Summary,
+    /// Observed (user-perceived) delay summary (hours).
+    pub observed_delay_hours: Summary,
+    /// Replicas actually used.
+    pub replicas_used: Summary,
+    /// Observations whose replica set could not exchange updates
+    /// friend-to-friend (excluded from `delay_hours`).
+    pub disconnected: usize,
+}
+
+impl CellMetrics {
+    /// Folds one user observation into the cell.
+    pub fn add(&mut self, m: &UserMetrics) {
+        self.availability.add(m.availability);
+        self.on_demand_time.add_opt(m.on_demand_time);
+        self.on_demand_activity.add_opt(m.on_demand_activity);
+        match m.delay_hours {
+            Some(d) => self.delay_hours.add(d),
+            None => self.disconnected += 1,
+        }
+        self.observed_delay_hours.add_opt(m.observed_delay_hours);
+        self.replicas_used.add(m.replicas_used as f64);
+    }
+
+    /// Merges another cell (e.g. a worker thread's partial result).
+    pub fn merge(&mut self, other: &CellMetrics) {
+        self.availability.merge(&other.availability);
+        self.on_demand_time.merge(&other.on_demand_time);
+        self.on_demand_activity.merge(&other.on_demand_activity);
+        self.delay_hours.merge(&other.delay_hours);
+        self.observed_delay_hours.merge(&other.observed_delay_hours);
+        self.replicas_used.merge(&other.replicas_used);
+        self.disconnected += other.disconnected;
+    }
+
+    /// The summary for one metric.
+    pub fn summary(&self, metric: MetricKind) -> &Summary {
+        match metric {
+            MetricKind::Availability => &self.availability,
+            MetricKind::OnDemandTime => &self.on_demand_time,
+            MetricKind::OnDemandActivity => &self.on_demand_activity,
+            MetricKind::DelayHours => &self.delay_hours,
+            MetricKind::ObservedDelayHours => &self.observed_delay_hours,
+            MetricKind::ReplicasUsed => &self.replicas_used,
+        }
+    }
+}
+
+/// One row of a sweep: an x value, a policy, and the aggregated metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// The swept parameter value (replication degree, session length,
+    /// user degree).
+    pub x: f64,
+    /// Policy label.
+    pub policy: String,
+    /// Aggregated metrics.
+    pub cell: CellMetrics,
+}
+
+/// The result of a parameter sweep: the series behind one paper figure.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_core::{ModelKind, PolicyKind, StudyConfig, sweep};
+/// use dosn_trace::synth;
+///
+/// let ds = synth::facebook_like(150, 1).expect("generation succeeds");
+/// let users = ds.users_with_degree(4);
+/// let table = sweep::degree_sweep(
+///     &ds,
+///     ModelKind::sporadic_default(),
+///     &[PolicyKind::MaxAv],
+///     &users,
+///     4,
+///     &StudyConfig::default().with_repetitions(1),
+/// );
+/// let series = table.series("maxav", dosn_core::MetricKind::Availability);
+/// assert_eq!(series.len(), 5); // degrees 0..=4
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepTable {
+    x_label: &'static str,
+    rows: Vec<SweepRow>,
+}
+
+impl SweepTable {
+    pub(crate) fn new(x_label: &'static str, rows: Vec<SweepRow>) -> Self {
+        SweepTable { x_label, rows }
+    }
+
+    /// The meaning of the x column.
+    pub fn x_label(&self) -> &'static str {
+        self.x_label
+    }
+
+    /// All rows, ordered by (policy insertion order, x).
+    pub fn rows(&self) -> &[SweepRow] {
+        &self.rows
+    }
+
+    /// The `(x, mean)` series of one metric for one policy — one plotted
+    /// line of a paper figure. Cells with no observations are skipped.
+    pub fn series(&self, policy: &str, metric: MetricKind) -> Vec<(f64, f64)> {
+        self.rows
+            .iter()
+            .filter(|r| r.policy == policy)
+            .filter_map(|r| r.cell.summary(metric).mean().map(|m| (r.x, m)))
+            .collect()
+    }
+
+    /// Distinct policy labels, in first-appearance order.
+    pub fn policies(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for r in &self.rows {
+            if !seen.contains(&r.policy.as_str()) {
+                seen.push(r.policy.as_str());
+            }
+        }
+        seen
+    }
+
+    /// Full CSV: `x_label,policy,metric,mean,std_dev,min,max,count`.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("{},policy,metric,mean,std_dev,min,max,count\n", self.x_label);
+        for r in &self.rows {
+            for metric in MetricKind::ALL {
+                let s = r.cell.summary(metric);
+                let (mean, std, min, max) = (
+                    s.mean().unwrap_or(f64::NAN),
+                    s.std_dev().unwrap_or(f64::NAN),
+                    s.min().unwrap_or(f64::NAN),
+                    s.max().unwrap_or(f64::NAN),
+                );
+                out.push_str(&format!(
+                    "{},{},{},{:.6},{:.6},{:.6},{:.6},{}\n",
+                    r.x,
+                    r.policy,
+                    metric.column(),
+                    mean,
+                    std,
+                    min,
+                    max,
+                    s.count()
+                ));
+            }
+        }
+        out
+    }
+
+    /// A JSON document of the whole table (hand-rolled, no
+    /// dependencies): `{"x_label": ..., "rows": [{"x", "policy",
+    /// "metrics": {name: {mean, std_dev, min, max, count}}}]}`. Empty
+    /// summaries serialize their statistics as `null`.
+    pub fn to_json(&self) -> String {
+        fn num(v: Option<f64>) -> String {
+            match v {
+                Some(v) if v.is_finite() => format!("{v}"),
+                _ => "null".to_string(),
+            }
+        }
+        let mut out = format!("{{\"x_label\":\"{}\",\"rows\":[", self.x_label);
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"x\":{},\"policy\":\"{}\",\"metrics\":{{",
+                r.x, r.policy
+            ));
+            for (j, metric) in MetricKind::ALL.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let s = r.cell.summary(*metric);
+                out.push_str(&format!(
+                    "\"{}\":{{\"mean\":{},\"std_dev\":{},\"min\":{},\"max\":{},\"count\":{}}}",
+                    metric.column(),
+                    num(s.mean()),
+                    num(s.std_dev()),
+                    num(s.min()),
+                    num(s.max()),
+                    s.count()
+                ));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// A gnuplot-style block for one metric: one column per policy, one
+    /// row per x — the exact shape of the paper's plotted series.
+    pub fn to_plot_block(&self, metric: MetricKind) -> String {
+        let policies = self.policies();
+        let mut xs: Vec<f64> = self.rows.iter().map(|r| r.x).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup();
+        let mut out = format!("# {} — {}\n# x", self.x_label, metric.column());
+        for p in &policies {
+            out.push(' ');
+            out.push_str(p);
+        }
+        out.push('\n');
+        for &x in &xs {
+            out.push_str(&format!("{x}"));
+            for p in &policies {
+                let v = self
+                    .rows
+                    .iter()
+                    .find(|r| r.x == x && r.policy == *p)
+                    .and_then(|r| r.cell.summary(metric).mean());
+                match v {
+                    Some(v) => out.push_str(&format!(" {v:.4}")),
+                    None => out.push_str(" nan"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(avail: f64, delay: Option<f64>) -> UserMetrics {
+        UserMetrics {
+            replicas_used: 2,
+            availability: avail,
+            on_demand_time: Some(avail),
+            on_demand_activity: None,
+            delay_hours: delay,
+            observed_delay_hours: delay.map(|d| d / 2.0),
+        }
+    }
+
+    #[test]
+    fn cell_accumulates_and_counts_disconnected() {
+        let mut c = CellMetrics::default();
+        c.add(&metrics(0.5, Some(10.0)));
+        c.add(&metrics(0.7, None));
+        assert_eq!(c.availability.count(), 2);
+        assert_eq!(c.delay_hours.count(), 1);
+        assert_eq!(c.disconnected, 1);
+        assert_eq!(c.on_demand_activity.count(), 0);
+        let mut other = CellMetrics::default();
+        other.add(&metrics(0.9, Some(20.0)));
+        c.merge(&other);
+        assert_eq!(c.availability.count(), 3);
+        assert_eq!(c.disconnected, 1);
+    }
+
+    #[test]
+    fn table_series_and_csv() {
+        let mut cell_a = CellMetrics::default();
+        cell_a.add(&metrics(0.4, Some(5.0)));
+        let mut cell_b = CellMetrics::default();
+        cell_b.add(&metrics(0.8, Some(9.0)));
+        let table = SweepTable::new(
+            "replication_degree",
+            vec![
+                SweepRow {
+                    x: 1.0,
+                    policy: "maxav".into(),
+                    cell: cell_a,
+                },
+                SweepRow {
+                    x: 2.0,
+                    policy: "maxav".into(),
+                    cell: cell_b,
+                },
+            ],
+        );
+        assert_eq!(table.policies(), vec!["maxav"]);
+        let series = table.series("maxav", MetricKind::Availability);
+        assert_eq!(series, vec![(1.0, 0.4), (2.0, 0.8)]);
+        assert!(table.series("random", MetricKind::Availability).is_empty());
+        let csv = table.to_csv();
+        assert!(csv.starts_with("replication_degree,policy,metric"));
+        assert!(csv.contains("1,maxav,availability,0.4"));
+        let block = table.to_plot_block(MetricKind::DelayHours);
+        assert!(block.contains("# x maxav"));
+        assert!(block.contains("2 9.0000"));
+        let json = table.to_json();
+        assert!(json.starts_with("{\"x_label\":\"replication_degree\""));
+        assert!(json.contains("\"policy\":\"maxav\""));
+        assert!(json.contains("\"availability\":{\"mean\":0.4"));
+        // Empty metric summaries serialize as nulls.
+        assert!(json.contains("\"on_demand_activity\":{\"mean\":null"));
+        // Crude structural sanity: balanced braces.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -1,0 +1,358 @@
+//! The parameter sweeps behind every figure of the paper.
+//!
+//! * [`degree_sweep`] — metrics vs replication degree (Figs. 3–7, 10,
+//!   11).
+//! * [`session_length_sweep`] — metrics vs Sporadic session length at a
+//!   fixed replication degree (Fig. 8).
+//! * [`user_degree_sweep`] — metrics vs user degree with the maximum
+//!   possible replication (Fig. 9).
+//!
+//! All sweeps average over the studied users and over
+//! [`StudyConfig::repetitions`] repetitions of the randomized components
+//! (online-time sampling, Random/MostActive tie-breaking), exactly as the
+//! paper repeats its randomized experiments 5 times. Users are processed
+//! in parallel worker threads; results are deterministic for a given
+//! seed because every (repetition, user) pair derives its own RNG.
+
+use dosn_socialgraph::UserId;
+use dosn_trace::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{derive_seed, StudyConfig};
+use crate::experiment::evaluate_prefixes;
+use crate::kinds::{ModelKind, PolicyKind};
+use crate::results::{CellMetrics, SweepRow, SweepTable};
+
+/// Runs the repetition × user loop for one (model, policy) pair and a
+/// set of budgets, returning one aggregated cell per budget.
+fn run_cells(
+    dataset: &Dataset,
+    model: ModelKind,
+    policy: PolicyKind,
+    users: &[UserId],
+    budgets: &[usize],
+    config: &StudyConfig,
+) -> Vec<CellMetrics> {
+    let mut cells = vec![CellMetrics::default(); budgets.len()];
+    if users.is_empty() || budgets.is_empty() {
+        return cells;
+    }
+    let repetitions = if model.is_randomized() || policy.is_randomized() {
+        config.repetitions()
+    } else {
+        1
+    };
+    let max_budget = *budgets.last().expect("budgets non-empty");
+    let built_model = model.build();
+    for rep in 0..repetitions {
+        // Schedules are global per repetition: one draw of everyone's
+        // online times, shared by every policy and budget.
+        let mut model_rng = StdRng::seed_from_u64(derive_seed(config.seed(), rep, usize::MAX));
+        let schedules = built_model.schedules(dataset, &mut model_rng);
+
+        let threads = config.effective_threads().min(users.len()).max(1);
+        let chunk = users.len().div_ceil(threads);
+        let partials: Vec<Vec<CellMetrics>> = crossbeam::thread::scope(|scope| {
+            let schedules = &schedules;
+            let handles: Vec<_> = users
+                .chunks(chunk)
+                .map(|user_chunk| {
+                    scope.spawn(move |_| {
+                        let built_policy = policy.build();
+                        let mut local = vec![CellMetrics::default(); budgets.len()];
+                        for &user in user_chunk {
+                            let mut rng = StdRng::seed_from_u64(derive_seed(
+                                config.seed() ^ fx_hash(policy.label()),
+                                rep,
+                                user.index(),
+                            ));
+                            let placement = built_policy.place(
+                                dataset,
+                                schedules,
+                                user,
+                                max_budget,
+                                config.connectivity(),
+                                &mut rng,
+                            );
+                            let metrics = evaluate_prefixes(
+                                dataset,
+                                schedules,
+                                user,
+                                &placement,
+                                budgets,
+                                config.include_owner(),
+                            );
+                            for (cell, m) in local.iter_mut().zip(&metrics) {
+                                cell.add(m);
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+        .expect("worker scope");
+        for partial in partials {
+            for (cell, p) in cells.iter_mut().zip(&partial) {
+                cell.merge(p);
+            }
+        }
+    }
+    cells
+}
+
+/// Cheap stable hash of a policy label, to decorrelate per-policy RNGs.
+fn fx_hash(s: &str) -> u64 {
+    s.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        })
+}
+
+/// Metrics vs replication degree `0..=max_degree` for each policy — the
+/// sweep behind Figs. 3–7 (Facebook) and 10–11 (Twitter).
+///
+/// `users` selects who is studied; the paper uses all users of the
+/// dataset's modal degree (10), i.e.
+/// [`Dataset::users_with_degree`].
+///
+/// # Examples
+///
+/// ```
+/// use dosn_core::{sweep, ModelKind, PolicyKind, StudyConfig};
+/// use dosn_trace::synth;
+///
+/// let ds = synth::facebook_like(150, 1).expect("generation succeeds");
+/// let users = ds.users_with_degree(4);
+/// let table = sweep::degree_sweep(
+///     &ds,
+///     ModelKind::sporadic_default(),
+///     &PolicyKind::paper_trio(),
+///     &users,
+///     4,
+///     &StudyConfig::default().with_repetitions(1),
+/// );
+/// assert_eq!(table.x_label(), "replication_degree");
+/// ```
+pub fn degree_sweep(
+    dataset: &Dataset,
+    model: ModelKind,
+    policies: &[PolicyKind],
+    users: &[UserId],
+    max_degree: usize,
+    config: &StudyConfig,
+) -> SweepTable {
+    let budgets: Vec<usize> = (0..=max_degree).collect();
+    let mut rows = Vec::new();
+    for &policy in policies {
+        let cells = run_cells(dataset, model, policy, users, &budgets, config);
+        for (&k, cell) in budgets.iter().zip(cells) {
+            rows.push(SweepRow {
+                x: k as f64,
+                policy: policy.label().to_string(),
+                cell,
+            });
+        }
+    }
+    SweepTable::new("replication_degree", rows)
+}
+
+/// Metrics vs Sporadic session length at a fixed replication degree —
+/// the sweep behind Fig. 8 (the paper fixes degree 3 and sweeps 100 s to
+/// 100 000 s on a log axis).
+pub fn session_length_sweep(
+    dataset: &Dataset,
+    session_lengths: &[u32],
+    policies: &[PolicyKind],
+    users: &[UserId],
+    replication_degree: usize,
+    config: &StudyConfig,
+) -> SweepTable {
+    let budgets = [replication_degree];
+    let mut rows = Vec::new();
+    for &policy in policies {
+        for &len in session_lengths {
+            let model = ModelKind::Sporadic { session_secs: len };
+            let cells = run_cells(dataset, model, policy, users, &budgets, config);
+            rows.push(SweepRow {
+                x: f64::from(len),
+                policy: policy.label().to_string(),
+                cell: cells.into_iter().next().expect("one budget"),
+            });
+        }
+    }
+    SweepTable::new("session_length_s", rows)
+}
+
+/// Metrics vs user degree, each user granted the maximum possible
+/// replication (their whole candidate set) — the sweep behind Fig. 9.
+///
+/// For each degree `d` in `1..=max_user_degree`, all users with exactly
+/// `d` candidates are studied with a budget of `d`.
+pub fn user_degree_sweep(
+    dataset: &Dataset,
+    model: ModelKind,
+    policies: &[PolicyKind],
+    max_user_degree: usize,
+    config: &StudyConfig,
+) -> SweepTable {
+    let mut rows = Vec::new();
+    for &policy in policies {
+        for d in 1..=max_user_degree {
+            let users = dataset.users_with_degree(d);
+            let cells = run_cells(dataset, model, policy, &users, &[d], config);
+            rows.push(SweepRow {
+                x: d as f64,
+                policy: policy.label().to_string(),
+                cell: cells.into_iter().next().expect("one budget"),
+            });
+        }
+    }
+    SweepTable::new("user_degree", rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::MetricKind;
+    use dosn_trace::synth;
+
+    fn dataset() -> Dataset {
+        synth::facebook_like(250, 17).unwrap()
+    }
+
+    fn quick_config() -> StudyConfig {
+        StudyConfig::default().with_repetitions(2).with_threads(Some(2))
+    }
+
+    #[test]
+    fn degree_sweep_shapes() {
+        let ds = dataset();
+        let users = ds.users_with_degree(6);
+        assert!(!users.is_empty(), "need degree-6 users in the fixture");
+        let table = degree_sweep(
+            &ds,
+            ModelKind::sporadic_default(),
+            &PolicyKind::paper_trio(),
+            &users,
+            6,
+            &quick_config(),
+        );
+        // 3 policies x 7 budgets.
+        assert_eq!(table.rows().len(), 21);
+        for policy in ["maxav", "most-active", "random"] {
+            let series = table.series(policy, MetricKind::Availability);
+            assert_eq!(series.len(), 7);
+            // Monotone in degree (means of monotone per-user series).
+            for w in series.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 1e-9, "{policy}: {series:?}");
+            }
+        }
+        // MaxAv availability dominates Random at every degree.
+        let maxav = table.series("maxav", MetricKind::Availability);
+        let random = table.series("random", MetricKind::Availability);
+        for (m, r) in maxav.iter().zip(&random).skip(1) {
+            assert!(m.1 >= r.1 - 0.02, "maxav {m:?} vs random {r:?}");
+        }
+    }
+
+    #[test]
+    fn degree_sweep_is_deterministic() {
+        let ds = dataset();
+        let users = ds.users_with_degree(5);
+        let run = || {
+            degree_sweep(
+                &ds,
+                ModelKind::random_length_default(),
+                &[PolicyKind::Random],
+                &users,
+                5,
+                &quick_config(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let ds = dataset();
+        let users = ds.users_with_degree(5);
+        let mk = |threads| {
+            degree_sweep(
+                &ds,
+                ModelKind::sporadic_default(),
+                &[PolicyKind::MostActive],
+                &users,
+                5,
+                &StudyConfig::default()
+                    .with_repetitions(1)
+                    .with_threads(Some(threads)),
+            )
+        };
+        let one = mk(1);
+        let four = mk(4);
+        for (a, b) in one.rows().iter().zip(four.rows()) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(
+                a.cell.availability.mean(),
+                b.cell.availability.mean(),
+                "thread-count-dependent result at x={}",
+                a.x
+            );
+        }
+    }
+
+    #[test]
+    fn session_length_sweep_improves_with_length() {
+        let ds = dataset();
+        let users = ds.users_with_degree(6);
+        let table = session_length_sweep(
+            &ds,
+            &[300, 3_600, 28_800],
+            &[PolicyKind::MaxAv],
+            &users,
+            3,
+            &quick_config(),
+        );
+        let series = table.series("maxav", MetricKind::Availability);
+        assert_eq!(series.len(), 3);
+        assert!(series[2].1 > series[0].1, "{series:?}");
+        assert_eq!(table.x_label(), "session_length_s");
+    }
+
+    #[test]
+    fn user_degree_sweep_runs_even_with_missing_degrees() {
+        let ds = dataset();
+        let table = user_degree_sweep(
+            &ds,
+            ModelKind::sporadic_default(),
+            &[PolicyKind::MaxAv],
+            4,
+            &quick_config(),
+        );
+        assert_eq!(table.rows().len(), 4);
+        assert_eq!(table.x_label(), "user_degree");
+    }
+
+    #[test]
+    fn empty_users_produce_empty_cells() {
+        let ds = dataset();
+        let table = degree_sweep(
+            &ds,
+            ModelKind::sporadic_default(),
+            &[PolicyKind::MaxAv],
+            &[],
+            3,
+            &quick_config(),
+        );
+        for row in table.rows() {
+            assert_eq!(row.cell.availability.count(), 0);
+        }
+        assert!(table.series("maxav", MetricKind::Availability).is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+use dosn_interval::{DaySchedule, Timestamp};
+
+/// A third-party channel replicas can exchange updates through when they
+/// are never co-online (the paper's UnconRep escape hatch).
+///
+/// Given a publish instant and the *receiver's* daily schedule, a
+/// channel answers: when can the receiver first fetch the update? The
+/// UnconRep delay experiments compare channels against friend-to-friend
+/// propagation.
+pub trait UpdateChannel {
+    /// Short machine-readable name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// The earliest absolute instant at or after `published` when the
+    /// receiver can fetch the update, or `None` if it never can.
+    fn fetch_time(&self, receiver: &DaySchedule, published: Timestamp) -> Option<Timestamp>;
+
+    /// Convenience: the fetch delay in seconds.
+    fn fetch_delay_secs(&self, receiver: &DaySchedule, published: Timestamp) -> Option<u64> {
+        self.fetch_time(receiver, published)
+            .map(|t| t.seconds_since(published))
+    }
+}
+
+impl std::fmt::Debug for dyn UpdateChannel + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "UpdateChannel({})", self.name())
+    }
+}
+
+/// An always-available store — a CDN or commercial cloud. The receiver
+/// fetches the update the moment it is next online (plus a fixed
+/// upload/propagation latency).
+///
+/// # Examples
+///
+/// ```
+/// use dosn_dht::{CloudChannel, UpdateChannel};
+/// use dosn_interval::{DaySchedule, Timestamp};
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let channel = CloudChannel::new(60);
+/// let receiver = DaySchedule::window_wrapping(7_200, 3_600)?;
+/// // Published at midnight: receiver fetches when it comes online at
+/// // 02:00, well past the 60 s upload latency.
+/// let delay = channel.fetch_delay_secs(&receiver, Timestamp::new(0));
+/// assert_eq!(delay, Some(7_200));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CloudChannel {
+    upload_latency_secs: u64,
+}
+
+impl CloudChannel {
+    /// A cloud channel with the given upload/propagation latency.
+    pub fn new(upload_latency_secs: u64) -> Self {
+        CloudChannel {
+            upload_latency_secs,
+        }
+    }
+
+    /// The configured latency.
+    pub fn upload_latency_secs(&self) -> u64 {
+        self.upload_latency_secs
+    }
+}
+
+impl UpdateChannel for CloudChannel {
+    fn name(&self) -> &'static str {
+        "cloud"
+    }
+
+    fn fetch_time(&self, receiver: &DaySchedule, published: Timestamp) -> Option<Timestamp> {
+        let ready = published.saturating_add(self.upload_latency_secs);
+        let wait = receiver.wait_until_online(ready.time_of_day())?;
+        Some(ready.saturating_add(u64::from(wait)))
+    }
+}
+
+/// A peer-hosted store: the update lives on DHT holder nodes that are
+/// themselves OSN users with daily schedules, so a fetch needs the
+/// receiver *and* at least one holder online simultaneously (plus a
+/// lookup latency).
+///
+/// Build one per stored update from the holder users' schedules — e.g.
+/// the schedules of `ring.successors(key, k)` under the study's
+/// online-time model.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_dht::{DhtChannel, UpdateChannel};
+/// use dosn_interval::{DaySchedule, Timestamp};
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let holders = vec![DaySchedule::window_wrapping(3_600, 7_200)?];
+/// let channel = DhtChannel::new(holders, 5);
+/// let receiver = DaySchedule::window_wrapping(0, 7_200)?;
+/// // Receiver online from 00:00, but a holder only from 01:00.
+/// let t = channel.fetch_time(&receiver, Timestamp::new(0)).expect("reachable");
+/// assert_eq!(t.as_secs(), 3_605);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhtChannel {
+    holder_union: DaySchedule,
+    lookup_latency_secs: u64,
+}
+
+impl DhtChannel {
+    /// A channel whose update is held by users with the given schedules.
+    pub fn new<I>(holder_schedules: I, lookup_latency_secs: u64) -> Self
+    where
+        I: IntoIterator<Item = DaySchedule>,
+    {
+        let holder_union = holder_schedules
+            .into_iter()
+            .fold(DaySchedule::new(), |acc, s| acc.union(&s));
+        DhtChannel {
+            holder_union,
+            lookup_latency_secs,
+        }
+    }
+
+    /// The union of the holders' online time.
+    pub fn holder_union(&self) -> &DaySchedule {
+        &self.holder_union
+    }
+}
+
+impl UpdateChannel for DhtChannel {
+    fn name(&self) -> &'static str {
+        "dht"
+    }
+
+    fn fetch_time(&self, receiver: &DaySchedule, published: Timestamp) -> Option<Timestamp> {
+        // Receiver and some holder must be co-online.
+        let window = receiver.intersection(&self.holder_union);
+        let wait = window.wait_until_online(published.time_of_day())?;
+        Some(
+            published
+                .saturating_add(u64::from(wait))
+                .saturating_add(self.lookup_latency_secs),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(start: u32, len: u32) -> DaySchedule {
+        DaySchedule::window_wrapping(start, len).unwrap()
+    }
+
+    #[test]
+    fn cloud_fetch_waits_for_receiver_only() {
+        let c = CloudChannel::new(0);
+        let receiver = window(100, 50);
+        assert_eq!(c.fetch_delay_secs(&receiver, Timestamp::new(120)), Some(0));
+        assert_eq!(c.fetch_delay_secs(&receiver, Timestamp::new(0)), Some(100));
+        // Offline receiver never fetches.
+        assert_eq!(c.fetch_delay_secs(&DaySchedule::new(), Timestamp::new(0)), None);
+    }
+
+    #[test]
+    fn cloud_latency_shifts_readiness() {
+        let c = CloudChannel::new(30);
+        assert_eq!(c.upload_latency_secs(), 30);
+        let receiver = window(0, 10);
+        // Published at 0, ready at 30; receiver's window [0,10) already
+        // passed, so wait wraps to the next day.
+        let t = c.fetch_time(&receiver, Timestamp::new(0)).unwrap();
+        assert_eq!(t.as_secs(), u64::from(dosn_interval::SECONDS_PER_DAY));
+    }
+
+    #[test]
+    fn dht_fetch_needs_co_online_holder() {
+        let holders = vec![window(1_000, 500), window(10_000, 500)];
+        let channel = DhtChannel::new(holders, 0);
+        let receiver = window(10_200, 1_000);
+        // Receiver misses the first holder window; fetches in the second.
+        assert_eq!(
+            channel.fetch_delay_secs(&receiver, Timestamp::new(0)),
+            Some(10_200)
+        );
+        // A receiver that never meets any holder cannot fetch.
+        let lonely = window(50_000, 100);
+        assert_eq!(channel.fetch_delay_secs(&lonely, Timestamp::new(0)), None);
+    }
+
+    #[test]
+    fn dht_channel_beats_nothing_but_loses_to_cloud() {
+        let holders = vec![window(20_000, 1_000)];
+        let dht = DhtChannel::new(holders, 0);
+        let cloud = CloudChannel::new(0);
+        let receiver = window(5_000, 40_000);
+        let published = Timestamp::new(0);
+        let dht_delay = dht.fetch_delay_secs(&receiver, published).unwrap();
+        let cloud_delay = cloud.fetch_delay_secs(&receiver, published).unwrap();
+        assert!(cloud_delay <= dht_delay);
+        assert_eq!(cloud_delay, 5_000);
+        assert_eq!(dht_delay, 20_000);
+    }
+
+    #[test]
+    fn empty_holder_set_is_unreachable() {
+        let channel = DhtChannel::new(std::iter::empty(), 0);
+        assert!(channel.holder_union().is_empty());
+        assert_eq!(
+            channel.fetch_time(&DaySchedule::full(), Timestamp::new(0)),
+            None
+        );
+    }
+}

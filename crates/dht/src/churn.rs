@@ -1,0 +1,208 @@
+use std::collections::HashMap;
+
+use dosn_interval::SECONDS_PER_DAY;
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+use rand::Rng;
+
+use crate::key::Key;
+use crate::ring::ChordRing;
+
+/// A DHT whose membership follows the OSN's own users: a node is a ring
+/// member only while its user is online.
+///
+/// The paper's UnconRep discussion treats "a DHT" as an always-available
+/// service, but a *peer-hosted* DHT is made of exactly the churning
+/// nodes whose absence created the problem. This type quantifies that
+/// circularity: an update is stored on the `k` successors online at
+/// publish time, and a later read succeeds only if one of those holders
+/// is online again.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_dht::ScheduleDrivenDht;
+/// use dosn_interval::DaySchedule;
+/// use dosn_onlinetime::OnlineSchedules;
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let schedules = OnlineSchedules::new(vec![
+///     DaySchedule::full(),
+///     DaySchedule::window_wrapping(0, 3_600)?,
+/// ]);
+/// let dht = ScheduleDrivenDht::new(&schedules);
+/// assert_eq!(dht.ring_at(10_000).len(), 1); // only the always-on node
+/// assert_eq!(dht.ring_at(1_000).len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ScheduleDrivenDht<'a> {
+    schedules: &'a OnlineSchedules,
+    node_keys: Vec<Key>,
+    key_to_user: HashMap<Key, UserId>,
+}
+
+impl<'a> ScheduleDrivenDht<'a> {
+    /// Builds the overlay over every user of the schedules.
+    pub fn new(schedules: &'a OnlineSchedules) -> Self {
+        let mut node_keys = Vec::with_capacity(schedules.user_count());
+        let mut key_to_user = HashMap::with_capacity(schedules.user_count());
+        for (user, _) in schedules.iter() {
+            let key = Key::from_name(u64::from(user.as_u32()));
+            node_keys.push(key);
+            key_to_user.insert(key, user);
+        }
+        ScheduleDrivenDht {
+            schedules,
+            node_keys,
+            key_to_user,
+        }
+    }
+
+    /// The user behind a node key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is not one of this overlay's nodes.
+    pub fn user_of(&self, key: Key) -> UserId {
+        self.key_to_user[&key]
+    }
+
+    /// The ring of nodes online at second-of-day `tod`.
+    pub fn ring_at(&self, tod: u32) -> ChordRing {
+        self.node_keys
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| {
+                self.schedules
+                    .schedule(UserId::from_index(i))
+                    .contains(tod)
+            })
+            .map(|(_, &k)| k)
+            .collect()
+    }
+
+    /// Whether a content item published at `publish_tod` with
+    /// replication `k` can be fetched at `read_tod`: some publish-time
+    /// holder must be online again at read time.
+    ///
+    /// Returns `None` when nobody was online to accept the publish.
+    pub fn retrievable(
+        &self,
+        content: Key,
+        k: usize,
+        publish_tod: u32,
+        read_tod: u32,
+    ) -> Option<bool> {
+        let publish_ring = self.ring_at(publish_tod);
+        if publish_ring.is_empty() {
+            return None;
+        }
+        let holders = publish_ring.successors(content, k);
+        Some(holders.iter().any(|&h| {
+            self.schedules
+                .schedule(self.user_of(h))
+                .contains(read_tod)
+        }))
+    }
+
+    /// Monte-Carlo retrievability: the fraction of random (content,
+    /// publish time, read time) samples that can be fetched. Samples
+    /// where nobody was online to publish count as failures — the
+    /// system was down.
+    pub fn retrievability<R: Rng + ?Sized>(&self, k: usize, samples: usize, rng: &mut R) -> f64 {
+        if samples == 0 {
+            return 0.0;
+        }
+        let mut served = 0usize;
+        for i in 0..samples {
+            let content = Key::from_name(0xC0FFEE ^ i as u64);
+            let publish = rng.gen_range(0..SECONDS_PER_DAY);
+            let read = rng.gen_range(0..SECONDS_PER_DAY);
+            if self.retrievable(content, k, publish, read) == Some(true) {
+                served += 1;
+            }
+        }
+        served as f64 / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::DaySchedule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn window(start: u32, len: u32) -> DaySchedule {
+        DaySchedule::window_wrapping(start, len).unwrap()
+    }
+
+    #[test]
+    fn always_online_nodes_give_full_retrievability() {
+        let schedules = OnlineSchedules::new(vec![DaySchedule::full(); 8]);
+        let dht = ScheduleDrivenDht::new(&schedules);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(dht.retrievability(2, 200, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn disjoint_schedules_limit_retrieval() {
+        // Two shifts that never overlap: anything published in shift A
+        // is only held by shift-A nodes, unreadable during shift B.
+        let schedules = OnlineSchedules::new(vec![
+            window(0, 10_000),
+            window(0, 10_000),
+            window(40_000, 10_000),
+            window(40_000, 10_000),
+        ]);
+        let dht = ScheduleDrivenDht::new(&schedules);
+        // Published in shift A, read in shift B: never retrievable.
+        for content in 0..20u64 {
+            let r = dht.retrievable(Key::from_name(content), 2, 500, 45_000);
+            assert_eq!(r, Some(false), "content {content}");
+        }
+        // Published and read in the same shift: always retrievable.
+        assert_eq!(dht.retrievable(Key::from_name(1), 2, 500, 9_000), Some(true));
+    }
+
+    #[test]
+    fn nobody_online_means_no_publish() {
+        let schedules = OnlineSchedules::new(vec![window(0, 100), window(0, 100)]);
+        let dht = ScheduleDrivenDht::new(&schedules);
+        assert_eq!(dht.retrievable(Key::from_name(1), 2, 50_000, 50), None);
+    }
+
+    #[test]
+    fn retrievability_grows_with_k() {
+        // Fragmented schedules; more holders -> better odds of one
+        // being back online.
+        let mut rng = StdRng::seed_from_u64(5);
+        let schedules = OnlineSchedules::new(
+            (0..40)
+                .map(|i| window((i * 2_161) % 86_000, 12_000))
+                .collect(),
+        );
+        let dht = ScheduleDrivenDht::new(&schedules);
+        let r1 = dht.retrievability(1, 400, &mut rng);
+        let mut rng = StdRng::seed_from_u64(5);
+        let r4 = dht.retrievability(4, 400, &mut rng);
+        assert!(r4 >= r1, "k=4 {r4:.3} < k=1 {r1:.3}");
+        assert!(r4 > 0.2);
+    }
+
+    #[test]
+    fn ring_membership_tracks_time() {
+        let schedules = OnlineSchedules::new(vec![window(0, 1_000), window(500, 1_000)]);
+        let dht = ScheduleDrivenDht::new(&schedules);
+        assert_eq!(dht.ring_at(100).len(), 1);
+        assert_eq!(dht.ring_at(700).len(), 2);
+        assert_eq!(dht.ring_at(2_000).len(), 0);
+        // user_of round-trips.
+        let ring = dht.ring_at(700);
+        for &k in ring.nodes() {
+            let _ = dht.user_of(k);
+        }
+    }
+}

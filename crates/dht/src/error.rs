@@ -1,0 +1,46 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::key::Key;
+
+/// Error produced by ring and store operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DhtError {
+    /// An operation needed a node, but the ring is empty.
+    EmptyRing,
+    /// The named node is not a ring member.
+    UnknownNode {
+        /// The missing node.
+        node: Key,
+    },
+    /// The node is already a ring member.
+    DuplicateNode {
+        /// The duplicated node.
+        node: Key,
+    },
+}
+
+impl fmt::Display for DhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DhtError::EmptyRing => f.write_str("the ring has no nodes"),
+            DhtError::UnknownNode { node } => write!(f, "node {node} is not in the ring"),
+            DhtError::DuplicateNode { node } => write!(f, "node {node} is already in the ring"),
+        }
+    }
+}
+
+impl Error for DhtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DhtError>();
+        assert!(DhtError::EmptyRing.to_string().contains("no nodes"));
+    }
+}

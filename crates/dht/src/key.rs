@@ -1,0 +1,121 @@
+/// A point on the DHT's 64-bit identifier circle.
+///
+/// Node identifiers and content keys share the circle; a key is owned by
+/// its *successor* — the first node clockwise at or after it.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_dht::Key;
+///
+/// let a = Key::new(10);
+/// let b = Key::new(u64::MAX);
+/// // Clockwise distance wraps the circle: MAX -> 0 is one step.
+/// assert_eq!(b.distance_to(a), 11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Key(u64);
+
+impl Key {
+    /// A key at an explicit position.
+    pub const fn new(raw: u64) -> Self {
+        Key(raw)
+    }
+
+    /// Hashes an arbitrary name (user id, content id) onto the circle
+    /// with a SplitMix64 finalizer — uniform enough for simulation.
+    pub const fn from_name(name: u64) -> Self {
+        let mut z = name.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Key(z ^ (z >> 31))
+    }
+
+    /// The raw position.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Clockwise distance from `self` to `other` (zero for equal keys).
+    pub const fn distance_to(self, other: Key) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// Whether `self` lies in the clockwise-open interval `(from, to]` —
+    /// the Chord ownership predicate.
+    pub const fn in_range(self, from: Key, to: Key) -> bool {
+        if from.0 == to.0 {
+            // The whole circle.
+            true
+        } else {
+            from.distance_to(self) != 0 && from.distance_to(self) <= from.distance_to(to)
+        }
+    }
+
+    /// The key a finger `i` steps out: `self + 2^i` on the circle.
+    pub const fn finger_start(self, i: u32) -> Key {
+        Key(self.0.wrapping_add(1u64 << i))
+    }
+}
+
+impl From<u64> for Key {
+    fn from(raw: u64) -> Self {
+        Key(raw)
+    }
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "k{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_wraps() {
+        assert_eq!(Key::new(5).distance_to(Key::new(7)), 2);
+        assert_eq!(Key::new(7).distance_to(Key::new(5)), u64::MAX - 1);
+        assert_eq!(Key::new(9).distance_to(Key::new(9)), 0);
+    }
+
+    #[test]
+    fn in_range_clockwise_open_closed() {
+        let (a, b) = (Key::new(10), Key::new(20));
+        assert!(Key::new(11).in_range(a, b));
+        assert!(Key::new(20).in_range(a, b));
+        assert!(!Key::new(10).in_range(a, b));
+        assert!(!Key::new(21).in_range(a, b));
+        // Wrapping interval (250, 5].
+        let (c, d) = (Key::new(250), Key::new(5));
+        assert!(Key::new(255).in_range(c, d));
+        assert!(Key::new(0).in_range(c, d));
+        assert!(Key::new(5).in_range(c, d));
+        assert!(!Key::new(6).in_range(c, d));
+        // Degenerate interval covers the whole circle.
+        assert!(Key::new(123).in_range(a, a));
+    }
+
+    #[test]
+    fn from_name_spreads() {
+        // Consecutive names land far apart.
+        let a = Key::from_name(1);
+        let b = Key::from_name(2);
+        assert!(a.distance_to(b).min(b.distance_to(a)) > 1 << 32);
+        assert_eq!(Key::from_name(1), Key::from_name(1));
+    }
+
+    #[test]
+    fn finger_start_wraps() {
+        let k = Key::new(u64::MAX);
+        assert_eq!(k.finger_start(0), Key::new(0));
+        assert_eq!(Key::new(0).finger_start(63).raw(), 1 << 63);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Key::new(255).to_string(), "k00000000000000ff");
+    }
+}

@@ -1,0 +1,236 @@
+use std::collections::BTreeSet;
+
+use dosn_socialgraph::UserId;
+
+/// Accounting of key-management overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeyAccounting {
+    /// Key-distribution messages sent (one per member per key epoch they
+    /// receive).
+    pub key_messages: u64,
+    /// Updates encrypted at publish time.
+    pub encrypt_ops: u64,
+    /// Stored updates re-encrypted because of revocations.
+    pub reencrypt_ops: u64,
+    /// Key epochs created (initial plus one per revocation event).
+    pub epochs: u64,
+}
+
+impl KeyAccounting {
+    /// Total operations, a single comparable overhead number.
+    pub fn total_ops(&self) -> u64 {
+        self.key_messages + self.encrypt_ops + self.reencrypt_ops
+    }
+}
+
+/// The key-management machinery a profile needs once its updates leave
+/// trusted friend machines (Section II-B2 of the paper): a group key per
+/// profile, distributed to every authorized friend, rotated on every
+/// revocation — with all stored ciphertext re-encrypted so the revoked
+/// friend loses access.
+///
+/// ConRep (friend-to-friend) storage needs none of this; the accounting
+/// this type produces *is* the hidden cost of the UnconRep/third-party
+/// alternative the paper warns about.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_dht::GroupKeyManager;
+/// use dosn_socialgraph::UserId;
+///
+/// let mut mgr = GroupKeyManager::new(UserId::new(0), (1..=5).map(UserId::new));
+/// assert_eq!(mgr.accounting().key_messages, 5); // initial key fan-out
+/// mgr.publish_update();
+/// mgr.revoke(UserId::new(3)).expect("member exists");
+/// // Revocation: re-key the 4 remaining members, re-encrypt 1 update.
+/// assert_eq!(mgr.accounting().key_messages, 9);
+/// assert_eq!(mgr.accounting().reencrypt_ops, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupKeyManager {
+    owner: UserId,
+    members: BTreeSet<UserId>,
+    stored_updates: u64,
+    accounting: KeyAccounting,
+}
+
+/// Error from membership operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KeyError {
+    /// The user is already an authorized member.
+    AlreadyMember(UserId),
+    /// The user is not a member (or is the owner, who cannot be
+    /// revoked).
+    NotAMember(UserId),
+}
+
+impl std::fmt::Display for KeyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyError::AlreadyMember(u) => write!(f, "user {u} already holds the group key"),
+            KeyError::NotAMember(u) => write!(f, "user {u} is not an authorized member"),
+        }
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+impl GroupKeyManager {
+    /// Creates the group for `owner`'s profile and distributes the
+    /// initial key to `members`.
+    pub fn new<I>(owner: UserId, members: I) -> Self
+    where
+        I: IntoIterator<Item = UserId>,
+    {
+        let members: BTreeSet<UserId> =
+            members.into_iter().filter(|&m| m != owner).collect();
+        let accounting = KeyAccounting {
+            key_messages: members.len() as u64,
+            epochs: 1,
+            ..KeyAccounting::default()
+        };
+        GroupKeyManager {
+            owner,
+            members,
+            stored_updates: 0,
+            accounting,
+        }
+    }
+
+    /// The profile owner.
+    pub fn owner(&self) -> UserId {
+        self.owner
+    }
+
+    /// Current authorized members (excluding the owner).
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether `user` currently holds the key.
+    pub fn is_member(&self, user: UserId) -> bool {
+        self.members.contains(&user)
+    }
+
+    /// Updates encrypted under the current scheme and stored.
+    pub fn stored_updates(&self) -> u64 {
+        self.stored_updates
+    }
+
+    /// The overhead accounting so far.
+    pub fn accounting(&self) -> KeyAccounting {
+        self.accounting
+    }
+
+    /// Publishes one profile update: encrypt and store.
+    pub fn publish_update(&mut self) {
+        self.accounting.encrypt_ops += 1;
+        self.stored_updates += 1;
+    }
+
+    /// Grants a new friend access: one key-distribution message (the
+    /// current epoch's key; no rotation needed for additions since old
+    /// content is meant to be readable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError::AlreadyMember`] for duplicates.
+    pub fn grant(&mut self, user: UserId) -> Result<(), KeyError> {
+        if user == self.owner || !self.members.insert(user) {
+            return Err(KeyError::AlreadyMember(user));
+        }
+        self.accounting.key_messages += 1;
+        Ok(())
+    }
+
+    /// Revokes a friend: rotate to a fresh key epoch, redistribute to
+    /// every remaining member, and re-encrypt all stored updates so the
+    /// revoked friend cannot read them — the expensive path the paper
+    /// alludes to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError::NotAMember`] for unknown users.
+    pub fn revoke(&mut self, user: UserId) -> Result<(), KeyError> {
+        if !self.members.remove(&user) {
+            return Err(KeyError::NotAMember(user));
+        }
+        self.accounting.epochs += 1;
+        self.accounting.key_messages += self.members.len() as u64;
+        self.accounting.reencrypt_ops += self.stored_updates;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(range: std::ops::RangeInclusive<u32>) -> impl Iterator<Item = UserId> {
+        range.map(UserId::new)
+    }
+
+    #[test]
+    fn initial_fanout_counts_members() {
+        let mgr = GroupKeyManager::new(UserId::new(0), ids(1..=10));
+        assert_eq!(mgr.member_count(), 10);
+        assert_eq!(mgr.accounting().key_messages, 10);
+        assert_eq!(mgr.accounting().epochs, 1);
+        assert!(mgr.is_member(UserId::new(5)));
+        assert!(!mgr.is_member(UserId::new(0)));
+    }
+
+    #[test]
+    fn owner_is_never_a_member() {
+        let mgr = GroupKeyManager::new(UserId::new(3), [UserId::new(3), UserId::new(4)]);
+        assert_eq!(mgr.member_count(), 1);
+        assert_eq!(mgr.owner(), UserId::new(3));
+    }
+
+    #[test]
+    fn grant_and_duplicate_grant() {
+        let mut mgr = GroupKeyManager::new(UserId::new(0), ids(1..=2));
+        mgr.grant(UserId::new(9)).unwrap();
+        assert_eq!(mgr.accounting().key_messages, 3);
+        assert_eq!(
+            mgr.grant(UserId::new(9)),
+            Err(KeyError::AlreadyMember(UserId::new(9)))
+        );
+        assert_eq!(
+            mgr.grant(UserId::new(0)),
+            Err(KeyError::AlreadyMember(UserId::new(0)))
+        );
+    }
+
+    #[test]
+    fn revocation_cost_scales_with_group_and_history() {
+        let mut mgr = GroupKeyManager::new(UserId::new(0), ids(1..=20));
+        for _ in 0..100 {
+            mgr.publish_update();
+        }
+        mgr.revoke(UserId::new(7)).unwrap();
+        let a = mgr.accounting();
+        assert_eq!(a.epochs, 2);
+        assert_eq!(a.key_messages, 20 + 19);
+        assert_eq!(a.reencrypt_ops, 100);
+        // A second revocation re-encrypts again.
+        mgr.revoke(UserId::new(8)).unwrap();
+        assert_eq!(mgr.accounting().reencrypt_ops, 200);
+        assert_eq!(
+            mgr.revoke(UserId::new(8)),
+            Err(KeyError::NotAMember(UserId::new(8)))
+        );
+    }
+
+    #[test]
+    fn total_ops_aggregates() {
+        let mut mgr = GroupKeyManager::new(UserId::new(0), ids(1..=3));
+        mgr.publish_update();
+        mgr.revoke(UserId::new(1)).unwrap();
+        let a = mgr.accounting();
+        assert_eq!(a.total_ops(), a.key_messages + a.encrypt_ops + a.reencrypt_ops);
+        assert_eq!(a.total_ops(), (3 + 2) + 1 + 1);
+    }
+}

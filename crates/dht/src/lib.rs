@@ -1,0 +1,51 @@
+//! Chord-style DHT and third-party update channels for the `dosn` study.
+//!
+//! Under the paper's *UnconRep* mode replicas need not overlap in time,
+//! so they cannot exchange updates friend-to-friend; the paper points at
+//! third-party services — "CDN, DHT, cloud storage etc." (Section V-C) —
+//! as the update channel. This crate builds those channels rather than
+//! assuming them:
+//!
+//! * [`ChordRing`] — a Chord-style consistent-hashing ring over the OSN's
+//!   own nodes, with finger-table routing ([`ChordRing::lookup`]),
+//!   successor-list replication, and join/leave churn.
+//! * [`DhtStore`] — a replicated put/get store on top of the ring: an
+//!   update is held by the key's `k` successors, and is *retrievable* at
+//!   a given time-of-day when at least one holder is online.
+//! * [`UpdateChannel`] — the abstraction the delay experiments consume:
+//!   given a publish instant and the receiver's schedule, when can the
+//!   receiver fetch the update? Implementations: [`CloudChannel`] (an
+//!   always-on CDN/cloud store) and [`DhtChannel`] (peers store the
+//!   update, so holder online times gate retrieval).
+//!
+//! # Examples
+//!
+//! ```
+//! use dosn_dht::{ChordRing, Key};
+//!
+//! let ring: ChordRing = (0..32u64).map(Key::from_name).collect();
+//! let key = Key::from_name(1_000);
+//! // Finger routing finds the same owner a linear scan would.
+//! let (owner, hops) = ring.lookup(ring.nodes()[0], key);
+//! assert_eq!(owner, ring.successor(key).expect("non-empty ring"));
+//! assert!(hops <= 2 * 5 + 2); // ~2·log2(32) with slack
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod channel;
+mod churn;
+mod error;
+mod key;
+mod keys;
+mod ring;
+mod store;
+
+pub use channel::{CloudChannel, DhtChannel, UpdateChannel};
+pub use churn::ScheduleDrivenDht;
+pub use error::DhtError;
+pub use key::Key;
+pub use keys::{GroupKeyManager, KeyAccounting, KeyError};
+pub use ring::ChordRing;
+pub use store::{DhtStore, StoredUpdate};

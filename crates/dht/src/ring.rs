@@ -1,0 +1,321 @@
+use crate::error::DhtError;
+use crate::key::Key;
+
+const FINGER_BITS: u32 = 64;
+
+/// A Chord-style consistent-hashing ring.
+///
+/// Nodes are points on the 64-bit circle; a key is owned by its
+/// *successor*. [`ChordRing::lookup`] routes greedily through per-node
+/// finger tables (`O(log n)` hops); [`ChordRing::successors`] yields the
+/// `k` distinct nodes that replicate a key. [`ChordRing::join`] and
+/// [`ChordRing::leave`] model churn, recomputing the affected state.
+///
+/// The ring is a *simulator* of the routing structure: finger tables are
+/// kept globally consistent (as after Chord stabilization has
+/// converged), which is the right fidelity for studying update-exchange
+/// delays rather than stabilization protocols themselves.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_dht::{ChordRing, Key};
+///
+/// let mut ring = ChordRing::new();
+/// for n in 0..8u64 {
+///     ring.join(Key::from_name(n)).expect("fresh node");
+/// }
+/// let owner = ring.successor(Key::from_name(99)).expect("non-empty");
+/// assert!(ring.contains(owner));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChordRing {
+    /// Sorted node keys.
+    nodes: Vec<Key>,
+}
+
+impl ChordRing {
+    /// An empty ring.
+    pub const fn new() -> Self {
+        ChordRing { nodes: Vec::new() }
+    }
+
+    /// Number of member nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The member nodes, sorted by key.
+    pub fn nodes(&self) -> &[Key] {
+        &self.nodes
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: Key) -> bool {
+        self.nodes.binary_search(&node).is_ok()
+    }
+
+    /// Adds a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtError::DuplicateNode`] if the key is already present.
+    pub fn join(&mut self, node: Key) -> Result<(), DhtError> {
+        match self.nodes.binary_search(&node) {
+            Ok(_) => Err(DhtError::DuplicateNode { node }),
+            Err(pos) => {
+                self.nodes.insert(pos, node);
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtError::UnknownNode`] if the key is not a member.
+    pub fn leave(&mut self, node: Key) -> Result<(), DhtError> {
+        match self.nodes.binary_search(&node) {
+            Ok(pos) => {
+                self.nodes.remove(pos);
+                Ok(())
+            }
+            Err(_) => Err(DhtError::UnknownNode { node }),
+        }
+    }
+
+    /// The owner of `key`: the first node clockwise at or after it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtError::EmptyRing`] when there are no nodes.
+    pub fn successor(&self, key: Key) -> Result<Key, DhtError> {
+        if self.nodes.is_empty() {
+            return Err(DhtError::EmptyRing);
+        }
+        let pos = self.nodes.partition_point(|&n| n < key);
+        Ok(self.nodes[pos % self.nodes.len()])
+    }
+
+    /// The `k` distinct nodes that replicate `key`: the owner and its
+    /// ring successors. Returns fewer when the ring is smaller than `k`.
+    pub fn successors(&self, key: Key, k: usize) -> Vec<Key> {
+        if self.nodes.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let start = self.nodes.partition_point(|&n| n < key) % self.nodes.len();
+        (0..k.min(self.nodes.len()))
+            .map(|i| self.nodes[(start + i) % self.nodes.len()])
+            .collect()
+    }
+
+    /// The finger table of `from`: for each bit `i`, the owner of
+    /// `from + 2^i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtError::UnknownNode`] for non-members and
+    /// [`DhtError::EmptyRing`] for an empty ring.
+    pub fn finger_table(&self, from: Key) -> Result<Vec<Key>, DhtError> {
+        if !self.contains(from) {
+            return Err(DhtError::UnknownNode { node: from });
+        }
+        (0..FINGER_BITS)
+            .map(|i| self.successor(from.finger_start(i)))
+            .collect()
+    }
+
+    /// Routes from `from` to the owner of `key` using greedy
+    /// closest-preceding-finger hops, returning `(owner, hop_count)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not a ring member or the ring is empty; route
+    /// lookups only make sense from member nodes.
+    pub fn lookup(&self, from: Key, key: Key) -> (Key, usize) {
+        assert!(self.contains(from), "lookup must start at a member node");
+        let owner = self.successor(key).expect("member implies non-empty");
+        let mut current = from;
+        let mut hops = 0;
+        // Greedy routing: hop to the finger that gets closest to (but
+        // not past) the key's owner region, exactly as Chord's
+        // closest_preceding_finger does.
+        while !key.in_range(current, self.successor_of_node(current)) {
+            let next = self.closest_preceding_finger(current, key);
+            if next == current {
+                // Can happen only on tiny rings; fall through to the
+                // immediate successor.
+                current = self.successor_of_node(current);
+            } else {
+                current = next;
+            }
+            hops += 1;
+            debug_assert!(hops <= self.nodes.len(), "routing loop");
+        }
+        // Final hop to the owner itself (unless we are the owner).
+        if current != owner {
+            hops += 1;
+        }
+        (owner, hops)
+    }
+
+    /// The ring successor of a member node (the next node clockwise).
+    fn successor_of_node(&self, node: Key) -> Key {
+        let pos = self
+            .nodes
+            .binary_search(&node)
+            .expect("node is a member");
+        self.nodes[(pos + 1) % self.nodes.len()]
+    }
+
+    /// The member's finger closest to `key` without passing it.
+    fn closest_preceding_finger(&self, from: Key, key: Key) -> Key {
+        let mut best = from;
+        for i in (0..FINGER_BITS).rev() {
+            let finger = self
+                .successor(from.finger_start(i))
+                .expect("non-empty ring");
+            if finger != from && finger.in_range(from, key) && finger != key {
+                // Candidate strictly between from and key (clockwise).
+                let d = finger.distance_to(key);
+                if best == from || d < best.distance_to(key) {
+                    best = finger;
+                }
+            }
+        }
+        best
+    }
+
+    /// Mean lookup hops from every node to `probe_keys`, a routing
+    /// quality diagnostic (should stay near `log2(n)/2`).
+    pub fn mean_lookup_hops(&self, probe_keys: &[Key]) -> f64 {
+        if self.nodes.is_empty() || probe_keys.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        for &from in &self.nodes {
+            for &key in probe_keys {
+                total += self.lookup(from, key).1;
+            }
+        }
+        total as f64 / (self.nodes.len() * probe_keys.len()) as f64
+    }
+}
+
+impl FromIterator<Key> for ChordRing {
+    fn from_iter<T: IntoIterator<Item = Key>>(iter: T) -> Self {
+        let mut nodes: Vec<Key> = iter.into_iter().collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        ChordRing { nodes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_of(n: u64) -> ChordRing {
+        (0..n).map(Key::from_name).collect()
+    }
+
+    #[test]
+    fn successor_wraps_the_circle() {
+        let ring: ChordRing = [10u64, 20, 30].map(Key::new).into_iter().collect();
+        assert_eq!(ring.successor(Key::new(15)).unwrap(), Key::new(20));
+        assert_eq!(ring.successor(Key::new(20)).unwrap(), Key::new(20));
+        assert_eq!(ring.successor(Key::new(31)).unwrap(), Key::new(10));
+        assert_eq!(ChordRing::new().successor(Key::new(0)), Err(DhtError::EmptyRing));
+    }
+
+    #[test]
+    fn successors_are_distinct_and_ordered() {
+        let ring: ChordRing = [10u64, 20, 30].map(Key::new).into_iter().collect();
+        assert_eq!(
+            ring.successors(Key::new(25), 2),
+            vec![Key::new(30), Key::new(10)]
+        );
+        // k capped at ring size.
+        assert_eq!(ring.successors(Key::new(0), 9).len(), 3);
+        assert!(ring.successors(Key::new(0), 0).is_empty());
+    }
+
+    #[test]
+    fn join_and_leave_maintain_order() {
+        let mut ring = ChordRing::new();
+        ring.join(Key::new(30)).unwrap();
+        ring.join(Key::new(10)).unwrap();
+        ring.join(Key::new(20)).unwrap();
+        assert_eq!(ring.nodes(), &[Key::new(10), Key::new(20), Key::new(30)]);
+        assert_eq!(
+            ring.join(Key::new(20)),
+            Err(DhtError::DuplicateNode { node: Key::new(20) })
+        );
+        ring.leave(Key::new(20)).unwrap();
+        assert_eq!(ring.len(), 2);
+        assert_eq!(
+            ring.leave(Key::new(20)),
+            Err(DhtError::UnknownNode { node: Key::new(20) })
+        );
+    }
+
+    #[test]
+    fn lookup_agrees_with_successor() {
+        let ring = ring_of(64);
+        for probe in 0..200u64 {
+            let key = Key::from_name(10_000 + probe);
+            let owner = ring.successor(key).unwrap();
+            for &from in ring.nodes().iter().step_by(7) {
+                let (found, hops) = ring.lookup(from, key);
+                assert_eq!(found, owner, "probe {probe} from {from}");
+                assert!(hops <= ring.len(), "hop explosion: {hops}");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_hops_are_logarithmic() {
+        let ring = ring_of(256);
+        let probes: Vec<Key> = (0..50u64).map(|i| Key::from_name(77_000 + i)).collect();
+        let mean = ring.mean_lookup_hops(&probes);
+        // log2(256) = 8; greedy Chord averages ~log2(n)/2 with slack.
+        assert!(mean <= 10.0, "mean hops {mean}");
+        assert!(mean >= 1.0, "suspiciously low mean hops {mean}");
+    }
+
+    #[test]
+    fn lookup_on_singleton_ring() {
+        let ring: ChordRing = std::iter::once(Key::new(42)).collect();
+        let (owner, hops) = ring.lookup(Key::new(42), Key::new(7));
+        assert_eq!(owner, Key::new(42));
+        assert_eq!(hops, 0);
+    }
+
+    #[test]
+    fn churn_moves_ownership() {
+        let mut ring: ChordRing = [10u64, 30].map(Key::new).into_iter().collect();
+        let key = Key::new(15);
+        assert_eq!(ring.successor(key).unwrap(), Key::new(30));
+        ring.join(Key::new(20)).unwrap();
+        assert_eq!(ring.successor(key).unwrap(), Key::new(20));
+        ring.leave(Key::new(20)).unwrap();
+        assert_eq!(ring.successor(key).unwrap(), Key::new(30));
+    }
+
+    #[test]
+    fn finger_table_points_at_members() {
+        let ring = ring_of(32);
+        let table = ring.finger_table(ring.nodes()[0]).unwrap();
+        assert_eq!(table.len(), 64);
+        for finger in table {
+            assert!(ring.contains(finger));
+        }
+        assert!(ring.finger_table(Key::new(1)).is_err());
+    }
+}

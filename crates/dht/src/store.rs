@@ -1,0 +1,240 @@
+use std::collections::HashMap;
+
+use dosn_interval::Timestamp;
+
+use crate::error::DhtError;
+use crate::key::Key;
+use crate::ring::ChordRing;
+
+/// One stored profile update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoredUpdate {
+    /// The content key.
+    pub key: Key,
+    /// When it was published.
+    pub published: Timestamp,
+    /// Monotonic per-profile sequence number.
+    pub sequence: u64,
+}
+
+/// A replicated put/get store over a [`ChordRing`].
+///
+/// `put` places an update on the key's `k` successors; `get` succeeds
+/// while at least one holder is still a ring member. Churn helpers
+/// re-replicate after joins/leaves, as a converged Chord implementation
+/// would after stabilization plus repair.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_dht::{ChordRing, DhtStore, Key, StoredUpdate};
+/// use dosn_interval::Timestamp;
+///
+/// let ring: ChordRing = (0..16u64).map(Key::from_name).collect();
+/// let mut store = DhtStore::new(3);
+/// let update = StoredUpdate {
+///     key: Key::from_name(7),
+///     published: Timestamp::new(0),
+///     sequence: 1,
+/// };
+/// store.put(&ring, update).expect("ring is non-empty");
+/// assert_eq!(store.holders(update.key).len(), 3);
+/// assert!(store.get(&ring, update.key).is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DhtStore {
+    replication: usize,
+    /// key -> (update, holder nodes).
+    entries: HashMap<Key, (StoredUpdate, Vec<Key>)>,
+}
+
+impl DhtStore {
+    /// A store replicating each update on `k` successors (clamped to at
+    /// least 1).
+    pub fn new(k: usize) -> Self {
+        DhtStore {
+            replication: k.max(1),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Number of stored updates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Stores `update` on its key's successors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtError::EmptyRing`] when the ring has no nodes.
+    pub fn put(&mut self, ring: &ChordRing, update: StoredUpdate) -> Result<(), DhtError> {
+        if ring.is_empty() {
+            return Err(DhtError::EmptyRing);
+        }
+        let holders = ring.successors(update.key, self.replication);
+        self.entries.insert(update.key, (update, holders));
+        Ok(())
+    }
+
+    /// Fetches an update if any of its holders is still a ring member.
+    pub fn get(&self, ring: &ChordRing, key: Key) -> Option<StoredUpdate> {
+        let (update, holders) = self.entries.get(&key)?;
+        holders
+            .iter()
+            .any(|&h| ring.contains(h))
+            .then_some(*update)
+    }
+
+    /// The current holder set of a key (empty if unknown).
+    pub fn holders(&self, key: Key) -> &[Key] {
+        self.entries
+            .get(&key)
+            .map(|(_, h)| h.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Repairs replication after churn: every surviving entry is
+    /// re-placed on the *current* successors of its key. Entries whose
+    /// holders all left are lost and returned.
+    pub fn stabilize(&mut self, ring: &ChordRing) -> Vec<StoredUpdate> {
+        let mut lost = Vec::new();
+        let keys: Vec<Key> = self.entries.keys().copied().collect();
+        for key in keys {
+            let (update, holders) = self.entries.get(&key).expect("key just listed");
+            let survives = holders.iter().any(|&h| ring.contains(h));
+            let update = *update;
+            if survives && !ring.is_empty() {
+                let holders = ring.successors(key, self.replication);
+                self.entries.insert(key, (update, holders));
+            } else {
+                self.entries.remove(&key);
+                lost.push(update);
+            }
+        }
+        lost.sort_unstable_by_key(|u| u.key);
+        lost
+    }
+
+    /// How many updates each node holds — the storage-balance
+    /// diagnostic (consistent hashing should keep this even).
+    pub fn load_per_node(&self) -> HashMap<Key, usize> {
+        let mut load = HashMap::new();
+        for (_, holders) in self.entries.values() {
+            for &h in holders {
+                *load.entry(h).or_insert(0) += 1;
+            }
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(name: u64) -> StoredUpdate {
+        StoredUpdate {
+            key: Key::from_name(name),
+            published: Timestamp::new(name),
+            sequence: name,
+        }
+    }
+
+    fn ring_of(n: u64) -> ChordRing {
+        (0..n).map(Key::from_name).collect()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let ring = ring_of(8);
+        let mut store = DhtStore::new(2);
+        store.put(&ring, update(1)).unwrap();
+        assert_eq!(store.get(&ring, Key::from_name(1)), Some(update(1)));
+        assert_eq!(store.get(&ring, Key::from_name(2)), None);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn put_on_empty_ring_fails() {
+        let mut store = DhtStore::new(2);
+        assert_eq!(
+            store.put(&ChordRing::new(), update(1)),
+            Err(DhtError::EmptyRing)
+        );
+    }
+
+    #[test]
+    fn survives_k_minus_1_holder_failures() {
+        let mut ring = ring_of(16);
+        let mut store = DhtStore::new(3);
+        store.put(&ring, update(5)).unwrap();
+        let holders: Vec<Key> = store.holders(update(5).key).to_vec();
+        assert_eq!(holders.len(), 3);
+        // Kill two of three holders: still retrievable.
+        ring.leave(holders[0]).unwrap();
+        ring.leave(holders[1]).unwrap();
+        assert!(store.get(&ring, update(5).key).is_some());
+        // Kill the last: lost.
+        ring.leave(holders[2]).unwrap();
+        assert!(store.get(&ring, update(5).key).is_none());
+    }
+
+    #[test]
+    fn stabilize_re_replicates_after_churn() {
+        let mut ring = ring_of(16);
+        let mut store = DhtStore::new(3);
+        store.put(&ring, update(5)).unwrap();
+        let first_holder = store.holders(update(5).key)[0];
+        ring.leave(first_holder).unwrap();
+        let lost = store.stabilize(&ring);
+        assert!(lost.is_empty());
+        // Back to full replication on live nodes.
+        assert_eq!(store.holders(update(5).key).len(), 3);
+        assert!(store
+            .holders(update(5).key)
+            .iter()
+            .all(|&h| ring.contains(h)));
+    }
+
+    #[test]
+    fn stabilize_reports_lost_entries() {
+        let mut ring = ring_of(4);
+        let mut store = DhtStore::new(1);
+        store.put(&ring, update(5)).unwrap();
+        let holder = store.holders(update(5).key)[0];
+        ring.leave(holder).unwrap();
+        let lost = store.stabilize(&ring);
+        assert_eq!(lost, vec![update(5)]);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring = ring_of(32);
+        let mut store = DhtStore::new(1);
+        for i in 0..640 {
+            store.put(&ring, update(i)).unwrap();
+        }
+        let load = store.load_per_node();
+        let max = load.values().copied().max().unwrap_or(0);
+        // 640 keys over 32 nodes: mean 20; allow heavy but bounded skew.
+        assert!(max < 110, "max load {max}");
+        assert!(load.len() > 16, "keys concentrated on few nodes");
+    }
+
+    #[test]
+    fn replication_clamped() {
+        assert_eq!(DhtStore::new(0).replication(), 1);
+    }
+}

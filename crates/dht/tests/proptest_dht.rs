@@ -1,0 +1,93 @@
+//! Property tests for the Chord ring and replicated store.
+
+use dosn_dht::{ChordRing, DhtStore, Key, StoredUpdate};
+use dosn_interval::Timestamp;
+use proptest::prelude::*;
+
+fn ring_strategy() -> impl Strategy<Value = ChordRing> {
+    prop::collection::btree_set(any::<u64>(), 1..64)
+        .prop_map(|keys| keys.into_iter().map(Key::new).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn successor_matches_linear_scan(ring in ring_strategy(), probe in any::<u64>()) {
+        let key = Key::new(probe);
+        let expected = ring
+            .nodes()
+            .iter()
+            .copied()
+            .find(|&n| n >= key)
+            .unwrap_or(ring.nodes()[0]);
+        prop_assert_eq!(ring.successor(key).expect("non-empty"), expected);
+    }
+
+    #[test]
+    fn lookup_finds_the_owner_from_anywhere(ring in ring_strategy(), probe in any::<u64>()) {
+        let key = Key::new(probe);
+        let owner = ring.successor(key).expect("non-empty");
+        for &from in ring.nodes().iter().take(8) {
+            let (found, hops) = ring.lookup(from, key);
+            prop_assert_eq!(found, owner);
+            prop_assert!(hops <= ring.len() + 1);
+        }
+    }
+
+    #[test]
+    fn successors_are_the_k_nodes_after_the_key(ring in ring_strategy(), probe in any::<u64>(), k in 1usize..8) {
+        let key = Key::new(probe);
+        let succ = ring.successors(key, k);
+        prop_assert_eq!(succ.len(), k.min(ring.len()));
+        // Distinct and starting at the owner.
+        let mut dedup = succ.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), succ.len());
+        prop_assert_eq!(succ[0], ring.successor(key).expect("non-empty"));
+    }
+
+    #[test]
+    fn join_then_leave_is_identity(ring in ring_strategy(), newcomer in any::<u64>()) {
+        let node = Key::new(newcomer);
+        prop_assume!(!ring.contains(node));
+        let mut mutated = ring.clone();
+        mutated.join(node).expect("fresh node");
+        prop_assert!(mutated.contains(node));
+        mutated.leave(node).expect("present node");
+        prop_assert_eq!(mutated, ring);
+    }
+
+    #[test]
+    fn store_survives_any_k_minus_1_failures(
+        ring in ring_strategy(),
+        name in any::<u64>(),
+        kill in prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+    ) {
+        prop_assume!(ring.len() >= 4);
+        let mut ring = ring;
+        let mut store = DhtStore::new(3);
+        let update = StoredUpdate {
+            key: Key::from_name(name),
+            published: Timestamp::new(0),
+            sequence: 1,
+        };
+        store.put(&ring, update).expect("non-empty ring");
+        let holders: Vec<Key> = store.holders(update.key).to_vec();
+        // Kill at most k-1 = 2 distinct holders.
+        let mut killed = Vec::new();
+        for idx in kill.iter().take(2) {
+            let victim = holders[idx.index(holders.len())];
+            if !killed.contains(&victim) {
+                ring.leave(victim).expect("holder is a member");
+                killed.push(victim);
+            }
+        }
+        prop_assert!(store.get(&ring, update.key).is_some());
+        // After stabilization replication is restored on live nodes.
+        let lost = store.stabilize(&ring);
+        prop_assert!(lost.is_empty());
+        prop_assert_eq!(store.holders(update.key).len(), 3.min(ring.len()));
+    }
+}

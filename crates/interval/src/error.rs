@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing an interval or schedule from invalid
+/// bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum IntervalError {
+    /// The interval would be empty or inverted (`start >= end`).
+    EmptyInterval {
+        /// Requested (inclusive) start second.
+        start: u32,
+        /// Requested (exclusive) end second.
+        end: u32,
+    },
+    /// A time-of-day value was outside `[0, SECONDS_PER_DAY)`, or an
+    /// interval end exceeded `SECONDS_PER_DAY`.
+    OutOfDayRange {
+        /// The offending value, in seconds.
+        value: u32,
+    },
+    /// A wrapping session length was zero or exceeded a full day.
+    BadSessionLength {
+        /// The offending length, in seconds.
+        len: u32,
+    },
+}
+
+impl fmt::Display for IntervalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            IntervalError::EmptyInterval { start, end } => {
+                write!(f, "interval [{start}, {end}) is empty or inverted")
+            }
+            IntervalError::OutOfDayRange { value } => {
+                write!(f, "time-of-day value {value} is outside the day range")
+            }
+            IntervalError::BadSessionLength { len } => {
+                write!(f, "session length {len} is zero or longer than a day")
+            }
+        }
+    }
+}
+
+impl Error for IntervalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let messages = [
+            IntervalError::EmptyInterval { start: 5, end: 5 }.to_string(),
+            IntervalError::OutOfDayRange { value: 90_000 }.to_string(),
+            IntervalError::BadSessionLength { len: 0 }.to_string(),
+        ];
+        for m in messages {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IntervalError>();
+    }
+}

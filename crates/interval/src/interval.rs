@@ -1,0 +1,184 @@
+use crate::error::IntervalError;
+use crate::time::SECONDS_PER_DAY;
+
+/// A non-empty half-open interval `[start, end)` of seconds within a day.
+///
+/// Invariants, enforced at construction: `start < end` and
+/// `end <= SECONDS_PER_DAY`. Sessions that wrap midnight are not
+/// representable as a single `Interval`; [`DaySchedule`](crate::DaySchedule)
+/// splits them into two.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::Interval;
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let morning = Interval::new(8 * 3600, 12 * 3600)?;
+/// assert_eq!(morning.len(), 4 * 3600);
+/// assert!(morning.contains(9 * 3600));
+/// assert!(!morning.contains(12 * 3600)); // half-open
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Interval {
+    start: u32,
+    end: u32,
+}
+
+impl Interval {
+    /// Creates the interval `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntervalError::EmptyInterval`] if `start >= end` and
+    /// [`IntervalError::OutOfDayRange`] if `end > SECONDS_PER_DAY`.
+    pub fn new(start: u32, end: u32) -> Result<Self, IntervalError> {
+        if start >= end {
+            return Err(IntervalError::EmptyInterval { start, end });
+        }
+        if end > SECONDS_PER_DAY {
+            return Err(IntervalError::OutOfDayRange { value: end });
+        }
+        Ok(Interval { start, end })
+    }
+
+    /// The full day, `[0, SECONDS_PER_DAY)`.
+    pub const fn full_day() -> Self {
+        Interval {
+            start: 0,
+            end: SECONDS_PER_DAY,
+        }
+    }
+
+    /// Inclusive start second.
+    pub const fn start(self) -> u32 {
+        self.start
+    }
+
+    /// Exclusive end second.
+    pub const fn end(self) -> u32 {
+        self.end
+    }
+
+    /// Length in seconds; always positive.
+    // An `is_empty` would always be false — empty intervals are not
+    // constructible — so it would only mislead.
+    #[allow(clippy::len_without_is_empty)]
+    pub const fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether `t` lies inside the interval.
+    pub const fn contains(self, t: u32) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether the two intervals share at least one second.
+    pub const fn overlaps(self, other: Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Whether the two intervals overlap or touch end-to-start, i.e. their
+    /// union is a single interval.
+    pub const fn touches(self, other: Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// The overlap of the two intervals, if any.
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then_some(Interval { start, end })
+    }
+
+    /// The union of two touching intervals as a single interval.
+    ///
+    /// Returns `None` when the intervals neither overlap nor touch, since
+    /// their union is then not an interval.
+    pub fn merge(self, other: Interval) -> Option<Interval> {
+        self.touches(other).then(|| Interval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        })
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_inverted() {
+        assert_eq!(
+            Interval::new(10, 10),
+            Err(IntervalError::EmptyInterval { start: 10, end: 10 })
+        );
+        assert_eq!(
+            Interval::new(10, 5),
+            Err(IntervalError::EmptyInterval { start: 10, end: 5 })
+        );
+    }
+
+    #[test]
+    fn rejects_past_midnight() {
+        assert_eq!(
+            Interval::new(0, SECONDS_PER_DAY + 1),
+            Err(IntervalError::OutOfDayRange {
+                value: SECONDS_PER_DAY + 1
+            })
+        );
+        assert!(Interval::new(0, SECONDS_PER_DAY).is_ok());
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let i = Interval::new(5, 10).unwrap();
+        assert!(i.contains(5));
+        assert!(i.contains(9));
+        assert!(!i.contains(10));
+        assert!(!i.contains(4));
+    }
+
+    #[test]
+    fn overlap_and_touch_semantics() {
+        let a = Interval::new(0, 10).unwrap();
+        let b = Interval::new(10, 20).unwrap();
+        let c = Interval::new(5, 15).unwrap();
+        assert!(!a.overlaps(b));
+        assert!(a.touches(b));
+        assert!(a.overlaps(c));
+        assert_eq!(a.intersect(c), Some(Interval::new(5, 10).unwrap()));
+        assert_eq!(a.intersect(b), None);
+    }
+
+    #[test]
+    fn merge_touching() {
+        let a = Interval::new(0, 10).unwrap();
+        let b = Interval::new(10, 20).unwrap();
+        assert_eq!(a.merge(b), Some(Interval::new(0, 20).unwrap()));
+        let far = Interval::new(30, 40).unwrap();
+        assert_eq!(a.merge(far), None);
+    }
+
+    #[test]
+    fn full_day_spans_everything() {
+        let d = Interval::full_day();
+        assert_eq!(d.len(), SECONDS_PER_DAY);
+        assert!(d.contains(0));
+        assert!(d.contains(SECONDS_PER_DAY - 1));
+    }
+
+    #[test]
+    fn display_shows_half_open_bounds() {
+        assert_eq!(Interval::new(3, 7).unwrap().to_string(), "[3, 7)");
+    }
+}

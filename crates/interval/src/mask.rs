@@ -1,0 +1,172 @@
+use crate::schedule::DaySchedule;
+use crate::time::SECONDS_PER_DAY;
+
+const WORDS: usize = (SECONDS_PER_DAY as usize).div_ceil(64);
+
+/// A dense bitmap over the 86 400 seconds of a day.
+///
+/// Semantically equivalent to [`DaySchedule`]; used as a test oracle for
+/// the interval-set algebra and as the naive baseline in the
+/// interval-vs-bitmap ablation benchmark. One instance occupies ~10.8 KiB
+/// regardless of how fragmented the schedule is.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::{DaySchedule, DenseSchedule};
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let sparse = DaySchedule::window_wrapping(100, 50)?;
+/// let dense = DenseSchedule::from(&sparse);
+/// assert_eq!(dense.online_seconds(), 50);
+/// assert!(dense.contains(120));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct DenseSchedule {
+    bits: Box<[u64; WORDS]>,
+}
+
+impl DenseSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        DenseSchedule {
+            bits: Box::new([0; WORDS]),
+        }
+    }
+
+    /// Marks seconds `[start, start + len)` online, wrapping midnight.
+    ///
+    /// Seconds at or past `SECONDS_PER_DAY` are reduced modulo the day.
+    pub fn set_wrapping(&mut self, start: u32, len: u32) {
+        for off in 0..len.min(SECONDS_PER_DAY) {
+            let t = (start as u64 + off as u64) % SECONDS_PER_DAY as u64;
+            self.bits[(t / 64) as usize] |= 1 << (t % 64);
+        }
+    }
+
+    /// Whether second-of-day `t` (reduced modulo the day) is online.
+    pub fn contains(&self, t: u32) -> bool {
+        let t = (t % SECONDS_PER_DAY) as usize;
+        self.bits[t / 64] & (1 << (t % 64)) != 0
+    }
+
+    /// Total online seconds.
+    pub fn online_seconds(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Whether no second is online.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Union with another dense schedule.
+    #[must_use]
+    pub fn union(&self, other: &DenseSchedule) -> DenseSchedule {
+        let mut out = self.clone();
+        for (a, b) in out.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= b;
+        }
+        out
+    }
+
+    /// Intersection with another dense schedule.
+    #[must_use]
+    pub fn intersection(&self, other: &DenseSchedule) -> DenseSchedule {
+        let mut out = self.clone();
+        for (a, b) in out.bits.iter_mut().zip(other.bits.iter()) {
+            *a &= b;
+        }
+        out
+    }
+
+    /// Seconds online in both schedules, without materializing the
+    /// intersection.
+    pub fn overlap_seconds(&self, other: &DenseSchedule) -> u32 {
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
+    }
+}
+
+impl Default for DenseSchedule {
+    fn default() -> Self {
+        DenseSchedule::new()
+    }
+}
+
+impl From<&DaySchedule> for DenseSchedule {
+    fn from(s: &DaySchedule) -> Self {
+        let mut out = DenseSchedule::new();
+        for iv in s.windows() {
+            out.set_wrapping(iv.start(), iv.len());
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for DenseSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DenseSchedule")
+            .field("online_seconds", &self.online_seconds())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_query() {
+        let mut d = DenseSchedule::new();
+        assert!(d.is_empty());
+        d.set_wrapping(10, 5);
+        assert!(d.contains(10));
+        assert!(d.contains(14));
+        assert!(!d.contains(15));
+        assert_eq!(d.online_seconds(), 5);
+    }
+
+    #[test]
+    fn wrapping_set() {
+        let mut d = DenseSchedule::new();
+        d.set_wrapping(SECONDS_PER_DAY - 2, 4);
+        assert!(d.contains(SECONDS_PER_DAY - 1));
+        assert!(d.contains(0));
+        assert!(d.contains(1));
+        assert!(!d.contains(2));
+        assert_eq!(d.online_seconds(), 4);
+    }
+
+    #[test]
+    fn matches_sparse_schedule() {
+        let sparse = DaySchedule::window_wrapping(SECONDS_PER_DAY - 100, 300).unwrap();
+        let dense = DenseSchedule::from(&sparse);
+        assert_eq!(dense.online_seconds(), sparse.online_seconds());
+        for t in [0u32, 50, 199, 200, SECONDS_PER_DAY - 100, SECONDS_PER_DAY - 1] {
+            assert_eq!(dense.contains(t), sparse.contains(t), "second {t}");
+        }
+    }
+
+    #[test]
+    fn union_intersection_overlap() {
+        let mut a = DenseSchedule::new();
+        a.set_wrapping(0, 100);
+        let mut b = DenseSchedule::new();
+        b.set_wrapping(50, 100);
+        assert_eq!(a.union(&b).online_seconds(), 150);
+        assert_eq!(a.intersection(&b).online_seconds(), 50);
+        assert_eq!(a.overlap_seconds(&b), 50);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", DenseSchedule::new());
+        assert!(s.contains("DenseSchedule"));
+    }
+}

@@ -1,0 +1,524 @@
+use crate::error::IntervalError;
+use crate::interval::Interval;
+use crate::set::IntervalSet;
+use crate::time::{forward_distance, SECONDS_PER_DAY};
+
+/// A *circular* set of seconds-of-day in `[0, 86 400)`.
+///
+/// This is the paper's `OT_u` — the online-time pattern of a user, reduced
+/// to the daily circle. A `DaySchedule` stores a canonical [`IntervalSet`]
+/// internally but exposes circular semantics: sessions may wrap midnight,
+/// gap queries wrap around, and "time until next online" walks forward
+/// over midnight.
+///
+/// The two circular queries that power the update-propagation-delay
+/// metric are [`DaySchedule::max_gap`] (the longest stretch of the day a
+/// set of co-online windows leaves uncovered — the worst-case wait for the
+/// next window) and [`DaySchedule::wait_until_online`].
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::{DaySchedule, SECONDS_PER_DAY};
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// // Online 23:00-01:00, wrapping midnight.
+/// let s = DaySchedule::window_wrapping(23 * 3600, 2 * 3600)?;
+/// assert_eq!(s.online_seconds(), 2 * 3600);
+/// assert!(s.contains(0));
+/// assert!(s.contains(23 * 3600 + 1));
+/// assert!(!s.contains(12 * 3600));
+/// // The longest offline stretch is the remaining 22 hours.
+/// assert_eq!(s.max_gap(), Some(22 * 3600));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DaySchedule {
+    set: IntervalSet,
+}
+
+impl DaySchedule {
+    /// Creates an empty schedule (never online).
+    pub const fn new() -> Self {
+        DaySchedule {
+            set: IntervalSet::new(),
+        }
+    }
+
+    /// Creates a schedule covering the whole day (always online).
+    pub fn full() -> Self {
+        DaySchedule {
+            set: IntervalSet::from_interval(Interval::full_day()),
+        }
+    }
+
+    /// Creates a schedule from an already-linear interval set.
+    pub fn from_set(set: IntervalSet) -> Self {
+        DaySchedule { set }
+    }
+
+    /// Creates a single online window of `len` seconds starting at
+    /// second-of-day `start`, wrapping midnight if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntervalError::OutOfDayRange`] if `start` is not a valid
+    /// second-of-day and [`IntervalError::BadSessionLength`] if `len` is
+    /// zero or exceeds a day.
+    pub fn window_wrapping(start: u32, len: u32) -> Result<Self, IntervalError> {
+        let mut s = DaySchedule::new();
+        s.insert_wrapping(start, len)?;
+        Ok(s)
+    }
+
+    /// Creates a single online window of `len` seconds centered on
+    /// second-of-day `center`, wrapping midnight if needed.
+    ///
+    /// This is the constructor the `FixedLength` / `RandomLength`
+    /// online-time models use: a window of the model's length centered on
+    /// the user's activity mass.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DaySchedule::window_wrapping`].
+    pub fn window_centered(center: u32, len: u32) -> Result<Self, IntervalError> {
+        if center >= SECONDS_PER_DAY {
+            return Err(IntervalError::OutOfDayRange { value: center });
+        }
+        if len == 0 || len > SECONDS_PER_DAY {
+            return Err(IntervalError::BadSessionLength { len });
+        }
+        let half = len / 2;
+        let start = (center + SECONDS_PER_DAY - half) % SECONDS_PER_DAY;
+        DaySchedule::window_wrapping(start, len)
+    }
+
+    /// Inserts an online window of `len` seconds starting at
+    /// second-of-day `start`, wrapping midnight if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntervalError::OutOfDayRange`] if `start` is not a valid
+    /// second-of-day and [`IntervalError::BadSessionLength`] if `len` is
+    /// zero or exceeds a day.
+    pub fn insert_wrapping(&mut self, start: u32, len: u32) -> Result<(), IntervalError> {
+        if start >= SECONDS_PER_DAY {
+            return Err(IntervalError::OutOfDayRange { value: start });
+        }
+        if len == 0 || len > SECONDS_PER_DAY {
+            return Err(IntervalError::BadSessionLength { len });
+        }
+        let end = start as u64 + len as u64;
+        if end <= SECONDS_PER_DAY as u64 {
+            self.set
+                .insert(Interval::new(start, end as u32).expect("validated window"));
+        } else {
+            self.set
+                .insert(Interval::new(start, SECONDS_PER_DAY).expect("validated head"));
+            let tail = (end - SECONDS_PER_DAY as u64) as u32;
+            self.set
+                .insert(Interval::new(0, tail).expect("validated tail"));
+        }
+        Ok(())
+    }
+
+    /// Whether the user is never online.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Whether the user is online the entire day.
+    pub fn is_full(&self) -> bool {
+        self.online_seconds() == SECONDS_PER_DAY
+    }
+
+    /// Total online seconds per day.
+    pub fn online_seconds(&self) -> u32 {
+        self.set.measure()
+    }
+
+    /// Online time as a fraction of the day, in `[0, 1]` — the paper's
+    /// *availability* when applied to a union of replica schedules.
+    pub fn fraction_of_day(&self) -> f64 {
+        f64::from(self.online_seconds()) / f64::from(SECONDS_PER_DAY)
+    }
+
+    /// Whether the user is online at second-of-day `t`.
+    ///
+    /// Values of `t` at or past `SECONDS_PER_DAY` are reduced modulo the
+    /// day length, so callers may pass raw timestamp offsets.
+    pub fn contains(&self, t: u32) -> bool {
+        self.set.contains(t % SECONDS_PER_DAY)
+    }
+
+    /// The underlying linear interval set (wrapped windows appear as two
+    /// pieces).
+    pub fn as_set(&self) -> &IntervalSet {
+        &self.set
+    }
+
+    /// Union of two schedules: online whenever either is.
+    #[must_use]
+    pub fn union(&self, other: &DaySchedule) -> DaySchedule {
+        DaySchedule {
+            set: self.set.union(&other.set),
+        }
+    }
+
+    /// Intersection of two schedules: online whenever both are.
+    #[must_use]
+    pub fn intersection(&self, other: &DaySchedule) -> DaySchedule {
+        DaySchedule {
+            set: self.set.intersection(&other.set),
+        }
+    }
+
+    /// Seconds covered by `self` but not `other`.
+    #[must_use]
+    pub fn difference(&self, other: &DaySchedule) -> DaySchedule {
+        DaySchedule {
+            set: self.set.difference(&other.set),
+        }
+    }
+
+    /// Seconds per day the two schedules are both online — the paper's
+    /// overlap `d` between two replicas.
+    pub fn overlap_seconds(&self, other: &DaySchedule) -> u32 {
+        self.set.overlap_measure(&other.set)
+    }
+
+    /// Whether the two schedules are *connected in time*
+    /// (`OT_i ∩ OT_j ≠ ∅`) — the ConRep predicate.
+    pub fn is_connected_to(&self, other: &DaySchedule) -> bool {
+        self.set.intersects(&other.set)
+    }
+
+    /// The longest circularly-contiguous *offline* stretch, in seconds.
+    ///
+    /// Returns `None` for an empty schedule (the "gap" never ends) and
+    /// `Some(0)` for a full-day schedule. Applied to the intersection of
+    /// two replicas' schedules, this is the worst-case wait for the next
+    /// co-online window — the edge weight of the replica time-connectivity
+    /// graph in the update-propagation-delay metric.
+    pub fn max_gap(&self) -> Option<u32> {
+        if self.set.is_empty() {
+            return None;
+        }
+        let ivs = self.set.intervals();
+        if ivs.len() == 1 && ivs[0].len() == SECONDS_PER_DAY {
+            return Some(0);
+        }
+        let mut max = 0u32;
+        for w in ivs.windows(2) {
+            max = max.max(w[1].start() - w[0].end());
+        }
+        // Wraparound gap from the last interval's end to the first's start.
+        let first = ivs[0];
+        let last = ivs[ivs.len() - 1];
+        let wrap = if last.end() == SECONDS_PER_DAY && first.start() == 0 {
+            0
+        } else {
+            forward_distance(last.end() % SECONDS_PER_DAY, first.start())
+        };
+        Some(max.max(wrap))
+    }
+
+    /// Seconds to wait, starting at second-of-day `t`, until the schedule
+    /// is next online (zero if online at `t`; wraps midnight).
+    ///
+    /// Returns `None` for an empty schedule.
+    pub fn wait_until_online(&self, t: u32) -> Option<u32> {
+        if self.set.is_empty() {
+            return None;
+        }
+        let t = t % SECONDS_PER_DAY;
+        match self.set.next_covered_at(t) {
+            Some(next) => Some(next - t),
+            // Wrap to the first window of the next day.
+            None => {
+                let first = self.set.intervals()[0].start();
+                Some(forward_distance(t, first))
+            }
+        }
+    }
+
+    /// Iterates over the linear windows (wrapped windows appear as two
+    /// pieces, one at each end of the day).
+    pub fn windows(&self) -> std::slice::Iter<'_, Interval> {
+        self.set.iter()
+    }
+
+    /// The `offset`-th online second of the day (counting covered
+    /// seconds in ascending order), or `None` when `offset` is at or
+    /// past [`DaySchedule::online_seconds`].
+    ///
+    /// Mapping a uniform `offset` through this function samples a
+    /// uniformly random *online* instant — how the simulators draw read
+    /// and session times.
+    pub fn nth_online_second(&self, offset: u32) -> Option<u32> {
+        let mut remaining = offset;
+        for window in self.windows() {
+            if remaining < window.len() {
+                return Some(window.start() + remaining);
+            }
+            remaining -= window.len();
+        }
+        None
+    }
+}
+
+/// The seconds of the day covered by at least `k` of the given
+/// schedules — the "online on most observed days" operation behind
+/// schedule prediction.
+///
+/// `k = 1` is the n-way union; `k = schedules.len()` the n-way
+/// intersection; `k = 0` the full day. Runs as one event sweep over all
+/// window boundaries (`O(total windows · log)`).
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::{coverage_at_least, DaySchedule};
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let days = [
+///     DaySchedule::window_wrapping(0, 100)?,
+///     DaySchedule::window_wrapping(50, 100)?,
+///     DaySchedule::window_wrapping(80, 100)?,
+/// ];
+/// let stable = coverage_at_least(&days, 2);
+/// // Covered by >= 2 days: [50, 150).
+/// assert_eq!(stable.online_seconds(), 100);
+/// assert!(stable.contains(60) && stable.contains(149) && !stable.contains(49));
+/// # Ok(())
+/// # }
+/// ```
+pub fn coverage_at_least(schedules: &[DaySchedule], k: usize) -> DaySchedule {
+    if k == 0 {
+        return DaySchedule::full();
+    }
+    if k > schedules.len() {
+        return DaySchedule::new();
+    }
+    // Event sweep: +1 at window starts, -1 at window ends.
+    let mut events: Vec<(u32, i32)> = Vec::new();
+    for s in schedules {
+        for w in s.windows() {
+            events.push((w.start(), 1));
+            events.push((w.end(), -1));
+        }
+    }
+    events.sort_unstable();
+    let mut out = crate::set::IntervalSet::new();
+    let mut depth = 0i32;
+    let mut covered_since: Option<u32> = None;
+    for (t, delta) in events {
+        let before = depth;
+        depth += delta;
+        if before < k as i32 && depth >= k as i32 {
+            covered_since = Some(t);
+        } else if before >= k as i32 && depth < k as i32 {
+            let start = covered_since.take().expect("was covered");
+            if t > start {
+                out.insert(Interval::new(start, t).expect("start < t <= day"));
+            }
+        }
+    }
+    debug_assert!(covered_since.is_none(), "events are balanced");
+    DaySchedule::from_set(out)
+}
+
+impl From<IntervalSet> for DaySchedule {
+    fn from(set: IntervalSet) -> Self {
+        DaySchedule::from_set(set)
+    }
+}
+
+impl From<DaySchedule> for IntervalSet {
+    fn from(s: DaySchedule) -> Self {
+        s.set
+    }
+}
+
+impl std::fmt::Display for DaySchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(pairs: &[(u32, u32)]) -> DaySchedule {
+        DaySchedule::from_set(
+            pairs
+                .iter()
+                .map(|&(s, e)| Interval::new(s, e).unwrap())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn wrapping_window_splits_into_two_pieces() {
+        let s = DaySchedule::window_wrapping(SECONDS_PER_DAY - 100, 250).unwrap();
+        assert_eq!(s.online_seconds(), 250);
+        assert_eq!(s.windows().len(), 2);
+        assert!(s.contains(SECONDS_PER_DAY - 1));
+        assert!(s.contains(0));
+        assert!(s.contains(149));
+        assert!(!s.contains(150));
+    }
+
+    #[test]
+    fn non_wrapping_window_is_one_piece() {
+        let s = DaySchedule::window_wrapping(100, 50).unwrap();
+        assert_eq!(s.windows().len(), 1);
+        assert_eq!(s.online_seconds(), 50);
+    }
+
+    #[test]
+    fn window_centered_wraps_at_midnight() {
+        let s = DaySchedule::window_centered(0, 7200).unwrap();
+        assert_eq!(s.online_seconds(), 7200);
+        assert!(s.contains(SECONDS_PER_DAY - 3600));
+        assert!(s.contains(3599));
+        assert!(!s.contains(3600));
+    }
+
+    #[test]
+    fn window_validation() {
+        assert!(DaySchedule::window_wrapping(SECONDS_PER_DAY, 10).is_err());
+        assert!(DaySchedule::window_wrapping(0, 0).is_err());
+        assert!(DaySchedule::window_wrapping(0, SECONDS_PER_DAY + 1).is_err());
+        assert!(DaySchedule::window_wrapping(0, SECONDS_PER_DAY).is_ok());
+        assert!(DaySchedule::window_centered(SECONDS_PER_DAY, 10).is_err());
+    }
+
+    #[test]
+    fn full_day_window_is_full() {
+        let s = DaySchedule::window_wrapping(500, SECONDS_PER_DAY).unwrap();
+        assert!(s.is_full());
+        assert_eq!(s.max_gap(), Some(0));
+    }
+
+    #[test]
+    fn overlap_and_connectivity() {
+        let a = sched(&[(0, 100), (200, 300)]);
+        let b = sched(&[(50, 250)]);
+        assert_eq!(a.overlap_seconds(&b), 100);
+        assert!(a.is_connected_to(&b));
+        let c = sched(&[(400, 500)]);
+        assert!(!a.is_connected_to(&c));
+        assert_eq!(a.overlap_seconds(&c), 0);
+    }
+
+    #[test]
+    fn max_gap_interior() {
+        // Windows [0,100) and [200,300): interior gap 100, wrap gap
+        // from 300 around to 0 = SECONDS_PER_DAY - 300.
+        let s = sched(&[(0, 100), (200, 300)]);
+        assert_eq!(s.max_gap(), Some(SECONDS_PER_DAY - 300));
+    }
+
+    #[test]
+    fn max_gap_when_window_hugs_midnight() {
+        // Pieces [0,100) and [SECONDS_PER_DAY-100, SECONDS_PER_DAY):
+        // circularly one window, single gap in the middle.
+        let s = sched(&[(0, 100), (SECONDS_PER_DAY - 100, SECONDS_PER_DAY)]);
+        assert_eq!(s.max_gap(), Some(SECONDS_PER_DAY - 200));
+    }
+
+    #[test]
+    fn max_gap_of_empty_is_none() {
+        assert_eq!(DaySchedule::new().max_gap(), None);
+    }
+
+    #[test]
+    fn wait_until_online_wraps() {
+        let s = sched(&[(100, 200)]);
+        assert_eq!(s.wait_until_online(150), Some(0));
+        assert_eq!(s.wait_until_online(0), Some(100));
+        assert_eq!(s.wait_until_online(200), Some(SECONDS_PER_DAY - 100));
+        assert_eq!(DaySchedule::new().wait_until_online(0), None);
+    }
+
+    #[test]
+    fn wait_until_online_reduces_argument_modulo_day() {
+        let s = sched(&[(100, 200)]);
+        assert_eq!(s.wait_until_online(SECONDS_PER_DAY + 150), Some(0));
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = sched(&[(0, 100)]);
+        let b = sched(&[(50, 150)]);
+        assert_eq!(a.union(&b).online_seconds(), 150);
+        assert_eq!(a.intersection(&b).online_seconds(), 50);
+        assert_eq!(a.difference(&b).online_seconds(), 50);
+    }
+
+    #[test]
+    fn fraction_of_day() {
+        let s = sched(&[(0, SECONDS_PER_DAY / 4)]);
+        assert!((s.fraction_of_day() - 0.25).abs() < 1e-12);
+        assert_eq!(DaySchedule::full().fraction_of_day(), 1.0);
+        assert_eq!(DaySchedule::new().fraction_of_day(), 0.0);
+    }
+
+    #[test]
+    fn nth_online_second_enumerates_coverage() {
+        let s = sched(&[(10, 20), (100, 110)]);
+        assert_eq!(s.nth_online_second(0), Some(10));
+        assert_eq!(s.nth_online_second(9), Some(19));
+        assert_eq!(s.nth_online_second(10), Some(100));
+        assert_eq!(s.nth_online_second(19), Some(109));
+        assert_eq!(s.nth_online_second(20), None);
+        assert_eq!(DaySchedule::new().nth_online_second(0), None);
+        // Every returned second is actually covered.
+        for offset in 0..s.online_seconds() {
+            let t = s.nth_online_second(offset).unwrap();
+            assert!(s.contains(t), "offset {offset} -> {t}");
+        }
+    }
+
+    #[test]
+    fn coverage_at_least_boundaries() {
+        let days = [
+            sched(&[(0, 100)]),
+            sched(&[(50, 150)]),
+            sched(&[(80, 180)]),
+        ];
+        assert_eq!(
+            coverage_at_least(&days, 1),
+            days[0].union(&days[1]).union(&days[2])
+        );
+        let all = coverage_at_least(&days, 3);
+        assert_eq!(all.online_seconds(), 20); // [80, 100)
+        assert!(all.contains(80) && !all.contains(100));
+        assert!(coverage_at_least(&days, 4).is_empty());
+        assert!(coverage_at_least(&days, 0).is_full());
+        assert!(coverage_at_least(&[], 1).is_empty());
+    }
+
+    #[test]
+    fn coverage_handles_adjacent_windows() {
+        // Two schedules with adjacent windows: depth stays >= 1 across
+        // the boundary for k=1.
+        let days = [sched(&[(0, 50)]), sched(&[(50, 100)])];
+        let union = coverage_at_least(&days, 1);
+        assert_eq!(union.online_seconds(), 100);
+        assert_eq!(union.windows().len(), 1);
+        assert!(coverage_at_least(&days, 2).is_empty());
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let s = sched(&[(10, 20)]);
+        let set: IntervalSet = s.clone().into();
+        let back = DaySchedule::from(set);
+        assert_eq!(s, back);
+    }
+}

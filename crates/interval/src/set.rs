@@ -1,0 +1,400 @@
+use crate::interval::Interval;
+
+/// A canonical set of seconds within a day, stored as sorted, disjoint,
+/// non-adjacent [`Interval`]s.
+///
+/// All operations preserve canonical form, so equality of sets is equality
+/// of their interval vectors. Binary operations run in a single merge pass
+/// over both operands (`O(n + m)`).
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::{Interval, IntervalSet};
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let mut online = IntervalSet::new();
+/// online.insert(Interval::new(100, 200)?);
+/// online.insert(Interval::new(150, 300)?); // overlapping inserts coalesce
+/// assert_eq!(online.intervals().len(), 1);
+/// assert_eq!(online.measure(), 200);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IntervalSet {
+    /// Sorted by start, pairwise disjoint and non-adjacent.
+    intervals: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub const fn new() -> Self {
+        IntervalSet {
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Creates a set containing a single interval.
+    pub fn from_interval(interval: Interval) -> Self {
+        IntervalSet {
+            intervals: vec![interval],
+        }
+    }
+
+    /// Whether the set contains no seconds.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Total number of seconds covered.
+    pub fn measure(&self) -> u32 {
+        self.intervals.iter().map(|i| i.len()).sum()
+    }
+
+    /// The canonical intervals, sorted and disjoint.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Iterates over the canonical intervals.
+    pub fn iter(&self) -> std::slice::Iter<'_, Interval> {
+        self.intervals.iter()
+    }
+
+    /// Whether second `t` is covered.
+    pub fn contains(&self, t: u32) -> bool {
+        // Find the last interval starting at or before t.
+        match self.intervals.partition_point(|i| i.start() <= t) {
+            0 => false,
+            n => self.intervals[n - 1].contains(t),
+        }
+    }
+
+    /// The smallest covered second `>= t`, if any.
+    pub fn next_covered_at(&self, t: u32) -> Option<u32> {
+        let n = self.intervals.partition_point(|i| i.start() <= t);
+        if n > 0 && self.intervals[n - 1].contains(t) {
+            return Some(t);
+        }
+        self.intervals.get(n).map(|i| i.start())
+    }
+
+    /// Inserts an interval, coalescing with any overlapping or adjacent
+    /// existing intervals.
+    pub fn insert(&mut self, interval: Interval) {
+        // Position of the first interval that could touch `interval`.
+        let lo = self
+            .intervals
+            .partition_point(|i| i.end() < interval.start());
+        let mut merged = interval;
+        let mut hi = lo;
+        while hi < self.intervals.len() {
+            match merged.merge(self.intervals[hi]) {
+                Some(m) => {
+                    merged = m;
+                    hi += 1;
+                }
+                None => break,
+            }
+        }
+        self.intervals.splice(lo..hi, std::iter::once(merged));
+    }
+
+    /// The union of two sets.
+    #[must_use]
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out: Vec<Interval> = Vec::with_capacity(self.intervals.len() + other.intervals.len());
+        let mut a = self.intervals.iter().copied().peekable();
+        let mut b = other.intervals.iter().copied().peekable();
+        let mut next = || match (a.peek(), b.peek()) {
+            (Some(&x), Some(&y)) => {
+                if x.start() <= y.start() {
+                    a.next()
+                } else {
+                    b.next()
+                }
+            }
+            (Some(_), None) => a.next(),
+            (None, Some(_)) => b.next(),
+            (None, None) => None,
+        };
+        while let Some(iv) = next() {
+            match out.last_mut() {
+                Some(last) if last.touches(iv) => {
+                    *last = last.merge(iv).expect("touching intervals merge");
+                }
+                _ => out.push(iv),
+            }
+        }
+        IntervalSet { intervals: out }
+    }
+
+    /// The intersection of two sets.
+    #[must_use]
+    pub fn intersection(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let (x, y) = (self.intervals[i], other.intervals[j]);
+            if let Some(overlap) = x.intersect(y) {
+                out.push(overlap);
+            }
+            if x.end() <= y.end() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { intervals: out }
+    }
+
+    /// The seconds covered by `self` but not by `other`.
+    #[must_use]
+    pub fn difference(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for &x in &self.intervals {
+            let mut cursor = x.start();
+            while j < other.intervals.len() && other.intervals[j].end() <= cursor {
+                j += 1;
+            }
+            let mut k = j;
+            while k < other.intervals.len() && other.intervals[k].start() < x.end() {
+                let y = other.intervals[k];
+                if y.start() > cursor {
+                    out.push(Interval::new(cursor, y.start()).expect("non-empty gap"));
+                }
+                cursor = cursor.max(y.end());
+                if cursor >= x.end() {
+                    break;
+                }
+                k += 1;
+            }
+            if cursor < x.end() {
+                out.push(Interval::new(cursor, x.end()).expect("non-empty remainder"));
+            }
+        }
+        IntervalSet { intervals: out }
+    }
+
+    /// The seconds of `span` not covered by `self`.
+    #[must_use]
+    pub fn complement_within(&self, span: Interval) -> IntervalSet {
+        IntervalSet::from_interval(span).difference(self)
+    }
+
+    /// Number of seconds covered by both sets, without materializing the
+    /// intersection.
+    pub fn overlap_measure(&self, other: &IntervalSet) -> u32 {
+        let mut total = 0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let (x, y) = (self.intervals[i], other.intervals[j]);
+            if let Some(overlap) = x.intersect(y) {
+                total += overlap.len();
+            }
+            if x.end() <= y.end() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        total
+    }
+
+    /// Whether the two sets share at least one second.
+    pub fn intersects(&self, other: &IntervalSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let (x, y) = (self.intervals[i], other.intervals[j]);
+            if x.overlaps(y) {
+                return true;
+            }
+            if x.end() <= y.end() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        false
+    }
+
+    /// Whether every second of `other` is covered by `self`.
+    pub fn is_superset(&self, other: &IntervalSet) -> bool {
+        other.difference(self).is_empty()
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        let mut intervals: Vec<Interval> = iter.into_iter().collect();
+        intervals.sort_unstable_by_key(|i| i.start());
+        let mut out = IntervalSet::new();
+        for iv in intervals {
+            match out.intervals.last_mut() {
+                Some(last) if last.touches(iv) => {
+                    *last = last.merge(iv).expect("touching intervals merge");
+                }
+                _ => out.intervals.push(iv),
+            }
+        }
+        out
+    }
+}
+
+impl Extend<Interval> for IntervalSet {
+    fn extend<T: IntoIterator<Item = Interval>>(&mut self, iter: T) {
+        for iv in iter {
+            self.insert(iv);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a IntervalSet {
+    type Item = &'a Interval;
+    type IntoIter = std::slice::Iter<'a, Interval>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.intervals.iter()
+    }
+}
+
+impl std::fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (n, iv) in self.intervals.iter().enumerate() {
+            if n > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u32, e: u32) -> Interval {
+        Interval::new(s, e).unwrap()
+    }
+
+    fn set(pairs: &[(u32, u32)]) -> IntervalSet {
+        pairs.iter().map(|&(s, e)| iv(s, e)).collect()
+    }
+
+    #[test]
+    fn from_iterator_normalizes_unsorted_overlapping_input() {
+        let s = set(&[(50, 60), (0, 10), (5, 20), (20, 30)]);
+        assert_eq!(s.intervals(), &[iv(0, 30), iv(50, 60)]);
+        assert_eq!(s.measure(), 40);
+    }
+
+    #[test]
+    fn insert_coalesces_neighbors() {
+        let mut s = set(&[(0, 10), (20, 30), (40, 50)]);
+        s.insert(iv(10, 40)); // bridges all three
+        assert_eq!(s.intervals(), &[iv(0, 50)]);
+    }
+
+    #[test]
+    fn insert_disjoint_keeps_order() {
+        let mut s = set(&[(10, 20)]);
+        s.insert(iv(30, 40));
+        s.insert(iv(0, 5));
+        assert_eq!(s.intervals(), &[iv(0, 5), iv(10, 20), iv(30, 40)]);
+    }
+
+    #[test]
+    fn union_merges_adjacent_across_operands() {
+        let a = set(&[(0, 10), (20, 30)]);
+        let b = set(&[(10, 20)]);
+        assert_eq!(a.union(&b).intervals(), &[iv(0, 30)]);
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = set(&[(0, 10), (20, 30)]);
+        let b = set(&[(5, 25)]);
+        assert_eq!(a.intersection(&b).intervals(), &[iv(5, 10), iv(20, 25)]);
+        assert_eq!(a.overlap_measure(&b), 10);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn intersection_empty_when_disjoint() {
+        let a = set(&[(0, 10)]);
+        let b = set(&[(10, 20)]); // adjacent, not overlapping
+        assert!(a.intersection(&b).is_empty());
+        assert!(!a.intersects(&b));
+        assert_eq!(a.overlap_measure(&b), 0);
+    }
+
+    #[test]
+    fn difference_carves_holes() {
+        let a = set(&[(0, 100)]);
+        let b = set(&[(10, 20), (30, 40)]);
+        assert_eq!(
+            a.difference(&b).intervals(),
+            &[iv(0, 10), iv(20, 30), iv(40, 100)]
+        );
+    }
+
+    #[test]
+    fn difference_with_covering_set_is_empty() {
+        let a = set(&[(5, 10), (20, 25)]);
+        let b = set(&[(0, 30)]);
+        assert!(a.difference(&b).is_empty());
+        assert!(b.is_superset(&a));
+        assert!(!a.is_superset(&b));
+    }
+
+    #[test]
+    fn complement_within_span() {
+        let s = set(&[(10, 20)]);
+        let c = s.complement_within(iv(0, 30));
+        assert_eq!(c.intervals(), &[iv(0, 10), iv(20, 30)]);
+    }
+
+    #[test]
+    fn contains_and_next_covered() {
+        let s = set(&[(10, 20), (30, 40)]);
+        assert!(!s.contains(9));
+        assert!(s.contains(10));
+        assert!(!s.contains(20));
+        assert_eq!(s.next_covered_at(0), Some(10));
+        assert_eq!(s.next_covered_at(15), Some(15));
+        assert_eq!(s.next_covered_at(20), Some(30));
+        assert_eq!(s.next_covered_at(40), None);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let e = IntervalSet::new();
+        assert!(e.is_empty());
+        assert_eq!(e.measure(), 0);
+        assert_eq!(e.next_covered_at(0), None);
+        assert!(!e.contains(0));
+        let s = set(&[(0, 10)]);
+        assert_eq!(e.union(&s), s);
+        assert!(e.intersection(&s).is_empty());
+        assert!(s.is_superset(&e));
+    }
+
+    #[test]
+    fn display_lists_intervals() {
+        let s = set(&[(1, 2), (4, 6)]);
+        assert_eq!(s.to_string(), "{[1, 2), [4, 6)}");
+        assert_eq!(IntervalSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn extend_inserts_each() {
+        let mut s = IntervalSet::new();
+        s.extend([iv(0, 5), iv(3, 8)]);
+        assert_eq!(s.intervals(), &[iv(0, 8)]);
+    }
+}

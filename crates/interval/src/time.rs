@@ -1,0 +1,155 @@
+/// Number of seconds in one minute.
+pub const SECONDS_PER_MINUTE: u32 = 60;
+
+/// Number of seconds in one hour.
+pub const SECONDS_PER_HOUR: u32 = 3_600;
+
+/// Number of seconds in one day; the size of the time-of-day circle all
+/// [`DaySchedule`](crate::DaySchedule)s live on.
+pub const SECONDS_PER_DAY: u32 = 86_400;
+
+/// An absolute event time, in seconds since an arbitrary dataset epoch.
+///
+/// Activity traces carry absolute timestamps; the online-time models
+/// project them onto the time-of-day circle via [`Timestamp::time_of_day`].
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::{Timestamp, SECONDS_PER_DAY};
+///
+/// let t = Timestamp::new(3 * u64::from(SECONDS_PER_DAY) + 42);
+/// assert_eq!(t.day_index(), 3);
+/// assert_eq!(t.time_of_day(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// Creates a timestamp from raw seconds since the epoch.
+    pub const fn new(seconds: u64) -> Self {
+        Timestamp(seconds)
+    }
+
+    /// Creates a timestamp from a day index and a second-of-day offset.
+    ///
+    /// Offsets of `SECONDS_PER_DAY` or more simply spill into following
+    /// days, which keeps arithmetic on generated traces simple.
+    pub const fn from_day_and_offset(day: u64, offset: u32) -> Self {
+        Timestamp(day * SECONDS_PER_DAY as u64 + offset as u64)
+    }
+
+    /// Raw seconds since the epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The day this timestamp falls in, counting from the epoch.
+    pub const fn day_index(self) -> u64 {
+        self.0 / SECONDS_PER_DAY as u64
+    }
+
+    /// Projection onto the time-of-day circle, in `[0, SECONDS_PER_DAY)`.
+    pub const fn time_of_day(self) -> u32 {
+        (self.0 % SECONDS_PER_DAY as u64) as u32
+    }
+
+    /// The timestamp advanced by `seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `u64` overflow, which cannot occur for realistic traces.
+    #[must_use]
+    pub const fn saturating_add(self, seconds: u64) -> Self {
+        Timestamp(self.0.saturating_add(seconds))
+    }
+
+    /// Seconds elapsed from `earlier` to `self`, or zero if `earlier` is
+    /// later.
+    pub const fn seconds_since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(seconds: u64) -> Self {
+        Timestamp(seconds)
+    }
+}
+
+impl From<Timestamp> for u64 {
+    fn from(t: Timestamp) -> Self {
+        t.0
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "day {} + {}s", self.day_index(), self.time_of_day())
+    }
+}
+
+/// Circular distance from `from` forward to `to` on the day circle.
+///
+/// Both arguments must be in `[0, SECONDS_PER_DAY)`; the result is the
+/// number of seconds one must wait, starting at `from`, to reach `to`
+/// going forward (possibly wrapping midnight). `forward_distance(x, x)`
+/// is zero.
+pub(crate) fn forward_distance(from: u32, to: u32) -> u32 {
+    debug_assert!(from < SECONDS_PER_DAY && to < SECONDS_PER_DAY);
+    if to >= from {
+        to - from
+    } else {
+        SECONDS_PER_DAY - from + to
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_and_offset_round_trip() {
+        let t = Timestamp::from_day_and_offset(7, 12_345);
+        assert_eq!(t.day_index(), 7);
+        assert_eq!(t.time_of_day(), 12_345);
+        assert_eq!(t.as_secs(), 7 * SECONDS_PER_DAY as u64 + 12_345);
+    }
+
+    #[test]
+    fn offset_spills_into_next_day() {
+        let t = Timestamp::from_day_and_offset(0, SECONDS_PER_DAY + 5);
+        assert_eq!(t.day_index(), 1);
+        assert_eq!(t.time_of_day(), 5);
+    }
+
+    #[test]
+    fn seconds_since_saturates() {
+        let a = Timestamp::new(10);
+        let b = Timestamp::new(25);
+        assert_eq!(b.seconds_since(a), 15);
+        assert_eq!(a.seconds_since(b), 0);
+    }
+
+    #[test]
+    fn forward_distance_wraps() {
+        assert_eq!(forward_distance(100, 100), 0);
+        assert_eq!(forward_distance(100, 250), 150);
+        assert_eq!(forward_distance(SECONDS_PER_DAY - 10, 20), 30);
+    }
+
+    #[test]
+    fn ordering_follows_seconds() {
+        assert!(Timestamp::new(5) < Timestamp::new(6));
+        assert_eq!(Timestamp::from(9u64), Timestamp::new(9));
+        assert_eq!(u64::from(Timestamp::new(9)), 9);
+    }
+
+    #[test]
+    fn display_mentions_day_and_offset() {
+        let s = Timestamp::from_day_and_offset(2, 30).to_string();
+        assert!(s.contains("day 2"));
+        assert!(s.contains("30s"));
+    }
+}

@@ -1,0 +1,426 @@
+use crate::error::IntervalError;
+use crate::schedule::DaySchedule;
+use crate::time::SECONDS_PER_DAY;
+
+/// Number of seconds in one week; the size of the week circle.
+pub const SECONDS_PER_WEEK: u32 = 7 * SECONDS_PER_DAY;
+
+/// Days of the week, with the epoch (day 0) defined as Monday.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DayOfWeek {
+    /// Day index 0.
+    Monday,
+    /// Day index 1.
+    Tuesday,
+    /// Day index 2.
+    Wednesday,
+    /// Day index 3.
+    Thursday,
+    /// Day index 4.
+    Friday,
+    /// Day index 5.
+    Saturday,
+    /// Day index 6.
+    Sunday,
+}
+
+impl DayOfWeek {
+    /// All days, Monday first.
+    pub const ALL: [DayOfWeek; 7] = [
+        DayOfWeek::Monday,
+        DayOfWeek::Tuesday,
+        DayOfWeek::Wednesday,
+        DayOfWeek::Thursday,
+        DayOfWeek::Friday,
+        DayOfWeek::Saturday,
+        DayOfWeek::Sunday,
+    ];
+
+    /// The day's index in `[0, 7)`, Monday = 0.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The day for an absolute day count since the epoch (day 0 =
+    /// Monday).
+    pub const fn from_day_index(day: u64) -> DayOfWeek {
+        DayOfWeek::ALL[(day % 7) as usize]
+    }
+
+    /// Whether this is Saturday or Sunday.
+    pub const fn is_weekend(self) -> bool {
+        matches!(self, DayOfWeek::Saturday | DayOfWeek::Sunday)
+    }
+}
+
+impl std::fmt::Display for DayOfWeek {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            DayOfWeek::Monday => "Mon",
+            DayOfWeek::Tuesday => "Tue",
+            DayOfWeek::Wednesday => "Wed",
+            DayOfWeek::Thursday => "Thu",
+            DayOfWeek::Friday => "Fri",
+            DayOfWeek::Saturday => "Sat",
+            DayOfWeek::Sunday => "Sun",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A circular weekly online pattern: one [`DaySchedule`] per day of the
+/// week.
+///
+/// The paper folds every day onto a single daily circle, which hides
+/// weekday/weekend asymmetry; `WeekSchedule` keeps the seven days
+/// distinct while offering the same algebra — union, intersection,
+/// overlap, circular gaps — over the 604 800-second week circle. Week
+/// seconds count from Monday 00:00.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::{DaySchedule, DayOfWeek, WeekSchedule};
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// // Online 2 h on weekday evenings, 8 h on weekends.
+/// let weekday = DaySchedule::window_wrapping(20 * 3600, 2 * 3600)?;
+/// let weekend = DaySchedule::window_wrapping(10 * 3600, 8 * 3600)?;
+/// let week = WeekSchedule::from_day_types(&weekday, &weekend);
+/// assert_eq!(week.online_seconds(), 5 * 2 * 3600 + 2 * 8 * 3600);
+/// assert!(week.day(DayOfWeek::Saturday).contains(12 * 3600));
+/// assert!(!week.day(DayOfWeek::Monday).contains(12 * 3600));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WeekSchedule {
+    days: [DaySchedule; 7],
+}
+
+impl WeekSchedule {
+    /// The never-online week.
+    pub fn new() -> Self {
+        WeekSchedule::default()
+    }
+
+    /// The same pattern every day — how the paper's daily models embed
+    /// into the weekly world.
+    pub fn uniform(daily: &DaySchedule) -> Self {
+        WeekSchedule {
+            days: std::array::from_fn(|_| daily.clone()),
+        }
+    }
+
+    /// A weekday/weekend split: `weekday` for Monday–Friday, `weekend`
+    /// for Saturday and Sunday.
+    pub fn from_day_types(weekday: &DaySchedule, weekend: &DaySchedule) -> Self {
+        WeekSchedule {
+            days: std::array::from_fn(|i| {
+                if DayOfWeek::ALL[i].is_weekend() {
+                    weekend.clone()
+                } else {
+                    weekday.clone()
+                }
+            }),
+        }
+    }
+
+    /// Builds from seven explicit daily patterns, Monday first.
+    pub fn from_days(days: [DaySchedule; 7]) -> Self {
+        WeekSchedule { days }
+    }
+
+    /// The pattern of one day.
+    pub fn day(&self, day: DayOfWeek) -> &DaySchedule {
+        &self.days[day.index()]
+    }
+
+    /// Replaces one day's pattern.
+    pub fn set_day(&mut self, day: DayOfWeek, schedule: DaySchedule) {
+        self.days[day.index()] = schedule;
+    }
+
+    /// Inserts an online window at a week offset (seconds from Monday
+    /// 00:00), wrapping across days and the week boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntervalError::OutOfDayRange`] if `week_second` is not
+    /// within the week and [`IntervalError::BadSessionLength`] if `len`
+    /// is zero or exceeds a week.
+    pub fn insert_wrapping(&mut self, week_second: u32, len: u32) -> Result<(), IntervalError> {
+        if week_second >= SECONDS_PER_WEEK {
+            return Err(IntervalError::OutOfDayRange { value: week_second });
+        }
+        if len == 0 || len > SECONDS_PER_WEEK {
+            return Err(IntervalError::BadSessionLength { len });
+        }
+        let mut start = week_second;
+        let mut remaining = len;
+        while remaining > 0 {
+            let day = (start / SECONDS_PER_DAY) as usize;
+            let tod = start % SECONDS_PER_DAY;
+            let in_day = (SECONDS_PER_DAY - tod).min(remaining);
+            // A piece never crosses midnight, so no wrap inside the day.
+            self.days[day]
+                .insert_wrapping(tod, in_day)
+                .expect("piece fits within the day");
+            start = (start + in_day) % SECONDS_PER_WEEK;
+            remaining -= in_day;
+        }
+        Ok(())
+    }
+
+    /// Whether the schedule covers the given week second (reduced modulo
+    /// the week).
+    pub fn contains(&self, week_second: u32) -> bool {
+        let s = week_second % SECONDS_PER_WEEK;
+        self.days[(s / SECONDS_PER_DAY) as usize].contains(s % SECONDS_PER_DAY)
+    }
+
+    /// Total online seconds per week.
+    pub fn online_seconds(&self) -> u32 {
+        self.days.iter().map(DaySchedule::online_seconds).sum()
+    }
+
+    /// Online time as a fraction of the week — weekly availability when
+    /// applied to a replica union.
+    pub fn fraction_of_week(&self) -> f64 {
+        f64::from(self.online_seconds()) / f64::from(SECONDS_PER_WEEK)
+    }
+
+    /// Whether the user is never online.
+    pub fn is_empty(&self) -> bool {
+        self.days.iter().all(DaySchedule::is_empty)
+    }
+
+    /// Union: online whenever either is.
+    #[must_use]
+    pub fn union(&self, other: &WeekSchedule) -> WeekSchedule {
+        WeekSchedule {
+            days: std::array::from_fn(|i| self.days[i].union(&other.days[i])),
+        }
+    }
+
+    /// Intersection: online whenever both are.
+    #[must_use]
+    pub fn intersection(&self, other: &WeekSchedule) -> WeekSchedule {
+        WeekSchedule {
+            days: std::array::from_fn(|i| self.days[i].intersection(&other.days[i])),
+        }
+    }
+
+    /// Seconds per week both schedules are online.
+    pub fn overlap_seconds(&self, other: &WeekSchedule) -> u32 {
+        self.days
+            .iter()
+            .zip(&other.days)
+            .map(|(a, b)| a.overlap_seconds(b))
+            .sum()
+    }
+
+    /// Whether the two schedules share at least one second of the week.
+    pub fn is_connected_to(&self, other: &WeekSchedule) -> bool {
+        self.days
+            .iter()
+            .zip(&other.days)
+            .any(|(a, b)| a.is_connected_to(b))
+    }
+
+    /// The longest circularly-contiguous offline stretch of the week, in
+    /// seconds — the weekly analogue of [`DaySchedule::max_gap`], and
+    /// the edge weight of a week-aware delay graph. `None` for an empty
+    /// schedule, `Some(0)` for an always-online one.
+    pub fn max_gap(&self) -> Option<u32> {
+        if self.is_empty() {
+            return None;
+        }
+        // Walk the week's covered intervals in order, tracking gaps.
+        let mut intervals: Vec<(u32, u32)> = Vec::new();
+        for (d, day) in self.days.iter().enumerate() {
+            let base = d as u32 * SECONDS_PER_DAY;
+            for w in day.windows() {
+                intervals.push((base + w.start(), base + w.end()));
+            }
+        }
+        // Merge adjacent across midnights.
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(intervals.len());
+        for (s, e) in intervals {
+            match merged.last_mut() {
+                Some(last) if last.1 == s => last.1 = e,
+                _ => merged.push((s, e)),
+            }
+        }
+        if merged.len() == 1 && merged[0] == (0, SECONDS_PER_WEEK) {
+            return Some(0);
+        }
+        let mut max = 0u32;
+        for w in merged.windows(2) {
+            max = max.max(w[1].0 - w[0].1);
+        }
+        let first = merged[0];
+        let last = merged[merged.len() - 1];
+        let wrap = if last.1 == SECONDS_PER_WEEK && first.0 == 0 {
+            0
+        } else {
+            (SECONDS_PER_WEEK - last.1) + first.0
+        };
+        Some(max.max(wrap))
+    }
+
+    /// Seconds to wait from the given week second until next online,
+    /// wrapping the week; `None` for an empty schedule.
+    pub fn wait_until_online(&self, week_second: u32) -> Option<u32> {
+        if self.is_empty() {
+            return None;
+        }
+        let start = week_second % SECONDS_PER_WEEK;
+        // At most one full sweep over the 7 days plus the wrap.
+        let mut waited = 0u32;
+        let mut s = start;
+        loop {
+            let day = (s / SECONDS_PER_DAY) as usize;
+            let tod = s % SECONDS_PER_DAY;
+            if let Some(next) = self.days[day].as_set().next_covered_at(tod) {
+                return Some(waited + (next - tod));
+            }
+            // Jump to the next day's midnight.
+            let to_midnight = SECONDS_PER_DAY - tod;
+            waited += to_midnight;
+            s = (s + to_midnight) % SECONDS_PER_WEEK;
+            if waited > SECONDS_PER_WEEK {
+                unreachable!("non-empty schedule must be found within a week");
+            }
+            if s == start {
+                // Wrapped fully; the only coverage can be at `start`'s
+                // day before `tod`, handled by the first iteration of
+                // the next lap via next_covered_at(0).
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(start: u32, len: u32) -> DaySchedule {
+        DaySchedule::window_wrapping(start, len).unwrap()
+    }
+
+    #[test]
+    fn day_of_week_helpers() {
+        assert_eq!(DayOfWeek::from_day_index(0), DayOfWeek::Monday);
+        assert_eq!(DayOfWeek::from_day_index(6), DayOfWeek::Sunday);
+        assert_eq!(DayOfWeek::from_day_index(7), DayOfWeek::Monday);
+        assert!(DayOfWeek::Saturday.is_weekend());
+        assert!(!DayOfWeek::Friday.is_weekend());
+        assert_eq!(DayOfWeek::Wednesday.index(), 2);
+        assert_eq!(DayOfWeek::Sunday.to_string(), "Sun");
+    }
+
+    #[test]
+    fn uniform_embeds_daily() {
+        let daily = day(100, 200);
+        let week = WeekSchedule::uniform(&daily);
+        assert_eq!(week.online_seconds(), 7 * 200);
+        for d in DayOfWeek::ALL {
+            assert_eq!(week.day(d), &daily);
+        }
+        assert!(week.contains(3 * SECONDS_PER_DAY + 150));
+        assert!(!week.contains(3 * SECONDS_PER_DAY + 400));
+    }
+
+    #[test]
+    fn weekday_weekend_split() {
+        let week = WeekSchedule::from_day_types(&day(0, 100), &day(500, 100));
+        assert!(week.contains(50)); // Monday 00:00:50
+        assert!(!week.contains(5 * SECONDS_PER_DAY + 50)); // Saturday
+        assert!(week.contains(5 * SECONDS_PER_DAY + 550));
+        assert_eq!(week.online_seconds(), 7 * 100);
+    }
+
+    #[test]
+    fn insert_wrapping_crosses_midnight_and_week() {
+        let mut week = WeekSchedule::new();
+        // 2 h window starting Sunday 23:00, wrapping into Monday.
+        week.insert_wrapping(6 * SECONDS_PER_DAY + 23 * 3_600, 2 * 3_600)
+            .unwrap();
+        assert!(week.day(DayOfWeek::Sunday).contains(23 * 3_600 + 1));
+        assert!(week.day(DayOfWeek::Monday).contains(30 * 60));
+        assert!(!week.day(DayOfWeek::Tuesday).contains(0));
+        assert_eq!(week.online_seconds(), 2 * 3_600);
+        // Validation.
+        assert!(week.insert_wrapping(SECONDS_PER_WEEK, 10).is_err());
+        assert!(week.insert_wrapping(0, 0).is_err());
+    }
+
+    #[test]
+    fn algebra_distributes_over_days() {
+        let a = WeekSchedule::from_day_types(&day(0, 1_000), &day(0, 2_000));
+        let b = WeekSchedule::from_day_types(&day(500, 1_000), &day(1_000, 2_000));
+        let union = a.union(&b);
+        let inter = a.intersection(&b);
+        assert_eq!(union.online_seconds(), 5 * 1_500 + 2 * 3_000);
+        assert_eq!(inter.online_seconds(), 5 * 500 + 2 * 1_000);
+        assert_eq!(a.overlap_seconds(&b), inter.online_seconds());
+        assert!(a.is_connected_to(&b));
+        let far = WeekSchedule::uniform(&day(40_000, 100));
+        assert!(!a.is_connected_to(&far));
+    }
+
+    #[test]
+    fn max_gap_spans_days() {
+        // Online only Monday 00:00-01:00: the gap runs from Monday 01:00
+        // around the whole week back to Monday 00:00.
+        let mut week = WeekSchedule::new();
+        week.set_day(DayOfWeek::Monday, day(0, 3_600));
+        assert_eq!(week.max_gap(), Some(SECONDS_PER_WEEK - 3_600));
+        // Add a Thursday evening window: gap shrinks.
+        week.set_day(DayOfWeek::Thursday, day(20 * 3_600, 3_600));
+        // Monday 01:00 -> Thursday 20:00 = 3 days - 1h + 20h.
+        let expected = 3 * SECONDS_PER_DAY + 19 * 3_600;
+        assert_eq!(week.max_gap(), Some(expected));
+        assert_eq!(WeekSchedule::new().max_gap(), None);
+    }
+
+    #[test]
+    fn max_gap_merges_across_midnight() {
+        // Continuous coverage Tue 23:00 - Wed 01:00 plus nothing else:
+        // the single gap is the rest of the week.
+        let mut week = WeekSchedule::new();
+        week.insert_wrapping(SECONDS_PER_DAY + 23 * 3_600, 2 * 3_600)
+            .unwrap();
+        assert_eq!(week.max_gap(), Some(SECONDS_PER_WEEK - 2 * 3_600));
+    }
+
+    #[test]
+    fn full_week_has_zero_gap() {
+        let week = WeekSchedule::uniform(&DaySchedule::full());
+        assert_eq!(week.max_gap(), Some(0));
+        assert!((week.fraction_of_week() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_until_online_walks_days() {
+        let mut week = WeekSchedule::new();
+        week.set_day(DayOfWeek::Wednesday, day(36_000, 100));
+        // From Monday noon: 2 days minus 12h plus 10h.
+        let from = 12 * 3_600;
+        let expected = 2 * SECONDS_PER_DAY - 12 * 3_600 + 36_000;
+        assert_eq!(week.wait_until_online(from), Some(expected));
+        // From inside the window: zero.
+        assert_eq!(
+            week.wait_until_online(2 * SECONDS_PER_DAY + 36_050),
+            Some(0)
+        );
+        // Wrapping past the week boundary.
+        let from_sunday = 6 * SECONDS_PER_DAY + 80_000;
+        let expected_wrap = (SECONDS_PER_WEEK - from_sunday) + 2 * SECONDS_PER_DAY + 36_000;
+        assert_eq!(week.wait_until_online(from_sunday), Some(expected_wrap));
+        assert_eq!(WeekSchedule::new().wait_until_online(0), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests: the sparse interval algebra must agree with the dense
+//! bitmap oracle, and obey the usual set-algebra laws.
+
+use dosn_interval::{
+    coverage_at_least, DaySchedule, DenseSchedule, Interval, IntervalSet, SECONDS_PER_DAY,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary (possibly wrapping) collection of sessions,
+/// returned as the (start, len) pairs used to build both representations.
+fn sessions() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec(
+        (0..SECONDS_PER_DAY, 1..=SECONDS_PER_DAY),
+        0..12,
+    )
+}
+
+fn build_sparse(sessions: &[(u32, u32)]) -> DaySchedule {
+    let mut s = DaySchedule::new();
+    for &(start, len) in sessions {
+        s.insert_wrapping(start, len).expect("valid session");
+    }
+    s
+}
+
+fn build_dense(sessions: &[(u32, u32)]) -> DenseSchedule {
+    let mut d = DenseSchedule::new();
+    for &(start, len) in sessions {
+        d.set_wrapping(start, len);
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sparse_measure_matches_dense(sess in sessions()) {
+        let sparse = build_sparse(&sess);
+        let dense = build_dense(&sess);
+        prop_assert_eq!(sparse.online_seconds(), dense.online_seconds());
+    }
+
+    #[test]
+    fn sparse_membership_matches_dense(sess in sessions(), probes in prop::collection::vec(0..SECONDS_PER_DAY, 32)) {
+        let sparse = build_sparse(&sess);
+        let dense = build_dense(&sess);
+        for t in probes {
+            prop_assert_eq!(sparse.contains(t), dense.contains(t), "second {}", t);
+        }
+    }
+
+    #[test]
+    fn union_and_overlap_match_dense(a in sessions(), b in sessions()) {
+        let (sa, sb) = (build_sparse(&a), build_sparse(&b));
+        let (da, db) = (build_dense(&a), build_dense(&b));
+        prop_assert_eq!(sa.union(&sb).online_seconds(), da.union(&db).online_seconds());
+        prop_assert_eq!(sa.intersection(&sb).online_seconds(), da.intersection(&db).online_seconds());
+        prop_assert_eq!(sa.overlap_seconds(&sb), da.overlap_seconds(&db));
+    }
+
+    #[test]
+    fn inclusion_exclusion(a in sessions(), b in sessions()) {
+        let (sa, sb) = (build_sparse(&a), build_sparse(&b));
+        let union = sa.union(&sb).online_seconds() as u64;
+        let inter = sa.intersection(&sb).online_seconds() as u64;
+        let (ma, mb) = (sa.online_seconds() as u64, sb.online_seconds() as u64);
+        prop_assert_eq!(union + inter, ma + mb);
+    }
+
+    #[test]
+    fn difference_partitions_measure(a in sessions(), b in sessions()) {
+        let (sa, sb) = (build_sparse(&a), build_sparse(&b));
+        let diff = sa.difference(&sb).online_seconds();
+        let inter = sa.intersection(&sb).online_seconds();
+        prop_assert_eq!(diff + inter, sa.online_seconds());
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent(a in sessions(), b in sessions()) {
+        let (sa, sb) = (build_sparse(&a), build_sparse(&b));
+        prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+        prop_assert_eq!(sa.union(&sa), sa.clone());
+    }
+
+    #[test]
+    fn canonical_form_holds(sess in sessions()) {
+        let sparse = build_sparse(&sess);
+        let ivs = sparse.as_set().intervals();
+        for w in ivs.windows(2) {
+            // Sorted, disjoint, non-adjacent.
+            prop_assert!(w[0].end() < w[1].start());
+        }
+        for iv in ivs {
+            prop_assert!(iv.start() < iv.end());
+            prop_assert!(iv.end() <= SECONDS_PER_DAY);
+        }
+    }
+
+    #[test]
+    fn max_gap_is_longest_offline_run(sess in sessions()) {
+        let sparse = build_sparse(&sess);
+        let dense = build_dense(&sess);
+        // Oracle: longest circular run of offline seconds, by scanning
+        // two concatenated days.
+        let expected = if dense.is_empty() {
+            None
+        } else if dense.online_seconds() == SECONDS_PER_DAY {
+            Some(0)
+        } else {
+            let mut best = 0u32;
+            let mut run = 0u32;
+            for t in 0..2 * SECONDS_PER_DAY {
+                if dense.contains(t % SECONDS_PER_DAY) {
+                    run = 0;
+                } else {
+                    run += 1;
+                    best = best.max(run.min(SECONDS_PER_DAY));
+                }
+            }
+            Some(best)
+        };
+        prop_assert_eq!(sparse.max_gap(), expected);
+    }
+
+    #[test]
+    fn wait_until_online_agrees_with_scan(sess in sessions(), t in 0..SECONDS_PER_DAY) {
+        let sparse = build_sparse(&sess);
+        let dense = build_dense(&sess);
+        let expected = if dense.is_empty() {
+            None
+        } else {
+            (0..SECONDS_PER_DAY).find(|d| dense.contains((t + d) % SECONDS_PER_DAY))
+        };
+        prop_assert_eq!(sparse.wait_until_online(t), expected);
+    }
+
+    #[test]
+    fn next_covered_at_agrees_with_scan(sess in sessions(), t in 0..SECONDS_PER_DAY) {
+        let sparse = build_sparse(&sess);
+        let expected = (t..SECONDS_PER_DAY).find(|&x| sparse.contains(x));
+        prop_assert_eq!(sparse.as_set().next_covered_at(t), expected);
+    }
+
+    #[test]
+    fn coverage_at_least_matches_dense_count(
+        days in prop::collection::vec(
+            prop::collection::vec((0..SECONDS_PER_DAY, 1..=SECONDS_PER_DAY / 4), 0..4),
+            0..5,
+        ),
+        k in 0usize..6,
+        probes in prop::collection::vec(0..SECONDS_PER_DAY, 24),
+    ) {
+        let schedules: Vec<DaySchedule> = days.iter().map(|s| build_sparse(s)).collect();
+        let result = coverage_at_least(&schedules, k);
+        let denses: Vec<DenseSchedule> = days.iter().map(|s| build_dense(s)).collect();
+        for t in probes {
+            let count = denses.iter().filter(|d| d.contains(t)).count();
+            prop_assert_eq!(
+                result.contains(t),
+                count >= k,
+                "t={} k={} count={}", t, k, count
+            );
+        }
+    }
+
+    #[test]
+    fn from_iterator_equals_incremental_insert(
+        ivs in prop::collection::vec((0..SECONDS_PER_DAY - 1).prop_flat_map(|s| (Just(s), s + 1..SECONDS_PER_DAY)), 0..16)
+    ) {
+        let intervals: Vec<Interval> = ivs
+            .iter()
+            .map(|&(s, e)| Interval::new(s, e).expect("valid"))
+            .collect();
+        let collected: IntervalSet = intervals.iter().copied().collect();
+        let mut inserted = IntervalSet::new();
+        for iv in intervals {
+            inserted.insert(iv);
+        }
+        prop_assert_eq!(collected, inserted);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the weekly schedule against brute-force oracles.
+//!
+//! Windows are generated at minute granularity so a 60-second scan step
+//! is an exact oracle.
+
+use dosn_interval::{WeekSchedule, SECONDS_PER_WEEK};
+use proptest::prelude::*;
+
+const MINUTES_PER_WEEK: u32 = SECONDS_PER_WEEK / 60;
+
+/// (start_minute, len_minutes) sessions over the week circle.
+fn sessions() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..MINUTES_PER_WEEK, 1..=48 * 60u32), 0..8)
+}
+
+fn build(sessions: &[(u32, u32)]) -> WeekSchedule {
+    let mut w = WeekSchedule::new();
+    for &(start_min, len_min) in sessions {
+        w.insert_wrapping(start_min * 60, len_min * 60)
+            .expect("valid session");
+    }
+    w
+}
+
+/// Minute-resolution coverage oracle.
+fn covered(sessions: &[(u32, u32)]) -> Vec<bool> {
+    let mut mask = vec![false; MINUTES_PER_WEEK as usize];
+    for &(start, len) in sessions {
+        for m in 0..len {
+            mask[((start + m) % MINUTES_PER_WEEK) as usize] = true;
+        }
+    }
+    mask
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn membership_matches_oracle(sess in sessions()) {
+        let week = build(&sess);
+        let mask = covered(&sess);
+        // Probe every 7th minute plus all session boundaries.
+        for m in (0..MINUTES_PER_WEEK).step_by(7) {
+            prop_assert_eq!(
+                week.contains(m * 60),
+                mask[m as usize],
+                "minute {}", m
+            );
+        }
+        let total: u32 = mask.iter().filter(|&&b| b).count() as u32 * 60;
+        prop_assert_eq!(week.online_seconds(), total);
+    }
+
+    #[test]
+    fn max_gap_matches_oracle(sess in sessions()) {
+        let week = build(&sess);
+        let mask = covered(&sess);
+        let expected = if mask.iter().all(|&b| !b) {
+            None
+        } else if mask.iter().all(|&b| b) {
+            Some(0)
+        } else {
+            let mut best = 0u32;
+            let mut run = 0u32;
+            for i in 0..2 * MINUTES_PER_WEEK {
+                if mask[(i % MINUTES_PER_WEEK) as usize] {
+                    run = 0;
+                } else {
+                    run += 1;
+                    best = best.max(run.min(MINUTES_PER_WEEK));
+                }
+            }
+            Some(best * 60)
+        };
+        prop_assert_eq!(week.max_gap(), expected);
+    }
+
+    #[test]
+    fn wait_until_online_matches_oracle(sess in sessions(), from_min in 0..MINUTES_PER_WEEK) {
+        let week = build(&sess);
+        let mask = covered(&sess);
+        let expected = if mask.iter().all(|&b| !b) {
+            None
+        } else {
+            (0..MINUTES_PER_WEEK)
+                .find(|d| mask[((from_min + d) % MINUTES_PER_WEEK) as usize])
+                .map(|d| d * 60)
+        };
+        prop_assert_eq!(week.wait_until_online(from_min * 60), expected);
+    }
+
+    #[test]
+    fn union_inclusion_exclusion(a in sessions(), b in sessions()) {
+        let (wa, wb) = (build(&a), build(&b));
+        let union = wa.union(&wb).online_seconds() as u64;
+        let inter = wa.intersection(&wb).online_seconds() as u64;
+        prop_assert_eq!(
+            union + inter,
+            wa.online_seconds() as u64 + wb.online_seconds() as u64
+        );
+        prop_assert_eq!(wa.overlap_seconds(&wb) as u64, inter);
+        prop_assert_eq!(wa.is_connected_to(&wb), inter > 0);
+    }
+}

@@ -1,0 +1,127 @@
+use dosn_interval::DaySchedule;
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+
+/// The union schedule through which `owner`'s profile is reachable: the
+/// replicas' online times, plus the owner's own when `include_owner` is
+/// set (the owner always serves their own profile while online —
+/// replication degree 0 means "only the user stores his profile").
+pub fn replica_union(
+    owner: UserId,
+    replicas: &[UserId],
+    schedules: &OnlineSchedules,
+    include_owner: bool,
+) -> DaySchedule {
+    let base = if include_owner {
+        schedules[owner].clone()
+    } else {
+        DaySchedule::new()
+    };
+    replicas
+        .iter()
+        .fold(base, |acc, &r| acc.union(&schedules[r]))
+}
+
+/// The paper's *availability*: the fraction of the day `owner`'s profile
+/// is accessible through the owner (optional) and the replica set.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::DaySchedule;
+/// use dosn_metrics::availability;
+/// use dosn_onlinetime::OnlineSchedules;
+/// use dosn_socialgraph::UserId;
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let schedules = OnlineSchedules::new(vec![
+///     DaySchedule::window_wrapping(0, 21_600)?,      // owner, 6 h
+///     DaySchedule::window_wrapping(21_600, 21_600)?, // replica, next 6 h
+/// ]);
+/// let owner_only = availability(UserId::new(0), &[], &schedules, true);
+/// assert!((owner_only - 0.25).abs() < 1e-12);
+/// let with_replica = availability(UserId::new(0), &[UserId::new(1)], &schedules, true);
+/// assert!((with_replica - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn availability(
+    owner: UserId,
+    replicas: &[UserId],
+    schedules: &OnlineSchedules,
+    include_owner: bool,
+) -> f64 {
+    replica_union(owner, replicas, schedules, include_owner).fraction_of_day()
+}
+
+/// The availability cap in a friend-to-friend model: the fraction of the
+/// day covered by the union of *all* candidates' online times (the
+/// paper's `|∪_{f ∈ NG_u} OT_f|`).
+pub fn max_achievable_availability(candidates: &[UserId], schedules: &OnlineSchedules) -> f64 {
+    schedules
+        .union_of(candidates.iter().copied())
+        .fraction_of_day()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::SECONDS_PER_DAY;
+
+    fn schedules(windows: &[(u32, u32)]) -> OnlineSchedules {
+        OnlineSchedules::new(
+            windows
+                .iter()
+                .map(|&(s, l)| {
+                    if l == 0 {
+                        DaySchedule::new()
+                    } else {
+                        DaySchedule::window_wrapping(s, l).unwrap()
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn degree_zero_is_owner_only() {
+        let s = schedules(&[(0, 3_600)]);
+        assert!((availability(UserId::new(0), &[], &s, true) - 3_600.0 / f64::from(SECONDS_PER_DAY)).abs() < 1e-12);
+        assert_eq!(availability(UserId::new(0), &[], &s, false), 0.0);
+    }
+
+    #[test]
+    fn overlapping_replicas_do_not_double_count() {
+        let s = schedules(&[(0, 0), (0, 1_000), (500, 1_000)]);
+        let a = availability(
+            UserId::new(0),
+            &[UserId::new(1), UserId::new(2)],
+            &s,
+            true,
+        );
+        assert!((a - 1_500.0 / f64::from(SECONDS_PER_DAY)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replicas_bounded_by_max_achievable() {
+        let s = schedules(&[(0, 0), (0, 1_000), (5_000, 2_000), (9_000, 500)]);
+        let candidates = [UserId::new(1), UserId::new(2), UserId::new(3)];
+        let cap = max_achievable_availability(&candidates, &s);
+        let through_two = availability(
+            UserId::new(0),
+            &[UserId::new(1), UserId::new(2)],
+            &s,
+            false,
+        );
+        assert!(through_two <= cap);
+        assert!((cap - 3_500.0 / f64::from(SECONDS_PER_DAY)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replica_union_composition() {
+        let s = schedules(&[(100, 100), (300, 100)]);
+        let u = replica_union(UserId::new(0), &[UserId::new(1)], &s, true);
+        assert_eq!(u.online_seconds(), 200);
+        assert!(u.contains(150) && u.contains(350));
+    }
+}

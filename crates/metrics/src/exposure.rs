@@ -1,0 +1,157 @@
+use dosn_interval::DaySchedule;
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+
+/// The privacy-exposure side of replication (Sections II-C4 and V-C of
+/// the paper): every replica is a potential breach point, and every
+/// hour a replica spends online is an hour the profile sits exposed on
+/// someone else's machine.
+///
+/// The paper's design goal is *high availability-on-demand with low
+/// exposure*: serve the friends who actually ask, while minimizing both
+/// the replica count and the time replicas are reachable by attackers.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::DaySchedule;
+/// use dosn_metrics::PrivacyExposure;
+/// use dosn_onlinetime::OnlineSchedules;
+/// use dosn_socialgraph::UserId;
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let schedules = OnlineSchedules::new(vec![
+///     DaySchedule::new(),                           // owner
+///     DaySchedule::window_wrapping(0, 43_200)?,     // replica: 12 h
+///     DaySchedule::window_wrapping(21_600, 43_200)?,// replica: 12 h
+/// ]);
+/// let e = PrivacyExposure::compute(
+///     UserId::new(0),
+///     &[UserId::new(1), UserId::new(2)],
+///     &schedules,
+/// );
+/// assert_eq!(e.replication_degree, 2);
+/// assert_eq!(e.host_hours_per_day, 24.0);    // 12 h on each host
+/// assert_eq!(e.exposed_fraction, 0.75);      // some replica online 18 h
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyExposure {
+    /// Number of foreign machines holding the profile — each one a
+    /// potential breach whether or not its owner notices.
+    pub replication_degree: usize,
+    /// Fraction of the day at least one *replica* (not the owner) is
+    /// online and therefore remotely attackable.
+    pub exposed_fraction: f64,
+    /// Total host-hours per day the profile spends on foreign machines
+    /// while those machines are online — the storage-time exposure
+    /// surface.
+    pub host_hours_per_day: f64,
+}
+
+impl PrivacyExposure {
+    /// Computes exposure for one user's replica set. The owner's own
+    /// online time never counts — hosting your own profile exposes
+    /// nothing new.
+    pub fn compute(
+        owner: UserId,
+        replicas: &[UserId],
+        schedules: &OnlineSchedules,
+    ) -> PrivacyExposure {
+        let mut union = DaySchedule::new();
+        let mut host_seconds = 0u64;
+        for &r in replicas {
+            debug_assert!(r != owner, "a replica set never contains the owner");
+            union = union.union(&schedules[r]);
+            host_seconds += u64::from(schedules[r].online_seconds());
+        }
+        PrivacyExposure {
+            replication_degree: replicas.len(),
+            exposed_fraction: union.fraction_of_day(),
+            host_hours_per_day: host_seconds as f64 / 3_600.0,
+        }
+    }
+
+    /// Zero exposure: the ideal of "an extremely privacy-conscious user
+    /// wants a replication degree of 0".
+    pub fn none() -> PrivacyExposure {
+        PrivacyExposure {
+            replication_degree: 0,
+            exposed_fraction: 0.0,
+            host_hours_per_day: 0.0,
+        }
+    }
+}
+
+/// The privacy-utility quotient of a placement: achieved
+/// availability-on-demand per exposed host-hour. Higher is better; a
+/// placement that serves friends without spreading the profile wide
+/// scores high.
+///
+/// Returns `None` when nothing is exposed (no replicas): utility per
+/// exposure is undefined for the degree-0 ideal.
+pub fn utility_per_exposure(on_demand: f64, exposure: &PrivacyExposure) -> Option<f64> {
+    (exposure.host_hours_per_day > 0.0).then(|| on_demand / exposure.host_hours_per_day)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedules(windows: &[(u32, u32)]) -> OnlineSchedules {
+        OnlineSchedules::new(
+            windows
+                .iter()
+                .map(|&(s, l)| {
+                    if l == 0 {
+                        DaySchedule::new()
+                    } else {
+                        DaySchedule::window_wrapping(s, l).unwrap()
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn no_replicas_is_zero_exposure() {
+        let s = schedules(&[(0, 86_400)]);
+        let e = PrivacyExposure::compute(UserId::new(0), &[], &s);
+        assert_eq!(e, PrivacyExposure::none());
+        assert_eq!(utility_per_exposure(1.0, &e), None);
+    }
+
+    #[test]
+    fn overlapping_replicas_expose_union_but_sum_host_hours() {
+        let s = schedules(&[(0, 0), (0, 7_200), (3_600, 7_200)]);
+        let e = PrivacyExposure::compute(
+            UserId::new(0),
+            &[UserId::new(1), UserId::new(2)],
+            &s,
+        );
+        assert_eq!(e.replication_degree, 2);
+        assert!((e.exposed_fraction - 10_800.0 / 86_400.0).abs() < 1e-12);
+        assert!((e.host_hours_per_day - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_per_exposure_ranks_placements() {
+        let s = schedules(&[(0, 0), (0, 7_200), (0, 43_200)]);
+        let lean = PrivacyExposure::compute(UserId::new(0), &[UserId::new(1)], &s);
+        let heavy = PrivacyExposure::compute(UserId::new(0), &[UserId::new(2)], &s);
+        // Same hypothetical on-demand utility; the lean placement wins.
+        let lean_score = utility_per_exposure(0.9, &lean).unwrap();
+        let heavy_score = utility_per_exposure(0.9, &heavy).unwrap();
+        assert!(lean_score > heavy_score);
+    }
+
+    #[test]
+    fn offline_replicas_expose_nothing() {
+        let s = schedules(&[(0, 100), (0, 0)]);
+        let e = PrivacyExposure::compute(UserId::new(0), &[UserId::new(1)], &s);
+        assert_eq!(e.replication_degree, 1);
+        assert_eq!(e.exposed_fraction, 0.0);
+        assert_eq!(e.host_hours_per_day, 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Efficiency metrics for decentralized OSNs (Section II-C of the paper).
+//!
+//! * [`availability`] — fraction of the day a profile is reachable
+//!   through its owner and replicas.
+//! * [`on_demand_time`] — fraction of the *accessing friends'* online
+//!   time during which the profile is reachable
+//!   (availability-on-demand-time).
+//! * [`on_demand_activity`] — fraction of historical profile activity
+//!   instants at which the profile was reachable
+//!   (availability-on-demand-activity), with an expected/unexpected
+//!   breakdown.
+//! * [`ReplicaConnectivityGraph`] — the weighted replica
+//!   time-connectivity graph whose weighted diameter is the worst-case
+//!   [`update_propagation_delay`]; edge weights are worst-case waits for
+//!   the next co-online window.
+//! * [`Summary`] — mean/min/max aggregation used by the experiment
+//!   sweeps.
+//!
+//! # Examples
+//!
+//! ```
+//! use dosn_interval::DaySchedule;
+//! use dosn_metrics::availability;
+//! use dosn_onlinetime::OnlineSchedules;
+//! use dosn_socialgraph::UserId;
+//!
+//! # fn main() -> Result<(), dosn_interval::IntervalError> {
+//! let schedules = OnlineSchedules::new(vec![
+//!     DaySchedule::new(),                              // owner, never online
+//!     DaySchedule::window_wrapping(0, 43_200)?,        // replica, 12 h
+//! ]);
+//! let a = availability(UserId::new(0), &[UserId::new(1)], &schedules, true);
+//! assert!((a - 0.5).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod availability;
+mod exposure;
+mod load;
+mod on_demand;
+mod propagation;
+mod report;
+mod weekly;
+
+pub use availability::{availability, max_achievable_availability, replica_union};
+pub use exposure::{utility_per_exposure, PrivacyExposure};
+pub use load::LoadReport;
+pub use on_demand::{on_demand_activity, on_demand_time, OnDemandActivity};
+pub use propagation::{update_propagation_delay, PropagationDelay, ReplicaConnectivityGraph};
+pub use report::Summary;
+pub use weekly::{
+    weekly_availability, weekly_on_demand_time, weekly_replica_union,
+    weekly_update_propagation_delay,
+};

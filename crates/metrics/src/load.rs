@@ -1,0 +1,191 @@
+use dosn_socialgraph::UserId;
+
+/// System-wide replica-hosting load, for the paper's fairness
+/// requirement: "the replica selection should ensure fairness among the
+/// replicas by balancing the storage and communication overhead ...
+/// uniformly" (Section II-B1).
+///
+/// Feed it every user's placement; it reports how many profiles each
+/// node ends up hosting and standard imbalance statistics.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_metrics::LoadReport;
+/// use dosn_socialgraph::UserId;
+///
+/// let placements = vec![
+///     vec![UserId::new(1), UserId::new(2)], // user 0's replicas
+///     vec![UserId::new(2)],                 // user 1's replicas
+///     vec![],                               // user 2's replicas
+/// ];
+/// let report = LoadReport::from_placements(3, placements.iter().map(|p| p.as_slice()));
+/// assert_eq!(report.load_of(UserId::new(2)), 2);
+/// assert_eq!(report.max_load(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// `per_node[u]` = number of profiles node `u` hosts.
+    per_node: Vec<usize>,
+    total: usize,
+}
+
+impl LoadReport {
+    /// Builds a report from per-user placements over `node_count` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a placement mentions a node outside `0..node_count`.
+    pub fn from_placements<'a, I>(node_count: usize, placements: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [UserId]>,
+    {
+        let mut per_node = vec![0usize; node_count];
+        let mut total = 0;
+        for placement in placements {
+            for &host in placement {
+                per_node[host.index()] += 1;
+                total += 1;
+            }
+        }
+        LoadReport { per_node, total }
+    }
+
+    /// Profiles hosted by one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn load_of(&self, node: UserId) -> usize {
+        self.per_node[node.index()]
+    }
+
+    /// Total replicas placed across the system.
+    pub fn total_replicas(&self) -> usize {
+        self.total
+    }
+
+    /// The heaviest node's load.
+    pub fn max_load(&self) -> usize {
+        self.per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean load per node.
+    pub fn mean_load(&self) -> f64 {
+        if self.per_node.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.per_node.len() as f64
+        }
+    }
+
+    /// Fraction of nodes hosting nothing.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 0.0;
+        }
+        self.per_node.iter().filter(|&&l| l == 0).count() as f64 / self.per_node.len() as f64
+    }
+
+    /// The Gini coefficient of the load distribution: 0 = perfectly
+    /// even, approaching 1 = one node hosts everything.
+    pub fn gini(&self) -> f64 {
+        let n = self.per_node.len();
+        if n == 0 || self.total == 0 {
+            return 0.0;
+        }
+        let mut sorted: Vec<usize> = self.per_node.clone();
+        sorted.sort_unstable();
+        // Gini = (2 * sum(i * x_i) / (n * sum(x))) - (n + 1) / n, i 1-based.
+        let weighted: f64 = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i + 1) as f64 * x as f64)
+            .sum();
+        (2.0 * weighted) / (n as f64 * self.total as f64) - (n as f64 + 1.0) / n as f64
+    }
+
+    /// Jain's fairness index: 1 = perfectly even, `1/n` = maximally
+    /// concentrated.
+    pub fn jain_index(&self) -> f64 {
+        let n = self.per_node.len();
+        if n == 0 || self.total == 0 {
+            return 1.0;
+        }
+        let sum_sq: f64 = self.per_node.iter().map(|&x| (x as f64).powi(2)).sum();
+        (self.total as f64).powi(2) / (n as f64 * sum_sq)
+    }
+
+    /// Per-node loads.
+    pub fn per_node(&self) -> &[usize] {
+        &self.per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(loads: &[usize]) -> LoadReport {
+        // Reconstruct via placements: one "user" per hosted profile.
+        let placements: Vec<Vec<UserId>> = loads
+            .iter()
+            .enumerate()
+            .flat_map(|(node, &count)| {
+                std::iter::repeat_n(vec![UserId::from_index(node)], count)
+            })
+            .collect();
+        LoadReport::from_placements(loads.len(), placements.iter().map(|p| p.as_slice()))
+    }
+
+    #[test]
+    fn even_load_is_fair() {
+        let r = report(&[3, 3, 3, 3]);
+        assert_eq!(r.max_load(), 3);
+        assert!((r.mean_load() - 3.0).abs() < 1e-12);
+        assert!(r.gini().abs() < 1e-12);
+        assert!((r.jain_index() - 1.0).abs() < 1e-12);
+        assert_eq!(r.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn concentrated_load_is_unfair() {
+        let r = report(&[12, 0, 0, 0]);
+        assert_eq!(r.max_load(), 12);
+        assert!((r.gini() - 0.75).abs() < 1e-12);
+        assert!((r.jain_index() - 0.25).abs() < 1e-12);
+        assert!((r.idle_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_between_extremes() {
+        let even = report(&[2, 2, 2, 2]).gini();
+        let skewed = report(&[5, 2, 1, 0]).gini();
+        let concentrated = report(&[8, 0, 0, 0]).gini();
+        assert!(even < skewed && skewed < concentrated);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let r = LoadReport::from_placements(0, std::iter::empty());
+        assert_eq!(r.max_load(), 0);
+        assert_eq!(r.mean_load(), 0.0);
+        assert_eq!(r.gini(), 0.0);
+        assert_eq!(r.jain_index(), 1.0);
+        let no_replicas = report(&[0, 0]);
+        assert_eq!(no_replicas.gini(), 0.0);
+        assert_eq!(no_replicas.total_replicas(), 0);
+    }
+
+    #[test]
+    fn from_placements_counts_hosts() {
+        let placements = [
+            vec![UserId::new(1), UserId::new(2)],
+            vec![UserId::new(2), UserId::new(0)],
+        ];
+        let r = LoadReport::from_placements(3, placements.iter().map(|p| p.as_slice()));
+        assert_eq!(r.per_node(), &[1, 1, 2]);
+        assert_eq!(r.total_replicas(), 4);
+        assert_eq!(r.load_of(UserId::new(2)), 2);
+    }
+}

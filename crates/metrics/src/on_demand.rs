@@ -1,0 +1,248 @@
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+use dosn_trace::Dataset;
+
+use crate::availability::replica_union;
+
+/// The paper's *availability-on-demand-time*: the fraction of the
+/// accessing friends' combined online time during which `owner`'s
+/// profile is reachable.
+///
+/// `accessors` is the set of users expected to access the profile —
+/// `NG_u` in both datasets (friends, resp. followers). Friends who are
+/// never online with any replica drag the metric down, exactly as in the
+/// paper's Twitter FixedLength(8h) discussion.
+///
+/// Returns `None` when the accessors' union is empty (nobody ever wants
+/// the profile, so the ratio is undefined).
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::DaySchedule;
+/// use dosn_metrics::on_demand_time;
+/// use dosn_onlinetime::OnlineSchedules;
+/// use dosn_socialgraph::UserId;
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let schedules = OnlineSchedules::new(vec![
+///     DaySchedule::new(),                          // owner
+///     DaySchedule::window_wrapping(0, 7_200)?,     // replica
+///     DaySchedule::window_wrapping(3_600, 7_200)?, // accessing friend
+/// ]);
+/// let aod = on_demand_time(
+///     UserId::new(0),
+///     &[UserId::new(1)],
+///     &[UserId::new(1), UserId::new(2)],
+///     &schedules,
+///     false,
+/// ).expect("accessors are online");
+/// // Friends' union: [0, 10_800); replica covers [0, 7_200) of it.
+/// assert!((aod - 7_200.0 / 10_800.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn on_demand_time(
+    owner: UserId,
+    replicas: &[UserId],
+    accessors: &[UserId],
+    schedules: &OnlineSchedules,
+    include_owner: bool,
+) -> Option<f64> {
+    let demand = schedules.union_of(accessors.iter().copied());
+    let demand_secs = demand.online_seconds();
+    if demand_secs == 0 {
+        return None;
+    }
+    let cover = replica_union(owner, replicas, schedules, include_owner);
+    Some(f64::from(cover.overlap_seconds(&demand)) / f64::from(demand_secs))
+}
+
+/// Result of the availability-on-demand-activity metric, with the
+/// paper's expected/unexpected breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnDemandActivity {
+    /// Historical activity instants on the profile.
+    pub total: usize,
+    /// Instants at which owner or a replica was online.
+    pub covered: usize,
+    /// Covered instants that fell inside the creator's modeled online
+    /// time (*expected* activity).
+    pub covered_expected: usize,
+    /// Covered instants outside the creator's modeled online time
+    /// (*unexpected* activity) — availability there is a bonus.
+    pub covered_unexpected: usize,
+}
+
+impl OnDemandActivity {
+    /// The availability-on-demand-activity ratio, or `None` when the
+    /// profile saw no activity.
+    pub fn fraction(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.covered as f64 / self.total as f64)
+    }
+}
+
+/// The paper's *availability-on-demand-activity*: replay the activity
+/// instants observed on `owner`'s profile and count at how many the
+/// profile was reachable (time-of-day containment, since schedules are
+/// daily patterns).
+///
+/// # Examples
+///
+/// ```
+/// use dosn_metrics::on_demand_activity;
+/// use dosn_onlinetime::{OnlineTimeModel, Sporadic};
+/// use dosn_socialgraph::UserId;
+/// use dosn_trace::synth;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let ds = synth::facebook_like(60, 1).expect("generation succeeds");
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let schedules = Sporadic::default().schedules(&ds, &mut rng);
+/// let user = UserId::new(0);
+/// let result = on_demand_activity(user, &[], &ds, &schedules, true);
+/// assert!(result.covered <= result.total);
+/// ```
+pub fn on_demand_activity(
+    owner: UserId,
+    replicas: &[UserId],
+    dataset: &Dataset,
+    schedules: &OnlineSchedules,
+    include_owner: bool,
+) -> OnDemandActivity {
+    let cover = replica_union(owner, replicas, schedules, include_owner);
+    let mut result = OnDemandActivity {
+        total: 0,
+        covered: 0,
+        covered_expected: 0,
+        covered_unexpected: 0,
+    };
+    for a in dataset.received_activities(owner) {
+        result.total += 1;
+        let tod = a.timestamp().time_of_day();
+        if cover.contains(tod) {
+            result.covered += 1;
+            if schedules[a.creator()].contains(tod) {
+                result.covered_expected += 1;
+            } else {
+                result.covered_unexpected += 1;
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::{DaySchedule, Timestamp};
+    use dosn_socialgraph::GraphBuilder;
+    use dosn_trace::Activity;
+
+    fn schedules(windows: &[(u32, u32)]) -> OnlineSchedules {
+        OnlineSchedules::new(
+            windows
+                .iter()
+                .map(|&(s, l)| {
+                    if l == 0 {
+                        DaySchedule::new()
+                    } else {
+                        DaySchedule::window_wrapping(s, l).unwrap()
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn on_demand_time_reaches_one_when_replicas_cover_accessors() {
+        let s = schedules(&[(0, 0), (0, 10_000), (2_000, 3_000)]);
+        let aod = on_demand_time(
+            UserId::new(0),
+            &[UserId::new(1)],
+            &[UserId::new(2)],
+            &s,
+            false,
+        )
+        .unwrap();
+        assert_eq!(aod, 1.0);
+    }
+
+    #[test]
+    fn on_demand_time_none_when_no_accessor_online() {
+        let s = schedules(&[(0, 100), (0, 100), (0, 0)]);
+        assert_eq!(
+            on_demand_time(UserId::new(0), &[UserId::new(1)], &[UserId::new(2)], &s, false),
+            None
+        );
+        assert_eq!(
+            on_demand_time(UserId::new(0), &[UserId::new(1)], &[], &s, false),
+            None
+        );
+    }
+
+    #[test]
+    fn owner_contributes_when_included() {
+        let s = schedules(&[(0, 5_000), (0, 0), (0, 5_000)]);
+        let with_owner =
+            on_demand_time(UserId::new(0), &[], &[UserId::new(2)], &s, true).unwrap();
+        assert_eq!(with_owner, 1.0);
+        let without =
+            on_demand_time(UserId::new(0), &[], &[UserId::new(2)], &s, false).unwrap();
+        assert_eq!(without, 0.0);
+    }
+
+    #[test]
+    fn activity_metric_counts_and_classifies() {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        // Two activities on user 0's wall by friend 1: one at 500 (friend
+        // online, replica online), one at 5_000 (nobody online).
+        let acts = vec![
+            Activity::new(UserId::new(1), UserId::new(0), Timestamp::from_day_and_offset(0, 500)),
+            Activity::new(UserId::new(1), UserId::new(0), Timestamp::from_day_and_offset(0, 5_000)),
+        ];
+        let ds = Dataset::new("a", b.build(), acts).unwrap();
+        let s = schedules(&[(0, 0), (0, 1_000)]);
+        let r = on_demand_activity(UserId::new(0), &[UserId::new(1)], &ds, &s, false);
+        assert_eq!(r.total, 2);
+        assert_eq!(r.covered, 1);
+        assert_eq!(r.covered_expected, 1);
+        assert_eq!(r.covered_unexpected, 0);
+        assert_eq!(r.fraction(), Some(0.5));
+    }
+
+    #[test]
+    fn unexpected_coverage_detected() {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        b.add_edge(UserId::new(0), UserId::new(2));
+        // Friend 1 posts at 500 but friend 1's schedule does not cover
+        // 500 (models can misalign); replica 2 is online then.
+        let acts = vec![Activity::new(
+            UserId::new(1),
+            UserId::new(0),
+            Timestamp::from_day_and_offset(0, 500),
+        )];
+        let ds = Dataset::new("u", b.build(), acts).unwrap();
+        let s = schedules(&[(0, 0), (10_000, 1_000), (0, 1_000)]);
+        let r = on_demand_activity(UserId::new(0), &[UserId::new(2)], &ds, &s, false);
+        assert_eq!(r.covered, 1);
+        assert_eq!(r.covered_unexpected, 1);
+        assert_eq!(r.covered_expected, 0);
+    }
+
+    #[test]
+    fn no_activity_gives_none_fraction() {
+        let b = {
+            let mut b = GraphBuilder::undirected();
+            b.add_edge(UserId::new(0), UserId::new(1));
+            b.build()
+        };
+        let ds = Dataset::new("n", b, Vec::new()).unwrap();
+        let s = schedules(&[(0, 100), (0, 100)]);
+        let r = on_demand_activity(UserId::new(0), &[], &ds, &s, true);
+        assert_eq!(r.total, 0);
+        assert_eq!(r.fraction(), None);
+    }
+}

@@ -1,0 +1,353 @@
+use dosn_interval::SECONDS_PER_HOUR;
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+
+/// The weighted *replica time-connectivity graph* of Section II-C3.
+///
+/// Nodes are the replicas of one user's profile; an edge joins two
+/// replicas that are connected in time, weighted by the **worst-case
+/// wait** for their next co-online window — the longest circular gap in
+/// the intersection of their daily schedules (for a single overlap window
+/// of `d` hours this is the paper's `24 − d` hours). Updates travel
+/// multi-hop along shortest paths; summing worst-case edge waits along a
+/// path reproduces the paper's worst-case composition (`48 − d1 − d2` in
+/// their two-hop example).
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::DaySchedule;
+/// use dosn_metrics::ReplicaConnectivityGraph;
+/// use dosn_onlinetime::OnlineSchedules;
+/// use dosn_socialgraph::UserId;
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let schedules = OnlineSchedules::new(vec![
+///     DaySchedule::window_wrapping(0, 7_200)?,      // replica 0
+///     DaySchedule::window_wrapping(3_600, 7_200)?,  // replica 1, 1 h overlap
+/// ]);
+/// let g = ReplicaConnectivityGraph::build(
+///     &[UserId::new(0), UserId::new(1)],
+///     &schedules,
+/// );
+/// // Worst-case wait: a full day minus the 1 h overlap.
+/// assert_eq!(g.edge_weight(0, 1), Some(86_400 - 3_600));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaConnectivityGraph {
+    replicas: Vec<UserId>,
+    /// Row-major `n x n`; `None` = never co-online.
+    weights: Vec<Option<u32>>,
+}
+
+impl ReplicaConnectivityGraph {
+    /// Builds the graph for a replica set under the given schedules.
+    pub fn build(replicas: &[UserId], schedules: &OnlineSchedules) -> Self {
+        let n = replicas.len();
+        let mut weights = vec![None; n * n];
+        for i in 0..n {
+            weights[i * n + i] = Some(0);
+            for j in (i + 1)..n {
+                let co_online = schedules[replicas[i]].intersection(&schedules[replicas[j]]);
+                let w = co_online.max_gap();
+                weights[i * n + j] = w;
+                weights[j * n + i] = w;
+            }
+        }
+        ReplicaConnectivityGraph {
+            replicas: replicas.to_vec(),
+            weights,
+        }
+    }
+
+    /// Number of replicas (nodes).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The replicas, in node order.
+    pub fn replicas(&self) -> &[UserId] {
+        &self.replicas
+    }
+
+    /// The worst-case wait in seconds for a direct `i -> j` transfer, or
+    /// `None` when the two replicas are never co-online.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn edge_weight(&self, i: usize, j: usize) -> Option<u32> {
+        assert!(i < self.replica_count() && j < self.replica_count());
+        self.weights[i * self.replica_count() + j]
+    }
+
+    /// The distinct-pair shortest worst-case delays in ascending order
+    /// (each unordered pair once), dropping unreachable pairs — the
+    /// delay *distribution* behind the worst-case metric, for percentile
+    /// reporting.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dosn_interval::DaySchedule;
+    /// use dosn_metrics::ReplicaConnectivityGraph;
+    /// use dosn_onlinetime::OnlineSchedules;
+    /// use dosn_socialgraph::UserId;
+    ///
+    /// # fn main() -> Result<(), dosn_interval::IntervalError> {
+    /// let schedules = OnlineSchedules::new(vec![
+    ///     DaySchedule::window_wrapping(0, 7_200)?,
+    ///     DaySchedule::window_wrapping(3_600, 7_200)?,
+    /// ]);
+    /// let g = ReplicaConnectivityGraph::build(&[UserId::new(0), UserId::new(1)], &schedules);
+    /// assert_eq!(g.pairwise_delays(), vec![86_400 - 3_600]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn pairwise_delays(&self) -> Vec<u64> {
+        let n = self.replica_count();
+        let dist = self.shortest_paths();
+        let mut delays: Vec<u64> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .filter_map(|(i, j)| dist[i * n + j])
+            .collect();
+        delays.sort_unstable();
+        delays
+    }
+
+    /// All-pairs shortest worst-case delays (Floyd–Warshall), in seconds;
+    /// `None` where no multi-hop path exists.
+    pub fn shortest_paths(&self) -> Vec<Option<u64>> {
+        let n = self.replica_count();
+        let mut dist: Vec<Option<u64>> = self.weights.iter().map(|w| w.map(u64::from)).collect();
+        for k in 0..n {
+            for i in 0..n {
+                let Some(dik) = dist[i * n + k] else { continue };
+                for j in 0..n {
+                    let Some(dkj) = dist[k * n + j] else { continue };
+                    let through = dik + dkj;
+                    if dist[i * n + j].is_none_or(|d| through < d) {
+                        dist[i * n + j] = Some(through);
+                    }
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// The worst-case update propagation delay for one user's replica set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropagationDelay {
+    /// The weighted diameter (maximum over replica pairs of the shortest
+    /// worst-case path), in seconds; `None` when some pair of replicas
+    /// cannot reach each other even multi-hop.
+    pub worst_secs: Option<u64>,
+}
+
+impl PropagationDelay {
+    /// Whether every replica pair can exchange updates friend-to-friend.
+    pub fn is_connected(&self) -> bool {
+        self.worst_secs.is_some()
+    }
+
+    /// The delay in hours (the unit of the paper's Fig. 7), if connected.
+    pub fn worst_hours(&self) -> Option<f64> {
+        self.worst_secs
+            .map(|s| s as f64 / f64::from(SECONDS_PER_HOUR))
+    }
+}
+
+/// The paper's *update propagation delay*: the weighted diameter of the
+/// replica time-connectivity graph — the worst case, over update origins
+/// and replica pairs, of the time for an update to reach every replica.
+///
+/// Sets with zero or one replica need no propagation, so their delay is
+/// zero.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::DaySchedule;
+/// use dosn_metrics::update_propagation_delay;
+/// use dosn_onlinetime::OnlineSchedules;
+/// use dosn_socialgraph::UserId;
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let schedules = OnlineSchedules::new(vec![
+///     DaySchedule::window_wrapping(0, 7_200)?,
+///     DaySchedule::window_wrapping(3_600, 7_200)?,
+/// ]);
+/// let d = update_propagation_delay(&[UserId::new(0), UserId::new(1)], &schedules);
+/// assert_eq!(d.worst_hours(), Some(23.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn update_propagation_delay(
+    replicas: &[UserId],
+    schedules: &OnlineSchedules,
+) -> PropagationDelay {
+    if replicas.len() <= 1 {
+        return PropagationDelay {
+            worst_secs: Some(0),
+        };
+    }
+    let graph = ReplicaConnectivityGraph::build(replicas, schedules);
+    let dist = graph.shortest_paths();
+    let mut worst: u64 = 0;
+    for (idx, d) in dist.iter().enumerate() {
+        let n = graph.replica_count();
+        let (i, j) = (idx / n, idx % n);
+        if i == j {
+            continue;
+        }
+        match d {
+            Some(d) => worst = worst.max(*d),
+            None => return PropagationDelay { worst_secs: None },
+        }
+    }
+    PropagationDelay {
+        worst_secs: Some(worst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::{DaySchedule, SECONDS_PER_DAY};
+
+    fn schedules(windows: &[&[(u32, u32)]]) -> OnlineSchedules {
+        OnlineSchedules::new(
+            windows
+                .iter()
+                .map(|sessions| {
+                    let mut s = DaySchedule::new();
+                    for &(start, len) in *sessions {
+                        s.insert_wrapping(start, len).unwrap();
+                    }
+                    s
+                })
+                .collect(),
+        )
+    }
+
+    fn ids(n: u32) -> Vec<UserId> {
+        (0..n).map(UserId::new).collect()
+    }
+
+    #[test]
+    fn paper_two_hop_example() {
+        // v1: [0h, 3h), v2: [2h, 5h) (overlap d1 = 1h),
+        // v3: [4.5h, 6h) (overlap with v2 = 0.5h), v1 and v3 disjoint.
+        let h = SECONDS_PER_HOUR;
+        let s = schedules(&[
+            &[(0, 3 * h)],
+            &[(2 * h, 3 * h)],
+            &[(4 * h + 1_800, h + 1_800)],
+        ]);
+        let g = ReplicaConnectivityGraph::build(&ids(3), &s);
+        assert_eq!(g.edge_weight(0, 1), Some(SECONDS_PER_DAY - h));
+        assert_eq!(g.edge_weight(1, 2), Some(SECONDS_PER_DAY - 1_800));
+        assert_eq!(g.edge_weight(0, 2), None);
+        // Multi-hop v1 -> v3 goes through v2: (24 - 1h) + (24 - 0.5h).
+        let d = update_propagation_delay(&ids(3), &s);
+        assert_eq!(
+            d.worst_secs,
+            Some(u64::from(2 * SECONDS_PER_DAY - h - 1_800))
+        );
+        assert!((d.worst_hours().unwrap() - 46.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_sets_have_zero_delay() {
+        let s = schedules(&[&[(0, 100)]]);
+        assert_eq!(update_propagation_delay(&[], &s).worst_secs, Some(0));
+        assert_eq!(update_propagation_delay(&ids(1), &s).worst_secs, Some(0));
+    }
+
+    #[test]
+    fn disconnected_pair_reports_none() {
+        let s = schedules(&[&[(0, 100)], &[(50_000, 100)]]);
+        let d = update_propagation_delay(&ids(2), &s);
+        assert_eq!(d.worst_secs, None);
+        assert!(!d.is_connected());
+        assert_eq!(d.worst_hours(), None);
+    }
+
+    #[test]
+    fn multiple_daily_overlaps_shrink_the_wait() {
+        // Two replicas co-online twice a day, 1 h each, 12 h apart:
+        // worst wait is 11 h, far below 23 h.
+        let h = SECONDS_PER_HOUR;
+        let s = schedules(&[
+            &[(0, h), (12 * h, h)],
+            &[(0, h), (12 * h, h)],
+        ]);
+        let d = update_propagation_delay(&ids(2), &s);
+        assert_eq!(d.worst_secs, Some(u64::from(11 * h)));
+    }
+
+    #[test]
+    fn always_co_online_is_instant() {
+        let s = schedules(&[&[(0, SECONDS_PER_DAY)], &[(0, SECONDS_PER_DAY)]]);
+        let d = update_propagation_delay(&ids(2), &s);
+        assert_eq!(d.worst_secs, Some(0));
+    }
+
+    #[test]
+    fn shortest_path_beats_direct_edge() {
+        // 0 and 2 overlap barely (worst wait ~24h) but both overlap 1
+        // heavily at two spread-out windows.
+        let h = SECONDS_PER_HOUR;
+        let s = schedules(&[
+            &[(0, 2 * h)],
+            &[(h, 2 * h), (13 * h, 2 * h)],
+            &[(13 * h, 2 * h)],
+        ]);
+        let g = ReplicaConnectivityGraph::build(&ids(3), &s);
+        assert_eq!(g.edge_weight(0, 2), None); // disjoint directly
+        let dist = g.shortest_paths();
+        // 0 -> 1 worst (23h) + 1 -> 2 worst (22h).
+        assert_eq!(dist[2], Some(u64::from(45 * h)));
+        let d = update_propagation_delay(&ids(3), &s);
+        assert_eq!(d.worst_secs, Some(u64::from(45 * h)));
+    }
+
+    #[test]
+    fn pairwise_delays_sorted_and_skip_unreachable() {
+        let h = SECONDS_PER_HOUR;
+        // 0-1 overlap 4h (20h wait), 2 isolated.
+        let s = schedules(&[&[(0, 5 * h)], &[(h, 5 * h)], &[(70_000, 1_000)]]);
+        let g = ReplicaConnectivityGraph::build(&ids(3), &s);
+        let delays = g.pairwise_delays();
+        // Only the 0-1 pair is connected.
+        assert_eq!(delays, vec![u64::from(20 * h)]);
+        // A connected triple yields three sorted entries.
+        let s2 = schedules(&[&[(0, 5 * h)], &[(h, 5 * h)], &[(2 * h, 5 * h)]]);
+        let g2 = ReplicaConnectivityGraph::build(&ids(3), &s2);
+        let d2 = g2.pairwise_delays();
+        assert_eq!(d2.len(), 3);
+        assert!(d2.windows(2).all(|w| w[0] <= w[1]));
+        // The worst pairwise delay is the diameter.
+        assert_eq!(
+            *d2.last().unwrap(),
+            update_propagation_delay(&ids(3), &s2).worst_secs.unwrap()
+        );
+    }
+
+    #[test]
+    fn diameter_picks_worst_pair() {
+        let h = SECONDS_PER_HOUR;
+        // Chain 0-1-2 where 0-1 overlap 4h and 1-2 overlap 1h.
+        let s = schedules(&[
+            &[(0, 5 * h)],
+            &[(h, 5 * h)],
+            &[(5 * h, 5 * h)],
+        ]);
+        let d = update_propagation_delay(&ids(3), &s);
+        // 0-1: 20h; 1-2: 23h; 0-2 direct: none, via 1: 43h.
+        assert_eq!(d.worst_secs, Some(u64::from(43 * h)));
+    }
+}

@@ -1,0 +1,203 @@
+/// Streaming mean/min/max summary of a sequence of observations.
+///
+/// The experiment sweeps aggregate per-user metric values into one point
+/// per (policy, model, degree) cell; `Summary` is that aggregation.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_metrics::Summary;
+///
+/// let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), Some(2.0));
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    count: usize,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds one observation.
+    ///
+    /// Non-finite values are ignored (they arise from undefined ratios,
+    /// which the metrics already signal with `None`).
+    pub fn add(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        self.sum_sq += value * value;
+    }
+
+    /// Adds an observation if present.
+    pub fn add_opt(&mut self, value: Option<f64>) {
+        if let Some(v) = value {
+            self.add(v);
+        }
+    }
+
+    /// Number of (finite) observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Population standard deviation, or `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.mean().map(|m| {
+            let var = (self.sum_sq / self.count as f64 - m * m).max(0.0);
+            var.sqrt()
+        })
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.add(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "mean {:.4} (n={}, min {:.4}, max {:.4})",
+                mean,
+                self.count,
+                self.min,
+                self.max
+            ),
+            None => f.write_str("no observations"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.std_dev(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.to_string(), "no observations");
+    }
+
+    #[test]
+    fn basic_moments() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.mean(), Some(5.0));
+        assert_eq!(s.std_dev(), Some(2.0));
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn ignores_non_finite_and_none() {
+        let mut s = Summary::new();
+        s.add(1.0);
+        s.add(f64::NAN);
+        s.add(f64::INFINITY);
+        s.add_opt(None);
+        s.add_opt(Some(3.0));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a: Summary = [1.0, 2.0].into_iter().collect();
+        let b: Summary = [3.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.mean(), Some(2.5));
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(4.0));
+        let mut empty = Summary::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 4);
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn extend_adds() {
+        let mut s = Summary::new();
+        s.extend([1.0, 3.0]);
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn display_shows_mean() {
+        let s: Summary = [1.0].into_iter().collect();
+        assert!(s.to_string().contains("mean 1.0000"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Week-circle variants of the core metrics.
+//!
+//! The paper folds every day onto one daily circle; these functions run
+//! the same definitions over the 604 800-second week circle, so
+//! weekday/weekend asymmetry shows up instead of averaging away.
+
+use dosn_interval::WeekSchedule;
+use dosn_onlinetime::WeeklySchedules;
+use dosn_socialgraph::UserId;
+
+use crate::propagation::PropagationDelay;
+
+/// The union weekly schedule through which `owner`'s profile is
+/// reachable.
+pub fn weekly_replica_union(
+    owner: UserId,
+    replicas: &[UserId],
+    schedules: &WeeklySchedules,
+    include_owner: bool,
+) -> WeekSchedule {
+    let base = if include_owner {
+        schedules[owner].clone()
+    } else {
+        WeekSchedule::new()
+    };
+    replicas
+        .iter()
+        .fold(base, |acc, &r| acc.union(&schedules[r]))
+}
+
+/// Weekly availability: the fraction of the week the profile is
+/// reachable.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::{DaySchedule, WeekSchedule};
+/// use dosn_metrics::weekly_availability;
+/// use dosn_onlinetime::WeeklySchedules;
+/// use dosn_socialgraph::UserId;
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let schedules = WeeklySchedules::new(vec![
+///     WeekSchedule::new(),
+///     WeekSchedule::uniform(&DaySchedule::window_wrapping(0, 43_200)?),
+/// ]);
+/// let a = weekly_availability(UserId::new(0), &[UserId::new(1)], &schedules, true);
+/// assert!((a - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn weekly_availability(
+    owner: UserId,
+    replicas: &[UserId],
+    schedules: &WeeklySchedules,
+    include_owner: bool,
+) -> f64 {
+    weekly_replica_union(owner, replicas, schedules, include_owner).fraction_of_week()
+}
+
+/// Weekly availability-on-demand-time: the covered fraction of the
+/// accessors' weekly online time, or `None` when they are never online.
+pub fn weekly_on_demand_time(
+    owner: UserId,
+    replicas: &[UserId],
+    accessors: &[UserId],
+    schedules: &WeeklySchedules,
+    include_owner: bool,
+) -> Option<f64> {
+    let demand = schedules.union_of(accessors.iter().copied());
+    let demand_secs = demand.online_seconds();
+    if demand_secs == 0 {
+        return None;
+    }
+    let cover = weekly_replica_union(owner, replicas, schedules, include_owner);
+    Some(f64::from(cover.overlap_seconds(&demand)) / f64::from(demand_secs))
+}
+
+/// Weekly worst-case update propagation delay: the weighted diameter of
+/// the replica time-connectivity graph with week-circular edge weights
+/// (the longest wait between co-online windows, which may now span the
+/// weekend).
+pub fn weekly_update_propagation_delay(
+    replicas: &[UserId],
+    schedules: &WeeklySchedules,
+) -> PropagationDelay {
+    let n = replicas.len();
+    if n <= 1 {
+        return PropagationDelay { worst_secs: Some(0) };
+    }
+    // Edge weights: worst wait for the next weekly co-online window.
+    let mut weights: Vec<Option<u64>> = vec![None; n * n];
+    for i in 0..n {
+        weights[i * n + i] = Some(0);
+        for j in (i + 1)..n {
+            let co_online = schedules[replicas[i]].intersection(&schedules[replicas[j]]);
+            let w = co_online.max_gap().map(u64::from);
+            weights[i * n + j] = w;
+            weights[j * n + i] = w;
+        }
+    }
+    // Floyd–Warshall, then the diameter.
+    for k in 0..n {
+        for i in 0..n {
+            let Some(dik) = weights[i * n + k] else { continue };
+            for j in 0..n {
+                let Some(dkj) = weights[k * n + j] else { continue };
+                let through = dik + dkj;
+                if weights[i * n + j].is_none_or(|d| through < d) {
+                    weights[i * n + j] = Some(through);
+                }
+            }
+        }
+    }
+    let mut worst = 0u64;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            match weights[i * n + j] {
+                Some(d) => worst = worst.max(d),
+                None => return PropagationDelay { worst_secs: None },
+            }
+        }
+    }
+    PropagationDelay {
+        worst_secs: Some(worst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::{DayOfWeek, DaySchedule, SECONDS_PER_DAY};
+
+    fn weekday_only(start: u32, len: u32) -> WeekSchedule {
+        WeekSchedule::from_day_types(
+            &DaySchedule::window_wrapping(start, len).unwrap(),
+            &DaySchedule::new(),
+        )
+    }
+
+    #[test]
+    fn weekly_availability_counts_the_whole_week() {
+        // Online 12 h on weekdays only: 5 * 12 / (7 * 24) of the week.
+        let schedules = WeeklySchedules::new(vec![
+            WeekSchedule::new(),
+            weekday_only(0, 12 * 3_600),
+        ]);
+        let a = weekly_availability(UserId::new(0), &[UserId::new(1)], &schedules, true);
+        assert!((a - 5.0 * 12.0 / (7.0 * 24.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weekend_gap_dominates_weekly_delay() {
+        // Both replicas online weekdays 12:00-14:00 only: the daily
+        // metric would say worst wait 22 h, but Friday 14:00 to Monday
+        // 12:00 is 70 h.
+        let schedules = WeeklySchedules::new(vec![
+            weekday_only(12 * 3_600, 2 * 3_600),
+            weekday_only(12 * 3_600, 2 * 3_600),
+        ]);
+        let d = weekly_update_propagation_delay(&[UserId::new(0), UserId::new(1)], &schedules);
+        let friday_end = 4 * SECONDS_PER_DAY + 14 * 3_600;
+        let monday_start = 7 * SECONDS_PER_DAY + 12 * 3_600;
+        assert_eq!(d.worst_secs, Some(u64::from(monday_start - friday_end)));
+        assert!((d.worst_hours().unwrap() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_weekly_pairs_detected() {
+        let schedules = WeeklySchedules::new(vec![
+            weekday_only(0, 3_600),
+            WeekSchedule::from_day_types(
+                &DaySchedule::new(),
+                &DaySchedule::window_wrapping(0, 3_600).unwrap(),
+            ),
+        ]);
+        let d = weekly_update_propagation_delay(&[UserId::new(0), UserId::new(1)], &schedules);
+        assert_eq!(d.worst_secs, None);
+    }
+
+    #[test]
+    fn trivial_weekly_sets() {
+        let schedules = WeeklySchedules::new(vec![weekday_only(0, 100)]);
+        assert_eq!(
+            weekly_update_propagation_delay(&[], &schedules).worst_secs,
+            Some(0)
+        );
+        assert_eq!(
+            weekly_update_propagation_delay(&[UserId::new(0)], &schedules).worst_secs,
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn on_demand_time_weekly() {
+        // Accessor online Saturday; replica online weekdays: zero
+        // coverage. Adding a weekend replica fixes it.
+        let accessor = WeekSchedule::from_day_types(
+            &DaySchedule::new(),
+            &DaySchedule::window_wrapping(10 * 3_600, 2 * 3_600).unwrap(),
+        );
+        let weekday_replica = weekday_only(10 * 3_600, 2 * 3_600);
+        let weekend_replica = WeekSchedule::from_day_types(
+            &DaySchedule::new(),
+            &DaySchedule::window_wrapping(9 * 3_600, 4 * 3_600).unwrap(),
+        );
+        let schedules = WeeklySchedules::new(vec![
+            WeekSchedule::new(),
+            weekday_replica,
+            weekend_replica,
+            accessor,
+        ]);
+        let owner = UserId::new(0);
+        let accessors = [UserId::new(3)];
+        let none = weekly_on_demand_time(owner, &[UserId::new(1)], &accessors, &schedules, false)
+            .unwrap();
+        assert_eq!(none, 0.0);
+        let full = weekly_on_demand_time(owner, &[UserId::new(2)], &accessors, &schedules, false)
+            .unwrap();
+        assert_eq!(full, 1.0);
+        // Nobody demanding -> None.
+        assert_eq!(
+            weekly_on_demand_time(owner, &[UserId::new(1)], &[UserId::new(0)], &schedules, false),
+            None
+        );
+        let _ = DayOfWeek::Monday; // silence unused import in some cfgs
+    }
+}

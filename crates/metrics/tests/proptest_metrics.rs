@@ -1,0 +1,126 @@
+//! Property tests for metric invariants on randomized schedules.
+
+use dosn_interval::{DaySchedule, SECONDS_PER_DAY};
+use dosn_metrics::{
+    availability, max_achievable_availability, on_demand_time, update_propagation_delay,
+    ReplicaConnectivityGraph, Summary,
+};
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+use proptest::prelude::*;
+
+/// Strategy: 4-8 users, each with 0-4 random sessions.
+fn random_schedules() -> impl Strategy<Value = OnlineSchedules> {
+    prop::collection::vec(
+        prop::collection::vec((0..SECONDS_PER_DAY, 60..=6 * 3600u32), 0..4),
+        4..8,
+    )
+    .prop_map(|users| {
+        OnlineSchedules::new(
+            users
+                .into_iter()
+                .map(|sessions| {
+                    let mut s = DaySchedule::new();
+                    for (start, len) in sessions {
+                        s.insert_wrapping(start, len).expect("valid session");
+                    }
+                    s
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn availability_is_monotone_in_replica_set(schedules in random_schedules()) {
+        let owner = UserId::new(0);
+        let all: Vec<UserId> = (1..schedules.user_count() as u32).map(UserId::new).collect();
+        let mut prev = availability(owner, &[], &schedules, true);
+        for k in 1..=all.len() {
+            let a = availability(owner, &all[..k], &schedules, true);
+            prop_assert!(a >= prev - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&a));
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn availability_without_owner_bounded_by_cap(schedules in random_schedules()) {
+        let owner = UserId::new(0);
+        let all: Vec<UserId> = (1..schedules.user_count() as u32).map(UserId::new).collect();
+        let cap = max_achievable_availability(&all, &schedules);
+        for k in 0..=all.len() {
+            let a = availability(owner, &all[..k], &schedules, false);
+            prop_assert!(a <= cap + 1e-12);
+        }
+        // Using every candidate achieves the cap exactly.
+        let full = availability(owner, &all, &schedules, false);
+        prop_assert!((full - cap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_demand_time_is_a_ratio(schedules in random_schedules()) {
+        let owner = UserId::new(0);
+        let all: Vec<UserId> = (1..schedules.user_count() as u32).map(UserId::new).collect();
+        for k in 0..=all.len() {
+            if let Some(v) = on_demand_time(owner, &all[..k], &all, &schedules, true) {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+            }
+        }
+        // Replicating on every accessor yields full on-demand coverage.
+        if let Some(v) = on_demand_time(owner, &all, &all, &schedules, false) {
+            prop_assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn propagation_delay_symmetry_and_triangle(schedules in random_schedules()) {
+        let replicas: Vec<UserId> = (0..schedules.user_count() as u32).map(UserId::new).collect();
+        let g = ReplicaConnectivityGraph::build(&replicas, &schedules);
+        let n = g.replica_count();
+        let dist = g.shortest_paths();
+        for i in 0..n {
+            prop_assert_eq!(dist[i * n + i], Some(0));
+            for j in 0..n {
+                // Symmetric weights give symmetric distances.
+                prop_assert_eq!(dist[i * n + j], dist[j * n + i]);
+                // Shortest path never exceeds the direct edge.
+                if let Some(direct) = g.edge_weight(i, j) {
+                    prop_assert!(dist[i * n + j].expect("edge implies path") <= u64::from(direct));
+                }
+                // Triangle inequality.
+                for k in 0..n {
+                    if let (Some(ik), Some(kj)) = (dist[i * n + k], dist[k * n + j]) {
+                        prop_assert!(dist[i * n + j].expect("two-leg path exists") <= ik + kj);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delay_zero_iff_always_co_online_pairwise(schedules in random_schedules()) {
+        let replicas: Vec<UserId> = (0..2).map(UserId::new).collect();
+        let d = update_propagation_delay(&replicas, &schedules);
+        let inter = schedules[replicas[0]].intersection(&schedules[replicas[1]]);
+        match d.worst_secs {
+            Some(0) => prop_assert!(inter.is_full()),
+            Some(_) => prop_assert!(!inter.is_full() && !inter.is_empty()),
+            None => prop_assert!(inter.is_empty()),
+        }
+    }
+
+    #[test]
+    fn summary_mean_is_bounded(values in prop::collection::vec(-1e6f64..1e6, 0..64)) {
+        let s: Summary = values.iter().copied().collect();
+        if let (Some(mean), Some(min), Some(max)) = (s.mean(), s.min(), s.max()) {
+            prop_assert!(min <= mean + 1e-9 && mean <= max + 1e-9);
+            prop_assert!(s.std_dev().expect("non-empty") >= 0.0);
+        } else {
+            prop_assert_eq!(s.count(), 0);
+        }
+    }
+}

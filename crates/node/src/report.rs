@@ -1,0 +1,179 @@
+use dosn_metrics::Summary;
+
+/// Per-node storage and traffic accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeAccounting {
+    /// Profile updates stored per node, summarized across nodes.
+    pub stored_updates: Summary,
+    /// Replica-to-replica transfer messages per node (sent side).
+    pub messages_sent: Summary,
+}
+
+/// The outcome of one full-system run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SystemReport {
+    posts_total: usize,
+    posts_delivered: usize,
+    posts_failed: usize,
+    /// Hours until the last replica held a delivered post.
+    staleness_hours: Summary,
+    /// Delivered posts whose dissemination never completed within the
+    /// horizon (a replica stayed unreachable).
+    incomplete_dissemination: usize,
+    reads_total: usize,
+    reads_served: usize,
+    accounting: NodeAccounting,
+}
+
+impl SystemReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        posts_total: usize,
+        posts_delivered: usize,
+        staleness_hours: Summary,
+        incomplete_dissemination: usize,
+        reads_total: usize,
+        reads_served: usize,
+        accounting: NodeAccounting,
+    ) -> Self {
+        SystemReport {
+            posts_total,
+            posts_delivered,
+            posts_failed: posts_total - posts_delivered,
+            staleness_hours,
+            incomplete_dissemination,
+            reads_total,
+            reads_served,
+            accounting,
+        }
+    }
+
+    /// Posts the trace attempted.
+    pub fn posts_total(&self) -> usize {
+        self.posts_total
+    }
+
+    /// Posts that found an online profile host at their timestamp.
+    pub fn posts_delivered(&self) -> usize {
+        self.posts_delivered
+    }
+
+    /// Posts that found nobody online.
+    pub fn posts_failed(&self) -> usize {
+        self.posts_failed
+    }
+
+    /// The empirical availability-on-demand-activity: delivered / total.
+    pub fn delivery_ratio(&self) -> Option<f64> {
+        (self.posts_total > 0).then(|| self.posts_delivered as f64 / self.posts_total as f64)
+    }
+
+    /// Hours from post creation until the last replica held it
+    /// (delivered posts with complete dissemination only).
+    pub fn staleness_hours(&self) -> &Summary {
+        &self.staleness_hours
+    }
+
+    /// Delivered posts that never reached every replica.
+    pub fn incomplete_dissemination(&self) -> usize {
+        self.incomplete_dissemination
+    }
+
+    /// Read requests issued by online friends.
+    pub fn reads_total(&self) -> usize {
+        self.reads_total
+    }
+
+    /// Reads that found an online profile host — the empirical
+    /// availability-on-demand-time.
+    pub fn reads_served(&self) -> usize {
+        self.reads_served
+    }
+
+    /// The empirical availability-on-demand-time: served / issued.
+    pub fn read_success_ratio(&self) -> Option<f64> {
+        (self.reads_total > 0).then(|| self.reads_served as f64 / self.reads_total as f64)
+    }
+
+    /// Per-node storage/traffic accounting.
+    pub fn accounting(&self) -> &NodeAccounting {
+        &self.accounting
+    }
+}
+
+impl std::fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "posts:                 {}", self.posts_total)?;
+        writeln!(
+            f,
+            "delivered:             {} ({:.1}%)",
+            self.posts_delivered,
+            100.0 * self.delivery_ratio().unwrap_or(0.0)
+        )?;
+        writeln!(f, "failed:                {}", self.posts_failed)?;
+        writeln!(
+            f,
+            "staleness (h):         {}",
+            self.staleness_hours
+        )?;
+        writeln!(
+            f,
+            "incomplete spreads:    {}",
+            self.incomplete_dissemination
+        )?;
+        writeln!(
+            f,
+            "reads served:          {} of {} ({:.1}%)",
+            self.reads_served,
+            self.reads_total,
+            100.0 * self.read_success_ratio().unwrap_or(0.0)
+        )?;
+        writeln!(
+            f,
+            "stored updates/node:   {}",
+            self.accounting.stored_updates
+        )?;
+        write!(
+            f,
+            "messages sent/node:    {}",
+            self.accounting.messages_sent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_display() {
+        let staleness: Summary = [1.0, 3.0].into_iter().collect();
+        let report = SystemReport::new(
+            10,
+            8,
+            staleness,
+            1,
+            20,
+            15,
+            NodeAccounting::default(),
+        );
+        assert_eq!(report.posts_total(), 10);
+        assert_eq!(report.posts_failed(), 2);
+        assert_eq!(report.delivery_ratio(), Some(0.8));
+        assert_eq!(report.incomplete_dissemination(), 1);
+        assert_eq!(report.reads_total(), 20);
+        assert_eq!(report.reads_served(), 15);
+        assert_eq!(report.read_success_ratio(), Some(0.75));
+        let text = report.to_string();
+        assert!(text.contains("delivered:             8 (80.0%)"));
+        assert!(text.contains("reads served:          15 of 20 (75.0%)"));
+        assert!(text.contains("staleness"));
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = SystemReport::default();
+        assert_eq!(report.delivery_ratio(), None);
+        assert_eq!(report.posts_total(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the full-system simulator: accounting invariants
+//! must hold for any configuration.
+
+use dosn_core::{ModelKind, PolicyKind, StudyConfig};
+use dosn_node::{DisseminationMode, SystemSim};
+use dosn_trace::synth;
+use proptest::prelude::*;
+
+fn model_strategy() -> impl Strategy<Value = ModelKind> {
+    prop_oneof![
+        Just(ModelKind::sporadic_default()),
+        (600u32..7_200).prop_map(|s| ModelKind::Sporadic { session_secs: s }),
+        (1u32..10).prop_map(ModelKind::fixed_hours),
+        Just(ModelKind::random_length_default()),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::MaxAv),
+        Just(PolicyKind::MostActive),
+        Just(PolicyKind::Random),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn accounting_invariants_hold(
+        seed in 0u64..1_000,
+        model in model_strategy(),
+        policy in policy_strategy(),
+        degree in 0usize..6,
+        cloud in any::<bool>(),
+    ) {
+        let ds = synth::facebook_like(80, seed).expect("generation succeeds");
+        let config = StudyConfig::default().with_seed(seed);
+        let mut sim = SystemSim::new(&ds);
+        sim.model(model).policy(policy).replication_degree(degree);
+        if cloud {
+            sim.dissemination(DisseminationMode::Cloud { latency_secs: 30 });
+        }
+        let report = sim.run(&config);
+
+        // Conservation: every post is delivered or failed.
+        prop_assert_eq!(
+            report.posts_total(),
+            report.posts_delivered() + report.posts_failed()
+        );
+        prop_assert_eq!(report.posts_total(), ds.activity_count());
+        // Ratios live in [0, 1].
+        if let Some(r) = report.delivery_ratio() {
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+        if let Some(r) = report.read_success_ratio() {
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+        // Staleness observations only come from delivered posts.
+        prop_assert!(report.staleness_hours().count() <= report.posts_delivered());
+        prop_assert!(
+            report.staleness_hours().count() + report.incomplete_dissemination()
+                == report.posts_delivered()
+        );
+        // Non-negative staleness; cloud bounds it by a day + latency.
+        if let Some(max) = report.staleness_hours().max() {
+            prop_assert!(max >= 0.0);
+            if cloud {
+                prop_assert!(max <= 24.1, "cloud staleness {max}");
+            }
+        }
+        // Storage accounting: total stored copies at least the delivered
+        // posts (each is stored on >= 1 host) and at most delivered *
+        // (degree + 1).
+        let acct = report.accounting();
+        let total_stored = acct.stored_updates.mean().unwrap_or(0.0)
+            * acct.stored_updates.count() as f64;
+        prop_assert!(total_stored + 1e-6 >= report.posts_delivered() as f64);
+        prop_assert!(
+            total_stored <= (report.posts_delivered() * (degree + 1)) as f64 + 1e-6
+        );
+    }
+
+    #[test]
+    fn same_seed_same_report(seed in 0u64..200) {
+        let ds = synth::facebook_like(60, seed).expect("generation succeeds");
+        let config = StudyConfig::default().with_seed(seed);
+        let run = || SystemSim::new(&ds).replication_degree(3).run(&config);
+        prop_assert_eq!(run(), run());
+    }
+}

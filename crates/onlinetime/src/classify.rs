@@ -1,0 +1,103 @@
+use dosn_trace::Dataset;
+
+use crate::model::OnlineSchedules;
+
+/// Whether an activity fell inside its creator's modeled online time.
+///
+/// The paper calls activities inside the modeled online time *expected*
+/// and the rest *unexpected* (Section IV-B); availability-on-demand-
+/// activity counts both, and availability during unexpected activity is a
+/// pleasant surprise for users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivityClass {
+    /// The creator's modeled schedule covers the activity's time-of-day.
+    Expected,
+    /// The activity falls outside the creator's modeled schedule.
+    Unexpected,
+}
+
+/// Classifies every activity of `dataset` against the creator's modeled
+/// schedule, in trace order.
+///
+/// Under [`Sporadic`](crate::Sporadic) every activity is `Expected` by
+/// construction; under the continuous models, activities outside the
+/// daily window come out `Unexpected`.
+///
+/// # Panics
+///
+/// Panics if `schedules` covers fewer users than the dataset.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_onlinetime::{classify_activities, ActivityClass, OnlineTimeModel, Sporadic};
+/// use dosn_trace::synth;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let ds = synth::facebook_like(50, 1).expect("generation succeeds");
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let schedules = Sporadic::default().schedules(&ds, &mut rng);
+/// let classes = classify_activities(&ds, &schedules);
+/// assert!(classes.iter().all(|&c| c == ActivityClass::Expected));
+/// ```
+pub fn classify_activities(dataset: &Dataset, schedules: &OnlineSchedules) -> Vec<ActivityClass> {
+    assert!(
+        schedules.user_count() >= dataset.user_count(),
+        "schedules must cover every dataset user"
+    );
+    dataset
+        .activities()
+        .iter()
+        .map(|a| {
+            if schedules
+                .schedule(a.creator())
+                .contains(a.timestamp().time_of_day())
+            {
+                ActivityClass::Expected
+            } else {
+                ActivityClass::Unexpected
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuous::FixedLength;
+    use crate::model::OnlineTimeModel;
+    use dosn_interval::Timestamp;
+    use dosn_socialgraph::{GraphBuilder, UserId};
+    use dosn_trace::Activity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn continuous_model_marks_outliers_unexpected() {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        // Two clustered activities and one 12 hours away.
+        let acts = vec![
+            Activity::new(UserId::new(0), UserId::new(1), Timestamp::from_day_and_offset(0, 36_000)),
+            Activity::new(UserId::new(0), UserId::new(1), Timestamp::from_day_and_offset(1, 36_600)),
+            Activity::new(UserId::new(0), UserId::new(1), Timestamp::from_day_and_offset(2, 79_000)),
+        ];
+        let ds = Dataset::new("c", b.build(), acts).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let schedules = FixedLength::hours(2).schedules(&ds, &mut rng);
+        let classes = classify_activities(&ds, &schedules);
+        assert_eq!(classes[0], ActivityClass::Expected);
+        assert_eq!(classes[1], ActivityClass::Expected);
+        assert_eq!(classes[2], ActivityClass::Unexpected);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedules must cover")]
+    fn mismatched_schedules_panic() {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        let ds = Dataset::new("m", b.build(), Vec::new()).unwrap();
+        let empty = OnlineSchedules::new(Vec::new());
+        classify_activities(&ds, &empty);
+    }
+}

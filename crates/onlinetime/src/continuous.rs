@@ -1,0 +1,264 @@
+use dosn_interval::{DaySchedule, SECONDS_PER_DAY, SECONDS_PER_HOUR};
+use dosn_trace::Dataset;
+use rand::{Rng, RngCore};
+
+use crate::model::{OnlineSchedules, OnlineTimeModel};
+
+/// The circular mean of a collection of times-of-day, in seconds.
+///
+/// Times-of-day live on a circle, so a plain average of `23:50` and
+/// `00:10` would wrongly give midday; the circular mean (the angle of the
+/// summed unit vectors) gives midnight. This is how the continuous
+/// online-time models locate "the majority of the user's activity
+/// times". Returns `None` for an empty collection or when the vectors
+/// cancel exactly.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_onlinetime::circular_mean_time;
+///
+/// let near_midnight = [23 * 3600 + 50 * 60, 10 * 60];
+/// let mean = circular_mean_time(near_midnight.iter().copied()).unwrap();
+/// assert!(mean < 60 || mean > 24 * 3600 - 60);
+/// ```
+pub fn circular_mean_time<I>(times: I) -> Option<u32>
+where
+    I: IntoIterator<Item = u32>,
+{
+    let mut sum_sin = 0.0f64;
+    let mut sum_cos = 0.0f64;
+    let mut any = false;
+    for t in times {
+        let angle = f64::from(t % SECONDS_PER_DAY) / f64::from(SECONDS_PER_DAY)
+            * std::f64::consts::TAU;
+        sum_sin += angle.sin();
+        sum_cos += angle.cos();
+        any = true;
+    }
+    if !any || (sum_sin.abs() < 1e-9 && sum_cos.abs() < 1e-9) {
+        return None;
+    }
+    let mean_angle = sum_sin.atan2(sum_cos).rem_euclid(std::f64::consts::TAU);
+    let secs = (mean_angle / std::f64::consts::TAU * f64::from(SECONDS_PER_DAY)).round() as u32;
+    Some(secs.min(SECONDS_PER_DAY - 1))
+}
+
+/// Builds the daily window of `len_secs` seconds centered on the user's
+/// activity mass; users with no usable center get a random one.
+fn centered_window(
+    dataset: &Dataset,
+    user: dosn_socialgraph::UserId,
+    len_secs: u32,
+    rng: &mut dyn RngCore,
+) -> DaySchedule {
+    let center = circular_mean_time(
+        dataset
+            .created_activities(user)
+            .map(|a| a.timestamp().time_of_day()),
+    )
+    .unwrap_or_else(|| rng.gen_range(0..SECONDS_PER_DAY));
+    DaySchedule::window_centered(center, len_secs.clamp(1, SECONDS_PER_DAY))
+        .expect("window parameters validated")
+}
+
+/// The paper's *Continuous – Fixed Length* model: every user is online
+/// for one contiguous daily window of the same fixed length, centered on
+/// the circular mean of their activity times-of-day.
+///
+/// The paper evaluates 2, 4, 6 and 8 hour windows.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_onlinetime::FixedLength;
+///
+/// let two_hours = FixedLength::hours(2);
+/// assert_eq!(two_hours.window_secs(), 7200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixedLength {
+    window_secs: u32,
+}
+
+impl FixedLength {
+    /// A fixed-length model with a window of `hours` hours, clamped to
+    /// `[1 s, 24 h]`.
+    pub fn hours(hours: u32) -> Self {
+        FixedLength {
+            window_secs: (hours * SECONDS_PER_HOUR).clamp(1, SECONDS_PER_DAY),
+        }
+    }
+
+    /// A fixed-length model with an arbitrary window in seconds, clamped
+    /// to `[1 s, 24 h]`.
+    pub fn seconds(secs: u32) -> Self {
+        FixedLength {
+            window_secs: secs.clamp(1, SECONDS_PER_DAY),
+        }
+    }
+
+    /// The window length in seconds.
+    pub fn window_secs(&self) -> u32 {
+        self.window_secs
+    }
+}
+
+impl OnlineTimeModel for FixedLength {
+    fn name(&self) -> &'static str {
+        "fixed-length"
+    }
+
+    fn schedules(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> OnlineSchedules {
+        let schedules = dataset
+            .users()
+            .map(|u| centered_window(dataset, u, self.window_secs, rng))
+            .collect();
+        OnlineSchedules::new(schedules)
+    }
+}
+
+/// The paper's *Continuous – Random Length* model: like [`FixedLength`],
+/// but each user draws their own daily window length uniformly from
+/// `[min, max]` hours (the paper uses `[2, 8]`).
+///
+/// # Examples
+///
+/// ```
+/// use dosn_onlinetime::RandomLength;
+///
+/// let model = RandomLength::default();
+/// assert_eq!(model.range_secs(), (7200, 28_800));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RandomLength {
+    min_secs: u32,
+    max_secs: u32,
+}
+
+impl RandomLength {
+    /// A random-length model drawing windows from `[min_hours,
+    /// max_hours]` hours (swapped if reversed, clamped to `[1 s, 24 h]`).
+    pub fn hours(min_hours: u32, max_hours: u32) -> Self {
+        let a = (min_hours * SECONDS_PER_HOUR).clamp(1, SECONDS_PER_DAY);
+        let b = (max_hours * SECONDS_PER_HOUR).clamp(1, SECONDS_PER_DAY);
+        RandomLength {
+            min_secs: a.min(b),
+            max_secs: a.max(b),
+        }
+    }
+
+    /// The `(min, max)` window range in seconds.
+    pub fn range_secs(&self) -> (u32, u32) {
+        (self.min_secs, self.max_secs)
+    }
+}
+
+impl Default for RandomLength {
+    /// The paper's range: `[2, 8]` hours.
+    fn default() -> Self {
+        RandomLength::hours(2, 8)
+    }
+}
+
+impl OnlineTimeModel for RandomLength {
+    fn name(&self) -> &'static str {
+        "random-length"
+    }
+
+    fn schedules(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> OnlineSchedules {
+        let schedules = dataset
+            .users()
+            .map(|u| {
+                let len = rng.gen_range(self.min_secs..=self.max_secs);
+                centered_window(dataset, u, len, rng)
+            })
+            .collect();
+        OnlineSchedules::new(schedules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::Timestamp;
+    use dosn_socialgraph::{GraphBuilder, UserId};
+    use dosn_trace::Activity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(times: &[(u32, u32)]) -> Dataset {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        let acts = times
+            .iter()
+            .map(|&(c, tod)| {
+                Activity::new(
+                    UserId::new(c),
+                    UserId::new(1 - c),
+                    Timestamp::from_day_and_offset(0, tod),
+                )
+            })
+            .collect();
+        Dataset::new("t", b.build(), acts).unwrap()
+    }
+
+    #[test]
+    fn circular_mean_handles_wrap() {
+        assert_eq!(circular_mean_time([100, 100]), Some(100));
+        let m = circular_mean_time([SECONDS_PER_DAY - 600, 600]).unwrap();
+        assert!(!(30..=SECONDS_PER_DAY - 30).contains(&m), "mean {m}");
+        assert_eq!(circular_mean_time(std::iter::empty()), None);
+        // Antipodal points cancel.
+        assert_eq!(circular_mean_time([0, SECONDS_PER_DAY / 2]), None);
+    }
+
+    #[test]
+    fn fixed_length_window_is_centered_on_activity() {
+        let ds = dataset(&[(0, 36_000), (0, 37_000), (0, 38_000)]);
+        let model = FixedLength::hours(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = model.schedules(&ds, &mut rng);
+        let sched = s.schedule(UserId::new(0));
+        assert_eq!(sched.online_seconds(), 7_200);
+        assert!(sched.contains(37_000));
+        assert!(sched.contains(37_000 - 3_000));
+        assert!(!sched.contains(37_000 + 4_000));
+    }
+
+    #[test]
+    fn fixed_length_gives_every_user_a_window() {
+        let ds = dataset(&[(0, 100)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = FixedLength::hours(4).schedules(&ds, &mut rng);
+        // User 1 has no activities but is still online 4h (random spot).
+        assert_eq!(s.schedule(UserId::new(1)).online_seconds(), 4 * 3_600);
+    }
+
+    #[test]
+    fn random_length_draws_within_range() {
+        let ds = dataset(&[(0, 100), (1, 200)]);
+        let model = RandomLength::default();
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = model.schedules(&ds, &mut rng);
+            for (_, sched) in s.iter() {
+                let len = sched.online_seconds();
+                assert!((7_200..=28_800).contains(&len), "window {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn constructors_clamp_and_normalize() {
+        assert_eq!(FixedLength::hours(48).window_secs(), SECONDS_PER_DAY);
+        assert_eq!(FixedLength::seconds(0).window_secs(), 1);
+        assert_eq!(RandomLength::hours(8, 2).range_secs(), (7_200, 28_800));
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(FixedLength::hours(2).name(), "fixed-length");
+        assert_eq!(RandomLength::default().name(), "random-length");
+    }
+}

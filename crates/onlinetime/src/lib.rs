@@ -1,0 +1,52 @@
+//! User online-time models for the `dosn` decentralized OSN study.
+//!
+//! Activity traces record *when users acted*, not *when they were
+//! online*; the paper therefore approximates each user's daily online
+//! pattern `OT_u` from their activity timestamps, three different ways
+//! (Section IV-C):
+//!
+//! * [`Sporadic`] — one fixed-length session per activity (default 20
+//!   minutes), the activity placed at a random point inside the session.
+//!   The paper considers this the most realistic model.
+//! * [`FixedLength`] — one contiguous daily window of 2/4/6/8 hours,
+//!   centered on the circular mean of the user's activity times-of-day.
+//! * [`RandomLength`] — like `FixedLength`, but each user draws their own
+//!   window length uniformly from `[2, 8]` hours.
+//!
+//! All models implement [`OnlineTimeModel`] and produce
+//! [`OnlineSchedules`]: one [`DaySchedule`] per user, plus the union
+//! helpers the metrics need.
+//!
+//! [`DaySchedule`]: dosn_interval::DaySchedule
+//!
+//! # Examples
+//!
+//! ```
+//! use dosn_onlinetime::{OnlineTimeModel, Sporadic};
+//! use dosn_trace::synth;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let ds = synth::facebook_like(100, 1).expect("generation succeeds");
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let schedules = Sporadic::default().schedules(&ds, &mut rng);
+//! assert_eq!(schedules.user_count(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod classify;
+mod continuous;
+mod core_group;
+mod model;
+mod predictor;
+mod sporadic;
+mod weekly;
+
+pub use classify::{classify_activities, ActivityClass};
+pub use continuous::{circular_mean_time, FixedLength, RandomLength};
+pub use core_group::WithCoreGroup;
+pub use model::{OnlineSchedules, OnlineTimeModel};
+pub use predictor::{PredictionQuality, SchedulePredictor};
+pub use sporadic::Sporadic;
+pub use weekly::{Weekly, WeeklySchedules};

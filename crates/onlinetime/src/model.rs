@@ -1,0 +1,136 @@
+use dosn_interval::DaySchedule;
+use dosn_socialgraph::UserId;
+use dosn_trace::Dataset;
+use rand::RngCore;
+
+/// A model that approximates every user's daily online pattern from an
+/// activity trace.
+///
+/// Models receive the RNG as a trait object so the trait stays
+/// object-safe; deterministic models simply ignore it. Given the same
+/// dataset and RNG state, a model must produce the same schedules.
+pub trait OnlineTimeModel {
+    /// Short machine-readable name, e.g. `"sporadic"`, used in result
+    /// tables.
+    fn name(&self) -> &'static str;
+
+    /// Computes the per-user schedules for `dataset`.
+    fn schedules(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> OnlineSchedules;
+}
+
+impl std::fmt::Debug for dyn OnlineTimeModel + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OnlineTimeModel({})", self.name())
+    }
+}
+
+/// One [`DaySchedule`] per user of a dataset.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_onlinetime::OnlineSchedules;
+/// use dosn_interval::DaySchedule;
+/// use dosn_socialgraph::UserId;
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let schedules = OnlineSchedules::new(vec![
+///     DaySchedule::window_wrapping(0, 3600)?,
+///     DaySchedule::window_wrapping(1800, 3600)?,
+/// ]);
+/// let both = schedules.union_of([UserId::new(0), UserId::new(1)]);
+/// assert_eq!(both.online_seconds(), 5400);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OnlineSchedules {
+    schedules: Vec<DaySchedule>,
+}
+
+impl OnlineSchedules {
+    /// Wraps per-user schedules (indexed by dense user id).
+    pub fn new(schedules: Vec<DaySchedule>) -> Self {
+        OnlineSchedules { schedules }
+    }
+
+    /// Number of users covered.
+    pub fn user_count(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// The schedule of one user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn schedule(&self, user: UserId) -> &DaySchedule {
+        &self.schedules[user.index()]
+    }
+
+    /// The union schedule of a set of users — e.g. the maximum
+    /// achievable availability `∪_{f ∈ NG_u} OT_f` of a friend set.
+    pub fn union_of<I>(&self, users: I) -> DaySchedule
+    where
+        I: IntoIterator<Item = UserId>,
+    {
+        users
+            .into_iter()
+            .fold(DaySchedule::new(), |acc, u| acc.union(self.schedule(u)))
+    }
+
+    /// Iterates over `(user, schedule)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (UserId, &DaySchedule)> + '_ {
+        self.schedules
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (UserId::from_index(i), s))
+    }
+
+    /// Mean online fraction across users (diagnostic).
+    pub fn mean_online_fraction(&self) -> f64 {
+        if self.schedules.is_empty() {
+            return 0.0;
+        }
+        self.schedules
+            .iter()
+            .map(DaySchedule::fraction_of_day)
+            .sum::<f64>()
+            / self.schedules.len() as f64
+    }
+}
+
+impl std::ops::Index<UserId> for OnlineSchedules {
+    type Output = DaySchedule;
+
+    fn index(&self, user: UserId) -> &DaySchedule {
+        self.schedule(user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(start: u32, len: u32) -> DaySchedule {
+        DaySchedule::window_wrapping(start, len).unwrap()
+    }
+
+    #[test]
+    fn union_of_users() {
+        let s = OnlineSchedules::new(vec![window(0, 100), window(50, 100), window(500, 10)]);
+        let u = s.union_of([UserId::new(0), UserId::new(1)]);
+        assert_eq!(u.online_seconds(), 150);
+        let all = s.union_of(s.iter().map(|(u, _)| u).collect::<Vec<_>>());
+        assert_eq!(all.online_seconds(), 160);
+        assert_eq!(s.union_of(std::iter::empty()), DaySchedule::new());
+    }
+
+    #[test]
+    fn index_and_mean() {
+        let s = OnlineSchedules::new(vec![window(0, 43_200), window(0, 21_600)]);
+        assert_eq!(s[UserId::new(0)].online_seconds(), 43_200);
+        assert!((s.mean_online_fraction() - 0.375).abs() < 1e-12);
+        assert_eq!(OnlineSchedules::default().mean_online_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+use dosn_interval::{DaySchedule, SECONDS_PER_DAY};
+use dosn_trace::Dataset;
+use rand::{Rng, RngCore};
+
+use crate::model::{OnlineSchedules, OnlineTimeModel};
+
+/// The paper's *Sporadic* model: the user comes online once per created
+/// activity, for a fixed-length session containing the activity at a
+/// uniformly random point.
+///
+/// The default session length is 20 minutes — the paper's conservative
+/// choice, informed by measured Orkut/Facebook session lengths. The
+/// session-length sweep of Fig. 8 varies it from 100 s to 100 000 s.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_onlinetime::Sporadic;
+///
+/// let model = Sporadic::default();
+/// assert_eq!(model.session_len_secs(), 1200);
+/// let long = Sporadic::with_session_len(3600);
+/// assert_eq!(long.session_len_secs(), 3600);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sporadic {
+    session_len_secs: u32,
+}
+
+impl Sporadic {
+    /// A sporadic model with the given session length in seconds,
+    /// clamped to `[1, SECONDS_PER_DAY]`.
+    pub fn with_session_len(session_len_secs: u32) -> Self {
+        Sporadic {
+            session_len_secs: session_len_secs.clamp(1, SECONDS_PER_DAY),
+        }
+    }
+
+    /// The session length in seconds.
+    pub fn session_len_secs(&self) -> u32 {
+        self.session_len_secs
+    }
+}
+
+impl Default for Sporadic {
+    /// The paper's default: 20-minute sessions.
+    fn default() -> Self {
+        Sporadic {
+            session_len_secs: 20 * 60,
+        }
+    }
+}
+
+impl OnlineTimeModel for Sporadic {
+    fn name(&self) -> &'static str {
+        "sporadic"
+    }
+
+    fn schedules(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> OnlineSchedules {
+        let len = self.session_len_secs;
+        let schedules = dataset
+            .users()
+            .map(|u| {
+                let mut s = DaySchedule::new();
+                for a in dataset.created_activities(u) {
+                    let tod = a.timestamp().time_of_day();
+                    // The activity sits at a uniform point inside the
+                    // session: offset in [0, len).
+                    let offset = rng.gen_range(0..len);
+                    let start = (tod + SECONDS_PER_DAY - offset % SECONDS_PER_DAY)
+                        % SECONDS_PER_DAY;
+                    s.insert_wrapping(start, len)
+                        .expect("session parameters validated");
+                }
+                s
+            })
+            .collect();
+        OnlineSchedules::new(schedules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::Timestamp;
+    use dosn_socialgraph::{GraphBuilder, UserId};
+    use dosn_trace::Activity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset_with_activities(times: &[(u32, u32)]) -> Dataset {
+        // times: (creator, time-of-day)
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        let acts = times
+            .iter()
+            .map(|&(c, tod)| {
+                Activity::new(
+                    UserId::new(c),
+                    UserId::new(1 - c),
+                    Timestamp::from_day_and_offset(0, tod),
+                )
+            })
+            .collect();
+        Dataset::new("t", b.build(), acts).unwrap()
+    }
+
+    #[test]
+    fn sessions_contain_their_activity() {
+        let ds = dataset_with_activities(&[(0, 3_600), (0, 50_000), (1, 10)]);
+        let model = Sporadic::default();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = model.schedules(&ds, &mut rng);
+            assert!(s.schedule(UserId::new(0)).contains(3_600));
+            assert!(s.schedule(UserId::new(0)).contains(50_000));
+            assert!(s.schedule(UserId::new(1)).contains(10));
+        }
+    }
+
+    #[test]
+    fn session_length_bounds_online_time() {
+        let ds = dataset_with_activities(&[(0, 40_000)]);
+        let model = Sporadic::with_session_len(600);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = model.schedules(&ds, &mut rng);
+        assert_eq!(s.schedule(UserId::new(0)).online_seconds(), 600);
+    }
+
+    #[test]
+    fn users_without_activity_are_never_online() {
+        let ds = dataset_with_activities(&[(0, 100)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Sporadic::default().schedules(&ds, &mut rng);
+        assert!(s.schedule(UserId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn overlapping_sessions_coalesce() {
+        let ds = dataset_with_activities(&[(0, 1_000), (0, 1_100), (0, 1_200)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Sporadic::with_session_len(1_200).schedules(&ds, &mut rng);
+        let online = s.schedule(UserId::new(0)).online_seconds();
+        // Three 1200 s sessions within 200 s of each other must overlap.
+        assert!(online < 3 * 1_200, "online {online}");
+        assert!(online >= 1_200);
+    }
+
+    #[test]
+    fn session_wraps_midnight() {
+        let ds = dataset_with_activities(&[(0, 5)]);
+        let model = Sporadic::with_session_len(1_200);
+        // Over several seeds, the session sometimes starts before
+        // midnight (offset > 5), exercising the wrap path.
+        let mut wrapped = false;
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = model.schedules(&ds, &mut rng);
+            if s.schedule(UserId::new(0)).contains(SECONDS_PER_DAY - 1) {
+                wrapped = true;
+            }
+            assert!(s.schedule(UserId::new(0)).contains(5));
+        }
+        assert!(wrapped, "no seed produced a midnight-wrapping session");
+    }
+
+    #[test]
+    fn clamping_session_length() {
+        assert_eq!(Sporadic::with_session_len(0).session_len_secs(), 1);
+        assert_eq!(
+            Sporadic::with_session_len(u32::MAX).session_len_secs(),
+            SECONDS_PER_DAY
+        );
+    }
+
+    #[test]
+    fn model_name() {
+        assert_eq!(Sporadic::default().name(), "sporadic");
+    }
+}

@@ -1,0 +1,240 @@
+use dosn_interval::{DayOfWeek, DaySchedule, WeekSchedule, SECONDS_PER_DAY};
+use dosn_socialgraph::UserId;
+use dosn_trace::Dataset;
+use rand::{Rng, RngCore};
+
+use crate::continuous::circular_mean_time;
+
+/// One [`WeekSchedule`] per user — the weekly analogue of
+/// [`OnlineSchedules`](crate::OnlineSchedules).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WeeklySchedules {
+    schedules: Vec<WeekSchedule>,
+}
+
+impl WeeklySchedules {
+    /// Wraps per-user weekly schedules (indexed by dense user id).
+    pub fn new(schedules: Vec<WeekSchedule>) -> Self {
+        WeeklySchedules { schedules }
+    }
+
+    /// Number of users covered.
+    pub fn user_count(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// One user's weekly schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn schedule(&self, user: UserId) -> &WeekSchedule {
+        &self.schedules[user.index()]
+    }
+
+    /// The union weekly schedule of a set of users.
+    pub fn union_of<I>(&self, users: I) -> WeekSchedule
+    where
+        I: IntoIterator<Item = UserId>,
+    {
+        users
+            .into_iter()
+            .fold(WeekSchedule::new(), |acc, u| acc.union(self.schedule(u)))
+    }
+
+    /// Iterates over `(user, schedule)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (UserId, &WeekSchedule)> + '_ {
+        self.schedules
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (UserId::from_index(i), s))
+    }
+
+    /// Projects one day of the week back into daily
+    /// [`OnlineSchedules`](crate::OnlineSchedules), so the daily pipeline
+    /// (policies, metrics) can study that day type in isolation.
+    pub fn day_view(&self, day: DayOfWeek) -> crate::OnlineSchedules {
+        crate::OnlineSchedules::new(
+            self.schedules
+                .iter()
+                .map(|w| w.day(day).clone())
+                .collect(),
+        )
+    }
+}
+
+impl std::ops::Index<UserId> for WeeklySchedules {
+    type Output = WeekSchedule;
+
+    fn index(&self, user: UserId) -> &WeekSchedule {
+        self.schedule(user)
+    }
+}
+
+/// A weekday/weekend-aware continuous model: each user is online daily
+/// in one contiguous window, but the window's length and placement
+/// differ between weekdays and weekends, each centered on the circular
+/// mean of the user's activity on that day type.
+///
+/// The paper folds all days together; `Weekly` is the refinement that
+/// exposes what that folding hides (see the `ext_weekly` experiment).
+///
+/// # Examples
+///
+/// ```
+/// use dosn_onlinetime::Weekly;
+/// use dosn_trace::synth;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let ds = synth::facebook_like(100, 1).expect("generation succeeds");
+/// let model = Weekly::hours(2, 6);
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let weekly = model.weekly_schedules(&ds, &mut rng);
+/// assert_eq!(weekly.user_count(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Weekly {
+    weekday_secs: u32,
+    weekend_secs: u32,
+}
+
+impl Weekly {
+    /// A model with `weekday_hours` windows Monday–Friday and
+    /// `weekend_hours` windows on Saturday/Sunday (both clamped to
+    /// `[1 s, 24 h]`).
+    pub fn hours(weekday_hours: u32, weekend_hours: u32) -> Self {
+        Weekly {
+            weekday_secs: (weekday_hours * 3_600).clamp(1, SECONDS_PER_DAY),
+            weekend_secs: (weekend_hours * 3_600).clamp(1, SECONDS_PER_DAY),
+        }
+    }
+
+    /// The `(weekday, weekend)` window lengths in seconds.
+    pub fn window_secs(&self) -> (u32, u32) {
+        (self.weekday_secs, self.weekend_secs)
+    }
+
+    /// Computes every user's weekly schedule from the trace: day-0 of
+    /// the trace is taken to be a Monday.
+    pub fn weekly_schedules(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> WeeklySchedules {
+        let schedules = dataset
+            .users()
+            .map(|u| {
+                let center_of = |weekend: bool| {
+                    circular_mean_time(
+                        dataset
+                            .created_activities(u)
+                            .filter(|a| {
+                                DayOfWeek::from_day_index(a.timestamp().day_index()).is_weekend()
+                                    == weekend
+                            })
+                            .map(|a| a.timestamp().time_of_day()),
+                    )
+                };
+                let weekday_center = center_of(false)
+                    .unwrap_or_else(|| rng.gen_range(0..SECONDS_PER_DAY));
+                // Weekend behaviour falls back to weekday habits when a
+                // user has no weekend activity.
+                let weekend_center = center_of(true).unwrap_or(weekday_center);
+                let weekday = DaySchedule::window_centered(weekday_center, self.weekday_secs)
+                    .expect("validated window");
+                let weekend = DaySchedule::window_centered(weekend_center, self.weekend_secs)
+                    .expect("validated window");
+                WeekSchedule::from_day_types(&weekday, &weekend)
+            })
+            .collect();
+        WeeklySchedules::new(schedules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::Timestamp;
+    use dosn_socialgraph::GraphBuilder;
+    use dosn_trace::Activity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Activities at distinct times on a weekday (day 0 = Monday) and a
+    /// weekend day (day 5 = Saturday).
+    fn dataset() -> Dataset {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        let acts = vec![
+            Activity::new(UserId::new(0), UserId::new(1), Timestamp::from_day_and_offset(0, 8 * 3_600)),
+            Activity::new(UserId::new(0), UserId::new(1), Timestamp::from_day_and_offset(1, 8 * 3_600)),
+            Activity::new(UserId::new(0), UserId::new(1), Timestamp::from_day_and_offset(5, 20 * 3_600)),
+            Activity::new(UserId::new(0), UserId::new(1), Timestamp::from_day_and_offset(6, 20 * 3_600)),
+        ];
+        Dataset::new("w", b.build(), acts).unwrap()
+    }
+
+    #[test]
+    fn weekday_and_weekend_centers_differ() {
+        let ds = dataset();
+        let model = Weekly::hours(2, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let weekly = model.weekly_schedules(&ds, &mut rng);
+        let w = weekly.schedule(UserId::new(0));
+        // Weekday window around 08:00, weekend around 20:00.
+        assert!(w.day(DayOfWeek::Tuesday).contains(8 * 3_600));
+        assert!(!w.day(DayOfWeek::Tuesday).contains(20 * 3_600));
+        assert!(w.day(DayOfWeek::Saturday).contains(20 * 3_600));
+        assert!(!w.day(DayOfWeek::Saturday).contains(8 * 3_600));
+    }
+
+    #[test]
+    fn window_lengths_apply_per_day_type() {
+        let ds = dataset();
+        let model = Weekly::hours(2, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let weekly = model.weekly_schedules(&ds, &mut rng);
+        let w = weekly.schedule(UserId::new(0));
+        assert_eq!(w.day(DayOfWeek::Monday).online_seconds(), 2 * 3_600);
+        assert_eq!(w.day(DayOfWeek::Sunday).online_seconds(), 8 * 3_600);
+        assert_eq!(w.online_seconds(), 5 * 2 * 3_600 + 2 * 8 * 3_600);
+    }
+
+    #[test]
+    fn silent_user_falls_back_gracefully() {
+        let ds = dataset();
+        let model = Weekly::hours(4, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let weekly = model.weekly_schedules(&ds, &mut rng);
+        // User 1 created nothing; still gets full windows.
+        let w = weekly.schedule(UserId::new(1));
+        assert_eq!(w.online_seconds(), 7 * 4 * 3_600);
+    }
+
+    #[test]
+    fn day_view_projects_one_day() {
+        let ds = dataset();
+        let model = Weekly::hours(2, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let weekly = model.weekly_schedules(&ds, &mut rng);
+        let saturday = weekly.day_view(DayOfWeek::Saturday);
+        assert_eq!(
+            saturday.schedule(UserId::new(0)).online_seconds(),
+            8 * 3_600
+        );
+        let monday = weekly.day_view(DayOfWeek::Monday);
+        assert_eq!(monday.schedule(UserId::new(0)).online_seconds(), 2 * 3_600);
+    }
+
+    #[test]
+    fn union_and_index() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let weekly = Weekly::hours(2, 2).weekly_schedules(&ds, &mut rng);
+        let union = weekly.union_of([UserId::new(0), UserId::new(1)]);
+        assert!(union.online_seconds() >= weekly[UserId::new(0)].online_seconds());
+        assert_eq!(weekly.iter().len(), 2);
+    }
+
+    #[test]
+    fn constructor_clamps() {
+        let m = Weekly::hours(0, 48);
+        assert_eq!(m.window_secs(), (1, SECONDS_PER_DAY));
+    }
+}

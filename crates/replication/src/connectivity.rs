@@ -1,0 +1,100 @@
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+
+/// Whether no replica is isolated in time: every replica's schedule
+/// overlaps at least one *other* replica's — the paper's literal ConRep
+/// condition (`∀ i ∈ R_u, ∃ j ≠ i: OT_i ∩ OT_j ≠ ∅`).
+///
+/// Vacuously true for zero or one replica.
+pub fn has_no_isolated_replica(replicas: &[UserId], schedules: &OnlineSchedules) -> bool {
+    if replicas.len() <= 1 {
+        return true;
+    }
+    replicas.iter().all(|&i| {
+        replicas
+            .iter()
+            .any(|&j| j != i && schedules[i].is_connected_to(&schedules[j]))
+    })
+}
+
+/// Whether the replicas form a *single* time-connected component: the
+/// overlap graph on the replica set is connected.
+///
+/// This is the stronger property the greedy ConRep constructions
+/// guarantee, and the one that makes multi-hop update propagation
+/// possible between every replica pair. Vacuously true for zero or one
+/// replica.
+pub fn is_time_connected_component(replicas: &[UserId], schedules: &OnlineSchedules) -> bool {
+    let n = replicas.len();
+    if n <= 1 {
+        return true;
+    }
+    let mut visited = vec![false; n];
+    let mut stack = vec![0usize];
+    visited[0] = true;
+    let mut seen = 1;
+    while let Some(i) = stack.pop() {
+        for j in 0..n {
+            if !visited[j]
+                && schedules[replicas[i]].is_connected_to(&schedules[replicas[j]])
+            {
+                visited[j] = true;
+                seen += 1;
+                stack.push(j);
+            }
+        }
+    }
+    seen == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::DaySchedule;
+
+    fn schedules(windows: &[(u32, u32)]) -> OnlineSchedules {
+        OnlineSchedules::new(
+            windows
+                .iter()
+                .map(|&(s, l)| DaySchedule::window_wrapping(s, l).unwrap())
+                .collect(),
+        )
+    }
+
+    fn ids(ix: &[u32]) -> Vec<UserId> {
+        ix.iter().copied().map(UserId::new).collect()
+    }
+
+    #[test]
+    fn chain_is_connected() {
+        // 0: [0,100), 1: [50,150), 2: [120,220) — a chain.
+        let s = schedules(&[(0, 100), (50, 100), (120, 100)]);
+        let r = ids(&[0, 1, 2]);
+        assert!(has_no_isolated_replica(&r, &s));
+        assert!(is_time_connected_component(&r, &s));
+    }
+
+    #[test]
+    fn two_pairs_are_pairwise_but_not_component_connected() {
+        // (0,1) overlap, (2,3) overlap, but the pairs are disjoint.
+        let s = schedules(&[(0, 100), (50, 100), (1_000, 100), (1_050, 100)]);
+        let r = ids(&[0, 1, 2, 3]);
+        assert!(has_no_isolated_replica(&r, &s));
+        assert!(!is_time_connected_component(&r, &s));
+    }
+
+    #[test]
+    fn isolated_replica_detected() {
+        let s = schedules(&[(0, 100), (50, 100), (10_000, 100)]);
+        let r = ids(&[0, 1, 2]);
+        assert!(!has_no_isolated_replica(&r, &s));
+        assert!(!is_time_connected_component(&r, &s));
+    }
+
+    #[test]
+    fn small_sets_are_vacuously_connected() {
+        let s = schedules(&[(0, 100)]);
+        assert!(has_no_isolated_replica(&[], &s));
+        assert!(is_time_connected_component(&ids(&[0]), &s));
+    }
+}

@@ -1,0 +1,54 @@
+//! Replica placement policies for the `dosn` decentralized OSN study.
+//!
+//! Given a user's replica candidates (friends or followers) and everyone's
+//! modeled online schedule, a [`ReplicaPolicy`] chooses up to `k` hosts
+//! for the user's profile (Section III of the paper):
+//!
+//! * [`MaxAv`] — greedy set cover over online seconds: repeatedly pick
+//!   the candidate covering the most yet-uncovered time. Objectives for
+//!   plain availability, availability-on-demand-time, and
+//!   availability-on-demand-activity.
+//! * [`MostActive`] — the top-`k` candidates by past interactions with
+//!   the user, padded with random candidates when activity runs out.
+//! * [`Random`] — uniformly random candidates, the naive baseline.
+//!
+//! Each policy honors a [`Connectivity`] mode: under `ConRep`
+//! (connected replicas, the privacy-preserving choice) every added
+//! replica must overlap in time with an already-chosen one, so updates
+//! can propagate friend-to-friend without third-party storage; under
+//! `UnconRep` replicas are unconstrained.
+//!
+//! # Examples
+//!
+//! ```
+//! use dosn_onlinetime::{OnlineTimeModel, Sporadic};
+//! use dosn_replication::{Connectivity, MaxAv, ReplicaPolicy};
+//! use dosn_socialgraph::UserId;
+//! use dosn_trace::synth;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let ds = synth::facebook_like(100, 1).expect("generation succeeds");
+//! let mut rng = StdRng::seed_from_u64(3);
+//! let schedules = Sporadic::default().schedules(&ds, &mut rng);
+//! let user = UserId::new(0);
+//! let replicas = MaxAv::availability().place(
+//!     &ds, &schedules, user, 3, Connectivity::ConRep, &mut rng,
+//! );
+//! assert!(replicas.len() <= 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod connectivity;
+mod maxav;
+mod most_active;
+mod policy;
+mod random;
+pub mod set_cover;
+
+pub use connectivity::{has_no_isolated_replica, is_time_connected_component};
+pub use maxav::{CoverageObjective, MaxAv};
+pub use most_active::MostActive;
+pub use policy::{Connectivity, ReplicaPolicy};
+pub use random::Random;

@@ -1,0 +1,295 @@
+use dosn_interval::{DaySchedule, IntervalSet};
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+use dosn_trace::Dataset;
+use rand::RngCore;
+
+use crate::policy::{Connectivity, ReplicaPolicy};
+use crate::set_cover::greedy_cover_constrained;
+
+/// What the MaxAv greedy cover tries to maximize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoverageObjective {
+    /// Cover the union of the candidates' online time — maximizes plain
+    /// availability (the paper's default MaxAv).
+    #[default]
+    Availability,
+    /// Cover the union of the *accessing friends'* online time —
+    /// maximizes availability-on-demand-time.
+    OnDemandTime,
+    /// Cover the historical activity instants on the user's profile —
+    /// maximizes availability-on-demand-activity.
+    OnDemandActivity,
+}
+
+impl CoverageObjective {
+    /// Short machine-readable suffix used in result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoverageObjective::Availability => "availability",
+            CoverageObjective::OnDemandTime => "on-demand-time",
+            CoverageObjective::OnDemandActivity => "on-demand-activity",
+        }
+    }
+}
+
+/// The paper's *MaxAv* policy: model replica selection as set cover over
+/// seconds of the day and solve it greedily — at each step take the
+/// candidate whose schedule covers the most yet-uncovered time, until the
+/// replication budget is spent or coverage stops improving.
+///
+/// Under [`Connectivity::ConRep`] only candidates whose schedule overlaps
+/// an already-chosen replica are admissible after the first pick, so the
+/// result is a time-connected chain (possibly smaller than the budget).
+///
+/// # Examples
+///
+/// ```
+/// use dosn_replication::{CoverageObjective, MaxAv};
+///
+/// let policy = MaxAv::availability();
+/// assert_eq!(policy.objective(), CoverageObjective::Availability);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MaxAv {
+    objective: CoverageObjective,
+}
+
+impl MaxAv {
+    /// MaxAv with the given objective.
+    pub fn new(objective: CoverageObjective) -> Self {
+        MaxAv { objective }
+    }
+
+    /// MaxAv maximizing plain availability (the paper's default).
+    pub fn availability() -> Self {
+        MaxAv::new(CoverageObjective::Availability)
+    }
+
+    /// MaxAv maximizing availability-on-demand-time.
+    pub fn on_demand_time() -> Self {
+        MaxAv::new(CoverageObjective::OnDemandTime)
+    }
+
+    /// MaxAv maximizing availability-on-demand-activity.
+    pub fn on_demand_activity() -> Self {
+        MaxAv::new(CoverageObjective::OnDemandActivity)
+    }
+
+    /// The configured objective.
+    pub fn objective(&self) -> CoverageObjective {
+        self.objective
+    }
+
+    /// The set-cover universe for `user` under this objective.
+    fn universe(
+        &self,
+        dataset: &Dataset,
+        schedules: &OnlineSchedules,
+        user: UserId,
+        candidates: &[UserId],
+    ) -> IntervalSet {
+        match self.objective {
+            // For availability the cap is the union of the candidates'
+            // online times; for on-demand-time it is the union of the
+            // accessing friends' online times. In the friend-to-friend
+            // model both unions range over NG_u, so they coincide; they
+            // are computed separately to keep the definitions explicit.
+            CoverageObjective::Availability | CoverageObjective::OnDemandTime => schedules
+                .union_of(candidates.iter().copied())
+                .into(),
+            CoverageObjective::OnDemandActivity => {
+                // Historical activity instants on the user's profile,
+                // each a 1-second point on the day circle.
+                let mut universe = DaySchedule::new();
+                for a in dataset.received_activities(user) {
+                    universe
+                        .insert_wrapping(a.timestamp().time_of_day(), 1)
+                        .expect("1-second point is a valid session");
+                }
+                universe.into()
+            }
+        }
+    }
+}
+
+impl ReplicaPolicy for MaxAv {
+    fn name(&self) -> &'static str {
+        match self.objective {
+            CoverageObjective::Availability => "maxav",
+            CoverageObjective::OnDemandTime => "maxav-on-demand-time",
+            CoverageObjective::OnDemandActivity => "maxav-on-demand-activity",
+        }
+    }
+
+    fn place(
+        &self,
+        dataset: &Dataset,
+        schedules: &OnlineSchedules,
+        user: UserId,
+        max_replicas: usize,
+        connectivity: Connectivity,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<UserId> {
+        let candidates = dataset.replica_candidates(user);
+        if candidates.is_empty() || max_replicas == 0 {
+            return Vec::new();
+        }
+        let universe = self.universe(dataset, schedules, user, candidates);
+        let subsets: Vec<IntervalSet> = candidates
+            .iter()
+            .map(|&c| schedules[c].as_set().clone())
+            .collect();
+        let steps = match connectivity {
+            Connectivity::UnconRep => greedy_cover_constrained(
+                &universe,
+                &subsets,
+                max_replicas,
+                |_, _| true,
+            ),
+            Connectivity::ConRep => greedy_cover_constrained(
+                &universe,
+                &subsets,
+                max_replicas,
+                |chosen, i| {
+                    chosen.is_empty()
+                        || chosen.iter().any(|step| {
+                            schedules[candidates[step.subset]]
+                                .is_connected_to(&schedules[candidates[i]])
+                        })
+                },
+            ),
+        };
+        steps.into_iter().map(|s| candidates[s.subset]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_time_connected_component;
+    use dosn_interval::Timestamp;
+    use dosn_socialgraph::GraphBuilder;
+    use dosn_trace::Activity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Star around user 0 with given friend schedules.
+    fn star_setup(windows: &[(u32, u32)]) -> (Dataset, OnlineSchedules) {
+        let mut b = GraphBuilder::undirected();
+        for i in 1..=windows.len() as u32 {
+            b.add_edge(UserId::new(0), UserId::new(i));
+        }
+        let ds = Dataset::new("star", b.build(), Vec::new()).unwrap();
+        let mut schedules = vec![DaySchedule::new()]; // user 0 offline
+        for &(s, l) in windows {
+            schedules.push(DaySchedule::window_wrapping(s, l).unwrap());
+        }
+        (ds, OnlineSchedules::new(schedules))
+    }
+
+    fn place(
+        ds: &Dataset,
+        sch: &OnlineSchedules,
+        policy: MaxAv,
+        k: usize,
+        conn: Connectivity,
+    ) -> Vec<UserId> {
+        let mut rng = StdRng::seed_from_u64(0);
+        policy.place(ds, sch, UserId::new(0), k, conn, &mut rng)
+    }
+
+    #[test]
+    fn picks_largest_coverage_first() {
+        // Friend 1: 2h, friend 2: 4h (disjoint), friend 3: 1h inside 2's.
+        let (ds, sch) = star_setup(&[(0, 7_200), (10_000, 14_400), (11_000, 3_600)]);
+        let picks = place(&ds, &sch, MaxAv::availability(), 1, Connectivity::UnconRep);
+        assert_eq!(picks, vec![UserId::new(2)]);
+    }
+
+    #[test]
+    fn stops_when_coverage_complete() {
+        let (ds, sch) = star_setup(&[(0, 7_200), (0, 3_600), (3_600, 3_600)]);
+        // Friend 1 covers everything friends 2+3 could.
+        let picks = place(&ds, &sch, MaxAv::availability(), 3, Connectivity::UnconRep);
+        assert_eq!(picks, vec![UserId::new(1)]);
+    }
+
+    #[test]
+    fn conrep_requires_overlap_chain() {
+        // Friend 1: [0, 100); friend 2: [200, 300) — disjoint from 1;
+        // friend 3: [50, 250) — bridges them.
+        let (ds, sch) = star_setup(&[(0, 100), (200, 100), (50, 200)]);
+        let picks = place(&ds, &sch, MaxAv::availability(), 3, Connectivity::ConRep);
+        assert!(is_time_connected_component(&picks, &sch));
+        // All three are reachable through the bridge.
+        assert_eq!(picks.len(), 3);
+    }
+
+    #[test]
+    fn conrep_leaves_unreachable_candidates_out() {
+        // Friend 1: [0, 1000); friend 2: [50_000, 51_000) — never
+        // co-online with 1.
+        let (ds, sch) = star_setup(&[(0, 1_000), (50_000, 1_000)]);
+        let picks = place(&ds, &sch, MaxAv::availability(), 2, Connectivity::ConRep);
+        // Greedy takes the (equal-sized) first candidate, then cannot
+        // extend: friend 2 is not time-connected.
+        assert_eq!(picks.len(), 1);
+        let unconstrained = place(&ds, &sch, MaxAv::availability(), 2, Connectivity::UnconRep);
+        assert_eq!(unconstrained.len(), 2);
+    }
+
+    #[test]
+    fn zero_budget_or_no_candidates() {
+        let (ds, sch) = star_setup(&[(0, 100)]);
+        assert!(place(&ds, &sch, MaxAv::availability(), 0, Connectivity::UnconRep).is_empty());
+        let lonely = Dataset::new(
+            "lonely",
+            {
+                let mut b = GraphBuilder::undirected();
+                b.ensure_node(UserId::new(0));
+                b.build()
+            },
+            Vec::new(),
+        )
+        .unwrap();
+        let empty_sch = OnlineSchedules::new(vec![DaySchedule::new()]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(MaxAv::availability()
+            .place(&lonely, &empty_sch, UserId::new(0), 3, Connectivity::ConRep, &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn on_demand_activity_covers_activity_instants() {
+        // Friend 1 online [0, 7200); friend 2 online [40_000, 47_200).
+        // All profile activity happens around 40_500: friend 2 is the
+        // right single replica even though both cover equal time.
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        b.add_edge(UserId::new(0), UserId::new(2));
+        let acts = vec![
+            Activity::new(UserId::new(1), UserId::new(0), Timestamp::from_day_and_offset(0, 40_500)),
+            Activity::new(UserId::new(2), UserId::new(0), Timestamp::from_day_and_offset(1, 40_600)),
+        ];
+        let ds = Dataset::new("a", b.build(), acts).unwrap();
+        let sch = OnlineSchedules::new(vec![
+            DaySchedule::new(),
+            DaySchedule::window_wrapping(0, 7_200).unwrap(),
+            DaySchedule::window_wrapping(40_000, 7_200).unwrap(),
+        ]);
+        let picks = place(&ds, &sch, MaxAv::on_demand_activity(), 1, Connectivity::UnconRep);
+        assert_eq!(picks, vec![UserId::new(2)]);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(MaxAv::availability().name(), "maxav");
+        assert_eq!(MaxAv::on_demand_time().name(), "maxav-on-demand-time");
+        assert_eq!(
+            MaxAv::on_demand_activity().name(),
+            "maxav-on-demand-activity"
+        );
+        assert_eq!(MaxAv::default().objective(), CoverageObjective::Availability);
+    }
+}

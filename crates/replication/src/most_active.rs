@@ -1,0 +1,174 @@
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+use dosn_trace::Dataset;
+use rand::{Rng, RngCore};
+
+use crate::policy::{Connectivity, ReplicaPolicy};
+
+/// The paper's *MostActive* policy: replicate on the candidates who
+/// interacted with the user the most (by count of activities they created
+/// on the user's profile in the trace), padding with random candidates
+/// when too few have nonzero activity.
+///
+/// The intuition: the friends who access a profile most should find it
+/// available, so hosting replicas there maximizes
+/// availability-on-demand where it matters — and unlike MaxAv the policy
+/// needs no knowledge of anyone's online times.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_replication::{MostActive, ReplicaPolicy};
+///
+/// assert_eq!(MostActive::new().name(), "most-active");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MostActive;
+
+impl MostActive {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        MostActive
+    }
+
+    /// Candidates of `user` ranked most-active first; zero-activity
+    /// candidates appended in random order.
+    fn ranked(&self, dataset: &Dataset, user: UserId, rng: &mut dyn RngCore) -> Vec<UserId> {
+        let mut counts = dataset.interaction_counts(user);
+        // Active candidates: by count descending, id ascending for
+        // determinism.
+        let mut active: Vec<(UserId, usize)> =
+            counts.iter().copied().filter(|&(_, c)| c > 0).collect();
+        active.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        // Inactive candidates: random order (the paper's fallback).
+        counts.retain(|&(_, c)| c == 0);
+        for i in (1..counts.len()).rev() {
+            counts.swap(i, rng.gen_range(0..=i));
+        }
+        active
+            .into_iter()
+            .map(|(u, _)| u)
+            .chain(counts.into_iter().map(|(u, _)| u))
+            .collect()
+    }
+}
+
+/// Scans a ranked candidate list, accepting up to `k` hosts subject to
+/// the connectivity mode. Shared by MostActive and Random.
+pub(crate) fn take_with_connectivity(
+    ranked: &[UserId],
+    schedules: &OnlineSchedules,
+    k: usize,
+    connectivity: Connectivity,
+) -> Vec<UserId> {
+    let mut chosen: Vec<UserId> = Vec::with_capacity(k.min(ranked.len()));
+    for &candidate in ranked {
+        if chosen.len() == k {
+            break;
+        }
+        let admissible = match connectivity {
+            Connectivity::UnconRep => true,
+            Connectivity::ConRep => {
+                chosen.is_empty()
+                    || chosen
+                        .iter()
+                        .any(|&c| schedules[c].is_connected_to(&schedules[candidate]))
+            }
+        };
+        if admissible {
+            chosen.push(candidate);
+        }
+    }
+    chosen
+}
+
+impl ReplicaPolicy for MostActive {
+    fn name(&self) -> &'static str {
+        "most-active"
+    }
+
+    fn place(
+        &self,
+        dataset: &Dataset,
+        schedules: &OnlineSchedules,
+        user: UserId,
+        max_replicas: usize,
+        connectivity: Connectivity,
+        rng: &mut dyn RngCore,
+    ) -> Vec<UserId> {
+        if max_replicas == 0 {
+            return Vec::new();
+        }
+        let ranked = self.ranked(dataset, user, rng);
+        take_with_connectivity(&ranked, schedules, max_replicas, connectivity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::{DaySchedule, Timestamp};
+    use dosn_socialgraph::GraphBuilder;
+    use dosn_trace::Activity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// User 0 with 3 friends; friend 1 posted twice, friend 2 once.
+    fn setup() -> (Dataset, OnlineSchedules) {
+        let mut b = GraphBuilder::undirected();
+        for i in 1..=3 {
+            b.add_edge(UserId::new(0), UserId::new(i));
+        }
+        let acts = vec![
+            Activity::new(UserId::new(1), UserId::new(0), Timestamp::new(10)),
+            Activity::new(UserId::new(1), UserId::new(0), Timestamp::new(20)),
+            Activity::new(UserId::new(2), UserId::new(0), Timestamp::new(30)),
+        ];
+        let ds = Dataset::new("m", b.build(), acts).unwrap();
+        let sch = OnlineSchedules::new(vec![
+            DaySchedule::new(),
+            DaySchedule::window_wrapping(0, 1_000).unwrap(),
+            DaySchedule::window_wrapping(500, 1_000).unwrap(),
+            DaySchedule::window_wrapping(50_000, 1_000).unwrap(),
+        ]);
+        (ds, sch)
+    }
+
+    #[test]
+    fn ranks_by_interaction_count() {
+        let (ds, sch) = setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let picks =
+            MostActive::new().place(&ds, &sch, UserId::new(0), 2, Connectivity::UnconRep, &mut rng);
+        assert_eq!(picks, vec![UserId::new(1), UserId::new(2)]);
+    }
+
+    #[test]
+    fn pads_with_random_inactive_candidates() {
+        let (ds, sch) = setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let picks =
+            MostActive::new().place(&ds, &sch, UserId::new(0), 3, Connectivity::UnconRep, &mut rng);
+        assert_eq!(picks.len(), 3);
+        assert!(picks.contains(&UserId::new(3)));
+    }
+
+    #[test]
+    fn conrep_skips_unconnected_candidates() {
+        let (ds, sch) = setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let picks =
+            MostActive::new().place(&ds, &sch, UserId::new(0), 3, Connectivity::ConRep, &mut rng);
+        // Friend 3's schedule is far away; only 1 and 2 connect.
+        assert_eq!(picks, vec![UserId::new(1), UserId::new(2)]);
+    }
+
+    #[test]
+    fn zero_budget() {
+        let (ds, sch) = setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(MostActive::new()
+            .place(&ds, &sch, UserId::new(0), 0, Connectivity::UnconRep, &mut rng)
+            .is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+use dosn_trace::Dataset;
+use rand::RngCore;
+
+/// Whether chosen replicas must be *connected in time*.
+///
+/// Under `ConRep` every replica's schedule must overlap at least one
+/// other chosen replica's, so profile updates can flow replica-to-replica
+/// without third-party storage — the privacy-preserving mode the paper
+/// argues a decentralized OSN should adopt. `UnconRep` lifts the
+/// constraint (updates would go through a CDN or cloud store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Connectivity {
+    /// Replicas must form a time-connected set.
+    ConRep,
+    /// Replicas are unconstrained.
+    UnconRep,
+}
+
+impl Connectivity {
+    /// Short machine-readable name used in result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Connectivity::ConRep => "conrep",
+            Connectivity::UnconRep => "unconrep",
+        }
+    }
+}
+
+impl std::fmt::Display for Connectivity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A replica placement policy: given a user, choose up to `max_replicas`
+/// hosts among the user's replica candidates.
+///
+/// Implementations must:
+///
+/// * return a subset of `dataset.replica_candidates(user)` with no
+///   duplicates, never including `user` itself;
+/// * under [`Connectivity::ConRep`], return a set in which every replica
+///   overlaps in time with at least one other chosen replica (a chain
+///   built by construction), which may mean returning *fewer* than
+///   `max_replicas` hosts;
+/// * be deterministic given the dataset, schedules and RNG state.
+pub trait ReplicaPolicy {
+    /// Short machine-readable name, e.g. `"maxav"`, used in result
+    /// tables.
+    fn name(&self) -> &'static str;
+
+    /// Chooses up to `max_replicas` replica hosts for `user`.
+    fn place(
+        &self,
+        dataset: &Dataset,
+        schedules: &OnlineSchedules,
+        user: UserId,
+        max_replicas: usize,
+        connectivity: Connectivity,
+        rng: &mut dyn RngCore,
+    ) -> Vec<UserId>;
+}
+
+impl std::fmt::Debug for dyn ReplicaPolicy + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReplicaPolicy({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connectivity_names() {
+        assert_eq!(Connectivity::ConRep.name(), "conrep");
+        assert_eq!(Connectivity::UnconRep.to_string(), "unconrep");
+    }
+}

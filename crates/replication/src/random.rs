@@ -1,0 +1,112 @@
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+use dosn_trace::Dataset;
+use rand::{Rng, RngCore};
+
+use crate::most_active::take_with_connectivity;
+use crate::policy::{Connectivity, ReplicaPolicy};
+
+/// The paper's *Random* baseline: replica hosts chosen uniformly at
+/// random among the candidates (subject to time-connectivity under
+/// ConRep).
+///
+/// # Examples
+///
+/// ```
+/// use dosn_replication::{Random, ReplicaPolicy};
+///
+/// assert_eq!(Random::new().name(), "random");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Random;
+
+impl Random {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Random
+    }
+}
+
+impl ReplicaPolicy for Random {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn place(
+        &self,
+        dataset: &Dataset,
+        schedules: &OnlineSchedules,
+        user: UserId,
+        max_replicas: usize,
+        connectivity: Connectivity,
+        rng: &mut dyn RngCore,
+    ) -> Vec<UserId> {
+        if max_replicas == 0 {
+            return Vec::new();
+        }
+        let mut candidates: Vec<UserId> = dataset.replica_candidates(user).to_vec();
+        for i in (1..candidates.len()).rev() {
+            candidates.swap(i, rng.gen_range(0..=i));
+        }
+        take_with_connectivity(&candidates, schedules, max_replicas, connectivity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::DaySchedule;
+    use dosn_socialgraph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: u32) -> (Dataset, OnlineSchedules) {
+        let mut b = GraphBuilder::undirected();
+        for i in 1..=n {
+            b.add_edge(UserId::new(0), UserId::new(i));
+        }
+        let ds = Dataset::new("r", b.build(), Vec::new()).unwrap();
+        let mut schedules = vec![DaySchedule::new()];
+        for i in 0..n {
+            // Overlapping ladder so everything is time-connected.
+            schedules.push(DaySchedule::window_wrapping(i * 500, 1_000).unwrap());
+        }
+        (ds, OnlineSchedules::new(schedules))
+    }
+
+    #[test]
+    fn picks_requested_count() {
+        let (ds, sch) = setup(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picks = Random::new().place(&ds, &sch, UserId::new(0), 4, Connectivity::UnconRep, &mut rng);
+        assert_eq!(picks.len(), 4);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "no duplicates");
+        for p in picks {
+            assert!(p != UserId::new(0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (ds, sch) = setup(10);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let p1 = Random::new().place(&ds, &sch, UserId::new(0), 5, Connectivity::UnconRep, &mut r1);
+        let p2 = Random::new().place(&ds, &sch, UserId::new(0), 5, Connectivity::UnconRep, &mut r2);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn conrep_set_is_connected() {
+        let (ds, sch) = setup(10);
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let picks =
+                Random::new().place(&ds, &sch, UserId::new(0), 5, Connectivity::ConRep, &mut rng);
+            assert!(crate::connectivity::is_time_connected_component(&picks, &sch));
+        }
+    }
+}

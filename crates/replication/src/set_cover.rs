@@ -1,0 +1,213 @@
+//! Greedy weighted set cover over interval sets.
+//!
+//! The MaxAv policy reduces replica selection to set cover: the universe
+//! is the time (or activity-time) to be covered, each candidate's subset
+//! is their online schedule, and the greedy heuristic repeatedly picks
+//! the candidate covering the most yet-uncovered seconds. Greedy is the
+//! classic `(1 - 1/e)`-approximation for the NP-hard maximum-coverage
+//! problem; the ablation bench compares it against brute force on small
+//! instances.
+
+use dosn_interval::IntervalSet;
+
+/// One greedy pick: which subset was chosen and how many new seconds it
+/// covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverStep {
+    /// Index into the `subsets` slice passed to [`greedy_cover`].
+    pub subset: usize,
+    /// Seconds newly covered by this pick.
+    pub gain: u32,
+}
+
+/// Greedy maximum coverage: pick up to `k` subsets maximizing covered
+/// measure of `universe`, stopping early once no subset adds coverage.
+///
+/// Ties break toward the lowest subset index, keeping results
+/// deterministic. Returns the picks in selection order.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::{Interval, IntervalSet};
+/// use dosn_replication::set_cover::greedy_cover;
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let universe = IntervalSet::from_interval(Interval::new(0, 100)?);
+/// let subsets = vec![
+///     IntervalSet::from_interval(Interval::new(0, 60)?),
+///     IntervalSet::from_interval(Interval::new(50, 100)?),
+///     IntervalSet::from_interval(Interval::new(0, 30)?),
+/// ];
+/// let picks = greedy_cover(&universe, &subsets, 2);
+/// assert_eq!(picks[0].subset, 0); // covers 60
+/// assert_eq!(picks[1].subset, 1); // adds 40
+/// # Ok(())
+/// # }
+/// ```
+pub fn greedy_cover(universe: &IntervalSet, subsets: &[IntervalSet], k: usize) -> Vec<CoverStep> {
+    greedy_cover_constrained(universe, subsets, k, |_chosen, _candidate| true)
+}
+
+/// Like [`greedy_cover`], but at each step only candidates for which
+/// `admissible(&chosen_so_far, candidate_index)` holds may be picked.
+///
+/// This is how the ConRep time-connectivity constraint plugs in: a
+/// candidate is admissible once its schedule overlaps a chosen replica's
+/// (or when nothing has been chosen yet).
+pub fn greedy_cover_constrained<F>(
+    universe: &IntervalSet,
+    subsets: &[IntervalSet],
+    k: usize,
+    mut admissible: F,
+) -> Vec<CoverStep>
+where
+    F: FnMut(&[CoverStep], usize) -> bool,
+{
+    let mut uncovered = universe.clone();
+    let mut picked = vec![false; subsets.len()];
+    let mut steps: Vec<CoverStep> = Vec::new();
+    while steps.len() < k && !uncovered.is_empty() {
+        let mut best: Option<CoverStep> = None;
+        for (i, subset) in subsets.iter().enumerate() {
+            if picked[i] || !admissible(&steps, i) {
+                continue;
+            }
+            let gain = subset.overlap_measure(&uncovered);
+            if gain > 0 && best.is_none_or(|b| gain > b.gain) {
+                best = Some(CoverStep { subset: i, gain });
+            }
+        }
+        match best {
+            Some(step) => {
+                picked[step.subset] = true;
+                uncovered = uncovered.difference(&subsets[step.subset]);
+                steps.push(step);
+            }
+            None => break,
+        }
+    }
+    steps
+}
+
+/// Exhaustive optimum for maximum coverage, for testing/ablation only:
+/// tries every subset combination of size at most `k` and returns the
+/// best covered measure.
+///
+/// # Panics
+///
+/// Panics if more than 20 subsets are supplied (the search is
+/// exponential by design).
+pub fn optimal_cover_measure(universe: &IntervalSet, subsets: &[IntervalSet], k: usize) -> u32 {
+    assert!(
+        subsets.len() <= 20,
+        "optimal cover is exponential; use at most 20 subsets"
+    );
+    let n = subsets.len();
+    let mut best = 0u32;
+    for mask in 0u32..(1 << n) {
+        if (mask.count_ones() as usize) > k {
+            continue;
+        }
+        let mut covered = IntervalSet::new();
+        for (i, subset) in subsets.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                covered = covered.union(subset);
+            }
+        }
+        best = best.max(covered.overlap_measure(universe));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::Interval;
+
+    fn set(pairs: &[(u32, u32)]) -> IntervalSet {
+        pairs
+            .iter()
+            .map(|&(s, e)| Interval::new(s, e).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn greedy_stops_when_no_gain() {
+        let universe = set(&[(0, 100)]);
+        let subsets = vec![set(&[(0, 100)]), set(&[(10, 20)])];
+        let picks = greedy_cover(&universe, &subsets, 5);
+        assert_eq!(picks.len(), 1);
+        assert_eq!(picks[0], CoverStep { subset: 0, gain: 100 });
+    }
+
+    #[test]
+    fn greedy_respects_k() {
+        let universe = set(&[(0, 300)]);
+        let subsets = vec![set(&[(0, 100)]), set(&[(100, 200)]), set(&[(200, 300)])];
+        let picks = greedy_cover(&universe, &subsets, 2);
+        assert_eq!(picks.len(), 2);
+        let covered: u32 = picks.iter().map(|p| p.gain).sum();
+        assert_eq!(covered, 200);
+    }
+
+    #[test]
+    fn ties_break_to_lowest_index() {
+        let universe = set(&[(0, 100)]);
+        let subsets = vec![set(&[(0, 50)]), set(&[(50, 100)])];
+        let picks = greedy_cover(&universe, &subsets, 1);
+        assert_eq!(picks[0].subset, 0);
+    }
+
+    #[test]
+    fn constraint_filters_candidates() {
+        let universe = set(&[(0, 300)]);
+        let subsets = vec![set(&[(0, 100)]), set(&[(100, 300)])];
+        // Forbid subset 1 entirely.
+        let picks = greedy_cover_constrained(&universe, &subsets, 2, |_, i| i != 1);
+        assert_eq!(picks.len(), 1);
+        assert_eq!(picks[0].subset, 0);
+    }
+
+    #[test]
+    fn greedy_matches_optimal_on_easy_instances() {
+        let universe = set(&[(0, 1_000)]);
+        let subsets = vec![
+            set(&[(0, 400)]),
+            set(&[(400, 800)]),
+            set(&[(800, 1_000)]),
+            set(&[(100, 300)]),
+        ];
+        let picks = greedy_cover(&universe, &subsets, 3);
+        let greedy_total: u32 = picks.iter().map(|p| p.gain).sum();
+        assert_eq!(greedy_total, optimal_cover_measure(&universe, &subsets, 3));
+    }
+
+    #[test]
+    fn greedy_is_within_the_approximation_bound() {
+        // A classic adversarial-ish instance; greedy must stay within
+        // (1 - 1/e) of optimal.
+        let universe = set(&[(0, 600)]);
+        let subsets = vec![
+            set(&[(0, 310)]),
+            set(&[(0, 300)]),
+            set(&[(300, 600)]),
+            set(&[(150, 450)]),
+        ];
+        for k in 1..=3 {
+            let picks = greedy_cover(&universe, &subsets, k);
+            let greedy_total: u32 = picks.iter().map(|p| p.gain).sum();
+            let opt = optimal_cover_measure(&universe, &subsets, k);
+            assert!(
+                f64::from(greedy_total) >= (1.0 - 1.0 / std::f64::consts::E) * f64::from(opt),
+                "k={k}: greedy {greedy_total} vs optimal {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_universe_yields_no_picks() {
+        let picks = greedy_cover(&IntervalSet::new(), &[set(&[(0, 10)])], 3);
+        assert!(picks.is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Cross-policy property tests: every policy must satisfy the
+//! `ReplicaPolicy` contract on randomized inputs.
+
+use dosn_onlinetime::{OnlineSchedules, OnlineTimeModel, Sporadic};
+use dosn_replication::{
+    is_time_connected_component, Connectivity, MaxAv, MostActive, Random, ReplicaPolicy,
+};
+use dosn_socialgraph::UserId;
+use dosn_trace::{synth, Dataset};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn policies() -> Vec<Box<dyn ReplicaPolicy>> {
+    vec![
+        Box::new(MaxAv::availability()),
+        Box::new(MaxAv::on_demand_time()),
+        Box::new(MaxAv::on_demand_activity()),
+        Box::new(MostActive::new()),
+        Box::new(Random::new()),
+    ]
+}
+
+fn setup(seed: u64) -> (Dataset, OnlineSchedules) {
+    let ds = synth::facebook_like(60, seed).expect("synthesis succeeds");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let schedules = Sporadic::default().schedules(&ds, &mut rng);
+    (ds, schedules)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn placements_satisfy_the_contract(
+        seed in 0u64..500,
+        user_ix in 0u32..60,
+        k in 0usize..12,
+    ) {
+        let (ds, schedules) = setup(seed);
+        let user = UserId::new(user_ix);
+        let candidates = ds.replica_candidates(user);
+        for policy in policies() {
+            for connectivity in [Connectivity::ConRep, Connectivity::UnconRep] {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let picks = policy.place(&ds, &schedules, user, k, connectivity, &mut rng);
+                // Budget respected.
+                prop_assert!(picks.len() <= k, "{} overshot budget", policy.name());
+                // Subset of candidates, no duplicates, never the owner.
+                let mut sorted = picks.clone();
+                sorted.sort_unstable();
+                let before = sorted.len();
+                sorted.dedup();
+                prop_assert_eq!(before, sorted.len(), "{} returned duplicates", policy.name());
+                for &p in &picks {
+                    prop_assert!(p != user, "{} chose the owner", policy.name());
+                    prop_assert!(
+                        candidates.contains(&p),
+                        "{} chose a non-candidate", policy.name()
+                    );
+                }
+                // ConRep sets are time-connected components by construction.
+                if connectivity == Connectivity::ConRep {
+                    prop_assert!(
+                        is_time_connected_component(&picks, &schedules),
+                        "{} ConRep set not connected", policy.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn placements_are_deterministic_given_rng(seed in 0u64..500, user_ix in 0u32..60) {
+        let (ds, schedules) = setup(seed);
+        let user = UserId::new(user_ix);
+        for policy in policies() {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let p1 = policy.place(&ds, &schedules, user, 5, Connectivity::ConRep, &mut r1);
+            let p2 = policy.place(&ds, &schedules, user, 5, Connectivity::ConRep, &mut r2);
+            prop_assert_eq!(p1, p2, "{} not deterministic", policy.name());
+        }
+    }
+
+    #[test]
+    fn maxav_dominates_random_on_availability(seed in 0u64..200) {
+        let (ds, schedules) = setup(seed);
+        // Averaged over users with >= 4 candidates, MaxAv's covered time
+        // must be at least Random's (it is optimal greedily, Random is
+        // arbitrary). Compare sums to tolerate per-user noise.
+        let mut maxav_total = 0u64;
+        let mut random_total = 0u64;
+        for user in ds.users() {
+            if ds.replica_candidates(user).len() < 4 {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = MaxAv::availability().place(&ds, &schedules, user, 3, Connectivity::UnconRep, &mut rng);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = Random::new().place(&ds, &schedules, user, 3, Connectivity::UnconRep, &mut rng);
+            maxav_total += u64::from(schedules.union_of(m).online_seconds());
+            random_total += u64::from(schedules.union_of(r).online_seconds());
+        }
+        prop_assert!(maxav_total >= random_total);
+    }
+}

@@ -1,0 +1,171 @@
+use crate::graph::{EdgeKind, SocialGraph};
+use crate::id::UserId;
+
+/// Incremental, deduplicating construction of a [`SocialGraph`].
+///
+/// Nodes are created implicitly by the edges that mention them (plus
+/// [`GraphBuilder::ensure_node`] for isolated nodes). Duplicate edges and
+/// self-loops are dropped — a user cannot befriend or follow themself, and
+/// the replica-placement study treats friendship as a set.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_socialgraph::{GraphBuilder, UserId};
+///
+/// let mut b = GraphBuilder::undirected();
+/// b.add_edge(UserId::new(0), UserId::new(1));
+/// b.add_edge(UserId::new(1), UserId::new(0)); // duplicate, dropped
+/// b.add_edge(UserId::new(1), UserId::new(1)); // self-loop, dropped
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2); // one friendship, both directions
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    directed: bool,
+    node_count: usize,
+    edges: Vec<(UserId, UserId)>,
+}
+
+impl GraphBuilder {
+    /// Starts an undirected (friendship) graph.
+    pub fn undirected() -> Self {
+        GraphBuilder {
+            directed: false,
+            node_count: 0,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Starts a directed (follower) graph.
+    pub fn directed() -> Self {
+        GraphBuilder {
+            directed: true,
+            node_count: 0,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Ensures `node` exists even if no edge mentions it.
+    pub fn ensure_node(&mut self, node: UserId) -> &mut Self {
+        self.node_count = self.node_count.max(node.index() + 1);
+        self
+    }
+
+    /// Adds the edge `from -> to` (and implicitly `to -> from` for
+    /// undirected graphs). Self-loops are ignored.
+    pub fn add_edge(&mut self, from: UserId, to: UserId) -> &mut Self {
+        self.ensure_node(from).ensure_node(to);
+        if from != to {
+            self.edges.push((from, to));
+        }
+        self
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Finalizes into an immutable CSR graph, deduplicating edges.
+    pub fn build(&self) -> SocialGraph {
+        let n = self.node_count;
+        let mut directed_edges: Vec<(UserId, UserId)> = Vec::with_capacity(
+            self.edges.len() * if self.directed { 1 } else { 2 },
+        );
+        for &(a, b) in &self.edges {
+            directed_edges.push((a, b));
+            if !self.directed {
+                directed_edges.push((b, a));
+            }
+        }
+        directed_edges.sort_unstable();
+        directed_edges.dedup();
+
+        let kind = if self.directed {
+            EdgeKind::Directed
+        } else {
+            EdgeKind::Undirected
+        };
+        let (out_offsets, out_targets) = csr_from_sorted(n, &directed_edges);
+
+        let mut reversed: Vec<(UserId, UserId)> =
+            directed_edges.iter().map(|&(a, b)| (b, a)).collect();
+        reversed.sort_unstable();
+        let (in_offsets, in_targets) = csr_from_sorted(n, &reversed);
+
+        SocialGraph::from_csr(kind, out_offsets, out_targets, in_offsets, in_targets)
+    }
+}
+
+/// Builds CSR offset/target arrays from edges sorted by source.
+fn csr_from_sorted(n: usize, edges: &[(UserId, UserId)]) -> (Vec<usize>, Vec<UserId>) {
+    let mut offsets = vec![0usize; n + 1];
+    for &(src, _) in edges {
+        offsets[src.index() + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let targets = edges.iter().map(|&(_, dst)| dst).collect();
+    (offsets, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_handling() {
+        let mut b = GraphBuilder::directed();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        b.add_edge(UserId::new(0), UserId::new(1));
+        b.add_edge(UserId::new(2), UserId::new(2));
+        let g = b.build();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(UserId::new(2)), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_survive() {
+        let mut b = GraphBuilder::undirected();
+        b.ensure_node(UserId::new(4));
+        let g = b.build();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(UserId::new(4)), 0);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(3));
+        b.add_edge(UserId::new(0), UserId::new(1));
+        b.add_edge(UserId::new(0), UserId::new(2));
+        let g = b.build();
+        let n: Vec<u32> = g
+            .out_neighbors(UserId::new(0))
+            .iter()
+            .map(|u| u.as_u32())
+            .collect();
+        assert_eq!(n, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::undirected().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn undirected_mirrors_in_and_out() {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        let g = b.build();
+        assert_eq!(g.in_neighbors(UserId::new(0)), &[UserId::new(1)]);
+        assert_eq!(g.out_neighbors(UserId::new(1)), &[UserId::new(0)]);
+    }
+}

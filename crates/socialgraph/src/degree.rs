@@ -1,0 +1,177 @@
+use crate::graph::{EdgeKind, SocialGraph};
+
+/// Which degree a histogram counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegreeSide {
+    /// Out-degree (friends / followees).
+    Out,
+    /// In-degree (friends / followers).
+    In,
+}
+
+/// A histogram of node degrees — the statistic behind the paper's Fig. 2
+/// ("number of users" vs "user degree").
+///
+/// # Examples
+///
+/// ```
+/// use dosn_socialgraph::{DegreeHistogram, GraphBuilder, UserId};
+///
+/// let mut b = GraphBuilder::undirected();
+/// b.add_edge(UserId::new(0), UserId::new(1));
+/// b.add_edge(UserId::new(0), UserId::new(2));
+/// let g = b.build();
+/// let h = DegreeHistogram::of_friends(&g);
+/// assert_eq!(h.count_at(2), 1); // node 0
+/// assert_eq!(h.count_at(1), 2); // nodes 1, 2
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DegreeHistogram {
+    /// `counts[d]` = number of nodes with degree `d`.
+    counts: Vec<usize>,
+    total_degree: u64,
+    node_count: usize,
+}
+
+impl DegreeHistogram {
+    /// Histogram of the degree that defines "replica candidates" for this
+    /// graph kind: out-degree (friends) for undirected graphs, in-degree
+    /// (followers) for directed ones.
+    pub fn of_replica_candidates(graph: &SocialGraph) -> Self {
+        match graph.kind() {
+            EdgeKind::Undirected => Self::of_friends(graph),
+            EdgeKind::Directed => Self::of_followers(graph),
+        }
+    }
+
+    /// Histogram of out-degrees (friends in an undirected graph).
+    pub fn of_friends(graph: &SocialGraph) -> Self {
+        Self::build(graph, DegreeSide::Out)
+    }
+
+    /// Histogram of in-degrees (followers in a directed graph).
+    pub fn of_followers(graph: &SocialGraph) -> Self {
+        Self::build(graph, DegreeSide::In)
+    }
+
+    /// Histogram of the chosen degree side.
+    pub fn build(graph: &SocialGraph, side: DegreeSide) -> Self {
+        let mut counts = Vec::new();
+        let mut total_degree = 0u64;
+        for u in graph.nodes() {
+            let d = match side {
+                DegreeSide::Out => graph.degree(u),
+                DegreeSide::In => graph.in_degree(u),
+            };
+            if d >= counts.len() {
+                counts.resize(d + 1, 0);
+            }
+            counts[d] += 1;
+            total_degree += d as u64;
+        }
+        DegreeHistogram {
+            counts,
+            total_degree,
+            node_count: graph.node_count(),
+        }
+    }
+
+    /// Number of nodes with exactly degree `d`.
+    pub fn count_at(&self, d: usize) -> usize {
+        self.counts.get(d).copied().unwrap_or(0)
+    }
+
+    /// The largest degree present.
+    pub fn max_degree(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Mean degree.
+    pub fn mean(&self) -> f64 {
+        if self.node_count == 0 {
+            0.0
+        } else {
+            self.total_degree as f64 / self.node_count as f64
+        }
+    }
+
+    /// Number of nodes observed.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The degree held by the most nodes, breaking ties toward the
+    /// smaller degree. The paper picks its per-degree plots at the mode
+    /// (degree 10 for both datasets).
+    pub fn mode(&self) -> Option<usize> {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by(|(da, ca), (db, cb)| ca.cmp(cb).then(db.cmp(da)))
+            .map(|(d, _)| d)
+    }
+
+    /// Iterates over `(degree, count)` pairs with nonzero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(d, &c)| (d, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::id::UserId;
+
+    fn star(n: u32) -> SocialGraph {
+        let mut b = GraphBuilder::undirected();
+        for i in 1..=n {
+            b.add_edge(UserId::new(0), UserId::new(i));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn star_histogram() {
+        let h = DegreeHistogram::of_friends(&star(5));
+        assert_eq!(h.count_at(5), 1);
+        assert_eq!(h.count_at(1), 5);
+        assert_eq!(h.count_at(3), 0);
+        assert_eq!(h.max_degree(), 5);
+        assert_eq!(h.node_count(), 6);
+        assert!((h.mean() - 10.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.mode(), Some(1));
+    }
+
+    #[test]
+    fn follower_histogram_uses_in_degree() {
+        let mut b = GraphBuilder::directed();
+        b.add_edge(UserId::new(1), UserId::new(0));
+        b.add_edge(UserId::new(2), UserId::new(0));
+        let g = b.build();
+        let h = DegreeHistogram::of_followers(&g);
+        assert_eq!(h.count_at(2), 1);
+        assert_eq!(h.count_at(0), 2);
+        let via_candidates = DegreeHistogram::of_replica_candidates(&g);
+        assert_eq!(h, via_candidates);
+    }
+
+    #[test]
+    fn iter_skips_zero_counts() {
+        let h = DegreeHistogram::of_friends(&star(3));
+        let pairs: Vec<(usize, usize)> = h.iter().collect();
+        assert_eq!(pairs, vec![(1, 3), (3, 1)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let h = DegreeHistogram::of_friends(&GraphBuilder::undirected().build());
+        assert_eq!(h.node_count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.mode(), None);
+    }
+}

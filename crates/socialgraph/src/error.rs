@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::id::UserId;
+
+/// Error produced by graph construction and queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced a node outside the graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: UserId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A generator was asked for an impossible configuration, e.g. more
+    /// edges per new node than existing nodes.
+    InvalidGeneratorParams {
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} is outside the graph of {node_count} nodes")
+            }
+            GraphError::InvalidGeneratorParams { reason } => {
+                write!(f, "invalid generator parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+        let e = GraphError::NodeOutOfRange {
+            node: UserId::new(9),
+            node_count: 3,
+        };
+        assert!(e.to_string().contains("u9"));
+    }
+}

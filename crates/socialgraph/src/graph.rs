@@ -1,0 +1,250 @@
+use crate::error::GraphError;
+use crate::id::UserId;
+
+/// Whether a graph's edges are reciprocal friendships or one-way follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EdgeKind {
+    /// Reciprocal edges (Facebook friendship): out- and in-adjacency
+    /// coincide.
+    Undirected,
+    /// One-way edges (Twitter follow): an edge `u -> v` means `u` follows
+    /// `v`; `v`'s *followers* are its in-neighbors.
+    Directed,
+}
+
+/// A compact, immutable social graph in CSR (compressed sparse row) form.
+///
+/// Both out-adjacency and in-adjacency are materialized so that "who does
+/// `u` know" and "who knows `u`" are both `O(degree)` slice accesses; the
+/// study needs the former for Facebook friend sets and the latter for
+/// Twitter follower sets. Construct via [`GraphBuilder`].
+///
+/// [`GraphBuilder`]: crate::GraphBuilder
+///
+/// # Examples
+///
+/// ```
+/// use dosn_socialgraph::{GraphBuilder, UserId};
+///
+/// let mut b = GraphBuilder::directed();
+/// b.add_edge(UserId::new(0), UserId::new(1)); // 0 follows 1
+/// b.add_edge(UserId::new(2), UserId::new(1)); // 2 follows 1
+/// let g = b.build();
+/// assert_eq!(g.in_neighbors(UserId::new(1)).len(), 2); // 1's followers
+/// assert_eq!(g.out_neighbors(UserId::new(1)).len(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SocialGraph {
+    kind: EdgeKind,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<UserId>,
+    in_offsets: Vec<usize>,
+    in_targets: Vec<UserId>,
+}
+
+impl SocialGraph {
+    pub(crate) fn from_csr(
+        kind: EdgeKind,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<UserId>,
+        in_offsets: Vec<usize>,
+        in_targets: Vec<UserId>,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), in_offsets.len());
+        SocialGraph {
+            kind,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        }
+    }
+
+    /// Whether edges are reciprocal or one-way.
+    pub fn kind(&self) -> EdgeKind {
+        self.kind
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of stored directed edges. For an undirected graph each
+    /// friendship counts once in each direction.
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Whether `node` is a valid node of this graph.
+    pub fn contains(&self, node: UserId) -> bool {
+        node.index() < self.node_count()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = UserId> + '_ {
+        (0..self.node_count() as u32).map(UserId::new)
+    }
+
+    fn check(&self, node: UserId) -> Result<(), GraphError> {
+        if self.contains(node) {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange {
+                node,
+                node_count: self.node_count(),
+            })
+        }
+    }
+
+    /// Out-neighbors of `node`: friends (undirected) or followees
+    /// (directed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range; use [`SocialGraph::try_out_neighbors`]
+    /// for a fallible variant.
+    pub fn out_neighbors(&self, node: UserId) -> &[UserId] {
+        self.try_out_neighbors(node).expect("node in range")
+    }
+
+    /// Fallible variant of [`SocialGraph::out_neighbors`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for invalid nodes.
+    pub fn try_out_neighbors(&self, node: UserId) -> Result<&[UserId], GraphError> {
+        self.check(node)?;
+        let i = node.index();
+        Ok(&self.out_targets[self.out_offsets[i]..self.out_offsets[i + 1]])
+    }
+
+    /// In-neighbors of `node`: friends (undirected) or followers
+    /// (directed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range; use [`SocialGraph::try_in_neighbors`]
+    /// for a fallible variant.
+    pub fn in_neighbors(&self, node: UserId) -> &[UserId] {
+        self.try_in_neighbors(node).expect("node in range")
+    }
+
+    /// Fallible variant of [`SocialGraph::in_neighbors`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for invalid nodes.
+    pub fn try_in_neighbors(&self, node: UserId) -> Result<&[UserId], GraphError> {
+        self.check(node)?;
+        let i = node.index();
+        Ok(&self.in_targets[self.in_offsets[i]..self.in_offsets[i + 1]])
+    }
+
+    /// Out-degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn degree(&self, node: UserId) -> usize {
+        self.out_neighbors(node).len()
+    }
+
+    /// In-degree of `node` — the follower count in a directed graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn in_degree(&self, node: UserId) -> usize {
+        self.in_neighbors(node).len()
+    }
+
+    /// Whether the directed edge `from -> to` exists (for undirected
+    /// graphs this is symmetric). `O(log degree)` via binary search.
+    pub fn has_edge(&self, from: UserId, to: UserId) -> bool {
+        self.contains(from)
+            && self.contains(to)
+            && self.out_neighbors(from).binary_search(&to).is_ok()
+    }
+
+    /// Mean out-degree over all nodes.
+    pub fn mean_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.node_count() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> SocialGraph {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        b.add_edge(UserId::new(1), UserId::new(2));
+        b.add_edge(UserId::new(2), UserId::new(0));
+        b.build()
+    }
+
+    #[test]
+    fn undirected_adjacency_is_symmetric() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 6); // 3 friendships, both directions
+        for u in g.nodes() {
+            assert_eq!(g.out_neighbors(u), g.in_neighbors(u));
+            assert_eq!(g.degree(u), 2);
+        }
+        assert!(g.has_edge(UserId::new(0), UserId::new(1)));
+        assert!(g.has_edge(UserId::new(1), UserId::new(0)));
+    }
+
+    #[test]
+    fn directed_followers() {
+        let mut b = GraphBuilder::directed();
+        b.add_edge(UserId::new(0), UserId::new(2));
+        b.add_edge(UserId::new(1), UserId::new(2));
+        let g = b.build();
+        assert_eq!(g.kind(), EdgeKind::Directed);
+        assert_eq!(g.in_degree(UserId::new(2)), 2);
+        assert_eq!(g.degree(UserId::new(2)), 0);
+        assert!(g.has_edge(UserId::new(0), UserId::new(2)));
+        assert!(!g.has_edge(UserId::new(2), UserId::new(0)));
+    }
+
+    #[test]
+    fn out_of_range_queries_error() {
+        let g = triangle();
+        let bogus = UserId::new(99);
+        assert!(!g.contains(bogus));
+        assert!(matches!(
+            g.try_out_neighbors(bogus),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.try_in_neighbors(bogus),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(!g.has_edge(bogus, UserId::new(0)));
+    }
+
+    #[test]
+    fn mean_degree() {
+        let g = triangle();
+        assert!((g.mean_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nodes_iterator_is_exact() {
+        let g = triangle();
+        let nodes: Vec<UserId> = g.nodes().collect();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[0], UserId::new(0));
+    }
+}

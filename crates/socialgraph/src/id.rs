@@ -1,0 +1,89 @@
+/// A dense identifier for a user (node) in a [`SocialGraph`].
+///
+/// Node identifiers are indices in `[0, node_count)`; datasets with sparse
+/// external identifiers are remapped to dense ids at parse time.
+///
+/// [`SocialGraph`]: crate::SocialGraph
+///
+/// # Examples
+///
+/// ```
+/// use dosn_socialgraph::UserId;
+///
+/// let u = UserId::new(7);
+/// assert_eq!(u.index(), 7);
+/// assert_eq!(u.to_string(), "u7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UserId(u32);
+
+impl UserId {
+    /// Creates a user id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        UserId(index)
+    }
+
+    /// Creates a user id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`; graphs in this study are far
+    /// smaller.
+    pub fn from_index(index: usize) -> Self {
+        UserId(u32::try_from(index).expect("node index fits in u32"))
+    }
+
+    /// The raw dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw index as `u32`.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(index: u32) -> Self {
+        UserId(index)
+    }
+}
+
+impl From<UserId> for u32 {
+    fn from(id: UserId) -> Self {
+        id.0
+    }
+}
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let u = UserId::new(42);
+        assert_eq!(u.index(), 42);
+        assert_eq!(u.as_u32(), 42);
+        assert_eq!(UserId::from(42u32), u);
+        assert_eq!(u32::from(u), 42);
+        assert_eq!(UserId::from_index(42), u);
+    }
+
+    #[test]
+    fn orders_by_index() {
+        assert!(UserId::new(1) < UserId::new(2));
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(UserId::new(0).to_string(), "u0");
+    }
+}

@@ -1,0 +1,50 @@
+//! Social graph substrate for the `dosn` decentralized OSN study.
+//!
+//! The study replicates a user's profile onto nodes drawn from the user's
+//! social neighborhood: *friends* in the (undirected) Facebook graph,
+//! *followers* in the (directed) Twitter graph. This crate provides the
+//! graph machinery both cases need:
+//!
+//! * [`UserId`] — a dense node identifier.
+//! * [`SocialGraph`] — a compact CSR-backed graph keeping both out- and
+//!   in-adjacency, so "friends of `u`" and "followers of `u`" are equally
+//!   cheap.
+//! * [`GraphBuilder`] — incremental, deduplicating construction.
+//! * [`DegreeHistogram`] — the degree-distribution statistic behind the
+//!   paper's Fig. 2.
+//! * [`generate`] — seeded synthetic generators (Barabási–Albert,
+//!   Erdős–Rényi, Watts–Strogatz, directed preferential attachment) used
+//!   to stand in for the proprietary Facebook/Twitter crawls.
+//!
+//! # Examples
+//!
+//! ```
+//! use dosn_socialgraph::{GraphBuilder, UserId};
+//!
+//! let mut b = GraphBuilder::undirected();
+//! b.add_edge(UserId::new(0), UserId::new(1));
+//! b.add_edge(UserId::new(1), UserId::new(2));
+//! let g = b.build();
+//! assert_eq!(g.node_count(), 3);
+//! assert_eq!(g.degree(UserId::new(1)), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod builder;
+mod degree;
+mod error;
+pub mod generate;
+mod graph;
+mod id;
+mod stats;
+mod traversal;
+
+pub use builder::GraphBuilder;
+pub use degree::DegreeHistogram;
+pub use error::GraphError;
+pub use graph::{EdgeKind, SocialGraph};
+pub use id::UserId;
+pub use stats::{clustering_coefficient, degree_assortativity};
+pub use traversal::{bfs_order, connected_components, ComponentLabels};

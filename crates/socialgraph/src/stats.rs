@@ -1,0 +1,182 @@
+//! Structural graph statistics used to validate the synthetic
+//! generators against the crawls they stand in for.
+
+use crate::graph::SocialGraph;
+use crate::id::UserId;
+
+/// The global clustering coefficient (transitivity): `3 × triangles /
+/// connected triples`, over the undirected view of the graph.
+///
+/// Social graphs cluster heavily (friends of friends are friends);
+/// Erdős–Rényi graphs do not — this statistic separates them.
+///
+/// Returns 0 for graphs with no connected triples.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_socialgraph::{clustering_coefficient, GraphBuilder, UserId};
+///
+/// let mut b = GraphBuilder::undirected();
+/// b.add_edge(UserId::new(0), UserId::new(1));
+/// b.add_edge(UserId::new(1), UserId::new(2));
+/// b.add_edge(UserId::new(2), UserId::new(0));
+/// let triangle = b.build();
+/// assert_eq!(clustering_coefficient(&triangle), 1.0);
+/// ```
+pub fn clustering_coefficient(graph: &SocialGraph) -> f64 {
+    let mut triangles = 0u64; // each counted 6 times (ordered)
+    let mut triples = 0u64; // connected triples, centered per node
+    for u in graph.nodes() {
+        let neighbors = neighbor_union(graph, u);
+        let d = neighbors.len() as u64;
+        triples += d.saturating_sub(1) * d / 2;
+        for (i, &a) in neighbors.iter().enumerate() {
+            for &b in &neighbors[i + 1..] {
+                if has_undirected_edge(graph, a, b) {
+                    triangles += 1; // closed triple centered at u
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        triangles as f64 / triples as f64
+    }
+}
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// edges of the undirected view). Social graphs tend positive (popular
+/// people befriend popular people); preferential-attachment trees tend
+/// negative. Returns 0 when degenerate.
+pub fn degree_assortativity(graph: &SocialGraph) -> f64 {
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for u in graph.nodes() {
+        let du = neighbor_union(graph, u).len() as f64;
+        for &v in graph.out_neighbors(u) {
+            let dv = neighbor_union(graph, v).len() as f64;
+            xs.push(du);
+            ys.push(dv);
+        }
+    }
+    pearson(&xs, &ys)
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Sorted distinct neighbors of `u`, combining out- and in-edges (the
+/// undirected view of a directed graph).
+fn neighbor_union(graph: &SocialGraph, u: UserId) -> Vec<UserId> {
+    let mut ns: Vec<UserId> = graph
+        .out_neighbors(u)
+        .iter()
+        .chain(graph.in_neighbors(u))
+        .copied()
+        .collect();
+    ns.sort_unstable();
+    ns.dedup();
+    ns
+}
+
+fn has_undirected_edge(graph: &SocialGraph, a: UserId, b: UserId) -> bool {
+    graph.has_edge(a, b) || graph.has_edge(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generate::{barabasi_albert, erdos_renyi, stochastic_block, watts_strogatz};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn triangle_and_path_extremes() {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        b.add_edge(UserId::new(1), UserId::new(2));
+        b.add_edge(UserId::new(2), UserId::new(0));
+        assert_eq!(clustering_coefficient(&b.build()), 1.0);
+        let mut p = GraphBuilder::undirected();
+        p.add_edge(UserId::new(0), UserId::new(1));
+        p.add_edge(UserId::new(1), UserId::new(2));
+        assert_eq!(clustering_coefficient(&p.build()), 0.0);
+    }
+
+    #[test]
+    fn watts_strogatz_clusters_more_than_er() {
+        let ws = watts_strogatz(300, 8, 0.05, &mut rng()).unwrap();
+        let er = erdos_renyi(300, 8.0 / 299.0, &mut rng()).unwrap();
+        let cc_ws = clustering_coefficient(&ws);
+        let cc_er = clustering_coefficient(&er);
+        assert!(
+            cc_ws > 3.0 * cc_er,
+            "WS {cc_ws:.3} should dwarf ER {cc_er:.3}"
+        );
+        assert!(cc_ws > 0.3);
+    }
+
+    #[test]
+    fn sbm_clusters_more_than_ba() {
+        let sbm = stochastic_block(&[50, 50, 50], 0.3, 0.005, &mut rng()).unwrap();
+        let ba = barabasi_albert(150, 7, &mut rng()).unwrap();
+        assert!(clustering_coefficient(&sbm) > clustering_coefficient(&ba));
+    }
+
+    #[test]
+    fn ba_is_disassortative() {
+        let ba = barabasi_albert(800, 4, &mut rng()).unwrap();
+        let r = degree_assortativity(&ba);
+        assert!(r < 0.05, "BA assortativity {r:.3} should be ~<= 0");
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let empty = GraphBuilder::undirected().build();
+        assert_eq!(clustering_coefficient(&empty), 0.0);
+        assert_eq!(degree_assortativity(&empty), 0.0);
+        // A single edge: no triples, degenerate correlation.
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        let g = b.build();
+        assert_eq!(clustering_coefficient(&g), 0.0);
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+
+    #[test]
+    fn directed_graph_uses_undirected_view() {
+        let mut b = GraphBuilder::directed();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        b.add_edge(UserId::new(1), UserId::new(2));
+        b.add_edge(UserId::new(2), UserId::new(0));
+        // A directed 3-cycle is an undirected triangle.
+        assert_eq!(clustering_coefficient(&b.build()), 1.0);
+    }
+}

@@ -1,0 +1,160 @@
+use std::collections::VecDeque;
+
+use crate::graph::SocialGraph;
+use crate::id::UserId;
+
+/// Per-node connected-component labels, as produced by
+/// [`connected_components`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl ComponentLabels {
+    /// The component label of `node`, in `[0, component_count)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn label(&self, node: UserId) -> u32 {
+        self.labels[node.index()]
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether two nodes are in the same component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn same_component(&self, a: UserId, b: UserId) -> bool {
+        self.label(a) == self.label(b)
+    }
+
+    /// Size of the largest component.
+    pub fn largest_component_size(&self) -> usize {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Breadth-first order of nodes reachable from `start` following
+/// out-edges.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn bfs_order(graph: &SocialGraph, start: UserId) -> Vec<UserId> {
+    assert!(graph.contains(start), "start node must be in the graph");
+    let mut seen = vec![false; graph.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in graph.out_neighbors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Labels weakly-connected components (edges treated as bidirectional).
+pub fn connected_components(graph: &SocialGraph) -> ComponentLabels {
+    let n = graph.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0usize;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if labels[s] != u32::MAX {
+            continue;
+        }
+        let label = count as u32;
+        count += 1;
+        labels[s] = label;
+        queue.push_back(UserId::from_index(s));
+        while let Some(u) = queue.pop_front() {
+            for &v in graph
+                .out_neighbors(u)
+                .iter()
+                .chain(graph.in_neighbors(u).iter())
+            {
+                if labels[v.index()] == u32::MAX {
+                    labels[v.index()] = label;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    ComponentLabels { labels, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn two_triangles() -> SocialGraph {
+        let mut b = GraphBuilder::undirected();
+        for &(x, y) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(UserId::new(x), UserId::new(y));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_visits_component_once() {
+        let g = two_triangles();
+        let order = bfs_order(&g, UserId::new(0));
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], UserId::new(0));
+    }
+
+    #[test]
+    fn components_of_two_triangles() {
+        let g = two_triangles();
+        let c = connected_components(&g);
+        assert_eq!(c.component_count(), 2);
+        assert!(c.same_component(UserId::new(0), UserId::new(2)));
+        assert!(!c.same_component(UserId::new(0), UserId::new(3)));
+        assert_eq!(c.largest_component_size(), 3);
+    }
+
+    #[test]
+    fn directed_components_are_weak() {
+        let mut b = GraphBuilder::directed();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        b.add_edge(UserId::new(2), UserId::new(1));
+        let g = b.build();
+        let c = connected_components(&g);
+        assert_eq!(c.component_count(), 1);
+        // But BFS along out-edges from 0 cannot reach 2.
+        assert_eq!(bfs_order(&g, UserId::new(0)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "start node must be in the graph")]
+    fn bfs_panics_on_bad_start() {
+        let g = two_triangles();
+        bfs_order(&g, UserId::new(99));
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = GraphBuilder::undirected().build();
+        let c = connected_components(&g);
+        assert_eq!(c.component_count(), 0);
+        assert_eq!(c.largest_component_size(), 0);
+    }
+}

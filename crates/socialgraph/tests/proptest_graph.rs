@@ -1,0 +1,74 @@
+//! Property tests for graph construction invariants.
+
+use dosn_socialgraph::{connected_components, GraphBuilder, UserId};
+use proptest::prelude::*;
+
+fn edges() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..60, 0u32..60), 0..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn undirected_is_symmetric(edges in edges()) {
+        let mut b = GraphBuilder::undirected();
+        for &(x, y) in &edges {
+            b.add_edge(UserId::new(x), UserId::new(y));
+        }
+        let g = b.build();
+        for u in g.nodes() {
+            for &v in g.out_neighbors(u) {
+                prop_assert!(g.has_edge(v, u), "missing reverse edge {v} -> {u}");
+            }
+            prop_assert_eq!(g.out_neighbors(u), g.in_neighbors(u));
+        }
+    }
+
+    #[test]
+    fn degree_sum_equals_edge_count(edges in edges()) {
+        let mut b = GraphBuilder::directed();
+        for &(x, y) in &edges {
+            b.add_edge(UserId::new(x), UserId::new(y));
+        }
+        let g = b.build();
+        let out_sum: usize = g.nodes().map(|u| g.degree(u)).sum();
+        let in_sum: usize = g.nodes().map(|u| g.in_degree(u)).sum();
+        prop_assert_eq!(out_sum, g.edge_count());
+        prop_assert_eq!(in_sum, g.edge_count());
+    }
+
+    #[test]
+    fn neighbors_sorted_and_unique(edges in edges()) {
+        let mut b = GraphBuilder::directed();
+        for &(x, y) in &edges {
+            b.add_edge(UserId::new(x), UserId::new(y));
+        }
+        let g = b.build();
+        for u in g.nodes() {
+            let ns = g.out_neighbors(u);
+            for w in ns.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            prop_assert!(!ns.contains(&u), "self-loop on {u}");
+        }
+    }
+
+    #[test]
+    fn components_partition_nodes(edges in edges()) {
+        let mut b = GraphBuilder::undirected();
+        b.ensure_node(UserId::new(59));
+        for &(x, y) in &edges {
+            b.add_edge(UserId::new(x), UserId::new(y));
+        }
+        let g = b.build();
+        let c = connected_components(&g);
+        prop_assert!(c.component_count() <= g.node_count());
+        // Every edge joins same-component endpoints.
+        for u in g.nodes() {
+            for &v in g.out_neighbors(u) {
+                prop_assert!(c.same_component(u, v));
+            }
+        }
+    }
+}

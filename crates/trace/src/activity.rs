@@ -1,0 +1,101 @@
+use dosn_interval::Timestamp;
+use dosn_socialgraph::UserId;
+
+/// One interaction in an activity trace.
+///
+/// For the Facebook-style dataset an activity is a *wall post*: `creator`
+/// posted on `receiver`'s wall at `timestamp`, so the activity lands on
+/// `receiver`'s profile. For the Twitter-style dataset it is a tweet
+/// directed at `receiver` (a mention), with the same profile semantics.
+/// A user posting on their own wall has `creator == receiver`.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_trace::Activity;
+/// use dosn_socialgraph::UserId;
+/// use dosn_interval::Timestamp;
+///
+/// let a = Activity::new(UserId::new(1), UserId::new(0), Timestamp::new(3600));
+/// assert_eq!(a.creator(), UserId::new(1));
+/// assert_eq!(a.receiver(), UserId::new(0));
+/// assert_eq!(a.timestamp().time_of_day(), 3600);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Activity {
+    timestamp: Timestamp,
+    creator: UserId,
+    receiver: UserId,
+}
+
+impl Activity {
+    /// Creates an activity by `creator` on `receiver`'s profile at
+    /// `timestamp`.
+    pub const fn new(creator: UserId, receiver: UserId, timestamp: Timestamp) -> Self {
+        Activity {
+            timestamp,
+            creator,
+            receiver,
+        }
+    }
+
+    /// The user who performed the activity.
+    pub const fn creator(self) -> UserId {
+        self.creator
+    }
+
+    /// The user on whose profile the activity landed.
+    pub const fn receiver(self) -> UserId {
+        self.receiver
+    }
+
+    /// When the activity happened.
+    pub const fn timestamp(self) -> Timestamp {
+        self.timestamp
+    }
+
+    /// Whether this is a self-activity (posting on one's own wall).
+    pub const fn is_self_activity(self) -> bool {
+        self.creator.index() == self.receiver.index()
+    }
+}
+
+impl std::fmt::Display for Activity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} -> {} at {}",
+            self.creator, self.receiver, self.timestamp
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let a = Activity::new(UserId::new(3), UserId::new(5), Timestamp::new(100));
+        assert_eq!(a.creator(), UserId::new(3));
+        assert_eq!(a.receiver(), UserId::new(5));
+        assert_eq!(a.timestamp(), Timestamp::new(100));
+        assert!(!a.is_self_activity());
+        assert!(Activity::new(UserId::new(3), UserId::new(3), Timestamp::new(0)).is_self_activity());
+    }
+
+    #[test]
+    fn orders_by_timestamp_first() {
+        let early = Activity::new(UserId::new(9), UserId::new(9), Timestamp::new(1));
+        let late = Activity::new(UserId::new(0), UserId::new(0), Timestamp::new(2));
+        assert!(early < late);
+    }
+
+    #[test]
+    fn display_mentions_both_parties() {
+        let a = Activity::new(UserId::new(1), UserId::new(2), Timestamp::new(0));
+        let s = a.to_string();
+        assert!(s.contains("u1") && s.contains("u2"));
+    }
+}

@@ -1,0 +1,445 @@
+use dosn_socialgraph::{EdgeKind, GraphBuilder, SocialGraph, UserId};
+
+use crate::activity::Activity;
+use crate::error::TraceError;
+use crate::stats::DatasetStats;
+
+/// A social graph together with its chronologically-sorted activity
+/// trace, plus the per-user indices the study's algorithms need.
+///
+/// The dataset answers three questions cheaply:
+///
+/// * who may host a replica of `u`'s profile
+///   ([`Dataset::replica_candidates`] — friends for undirected graphs,
+///   followers for directed ones);
+/// * which activities landed on `u`'s profile
+///   ([`Dataset::received_activities`], driving the
+///   availability-on-demand-activity metric);
+/// * how often each friend interacted with `u`
+///   ([`Dataset::interaction_counts`], driving the MostActive policy).
+///
+/// # Examples
+///
+/// ```
+/// use dosn_trace::{Activity, Dataset};
+/// use dosn_socialgraph::{GraphBuilder, UserId};
+/// use dosn_interval::Timestamp;
+///
+/// # fn main() -> Result<(), dosn_trace::TraceError> {
+/// let mut b = GraphBuilder::undirected();
+/// b.add_edge(UserId::new(0), UserId::new(1));
+/// let activities = vec![Activity::new(UserId::new(1), UserId::new(0), Timestamp::new(60))];
+/// let ds = Dataset::new("demo", b.build(), activities)?;
+/// assert_eq!(ds.received_activities(UserId::new(0)).len(), 1);
+/// assert_eq!(ds.replica_candidates(UserId::new(0)), &[UserId::new(1)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    graph: SocialGraph,
+    /// Sorted by timestamp (then creator/receiver for determinism).
+    activities: Vec<Activity>,
+    /// Indices into `activities`, per receiving user.
+    received: Vec<Vec<u32>>,
+    /// Indices into `activities`, per creating user.
+    created: Vec<Vec<u32>>,
+}
+
+impl Dataset {
+    /// Builds a dataset from a graph and an (arbitrarily ordered)
+    /// activity list. Activities are sorted chronologically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ActivityUserOutOfRange`] if any activity
+    /// mentions a user outside the graph.
+    pub fn new(
+        name: impl Into<String>,
+        graph: SocialGraph,
+        mut activities: Vec<Activity>,
+    ) -> Result<Self, TraceError> {
+        let n = graph.node_count();
+        for a in &activities {
+            for user in [a.creator(), a.receiver()] {
+                if user.index() >= n {
+                    return Err(TraceError::ActivityUserOutOfRange {
+                        user,
+                        user_count: n,
+                    });
+                }
+            }
+        }
+        activities.sort_unstable();
+        let mut received = vec![Vec::new(); n];
+        let mut created = vec![Vec::new(); n];
+        for (i, a) in activities.iter().enumerate() {
+            received[a.receiver().index()].push(i as u32);
+            created[a.creator().index()].push(i as u32);
+        }
+        Ok(Dataset {
+            name: name.into(),
+            graph,
+            activities,
+            received,
+            created,
+        })
+    }
+
+    /// The dataset's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying social graph.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// Number of users.
+    pub fn user_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of activities.
+    pub fn activity_count(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// All activities, chronologically sorted.
+    pub fn activities(&self) -> &[Activity] {
+        &self.activities
+    }
+
+    /// Iterates over all user ids.
+    pub fn users(&self) -> impl ExactSizeIterator<Item = UserId> + '_ {
+        self.graph.nodes()
+    }
+
+    /// The users who may host a replica of `user`'s profile: friends in
+    /// an undirected (Facebook-like) graph, followers in a directed
+    /// (Twitter-like) graph. This is the paper's `NG_u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn replica_candidates(&self, user: UserId) -> &[UserId] {
+        match self.graph.kind() {
+            EdgeKind::Undirected => self.graph.out_neighbors(user),
+            EdgeKind::Directed => self.graph.in_neighbors(user),
+        }
+    }
+
+    /// Activities that landed on `user`'s profile, chronologically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn received_activities(&self, user: UserId) -> impl ExactSizeIterator<Item = &Activity> + '_ {
+        self.received[user.index()]
+            .iter()
+            .map(move |&i| &self.activities[i as usize])
+    }
+
+    /// Activities created by `user`, chronologically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn created_activities(&self, user: UserId) -> impl ExactSizeIterator<Item = &Activity> + '_ {
+        self.created[user.index()]
+            .iter()
+            .map(move |&i| &self.activities[i as usize])
+    }
+
+    /// Total activities `user` participates in (created or received;
+    /// self-activities count once). This is the count the paper's ≥ 10
+    /// filter applies to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn participation_count(&self, user: UserId) -> usize {
+        let self_activities = self.created[user.index()]
+            .iter()
+            .filter(|&&i| self.activities[i as usize].is_self_activity())
+            .count();
+        self.created[user.index()].len() + self.received[user.index()].len() - self_activities
+    }
+
+    /// For each replica candidate of `user`, how many activities that
+    /// candidate created on `user`'s profile — the MostActive policy's
+    /// ranking key. Returned in candidate order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn interaction_counts(&self, user: UserId) -> Vec<(UserId, usize)> {
+        let candidates = self.replica_candidates(user);
+        let mut counts: Vec<(UserId, usize)> =
+            candidates.iter().map(|&c| (c, 0usize)).collect();
+        for &i in &self.received[user.index()] {
+            let creator = self.activities[i as usize].creator();
+            // Candidate lists are sorted, so binary search is exact.
+            if let Ok(pos) = candidates.binary_search(&creator) {
+                counts[pos].1 += 1;
+            }
+        }
+        counts
+    }
+
+    /// The paper's dataset filter: keep only users participating in at
+    /// least `min_activities` activities, drop everyone else, remap ids
+    /// densely, and drop edges/activities touching removed users.
+    ///
+    /// Returns `self` unchanged (cloned) when the threshold is zero.
+    #[must_use]
+    pub fn filter_min_participation(&self, min_activities: usize) -> Dataset {
+        let keep: Vec<bool> = self
+            .users()
+            .map(|u| self.participation_count(u) >= min_activities)
+            .collect();
+        let mut remap: Vec<Option<UserId>> = vec![None; self.user_count()];
+        let mut next = 0u32;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                remap[i] = Some(UserId::new(next));
+                next += 1;
+            }
+        }
+        let mut b = match self.graph.kind() {
+            EdgeKind::Undirected => GraphBuilder::undirected(),
+            EdgeKind::Directed => GraphBuilder::directed(),
+        };
+        if next > 0 {
+            b.ensure_node(UserId::new(next - 1));
+        }
+        for u in self.users() {
+            if let Some(nu) = remap[u.index()] {
+                for &v in self.graph.out_neighbors(u) {
+                    if let Some(nv) = remap[v.index()] {
+                        b.add_edge(nu, nv);
+                    }
+                }
+            }
+        }
+        let activities: Vec<Activity> = self
+            .activities
+            .iter()
+            .filter_map(|a| {
+                let c = remap[a.creator().index()]?;
+                let r = remap[a.receiver().index()]?;
+                Some(Activity::new(c, r, a.timestamp()))
+            })
+            .collect();
+        Dataset::new(self.name.clone(), b.build(), activities)
+            .expect("remapped activities are in range")
+    }
+
+    /// Splits the trace at the start of `day` (counted from the epoch):
+    /// activities strictly before it form the *history* dataset,
+    /// the rest the *future* dataset. Both share the unchanged social
+    /// graph and user ids.
+    ///
+    /// This is how the paper's "activity observed during a pre-defined
+    /// time in the past" is meant to be used: rank MostActive (and build
+    /// activity-cover universes) on the history, then evaluate the
+    /// resulting placement against the future.
+    #[must_use]
+    pub fn split_at_day(&self, day: u64) -> (Dataset, Dataset) {
+        let cutoff = day * u64::from(dosn_interval::SECONDS_PER_DAY);
+        let split = self
+            .activities
+            .partition_point(|a| a.timestamp().as_secs() < cutoff);
+        let history = Dataset::new(
+            format!("{}[..day {day}]", self.name),
+            self.graph.clone(),
+            self.activities[..split].to_vec(),
+        )
+        .expect("subset of validated activities");
+        let future = Dataset::new(
+            format!("{}[day {day}..]", self.name),
+            self.graph.clone(),
+            self.activities[split..].to_vec(),
+        )
+        .expect("subset of validated activities");
+        (history, future)
+    }
+
+    /// Users whose replica-candidate count equals `degree` — the paper
+    /// averages its per-degree plots over exactly these users.
+    pub fn users_with_degree(&self, degree: usize) -> Vec<UserId> {
+        self.users()
+            .filter(|&u| self.replica_candidates(u).len() == degree)
+            .collect()
+    }
+
+    /// Summary statistics (user count, mean degree, activity counts,
+    /// trace span).
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::Timestamp;
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::new(t)
+    }
+
+    fn small_dataset() -> Dataset {
+        // 0 -- 1, 0 -- 2, 1 -- 2, 3 isolated-ish (edge to 0).
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        b.add_edge(UserId::new(0), UserId::new(2));
+        b.add_edge(UserId::new(1), UserId::new(2));
+        b.add_edge(UserId::new(3), UserId::new(0));
+        let activities = vec![
+            Activity::new(UserId::new(1), UserId::new(0), ts(50)),
+            Activity::new(UserId::new(2), UserId::new(0), ts(10)),
+            Activity::new(UserId::new(1), UserId::new(0), ts(30)),
+            Activity::new(UserId::new(0), UserId::new(1), ts(20)),
+            Activity::new(UserId::new(3), UserId::new(3), ts(40)),
+        ];
+        Dataset::new("small", b.build(), activities).unwrap()
+    }
+
+    #[test]
+    fn activities_are_sorted() {
+        let ds = small_dataset();
+        let times: Vec<u64> = ds.activities().iter().map(|a| a.timestamp().as_secs()).collect();
+        assert_eq!(times, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn received_and_created_indices() {
+        let ds = small_dataset();
+        let recv0: Vec<u64> = ds
+            .received_activities(UserId::new(0))
+            .map(|a| a.timestamp().as_secs())
+            .collect();
+        assert_eq!(recv0, vec![10, 30, 50]);
+        assert_eq!(ds.created_activities(UserId::new(1)).len(), 2);
+        assert_eq!(ds.received_activities(UserId::new(2)).len(), 0);
+    }
+
+    #[test]
+    fn participation_counts_self_activity_once() {
+        let ds = small_dataset();
+        assert_eq!(ds.participation_count(UserId::new(3)), 1);
+        // User 0: received 3, created 1, no self activities.
+        assert_eq!(ds.participation_count(UserId::new(0)), 4);
+    }
+
+    #[test]
+    fn interaction_counts_rank_wall_posters() {
+        let ds = small_dataset();
+        let counts = ds.interaction_counts(UserId::new(0));
+        // Candidates sorted: 1, 2, 3.
+        assert_eq!(
+            counts,
+            vec![
+                (UserId::new(1), 2),
+                (UserId::new(2), 1),
+                (UserId::new(3), 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_activity() {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        let bad = vec![Activity::new(UserId::new(9), UserId::new(0), ts(0))];
+        assert!(matches!(
+            Dataset::new("bad", b.build(), bad),
+            Err(TraceError::ActivityUserOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn filter_drops_inactive_users_and_remaps() {
+        let ds = small_dataset();
+        let filtered = ds.filter_min_participation(2);
+        // Users 0 (4), 1 (3), 2 (1), 3 (1): keep 0 and 1.
+        assert_eq!(filtered.user_count(), 2);
+        assert_eq!(filtered.graph().edge_count(), 2); // the 0-1 friendship
+        // Activities among {0,1} survive: ts 20, 30, 50.
+        assert_eq!(filtered.activity_count(), 3);
+        for a in filtered.activities() {
+            assert!(a.creator().index() < 2 && a.receiver().index() < 2);
+        }
+    }
+
+    #[test]
+    fn filter_zero_keeps_everything() {
+        let ds = small_dataset();
+        let same = ds.filter_min_participation(0);
+        assert_eq!(same.user_count(), ds.user_count());
+        assert_eq!(same.activity_count(), ds.activity_count());
+    }
+
+    #[test]
+    fn replica_candidates_follow_graph_kind() {
+        let ds = small_dataset();
+        assert_eq!(
+            ds.replica_candidates(UserId::new(0)),
+            &[UserId::new(1), UserId::new(2), UserId::new(3)]
+        );
+        // Directed case: candidates are followers (in-neighbors).
+        let mut b = GraphBuilder::directed();
+        b.add_edge(UserId::new(1), UserId::new(0)); // 1 follows 0
+        let dds = Dataset::new("d", b.build(), Vec::new()).unwrap();
+        assert_eq!(dds.replica_candidates(UserId::new(0)), &[UserId::new(1)]);
+        assert!(dds.replica_candidates(UserId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn split_at_day_partitions_the_trace() {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        let day = u64::from(dosn_interval::SECONDS_PER_DAY);
+        let acts = vec![
+            Activity::new(UserId::new(0), UserId::new(1), ts(10)),
+            Activity::new(UserId::new(1), UserId::new(0), ts(day - 1)),
+            Activity::new(UserId::new(1), UserId::new(0), ts(day)),
+            Activity::new(UserId::new(0), UserId::new(1), ts(3 * day)),
+        ];
+        let ds = Dataset::new("s", b.build(), acts).unwrap();
+        let (history, future) = ds.split_at_day(1);
+        assert_eq!(history.activity_count(), 2);
+        assert_eq!(future.activity_count(), 2);
+        assert_eq!(history.user_count(), ds.user_count());
+        assert_eq!(future.graph(), ds.graph());
+        assert!(history
+            .activities()
+            .iter()
+            .all(|a| a.timestamp().day_index() == 0));
+        assert!(future
+            .activities()
+            .iter()
+            .all(|a| a.timestamp().day_index() >= 1));
+        // Edge splits: everything-history and everything-future.
+        let (all, none) = ds.split_at_day(100);
+        assert_eq!(all.activity_count(), 4);
+        assert_eq!(none.activity_count(), 0);
+        let (none2, all2) = ds.split_at_day(0);
+        assert_eq!(none2.activity_count(), 0);
+        assert_eq!(all2.activity_count(), 4);
+    }
+
+    #[test]
+    fn users_with_degree_selects_by_candidate_count() {
+        let ds = small_dataset();
+        assert_eq!(ds.users_with_degree(3), vec![UserId::new(0)]);
+        assert_eq!(
+            ds.users_with_degree(2),
+            vec![UserId::new(1), UserId::new(2)]
+        );
+        assert_eq!(ds.users_with_degree(7), Vec::<UserId>::new());
+    }
+}

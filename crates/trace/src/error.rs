@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+use dosn_socialgraph::UserId;
+
+/// Error produced while building or parsing a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An activity referenced a user outside the graph.
+    ActivityUserOutOfRange {
+        /// The offending user.
+        user: UserId,
+        /// Number of users in the graph.
+        user_count: usize,
+    },
+    /// A line of an input file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with the line.
+        reason: String,
+    },
+    /// A synthetic-generation parameter was invalid.
+    InvalidSynthParams {
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::ActivityUserOutOfRange { user, user_count } => {
+                write!(
+                    f,
+                    "activity references user {user} outside the graph of {user_count} users"
+                )
+            }
+            TraceError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            TraceError::InvalidSynthParams { reason } => {
+                write!(f, "invalid synthetic trace parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+        let e = TraceError::Parse {
+            line: 7,
+            reason: "missing field".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Activity-trace datasets for the `dosn` decentralized OSN study.
+//!
+//! The study replays *activity traces* — timestamped interactions between
+//! users of a social graph — to infer online times, pick replica
+//! locations, and measure availability. This crate supplies those traces:
+//!
+//! * [`Activity`] — one interaction: a creator, the receiver on whose
+//!   profile it lands, and a timestamp.
+//! * [`Dataset`] — a social graph plus its chronologically-sorted
+//!   activity trace, with per-user indices (received/created activity,
+//!   interaction counts) and the paper's ≥ 10-activities filter.
+//! * [`parse`] — parsers for the on-disk text formats (an edge list and a
+//!   `receiver creator timestamp` activity list), so the original
+//!   Facebook New Orleans / Twitter crawls drop in if available.
+//! * [`synth`] — a seeded synthetic trace generator, plus
+//!   [`facebook_like`] and [`twitter_like`] presets calibrated to the
+//!   filtered statistics the paper reports (13 884 users at mean degree
+//!   41 with ~50 activities each; 14 933 users at mean follower degree
+//!   76). These stand in for the proprietary crawls; see `DESIGN.md` for
+//!   the substitution argument.
+//!
+//! [`facebook_like`]: synth::facebook_like
+//! [`twitter_like`]: synth::twitter_like
+//!
+//! # Examples
+//!
+//! ```
+//! use dosn_trace::synth;
+//!
+//! // A small Facebook-like dataset: undirected graph + wall posts.
+//! let ds = synth::facebook_like(500, 7).expect("generation succeeds");
+//! assert_eq!(ds.user_count(), 500);
+//! assert!(ds.activity_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod activity;
+mod dataset;
+mod error;
+pub mod parse;
+mod stats;
+pub mod synth;
+
+pub use activity::Activity;
+pub use dataset::Dataset;
+pub use error::TraceError;
+pub use stats::DatasetStats;

@@ -1,0 +1,359 @@
+//! Parsers for the on-disk trace formats.
+//!
+//! Two plain-text files describe a dataset, matching the layout of the
+//! published Facebook New Orleans / Twitter crawls the paper used:
+//!
+//! * **edge list** — one edge per line, `a b`, whitespace separated
+//!   external user ids. For a directed dataset, `a b` means *`a` follows
+//!   `b`*.
+//! * **activity list** — one activity per line,
+//!   `receiver creator timestamp`: `creator` posted on `receiver`'s
+//!   profile at Unix-style `timestamp` (seconds).
+//!
+//! Lines starting with `#` or `%` and blank lines are ignored. External
+//! ids are arbitrary `u64`s and are remapped to dense [`UserId`]s; the
+//! mapping is returned so results can be reported in external ids.
+
+use std::collections::HashMap;
+
+use dosn_interval::Timestamp;
+use dosn_socialgraph::{GraphBuilder, UserId};
+
+use crate::activity::Activity;
+use crate::dataset::Dataset;
+use crate::error::TraceError;
+
+/// Whether a parsed edge list is a friendship or follower graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParseKind {
+    /// Undirected friendships (Facebook-style).
+    Undirected,
+    /// Directed follows (Twitter-style): `a b` means `a` follows `b`.
+    Directed,
+}
+
+/// A parsed dataset plus the dense-to-external user id mapping.
+#[derive(Debug, Clone)]
+pub struct ParsedDataset {
+    /// The dataset, over dense user ids.
+    pub dataset: Dataset,
+    /// `external_ids[u.index()]` is the external id of dense user `u`.
+    pub external_ids: Vec<u64>,
+}
+
+impl ParsedDataset {
+    /// The external id of a dense user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn external_id(&self, user: UserId) -> u64 {
+        self.external_ids[user.index()]
+    }
+}
+
+/// Parses a dataset from in-memory edge-list and activity-list text.
+///
+/// Users mentioned only in the activity list still become graph nodes
+/// (with no edges), mirroring how the original crawls contain wall posts
+/// between users whose friendship edge fell outside the crawl window.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] with a 1-based line number for malformed
+/// lines.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_trace::parse::{parse_dataset, ParseKind};
+///
+/// # fn main() -> Result<(), dosn_trace::TraceError> {
+/// let edges = "# friends\n100 200\n200 300\n";
+/// let acts = "100 200 1000\n300 200 2000\n";
+/// let parsed = parse_dataset("demo", edges, acts, ParseKind::Undirected)?;
+/// assert_eq!(parsed.dataset.user_count(), 3);
+/// assert_eq!(parsed.dataset.activity_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_dataset(
+    name: &str,
+    edges_text: &str,
+    activities_text: &str,
+    kind: ParseKind,
+) -> Result<ParsedDataset, TraceError> {
+    let mut ids = IdInterner::new();
+    let edges = parse_edge_lines(edges_text, &mut ids)?;
+    let raw_activities = parse_activity_lines(activities_text, &mut ids)?;
+
+    let mut builder = match kind {
+        ParseKind::Undirected => GraphBuilder::undirected(),
+        ParseKind::Directed => GraphBuilder::directed(),
+    };
+    if !ids.external.is_empty() {
+        builder.ensure_node(UserId::from_index(ids.external.len() - 1));
+    }
+    for (a, b) in edges {
+        builder.add_edge(a, b);
+    }
+    let activities = raw_activities
+        .into_iter()
+        .map(|(receiver, creator, ts)| Activity::new(creator, receiver, ts))
+        .collect();
+    let dataset = Dataset::new(name, builder.build(), activities)?;
+    Ok(ParsedDataset {
+        dataset,
+        external_ids: ids.external,
+    })
+}
+
+/// Serializes a dataset's edges into the edge-list text format this
+/// module parses, using dense user ids as external ids. Each undirected
+/// friendship is written once.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_trace::parse::{parse_dataset, write_edges, write_activities, ParseKind};
+/// use dosn_trace::synth;
+///
+/// # fn main() -> Result<(), dosn_trace::TraceError> {
+/// let original = synth::facebook_like(50, 1).expect("generation succeeds");
+/// let edges = write_edges(&original);
+/// let activities = write_activities(&original);
+/// let reparsed = parse_dataset("copy", &edges, &activities, ParseKind::Undirected)?;
+/// assert_eq!(reparsed.dataset.activity_count(), original.activity_count());
+/// assert_eq!(reparsed.dataset.graph().edge_count(), original.graph().edge_count());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_edges(dataset: &Dataset) -> String {
+    let graph = dataset.graph();
+    let mut out = String::from("# edge list: a b\n");
+    for u in graph.nodes() {
+        for &v in graph.out_neighbors(u) {
+            // For undirected graphs emit each pair once.
+            if graph.kind() == dosn_socialgraph::EdgeKind::Directed || u < v {
+                out.push_str(&format!("{} {}\n", u.as_u32(), v.as_u32()));
+            }
+        }
+    }
+    out
+}
+
+/// Serializes a dataset's activities into the `receiver creator
+/// timestamp` text format this module parses.
+pub fn write_activities(dataset: &Dataset) -> String {
+    let mut out = String::from("# activities: receiver creator timestamp\n");
+    for a in dataset.activities() {
+        out.push_str(&format!(
+            "{} {} {}\n",
+            a.receiver().as_u32(),
+            a.creator().as_u32(),
+            a.timestamp().as_secs()
+        ));
+    }
+    out
+}
+
+/// Maps arbitrary external `u64` ids to dense `UserId`s in first-seen
+/// order.
+#[derive(Debug, Default)]
+struct IdInterner {
+    map: HashMap<u64, UserId>,
+    external: Vec<u64>,
+}
+
+impl IdInterner {
+    fn new() -> Self {
+        IdInterner::default()
+    }
+
+    fn intern(&mut self, external: u64) -> UserId {
+        *self.map.entry(external).or_insert_with(|| {
+            let id = UserId::from_index(self.external.len());
+            self.external.push(external);
+            id
+        })
+    }
+}
+
+fn content_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#') && !l.starts_with('%'))
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, TraceError> {
+    let raw = field.ok_or_else(|| TraceError::Parse {
+        line,
+        reason: format!("missing {what}"),
+    })?;
+    raw.parse().map_err(|_| TraceError::Parse {
+        line,
+        reason: format!("invalid {what} {raw:?}"),
+    })
+}
+
+fn parse_edge_lines(
+    text: &str,
+    ids: &mut IdInterner,
+) -> Result<Vec<(UserId, UserId)>, TraceError> {
+    let mut edges = Vec::new();
+    for (line, l) in content_lines(text) {
+        let mut fields = l.split_whitespace();
+        let a: u64 = parse_field(fields.next(), line, "source user id")?;
+        let b: u64 = parse_field(fields.next(), line, "target user id")?;
+        if fields.next().is_some() {
+            return Err(TraceError::Parse {
+                line,
+                reason: "unexpected extra field on edge line".into(),
+            });
+        }
+        edges.push((ids.intern(a), ids.intern(b)));
+    }
+    Ok(edges)
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_activity_lines(
+    text: &str,
+    ids: &mut IdInterner,
+) -> Result<Vec<(UserId, UserId, Timestamp)>, TraceError> {
+    let mut activities = Vec::new();
+    for (line, l) in content_lines(text) {
+        let mut fields = l.split_whitespace();
+        let receiver: u64 = parse_field(fields.next(), line, "receiver user id")?;
+        let creator: u64 = parse_field(fields.next(), line, "creator user id")?;
+        let ts: u64 = parse_field(fields.next(), line, "timestamp")?;
+        if fields.next().is_some() {
+            return Err(TraceError::Parse {
+                line,
+                reason: "unexpected extra field on activity line".into(),
+            });
+        }
+        activities.push((ids.intern(receiver), ids.intern(creator), Timestamp::new(ts)));
+    }
+    Ok(activities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EDGES: &str = "\
+# sample friendship edges
+1000 2000
+2000 3000
+
+% another comment style
+1000 3000
+";
+    const ACTS: &str = "\
+# receiver creator timestamp
+1000 2000 100
+3000 2000 50
+1000 1000 200
+";
+
+    #[test]
+    fn parses_sample_undirected() {
+        let p = parse_dataset("s", EDGES, ACTS, ParseKind::Undirected).unwrap();
+        assert_eq!(p.dataset.user_count(), 3);
+        assert_eq!(p.dataset.graph().edge_count(), 6);
+        assert_eq!(p.dataset.activity_count(), 3);
+        // First-seen order: 1000 -> u0, 2000 -> u1, 3000 -> u2.
+        assert_eq!(p.external_id(UserId::new(0)), 1000);
+        assert_eq!(p.external_id(UserId::new(2)), 3000);
+        // Activities sorted by time: 50, 100, 200.
+        let first = p.dataset.activities()[0];
+        assert_eq!(first.receiver(), UserId::new(2));
+        assert_eq!(first.creator(), UserId::new(1));
+    }
+
+    #[test]
+    fn parses_directed_followers() {
+        let p = parse_dataset("t", "5 6\n7 6\n", "", ParseKind::Directed).unwrap();
+        // 5 and 7 follow 6; 6's replica candidates are its followers.
+        let six = UserId::new(1);
+        assert_eq!(p.external_id(six), 6);
+        assert_eq!(p.dataset.replica_candidates(six).len(), 2);
+    }
+
+    #[test]
+    fn activity_only_users_become_nodes() {
+        let p = parse_dataset("a", "", "9 8 1\n", ParseKind::Undirected).unwrap();
+        assert_eq!(p.dataset.user_count(), 2);
+        assert_eq!(p.dataset.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let err = parse_dataset("b", "1 2\nbogus\n", "", ParseKind::Undirected).unwrap_err();
+        match err {
+            TraceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = parse_dataset("b", "", "1 2\n1 2 3 4\n", ParseKind::Undirected).unwrap_err();
+        match err {
+            TraceError::Parse { line, reason } => {
+                // Line 1 is missing its timestamp.
+                assert_eq!(line, 1);
+                assert!(reason.contains("timestamp"), "reason: {reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extra_edge_field_rejected() {
+        let err = parse_dataset("c", "1 2 3\n", "", ParseKind::Undirected).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_is_empty_dataset() {
+        let p = parse_dataset("e", "", "", ParseKind::Undirected).unwrap();
+        assert_eq!(p.dataset.user_count(), 0);
+        assert_eq!(p.dataset.activity_count(), 0);
+    }
+
+    #[test]
+    fn write_then_parse_round_trips_undirected() {
+        let p = parse_dataset("orig", EDGES, ACTS, ParseKind::Undirected).unwrap();
+        let edges = write_edges(&p.dataset);
+        let acts = write_activities(&p.dataset);
+        let back = parse_dataset("copy", &edges, &acts, ParseKind::Undirected).unwrap();
+        assert_eq!(back.dataset.user_count(), p.dataset.user_count());
+        assert_eq!(
+            back.dataset.graph().edge_count(),
+            p.dataset.graph().edge_count()
+        );
+        // Activities preserved with identical timestamps (ids may be
+        // renumbered by first-seen order, but counts per timestamp
+        // match).
+        let times = |d: &Dataset| -> Vec<u64> {
+            d.activities().iter().map(|a| a.timestamp().as_secs()).collect()
+        };
+        assert_eq!(times(&back.dataset), times(&p.dataset));
+    }
+
+    #[test]
+    fn write_then_parse_round_trips_directed() {
+        let p = parse_dataset("orig", "5 6\n7 6\n6 5\n", "6 5 9\n", ParseKind::Directed).unwrap();
+        let edges = write_edges(&p.dataset);
+        let acts = write_activities(&p.dataset);
+        let back = parse_dataset("copy", &edges, &acts, ParseKind::Directed).unwrap();
+        assert_eq!(
+            back.dataset.graph().edge_count(),
+            p.dataset.graph().edge_count()
+        );
+        assert_eq!(back.dataset.activity_count(), 1);
+    }
+}

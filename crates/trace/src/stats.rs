@@ -1,0 +1,124 @@
+use dosn_socialgraph::DegreeHistogram;
+
+use crate::dataset::Dataset;
+
+/// Summary statistics of a [`Dataset`], mirroring the numbers the paper
+/// reports in Section IV-A.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_trace::synth;
+///
+/// let ds = synth::facebook_like(300, 1).expect("generation succeeds");
+/// let stats = ds.stats();
+/// assert_eq!(stats.user_count, 300);
+/// assert!(stats.mean_degree > 0.0);
+/// println!("{stats}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of users.
+    pub user_count: usize,
+    /// Number of stored directed edges.
+    pub edge_count: usize,
+    /// Mean replica-candidate degree (friends or followers).
+    pub mean_degree: f64,
+    /// Largest replica-candidate degree.
+    pub max_degree: usize,
+    /// The degree held by the most users.
+    pub mode_degree: Option<usize>,
+    /// Number of activities.
+    pub activity_count: usize,
+    /// Mean activities each user participates in.
+    pub mean_participation: f64,
+    /// Days between the first and last activity (inclusive of partial
+    /// days), zero for an empty trace.
+    pub span_days: u64,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a dataset.
+    pub fn of(dataset: &Dataset) -> Self {
+        let hist = DegreeHistogram::of_replica_candidates(dataset.graph());
+        let total_participation: usize = dataset
+            .users()
+            .map(|u| dataset.participation_count(u))
+            .sum();
+        let span_days = match (dataset.activities().first(), dataset.activities().last()) {
+            (Some(first), Some(last)) => {
+                last.timestamp().day_index() - first.timestamp().day_index() + 1
+            }
+            _ => 0,
+        };
+        DatasetStats {
+            user_count: dataset.user_count(),
+            edge_count: dataset.graph().edge_count(),
+            mean_degree: hist.mean(),
+            max_degree: hist.max_degree(),
+            mode_degree: hist.mode(),
+            activity_count: dataset.activity_count(),
+            mean_participation: if dataset.user_count() == 0 {
+                0.0
+            } else {
+                total_participation as f64 / dataset.user_count() as f64
+            },
+            span_days,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "users:              {}", self.user_count)?;
+        writeln!(f, "directed edges:     {}", self.edge_count)?;
+        writeln!(f, "mean degree:        {:.2}", self.mean_degree)?;
+        writeln!(f, "max degree:         {}", self.max_degree)?;
+        writeln!(
+            f,
+            "mode degree:        {}",
+            self.mode_degree.map_or_else(|| "-".into(), |d| d.to_string())
+        )?;
+        writeln!(f, "activities:         {}", self.activity_count)?;
+        writeln!(f, "mean participation: {:.2}", self.mean_participation)?;
+        write!(f, "trace span (days):  {}", self.span_days)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::Activity;
+    use dosn_interval::Timestamp;
+    use dosn_socialgraph::{GraphBuilder, UserId};
+
+    #[test]
+    fn stats_of_tiny_dataset() {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(UserId::new(0), UserId::new(1));
+        let acts = vec![
+            Activity::new(UserId::new(0), UserId::new(1), Timestamp::from_day_and_offset(0, 10)),
+            Activity::new(UserId::new(1), UserId::new(0), Timestamp::from_day_and_offset(2, 10)),
+        ];
+        let ds = Dataset::new("t", b.build(), acts).unwrap();
+        let s = ds.stats();
+        assert_eq!(s.user_count, 2);
+        assert_eq!(s.edge_count, 2);
+        assert!((s.mean_degree - 1.0).abs() < 1e-12);
+        assert_eq!(s.activity_count, 2);
+        assert_eq!(s.span_days, 3);
+        assert!((s.mean_participation - 2.0).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("users"));
+        assert!(text.contains("trace span"));
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let ds = Dataset::new("e", GraphBuilder::undirected().build(), Vec::new()).unwrap();
+        let s = ds.stats();
+        assert_eq!(s.user_count, 0);
+        assert_eq!(s.span_days, 0);
+        assert_eq!(s.mean_participation, 0.0);
+    }
+}

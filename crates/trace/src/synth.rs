@@ -1,0 +1,763 @@
+//! Seeded synthetic activity-trace generation.
+//!
+//! The paper's crawls (Facebook New Orleans wall posts, a 2009 Twitter
+//! mention trace) are not redistributable, so this module generates
+//! statistically-matched stand-ins. The generator reproduces the three
+//! marginals the study's metrics actually consume:
+//!
+//! 1. **graph structure** — heavy-tailed replica-candidate degrees with a
+//!    configurable mode/mean (see
+//!    [`dosn_socialgraph::generate::lognormal_friends`]);
+//! 2. **interaction structure** — who posts on whose profile, with a
+//!    skew toward a few strong ties so the MostActive policy has signal;
+//! 3. **temporal structure** — activity times-of-day drawn from per-user
+//!    diurnal peaks, so friends' online times overlap realistically.
+//!
+//! Everything is deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dosn_interval::{Timestamp, SECONDS_PER_DAY, SECONDS_PER_HOUR};
+use dosn_socialgraph::generate::{
+    barabasi_albert, directed_preferential, erdos_renyi, lognormal_friends,
+    lognormal_followers, standard_normal, stochastic_block, watts_strogatz,
+};
+use dosn_socialgraph::SocialGraph;
+
+use crate::activity::Activity;
+use crate::dataset::Dataset;
+use crate::error::TraceError;
+
+/// Which synthetic graph model backs the trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum GraphSpec {
+    /// Undirected lognormal-degree configuration model (the default for
+    /// Facebook-like traces).
+    LognormalFriends {
+        /// Log-mean of the degree distribution.
+        mu: f64,
+        /// Log-standard-deviation of the degree distribution.
+        sigma: f64,
+    },
+    /// Directed lognormal-follower-count model (the default for
+    /// Twitter-like traces).
+    LognormalFollowers {
+        /// Log-mean of the follower-count distribution.
+        mu: f64,
+        /// Log-standard-deviation of the follower-count distribution.
+        sigma: f64,
+    },
+    /// Undirected Barabási–Albert preferential attachment.
+    BarabasiAlbert {
+        /// Edges added per arriving node.
+        m: usize,
+    },
+    /// Directed preferential attachment on follower counts.
+    DirectedPreferential {
+        /// Follows created per arriving node.
+        m: usize,
+    },
+    /// Undirected Erdős–Rényi.
+    ErdosRenyi {
+        /// Edge probability.
+        p: f64,
+    },
+    /// Undirected Watts–Strogatz small world.
+    WattsStrogatz {
+        /// Ring degree (even).
+        k: usize,
+        /// Rewiring probability.
+        beta: f64,
+    },
+    /// Undirected stochastic block model: `communities` equal-sized
+    /// groups with edge probability `p_in` inside and `p_out` across.
+    /// Only this spec supports [`TraceSynthesizer::temporal_homophily`].
+    StochasticBlock {
+        /// Number of equal-sized communities.
+        communities: usize,
+        /// Within-community edge probability.
+        p_in: f64,
+        /// Cross-community edge probability.
+        p_out: f64,
+    },
+}
+
+/// A weighted mixture of diurnal activity peaks.
+///
+/// Each user draws a personal peak hour from one mixture component
+/// (normal around the component's mean hour), plus a personal spread;
+/// their activities' times-of-day are then normal around that personal
+/// peak. This produces the overlapping-but-not-identical online patterns
+/// that make replica placement non-trivial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalProfile {
+    /// `(weight, mean_hour, std_hours)` mixture components.
+    components: Vec<(f64, f64, f64)>,
+    /// Range of per-user activity spread, in hours.
+    user_spread_hours: (f64, f64),
+}
+
+impl DiurnalProfile {
+    /// The default profile: a strong evening peak, a midday peak, and a
+    /// diffuse night-owl component, matching the broad shape of measured
+    /// OSN activity.
+    pub fn typical() -> Self {
+        DiurnalProfile {
+            components: vec![(0.55, 20.5, 1.5), (0.30, 13.0, 2.0), (0.15, 2.0, 3.5)],
+            user_spread_hours: (1.0, 3.0),
+        }
+    }
+
+    /// A single tight peak; useful in tests where overlap should be
+    /// near-certain.
+    pub fn single_peak(mean_hour: f64, std_hours: f64) -> Self {
+        DiurnalProfile {
+            components: vec![(1.0, mean_hour, std_hours)],
+            user_spread_hours: (0.5, 1.0),
+        }
+    }
+
+    /// Draws a personal `(peak_second, spread_seconds)` pair.
+    fn sample_user<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, f64) {
+        let total: f64 = self.components.iter().map(|c| c.0).sum();
+        let mut pick = rng.gen::<f64>() * total;
+        let mut chosen = self.components[self.components.len() - 1];
+        for &c in &self.components {
+            if pick < c.0 {
+                chosen = c;
+                break;
+            }
+            pick -= c.0;
+        }
+        let (_, mean_hour, std_hours) = chosen;
+        let peak_hour = mean_hour + std_hours * standard_normal(rng);
+        let (lo, hi) = self.user_spread_hours;
+        let spread_hours = lo + (hi - lo) * rng.gen::<f64>();
+        (
+            peak_hour * f64::from(SECONDS_PER_HOUR),
+            spread_hours * f64::from(SECONDS_PER_HOUR),
+        )
+    }
+}
+
+/// Builder for synthetic activity traces.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_trace::synth::{GraphSpec, TraceSynthesizer};
+///
+/// # fn main() -> Result<(), dosn_trace::TraceError> {
+/// let ds = TraceSynthesizer::new("tiny", 100)
+///     .graph(GraphSpec::BarabasiAlbert { m: 3 })
+///     .days(7)
+///     .mean_activities(20.0)
+///     .generate(42)?;
+/// assert_eq!(ds.user_count(), 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceSynthesizer {
+    name: String,
+    users: usize,
+    graph: GraphSpec,
+    days: u64,
+    mean_activities: f64,
+    activity_sigma: f64,
+    self_activity_fraction: f64,
+    diurnal: DiurnalProfile,
+    weekend_shift_hours: f64,
+    weekend_rate_multiplier: f64,
+    temporal_homophily: f64,
+}
+
+impl TraceSynthesizer {
+    /// Starts a synthesizer for `users` users with Facebook-like
+    /// defaults: lognormal friend degrees (mode ≈ 10, mean ≈ 41), a
+    /// 14-day trace, ~50 activities per user, and the typical diurnal
+    /// profile.
+    pub fn new(name: impl Into<String>, users: usize) -> Self {
+        TraceSynthesizer {
+            name: name.into(),
+            users,
+            graph: GraphSpec::LognormalFriends {
+                mu: 3.24,
+                sigma: 0.97,
+            },
+            days: 14,
+            // Participation (created + received) then averages ~50, the
+            // paper's filtered Facebook figure.
+            mean_activities: 27.0,
+            activity_sigma: 0.6,
+            self_activity_fraction: 0.15,
+            diurnal: DiurnalProfile::typical(),
+            weekend_shift_hours: 0.0,
+            weekend_rate_multiplier: 1.0,
+            temporal_homophily: 0.0,
+        }
+    }
+
+    /// Sets the graph model.
+    pub fn graph(&mut self, graph: GraphSpec) -> &mut Self {
+        self.graph = graph;
+        self
+    }
+
+    /// Sets the trace length in days.
+    pub fn days(&mut self, days: u64) -> &mut Self {
+        self.days = days;
+        self
+    }
+
+    /// Sets the mean number of activities each user creates.
+    pub fn mean_activities(&mut self, mean: f64) -> &mut Self {
+        self.mean_activities = mean;
+        self
+    }
+
+    /// Sets the lognormal sigma of per-user activity counts.
+    pub fn activity_sigma(&mut self, sigma: f64) -> &mut Self {
+        self.activity_sigma = sigma;
+        self
+    }
+
+    /// Sets the fraction of activities a user posts on their own profile.
+    pub fn self_activity_fraction(&mut self, fraction: f64) -> &mut Self {
+        self.self_activity_fraction = fraction;
+        self
+    }
+
+    /// Sets the diurnal profile.
+    pub fn diurnal(&mut self, profile: DiurnalProfile) -> &mut Self {
+        self.diurnal = profile;
+        self
+    }
+
+    /// Shifts each user's activity peak by `hours` on Saturdays and
+    /// Sundays (day 0 of the trace is a Monday) — people sleep in and
+    /// stay up later on weekends.
+    pub fn weekend_shift_hours(&mut self, hours: f64) -> &mut Self {
+        self.weekend_shift_hours = hours;
+        self
+    }
+
+    /// Multiplies the chance an activity lands on a weekend day
+    /// (relative to a weekday) by `multiplier`; clamped to be
+    /// non-negative.
+    pub fn weekend_rate_multiplier(&mut self, multiplier: f64) -> &mut Self {
+        self.weekend_rate_multiplier = multiplier.max(0.0);
+        self
+    }
+
+    /// Temporal homophily strength in `[0, 1]`: with this probability a
+    /// user adopts their *community's* shared activity peak instead of a
+    /// personal one, so friends tend to be online together. Requires
+    /// [`GraphSpec::StochasticBlock`] (communities are the SBM blocks);
+    /// ignored otherwise. Clamped to `[0, 1]`.
+    pub fn temporal_homophily(&mut self, strength: f64) -> &mut Self {
+        self.temporal_homophily = strength.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates the dataset, deterministically for a given `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidSynthParams`] for inconsistent
+    /// parameters, and propagates graph-generator parameter errors.
+    pub fn generate(&self, seed: u64) -> Result<Dataset, TraceError> {
+        if self.users < 2 {
+            return Err(TraceError::InvalidSynthParams {
+                reason: "need at least two users",
+            });
+        }
+        if self.days == 0 {
+            return Err(TraceError::InvalidSynthParams {
+                reason: "trace must span at least one day",
+            });
+        }
+        if self.mean_activities <= 0.0 || !self.mean_activities.is_finite() {
+            return Err(TraceError::InvalidSynthParams {
+                reason: "mean activity count must be positive",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.self_activity_fraction) {
+            return Err(TraceError::InvalidSynthParams {
+                reason: "self-activity fraction must lie in [0, 1]",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = self.build_graph(&mut rng)?;
+        let activities = self.build_activities(&graph, &mut rng);
+        Dataset::new(self.name.clone(), graph, activities)
+    }
+
+    fn build_graph(&self, rng: &mut StdRng) -> Result<SocialGraph, TraceError> {
+        let n = self.users;
+        let g = match self.graph {
+            GraphSpec::LognormalFriends { mu, sigma } => lognormal_friends(n, mu, sigma, rng),
+            GraphSpec::LognormalFollowers { mu, sigma } => {
+                lognormal_followers(n, mu, sigma, rng)
+            }
+            GraphSpec::BarabasiAlbert { m } => barabasi_albert(n, m, rng),
+            GraphSpec::DirectedPreferential { m } => directed_preferential(n, m, rng),
+            GraphSpec::ErdosRenyi { p } => erdos_renyi(n, p, rng),
+            GraphSpec::WattsStrogatz { k, beta } => watts_strogatz(n, k, beta, rng),
+            GraphSpec::StochasticBlock {
+                communities,
+                p_in,
+                p_out,
+            } => {
+                let sizes = community_sizes(n, communities);
+                stochastic_block(&sizes, p_in, p_out, rng)
+            }
+        };
+        g.map_err(|e| TraceError::InvalidSynthParams {
+            reason: match e {
+                dosn_socialgraph::GraphError::InvalidGeneratorParams { reason } => reason,
+                _ => "graph generation failed",
+            },
+        })
+    }
+
+    fn build_activities(&self, graph: &SocialGraph, rng: &mut StdRng) -> Vec<Activity> {
+        // Community-shared peaks for temporal homophily (SBM only).
+        let community_peaks: Option<(Vec<usize>, Vec<f64>)> = match self.graph {
+            GraphSpec::StochasticBlock { communities, .. }
+                if self.temporal_homophily > 0.0 =>
+            {
+                let sizes = community_sizes(self.users, communities);
+                let mut labels = Vec::with_capacity(self.users);
+                for (c, &size) in sizes.iter().enumerate() {
+                    labels.extend(std::iter::repeat_n(c, size));
+                }
+                let peaks = (0..communities)
+                    .map(|_| self.diurnal.sample_user(rng).0)
+                    .collect();
+                Some((labels, peaks))
+            }
+            _ => None,
+        };
+        let mut activities = Vec::new();
+        for u in graph.nodes() {
+            let (mut peak, spread) = self.diurnal.sample_user(rng);
+            if let Some((labels, peaks)) = &community_peaks {
+                if rng.gen::<f64>() < self.temporal_homophily {
+                    peak = peaks[labels[u.index()]];
+                }
+            }
+            let count = self.sample_activity_count(rng);
+            // Partners: people on whose profile u posts. Undirected:
+            // friends. Directed: followees (u follows them, so u is in
+            // their follower/replica set).
+            let partners = graph.out_neighbors(u);
+            // A fixed per-user preference order over partners creates a
+            // few strong ties: partner at preference rank r is picked
+            // with weight ~ (r+1)^-1.2.
+            let pref = sample_preference_weights(partners.len(), rng);
+            for _ in 0..count {
+                let day = self.sample_day(rng);
+                let weekend = matches!(day % 7, 5 | 6);
+                let shift = if weekend {
+                    self.weekend_shift_hours * 3_600.0
+                } else {
+                    0.0
+                };
+                let tod = wrap_time_of_day(peak + shift + spread * standard_normal(rng));
+                let ts = Timestamp::from_day_and_offset(day, tod);
+                let receiver = if partners.is_empty()
+                    || rng.gen::<f64>() < self.self_activity_fraction
+                {
+                    u
+                } else {
+                    partners[weighted_pick(&pref, rng)]
+                };
+                activities.push(Activity::new(u, receiver, ts));
+            }
+        }
+        activities
+    }
+
+    /// Samples a day index, weighting weekend days (trace day 0 is a
+    /// Monday) by the configured multiplier.
+    fn sample_day(&self, rng: &mut StdRng) -> u64 {
+        if (self.weekend_rate_multiplier - 1.0).abs() < 1e-12 {
+            return rng.gen_range(0..self.days);
+        }
+        let weight = |day: u64| -> f64 {
+            if matches!(day % 7, 5 | 6) {
+                self.weekend_rate_multiplier
+            } else {
+                1.0
+            }
+        };
+        let total: f64 = (0..self.days).map(weight).sum();
+        let mut target = rng.gen::<f64>() * total;
+        for day in 0..self.days {
+            target -= weight(day);
+            if target <= 0.0 {
+                return day;
+            }
+        }
+        self.days - 1
+    }
+
+    fn sample_activity_count(&self, rng: &mut StdRng) -> u64 {
+        // Lognormal with the configured mean: mean = exp(mu + sigma^2/2).
+        let sigma = self.activity_sigma;
+        let mu = self.mean_activities.ln() - sigma * sigma / 2.0;
+        let count = (mu + sigma * standard_normal(rng)).exp().round();
+        (count as u64).max(1)
+    }
+}
+
+/// Splits `n` users into `communities` near-equal block sizes.
+fn community_sizes(n: usize, communities: usize) -> Vec<usize> {
+    let communities = communities.clamp(1, n.max(1));
+    let base = n / communities;
+    let extra = n % communities;
+    (0..communities)
+        .map(|c| base + usize::from(c < extra))
+        .collect()
+}
+
+/// Cumulative weights over partner ranks, with weight `(rank+1)^-1.2`
+/// over a random permutation of the partner list.
+fn sample_preference_weights(len: usize, rng: &mut StdRng) -> Vec<(usize, f64)> {
+    let mut order: Vec<usize> = (0..len).collect();
+    // Fisher–Yates using the trace RNG, keeping generation deterministic.
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut cumulative = 0.0;
+    order
+        .into_iter()
+        .enumerate()
+        .map(|(rank, idx)| {
+            cumulative += ((rank + 1) as f64).powf(-1.2);
+            (idx, cumulative)
+        })
+        .collect()
+}
+
+/// Picks a partner index by binary search over the cumulative weights.
+fn weighted_pick(pref: &[(usize, f64)], rng: &mut StdRng) -> usize {
+    let total = pref.last().expect("non-empty preference list").1;
+    let target = rng.gen::<f64>() * total;
+    let pos = pref.partition_point(|&(_, c)| c < target);
+    pref[pos.min(pref.len() - 1)].0
+}
+
+/// Wraps a (possibly negative) seconds value onto the day circle.
+fn wrap_time_of_day(seconds: f64) -> u32 {
+    let day = f64::from(SECONDS_PER_DAY);
+    let wrapped = seconds.rem_euclid(day);
+    // rem_euclid output is in [0, day); rounding could hit day exactly.
+    (wrapped as u32).min(SECONDS_PER_DAY - 1)
+}
+
+/// A Facebook-like dataset: undirected lognormal friendships (mode ≈ 10,
+/// mean ≈ 41 at full scale), 14 days of wall posts, ~50 activities per
+/// user — the filtered New Orleans statistics from the paper.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidSynthParams`] if `users < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let ds = dosn_trace::synth::facebook_like(300, 42).expect("generation succeeds");
+/// assert_eq!(ds.user_count(), 300);
+/// ```
+pub fn facebook_like(users: usize, seed: u64) -> Result<Dataset, TraceError> {
+    TraceSynthesizer::new("facebook-like", users).generate(seed)
+}
+
+/// A Twitter-like dataset: directed lognormal follower counts (mode ≈ 10,
+/// mean ≈ 76 at full scale), 14 days of mention tweets — the filtered
+/// statistics of the paper's Twitter trace.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidSynthParams`] if `users < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let ds = dosn_trace::synth::twitter_like(300, 42).expect("generation succeeds");
+/// assert!(ds.graph().kind() == dosn_socialgraph::EdgeKind::Directed);
+/// ```
+pub fn twitter_like(users: usize, seed: u64) -> Result<Dataset, TraceError> {
+    TraceSynthesizer::new("twitter-like", users)
+        .graph(GraphSpec::LognormalFollowers {
+            mu: 3.655,
+            sigma: 1.163,
+        })
+        .mean_activities(11.0) // 158,324 tweets / 14,933 users
+        .self_activity_fraction(0.3)
+        .generate(seed)
+}
+
+
+
+
+
+#[cfg(test)]
+mod tests {
+    use dosn_socialgraph::EdgeKind;
+    use super::*;
+
+    #[test]
+    fn facebook_like_shape() {
+        let ds = facebook_like(800, 7).unwrap();
+        assert_eq!(ds.user_count(), 800);
+        assert_eq!(ds.graph().kind(), EdgeKind::Undirected);
+        let stats = ds.stats();
+        assert!(
+            (25.0..=55.0).contains(&stats.mean_degree),
+            "mean degree {}",
+            stats.mean_degree
+        );
+        assert!(
+            (30.0..=70.0).contains(&stats.mean_participation),
+            "mean participation {}",
+            stats.mean_participation
+        );
+        assert_eq!(stats.span_days, 14);
+    }
+
+    #[test]
+    fn twitter_like_shape() {
+        let ds = twitter_like(600, 7).unwrap();
+        assert_eq!(ds.graph().kind(), EdgeKind::Directed);
+        let stats = ds.stats();
+        assert!(stats.mean_degree > 20.0, "mean followers {}", stats.mean_degree);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = facebook_like(200, 3).unwrap();
+        let b = facebook_like(200, 3).unwrap();
+        assert_eq!(a.activities(), b.activities());
+        assert_eq!(a.graph(), b.graph());
+        let c = facebook_like(200, 4).unwrap();
+        assert_ne!(a.activities(), c.activities());
+    }
+
+    #[test]
+    fn activities_stay_within_span() {
+        let ds = TraceSynthesizer::new("t", 100).days(3).generate(1).unwrap();
+        for a in ds.activities() {
+            assert!(a.timestamp().day_index() < 3);
+        }
+    }
+
+    #[test]
+    fn partners_are_neighbors_or_self() {
+        let ds = facebook_like(150, 9).unwrap();
+        for a in ds.activities() {
+            if !a.is_self_activity() {
+                assert!(
+                    ds.graph().has_edge(a.creator(), a.receiver()),
+                    "activity between non-friends: {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn directed_partners_are_followees() {
+        let ds = twitter_like(150, 9).unwrap();
+        for a in ds.activities() {
+            if !a.is_self_activity() {
+                // creator follows receiver, so creator is a replica
+                // candidate of receiver.
+                assert!(ds.graph().has_edge(a.creator(), a.receiver()));
+            }
+        }
+    }
+
+    #[test]
+    fn strong_ties_exist() {
+        // With rank-weighted partner choice, some friend should dominate
+        // a user's received activity, giving MostActive signal.
+        let ds = facebook_like(300, 5).unwrap();
+        let mut users_with_dominant_friend = 0;
+        let mut users_with_activity = 0;
+        for u in ds.users() {
+            let counts = ds.interaction_counts(u);
+            let total: usize = counts.iter().map(|&(_, c)| c).sum();
+            if total >= 10 {
+                users_with_activity += 1;
+                let max = counts.iter().map(|&(_, c)| c).max().unwrap_or(0);
+                if max as f64 >= 0.2 * total as f64 {
+                    users_with_dominant_friend += 1;
+                }
+            }
+        }
+        assert!(users_with_activity > 50);
+        assert!(
+            users_with_dominant_friend as f64 > 0.3 * users_with_activity as f64,
+            "{users_with_dominant_friend} of {users_with_activity}"
+        );
+    }
+
+    #[test]
+    fn diurnal_profile_concentrates_time_of_day() {
+        let mut synth = TraceSynthesizer::new("p", 200);
+        synth.diurnal(DiurnalProfile::single_peak(20.0, 0.5));
+        let ds = synth.generate(11).unwrap();
+        // Most activity within 20:00 +- 3h (personal peaks add spread).
+        let window = |tod: u32| {
+            let h = f64::from(tod) / 3600.0;
+            (17.0..=23.0).contains(&h)
+        };
+        let inside = ds
+            .activities()
+            .iter()
+            .filter(|a| window(a.timestamp().time_of_day()))
+            .count();
+        assert!(
+            inside as f64 > 0.7 * ds.activity_count() as f64,
+            "{inside} of {}",
+            ds.activity_count()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(TraceSynthesizer::new("x", 1).generate(0).is_err());
+        assert!(TraceSynthesizer::new("x", 10).days(0).generate(0).is_err());
+        assert!(TraceSynthesizer::new("x", 10)
+            .mean_activities(0.0)
+            .generate(0)
+            .is_err());
+        assert!(TraceSynthesizer::new("x", 10)
+            .self_activity_fraction(1.5)
+            .generate(0)
+            .is_err());
+        let mut s = TraceSynthesizer::new("x", 10);
+        s.graph(GraphSpec::BarabasiAlbert { m: 0 });
+        assert!(s.generate(0).is_err());
+    }
+
+    #[test]
+    fn community_sizes_partition() {
+        assert_eq!(community_sizes(10, 3), vec![4, 3, 3]);
+        assert_eq!(community_sizes(9, 3), vec![3, 3, 3]);
+        assert_eq!(community_sizes(5, 9), vec![1, 1, 1, 1, 1]);
+        assert_eq!(community_sizes(7, 1), vec![7]);
+    }
+
+    #[test]
+    fn sbm_spec_generates_and_homophily_aligns_peaks() {
+        let mut synth = TraceSynthesizer::new("sbm", 300);
+        synth
+            .graph(GraphSpec::StochasticBlock {
+                communities: 3,
+                p_in: 0.2,
+                p_out: 0.005,
+            })
+            .diurnal(DiurnalProfile::typical())
+            .temporal_homophily(1.0);
+        let ds = synth.generate(5).unwrap();
+        assert_eq!(ds.user_count(), 300);
+        // Full homophily: activity times within a community concentrate
+        // around one shared peak, so the circular spread within a
+        // community is far below the global spread.
+        let circular_spread = |users: std::ops::Range<usize>| -> f64 {
+            let (mut s, mut c, mut n) = (0.0f64, 0.0f64, 0u32);
+            for a in ds.activities() {
+                if users.contains(&a.creator().index()) {
+                    let angle = f64::from(a.timestamp().time_of_day())
+                        / f64::from(dosn_interval::SECONDS_PER_DAY)
+                        * std::f64::consts::TAU;
+                    s += angle.sin();
+                    c += angle.cos();
+                    n += 1;
+                }
+            }
+            // Mean resultant length: 1 = perfectly concentrated.
+            if n == 0 { 0.0 } else { (s * s + c * c).sqrt() / f64::from(n) }
+        };
+        let within = circular_spread(0..100);
+        assert!(
+            within > 0.5,
+            "community activity should concentrate, resultant {within:.3}"
+        );
+    }
+
+    #[test]
+    fn homophily_without_sbm_is_ignored() {
+        let mut a = TraceSynthesizer::new("x", 100);
+        a.temporal_homophily(1.0);
+        let mut b = TraceSynthesizer::new("x", 100);
+        b.temporal_homophily(0.0);
+        // Same seed, same non-SBM graph: identical traces either way.
+        assert_eq!(
+            a.generate(9).unwrap().activities(),
+            b.generate(9).unwrap().activities()
+        );
+    }
+
+    #[test]
+    fn weekend_shift_moves_weekend_activity() {
+        let mut synth = TraceSynthesizer::new("w", 200);
+        synth
+            .diurnal(DiurnalProfile::single_peak(10.0, 0.5))
+            .weekend_shift_hours(8.0);
+        let ds = synth.generate(3).unwrap();
+        let mean_tod = |weekend: bool| {
+            let (mut sum, mut n) = (0.0f64, 0usize);
+            for a in ds.activities() {
+                if matches!(a.timestamp().day_index() % 7, 5 | 6) == weekend {
+                    sum += f64::from(a.timestamp().time_of_day());
+                    n += 1;
+                }
+            }
+            sum / n as f64
+        };
+        let weekday = mean_tod(false) / 3_600.0;
+        let weekend = mean_tod(true) / 3_600.0;
+        assert!(
+            weekend - weekday > 5.0,
+            "weekday mean {weekday:.1}h, weekend mean {weekend:.1}h"
+        );
+    }
+
+    #[test]
+    fn weekend_rate_multiplier_shifts_volume() {
+        let mut synth = TraceSynthesizer::new("w", 200);
+        synth.weekend_rate_multiplier(4.0);
+        let ds = synth.generate(3).unwrap();
+        let weekend = ds
+            .activities()
+            .iter()
+            .filter(|a| matches!(a.timestamp().day_index() % 7, 5 | 6))
+            .count();
+        let share = weekend as f64 / ds.activity_count() as f64;
+        // 4 weekend days of weight 4 vs 10 weekday days of weight 1 in a
+        // 14-day trace: expected share 16/26 ≈ 0.62.
+        assert!((0.5..=0.72).contains(&share), "weekend share {share:.3}");
+        // Zero multiplier kills weekend activity entirely.
+        let mut none = TraceSynthesizer::new("w", 100);
+        none.weekend_rate_multiplier(0.0);
+        let ds = none.generate(3).unwrap();
+        assert!(ds
+            .activities()
+            .iter()
+            .all(|a| !matches!(a.timestamp().day_index() % 7, 5 | 6)));
+    }
+
+    #[test]
+    fn wrap_time_of_day_bounds() {
+        assert_eq!(wrap_time_of_day(-1.0), SECONDS_PER_DAY - 1);
+        assert_eq!(wrap_time_of_day(0.0), 0);
+        assert_eq!(wrap_time_of_day(f64::from(SECONDS_PER_DAY)), 0);
+        assert!(wrap_time_of_day(1e9) < SECONDS_PER_DAY);
+    }
+}

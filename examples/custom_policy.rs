@@ -1,0 +1,96 @@
+//! Extending the library with a custom replica placement policy.
+//!
+//! Implements `HighestDegree` — replicate on the best-connected friends,
+//! a plausible heuristic a deployer might try — and benchmarks it
+//! against the paper's policies on the standard pipeline. (Spoiler: a
+//! friend's popularity says little about *when* they are online, so
+//! MaxAv keeps winning.)
+//!
+//! Run with `cargo run --release --example custom_policy`.
+
+use dosn::prelude::*;
+use rand::RngCore;
+
+/// Replicate on the candidates with the most friends themselves.
+#[derive(Debug, Clone, Copy, Default)]
+struct HighestDegree;
+
+impl ReplicaPolicy for HighestDegree {
+    fn name(&self) -> &'static str {
+        "highest-degree"
+    }
+
+    fn place(
+        &self,
+        dataset: &Dataset,
+        schedules: &dosn::onlinetime::OnlineSchedules,
+        user: UserId,
+        max_replicas: usize,
+        connectivity: Connectivity,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<UserId> {
+        let mut ranked: Vec<UserId> = dataset.replica_candidates(user).to_vec();
+        ranked.sort_by_key(|&c| std::cmp::Reverse(dataset.replica_candidates(c).len()));
+        let mut chosen: Vec<UserId> = Vec::new();
+        for candidate in ranked {
+            if chosen.len() == max_replicas {
+                break;
+            }
+            let ok = match connectivity {
+                Connectivity::UnconRep => true,
+                Connectivity::ConRep => {
+                    chosen.is_empty()
+                        || chosen.iter().any(|&c| {
+                            schedules.schedule(c).is_connected_to(schedules.schedule(candidate))
+                        })
+                }
+            };
+            if ok {
+                chosen.push(candidate);
+            }
+        }
+        chosen
+    }
+}
+
+fn main() {
+    use rand::{rngs::StdRng, SeedableRng};
+
+    let dataset = synth::facebook_like(1_000, 42).expect("generation succeeds");
+    let mut rng = StdRng::seed_from_u64(5);
+    let schedules = Sporadic::default().schedules(&dataset, &mut rng);
+    let users = dataset.users_with_degree(10);
+    println!("comparing on {} degree-10 users, 3 replicas, ConRep\n", users.len());
+
+    let policies: Vec<Box<dyn ReplicaPolicy>> = vec![
+        Box::new(MaxAv::availability()),
+        Box::new(MostActive::new()),
+        Box::new(Random::new()),
+        Box::new(HighestDegree),
+    ];
+    println!("{:<16} {:>14} {:>16}", "policy", "availability", "on-demand-time");
+    for policy in &policies {
+        let mut avail = Summary::new();
+        let mut aod = Summary::new();
+        for &user in &users {
+            let m = dosn::core::evaluate_user(
+                &dataset,
+                &schedules,
+                policy.as_ref(),
+                user,
+                3,
+                Connectivity::ConRep,
+                true,
+                &mut rng,
+            );
+            avail.add(m.availability);
+            aod.add_opt(m.on_demand_time);
+        }
+        println!(
+            "{:<16} {:>14.3} {:>16.3}",
+            policy.name(),
+            avail.mean().unwrap_or(f64::NAN),
+            aod.mean().unwrap_or(f64::NAN)
+        );
+    }
+}

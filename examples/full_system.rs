@@ -1,0 +1,36 @@
+//! Running the decentralized OSN as a *system*: the whole activity
+//! trace replayed through online sessions, post delivery, and replica
+//! dissemination — the empirical counterpart of the analytic metrics.
+//!
+//! Run with `cargo run --release --example full_system`.
+
+use dosn::core::{ModelKind, PolicyKind, StudyConfig};
+use dosn::node::SystemSim;
+use dosn::prelude::*;
+
+fn main() {
+    let dataset = synth::facebook_like(1_000, 42).expect("generation succeeds");
+    println!("{}\n", dataset.stats());
+    let config = StudyConfig::default();
+
+    for (label, policy, k) in [
+        ("no replication", PolicyKind::MaxAv, 0usize),
+        ("maxav x2", PolicyKind::MaxAv, 2),
+        ("maxav x4", PolicyKind::MaxAv, 4),
+        ("most-active x4", PolicyKind::MostActive, 4),
+        ("random x4", PolicyKind::Random, 4),
+    ] {
+        let report = SystemSim::new(&dataset)
+            .model(ModelKind::sporadic_default())
+            .policy(policy)
+            .replication_degree(k)
+            .run(&config);
+        println!("== {label} ==");
+        println!("{report}\n");
+    }
+    println!(
+        "reading: replication lifts post delivery (empirical availability-on-\n\
+         demand-activity) at the cost of dissemination traffic and storage;\n\
+         the policy ordering matches the analytic study."
+    );
+}

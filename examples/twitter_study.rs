@@ -1,0 +1,37 @@
+//! A reduced-scale rerun of the paper's Twitter study (Figs. 10–11):
+//! replicas live on *followers*, and availability-on-demand-time can
+//! plateau below 1.0 when some followers never meet any replica online.
+//!
+//! Run with `cargo run --release --example twitter_study`.
+
+use dosn::prelude::*;
+
+fn main() {
+    let dataset = synth::twitter_like(2_000, 42).expect("generation succeeds");
+    println!("{}\n", dataset.stats());
+
+    let users = dataset.users_with_degree(10);
+    println!("averaging over {} users with 10 followers\n", users.len());
+
+    let config = StudyConfig::default().with_repetitions(3);
+    for (label, model) in [
+        ("Sporadic", ModelKind::sporadic_default()),
+        ("FixedLength(8h)", ModelKind::fixed_hours(8)),
+    ] {
+        let table = degree_sweep(
+            &dataset,
+            model,
+            &PolicyKind::paper_trio(),
+            &users,
+            10,
+            &config,
+        );
+        println!("== {label} ==");
+        println!("{}", table.to_plot_block(MetricKind::Availability));
+        println!("{}", table.to_plot_block(MetricKind::OnDemandTime));
+        let aod = table.series("maxav", MetricKind::OnDemandTime);
+        if let Some(&(_, last)) = aod.last() {
+            println!("MaxAv on-demand-time at full replication: {last:.3}\n");
+        }
+    }
+}

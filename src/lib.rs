@@ -1,0 +1,68 @@
+//! # dosn — decentralized online social networks, empirically
+//!
+//! A Rust reproduction of *"Towards the Realization of Decentralized
+//! Online Social Networks: an Empirical Study"* (Narendula, Papaioannou,
+//! Aberer — ICDCS 2012): the metrics, replica placement policies, online
+//! time models, and simulation pipeline for studying friend-to-friend
+//! profile replication.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`interval`] — time-of-day interval algebra ([`DaySchedule`] etc.).
+//! * [`socialgraph`] — CSR social graphs and synthetic generators.
+//! * [`trace`] — activity-trace datasets, parsers, calibrated synthesis.
+//! * [`onlinetime`] — the Sporadic / FixedLength / RandomLength models.
+//! * [`replication`] — the MaxAv / MostActive / Random policies.
+//! * [`metrics`] — availability, availability-on-demand, propagation
+//!   delay.
+//! * [`core`] — experiment configuration, sweeps, and the update replay.
+//! * [`dht`] — Chord-style DHT and third-party update channels for
+//!   unconnected replicas.
+//! * [`consistency`] — version vectors, anti-entropy, and the
+//!   convergence simulator.
+//! * [`node`] — full-system event simulation of the decentralized OSN.
+//!
+//! [`DaySchedule`]: interval::DaySchedule
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dosn::prelude::*;
+//!
+//! // A calibrated Facebook-like dataset (synthetic stand-in for the
+//! // paper's New Orleans crawl).
+//! let dataset = synth::facebook_like(200, 42).expect("generation succeeds");
+//!
+//! // Sweep the replication degree for the paper's three policies.
+//! let users = dataset.users_with_degree(5);
+//! let table = degree_sweep(
+//!     &dataset,
+//!     ModelKind::sporadic_default(),
+//!     &PolicyKind::paper_trio(),
+//!     &users,
+//!     5,
+//!     &StudyConfig::default().with_repetitions(2),
+//! );
+//! for (x, availability) in table.series("maxav", MetricKind::Availability) {
+//!     assert!((0.0..=1.0).contains(&availability));
+//!     assert!(x <= 5.0);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dosn_consistency as consistency;
+pub use dosn_core as core;
+pub use dosn_dht as dht;
+pub use dosn_interval as interval;
+pub use dosn_metrics as metrics;
+pub use dosn_node as node;
+pub use dosn_onlinetime as onlinetime;
+pub use dosn_replication as replication;
+pub use dosn_socialgraph as socialgraph;
+pub use dosn_trace as trace;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dosn_core::prelude::*;
+}

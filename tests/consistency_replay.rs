@@ -1,0 +1,105 @@
+//! Cross-crate validation: the consistency layer's anti-entropy
+//! simulation must agree with the core event-driven replay — two
+//! independent implementations of update spreading over the same
+//! co-online windows.
+
+use dosn::consistency::ConvergenceSim;
+use dosn::core::replay::simulate_update;
+use dosn::dht::{CloudChannel, DhtChannel, UpdateChannel};
+use dosn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (Dataset, dosn::onlinetime::OnlineSchedules) {
+    let ds = synth::facebook_like(200, 21).expect("generation succeeds");
+    let mut rng = StdRng::seed_from_u64(4);
+    let schedules = Sporadic::with_session_len(1_800).schedules(&ds, &mut rng);
+    (ds, schedules)
+}
+
+/// Per-replica receipt times from the anti-entropy simulator must match
+/// the Dijkstra-style replay exactly: both model instant transfer while
+/// co-online.
+#[test]
+fn anti_entropy_receipts_match_replay_arrivals() {
+    let (ds, schedules) = setup();
+    let policy = MaxAv::availability();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut checked = 0;
+    for user in ds.users() {
+        let replicas = policy.place(&ds, &schedules, user, 5, Connectivity::ConRep, &mut rng);
+        if replicas.len() < 3 {
+            continue;
+        }
+        let start = Timestamp::from_day_and_offset(1, 9 * 3_600);
+        let replay = simulate_update(&replicas, &schedules, 0, start);
+        let sim = ConvergenceSim::new(replicas.clone(), &schedules, 6);
+        let report = sim.inject_and_run(0, start, "post");
+        for (i, arrival) in replay.arrivals().iter().enumerate() {
+            assert_eq!(
+                arrival.arrival, report.receipt[i],
+                "user {user} replica {i}: replay vs anti-entropy disagree"
+            );
+        }
+        checked += 1;
+        if checked >= 10 {
+            break;
+        }
+    }
+    assert!(checked >= 5, "too few replica sets checked: {checked}");
+}
+
+/// A cloud channel can only help: its fetch delay for any replica is
+/// never worse than waiting for friend-to-friend propagation.
+#[test]
+fn cloud_channel_dominates_friend_to_friend() {
+    let (ds, schedules) = setup();
+    let policy = MaxAv::availability();
+    let mut rng = StdRng::seed_from_u64(6);
+    let cloud = CloudChannel::new(0);
+    let mut checked = 0;
+    for user in ds.users() {
+        let replicas = policy.place(&ds, &schedules, user, 5, Connectivity::ConRep, &mut rng);
+        if replicas.len() < 2 {
+            continue;
+        }
+        let start = Timestamp::from_day_and_offset(1, 15 * 3_600);
+        let replay = simulate_update(&replicas, &schedules, 0, start);
+        for (i, arrival) in replay.arrivals().iter().enumerate().skip(1) {
+            let Some(f2f_arrival) = arrival.arrival else { continue };
+            let cloud_delay = cloud
+                .fetch_delay_secs(&schedules[replicas[i]], start)
+                .expect("replica has online time");
+            assert!(
+                cloud_delay <= f2f_arrival.seconds_since(start),
+                "user {user} replica {i}: cloud {cloud_delay} worse than f2f"
+            );
+        }
+        checked += 1;
+        if checked >= 10 {
+            break;
+        }
+    }
+    assert!(checked >= 5);
+}
+
+/// A DHT channel whose holders include one of the replicas can never be
+/// slower than that replica's own co-online wait with the receiver.
+#[test]
+fn dht_channel_with_full_holder_set_matches_direct_overlap() {
+    let (_, schedules) = setup();
+    // Receiver and holder schedules drawn from two users.
+    let receiver = schedules.schedule(UserId::new(0)).clone();
+    let holder = schedules.schedule(UserId::new(1)).clone();
+    if receiver.is_empty() || holder.is_empty() {
+        return;
+    }
+    let channel = DhtChannel::new([holder.clone()], 0);
+    let published = Timestamp::from_day_and_offset(1, 0);
+    let via_channel = channel.fetch_delay_secs(&receiver, published);
+    let direct = receiver
+        .intersection(&holder)
+        .wait_until_online(published.time_of_day())
+        .map(u64::from);
+    assert_eq!(via_channel, direct);
+}

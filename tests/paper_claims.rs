@@ -1,0 +1,314 @@
+//! Integration tests asserting the paper's qualitative claims hold on
+//! the calibrated synthetic datasets — the "did we reproduce the shape"
+//! checks behind EXPERIMENTS.md.
+
+use dosn::prelude::*;
+
+const USERS: usize = 1_200;
+const SEED: u64 = 2012;
+
+fn facebook() -> Dataset {
+    synth::facebook_like(USERS, SEED).expect("generation succeeds")
+}
+
+fn twitter() -> Dataset {
+    synth::twitter_like(USERS, SEED).expect("generation succeeds")
+}
+
+fn config() -> StudyConfig {
+    StudyConfig::default().with_repetitions(2).with_seed(SEED)
+}
+
+fn degree10(ds: &Dataset) -> Vec<UserId> {
+    let users = ds.users_with_degree(10);
+    assert!(
+        users.len() >= 10,
+        "fixture must have degree-10 users, found {}",
+        users.len()
+    );
+    users
+}
+
+fn fb_table(model: ModelKind, connectivity: Connectivity) -> SweepTable {
+    let ds = facebook();
+    let users = degree10(&ds);
+    degree_sweep(
+        &ds,
+        model,
+        &PolicyKind::paper_trio(),
+        &users,
+        10,
+        &config().with_connectivity(connectivity),
+    )
+}
+
+/// Fig. 3: availability increases with replication degree and MaxAv
+/// dominates the other policies; the curve saturates.
+#[test]
+fn fig3_availability_ordering_and_saturation() {
+    let table = fb_table(ModelKind::sporadic_default(), Connectivity::ConRep);
+    let maxav = table.series("maxav", MetricKind::Availability);
+    let most_active = table.series("most-active", MetricKind::Availability);
+    let random = table.series("random", MetricKind::Availability);
+    for k in 0..=10 {
+        // Monotone non-decreasing for every policy.
+        if k > 0 {
+            assert!(maxav[k].1 >= maxav[k - 1].1 - 1e-9);
+            assert!(random[k].1 >= random[k - 1].1 - 1e-9);
+        }
+        // MaxAv dominates (small tolerance for averaging noise).
+        assert!(
+            maxav[k].1 >= most_active[k].1 - 0.01 && maxav[k].1 >= random[k].1 - 0.01,
+            "degree {k}: maxav {:.3} vs most-active {:.3} / random {:.3}",
+            maxav[k].1,
+            most_active[k].1,
+            random[k].1
+        );
+    }
+    // Saturation: the last three degrees add almost nothing under MaxAv.
+    let tail_gain = maxav[10].1 - maxav[7].1;
+    let head_gain = maxav[3].1 - maxav[0].1;
+    assert!(
+        tail_gain < 0.25 * head_gain,
+        "no saturation: head {head_gain:.3}, tail {tail_gain:.3}"
+    );
+}
+
+/// Fig. 3: MostActive beats Random at low replication degrees (it then
+/// converges as budgets exhaust the active friends).
+#[test]
+fn fig3_most_active_beats_random_at_low_degree() {
+    let table = fb_table(ModelKind::sporadic_default(), Connectivity::ConRep);
+    let most_active = table.series("most-active", MetricKind::Availability);
+    let random = table.series("random", MetricKind::Availability);
+    let lead: f64 = (1..=3).map(|k| most_active[k].1 - random[k].1).sum();
+    assert!(lead > 0.0, "MostActive shows no low-degree lead: {lead:.4}");
+}
+
+/// Fig. 3c: a 2-hour fixed window yields much lower achievable
+/// availability than 8 hours.
+#[test]
+fn fig3_fixed_2h_availability_is_low() {
+    let two = fb_table(ModelKind::fixed_hours(2), Connectivity::ConRep);
+    let eight = fb_table(ModelKind::fixed_hours(8), Connectivity::ConRep);
+    let a2 = two.series("maxav", MetricKind::Availability)[10].1;
+    let a8 = eight.series("maxav", MetricKind::Availability)[10].1;
+    assert!(a2 < a8 - 0.15, "2h {a2:.3} vs 8h {a8:.3}");
+}
+
+/// Fig. 4 vs Fig. 3: lifting the connectivity constraint (UnconRep) can
+/// only help availability.
+#[test]
+fn fig4_unconrep_dominates_conrep() {
+    for model in [ModelKind::fixed_hours(2), ModelKind::fixed_hours(8)] {
+        let con = fb_table(model, Connectivity::ConRep);
+        let uncon = fb_table(model, Connectivity::UnconRep);
+        for (c, u) in con
+            .series("maxav", MetricKind::Availability)
+            .iter()
+            .zip(uncon.series("maxav", MetricKind::Availability))
+        {
+            assert!(
+                u.1 >= c.1 - 0.01,
+                "{model:?} degree {}: unconrep {:.3} < conrep {:.3}",
+                c.0,
+                u.1,
+                c.1
+            );
+        }
+    }
+}
+
+/// Fig. 5: availability-on-demand-time reaches ~1 with roughly half the
+/// friends under MaxAv, and earlier than plain availability saturates.
+#[test]
+fn fig5_on_demand_time_saturates_fast() {
+    let table = fb_table(ModelKind::sporadic_default(), Connectivity::ConRep);
+    let aod = table.series("maxav", MetricKind::OnDemandTime);
+    assert!(
+        aod[5].1 > 0.9,
+        "on-demand-time at 5 replicas only {:.3}",
+        aod[5].1
+    );
+    assert!(
+        aod[8].1 > 0.97,
+        "on-demand-time at 8 replicas only {:.3}",
+        aod[8].1
+    );
+    let avail = table.series("maxav", MetricKind::Availability);
+    assert!(aod[5].1 > avail[5].1, "on-demand should lead availability");
+}
+
+/// Fig. 6: availability-on-demand-activity is even higher than
+/// availability-on-demand-time.
+#[test]
+fn fig6_on_demand_activity_exceeds_time() {
+    let table = fb_table(ModelKind::sporadic_default(), Connectivity::ConRep);
+    for k in 1..=10 {
+        let activity = table.series("maxav", MetricKind::OnDemandActivity)[k].1;
+        let time = table.series("maxav", MetricKind::OnDemandTime)[k].1;
+        assert!(
+            activity >= time - 0.03,
+            "degree {k}: activity {activity:.3} < time {time:.3}"
+        );
+    }
+}
+
+/// Fig. 7: the worst-case propagation delay *increases* with the
+/// replication degree, MaxAv pays the highest delay, and Sporadic's
+/// delays are lower than the continuous models'.
+#[test]
+fn fig7_delay_grows_and_maxav_pays_most() {
+    let sporadic = fb_table(ModelKind::sporadic_default(), Connectivity::ConRep);
+    let delay = sporadic.series("maxav", MetricKind::DelayHours);
+    assert!(
+        delay[10].1 > delay[2].1,
+        "delay did not grow: {:.1} -> {:.1}",
+        delay[2].1,
+        delay[10].1
+    );
+    let most_active = sporadic.series("most-active", MetricKind::DelayHours);
+    let random = sporadic.series("random", MetricKind::DelayHours);
+    // At high degree MaxAv's chain is the loosest (least overlapping).
+    assert!(delay[10].1 >= most_active[10].1 - 1.0);
+    assert!(delay[10].1 >= random[10].1 - 1.0);
+    // Sporadic vs a continuous model: intermittent co-presence means
+    // more frequent sync opportunities, hence lower delay.
+    let fixed8 = fb_table(ModelKind::fixed_hours(8), Connectivity::ConRep);
+    let f8_delay = fixed8.series("maxav", MetricKind::DelayHours);
+    assert!(
+        delay[6].1 < f8_delay[6].1 + 1.0,
+        "sporadic {:.1} vs fixed8h {:.1}",
+        delay[6].1,
+        f8_delay[6].1
+    );
+    // Magnitude sanity: tens of hours, the paper's "~2 days" regime.
+    assert!(delay[10].1 > 20.0 && delay[10].1 < 96.0);
+}
+
+/// Fig. 8: longer Sporadic sessions raise every availability metric and
+/// cut the delay.
+#[test]
+fn fig8_session_length_effect() {
+    let ds = facebook();
+    let users = degree10(&ds);
+    let table = session_length_sweep(
+        &ds,
+        &[300, 3_600, 28_800],
+        &[PolicyKind::MaxAv],
+        &users,
+        3,
+        &config(),
+    );
+    let avail = table.series("maxav", MetricKind::Availability);
+    assert!(avail[2].1 > avail[1].1 && avail[1].1 > avail[0].1, "{avail:?}");
+    let aod = table.series("maxav", MetricKind::OnDemandTime);
+    assert!(aod[2].1 > aod[0].1, "{aod:?}");
+    let delay = table.series("maxav", MetricKind::DelayHours);
+    assert!(
+        delay[2].1 < delay[0].1,
+        "delay should fall with session length: {delay:?}"
+    );
+    // Near-day sessions push availability toward 1.
+    assert!(avail[2].1 > 0.9, "8h sessions give {:.3}", avail[2].1);
+}
+
+/// Fig. 9: availability grows with user degree; all policies tie (all
+/// friends are used) while MaxAv achieves it with fewer replicas and a
+/// smaller delay.
+#[test]
+fn fig9_user_degree_effect() {
+    let ds = facebook();
+    let table = user_degree_sweep(
+        &ds,
+        ModelKind::sporadic_default(),
+        &PolicyKind::paper_trio(),
+        8,
+        &config(),
+    );
+    let maxav = table.series("maxav", MetricKind::Availability);
+    assert!(
+        maxav.last().expect("has rows").1 > maxav.first().expect("has rows").1,
+        "availability flat across user degree: {maxav:?}"
+    );
+    // Policies nearly tie on availability at full replication (same
+    // friend set; ConRep acceptance order causes small residuals).
+    let random = table.series("random", MetricKind::Availability);
+    for (m, r) in maxav.iter().zip(&random) {
+        assert!(
+            (m.1 - r.1).abs() < 0.08,
+            "degree {}: maxav {:.3} vs random {:.3}",
+            m.0,
+            m.1,
+            r.1
+        );
+    }
+    // The replica counts actually used differ from the budget (the
+    // paper's "actual number of replicas chosen may be much lower"), and
+    // differ across policies — which is what produces the varied delays
+    // of Fig. 9b.
+    let m_used = table.series("maxav", MetricKind::ReplicasUsed);
+    let budget_sum: f64 = m_used.iter().map(|p| p.0).sum();
+    let m_sum: f64 = m_used.iter().map(|p| p.1).sum();
+    assert!(
+        m_sum < budget_sum,
+        "maxav always used the full budget: {m_sum:.1} of {budget_sum:.1}"
+    );
+    let m_delay: f64 = table
+        .series("maxav", MetricKind::DelayHours)
+        .iter()
+        .map(|p| p.1)
+        .sum();
+    let r_delay: f64 = table
+        .series("random", MetricKind::DelayHours)
+        .iter()
+        .map(|p| p.1)
+        .sum();
+    assert!(
+        (m_delay - r_delay).abs() > 0.5,
+        "policies produced indistinguishable delays: {m_delay:.1} vs {r_delay:.1}"
+    );
+}
+
+/// Figs. 10–11: the Twitter dataset shows the same qualitative trends.
+#[test]
+fn fig10_11_twitter_trends() {
+    let ds = twitter();
+    let users = degree10(&ds);
+    let table = degree_sweep(
+        &ds,
+        ModelKind::sporadic_default(),
+        &PolicyKind::paper_trio(),
+        &users,
+        10,
+        &config(),
+    );
+    let maxav = table.series("maxav", MetricKind::Availability);
+    for k in 1..=10 {
+        assert!(maxav[k].1 >= maxav[k - 1].1 - 1e-9);
+    }
+    let random = table.series("random", MetricKind::Availability);
+    assert!(maxav[3].1 >= random[3].1 - 0.01);
+    let aod = table.series("maxav", MetricKind::OnDemandTime);
+    assert!(aod[10].1 > aod[1].1);
+}
+
+/// Discussion (Section V-C): a modest replication degree (~40% of the
+/// friends) already achieves high availability-on-demand under realistic
+/// online-time models.
+#[test]
+fn discussion_low_degree_suffices_on_demand() {
+    for model in [
+        ModelKind::sporadic_default(),
+        ModelKind::random_length_default(),
+        ModelKind::fixed_hours(8),
+    ] {
+        let table = fb_table(model, Connectivity::ConRep);
+        let aod = table.series("maxav", MetricKind::OnDemandTime);
+        assert!(
+            aod[4].1 > 0.8,
+            "{model:?}: on-demand-time at 4 of 10 replicas only {:.3}",
+            aod[4].1
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Cross-crate integration tests: determinism, the parse→study path,
+//! and the replay-vs-analytic delay cross-check.
+
+use dosn::core::replay::{replay_worst_delay_secs, simulate_update};
+use dosn::metrics::update_propagation_delay;
+use dosn::prelude::*;
+use dosn::trace::parse::{parse_dataset, ParseKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The same seed must reproduce identical sweep tables, end to end.
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let ds = synth::facebook_like(400, 7).expect("generation succeeds");
+        let users = ds.users_with_degree(8);
+        degree_sweep(
+            &ds,
+            ModelKind::random_length_default(),
+            &PolicyKind::paper_trio(),
+            &users,
+            8,
+            &StudyConfig::default().with_repetitions(3).with_seed(99),
+        )
+        .to_csv()
+    };
+    assert_eq!(run(), run());
+}
+
+/// Different seeds must actually change randomized results.
+#[test]
+fn different_seeds_differ() {
+    let ds = synth::facebook_like(400, 7).expect("generation succeeds");
+    let users = ds.users_with_degree(8);
+    let run = |seed| {
+        degree_sweep(
+            &ds,
+            ModelKind::sporadic_default(),
+            &[PolicyKind::Random],
+            &users,
+            8,
+            &StudyConfig::default().with_repetitions(1).with_seed(seed),
+        )
+        .to_csv()
+    };
+    assert_ne!(run(1), run(2));
+}
+
+/// The sample text files parse and run through the entire study.
+#[test]
+fn parsed_sample_dataset_supports_a_study() {
+    let edges = include_str!("../data/sample_facebook.edges");
+    let activities = include_str!("../data/sample_facebook.activities");
+    let parsed =
+        parse_dataset("sample", edges, activities, ParseKind::Undirected).expect("parses");
+    let ds = parsed.dataset;
+    assert_eq!(ds.user_count(), 12);
+    assert!(ds.activity_count() >= 50);
+
+    // Everyone posted at least 4 times in the sample.
+    let filtered = ds.filter_min_participation(4);
+    assert_eq!(filtered.user_count(), 12);
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let schedules = Sporadic::default().schedules(&filtered, &mut rng);
+    for user in filtered.users() {
+        let m = dosn::core::evaluate_user(
+            &filtered,
+            &schedules,
+            &MaxAv::availability(),
+            user,
+            3,
+            Connectivity::ConRep,
+            true,
+            &mut rng,
+        );
+        assert!((0.0..=1.0).contains(&m.availability));
+        assert!(m.replicas_used <= 3);
+    }
+}
+
+/// The directed sample files parse with follower semantics and support
+/// the Twitter-style study path.
+#[test]
+fn parsed_twitter_sample_supports_a_study() {
+    let edges = include_str!("../data/sample_twitter.edges");
+    let activities = include_str!("../data/sample_twitter.activities");
+    let parsed = parse_dataset("sample-twitter", edges, activities, ParseKind::Directed)
+        .expect("parses");
+    let ds = parsed.dataset;
+    assert_eq!(ds.user_count(), 6);
+    // Every creator follows its receiver (the sample's invariant), so
+    // every non-self activity's creator is a replica candidate.
+    for a in ds.activities() {
+        if !a.is_self_activity() {
+            assert!(
+                ds.replica_candidates(a.receiver()).contains(&a.creator()),
+                "activity {a} violates the follower invariant"
+            );
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(1);
+    let schedules = Sporadic::default().schedules(&ds, &mut rng);
+    for user in ds.users() {
+        let m = dosn::core::evaluate_user(
+            &ds,
+            &schedules,
+            &MostActive::new(),
+            user,
+            2,
+            Connectivity::ConRep,
+            true,
+            &mut rng,
+        );
+        assert!((0.0..=1.0).contains(&m.availability));
+    }
+}
+
+/// Replayed worst-case delays never exceed the analytic bound, across
+/// models and users.
+#[test]
+fn replay_respects_analytic_bound_across_models() {
+    let ds = synth::facebook_like(250, 3).expect("generation succeeds");
+    for model in [
+        ModelKind::sporadic_default(),
+        ModelKind::fixed_hours(4),
+        ModelKind::random_length_default(),
+    ] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let schedules = model.build().schedules(&ds, &mut rng);
+        let policy = MaxAv::availability();
+        let mut checked = 0;
+        for user in ds.users() {
+            if ds.replica_candidates(user).len() < 3 {
+                continue;
+            }
+            let replicas =
+                policy.place(&ds, &schedules, user, 4, Connectivity::ConRep, &mut rng);
+            if replicas.len() < 2 {
+                continue;
+            }
+            let analytic = update_propagation_delay(&replicas, &schedules)
+                .worst_secs
+                .expect("ConRep chain is connected");
+            let replayed = replay_worst_delay_secs(&replicas, &schedules)
+                .expect("ConRep chain is connected");
+            assert!(
+                replayed <= analytic,
+                "{model:?} user {user}: replay {replayed} > analytic {analytic}"
+            );
+            checked += 1;
+            if checked >= 8 {
+                break;
+            }
+        }
+        assert!(checked >= 3, "{model:?}: too few users checked");
+    }
+}
+
+/// Observed delays never exceed actual delays (offline time only ever
+/// shrinks the wait a user perceives).
+#[test]
+fn observed_delay_bounded_by_actual() {
+    let ds = synth::facebook_like(250, 5).expect("generation succeeds");
+    let mut rng = StdRng::seed_from_u64(13);
+    let schedules = Sporadic::with_session_len(3_600).schedules(&ds, &mut rng);
+    let policy = MaxAv::availability();
+    let mut checked = 0;
+    for user in ds.users() {
+        let replicas = policy.place(&ds, &schedules, user, 4, Connectivity::ConRep, &mut rng);
+        if replicas.len() < 2 {
+            continue;
+        }
+        let outcome = simulate_update(
+            &replicas,
+            &schedules,
+            0,
+            Timestamp::from_day_and_offset(1, 43_200),
+        );
+        let start = outcome.start();
+        for (i, arrival) in outcome.arrivals().iter().enumerate() {
+            if let Some(t) = arrival.arrival {
+                let actual = t.seconds_since(start);
+                let observed = outcome
+                    .observed_delay_secs(i, &schedules)
+                    .expect("arrival implies observed");
+                assert!(
+                    observed <= actual,
+                    "user {user} replica {i}: observed {observed} > actual {actual}"
+                );
+            }
+        }
+        checked += 1;
+        if checked >= 15 {
+            break;
+        }
+    }
+    assert!(checked >= 5);
+}
+
+/// The umbrella crate's re-exports expose a coherent API surface.
+#[test]
+fn umbrella_reexports_work_together() {
+    let schedule = dosn::interval::DaySchedule::window_wrapping(0, 3_600).expect("valid window");
+    assert_eq!(schedule.online_seconds(), 3_600);
+    let mut b = dosn::socialgraph::GraphBuilder::undirected();
+    b.add_edge(UserId::new(0), UserId::new(1));
+    let ds = Dataset::new("tiny", b.build(), Vec::new()).expect("valid dataset");
+    assert_eq!(ds.user_count(), 2);
+    let summary: Summary = [1.0, 2.0].into_iter().collect();
+    assert_eq!(summary.mean(), Some(1.5));
+}

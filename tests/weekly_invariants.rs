@@ -1,0 +1,120 @@
+//! Cross-crate invariants of the weekly machinery: folding the week
+//! into one daily circle can only overestimate availability, and the
+//! weekly delay bound can only exceed the folded-daily one.
+
+use dosn::interval::{DayOfWeek, DaySchedule};
+use dosn::metrics::{weekly_availability, weekly_update_propagation_delay};
+use dosn::onlinetime::Weekly;
+use dosn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(seed: u64) -> (Dataset, dosn::onlinetime::WeeklySchedules, OnlineSchedulesAlias) {
+    let mut synth = dosn::trace::synth::TraceSynthesizer::new("weekly-inv", 250);
+    synth.weekend_shift_hours(5.0);
+    let ds = synth.generate(seed).expect("generation succeeds");
+    let mut rng = StdRng::seed_from_u64(seed ^ 7);
+    let weekly = Weekly::hours(3, 7).weekly_schedules(&ds, &mut rng);
+    let folded = dosn::onlinetime::OnlineSchedules::new(
+        ds.users()
+            .map(|u| {
+                DayOfWeek::ALL.iter().fold(DaySchedule::new(), |acc, &d| {
+                    acc.union(weekly.schedule(u).day(d))
+                })
+            })
+            .collect(),
+    );
+    (ds, weekly, folded)
+}
+
+type OnlineSchedulesAlias = dosn::onlinetime::OnlineSchedules;
+
+/// Folded-daily availability is an upper bound on weekly availability:
+/// folding marks a slot covered if *any* day covers it.
+#[test]
+fn folding_overestimates_availability() {
+    for seed in [1u64, 2, 3] {
+        let (ds, weekly, folded) = setup(seed);
+        let policy = MaxAv::availability();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut checked = 0;
+        for user in ds.users() {
+            if ds.replica_candidates(user).len() < 5 {
+                continue;
+            }
+            let replicas =
+                policy.place(&ds, &folded, user, 4, Connectivity::ConRep, &mut rng);
+            let daily = dosn::metrics::availability(user, &replicas, &folded, true);
+            let week = weekly_availability(user, &replicas, &weekly, true);
+            assert!(
+                week <= daily + 1e-9,
+                "seed {seed} user {user}: weekly {week:.4} > folded {daily:.4}"
+            );
+            checked += 1;
+            if checked >= 30 {
+                break;
+            }
+        }
+        assert!(checked >= 10);
+    }
+}
+
+/// Per-day availability averages back to the weekly value exactly.
+#[test]
+fn weekly_availability_is_mean_of_day_views() {
+    let (ds, weekly, folded) = setup(4);
+    let policy = MaxAv::availability();
+    let mut rng = StdRng::seed_from_u64(4);
+    let user = ds
+        .users()
+        .find(|&u| ds.replica_candidates(u).len() >= 5)
+        .expect("well-connected user");
+    let replicas = policy.place(&ds, &folded, user, 4, Connectivity::ConRep, &mut rng);
+    let week = weekly_availability(user, &replicas, &weekly, true);
+    let mean_of_days: f64 = DayOfWeek::ALL
+        .iter()
+        .map(|&d| {
+            let view = weekly.day_view(d);
+            dosn::metrics::availability(user, &replicas, &view, true)
+        })
+        .sum::<f64>()
+        / 7.0;
+    assert!(
+        (week - mean_of_days).abs() < 1e-9,
+        "weekly {week:.6} vs mean-of-days {mean_of_days:.6}"
+    );
+}
+
+/// The weekly delay bound dominates the folded-daily bound: weekly
+/// co-online windows are a subset of the folded ones, so gaps only grow.
+#[test]
+fn weekly_delay_dominates_daily() {
+    let (ds, weekly, folded) = setup(5);
+    let policy = MaxAv::availability();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut checked = 0;
+    for user in ds.users() {
+        let replicas = policy.place(&ds, &folded, user, 4, Connectivity::ConRep, &mut rng);
+        if replicas.len() < 2 {
+            continue;
+        }
+        let daily = dosn::metrics::update_propagation_delay(&replicas, &folded).worst_secs;
+        let week = weekly_update_propagation_delay(&replicas, &weekly).worst_secs;
+        match (daily, week) {
+            (Some(d), Some(w)) => assert!(
+                w >= d,
+                "user {user}: weekly {w} below folded-daily bound {d}"
+            ),
+            // Weekly may disconnect what the folded view thought was
+            // connected — never the other way around.
+            (Some(_), None) => {}
+            (None, Some(w)) => panic!("user {user}: folded disconnected but weekly {w}"),
+            (None, None) => {}
+        }
+        checked += 1;
+        if checked >= 25 {
+            break;
+        }
+    }
+    assert!(checked >= 10);
+}
