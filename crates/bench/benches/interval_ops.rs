@@ -70,5 +70,50 @@ fn bench_max_gap(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_union, bench_overlap, bench_max_gap);
+/// The fused word-level kernels the sweep's dense path leans on:
+/// intersect-then-gap and intersect-then-wait without materializing the
+/// intersection, and the popcount range measure.
+fn bench_dense_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_kernels");
+    for &sessions in &[4usize, 32, 128] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = random_schedule(sessions, 1200, &mut rng);
+        let b = random_schedule(sessions, 1200, &mut rng);
+        let (da, db) = (DenseSchedule::from(&a), DenseSchedule::from(&b));
+        group.bench_with_input(
+            BenchmarkId::new("intersection_max_gap", sessions),
+            &sessions,
+            |bench, _| bench.iter(|| black_box(&da).intersection_max_gap(&db)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("materialize_then_gap", sessions),
+            &sessions,
+            |bench, _| bench.iter(|| black_box(da.intersection(&db)).max_gap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wait_until_co_online", sessions),
+            &sessions,
+            |bench, _| bench.iter(|| black_box(&da).wait_until_co_online(&db, 43_200)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("online_seconds_in", sessions),
+            &sessions,
+            |bench, _| bench.iter(|| black_box(&da).online_seconds_in(21_600, 64_800)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse_online_seconds_in", sessions),
+            &sessions,
+            |bench, _| bench.iter(|| black_box(&a).online_seconds_in(21_600, 64_800)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_union,
+    bench_overlap,
+    bench_max_gap,
+    bench_dense_kernels
+);
 criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! End-to-end sweep hot path: the incremental degree sweep against a
+//! reconstruction of the per-prefix path it replaced.
+//!
+//! `incremental` runs [`sweep::degree_sweep`] as shipped — one schedule
+//! draw per repetition shared across the policies, one placement per
+//! user, prefix metrics extended replica by replica (running co-online
+//! cache, incremental all-pairs delays, maintained replay arrivals).
+//!
+//! `per_prefix_reference` reconstructs the pre-incremental pipeline out
+//! of the same public API: one schedule draw *per policy*, and every
+//! budget of every user re-evaluated from scratch with
+//! [`evaluate_replica_set`] — each prefix re-deriving the covers,
+//! re-intersecting every replica pair, re-running Floyd–Warshall and the
+//! full observed-delay replays. The produced numbers agree; only the
+//! work differs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dosn_core::{evaluate_replica_set, sweep, ModelKind, PolicyKind, StudyConfig};
+use dosn_socialgraph::UserId;
+use dosn_trace::{synth, Dataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const USERS: usize = 2_000;
+const MAX_DEGREE: usize = 9;
+
+fn dataset() -> Dataset {
+    synth::facebook_like(USERS, 1).expect("generation succeeds")
+}
+
+fn config() -> StudyConfig {
+    StudyConfig::default().with_repetitions(1).with_threads(Some(1))
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let ds = dataset();
+    let users: Vec<UserId> = ds.users().collect();
+    let config = config();
+    let mut group = c.benchmark_group("sweep_pipeline");
+    group.sample_size(10);
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            black_box(sweep::degree_sweep(
+                &ds,
+                ModelKind::sporadic_default(),
+                &PolicyKind::paper_trio(),
+                &users,
+                MAX_DEGREE,
+                &config,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_per_prefix_reference(c: &mut Criterion) {
+    let ds = dataset();
+    let users: Vec<UserId> = ds.users().collect();
+    let config = config();
+    let mut group = c.benchmark_group("sweep_pipeline");
+    group.sample_size(10);
+    group.bench_function("per_prefix_reference", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for (pi, policy) in PolicyKind::paper_trio().iter().enumerate() {
+                let mut model_rng = StdRng::seed_from_u64(pi as u64);
+                let schedules = ModelKind::sporadic_default()
+                    .build()
+                    .schedules(&ds, &mut model_rng);
+                let built = policy.build();
+                for &user in &users {
+                    let mut rng = StdRng::seed_from_u64(user.index() as u64);
+                    let placement = built.place(
+                        &ds,
+                        &schedules,
+                        user,
+                        MAX_DEGREE,
+                        config.connectivity(),
+                        &mut rng,
+                    );
+                    for k in 0..=MAX_DEGREE {
+                        let prefix = &placement[..k.min(placement.len())];
+                        let m = evaluate_replica_set(
+                            &ds,
+                            &schedules,
+                            user,
+                            prefix,
+                            config.include_owner(),
+                        );
+                        acc += m.availability;
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental, bench_per_prefix_reference);
+criterion_main!(benches);

@@ -208,7 +208,10 @@ fn sweep_cmd(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let ds = dataset(args)?;
     let config = config(args)?;
     let policies = policies(args)?;
-    match args.positional().get(1).map(String::as_str) {
+    // `--timing` appends per-(model, policy) wall time and users/sec
+    // after the table, from the sweep's `*_timed` variant.
+    let show_timing = args.has("timing");
+    let (table, timing) = match args.positional().get(1).map(String::as_str) {
         Some("degree") => {
             let degree = args.get_parsed("degree", 10usize)?;
             let users = ds.users_with_degree(degree);
@@ -217,8 +220,7 @@ fn sweep_cmd(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 "degree sweep over {} users of degree {degree}",
                 users.len()
             )?;
-            let table = sweep::degree_sweep(&ds, model(args)?, &policies, &users, degree, &config);
-            print_table(&table, args, out)
+            sweep::degree_sweep_timed(&ds, model(args)?, &policies, &users, degree, &config)
         }
         Some("session") => {
             let budget = args.get_parsed("budget", 3usize)?;
@@ -232,20 +234,23 @@ fn sweep_cmd(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 "session-length sweep over {} users of degree {degree}, budget {budget}",
                 users.len()
             )?;
-            let table =
-                sweep::session_length_sweep(&ds, &lengths, &policies, &users, budget, &config);
-            print_table(&table, args, out)
+            sweep::session_length_sweep_timed(&ds, &lengths, &policies, &users, budget, &config)
         }
         Some("user-degree") => {
             let max_degree = args.get_parsed("max-degree", 10usize)?;
-            let table =
-                sweep::user_degree_sweep(&ds, model(args)?, &policies, max_degree, &config);
-            print_table(&table, args, out)
+            sweep::user_degree_sweep_timed(&ds, model(args)?, &policies, max_degree, &config)
         }
-        other => Err(CliError::Usage(format!(
-            "unknown sweep {other:?}; expected degree, session or user-degree"
-        ))),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown sweep {other:?}; expected degree, session or user-degree"
+            )))
+        }
+    };
+    print_table(&table, args, out)?;
+    if show_timing {
+        write!(out, "{}", timing.to_text())?;
     }
+    Ok(())
 }
 
 fn replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -453,6 +458,22 @@ mod tests {
         with_json.push("--json");
         let json = run_capture(&with_json).unwrap();
         assert!(json.contains("\"x_label\":\"replication_degree\""));
+    }
+
+    #[test]
+    fn degree_sweep_timing_flag_appends_throughput() {
+        let base = [
+            "sweep", "degree", "--users", "200", "--degree", "4", "--repetitions", "1",
+            "--policies", "maxav,random", "--csv",
+        ];
+        let without = run_capture(&base).unwrap();
+        assert!(!without.contains("users_per_s"), "{without}");
+        let mut with_timing = base.to_vec();
+        with_timing.push("--timing");
+        let text = run_capture(&with_timing).unwrap();
+        assert!(text.contains("model\tpolicy\tusers\twall_s\tusers_per_s"), "{text}");
+        // One timing line per policy, after the table.
+        assert!(text.contains("\tmaxav\t") && text.contains("\trandom\t"), "{text}");
     }
 
     #[test]

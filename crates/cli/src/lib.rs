@@ -55,6 +55,7 @@ SWEEP OPTIONS:
     --csv                        print the full CSV instead of plot blocks
     --json                       print the table as a JSON document
     --plot                       render ASCII charts in the terminal
+    --timing                     append wall time and users/sec per (model, policy)
 
 REPLAY / SYSTEM / FAIRNESS OPTIONS:
     --user N                     dense user id [default: highest-degree user]

@@ -56,9 +56,10 @@ mod results;
 pub mod sweep;
 
 pub use config::StudyConfig;
-pub use experiment::{evaluate_prefixes, evaluate_user, UserMetrics};
+pub use experiment::{evaluate_prefixes, evaluate_replica_set, evaluate_user, UserMetrics};
 pub use kinds::{ModelKind, PolicyKind};
 pub use results::{MetricKind, SweepRow, SweepTable};
+pub use sweep::{SweepTiming, TimingEntry};
 
 /// Convenience re-exports of the sibling crates' main types.
 pub mod prelude {

@@ -94,19 +94,11 @@ pub fn online_seconds_between(schedule: &DaySchedule, from: Timestamp, to: Times
     }
     let (from_day, from_tod) = (from.day_index(), from.time_of_day());
     let (to_day, to_tod) = (to.day_index(), to.time_of_day());
-    let measure_range = |lo: u32, hi: u32| -> u64 {
-        // Online seconds with time-of-day in [lo, hi).
-        if lo >= hi {
-            return 0;
-        }
-        let window = DaySchedule::window_wrapping(lo, hi - lo).expect("valid probe window");
-        u64::from(schedule.overlap_seconds(&window))
-    };
     if from_day == to_day {
-        return measure_range(from_tod, to_tod);
+        return u64::from(schedule.online_seconds_in(from_tod, to_tod));
     }
-    let head = measure_range(from_tod, SECONDS_PER_DAY);
-    let tail = measure_range(0, to_tod);
+    let head = u64::from(schedule.online_seconds_in(from_tod, SECONDS_PER_DAY));
+    let tail = u64::from(schedule.online_seconds_in(0, to_tod));
     let full_days = to_day - from_day - 1;
     head + full_days * u64::from(schedule.online_seconds()) + tail
 }

@@ -10,100 +10,273 @@
 //! All sweeps average over the studied users and over
 //! [`StudyConfig::repetitions`] repetitions of the randomized components
 //! (online-time sampling, Random/MostActive tie-breaking), exactly as the
-//! paper repeats its randomized experiments 5 times. Users are processed
-//! in parallel worker threads; results are deterministic for a given
-//! seed because every (repetition, user) pair derives its own RNG.
+//! paper repeats its randomized experiments 5 times.
+//!
+//! Per repetition there is exactly **one** draw of everyone's online
+//! times, shared by every policy and budget (the draw's seed derivation
+//! is policy-free, so this is output-preserving); its dense bitmap forms
+//! are materialized once before any worker runs. Users are then spread
+//! over worker threads through a shared claim counter — dynamic
+//! work-stealing rather than fixed chunks, so threads that draw cheap
+//! users keep working instead of idling at a chunk boundary. Workers
+//! return per-user metric rows and the coordinating thread folds them in
+//! user order, which makes the floating-point aggregation independent of
+//! the thread count; results are deterministic for a given seed because
+//! every (repetition, user) pair derives its own RNG.
+//!
+//! Each sweep has a `*_timed` variant that additionally reports wall
+//! time and throughput per (model, policy) pair — the data behind the
+//! CLI's `--timing` flag.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use dosn_onlinetime::OnlineSchedules;
 use dosn_socialgraph::UserId;
 use dosn_trace::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use dosn_interval::DaySchedule;
+
 use crate::config::{derive_seed, StudyConfig};
-use crate::experiment::evaluate_prefixes;
+use crate::experiment::{evaluate_prefixes_with_demand, UserMetrics};
 use crate::kinds::{ModelKind, PolicyKind};
 use crate::results::{CellMetrics, SweepRow, SweepTable};
 
-/// Runs the repetition × user loop for one (model, policy) pair and a
-/// set of budgets, returning one aggregated cell per budget.
-fn run_cells(
+/// Wall-clock accounting of one (model, policy) pair across a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingEntry {
+    /// The online-time model's label.
+    pub model: String,
+    /// The policy's label.
+    pub policy: String,
+    /// User evaluations performed (studied users × repetitions,
+    /// accumulated over every cell of the sweep).
+    pub users_evaluated: usize,
+    /// Wall time spent on those evaluations, in seconds.
+    pub wall_secs: f64,
+}
+
+impl TimingEntry {
+    /// Throughput in user evaluations per second.
+    pub fn users_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.users_evaluated as f64 / self.wall_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Wall-clock accounting of a sweep, one entry per (model, policy) pair
+/// in first-evaluation order. Produced by the `*_timed` sweep variants;
+/// purely observational (the sweep results do not depend on it).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepTiming {
+    entries: Vec<TimingEntry>,
+}
+
+impl SweepTiming {
+    /// Folds one measured section into the (model, policy) entry.
+    fn record(&mut self, model: &str, policy: &str, users_evaluated: usize, wall_secs: f64) {
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.model == model && e.policy == policy)
+        {
+            Some(e) => {
+                e.users_evaluated += users_evaluated;
+                e.wall_secs += wall_secs;
+            }
+            None => self.entries.push(TimingEntry {
+                model: model.to_string(),
+                policy: policy.to_string(),
+                users_evaluated,
+                wall_secs,
+            }),
+        }
+    }
+
+    /// The entries, in first-evaluation order.
+    pub fn entries(&self) -> &[TimingEntry] {
+        &self.entries
+    }
+
+    /// A human-readable table: one line per (model, policy) with wall
+    /// time and users/sec.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("model\tpolicy\tusers\twall_s\tusers_per_s\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{:.3}\t{:.0}\n",
+                e.model,
+                e.policy,
+                e.users_evaluated,
+                e.wall_secs,
+                e.users_per_sec()
+            ));
+        }
+        out
+    }
+}
+
+/// Evaluates one policy over all users for one repetition's schedule
+/// draw. Users are claimed dynamically off a shared atomic counter;
+/// rows come back indexed by user position so the caller can fold them
+/// in user order regardless of which thread produced them.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_policy_users(
     dataset: &Dataset,
-    model: ModelKind,
+    schedules: &OnlineSchedules,
+    demands: &[DaySchedule],
     policy: PolicyKind,
     users: &[UserId],
     budgets: &[usize],
     config: &StudyConfig,
-) -> Vec<CellMetrics> {
-    let mut cells = vec![CellMetrics::default(); budgets.len()];
-    if users.is_empty() || budgets.is_empty() {
-        return cells;
-    }
-    let repetitions = if model.is_randomized() || policy.is_randomized() {
-        config.repetitions()
-    } else {
-        1
-    };
-    let max_budget = *budgets.last().expect("budgets non-empty");
-    let built_model = model.build();
-    for rep in 0..repetitions {
-        // Schedules are global per repetition: one draw of everyone's
-        // online times, shared by every policy and budget.
-        let mut model_rng = StdRng::seed_from_u64(derive_seed(config.seed(), rep, usize::MAX));
-        let schedules = built_model.schedules(dataset, &mut model_rng);
-
-        let threads = config.effective_threads().min(users.len()).max(1);
-        let chunk = users.len().div_ceil(threads);
-        let partials: Vec<Vec<CellMetrics>> = crossbeam::thread::scope(|scope| {
-            let schedules = &schedules;
-            let handles: Vec<_> = users
-                .chunks(chunk)
-                .map(|user_chunk| {
-                    scope.spawn(move |_| {
-                        let built_policy = policy.build();
-                        let mut local = vec![CellMetrics::default(); budgets.len()];
-                        for &user in user_chunk {
-                            let mut rng = StdRng::seed_from_u64(derive_seed(
-                                config.seed() ^ fx_hash(policy.label()),
-                                rep,
-                                user.index(),
-                            ));
-                            let placement = built_policy.place(
-                                dataset,
-                                schedules,
-                                user,
-                                max_budget,
-                                config.connectivity(),
-                                &mut rng,
-                            );
-                            let metrics = evaluate_prefixes(
-                                dataset,
-                                schedules,
-                                user,
-                                &placement,
-                                budgets,
-                                config.include_owner(),
-                            );
-                            for (cell, m) in local.iter_mut().zip(&metrics) {
-                                cell.add(m);
-                            }
+    rep: usize,
+    max_budget: usize,
+) -> Vec<Vec<UserMetrics>> {
+    let threads = config.effective_threads().min(users.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let mut rows: Vec<Option<Vec<UserMetrics>>> = vec![None; users.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let built_policy = policy.build();
+                    let mut claimed = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= users.len() {
+                            break;
                         }
-                        local
-                    })
+                        let user = users[i];
+                        let mut rng = StdRng::seed_from_u64(derive_seed(
+                            config.seed() ^ fx_hash(policy.label()),
+                            rep,
+                            user.index(),
+                        ));
+                        let placement = built_policy.place(
+                            dataset,
+                            schedules,
+                            user,
+                            max_budget,
+                            config.connectivity(),
+                            &mut rng,
+                        );
+                        let metrics = evaluate_prefixes_with_demand(
+                            dataset,
+                            schedules,
+                            user,
+                            &placement,
+                            budgets,
+                            config.include_owner(),
+                            Some(&demands[i]),
+                        );
+                        claimed.push((i, metrics));
+                    }
+                    claimed
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        })
-        .expect("worker scope");
-        for partial in partials {
-            for (cell, p) in cells.iter_mut().zip(&partial) {
-                cell.merge(p);
+            })
+            .collect();
+        for handle in handles {
+            for (i, metrics) in handle.join().expect("worker thread panicked") {
+                rows[i] = Some(metrics);
             }
         }
+    });
+    rows.into_iter()
+        .map(|r| r.expect("every user claimed exactly once"))
+        .collect()
+}
+
+/// Runs the repetition × user loop for every policy against **shared**
+/// per-repetition schedule draws, returning one aggregated cell per
+/// (policy, budget).
+///
+/// Policies that involve no randomness (and run under a deterministic
+/// model) contribute a single repetition, exactly as when run alone:
+/// repetition `r` of any policy sees the same schedule draw and the
+/// same per-(repetition, user) RNG either way.
+fn run_cells_multi(
+    dataset: &Dataset,
+    model: ModelKind,
+    policies: &[PolicyKind],
+    users: &[UserId],
+    budgets: &[usize],
+    config: &StudyConfig,
+    timing: &mut SweepTiming,
+) -> Vec<Vec<CellMetrics>> {
+    let mut per_policy: Vec<Vec<CellMetrics>> =
+        vec![vec![CellMetrics::default(); budgets.len()]; policies.len()];
+    if users.is_empty() || budgets.is_empty() || policies.is_empty() {
+        return per_policy;
     }
-    cells
+    let reps_for = |policy: PolicyKind| {
+        if model.is_randomized() || policy.is_randomized() {
+            config.repetitions()
+        } else {
+            1
+        }
+    };
+    let max_reps = policies
+        .iter()
+        .map(|&p| reps_for(p))
+        .max()
+        .expect("policies non-empty");
+    let max_budget = *budgets.last().expect("budgets non-empty");
+    let model_label = model.label();
+    // Schedules are global per repetition: one draw of everyone's online
+    // times, shared by every policy and budget. The draw for repetition
+    // `rep + 1` runs on a background thread while the workers evaluate
+    // repetition `rep` — each repetition's generator is seeded
+    // independently, so the prefetch is invisible to the results.
+    let draw = |rep: usize| {
+        let mut model_rng = StdRng::seed_from_u64(derive_seed(config.seed(), rep, usize::MAX));
+        model.build().schedules(dataset, &mut model_rng)
+    };
+    let draw = &draw;
+    std::thread::scope(|scope| {
+        let mut pending = Some(scope.spawn(move || draw(0)));
+        for rep in 0..max_reps {
+            let schedules = pending
+                .take()
+                .expect("prefetch pending")
+                .join()
+                .expect("schedule draw panicked");
+            if rep + 1 < max_reps {
+                pending = Some(scope.spawn(move || draw(rep + 1)));
+            }
+            // The demand unions depend on the draw but not on the
+            // policy: derive them once and share them across policies.
+            let demands: Vec<DaySchedule> = users
+                .iter()
+                .map(|&u| schedules.union_of(dataset.replica_candidates(u).iter().copied()))
+                .collect();
+            for (cells, &policy) in per_policy.iter_mut().zip(policies) {
+                if rep >= reps_for(policy) {
+                    continue;
+                }
+                let start = Instant::now();
+                let rows = evaluate_policy_users(
+                    dataset, &schedules, &demands, policy, users, budgets, config, rep, max_budget,
+                );
+                for metrics in &rows {
+                    for (cell, m) in cells.iter_mut().zip(metrics) {
+                        cell.add(m);
+                    }
+                }
+                timing.record(
+                    &model_label,
+                    policy.label(),
+                    users.len(),
+                    start.elapsed().as_secs_f64(),
+                );
+            }
+        }
+    });
+    per_policy
 }
 
 /// Cheap stable hash of a policy label, to decorrelate per-policy RNGs.
@@ -147,10 +320,23 @@ pub fn degree_sweep(
     max_degree: usize,
     config: &StudyConfig,
 ) -> SweepTable {
+    degree_sweep_timed(dataset, model, policies, users, max_degree, config).0
+}
+
+/// [`degree_sweep`] plus wall-clock accounting per (model, policy).
+pub fn degree_sweep_timed(
+    dataset: &Dataset,
+    model: ModelKind,
+    policies: &[PolicyKind],
+    users: &[UserId],
+    max_degree: usize,
+    config: &StudyConfig,
+) -> (SweepTable, SweepTiming) {
     let budgets: Vec<usize> = (0..=max_degree).collect();
+    let mut timing = SweepTiming::default();
+    let per_policy = run_cells_multi(dataset, model, policies, users, &budgets, config, &mut timing);
     let mut rows = Vec::new();
-    for &policy in policies {
-        let cells = run_cells(dataset, model, policy, users, &budgets, config);
+    for (&policy, cells) in policies.iter().zip(per_policy) {
         for (&k, cell) in budgets.iter().zip(cells) {
             rows.push(SweepRow {
                 x: k as f64,
@@ -159,7 +345,7 @@ pub fn degree_sweep(
             });
         }
     }
-    SweepTable::new("replication_degree", rows)
+    (SweepTable::new("replication_degree", rows), timing)
 }
 
 /// Metrics vs Sporadic session length at a fixed replication degree —
@@ -173,20 +359,53 @@ pub fn session_length_sweep(
     replication_degree: usize,
     config: &StudyConfig,
 ) -> SweepTable {
+    session_length_sweep_timed(
+        dataset,
+        session_lengths,
+        policies,
+        users,
+        replication_degree,
+        config,
+    )
+    .0
+}
+
+/// [`session_length_sweep`] plus wall-clock accounting per (model,
+/// policy).
+pub fn session_length_sweep_timed(
+    dataset: &Dataset,
+    session_lengths: &[u32],
+    policies: &[PolicyKind],
+    users: &[UserId],
+    replication_degree: usize,
+    config: &StudyConfig,
+) -> (SweepTable, SweepTiming) {
     let budgets = [replication_degree];
-    let mut rows = Vec::new();
-    for &policy in policies {
-        for &len in session_lengths {
+    let mut timing = SweepTiming::default();
+    // Evaluate length-major so each length's schedule draws are shared
+    // across the policies; emit rows policy-major to keep the table
+    // shape unchanged.
+    let per_length: Vec<Vec<CellMetrics>> = session_lengths
+        .iter()
+        .map(|&len| {
             let model = ModelKind::Sporadic { session_secs: len };
-            let cells = run_cells(dataset, model, policy, users, &budgets, config);
+            run_cells_multi(dataset, model, policies, users, &budgets, config, &mut timing)
+                .into_iter()
+                .map(|cells| cells.into_iter().next().expect("one budget"))
+                .collect()
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for (pi, &policy) in policies.iter().enumerate() {
+        for (li, &len) in session_lengths.iter().enumerate() {
             rows.push(SweepRow {
                 x: f64::from(len),
                 policy: policy.label().to_string(),
-                cell: cells.into_iter().next().expect("one budget"),
+                cell: per_length[li][pi].clone(),
             });
         }
     }
-    SweepTable::new("session_length_s", rows)
+    (SweepTable::new("session_length_s", rows), timing)
 }
 
 /// Metrics vs user degree, each user granted the maximum possible
@@ -201,19 +420,40 @@ pub fn user_degree_sweep(
     max_user_degree: usize,
     config: &StudyConfig,
 ) -> SweepTable {
-    let mut rows = Vec::new();
-    for &policy in policies {
-        for d in 1..=max_user_degree {
+    user_degree_sweep_timed(dataset, model, policies, max_user_degree, config).0
+}
+
+/// [`user_degree_sweep`] plus wall-clock accounting per (model, policy).
+pub fn user_degree_sweep_timed(
+    dataset: &Dataset,
+    model: ModelKind,
+    policies: &[PolicyKind],
+    max_user_degree: usize,
+    config: &StudyConfig,
+) -> (SweepTable, SweepTiming) {
+    let mut timing = SweepTiming::default();
+    // Degree-major evaluation (shared schedule draws per degree),
+    // policy-major row order.
+    let per_degree: Vec<Vec<CellMetrics>> = (1..=max_user_degree)
+        .map(|d| {
             let users = dataset.users_with_degree(d);
-            let cells = run_cells(dataset, model, policy, &users, &[d], config);
+            run_cells_multi(dataset, model, policies, &users, &[d], config, &mut timing)
+                .into_iter()
+                .map(|cells| cells.into_iter().next().expect("one budget"))
+                .collect()
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for (pi, &policy) in policies.iter().enumerate() {
+        for (di, cells) in per_degree.iter().enumerate() {
             rows.push(SweepRow {
-                x: d as f64,
+                x: (di + 1) as f64,
                 policy: policy.label().to_string(),
-                cell: cells.into_iter().next().expect("one budget"),
+                cell: cells[pi].clone(),
             });
         }
     }
-    SweepTable::new("user_degree", rows)
+    (SweepTable::new("user_degree", rows), timing)
 }
 
 #[cfg(test)]
@@ -308,6 +548,62 @@ mod tests {
     }
 
     #[test]
+    fn shared_draws_match_single_policy_runs() {
+        // Evaluating several policies against one shared schedule draw
+        // per repetition must reproduce each policy's standalone sweep
+        // exactly — including when the policies disagree about how many
+        // repetitions they need (deterministic model: MaxAv runs once,
+        // Random five times).
+        let ds = dataset();
+        let users = ds.users_with_degree(5);
+        for model in [ModelKind::sporadic_default(), ModelKind::fixed_hours(4)] {
+            let trio = PolicyKind::paper_trio();
+            let combined = degree_sweep(&ds, model, &trio, &users, 4, &quick_config());
+            for &policy in &trio {
+                let alone = degree_sweep(&ds, model, &[policy], &users, 4, &quick_config());
+                let label = policy.label();
+                let combined_rows: Vec<_> = combined
+                    .rows()
+                    .iter()
+                    .filter(|r| r.policy == label)
+                    .collect();
+                assert_eq!(combined_rows.len(), alone.rows().len());
+                for (c, a) in combined_rows.iter().zip(alone.rows()) {
+                    assert_eq!(c.x, a.x);
+                    assert_eq!(c.cell, a.cell, "{} x={} model={}", label, c.x, model.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timed_variant_reports_throughput() {
+        let ds = dataset();
+        let users = ds.users_with_degree(5);
+        let config = quick_config();
+        let (table, timing) = degree_sweep_timed(
+            &ds,
+            ModelKind::sporadic_default(),
+            &[PolicyKind::MaxAv, PolicyKind::Random],
+            &users,
+            3,
+            &config,
+        );
+        assert_eq!(table.rows().len(), 8);
+        assert_eq!(timing.entries().len(), 2);
+        for e in timing.entries() {
+            assert_eq!(e.model, ModelKind::sporadic_default().label());
+            // Sporadic is randomized, so both policies run all reps.
+            assert_eq!(e.users_evaluated, users.len() * config.repetitions());
+            assert!(e.wall_secs >= 0.0);
+            assert!(e.users_per_sec() > 0.0);
+        }
+        let text = timing.to_text();
+        assert!(text.contains("maxav") && text.contains("random"));
+        assert!(text.starts_with("model\tpolicy"));
+    }
+
+    #[test]
     fn session_length_sweep_improves_with_length() {
         let ds = dataset();
         let users = ds.users_with_degree(6);
@@ -323,6 +619,34 @@ mod tests {
         assert_eq!(series.len(), 3);
         assert!(series[2].1 > series[0].1, "{series:?}");
         assert_eq!(table.x_label(), "session_length_s");
+    }
+
+    #[test]
+    fn session_length_rows_stay_policy_major() {
+        let ds = dataset();
+        let users = ds.users_with_degree(5);
+        let table = session_length_sweep(
+            &ds,
+            &[600, 1_200],
+            &[PolicyKind::MaxAv, PolicyKind::Random],
+            &users,
+            2,
+            &StudyConfig::default().with_repetitions(1),
+        );
+        let order: Vec<(String, f64)> = table
+            .rows()
+            .iter()
+            .map(|r| (r.policy.clone(), r.x))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("maxav".to_string(), 600.0),
+                ("maxav".to_string(), 1_200.0),
+                ("random".to_string(), 600.0),
+                ("random".to_string(), 1_200.0),
+            ]
+        );
     }
 
     #[test]

@@ -15,9 +15,10 @@
 //!   measures between users, circular gap queries (the building block of
 //!   the update-propagation-delay metric), and "how long until this user
 //!   is next online" queries.
-//! * [`DenseSchedule`] — a bitmap implementation of the same day-set
-//!   semantics, used as a test oracle and as the baseline in ablation
-//!   benchmarks.
+//! * [`DenseSchedule`] / [`DenseWeekSchedule`] — bitmap implementations
+//!   of the same day- and week-set semantics with word-level kernels;
+//!   the compute substrate of the sweep hot path (and still the oracle
+//!   for the interval algebra's property tests).
 //! * [`Timestamp`] — absolute event time (seconds since an arbitrary
 //!   epoch) with projection onto the time-of-day circle.
 //!
@@ -55,7 +56,7 @@ mod week;
 
 pub use error::IntervalError;
 pub use interval::Interval;
-pub use mask::DenseSchedule;
+pub use mask::{DenseSchedule, DenseWeekSchedule};
 pub use schedule::{coverage_at_least, DaySchedule};
 pub use set::IntervalSet;
 pub use time::{Timestamp, SECONDS_PER_DAY, SECONDS_PER_HOUR, SECONDS_PER_MINUTE};

@@ -1,14 +1,216 @@
+use crate::interval::Interval;
 use crate::schedule::DaySchedule;
+use crate::set::IntervalSet;
 use crate::time::SECONDS_PER_DAY;
+use crate::week::{WeekSchedule, SECONDS_PER_WEEK};
 
-const WORDS: usize = (SECONDS_PER_DAY as usize).div_ceil(64);
+const DAY_WORDS: usize = (SECONDS_PER_DAY as usize).div_ceil(64);
+const WEEK_WORDS: usize = (SECONDS_PER_WEEK as usize).div_ceil(64);
+
+// Both circles are exact multiples of 64 seconds, so no bitset ever has a
+// partial last word and none of the kernels below need tail masks.
+const _: () = assert!(SECONDS_PER_DAY as usize % 64 == 0);
+const _: () = assert!(SECONDS_PER_WEEK as usize % 64 == 0);
+
+/// Word-level kernels shared by [`DenseSchedule`] and
+/// [`DenseWeekSchedule`]. All functions assume `total = words.len() * 64`
+/// seconds with no partial last word.
+mod bits {
+    /// Sets bits `[start, end)`. `end <= words.len() * 64`.
+    pub fn fill_range(words: &mut [u64], start: u32, end: u32) {
+        if start >= end {
+            return;
+        }
+        let sw = (start / 64) as usize;
+        let ew = (end / 64) as usize;
+        let sb = start % 64;
+        let eb = end % 64;
+        if sw == ew {
+            words[sw] |= ((1u64 << (end - start)) - 1) << sb;
+        } else {
+            words[sw] |= !0u64 << sb;
+            for w in &mut words[sw + 1..ew] {
+                *w = !0;
+            }
+            if eb > 0 {
+                words[ew] |= (1u64 << eb) - 1;
+            }
+        }
+    }
+
+    pub fn count(words: &[u64]) -> u32 {
+        words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Popcount of bits in `[start, end)`.
+    pub fn count_range(words: &[u64], start: u32, end: u32) -> u32 {
+        if start >= end {
+            return 0;
+        }
+        let sw = (start / 64) as usize;
+        let ew = (end / 64) as usize;
+        let sb = start % 64;
+        let eb = end % 64;
+        if sw == ew {
+            return (words[sw] >> sb << (64 - (end - start)) >> (64 - (end - start))).count_ones();
+        }
+        let mut total = (words[sw] >> sb).count_ones();
+        total += words[sw + 1..ew].iter().map(|w| w.count_ones()).sum::<u32>();
+        if eb > 0 {
+            total += (words[ew] & ((1u64 << eb) - 1)).count_ones();
+        }
+        total
+    }
+
+    pub fn union_in_place(dst: &mut [u64], src: &[u64]) {
+        for (a, b) in dst.iter_mut().zip(src) {
+            *a |= b;
+        }
+    }
+
+    pub fn intersect_in_place(dst: &mut [u64], src: &[u64]) {
+        for (a, b) in dst.iter_mut().zip(src) {
+            *a &= b;
+        }
+    }
+
+    pub fn difference_in_place(dst: &mut [u64], src: &[u64]) {
+        for (a, b) in dst.iter_mut().zip(src) {
+            *a &= !b;
+        }
+    }
+
+    /// `popcount(a & b)` without materializing the intersection.
+    pub fn and_count(a: &[u64], b: &[u64]) -> u32 {
+        a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
+    }
+
+    pub fn intersects(a: &[u64], b: &[u64]) -> bool {
+        a.iter().zip(b).any(|(x, y)| x & y != 0)
+    }
+
+    pub fn first_set(words: &[u64]) -> Option<u32> {
+        words
+            .iter()
+            .position(|&w| w != 0)
+            .map(|i| i as u32 * 64 + words[i].trailing_zeros())
+    }
+
+    /// First set bit at position `>= t`, not wrapping.
+    pub fn next_set_at_or_after(words: &[u64], t: u32) -> Option<u32> {
+        let w0 = (t / 64) as usize;
+        if w0 >= words.len() {
+            return None;
+        }
+        let head = words[w0] & (!0u64 << (t % 64));
+        if head != 0 {
+            return Some(w0 as u32 * 64 + head.trailing_zeros());
+        }
+        words[w0 + 1..]
+            .iter()
+            .position(|&w| w != 0)
+            .map(|off| (w0 + 1 + off) as u32 * 64 + words[w0 + 1 + off].trailing_zeros())
+    }
+
+    /// Longest circularly-contiguous run of zero bits: `None` when all
+    /// bits are zero, `Some(0)` when all are one. `word(i)` yields the
+    /// i-th of `n` words; taking a closure lets callers scan `a & b`
+    /// without materializing it.
+    pub fn max_zero_run_circular(n: usize, word: impl Fn(usize) -> u64) -> Option<u32> {
+        let mut first: Option<u32> = None;
+        let mut max = 0u32;
+        let mut run = 0u32; // zero run ending at the current position
+        for i in 0..n {
+            let mut w = word(i);
+            if w == 0 {
+                run += 64;
+                continue;
+            }
+            if first.is_none() {
+                first = Some(i as u32 * 64 + w.trailing_zeros());
+            }
+            let mut consumed = 0u32;
+            while w != 0 {
+                let tz = w.trailing_zeros();
+                run += tz;
+                max = max.max(run);
+                run = 0;
+                let ones = (w >> tz).trailing_ones();
+                consumed += tz + ones;
+                w = if tz + ones >= 64 { 0 } else { w >> (tz + ones) };
+            }
+            run = 64 - consumed;
+        }
+        // Wraparound: the trailing zero run joins the leading one, whose
+        // length is exactly the first set bit's position.
+        let first = first?;
+        Some(max.max(run + first))
+    }
+
+    /// Extracts the maximal runs of set bits as `(start, end)` pairs in
+    /// ascending order (linear, not circular).
+    pub fn runs(words: &[u64]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        let mut open: Option<u32> = None;
+        for (i, &w) in words.iter().enumerate() {
+            let base = i as u32 * 64;
+            if w == 0 {
+                if let Some(s) = open.take() {
+                    out.push((s, base));
+                }
+                continue;
+            }
+            if w == !0 {
+                if open.is_none() {
+                    open = Some(base);
+                }
+                continue;
+            }
+            let mut w = w;
+            let mut pos = 0u32;
+            while pos < 64 {
+                let tz = (w.trailing_zeros()).min(64 - pos);
+                if tz > 0 {
+                    if let Some(s) = open.take() {
+                        out.push((s, base + pos));
+                    }
+                    pos += tz;
+                    w = if tz >= 64 { 0 } else { w >> tz };
+                }
+                if pos >= 64 {
+                    break;
+                }
+                let ones = w.trailing_ones().min(64 - pos);
+                if ones > 0 {
+                    if open.is_none() {
+                        open = Some(base + pos);
+                    }
+                    pos += ones;
+                    w = if ones >= 64 { 0 } else { w >> ones };
+                }
+            }
+        }
+        if let Some(s) = open {
+            out.push((s, words.len() as u32 * 64));
+        }
+        out
+    }
+}
 
 /// A dense bitmap over the 86 400 seconds of a day.
 ///
-/// Semantically equivalent to [`DaySchedule`]; used as a test oracle for
-/// the interval-set algebra and as the naive baseline in the
-/// interval-vs-bitmap ablation benchmark. One instance occupies ~10.8 KiB
-/// regardless of how fragmented the schedule is.
+/// Semantically equivalent to [`DaySchedule`], with every operation
+/// running word-at-a-time over 1 350 `u64`s: unions, intersections and
+/// overlap counts are straight-line SIMD-friendly loops, and the circular
+/// gap / next-online queries reduce to bit scans. One instance occupies
+/// ~10.8 KiB regardless of how fragmented the schedule is.
+///
+/// The sweep hot path works on dense forms cached next to the sparse
+/// schedules (see `dosn_onlinetime::OnlineSchedules::dense`): the sparse
+/// [`DaySchedule`] stays the canonical representation, the bitmap is the
+/// compute kernel. All counting queries return exactly the same integers
+/// as their sparse counterparts, so metrics computed densely are
+/// bit-identical to the sparse reference.
 ///
 /// # Examples
 ///
@@ -20,30 +222,52 @@ const WORDS: usize = (SECONDS_PER_DAY as usize).div_ceil(64);
 /// let dense = DenseSchedule::from(&sparse);
 /// assert_eq!(dense.online_seconds(), 50);
 /// assert!(dense.contains(120));
+/// assert_eq!(dense.max_gap(), sparse.max_gap());
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct DenseSchedule {
-    bits: Box<[u64; WORDS]>,
+    bits: Box<[u64]>,
 }
 
 impl DenseSchedule {
     /// Creates an empty schedule.
     pub fn new() -> Self {
         DenseSchedule {
-            bits: Box::new([0; WORDS]),
+            bits: vec![0; DAY_WORDS].into_boxed_slice(),
+        }
+    }
+
+    /// Creates a schedule covering the whole day.
+    pub fn full() -> Self {
+        DenseSchedule {
+            bits: vec![!0; DAY_WORDS].into_boxed_slice(),
         }
     }
 
     /// Marks seconds `[start, start + len)` online, wrapping midnight.
     ///
-    /// Seconds at or past `SECONDS_PER_DAY` are reduced modulo the day.
+    /// Seconds at or past `SECONDS_PER_DAY` are reduced modulo the day;
+    /// `len` is capped at a full day.
     pub fn set_wrapping(&mut self, start: u32, len: u32) {
-        for off in 0..len.min(SECONDS_PER_DAY) {
-            let t = (start as u64 + off as u64) % SECONDS_PER_DAY as u64;
-            self.bits[(t / 64) as usize] |= 1 << (t % 64);
+        let len = len.min(SECONDS_PER_DAY);
+        if len == 0 {
+            return;
         }
+        let start = start % SECONDS_PER_DAY;
+        let end = start + len;
+        if end <= SECONDS_PER_DAY {
+            bits::fill_range(&mut self.bits, start, end);
+        } else {
+            bits::fill_range(&mut self.bits, start, SECONDS_PER_DAY);
+            bits::fill_range(&mut self.bits, 0, end - SECONDS_PER_DAY);
+        }
+    }
+
+    /// Resets to the empty schedule, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
     }
 
     /// Whether second-of-day `t` (reduced modulo the day) is online.
@@ -54,7 +278,20 @@ impl DenseSchedule {
 
     /// Total online seconds.
     pub fn online_seconds(&self) -> u32 {
-        self.bits.iter().map(|w| w.count_ones()).sum()
+        bits::count(&self.bits)
+    }
+
+    /// Online seconds with time-of-day in the linear range `[lo, hi)`
+    /// (`hi <= SECONDS_PER_DAY`) — the building block of the
+    /// observed-delay accounting, equal to
+    /// `overlap_seconds(window_wrapping(lo, hi - lo))` on the sparse side.
+    pub fn online_seconds_in(&self, lo: u32, hi: u32) -> u32 {
+        bits::count_range(&self.bits, lo, hi.min(SECONDS_PER_DAY))
+    }
+
+    /// Online time as a fraction of the day.
+    pub fn fraction_of_day(&self) -> f64 {
+        f64::from(self.online_seconds()) / f64::from(SECONDS_PER_DAY)
     }
 
     /// Whether no second is online.
@@ -62,34 +299,125 @@ impl DenseSchedule {
         self.bits.iter().all(|&w| w == 0)
     }
 
+    /// Whether every second is online.
+    pub fn is_full(&self) -> bool {
+        self.bits.iter().all(|&w| w == !0)
+    }
+
     /// Union with another dense schedule.
     #[must_use]
     pub fn union(&self, other: &DenseSchedule) -> DenseSchedule {
         let mut out = self.clone();
-        for (a, b) in out.bits.iter_mut().zip(other.bits.iter()) {
-            *a |= b;
-        }
+        out.union_in_place(other);
         out
+    }
+
+    /// In-place union: `self |= other`.
+    pub fn union_in_place(&mut self, other: &DenseSchedule) {
+        bits::union_in_place(&mut self.bits, &other.bits);
     }
 
     /// Intersection with another dense schedule.
     #[must_use]
     pub fn intersection(&self, other: &DenseSchedule) -> DenseSchedule {
         let mut out = self.clone();
-        for (a, b) in out.bits.iter_mut().zip(other.bits.iter()) {
-            *a &= b;
-        }
+        out.intersect_in_place(other);
+        out
+    }
+
+    /// In-place intersection: `self &= other`.
+    pub fn intersect_in_place(&mut self, other: &DenseSchedule) {
+        bits::intersect_in_place(&mut self.bits, &other.bits);
+    }
+
+    /// In-place difference: `self &= !other`.
+    pub fn difference_in_place(&mut self, other: &DenseSchedule) {
+        bits::difference_in_place(&mut self.bits, &other.bits);
+    }
+
+    /// Seconds covered by `self` but not `other`.
+    #[must_use]
+    pub fn difference(&self, other: &DenseSchedule) -> DenseSchedule {
+        let mut out = self.clone();
+        out.difference_in_place(other);
         out
     }
 
     /// Seconds online in both schedules, without materializing the
-    /// intersection.
+    /// intersection — one fused and-popcount pass.
+    pub fn and_count(&self, other: &DenseSchedule) -> u32 {
+        bits::and_count(&self.bits, &other.bits)
+    }
+
+    /// Alias of [`DenseSchedule::and_count`], mirroring
+    /// [`DaySchedule::overlap_seconds`].
     pub fn overlap_seconds(&self, other: &DenseSchedule) -> u32 {
-        self.bits
-            .iter()
-            .zip(other.bits.iter())
-            .map(|(a, b)| (a & b).count_ones())
-            .sum()
+        self.and_count(other)
+    }
+
+    /// Whether the two schedules share at least one online second — the
+    /// ConRep predicate, mirroring [`DaySchedule::is_connected_to`].
+    pub fn is_connected_to(&self, other: &DenseSchedule) -> bool {
+        bits::intersects(&self.bits, &other.bits)
+    }
+
+    /// The longest circularly-contiguous *offline* stretch, in seconds:
+    /// `None` for an empty schedule, `Some(0)` for a full day. Mirrors
+    /// [`DaySchedule::max_gap`] exactly.
+    pub fn max_gap(&self) -> Option<u32> {
+        bits::max_zero_run_circular(DAY_WORDS, |i| self.bits[i])
+    }
+
+    /// `self.intersection(other).max_gap()` without materializing the
+    /// intersection — the edge weight of the replica time-connectivity
+    /// graph, computed in one fused pass.
+    pub fn intersection_max_gap(&self, other: &DenseSchedule) -> Option<u32> {
+        bits::max_zero_run_circular(DAY_WORDS, |i| self.bits[i] & other.bits[i])
+    }
+
+    /// Seconds to wait, starting at second-of-day `t`, until the schedule
+    /// is next online (zero if online at `t`; wraps midnight). `None` for
+    /// an empty schedule. Mirrors [`DaySchedule::wait_until_online`].
+    pub fn wait_until_online(&self, t: u32) -> Option<u32> {
+        let t = t % SECONDS_PER_DAY;
+        match bits::next_set_at_or_after(&self.bits, t) {
+            Some(next) => Some(next - t),
+            None => bits::first_set(&self.bits).map(|first| SECONDS_PER_DAY - t + first),
+        }
+    }
+
+    /// Seconds to wait until `self` and `other` are next co-online,
+    /// fused over the intersection bitmap.
+    pub fn wait_until_co_online(&self, other: &DenseSchedule, t: u32) -> Option<u32> {
+        let t = t % SECONDS_PER_DAY;
+        let and = |i: usize| self.bits[i] & other.bits[i];
+        let next = {
+            let w0 = (t / 64) as usize;
+            let head = and(w0) & (!0u64 << (t % 64));
+            if head != 0 {
+                Some(w0 as u32 * 64 + head.trailing_zeros())
+            } else {
+                (w0 + 1..DAY_WORDS)
+                    .find(|&i| and(i) != 0)
+                    .map(|i| i as u32 * 64 + and(i).trailing_zeros())
+            }
+        };
+        match next {
+            Some(next) => Some(next - t),
+            None => (0..DAY_WORDS)
+                .find(|&i| and(i) != 0)
+                .map(|i| SECONDS_PER_DAY - t + i as u32 * 64 + and(i).trailing_zeros()),
+        }
+    }
+
+    /// Converts back to the sparse representation (a canonical
+    /// [`DaySchedule`] with the same covered seconds).
+    pub fn to_day_schedule(&self) -> DaySchedule {
+        let set: IntervalSet = bits::runs(&self.bits)
+            .into_iter()
+            .map(|(s, e)| Interval::new(s, e).expect("run within day"))
+            .collect();
+        DaySchedule::from_set(set)
     }
 }
 
@@ -103,15 +431,198 @@ impl From<&DaySchedule> for DenseSchedule {
     fn from(s: &DaySchedule) -> Self {
         let mut out = DenseSchedule::new();
         for iv in s.windows() {
-            out.set_wrapping(iv.start(), iv.len());
+            bits::fill_range(&mut out.bits, iv.start(), iv.end());
         }
         out
+    }
+}
+
+impl From<&DenseSchedule> for DaySchedule {
+    fn from(s: &DenseSchedule) -> Self {
+        s.to_day_schedule()
     }
 }
 
 impl std::fmt::Debug for DenseSchedule {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DenseSchedule")
+            .field("online_seconds", &self.online_seconds())
+            .finish()
+    }
+}
+
+/// A dense bitmap over the 604 800 seconds of a week — the
+/// [`WeekSchedule`] counterpart of [`DenseSchedule`].
+///
+/// Week seconds count from Monday 00:00, matching `WeekSchedule`. One
+/// instance occupies ~75.6 KiB.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::{DaySchedule, DenseWeekSchedule, WeekSchedule};
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let weekday = DaySchedule::window_wrapping(20 * 3600, 2 * 3600)?;
+/// let weekend = DaySchedule::window_wrapping(10 * 3600, 8 * 3600)?;
+/// let week = WeekSchedule::from_day_types(&weekday, &weekend);
+/// let dense = DenseWeekSchedule::from(&week);
+/// assert_eq!(dense.online_seconds(), week.online_seconds());
+/// assert_eq!(dense.max_gap(), week.max_gap());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct DenseWeekSchedule {
+    bits: Box<[u64]>,
+}
+
+impl DenseWeekSchedule {
+    /// Creates an empty week.
+    pub fn new() -> Self {
+        DenseWeekSchedule {
+            bits: vec![0; WEEK_WORDS].into_boxed_slice(),
+        }
+    }
+
+    /// Marks seconds `[start, start + len)` online, wrapping the week
+    /// boundary. `start` is reduced modulo the week; `len` is capped at
+    /// a full week.
+    pub fn set_wrapping(&mut self, start: u32, len: u32) {
+        let len = len.min(SECONDS_PER_WEEK);
+        if len == 0 {
+            return;
+        }
+        let start = start % SECONDS_PER_WEEK;
+        let end = start + len;
+        if end <= SECONDS_PER_WEEK {
+            bits::fill_range(&mut self.bits, start, end);
+        } else {
+            bits::fill_range(&mut self.bits, start, SECONDS_PER_WEEK);
+            bits::fill_range(&mut self.bits, 0, end - SECONDS_PER_WEEK);
+        }
+    }
+
+    /// Whether the given week second (reduced modulo the week) is online.
+    pub fn contains(&self, week_second: u32) -> bool {
+        let t = (week_second % SECONDS_PER_WEEK) as usize;
+        self.bits[t / 64] & (1 << (t % 64)) != 0
+    }
+
+    /// Total online seconds per week.
+    pub fn online_seconds(&self) -> u32 {
+        bits::count(&self.bits)
+    }
+
+    /// Online time as a fraction of the week.
+    pub fn fraction_of_week(&self) -> f64 {
+        f64::from(self.online_seconds()) / f64::from(SECONDS_PER_WEEK)
+    }
+
+    /// Whether no second is online.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Union with another dense week.
+    #[must_use]
+    pub fn union(&self, other: &DenseWeekSchedule) -> DenseWeekSchedule {
+        let mut out = self.clone();
+        out.union_in_place(other);
+        out
+    }
+
+    /// In-place union: `self |= other`.
+    pub fn union_in_place(&mut self, other: &DenseWeekSchedule) {
+        bits::union_in_place(&mut self.bits, &other.bits);
+    }
+
+    /// Intersection with another dense week.
+    #[must_use]
+    pub fn intersection(&self, other: &DenseWeekSchedule) -> DenseWeekSchedule {
+        let mut out = self.clone();
+        bits::intersect_in_place(&mut out.bits, &other.bits);
+        out
+    }
+
+    /// In-place difference: `self &= !other`.
+    pub fn difference_in_place(&mut self, other: &DenseWeekSchedule) {
+        bits::difference_in_place(&mut self.bits, &other.bits);
+    }
+
+    /// Seconds per week online in both, without materializing the
+    /// intersection.
+    pub fn and_count(&self, other: &DenseWeekSchedule) -> u32 {
+        bits::and_count(&self.bits, &other.bits)
+    }
+
+    /// Alias of [`DenseWeekSchedule::and_count`], mirroring
+    /// [`WeekSchedule::overlap_seconds`].
+    pub fn overlap_seconds(&self, other: &DenseWeekSchedule) -> u32 {
+        self.and_count(other)
+    }
+
+    /// Whether the two weeks share at least one online second.
+    pub fn is_connected_to(&self, other: &DenseWeekSchedule) -> bool {
+        bits::intersects(&self.bits, &other.bits)
+    }
+
+    /// The longest circularly-contiguous offline stretch of the week:
+    /// `None` for an empty week, `Some(0)` for an always-online one.
+    /// Mirrors [`WeekSchedule::max_gap`].
+    pub fn max_gap(&self) -> Option<u32> {
+        bits::max_zero_run_circular(WEEK_WORDS, |i| self.bits[i])
+    }
+
+    /// Seconds to wait from the given week second until next online,
+    /// wrapping the week; `None` for an empty week. Mirrors
+    /// [`WeekSchedule::wait_until_online`].
+    pub fn wait_until_online(&self, week_second: u32) -> Option<u32> {
+        let t = week_second % SECONDS_PER_WEEK;
+        match bits::next_set_at_or_after(&self.bits, t) {
+            Some(next) => Some(next - t),
+            None => bits::first_set(&self.bits).map(|first| SECONDS_PER_WEEK - t + first),
+        }
+    }
+
+    /// Converts back to the sparse per-day representation.
+    pub fn to_week_schedule(&self) -> WeekSchedule {
+        let mut out = WeekSchedule::new();
+        for (s, e) in bits::runs(&self.bits) {
+            out.insert_wrapping(s, e - s).expect("run within week");
+        }
+        out
+    }
+}
+
+impl Default for DenseWeekSchedule {
+    fn default() -> Self {
+        DenseWeekSchedule::new()
+    }
+}
+
+impl From<&WeekSchedule> for DenseWeekSchedule {
+    fn from(week: &WeekSchedule) -> Self {
+        let mut out = DenseWeekSchedule::new();
+        for (d, day) in crate::week::DayOfWeek::ALL.iter().enumerate() {
+            let base = d as u32 * SECONDS_PER_DAY;
+            for w in week.day(*day).windows() {
+                bits::fill_range(&mut out.bits, base + w.start(), base + w.end());
+            }
+        }
+        out
+    }
+}
+
+impl From<&DenseWeekSchedule> for WeekSchedule {
+    fn from(s: &DenseWeekSchedule) -> Self {
+        s.to_week_schedule()
+    }
+}
+
+impl std::fmt::Debug for DenseWeekSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DenseWeekSchedule")
             .field("online_seconds", &self.online_seconds())
             .finish()
     }
@@ -162,11 +673,227 @@ mod tests {
         assert_eq!(a.union(&b).online_seconds(), 150);
         assert_eq!(a.intersection(&b).online_seconds(), 50);
         assert_eq!(a.overlap_seconds(&b), 50);
+        assert_eq!(a.and_count(&b), 50);
+        assert_eq!(a.difference(&b).online_seconds(), 50);
+        assert!(a.is_connected_to(&b));
+    }
+
+    #[test]
+    fn in_place_ops_match_pure_ops() {
+        let mut a = DenseSchedule::new();
+        a.set_wrapping(86_000, 2_000); // wraps midnight
+        let mut b = DenseSchedule::new();
+        b.set_wrapping(100, 1_000);
+        let mut u = a.clone();
+        u.union_in_place(&b);
+        assert_eq!(u, a.union(&b));
+        let mut d = a.clone();
+        d.difference_in_place(&b);
+        assert_eq!(d, a.difference(&b));
+        let mut i = a.clone();
+        i.intersect_in_place(&b);
+        assert_eq!(i, a.intersection(&b));
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut f = DenseSchedule::full();
+        assert!(f.is_full());
+        assert_eq!(f.online_seconds(), SECONDS_PER_DAY);
+        assert_eq!(f.max_gap(), Some(0));
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.max_gap(), None);
+    }
+
+    #[test]
+    fn max_gap_matches_sparse() {
+        // Windows [0,100) and [200,300): wrap gap dominates.
+        let mut s = DaySchedule::new();
+        s.insert_wrapping(0, 100).unwrap();
+        s.insert_wrapping(200, 100).unwrap();
+        let d = DenseSchedule::from(&s);
+        assert_eq!(d.max_gap(), s.max_gap());
+        assert_eq!(d.max_gap(), Some(SECONDS_PER_DAY - 300));
+        // A window hugging midnight: single interior gap.
+        let hug = DaySchedule::window_wrapping(SECONDS_PER_DAY - 100, 200).unwrap();
+        let d = DenseSchedule::from(&hug);
+        assert_eq!(d.max_gap(), hug.max_gap());
+        assert_eq!(d.max_gap(), Some(SECONDS_PER_DAY - 200));
+    }
+
+    #[test]
+    fn intersection_max_gap_fused() {
+        let a = DaySchedule::window_wrapping(0, 7_200).unwrap();
+        let b = DaySchedule::window_wrapping(3_600, 7_200).unwrap();
+        let (da, db) = (DenseSchedule::from(&a), DenseSchedule::from(&b));
+        assert_eq!(da.intersection_max_gap(&db), a.intersection(&b).max_gap());
+        let far = DenseSchedule::from(&DaySchedule::window_wrapping(50_000, 100).unwrap());
+        assert_eq!(da.intersection_max_gap(&far), None);
+    }
+
+    #[test]
+    fn wait_until_online_matches_sparse() {
+        let s = DaySchedule::window_wrapping(100, 100).unwrap();
+        let d = DenseSchedule::from(&s);
+        for t in [0, 99, 100, 150, 199, 200, SECONDS_PER_DAY - 1, SECONDS_PER_DAY + 150] {
+            assert_eq!(d.wait_until_online(t), s.wait_until_online(t), "t {t}");
+        }
+        assert_eq!(DenseSchedule::new().wait_until_online(0), None);
+    }
+
+    #[test]
+    fn wait_until_co_online_matches_intersection_wait() {
+        let a = DaySchedule::window_wrapping(0, 7_200).unwrap();
+        let b = DaySchedule::window_wrapping(3_600, 7_200).unwrap();
+        let (da, db) = (DenseSchedule::from(&a), DenseSchedule::from(&b));
+        let inter = a.intersection(&b);
+        for t in [0u32, 3_599, 3_600, 7_200, 40_000, SECONDS_PER_DAY - 1] {
+            assert_eq!(
+                da.wait_until_co_online(&db, t),
+                inter.wait_until_online(t),
+                "t {t}"
+            );
+        }
+        let far = DenseSchedule::from(&DaySchedule::window_wrapping(50_000, 100).unwrap());
+        assert_eq!(da.wait_until_co_online(&far, 0), None);
+    }
+
+    #[test]
+    fn online_seconds_in_matches_probe_window() {
+        let mut s = DaySchedule::new();
+        s.insert_wrapping(100, 200).unwrap();
+        s.insert_wrapping(86_300, 200).unwrap(); // wraps
+        let d = DenseSchedule::from(&s);
+        for (lo, hi) in [(0, 100), (0, 86_400), (150, 250), (86_000, 86_400), (50, 50)] {
+            let expected = if lo < hi {
+                s.overlap_seconds(&DaySchedule::window_wrapping(lo, hi - lo).unwrap())
+            } else {
+                0
+            };
+            assert_eq!(d.online_seconds_in(lo, hi), expected, "[{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn round_trip_to_day_schedule() {
+        let mut s = DaySchedule::new();
+        s.insert_wrapping(86_350, 150).unwrap();
+        s.insert_wrapping(1_000, 64).unwrap();
+        s.insert_wrapping(40_000, 1).unwrap();
+        let d = DenseSchedule::from(&s);
+        assert_eq!(d.to_day_schedule(), s);
+        assert_eq!(DenseSchedule::new().to_day_schedule(), DaySchedule::new());
+        assert_eq!(DenseSchedule::full().to_day_schedule(), DaySchedule::full());
+    }
+
+    #[test]
+    fn seeded_random_equivalence_with_sparse() {
+        // Cheap LCG-driven fuzz: random multi-window schedules, all
+        // queries must agree with the sparse oracle, including midnight
+        // wraparound.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _case in 0..200 {
+            let mut sa = DaySchedule::new();
+            let mut sb = DaySchedule::new();
+            for _ in 0..(next() % 5) {
+                let start = (next() % u64::from(SECONDS_PER_DAY)) as u32;
+                let len = (next() % 30_000 + 1) as u32;
+                sa.insert_wrapping(start, len).unwrap();
+            }
+            for _ in 0..(next() % 5) {
+                let start = (next() % u64::from(SECONDS_PER_DAY)) as u32;
+                let len = (next() % 30_000 + 1) as u32;
+                sb.insert_wrapping(start, len).unwrap();
+            }
+            let (da, db) = (DenseSchedule::from(&sa), DenseSchedule::from(&sb));
+            assert_eq!(da.online_seconds(), sa.online_seconds());
+            assert_eq!(da.union(&db).online_seconds(), sa.union(&sb).online_seconds());
+            assert_eq!(da.and_count(&db), sa.overlap_seconds(&sb));
+            assert_eq!(
+                da.difference(&db).online_seconds(),
+                sa.difference(&sb).online_seconds()
+            );
+            assert_eq!(da.is_connected_to(&db), sa.is_connected_to(&sb));
+            assert_eq!(da.max_gap(), sa.max_gap());
+            assert_eq!(
+                da.intersection_max_gap(&db),
+                sa.intersection(&sb).max_gap()
+            );
+            let t = (next() % u64::from(SECONDS_PER_DAY)) as u32;
+            assert_eq!(da.wait_until_online(t), sa.wait_until_online(t));
+            assert_eq!(
+                da.wait_until_co_online(&db, t),
+                sa.intersection(&sb).wait_until_online(t)
+            );
+            assert_eq!(da.to_day_schedule(), sa);
+        }
+    }
+
+    #[test]
+    fn week_matches_sparse_week() {
+        let weekday = DaySchedule::window_wrapping(20 * 3_600, 2 * 3_600).unwrap();
+        let weekend = DaySchedule::window_wrapping(10 * 3_600, 8 * 3_600).unwrap();
+        let week = WeekSchedule::from_day_types(&weekday, &weekend);
+        let dense = DenseWeekSchedule::from(&week);
+        assert_eq!(dense.online_seconds(), week.online_seconds());
+        assert_eq!(dense.max_gap(), week.max_gap());
+        assert!((dense.fraction_of_week() - week.fraction_of_week()).abs() < 1e-15);
+        for t in [0u32, 20 * 3_600, 5 * SECONDS_PER_DAY + 11 * 3_600, SECONDS_PER_WEEK - 1] {
+            assert_eq!(dense.contains(t), week.contains(t), "t {t}");
+            assert_eq!(dense.wait_until_online(t), week.wait_until_online(t), "t {t}");
+        }
+        assert_eq!(dense.to_week_schedule(), week);
+    }
+
+    #[test]
+    fn week_set_wrapping_crosses_week_boundary() {
+        let mut dense = DenseWeekSchedule::new();
+        dense.set_wrapping(SECONDS_PER_WEEK - 100, 250);
+        assert!(dense.contains(SECONDS_PER_WEEK - 1));
+        assert!(dense.contains(0));
+        assert!(dense.contains(149));
+        assert!(!dense.contains(150));
+        assert_eq!(dense.online_seconds(), 250);
+        let mut sparse = WeekSchedule::new();
+        sparse.insert_wrapping(SECONDS_PER_WEEK - 100, 100).unwrap();
+        sparse.insert_wrapping(0, 150).unwrap();
+        assert_eq!(dense.to_week_schedule(), sparse);
+    }
+
+    #[test]
+    fn week_algebra() {
+        let a = DenseWeekSchedule::from(&WeekSchedule::uniform(
+            &DaySchedule::window_wrapping(0, 1_000).unwrap(),
+        ));
+        let b = DenseWeekSchedule::from(&WeekSchedule::uniform(
+            &DaySchedule::window_wrapping(500, 1_000).unwrap(),
+        ));
+        assert_eq!(a.union(&b).online_seconds(), 7 * 1_500);
+        assert_eq!(a.intersection(&b).online_seconds(), 7 * 500);
+        assert_eq!(a.and_count(&b), 7 * 500);
+        assert_eq!(a.overlap_seconds(&b), 7 * 500);
+        assert!(a.is_connected_to(&b));
+        let mut d = a.clone();
+        d.difference_in_place(&b);
+        assert_eq!(d.online_seconds(), 7 * 500);
+        let mut u = a.clone();
+        u.union_in_place(&b);
+        assert_eq!(u, a.union(&b));
+        assert!(DenseWeekSchedule::new().is_empty());
+        assert_eq!(DenseWeekSchedule::new().max_gap(), None);
+        assert_eq!(DenseWeekSchedule::new().wait_until_online(0), None);
     }
 
     #[test]
     fn debug_is_nonempty() {
         let s = format!("{:?}", DenseSchedule::new());
         assert!(s.contains("DenseSchedule"));
+        let w = format!("{:?}", DenseWeekSchedule::new());
+        assert!(w.contains("DenseWeekSchedule"));
     }
 }

@@ -153,6 +153,29 @@ impl DaySchedule {
         self.set.contains(t % SECONDS_PER_DAY)
     }
 
+    /// Online seconds with time-of-day in `[lo, hi)` (non-wrapping;
+    /// empty when `lo >= hi`, clamped to the day length).
+    ///
+    /// Equivalent to `overlap_seconds` against a probe window covering
+    /// the range, without materializing the probe — the replay's
+    /// observed-delay accounting calls this in its inner loop.
+    pub fn online_seconds_in(&self, lo: u32, hi: u32) -> u32 {
+        let hi = hi.min(SECONDS_PER_DAY);
+        if lo >= hi {
+            return 0;
+        }
+        let ivs = self.set.intervals();
+        let start = ivs.partition_point(|iv| iv.end() <= lo);
+        let mut total = 0;
+        for iv in &ivs[start..] {
+            if iv.start() >= hi {
+                break;
+            }
+            total += iv.end().min(hi) - iv.start().max(lo);
+        }
+        total
+    }
+
     /// The underlying linear interval set (wrapped windows appear as two
     /// pieces).
     pub fn as_set(&self) -> &IntervalSet {

@@ -1,0 +1,190 @@
+//! Property tests for the dense bitmap kernel: every word-level
+//! operation must agree with its sparse interval-merge counterpart,
+//! including on sessions that wrap midnight (the seam where word and
+//! circular-gap arithmetic are easiest to get wrong).
+
+use dosn_interval::{
+    DaySchedule, DenseSchedule, DenseWeekSchedule, WeekSchedule, SECONDS_PER_DAY, SECONDS_PER_WEEK,
+};
+use proptest::prelude::*;
+
+/// Arbitrary sessions as (start, len) pairs; lengths may run past
+/// midnight, so wrapping inserts are exercised constantly.
+fn sessions() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..SECONDS_PER_DAY, 1..=SECONDS_PER_DAY), 0..10)
+}
+
+/// Sessions guaranteed to cross midnight: they start in the last hour
+/// and run for more than the remainder of the day.
+fn wrapping_sessions() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec(
+        (SECONDS_PER_DAY - 3_600..SECONDS_PER_DAY, 3_601..=7 * 3_600),
+        1..6,
+    )
+}
+
+fn build_sparse(sessions: &[(u32, u32)]) -> DaySchedule {
+    let mut s = DaySchedule::new();
+    for &(start, len) in sessions {
+        s.insert_wrapping(start, len).expect("valid session");
+    }
+    s
+}
+
+fn build_dense(sessions: &[(u32, u32)]) -> DenseSchedule {
+    let mut d = DenseSchedule::new();
+    for &(start, len) in sessions {
+        d.set_wrapping(start, len);
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn max_gap_matches_sparse(sess in sessions()) {
+        let sparse = build_sparse(&sess);
+        let dense = build_dense(&sess);
+        prop_assert_eq!(dense.max_gap(), sparse.max_gap());
+    }
+
+    #[test]
+    fn max_gap_matches_sparse_across_midnight(sess in wrapping_sessions()) {
+        let sparse = build_sparse(&sess);
+        let dense = build_dense(&sess);
+        prop_assert_eq!(dense.max_gap(), sparse.max_gap());
+    }
+
+    #[test]
+    fn intersection_max_gap_is_fused_intersect_then_gap(
+        a in sessions(),
+        b in wrapping_sessions(),
+    ) {
+        let (da, db) = (build_dense(&a), build_dense(&b));
+        let (sa, sb) = (build_sparse(&a), build_sparse(&b));
+        prop_assert_eq!(
+            da.intersection_max_gap(&db),
+            sa.intersection(&sb).max_gap()
+        );
+    }
+
+    #[test]
+    fn wait_until_online_matches_sparse(
+        sess in sessions(),
+        probes in prop::collection::vec(0..SECONDS_PER_DAY, 16),
+    ) {
+        let sparse = build_sparse(&sess);
+        let dense = build_dense(&sess);
+        for t in probes {
+            prop_assert_eq!(
+                dense.wait_until_online(t),
+                sparse.wait_until_online(t),
+                "probe second {}", t
+            );
+        }
+    }
+
+    #[test]
+    fn wait_until_co_online_is_fused_intersect_then_wait(
+        a in wrapping_sessions(),
+        b in sessions(),
+        probes in prop::collection::vec(0..SECONDS_PER_DAY, 8),
+    ) {
+        let (da, db) = (build_dense(&a), build_dense(&b));
+        let co_sparse = build_sparse(&a).intersection(&build_sparse(&b));
+        for t in probes {
+            prop_assert_eq!(
+                da.wait_until_co_online(&db, t),
+                co_sparse.wait_until_online(t),
+                "probe second {}", t
+            );
+        }
+    }
+
+    #[test]
+    fn online_seconds_in_matches_sparse(
+        sess in wrapping_sessions(),
+        range in (0..=SECONDS_PER_DAY, 0..=SECONDS_PER_DAY),
+    ) {
+        let sparse = build_sparse(&sess);
+        let dense = build_dense(&sess);
+        let (a, b) = range;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(dense.online_seconds_in(lo, hi), sparse.online_seconds_in(lo, hi));
+        // A degenerate range measures nothing.
+        prop_assert_eq!(dense.online_seconds_in(hi, lo.min(hi)), 0);
+    }
+
+    #[test]
+    fn online_seconds_in_partitions_the_day(sess in sessions(), cut in 0..=SECONDS_PER_DAY) {
+        let sparse = build_sparse(&sess);
+        let dense = build_dense(&sess);
+        prop_assert_eq!(
+            sparse.online_seconds_in(0, cut) + sparse.online_seconds_in(cut, SECONDS_PER_DAY),
+            sparse.online_seconds()
+        );
+        prop_assert_eq!(
+            dense.online_seconds_in(0, cut) + dense.online_seconds_in(cut, SECONDS_PER_DAY),
+            dense.online_seconds()
+        );
+    }
+
+    #[test]
+    fn roundtrip_preserves_wrapping_schedules(sess in wrapping_sessions()) {
+        let sparse = build_sparse(&sess);
+        let dense = build_dense(&sess);
+        prop_assert_eq!(dense.to_day_schedule(), sparse.clone());
+        prop_assert_eq!(DenseSchedule::from(&sparse).to_day_schedule(), sparse);
+    }
+
+    #[test]
+    fn week_schedule_matches_dense_week(
+        sess in prop::collection::vec((0..SECONDS_PER_WEEK, 1..=2 * SECONDS_PER_DAY), 0..8),
+        probes in prop::collection::vec(0..SECONDS_PER_WEEK, 16),
+    ) {
+        let mut sparse = WeekSchedule::new();
+        let mut dense = DenseWeekSchedule::new();
+        for &(start, len) in &sess {
+            sparse.insert_wrapping(start, len).expect("valid session");
+            dense.set_wrapping(start, len);
+        }
+        prop_assert_eq!(dense.online_seconds(), sparse.online_seconds());
+        prop_assert_eq!(dense.max_gap(), sparse.max_gap());
+        prop_assert_eq!(dense.to_week_schedule(), sparse.clone());
+        for t in probes {
+            prop_assert_eq!(dense.contains(t), sparse.contains(t), "week second {}", t);
+            prop_assert_eq!(
+                dense.wait_until_online(t),
+                sparse.wait_until_online(t),
+                "week second {}", t
+            );
+        }
+    }
+
+    #[test]
+    fn week_set_ops_match_sparse(
+        a in prop::collection::vec((0..SECONDS_PER_WEEK, 1..=SECONDS_PER_DAY), 0..6),
+        b in prop::collection::vec((0..SECONDS_PER_WEEK, 1..=SECONDS_PER_DAY), 0..6),
+    ) {
+        let mut sa = WeekSchedule::new();
+        let mut da = DenseWeekSchedule::new();
+        for &(start, len) in &a {
+            sa.insert_wrapping(start, len).expect("valid session");
+            da.set_wrapping(start, len);
+        }
+        let mut sb = WeekSchedule::new();
+        let mut db = DenseWeekSchedule::new();
+        for &(start, len) in &b {
+            sb.insert_wrapping(start, len).expect("valid session");
+            db.set_wrapping(start, len);
+        }
+        prop_assert_eq!(da.union(&db).online_seconds(), sa.union(&sb).online_seconds());
+        prop_assert_eq!(
+            da.intersection(&db).online_seconds(),
+            sa.intersection(&sb).online_seconds()
+        );
+        prop_assert_eq!(da.overlap_seconds(&db), sa.overlap_seconds(&sb));
+        prop_assert_eq!(da.is_connected_to(&db), sa.is_connected_to(&sb));
+    }
+}

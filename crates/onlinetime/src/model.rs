@@ -1,7 +1,8 @@
-use dosn_interval::DaySchedule;
+use dosn_interval::{DaySchedule, DenseSchedule};
 use dosn_socialgraph::UserId;
 use dosn_trace::Dataset;
 use rand::RngCore;
+use std::sync::OnceLock;
 
 /// A model that approximates every user's daily online pattern from an
 /// activity trace.
@@ -43,15 +44,40 @@ impl std::fmt::Debug for dyn OnlineTimeModel + '_ {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Default)]
 pub struct OnlineSchedules {
     schedules: Vec<DaySchedule>,
+    /// Bitmap forms of every schedule, materialized on first use (the
+    /// sweep hot path computes all metrics on these). Skipped by
+    /// `Clone`/`PartialEq`/`Debug`: it is a pure function of
+    /// `schedules`.
+    dense: OnceLock<Vec<DenseSchedule>>,
 }
+
+impl Clone for OnlineSchedules {
+    fn clone(&self) -> Self {
+        OnlineSchedules {
+            schedules: self.schedules.clone(),
+            dense: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for OnlineSchedules {
+    fn eq(&self, other: &Self) -> bool {
+        self.schedules == other.schedules
+    }
+}
+
+impl Eq for OnlineSchedules {}
 
 impl OnlineSchedules {
     /// Wraps per-user schedules (indexed by dense user id).
     pub fn new(schedules: Vec<DaySchedule>) -> Self {
-        OnlineSchedules { schedules }
+        OnlineSchedules {
+            schedules,
+            dense: OnceLock::new(),
+        }
     }
 
     /// Number of users covered.
@@ -74,9 +100,31 @@ impl OnlineSchedules {
     where
         I: IntoIterator<Item = UserId>,
     {
+        // Accumulator fold: union windows coalesce as coverage grows, so
+        // the accumulator stays a handful of intervals and each merge is
+        // cheaper than a collect-and-sort sweep over all windows would be.
         users
             .into_iter()
             .fold(DaySchedule::new(), |acc, u| acc.union(self.schedule(u)))
+    }
+
+    /// The bitmap form of one user's schedule, from the shared cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn dense(&self, user: UserId) -> &DenseSchedule {
+        &self.dense_all()[user.index()]
+    }
+
+    /// Bitmap forms of all schedules, indexed by dense user id.
+    ///
+    /// Materialized on first call (then cached); call this once on the
+    /// coordinating thread before fanning out workers so the conversion
+    /// happens exactly once per schedule draw.
+    pub fn dense_all(&self) -> &[DenseSchedule] {
+        self.dense
+            .get_or_init(|| self.schedules.iter().map(DenseSchedule::from).collect())
     }
 
     /// Iterates over `(user, schedule)` pairs.
@@ -124,6 +172,20 @@ mod tests {
         let all = s.union_of(s.iter().map(|(u, _)| u).collect::<Vec<_>>());
         assert_eq!(all.online_seconds(), 160);
         assert_eq!(s.union_of(std::iter::empty()), DaySchedule::new());
+    }
+
+    #[test]
+    fn dense_cache_matches_sparse_and_survives_clone() {
+        let s = OnlineSchedules::new(vec![window(0, 100), window(86_300, 200)]);
+        for (u, sparse) in s.iter() {
+            assert_eq!(s.dense(u).online_seconds(), sparse.online_seconds());
+            assert_eq!(s.dense(u).to_day_schedule(), *sparse);
+        }
+        assert_eq!(s.dense_all().len(), s.user_count());
+        // Equality and clones ignore the cache.
+        let cloned = s.clone();
+        assert_eq!(cloned, s);
+        assert_eq!(cloned.dense(UserId::new(1)).online_seconds(), 200);
     }
 
     #[test]
