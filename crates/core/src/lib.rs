@@ -54,6 +54,7 @@ pub mod loadbalance;
 pub mod replay;
 mod results;
 pub mod sweep;
+pub mod timing;
 
 pub use config::StudyConfig;
 pub use experiment::{evaluate_prefixes, evaluate_replica_set, evaluate_user, UserMetrics};

@@ -29,7 +29,6 @@
 //! CLI's `--timing` flag.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 use dosn_onlinetime::OnlineSchedules;
 use dosn_socialgraph::UserId;
@@ -258,7 +257,7 @@ fn run_cells_multi(
                 if rep >= reps_for(policy) {
                     continue;
                 }
-                let start = Instant::now();
+                let watch = crate::timing::Stopwatch::start();
                 let rows = evaluate_policy_users(
                     dataset, &schedules, &demands, policy, users, budgets, config, rep, max_budget,
                 );
@@ -271,7 +270,7 @@ fn run_cells_multi(
                     &model_label,
                     policy.label(),
                     users.len(),
-                    start.elapsed().as_secs_f64(),
+                    watch.elapsed_secs(),
                 );
             }
         }

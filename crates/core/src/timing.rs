@@ -1,0 +1,58 @@
+//! The one sanctioned wall-clock site in the deterministic crates.
+//!
+//! Rule D2 of the determinism contract (see DESIGN.md and
+//! `cargo xtask lint`) bans ambient nondeterminism — `Instant::now`,
+//! `SystemTime::now`, `thread_rng`, `from_entropy` — from every crate
+//! whose output feeds byte-identical sweep comparisons. Timing the
+//! sweeps is still useful (the CLI's `--timing` flag reports
+//! users/sec), so this module wraps the clock in a [`Stopwatch`] that is
+//! *observational by construction*: it can only measure elapsed wall
+//! time, never feed it back into results. The lint allowlists exactly
+//! this file; everything else in `dosn-core` must stay clock-free.
+
+use std::time::Instant;
+
+/// A started wall-clock measurement. Purely observational: the only
+/// thing that can be done with it is reading the elapsed seconds.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_core::timing::Stopwatch;
+///
+/// let watch = Stopwatch::start();
+/// let secs = watch.elapsed_secs();
+/// assert!(secs >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts measuring now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_nonnegative() {
+        let w = Stopwatch::start();
+        let a = w.elapsed_secs();
+        let b = w.elapsed_secs();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,84 @@
+//! Checked width conversions for the word-level kernels.
+//!
+//! Rule D3 of the determinism contract (`cargo xtask lint`) bans bare
+//! `as` casts in the kernel files (`mask.rs` here and the set-cover
+//! kernel in `dosn-replication`): a silently truncating cast in a bit
+//! kernel corrupts schedules instead of crashing, which is the worst
+//! possible failure mode for a reproducibility study. Every width
+//! change in those files routes through these helpers, which either
+//! cannot lose information (widening) or assert in debug builds
+//! (narrowing).
+//!
+//! The helpers are `const fn` where the kernels need them in constant
+//! expressions (word-count tables, compile-time layout assertions).
+
+// The kernels measure seconds within a day/week, so everything fits in
+// u32; all supported targets have at least 32-bit usize, making the
+// widening conversions lossless. The narrowing ones are debug-checked.
+const _: () = assert!(usize::BITS >= u32::BITS, "usize narrower than u32");
+const _: () = assert!(u64::BITS >= u32::BITS, "u64 narrower than u32");
+
+/// Widens a `u32` to `usize`. Lossless on every supported target
+/// (checked at compile time above).
+#[inline]
+#[must_use]
+pub const fn usize_from(v: u32) -> usize {
+    v as usize
+}
+
+/// Widens a `u32` to `u64`. Always lossless.
+#[inline]
+#[must_use]
+pub const fn u64_from(v: u32) -> u64 {
+    v as u64
+}
+
+/// Narrows a `usize` to `u32`, asserting in debug builds that the value
+/// fits. Kernel indices are bounded by the number of seconds in a week
+/// (604 800), so a failure here is a logic bug, not bad input.
+#[inline]
+#[must_use]
+pub fn u32_from_usize(v: usize) -> u32 {
+    debug_assert!(v <= u32::MAX as usize, "usize value {v} exceeds u32::MAX");
+    v as u32
+}
+
+/// Narrows a `u64` to `u32`, asserting in debug builds that the value
+/// fits. Used for word-local bit offsets, which are < 64.
+#[inline]
+#[must_use]
+pub fn u32_from_u64(v: u64) -> u32 {
+    debug_assert!(v <= u64::from(u32::MAX), "u64 value {v} exceeds u32::MAX");
+    v as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_round_trips() {
+        assert_eq!(usize_from(0), 0);
+        assert_eq!(usize_from(u32::MAX), u32::MAX as usize);
+        assert_eq!(u64_from(604_800), 604_800u64);
+    }
+
+    #[test]
+    fn narrowing_in_range() {
+        assert_eq!(u32_from_usize(604_800), 604_800);
+        assert_eq!(u32_from_u64(63), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    #[cfg(debug_assertions)]
+    fn narrowing_out_of_range_panics_in_debug() {
+        let _ = u32_from_u64(u64::from(u32::MAX) + 1);
+    }
+
+    #[test]
+    fn const_usable() {
+        const WORDS: usize = usize_from(86_400).div_ceil(64);
+        assert_eq!(WORDS, 1350);
+    }
+}

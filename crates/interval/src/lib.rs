@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod cast;
 mod error;
 mod interval;
 mod mask;

@@ -1,28 +1,36 @@
+use crate::cast;
 use crate::interval::Interval;
 use crate::schedule::DaySchedule;
 use crate::set::IntervalSet;
 use crate::time::SECONDS_PER_DAY;
 use crate::week::{WeekSchedule, SECONDS_PER_WEEK};
 
-const DAY_WORDS: usize = (SECONDS_PER_DAY as usize).div_ceil(64);
-const WEEK_WORDS: usize = (SECONDS_PER_WEEK as usize).div_ceil(64);
+const DAY_WORDS: usize = cast::usize_from(SECONDS_PER_DAY).div_ceil(64);
+const WEEK_WORDS: usize = cast::usize_from(SECONDS_PER_WEEK).div_ceil(64);
 
 // Both circles are exact multiples of 64 seconds, so no bitset ever has a
 // partial last word and none of the kernels below need tail masks.
-const _: () = assert!(SECONDS_PER_DAY as usize % 64 == 0);
-const _: () = assert!(SECONDS_PER_WEEK as usize % 64 == 0);
+const _: () = assert!(cast::usize_from(SECONDS_PER_DAY) % 64 == 0);
+const _: () = assert!(cast::usize_from(SECONDS_PER_WEEK) % 64 == 0);
 
 /// Word-level kernels shared by [`DenseSchedule`] and
 /// [`DenseWeekSchedule`]. All functions assume `total = words.len() * 64`
 /// seconds with no partial last word.
 mod bits {
+    use crate::cast;
+
     /// Sets bits `[start, end)`. `end <= words.len() * 64`.
     pub fn fill_range(words: &mut [u64], start: u32, end: u32) {
+        debug_assert!(
+            cast::usize_from(end) <= words.len() * 64,
+            "fill_range end {end} past bitmap of {} bits",
+            words.len() * 64
+        );
         if start >= end {
             return;
         }
-        let sw = (start / 64) as usize;
-        let ew = (end / 64) as usize;
+        let sw = cast::usize_from(start / 64);
+        let ew = cast::usize_from(end / 64);
         let sb = start % 64;
         let eb = end % 64;
         if sw == ew {
@@ -44,11 +52,16 @@ mod bits {
 
     /// Popcount of bits in `[start, end)`.
     pub fn count_range(words: &[u64], start: u32, end: u32) -> u32 {
+        debug_assert!(
+            cast::usize_from(end) <= words.len() * 64,
+            "count_range end {end} past bitmap of {} bits",
+            words.len() * 64
+        );
         if start >= end {
             return 0;
         }
-        let sw = (start / 64) as usize;
-        let ew = (end / 64) as usize;
+        let sw = cast::usize_from(start / 64);
+        let ew = cast::usize_from(end / 64);
         let sb = start % 64;
         let eb = end % 64;
         if sw == ew {
@@ -63,18 +76,21 @@ mod bits {
     }
 
     pub fn union_in_place(dst: &mut [u64], src: &[u64]) {
+        debug_assert_eq!(dst.len(), src.len(), "bitmap word counts differ");
         for (a, b) in dst.iter_mut().zip(src) {
             *a |= b;
         }
     }
 
     pub fn intersect_in_place(dst: &mut [u64], src: &[u64]) {
+        debug_assert_eq!(dst.len(), src.len(), "bitmap word counts differ");
         for (a, b) in dst.iter_mut().zip(src) {
             *a &= b;
         }
     }
 
     pub fn difference_in_place(dst: &mut [u64], src: &[u64]) {
+        debug_assert_eq!(dst.len(), src.len(), "bitmap word counts differ");
         for (a, b) in dst.iter_mut().zip(src) {
             *a &= !b;
         }
@@ -82,10 +98,12 @@ mod bits {
 
     /// `popcount(a & b)` without materializing the intersection.
     pub fn and_count(a: &[u64], b: &[u64]) -> u32 {
+        debug_assert_eq!(a.len(), b.len(), "bitmap word counts differ");
         a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
     }
 
     pub fn intersects(a: &[u64], b: &[u64]) -> bool {
+        debug_assert_eq!(a.len(), b.len(), "bitmap word counts differ");
         a.iter().zip(b).any(|(x, y)| x & y != 0)
     }
 
@@ -93,23 +111,23 @@ mod bits {
         words
             .iter()
             .position(|&w| w != 0)
-            .map(|i| i as u32 * 64 + words[i].trailing_zeros())
+            .map(|i| cast::u32_from_usize(i) * 64 + words[i].trailing_zeros())
     }
 
     /// First set bit at position `>= t`, not wrapping.
     pub fn next_set_at_or_after(words: &[u64], t: u32) -> Option<u32> {
-        let w0 = (t / 64) as usize;
+        let w0 = cast::usize_from(t / 64);
         if w0 >= words.len() {
             return None;
         }
         let head = words[w0] & (!0u64 << (t % 64));
         if head != 0 {
-            return Some(w0 as u32 * 64 + head.trailing_zeros());
+            return Some(cast::u32_from_usize(w0) * 64 + head.trailing_zeros());
         }
         words[w0 + 1..]
             .iter()
             .position(|&w| w != 0)
-            .map(|off| (w0 + 1 + off) as u32 * 64 + words[w0 + 1 + off].trailing_zeros())
+            .map(|off| cast::u32_from_usize(w0 + 1 + off) * 64 + words[w0 + 1 + off].trailing_zeros())
     }
 
     /// Longest circularly-contiguous run of zero bits: `None` when all
@@ -127,7 +145,7 @@ mod bits {
                 continue;
             }
             if first.is_none() {
-                first = Some(i as u32 * 64 + w.trailing_zeros());
+                first = Some(cast::u32_from_usize(i) * 64 + w.trailing_zeros());
             }
             let mut consumed = 0u32;
             while w != 0 {
@@ -144,7 +162,13 @@ mod bits {
         // Wraparound: the trailing zero run joins the leading one, whose
         // length is exactly the first set bit's position.
         let first = first?;
-        Some(max.max(run + first))
+        let gap = max.max(run + first);
+        debug_assert!(
+            cast::usize_from(gap) <= n * 64,
+            "zero run {gap} longer than the {}-bit circle",
+            n * 64
+        );
+        Some(gap)
     }
 
     /// Extracts the maximal runs of set bits as `(start, end)` pairs in
@@ -153,7 +177,7 @@ mod bits {
         let mut out = Vec::new();
         let mut open: Option<u32> = None;
         for (i, &w) in words.iter().enumerate() {
-            let base = i as u32 * 64;
+            let base = cast::u32_from_usize(i) * 64;
             if w == 0 {
                 if let Some(s) = open.take() {
                     out.push((s, base));
@@ -191,8 +215,17 @@ mod bits {
             }
         }
         if let Some(s) = open {
-            out.push((s, words.len() as u32 * 64));
+            out.push((s, cast::u32_from_usize(words.len()) * 64));
         }
+        debug_assert!(
+            out.windows(2).all(|p| p[0].1 < p[1].0),
+            "runs not sorted, disjoint and non-adjacent"
+        );
+        debug_assert_eq!(
+            out.iter().map(|&(s, e)| e - s).sum::<u32>(),
+            count(words),
+            "run lengths disagree with the popcount"
+        );
         out
     }
 }
@@ -272,7 +305,7 @@ impl DenseSchedule {
 
     /// Whether second-of-day `t` (reduced modulo the day) is online.
     pub fn contains(&self, t: u32) -> bool {
-        let t = (t % SECONDS_PER_DAY) as usize;
+        let t = cast::usize_from(t % SECONDS_PER_DAY);
         self.bits[t / 64] & (1 << (t % 64)) != 0
     }
 
@@ -392,21 +425,21 @@ impl DenseSchedule {
         let t = t % SECONDS_PER_DAY;
         let and = |i: usize| self.bits[i] & other.bits[i];
         let next = {
-            let w0 = (t / 64) as usize;
+            let w0 = cast::usize_from(t / 64);
             let head = and(w0) & (!0u64 << (t % 64));
             if head != 0 {
-                Some(w0 as u32 * 64 + head.trailing_zeros())
+                Some(cast::u32_from_usize(w0) * 64 + head.trailing_zeros())
             } else {
                 (w0 + 1..DAY_WORDS)
                     .find(|&i| and(i) != 0)
-                    .map(|i| i as u32 * 64 + and(i).trailing_zeros())
+                    .map(|i| cast::u32_from_usize(i) * 64 + and(i).trailing_zeros())
             }
         };
         match next {
             Some(next) => Some(next - t),
             None => (0..DAY_WORDS)
                 .find(|&i| and(i) != 0)
-                .map(|i| SECONDS_PER_DAY - t + i as u32 * 64 + and(i).trailing_zeros()),
+                .map(|i| SECONDS_PER_DAY - t + cast::u32_from_usize(i) * 64 + and(i).trailing_zeros()),
         }
     }
 
@@ -417,6 +450,11 @@ impl DenseSchedule {
             .into_iter()
             .map(|(s, e)| Interval::new(s, e).expect("run within day"))
             .collect();
+        debug_assert_eq!(
+            set.measure(),
+            self.online_seconds(),
+            "dense→sparse conversion changed the covered seconds"
+        );
         DaySchedule::from_set(set)
     }
 }
@@ -505,7 +543,7 @@ impl DenseWeekSchedule {
 
     /// Whether the given week second (reduced modulo the week) is online.
     pub fn contains(&self, week_second: u32) -> bool {
-        let t = (week_second % SECONDS_PER_WEEK) as usize;
+        let t = cast::usize_from(week_second % SECONDS_PER_WEEK);
         self.bits[t / 64] & (1 << (t % 64)) != 0
     }
 
@@ -574,6 +612,13 @@ impl DenseWeekSchedule {
         bits::max_zero_run_circular(WEEK_WORDS, |i| self.bits[i])
     }
 
+    /// `self.intersection(other).max_gap()` without materializing the
+    /// intersection — the week-circle edge weight of the replica
+    /// time-connectivity graph, computed in one fused pass.
+    pub fn intersection_max_gap(&self, other: &DenseWeekSchedule) -> Option<u32> {
+        bits::max_zero_run_circular(WEEK_WORDS, |i| self.bits[i] & other.bits[i])
+    }
+
     /// Seconds to wait from the given week second until next online,
     /// wrapping the week; `None` for an empty week. Mirrors
     /// [`WeekSchedule::wait_until_online`].
@@ -591,6 +636,11 @@ impl DenseWeekSchedule {
         for (s, e) in bits::runs(&self.bits) {
             out.insert_wrapping(s, e - s).expect("run within week");
         }
+        debug_assert_eq!(
+            out.online_seconds(),
+            self.online_seconds(),
+            "dense→sparse conversion changed the covered seconds"
+        );
         out
     }
 }
@@ -605,7 +655,7 @@ impl From<&WeekSchedule> for DenseWeekSchedule {
     fn from(week: &WeekSchedule) -> Self {
         let mut out = DenseWeekSchedule::new();
         for (d, day) in crate::week::DayOfWeek::ALL.iter().enumerate() {
-            let base = d as u32 * SECONDS_PER_DAY;
+            let base = cast::u32_from_usize(d) * SECONDS_PER_DAY;
             for w in week.day(*day).windows() {
                 bits::fill_range(&mut out.bits, base + w.start(), base + w.end());
             }
@@ -863,6 +913,22 @@ mod tests {
         sparse.insert_wrapping(SECONDS_PER_WEEK - 100, 100).unwrap();
         sparse.insert_wrapping(0, 150).unwrap();
         assert_eq!(dense.to_week_schedule(), sparse);
+    }
+
+    #[test]
+    fn week_intersection_max_gap_fused() {
+        let weekday = DaySchedule::window_wrapping(12 * 3_600, 2 * 3_600).unwrap();
+        let a = WeekSchedule::from_day_types(&weekday, &DaySchedule::new());
+        let b = WeekSchedule::uniform(&DaySchedule::window_wrapping(13 * 3_600, 2 * 3_600).unwrap());
+        let (da, db) = (DenseWeekSchedule::from(&a), DenseWeekSchedule::from(&b));
+        assert_eq!(da.intersection_max_gap(&db), a.intersection(&b).max_gap());
+        let never = WeekSchedule::from_day_types(
+            &DaySchedule::new(),
+            &DaySchedule::window_wrapping(0, 3_600).unwrap(),
+        );
+        let dn = DenseWeekSchedule::from(&never);
+        assert_eq!(da.intersection_max_gap(&dn), None);
+        assert_eq!(da.intersection_max_gap(&da), a.max_gap());
     }
 
     #[test]

@@ -100,6 +100,7 @@ impl IntervalSet {
             }
         }
         self.intervals.splice(lo..hi, std::iter::once(merged));
+        self.debug_assert_canonical();
     }
 
     /// The union of two sets.
@@ -128,7 +129,9 @@ impl IntervalSet {
                 _ => out.push(iv),
             }
         }
-        IntervalSet { intervals: out }
+        let out = IntervalSet { intervals: out };
+        out.debug_assert_canonical();
+        out
     }
 
     /// The intersection of two sets.
@@ -147,7 +150,9 @@ impl IntervalSet {
                 j += 1;
             }
         }
-        IntervalSet { intervals: out }
+        let out = IntervalSet { intervals: out };
+        out.debug_assert_canonical();
+        out
     }
 
     /// The seconds covered by `self` but not by `other`.
@@ -176,7 +181,9 @@ impl IntervalSet {
                 out.push(Interval::new(cursor, x.end()).expect("non-empty remainder"));
             }
         }
-        IntervalSet { intervals: out }
+        let out = IntervalSet { intervals: out };
+        out.debug_assert_canonical();
+        out
     }
 
     /// The seconds of `span` not covered by `self`.
@@ -225,6 +232,20 @@ impl IntervalSet {
     pub fn is_superset(&self, other: &IntervalSet) -> bool {
         other.difference(self).is_empty()
     }
+
+    /// Canonical form: sorted by start, pairwise disjoint, with at least
+    /// a one-second gap between neighbours (adjacent intervals must have
+    /// coalesced). Every constructing or mutating operation re-checks
+    /// this in debug builds, so a kernel bug surfaces at the operation
+    /// that introduced it rather than as a wrong metric downstream.
+    fn debug_assert_canonical(&self) {
+        debug_assert!(
+            self.intervals
+                .windows(2)
+                .all(|p| p[0].end() < p[1].start()),
+            "IntervalSet not canonical: {self}"
+        );
+    }
 }
 
 impl FromIterator<Interval> for IntervalSet {
@@ -240,6 +261,7 @@ impl FromIterator<Interval> for IntervalSet {
                 _ => out.intervals.push(iv),
             }
         }
+        out.debug_assert_canonical();
         out
     }
 }

@@ -53,6 +53,7 @@ pub use on_demand::{on_demand_activity, on_demand_time, OnDemandActivity};
 pub use propagation::{update_propagation_delay, PropagationDelay, ReplicaConnectivityGraph};
 pub use report::Summary;
 pub use weekly::{
-    weekly_availability, weekly_on_demand_time, weekly_replica_union,
-    weekly_update_propagation_delay,
+    weekly_availability, weekly_availability_dense, weekly_on_demand_time,
+    weekly_on_demand_time_dense, weekly_replica_union, weekly_replica_union_dense,
+    weekly_update_propagation_delay, weekly_update_propagation_delay_dense,
 };

@@ -4,7 +4,7 @@
 //! the same definitions over the 604 800-second week circle, so
 //! weekday/weekend asymmetry shows up instead of averaging away.
 
-use dosn_interval::WeekSchedule;
+use dosn_interval::{DenseWeekSchedule, WeekSchedule};
 use dosn_onlinetime::WeeklySchedules;
 use dosn_socialgraph::UserId;
 
@@ -76,6 +76,60 @@ pub fn weekly_on_demand_time(
     Some(f64::from(cover.overlap_seconds(&demand)) / f64::from(demand_secs))
 }
 
+/// [`weekly_replica_union`] on the dense bitmap forms: word-level
+/// unions over the cached [`DenseWeekSchedule`]s. Covers exactly the
+/// same seconds as the sparse union.
+pub fn weekly_replica_union_dense(
+    owner: UserId,
+    replicas: &[UserId],
+    schedules: &WeeklySchedules,
+    include_owner: bool,
+) -> DenseWeekSchedule {
+    let dense = schedules.dense_all();
+    let mut out = if include_owner {
+        dense[owner.index()].clone()
+    } else {
+        DenseWeekSchedule::new()
+    };
+    for &r in replicas {
+        out.union_in_place(&dense[r.index()]);
+    }
+    out
+}
+
+/// [`weekly_availability`] on the dense bitmap forms. Bit-identical to
+/// the sparse metric: both count the same online seconds.
+pub fn weekly_availability_dense(
+    owner: UserId,
+    replicas: &[UserId],
+    schedules: &WeeklySchedules,
+    include_owner: bool,
+) -> f64 {
+    weekly_replica_union_dense(owner, replicas, schedules, include_owner).fraction_of_week()
+}
+
+/// [`weekly_on_demand_time`] on the dense bitmap forms: the demand
+/// union and the cover/demand overlap are word-level scans.
+pub fn weekly_on_demand_time_dense(
+    owner: UserId,
+    replicas: &[UserId],
+    accessors: &[UserId],
+    schedules: &WeeklySchedules,
+    include_owner: bool,
+) -> Option<f64> {
+    let dense = schedules.dense_all();
+    let mut demand = DenseWeekSchedule::new();
+    for &a in accessors {
+        demand.union_in_place(&dense[a.index()]);
+    }
+    let demand_secs = demand.online_seconds();
+    if demand_secs == 0 {
+        return None;
+    }
+    let cover = weekly_replica_union_dense(owner, replicas, schedules, include_owner);
+    Some(f64::from(cover.and_count(&demand)) / f64::from(demand_secs))
+}
+
 /// Weekly worst-case update propagation delay: the weighted diameter of
 /// the replica time-connectivity graph with week-circular edge weights
 /// (the longest wait between co-online windows, which may now span the
@@ -84,22 +138,51 @@ pub fn weekly_update_propagation_delay(
     replicas: &[UserId],
     schedules: &WeeklySchedules,
 ) -> PropagationDelay {
-    let n = replicas.len();
+    weighted_diameter(replicas.len(), |i, j| {
+        schedules[replicas[i]]
+            .intersection(&schedules[replicas[j]])
+            .max_gap()
+            .map(u64::from)
+    })
+}
+
+/// [`weekly_update_propagation_delay`] on the dense bitmap forms: every
+/// edge weight is one fused and-scan
+/// ([`DenseWeekSchedule::intersection_max_gap`]) instead of a sparse
+/// intersection allocation. Returns exactly the same delays.
+pub fn weekly_update_propagation_delay_dense(
+    replicas: &[UserId],
+    schedules: &WeeklySchedules,
+) -> PropagationDelay {
+    let dense = schedules.dense_all();
+    weighted_diameter(replicas.len(), |i, j| {
+        dense[replicas[i].index()]
+            .intersection_max_gap(&dense[replicas[j].index()])
+            .map(u64::from)
+    })
+}
+
+/// The weighted diameter of the replica time-connectivity graph:
+/// symmetric edge weights from `edge(i, j)` (for `i < j`; `None` means
+/// the pair is never co-online), shortest paths by Floyd–Warshall, then
+/// the largest pairwise distance. `worst_secs: None` when any pair is
+/// unreachable.
+fn weighted_diameter(
+    n: usize,
+    edge: impl Fn(usize, usize) -> Option<u64>,
+) -> PropagationDelay {
     if n <= 1 {
         return PropagationDelay { worst_secs: Some(0) };
     }
-    // Edge weights: worst wait for the next weekly co-online window.
     let mut weights: Vec<Option<u64>> = vec![None; n * n];
     for i in 0..n {
         weights[i * n + i] = Some(0);
         for j in (i + 1)..n {
-            let co_online = schedules[replicas[i]].intersection(&schedules[replicas[j]]);
-            let w = co_online.max_gap().map(u64::from);
+            let w = edge(i, j);
             weights[i * n + j] = w;
             weights[j * n + i] = w;
         }
     }
-    // Floyd–Warshall, then the diameter.
     for k in 0..n {
         for i in 0..n {
             let Some(dik) = weights[i * n + k] else { continue };
@@ -166,6 +249,35 @@ mod tests {
         let monday_start = 7 * SECONDS_PER_DAY + 12 * 3_600;
         assert_eq!(d.worst_secs, Some(u64::from(monday_start - friday_end)));
         assert!((d.worst_hours().unwrap() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_variants_match_sparse_on_the_weekend_gap() {
+        let schedules = WeeklySchedules::new(vec![
+            weekday_only(12 * 3_600, 2 * 3_600),
+            weekday_only(12 * 3_600, 2 * 3_600),
+            WeekSchedule::from_day_types(
+                &DaySchedule::new(),
+                &DaySchedule::window_wrapping(10 * 3_600, 2 * 3_600).unwrap(),
+            ),
+        ]);
+        let users = [UserId::new(0), UserId::new(1), UserId::new(2)];
+        assert_eq!(
+            weekly_update_propagation_delay_dense(&users[..2], &schedules).worst_secs,
+            weekly_update_propagation_delay(&users[..2], &schedules).worst_secs,
+        );
+        assert_eq!(
+            weekly_availability_dense(users[0], &users[1..], &schedules, true),
+            weekly_availability(users[0], &users[1..], &schedules, true),
+        );
+        assert_eq!(
+            weekly_on_demand_time_dense(users[0], &users[1..2], &users[2..], &schedules, false),
+            weekly_on_demand_time(users[0], &users[1..2], &users[2..], &schedules, false),
+        );
+        assert_eq!(
+            weekly_replica_union_dense(users[0], &users[1..], &schedules, true).to_week_schedule(),
+            weekly_replica_union(users[0], &users[1..], &schedules, true),
+        );
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Dense weekly metrics vs the sparse reference implementation.
+//!
+//! The dense variants (`*_dense`) compute on `DenseWeekSchedule`
+//! bitmaps; the sparse ones on canonical interval sets. Both count the
+//! same integer quantities (online seconds, overlaps, circular gaps),
+//! so every metric must agree *exactly* — `==` on the floats, not an
+//! epsilon — on arbitrary weekly schedules.
+
+use dosn_interval::{WeekSchedule, SECONDS_PER_WEEK};
+use dosn_metrics::{
+    weekly_availability, weekly_availability_dense, weekly_on_demand_time,
+    weekly_on_demand_time_dense, weekly_replica_union, weekly_replica_union_dense,
+    weekly_update_propagation_delay, weekly_update_propagation_delay_dense,
+};
+use dosn_onlinetime::WeeklySchedules;
+use dosn_socialgraph::UserId;
+use proptest::prelude::*;
+
+/// Strategy: 3-6 users, each with 0-5 random sessions anywhere on the
+/// week circle (up to 12 h long, so sessions can wrap the week
+/// boundary and span midnights).
+fn random_weekly() -> impl Strategy<Value = WeeklySchedules> {
+    prop::collection::vec(
+        prop::collection::vec((0..SECONDS_PER_WEEK, 60..=12 * 3_600u32), 0..5),
+        3..6,
+    )
+    .prop_map(|users| {
+        WeeklySchedules::new(
+            users
+                .into_iter()
+                .map(|sessions| {
+                    let mut w = WeekSchedule::new();
+                    for (start, len) in sessions {
+                        w.insert_wrapping(start, len).expect("valid session");
+                    }
+                    w
+                })
+                .collect(),
+        )
+    })
+}
+
+fn all_users(schedules: &WeeklySchedules) -> Vec<UserId> {
+    (0..schedules.user_count()).map(UserId::from_index).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dense_union_covers_the_same_seconds(schedules in random_weekly()) {
+        let users = all_users(&schedules);
+        let owner = users[0];
+        for k in 0..users.len() {
+            for include_owner in [false, true] {
+                let sparse = weekly_replica_union(owner, &users[1..=k], &schedules, include_owner);
+                let dense = weekly_replica_union_dense(owner, &users[1..=k], &schedules, include_owner);
+                prop_assert_eq!(dense.online_seconds(), sparse.online_seconds());
+                prop_assert_eq!(dense.to_week_schedule(), sparse);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_availability_is_bit_identical(schedules in random_weekly()) {
+        let users = all_users(&schedules);
+        let owner = users[0];
+        for k in 0..users.len() {
+            for include_owner in [false, true] {
+                let sparse = weekly_availability(owner, &users[1..=k], &schedules, include_owner);
+                let dense = weekly_availability_dense(owner, &users[1..=k], &schedules, include_owner);
+                prop_assert_eq!(dense, sparse);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_on_demand_time_is_bit_identical(schedules in random_weekly()) {
+        let users = all_users(&schedules);
+        let owner = users[0];
+        let accessors = &users[users.len() - 2..];
+        for k in 0..users.len() {
+            let sparse = weekly_on_demand_time(owner, &users[1..=k], accessors, &schedules, false);
+            let dense = weekly_on_demand_time_dense(owner, &users[1..=k], accessors, &schedules, false);
+            prop_assert_eq!(dense, sparse);
+        }
+    }
+
+    #[test]
+    fn dense_propagation_delay_is_identical(schedules in random_weekly()) {
+        let users = all_users(&schedules);
+        for k in 0..=users.len() {
+            let sparse = weekly_update_propagation_delay(&users[..k], &schedules);
+            let dense = weekly_update_propagation_delay_dense(&users[..k], &schedules);
+            prop_assert_eq!(dense.worst_secs, sparse.worst_secs);
+        }
+    }
+}

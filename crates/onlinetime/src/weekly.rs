@@ -1,21 +1,46 @@
-use dosn_interval::{DayOfWeek, DaySchedule, WeekSchedule, SECONDS_PER_DAY};
+use dosn_interval::{DayOfWeek, DaySchedule, DenseWeekSchedule, WeekSchedule, SECONDS_PER_DAY};
 use dosn_socialgraph::UserId;
 use dosn_trace::Dataset;
 use rand::{Rng, RngCore};
+use std::sync::OnceLock;
 
 use crate::continuous::circular_mean_time;
 
 /// One [`WeekSchedule`] per user — the weekly analogue of
 /// [`OnlineSchedules`](crate::OnlineSchedules).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Default)]
 pub struct WeeklySchedules {
     schedules: Vec<WeekSchedule>,
+    /// Bitmap forms of every weekly schedule, materialized on first use.
+    /// Skipped by `Clone`/`PartialEq`: it is a pure function of
+    /// `schedules`.
+    dense: OnceLock<Vec<DenseWeekSchedule>>,
 }
+
+impl Clone for WeeklySchedules {
+    fn clone(&self) -> Self {
+        WeeklySchedules {
+            schedules: self.schedules.clone(),
+            dense: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for WeeklySchedules {
+    fn eq(&self, other: &Self) -> bool {
+        self.schedules == other.schedules
+    }
+}
+
+impl Eq for WeeklySchedules {}
 
 impl WeeklySchedules {
     /// Wraps per-user weekly schedules (indexed by dense user id).
     pub fn new(schedules: Vec<WeekSchedule>) -> Self {
-        WeeklySchedules { schedules }
+        WeeklySchedules {
+            schedules,
+            dense: OnceLock::new(),
+        }
     }
 
     /// Number of users covered.
@@ -40,6 +65,25 @@ impl WeeklySchedules {
         users
             .into_iter()
             .fold(WeekSchedule::new(), |acc, u| acc.union(self.schedule(u)))
+    }
+
+    /// The bitmap form of one user's weekly schedule, from the shared
+    /// cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn dense(&self, user: UserId) -> &DenseWeekSchedule {
+        &self.dense_all()[user.index()]
+    }
+
+    /// Bitmap forms of all weekly schedules, indexed by dense user id.
+    ///
+    /// Materialized on first call (then cached); the dense weekly
+    /// metrics in `dosn-metrics` compute on these.
+    pub fn dense_all(&self) -> &[DenseWeekSchedule] {
+        self.dense
+            .get_or_init(|| self.schedules.iter().map(DenseWeekSchedule::from).collect())
     }
 
     /// Iterates over `(user, schedule)` pairs.

@@ -291,7 +291,7 @@ pub fn optimal_cover_measure(universe: &IntervalSet, subsets: &[IntervalSet], k:
     let n = subsets.len();
     let mut best = 0u32;
     for mask in 0u32..(1 << n) {
-        if (mask.count_ones() as usize) > k {
+        if dosn_interval::cast::usize_from(mask.count_ones()) > k {
             continue;
         }
         let mut covered = IntervalSet::new();

@@ -16,7 +16,11 @@ pub enum TraceError {
     },
     /// A line of an input file could not be parsed.
     Parse {
-        /// 1-based line number.
+        /// Which input the line came from, e.g. `"edge list"` or
+        /// `"activity list"` — both files are plain whitespace-separated
+        /// text, so without this a bare line number is ambiguous.
+        section: &'static str,
+        /// 1-based line number within that input.
         line: usize,
         /// What was wrong with the line.
         reason: String,
@@ -37,8 +41,12 @@ impl fmt::Display for TraceError {
                     "activity references user {user} outside the graph of {user_count} users"
                 )
             }
-            TraceError::Parse { line, reason } => {
-                write!(f, "parse error at line {line}: {reason}")
+            TraceError::Parse {
+                section,
+                line,
+                reason,
+            } => {
+                write!(f, "parse error in the {section} at line {line}: {reason}")
             }
             TraceError::InvalidSynthParams { reason } => {
                 write!(f, "invalid synthetic trace parameters: {reason}")
@@ -58,9 +66,11 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<TraceError>();
         let e = TraceError::Parse {
+            section: "edge list",
             line: 7,
             reason: "missing field".into(),
         };
+        assert!(e.to_string().contains("edge list"));
         assert!(e.to_string().contains("line 7"));
     }
 }

@@ -157,6 +157,11 @@ pub fn write_activities(dataset: &Dataset) -> String {
     out
 }
 
+/// Section names carried by [`TraceError::Parse`] so a reported line
+/// number unambiguously identifies which of the two input files to open.
+const EDGE_SECTION: &str = "edge list";
+const ACTIVITY_SECTION: &str = "activity list";
+
 /// Maps arbitrary external `u64` ids to dense `UserId`s in first-seen
 /// order.
 #[derive(Debug, Default)]
@@ -188,14 +193,17 @@ fn content_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
 
 fn parse_field<T: std::str::FromStr>(
     field: Option<&str>,
+    section: &'static str,
     line: usize,
     what: &str,
 ) -> Result<T, TraceError> {
     let raw = field.ok_or_else(|| TraceError::Parse {
+        section,
         line,
         reason: format!("missing {what}"),
     })?;
     raw.parse().map_err(|_| TraceError::Parse {
+        section,
         line,
         reason: format!("invalid {what} {raw:?}"),
     })
@@ -208,10 +216,11 @@ fn parse_edge_lines(
     let mut edges = Vec::new();
     for (line, l) in content_lines(text) {
         let mut fields = l.split_whitespace();
-        let a: u64 = parse_field(fields.next(), line, "source user id")?;
-        let b: u64 = parse_field(fields.next(), line, "target user id")?;
+        let a: u64 = parse_field(fields.next(), EDGE_SECTION, line, "source user id")?;
+        let b: u64 = parse_field(fields.next(), EDGE_SECTION, line, "target user id")?;
         if fields.next().is_some() {
             return Err(TraceError::Parse {
+                section: EDGE_SECTION,
                 line,
                 reason: "unexpected extra field on edge line".into(),
             });
@@ -229,11 +238,12 @@ fn parse_activity_lines(
     let mut activities = Vec::new();
     for (line, l) in content_lines(text) {
         let mut fields = l.split_whitespace();
-        let receiver: u64 = parse_field(fields.next(), line, "receiver user id")?;
-        let creator: u64 = parse_field(fields.next(), line, "creator user id")?;
-        let ts: u64 = parse_field(fields.next(), line, "timestamp")?;
+        let receiver: u64 = parse_field(fields.next(), ACTIVITY_SECTION, line, "receiver user id")?;
+        let creator: u64 = parse_field(fields.next(), ACTIVITY_SECTION, line, "creator user id")?;
+        let ts: u64 = parse_field(fields.next(), ACTIVITY_SECTION, line, "timestamp")?;
         if fields.next().is_some() {
             return Err(TraceError::Parse {
+                section: ACTIVITY_SECTION,
                 line,
                 reason: "unexpected extra field on activity line".into(),
             });
@@ -294,16 +304,24 @@ mod tests {
     }
 
     #[test]
-    fn reports_line_numbers_on_errors() {
+    fn reports_section_and_line_on_errors() {
         let err = parse_dataset("b", "1 2\nbogus\n", "", ParseKind::Undirected).unwrap_err();
         match err {
-            TraceError::Parse { line, .. } => assert_eq!(line, 2),
+            TraceError::Parse { section, line, .. } => {
+                assert_eq!(section, "edge list");
+                assert_eq!(line, 2);
+            }
             other => panic!("unexpected error {other:?}"),
         }
         let err = parse_dataset("b", "", "1 2\n1 2 3 4\n", ParseKind::Undirected).unwrap_err();
         match err {
-            TraceError::Parse { line, reason } => {
+            TraceError::Parse {
+                section,
+                line,
+                reason,
+            } => {
                 // Line 1 is missing its timestamp.
+                assert_eq!(section, "activity list");
                 assert_eq!(line, 1);
                 assert!(reason.contains("timestamp"), "reason: {reason}");
             }

@@ -1,0 +1,111 @@
+//! The D4 ratchet baseline: a tiny committed TOML file mapping library
+//! source files to their allowed `.unwrap()`/`.expect(` count.
+//!
+//! Parsed and written by hand (the linter is dependency-free); the
+//! format is the `"path" = count` subset of TOML under one table
+//! header, so external tooling can still read it.
+
+use std::path::Path;
+
+use crate::rules::UnwrapCounts;
+
+/// Table header the counts live under.
+const TABLE: &str = "[d4-unwrap-baseline]";
+
+/// Parses the baseline file. Missing file means an empty baseline
+/// (every unwrap is then a violation, which is the safe default).
+pub fn load(path: &Path) -> Result<UnwrapCounts, String> {
+    let mut counts = UnwrapCounts::new();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(counts),
+        Err(e) => return Err(format!("reading {}: {e}", path.display())),
+    };
+    let mut in_table = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_table = line == TABLE;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("{}:{}: expected `\"path\" = count`", path.display(), lineno + 1))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value: usize = value.trim().parse().map_err(|_| {
+            format!(
+                "{}:{}: count {:?} is not a non-negative integer",
+                path.display(),
+                lineno + 1,
+                value.trim()
+            )
+        })?;
+        counts.insert(key, value);
+    }
+    Ok(counts)
+}
+
+/// Serializes the counts in sorted order with a regeneration header.
+pub fn render(counts: &UnwrapCounts) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# D4 unwrap/expect ratchet baseline.\n\
+         # Regenerate with `cargo xtask lint --update-baseline`; counts may only shrink.\n\
+         # A file above its count fails `cargo xtask lint`; files not listed must be clean.\n",
+    );
+    out.push_str(TABLE);
+    out.push('\n');
+    for (file, n) in counts {
+        out.push_str(&format!("\"{file}\" = {n}\n"));
+    }
+    out
+}
+
+/// Writes the baseline file.
+pub fn store(path: &Path, counts: &UnwrapCounts) -> Result<(), String> {
+    std::fs::write(path, render(counts)).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut counts = UnwrapCounts::new();
+        counts.insert("crates/core/src/sweep.rs".into(), 7);
+        counts.insert("crates/interval/src/mask.rs".into(), 2);
+        let text = render(&counts);
+        assert!(text.contains("[d4-unwrap-baseline]"));
+        assert!(text.contains("\"crates/core/src/sweep.rs\" = 7"));
+
+        let dir = std::env::temp_dir().join("xtask-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.toml");
+        store(&path, &counts).unwrap();
+        assert_eq!(load(&path).unwrap(), counts);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let counts = load(Path::new("/nonexistent/baseline.toml")).unwrap();
+        assert!(counts.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        let dir = std::env::temp_dir().join("xtask-baseline-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.toml");
+        std::fs::write(&path, "[d4-unwrap-baseline]\nnot a pair\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::write(&path, "[d4-unwrap-baseline]\n\"x\" = many\n").unwrap();
+        assert!(load(&path).is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! The determinism and kernel-safety contract, as named machine-checked
+//! rules. See DESIGN.md § "Determinism contract" for the rationale.
+//!
+//! * **D1** — no `std::collections::HashMap`/`HashSet` in the
+//!   deterministic crates; iteration order must not depend on hasher
+//!   seeds, so keyed lookups go through `BTreeMap`/`BTreeSet` or indexed
+//!   `Vec`s.
+//! * **D2** — no ambient nondeterminism (`thread_rng`, `from_entropy`,
+//!   `SystemTime::now`, `Instant::now`) outside the bench crate, the
+//!   sanctioned wall-clock module (`crates/core/src/timing.rs`), and
+//!   test code. All randomness flows from seeds; all timing flows
+//!   through the one observational stopwatch.
+//! * **D3** — no bare `as` casts in the word-level kernel files; all
+//!   width changes route through the checked helpers in
+//!   `dosn_interval::cast`.
+//! * **D4** — no new `.unwrap()`/`.expect(` in library-crate non-test
+//!   code: per-file counts are ratcheted against the committed baseline
+//!   (`crates/xtask/lint-baseline.toml`), which may only shrink.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::scan::SourceModel;
+
+/// Crates whose output feeds byte-identical sweep comparisons; keyed
+/// collections there must be order-deterministic (rule D1).
+pub const DETERMINISTIC_CRATES: [&str; 6] = [
+    "interval",
+    "onlinetime",
+    "replication",
+    "metrics",
+    "core",
+    "consistency",
+];
+
+/// Library crates covered by the D4 unwrap/expect ratchet.
+pub const LIBRARY_CRATES: [&str; 10] = [
+    "interval",
+    "socialgraph",
+    "trace",
+    "onlinetime",
+    "replication",
+    "metrics",
+    "core",
+    "dht",
+    "consistency",
+    "node",
+];
+
+/// Word-level kernel files where every cast must be checked (rule D3).
+pub const KERNEL_FILES: [&str; 2] = [
+    "crates/interval/src/mask.rs",
+    "crates/replication/src/set_cover.rs",
+];
+
+/// Files allowed to read the ambient clock or ambient entropy (rule D2).
+/// `crates/core/src/timing.rs` is the sanctioned stopwatch the `--timing`
+/// CLI flag reports through; it is observational by construction.
+pub const D2_ALLOWED_FILES: [&str; 1] = ["crates/core/src/timing.rs"];
+
+/// Ambient-nondeterminism tokens rejected by rule D2.
+pub const D2_TOKENS: [&str; 4] = [
+    "thread_rng",
+    "from_entropy",
+    "SystemTime::now",
+    "Instant::now",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id: "D1".."D4".
+    pub rule: &'static str,
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line, when the finding points at a specific site.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Per-file `.unwrap()`/`.expect(` counts observed in non-test library
+/// code — the quantity ratcheted by rule D4.
+pub type UnwrapCounts = BTreeMap<String, usize>;
+
+/// A parsed source file plus its workspace-relative path.
+pub struct WorkspaceFile {
+    /// Forward-slash path relative to the workspace root.
+    pub rel_path: String,
+    /// The lexical model of its contents.
+    pub model: SourceModel,
+}
+
+/// Loads every `.rs` file under the given workspace-relative directories
+/// (recursively), sorted by path for deterministic reports.
+pub fn load_files(root: &Path, dirs: &[PathBuf]) -> std::io::Result<Vec<WorkspaceFile>> {
+    let mut paths = Vec::new();
+    for dir in dirs {
+        collect_rs_files(&root.join(dir), &mut paths)?;
+    }
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.push(WorkspaceFile {
+            rel_path: rel,
+            model: SourceModel::new(&text),
+        });
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Rule D1: hashed collections in deterministic crates.
+pub fn check_d1(files: &[WorkspaceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        for token in ["HashMap", "HashSet"] {
+            for at in file.model.find_token(token) {
+                out.push(Violation {
+                    rule: "D1",
+                    file: file.rel_path.clone(),
+                    line: file.model.line_of(at),
+                    message: format!(
+                        "{token} in a deterministic crate; use BTreeMap/BTreeSet or an indexed Vec"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Rule D2: ambient nondeterminism outside sanctioned modules.
+pub fn check_d2(files: &[WorkspaceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        if D2_ALLOWED_FILES.contains(&file.rel_path.as_str()) {
+            continue;
+        }
+        for token in D2_TOKENS {
+            for at in file.model.find_token(token) {
+                out.push(Violation {
+                    rule: "D2",
+                    file: file.rel_path.clone(),
+                    line: file.model.line_of(at),
+                    message: format!(
+                        "{token} is ambient nondeterminism; inject a seeded RNG or use \
+                         dosn_core's timing module"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Rule D3: bare `as` casts in the kernel files. `use ... as ...`
+/// renames are not casts and are skipped.
+pub fn check_d3(files: &[WorkspaceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        if !KERNEL_FILES.contains(&file.rel_path.as_str()) {
+            continue;
+        }
+        for at in file.model.find_token("as") {
+            if is_use_rename(&file.model.code, at) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "D3",
+                file: file.rel_path.clone(),
+                line: file.model.line_of(at),
+                message: "bare `as` cast in a word-level kernel file; route through \
+                          dosn_interval::cast helpers"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Whether the `as` keyword at `at` belongs to a `use`/`extern crate`
+/// rename rather than a cast: scan back to the statement start and look
+/// at its first keyword.
+fn is_use_rename(code: &str, at: usize) -> bool {
+    let stmt_start = code[..at]
+        .rfind([';', '{', '}'])
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let head = code[stmt_start..at].trim_start();
+    head.starts_with("use ")
+        || head.starts_with("pub use ")
+        || head.starts_with("pub(crate) use ")
+        || head.starts_with("extern crate ")
+}
+
+/// Rule D4 observation: count `.unwrap()` / `.expect(` sites per file.
+/// The caller compares against the committed baseline.
+pub fn count_unwraps(files: &[WorkspaceFile]) -> UnwrapCounts {
+    let mut counts = UnwrapCounts::new();
+    for file in files {
+        let n = file.model.find_token(".unwrap()").len() + file.model.find_token(".expect(").len();
+        if n > 0 {
+            counts.insert(file.rel_path.clone(), n);
+        }
+    }
+    counts
+}
+
+/// Compares observed D4 counts against the baseline: a count above
+/// baseline is a violation; a file absent from the baseline must have
+/// zero sites.
+pub fn check_d4(observed: &UnwrapCounts, baseline: &UnwrapCounts) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (file, &n) in observed {
+        let allowed = baseline.get(file).copied().unwrap_or(0);
+        if n > allowed {
+            out.push(Violation {
+                rule: "D4",
+                file: file.clone(),
+                line: 0,
+                message: format!(
+                    "{n} unwrap()/expect() sites exceed the baseline of {allowed}; return the \
+                     crate's error type instead (the baseline only ratchets down)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Files that dropped below their baseline: safe ratchet opportunities.
+pub fn d4_ratchet_candidates(
+    observed: &UnwrapCounts,
+    baseline: &UnwrapCounts,
+) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    for (file, &allowed) in baseline {
+        let n = observed.get(file).copied().unwrap_or(0);
+        if n < allowed {
+            out.push((file.clone(), allowed, n));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> WorkspaceFile {
+        WorkspaceFile {
+            rel_path: rel.to_string(),
+            model: SourceModel::new(src),
+        }
+    }
+
+    #[test]
+    fn d1_flags_hashed_collections() {
+        let files = [file(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32>; }\n",
+        )];
+        let v = check_d1(&files);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == "D1"));
+    }
+
+    #[test]
+    fn d1_ignores_comments_and_tests() {
+        let files = [file(
+            "crates/core/src/x.rs",
+            "// HashMap in prose\n#[cfg(test)]\nmod tests { use std::collections::HashSet; }\n",
+        )];
+        assert!(check_d1(&files).is_empty());
+    }
+
+    #[test]
+    fn d2_flags_ambient_clock_but_not_allowed_module() {
+        let src = "fn f() { let t = Instant::now(); let r = rand::thread_rng(); }\n";
+        assert_eq!(check_d2(&[file("crates/core/src/sweep.rs", src)]).len(), 2);
+        assert!(check_d2(&[file("crates/core/src/timing.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn d3_flags_casts_only_in_kernel_files() {
+        let src = "fn f(x: u32) -> usize { x as usize }\n";
+        assert_eq!(check_d3(&[file("crates/interval/src/mask.rs", src)]).len(), 1);
+        assert!(check_d3(&[file("crates/interval/src/set.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn d3_permits_use_renames() {
+        let src = "use std::fmt::Result as FmtResult;\nfn f() -> FmtResult { Ok(()) }\n";
+        assert!(check_d3(&[file("crates/interval/src/mask.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn d4_ratchet_detects_growth_and_shrink() {
+        let files = [file(
+            "crates/core/src/a.rs",
+            "fn f() { x.unwrap(); y.expect(\"boom\"); }\n",
+        )];
+        let observed = count_unwraps(&files);
+        assert_eq!(observed.get("crates/core/src/a.rs"), Some(&2));
+
+        let mut baseline = UnwrapCounts::new();
+        baseline.insert("crates/core/src/a.rs".into(), 1);
+        assert_eq!(check_d4(&observed, &baseline).len(), 1);
+
+        baseline.insert("crates/core/src/a.rs".into(), 3);
+        assert!(check_d4(&observed, &baseline).is_empty());
+        let ratchet = d4_ratchet_candidates(&observed, &baseline);
+        assert_eq!(ratchet, vec![("crates/core/src/a.rs".to_string(), 3, 2)]);
+    }
+
+    #[test]
+    fn d4_unwrap_or_is_not_flagged() {
+        let files = [file(
+            "crates/core/src/a.rs",
+            "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }\n",
+        )];
+        assert!(count_unwraps(&files).is_empty());
+    }
+}

@@ -1,0 +1,421 @@
+//! A lexical model of a Rust source file, built without external crates.
+//!
+//! The lint rules need to see *code*, not prose: a mention of `HashMap`
+//! inside a doc comment or a string literal is not a violation. This
+//! module produces a masked copy of the file where comments (line, block,
+//! doc), string literals (plain, raw, byte), and char literals are
+//! blanked out with spaces — byte-for-byte the same length and line
+//! structure as the original, so positions in the masked text map
+//! directly to positions in the file.
+//!
+//! On top of the masked text it identifies `#[cfg(test)]` regions (the
+//! attribute plus the brace-matched item it gates), so rules can skip
+//! test code where panicking and ad-hoc randomness are idiomatic.
+
+/// A source file with comments/strings masked out and test regions
+/// resolved.
+pub struct SourceModel {
+    /// Masked text: same bytes as the input except comment and literal
+    /// interiors are spaces. Newlines are preserved.
+    pub code: String,
+    /// `test_region[i]` is true when byte `i` belongs to a
+    /// `#[cfg(test)]`-gated item (including the attribute itself).
+    pub test_region: Vec<bool>,
+}
+
+impl SourceModel {
+    /// Builds the model for one file's contents.
+    pub fn new(source: &str) -> SourceModel {
+        let code = mask_comments_and_literals(source);
+        let test_region = mark_cfg_test_regions(&code);
+        SourceModel { code, test_region }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.code.as_bytes()[..offset]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+            + 1
+    }
+
+    /// Whether the byte offset falls inside a `#[cfg(test)]` region.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_region.get(offset).copied().unwrap_or(false)
+    }
+
+    /// All match positions of `needle` in the masked code that sit on an
+    /// identifier boundary (not embedded in a longer identifier) and are
+    /// outside test regions.
+    pub fn find_token(&self, needle: &str) -> Vec<usize> {
+        let bytes = self.code.as_bytes();
+        let mut out = Vec::new();
+        let mut from = 0;
+        while let Some(pos) = self.code[from..].find(needle) {
+            let at = from + pos;
+            from = at + 1;
+            // Only enforce a boundary on the sides where the needle
+            // itself starts/ends with an identifier character
+            // ("Instant::now" needs both; ".unwrap()" needs neither).
+            let needs_before = needle
+                .as_bytes()
+                .first()
+                .is_some_and(|&b| is_ident_byte(b));
+            let before_ok = !needs_before || at == 0 || !is_ident_byte(bytes[at - 1]);
+            let after = at + needle.len();
+            let needs_after = needle
+                .as_bytes()
+                .last()
+                .is_some_and(|&b| is_ident_byte(b));
+            let after_ok =
+                !needs_after || after >= bytes.len() || !is_ident_byte(bytes[after]);
+            if before_ok && after_ok && !self.in_test_region(at) {
+                out.push(at);
+            }
+        }
+        out
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Replaces the interiors of comments, string literals, and char
+/// literals with spaces, preserving length and newlines exactly.
+fn mask_comments_and_literals(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                // Line comment (covers /// and //! doc comments).
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Block comment, possibly nested.
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b'
+                if is_raw_string_start(bytes, i) =>
+            {
+                i = mask_raw_string(bytes, &mut out, i);
+            }
+            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'"' => {
+                i = mask_plain_string(bytes, &mut out, i + 1);
+            }
+            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'\'' => {
+                i = mask_char_literal(bytes, &mut out, i + 1);
+            }
+            b'"' => {
+                i = mask_plain_string(bytes, &mut out, i);
+            }
+            b'\'' => {
+                if looks_like_char_literal(bytes, i) {
+                    i = mask_char_literal(bytes, &mut out, i);
+                } else {
+                    // A lifetime tick; leave it.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // Masking never touches newlines, so this stays valid UTF-8 only if
+    // we were careful with multi-byte chars: blanking individual bytes of
+    // a multi-byte char inside a literal is fine (all become 0x20).
+    String::from_utf8(out).unwrap_or_else(|e| {
+        // Can only happen if a multi-byte char straddles a mask
+        // boundary, which the byte-wise blanking above prevents; fall
+        // back to a lossy copy rather than panicking inside the linter.
+        String::from_utf8_lossy(e.as_bytes()).into_owned()
+    })
+}
+
+/// Detects `r"`, `r#"`, `br"`, `br#"` raw-string openers at `i`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+fn mask_raw_string(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // consume 'r'
+    let mut hashes = 0;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // consume opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if bytes.get(i + 1 + k) != Some(&b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        if bytes[i] != b'\n' {
+            out[i] = b' ';
+        }
+        i += 1;
+    }
+    i
+}
+
+fn mask_plain_string(bytes: &[u8], out: &mut [u8], quote: usize) -> usize {
+    let mut i = quote + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                out[i] = b' ';
+                if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                    out[i + 1] = b' ';
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => i += 1,
+            _ => {
+                out[i] = b' ';
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Whether the `'` at `i` opens a char literal (vs a lifetime).
+fn looks_like_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => {
+            // 'x' is a char literal; 'x followed by anything else is a
+            // lifetime. Multi-byte chars: find the next quote within a
+            // small window.
+            let window = &bytes[i + 1..bytes.len().min(i + 6)];
+            match window.iter().position(|&b| b == b'\'') {
+                // A lifetime like `'a'` cannot occur; `'_'` and `'x'`
+                // are chars. `''` is invalid Rust, skip it.
+                Some(0) => false,
+                Some(_) => true,
+                None => false,
+            }
+        }
+        None => false,
+    }
+}
+
+fn mask_char_literal(bytes: &[u8], out: &mut [u8], quote: usize) -> usize {
+    let mut i = quote + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                out[i] = b' ';
+                if i + 1 < bytes.len() {
+                    out[i + 1] = b' ';
+                }
+                i += 2;
+            }
+            b'\'' => return i + 1,
+            _ => {
+                if bytes[i] != b'\n' {
+                    out[i] = b' ';
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Marks every byte belonging to a `#[cfg(test)]`-gated item. The
+/// attribute may be followed by further attributes before the item;
+/// the item body is brace-matched (or runs to the terminating `;` for
+/// brace-less items).
+fn mark_cfg_test_regions(code: &str) -> Vec<bool> {
+    let bytes = code.as_bytes();
+    let mut marked = vec![false; bytes.len()];
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("#[cfg(test)]") {
+        let attr_start = from + pos;
+        let mut i = attr_start + "#[cfg(test)]".len();
+        // Skip whitespace and any further attributes.
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'#' {
+                // Skip one bracketed attribute.
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // Walk to the end of the item: the matching close of the first
+        // `{`, or a `;` seen before any brace opens.
+        let mut depth = 0usize;
+        let mut end = i;
+        while end < bytes.len() {
+            match bytes[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end += 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        for flag in marked
+            .iter_mut()
+            .take(end.min(bytes.len()))
+            .skip(attr_start)
+        {
+            *flag = true;
+        }
+        from = end.max(attr_start + 1);
+    }
+    marked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_doc_comments() {
+        let m = SourceModel::new("let x = 1; // HashMap here\n/// HashMap doc\nlet y = 2;\n");
+        assert!(m.find_token("HashMap").is_empty());
+        assert!(!m.find_token("let").is_empty());
+    }
+
+    #[test]
+    fn masks_block_comments_nested() {
+        let m = SourceModel::new("/* outer /* inner HashMap */ still */ let z = 1;\n");
+        assert!(m.find_token("HashMap").is_empty());
+        assert_eq!(m.find_token("let").len(), 1);
+    }
+
+    #[test]
+    fn masks_string_and_char_literals() {
+        let m = SourceModel::new("let s = \"HashMap\"; let c = 'H'; let e = \"esc\\\"Hash\";\n");
+        assert!(m.find_token("HashMap").is_empty());
+        assert!(m.find_token("Hash").is_empty());
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let m = SourceModel::new("let s = r#\"HashMap \" inside\"#; let t = HashSet::new();\n");
+        assert!(m.find_token("HashMap").is_empty());
+        assert_eq!(m.find_token("HashSet").len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let m = SourceModel::new("fn f<'a>(x: &'a str) -> &'a str { x } let u = s.unwrap();\n");
+        // If the lifetime tick were treated as a char opener the
+        // `.unwrap()` call would be swallowed by the bogus literal.
+        assert_eq!(m.find_token(".unwrap()").len(), 1);
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        let m = SourceModel::new("let a = FxHashMap::default(); let b = HashMap::new();\n");
+        assert_eq!(m.find_token("HashMap").len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_region_is_skipped() {
+        let src = "\
+fn prod() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); z.unwrap(); }
+}
+fn prod2() { w.unwrap(); }
+";
+        let m = SourceModel::new(src);
+        assert_eq!(m.find_token(".unwrap()").len(), 2);
+    }
+
+    #[test]
+    fn cfg_test_on_single_item() {
+        let src = "#[cfg(test)]\nfn helper() { a.unwrap(); }\nfn real() { b.unwrap(); }\n";
+        let m = SourceModel::new(src);
+        assert_eq!(m.find_token(".unwrap()").len(), 1);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let m = SourceModel::new("a\nb HashMap\n");
+        let hits = m.find_token("HashMap");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(m.line_of(hits[0]), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! The determinism auditor — the dynamic end of the determinism
+//! contract (DESIGN.md § "Determinism contract").
+//!
+//! The static side (`cargo xtask lint`) bans the *sources* of
+//! nondeterminism: hashed iteration order, ambient clocks and entropy,
+//! silently truncating casts. This test audits the *outcome*: a sweep's
+//! entire CSV artifact must be byte-identical whether the work-stealing
+//! runner uses one thread or every core, for both deterministic and
+//! randomized models. Any scheduling dependence — a fold in claim order
+//! instead of user order, an RNG shared across workers, a float
+//! reduction reordered by partitioning — shows up here as a byte diff.
+
+use dosn::prelude::*;
+
+fn audit_csv_across_thread_counts(model: ModelKind) {
+    let ds = synth::facebook_like(300, 23).expect("generation succeeds");
+    let users = ds.users_with_degree(6);
+    assert!(!users.is_empty(), "need degree-6 users in the fixture");
+    let csv = |threads: usize| {
+        degree_sweep(
+            &ds,
+            model,
+            &PolicyKind::paper_trio(),
+            &users,
+            6,
+            &StudyConfig::default()
+                .with_repetitions(2)
+                .with_seed(41)
+                .with_threads(Some(threads)),
+        )
+        .to_csv()
+    };
+    let reference = csv(1);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(2);
+    for threads in [2, max] {
+        let got = csv(threads);
+        assert_eq!(
+            got, reference,
+            "{model:?}: CSV bytes diverged between 1 and {threads} threads"
+        );
+    }
+}
+
+/// Deterministic model: same bytes at 1, 2, and max threads.
+#[test]
+fn sporadic_sweep_csv_is_thread_count_invariant() {
+    audit_csv_across_thread_counts(ModelKind::sporadic_default());
+}
+
+/// Randomized model: per-(rep, user) seed derivation must make even
+/// RNG-driven schedules independent of which worker claims which user.
+#[test]
+fn randomized_sweep_csv_is_thread_count_invariant() {
+    audit_csv_across_thread_counts(ModelKind::random_length_default());
+}
