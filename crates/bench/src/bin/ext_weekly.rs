@@ -11,8 +11,8 @@
 use dosn_bench::{figure_config, print_dataset_stats, users_from_args, STUDY_DEGREE};
 use dosn_interval::DayOfWeek;
 use dosn_metrics::{
-    availability, update_propagation_delay, weekly_availability,
-    weekly_update_propagation_delay, Summary,
+    availability, update_propagation_delay, weekly_availability_dense,
+    weekly_update_propagation_delay_dense, Summary,
 };
 use dosn_onlinetime::{Weekly, WeeklySchedules};
 use dosn_replication::{Connectivity, MaxAv, ReplicaPolicy};
@@ -78,13 +78,16 @@ fn main() {
             &mut rng,
         );
         daily_avail.add(availability(user, &replicas, &folded, true));
-        week_avail.add(weekly_availability(user, &replicas, &weekly, true));
+        // Week-aware metrics on the dense bitmap forms (bit-identical to
+        // the sparse versions; the word-level scans are the fast path).
+        week_avail.add(weekly_availability_dense(user, &replicas, &weekly, true));
         weekday_avail.add(availability(user, &replicas, &monday, true));
         weekend_avail.add(availability(user, &replicas, &saturday, true));
         if replicas.len() >= 2 {
             daily_delay.add_opt(update_propagation_delay(&replicas, &folded).worst_hours());
-            weekly_delay
-                .add_opt(weekly_update_propagation_delay(&replicas, &weekly).worst_hours());
+            weekly_delay.add_opt(
+                weekly_update_propagation_delay_dense(&replicas, &weekly).worst_hours(),
+            );
         }
     }
 

@@ -24,12 +24,14 @@ pub struct StudyConfig {
     repetitions: usize,
     seed: u64,
     threads: Option<usize>,
+    delay_samples: usize,
 }
 
 impl Default for StudyConfig {
     /// The paper's defaults: connected replicas, the owner serves their
     /// own profile while online, randomized components repeated 5 times,
-    /// and as many worker threads as the machine offers.
+    /// four observed-delay injection samples per day, and as many worker
+    /// threads as the machine offers.
     fn default() -> Self {
         StudyConfig {
             connectivity: Connectivity::ConRep,
@@ -37,6 +39,7 @@ impl Default for StudyConfig {
             repetitions: 5,
             seed: 42,
             threads: None,
+            delay_samples: 4,
         }
     }
 }
@@ -80,6 +83,16 @@ impl StudyConfig {
         self
     }
 
+    /// Sets how many update-injection times per day the observed-delay
+    /// replay samples (evenly spaced from midnight). Clamped to at least
+    /// 1; the default of 4 reproduces the paper's fixed 0h/6h/12h/18h
+    /// grid.
+    #[must_use]
+    pub fn with_delay_samples(mut self, delay_samples: usize) -> Self {
+        self.delay_samples = delay_samples.max(1);
+        self
+    }
+
     /// The replica connectivity mode.
     pub fn connectivity(&self) -> Connectivity {
         self.connectivity
@@ -98,6 +111,11 @@ impl StudyConfig {
     /// The base seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Update-injection samples per day for the observed-delay replay.
+    pub fn delay_samples(&self) -> usize {
+        self.delay_samples
     }
 
     /// The effective worker thread count.
@@ -150,6 +168,17 @@ mod tests {
         assert_eq!(c.repetitions(), 1, "clamped to at least one");
         assert_eq!(c.seed(), 9);
         assert_eq!(c.effective_threads(), 2);
+    }
+
+    #[test]
+    fn delay_samples_default_and_clamp() {
+        assert_eq!(StudyConfig::default().delay_samples(), 4);
+        let c = StudyConfig::default().with_delay_samples(0);
+        assert_eq!(c.delay_samples(), 1, "clamped to at least one");
+        assert_eq!(
+            StudyConfig::default().with_delay_samples(24).delay_samples(),
+            24
+        );
     }
 
     #[test]

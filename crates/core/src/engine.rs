@@ -1,0 +1,672 @@
+//! The one experiment engine behind every sweep.
+//!
+//! A [`SweepPlan`] is plain data: which axis is swept ([`SweepPlan::new`]
+//! names the x column), which policies run, and a list of
+//! [`SweepPoint`]s — each an online-time model, a studied user set, and
+//! an ascending budget ladder with one reported x value per budget. The
+//! three public sweep functions in [`crate::sweep`] are thin builders of
+//! such plans; everything they used to each re-implement lives here
+//! once:
+//!
+//! * **One schedule draw per repetition, shared as widely as possible.**
+//!   The draw's seed derivation is policy-free *and* point-free
+//!   (`derive_seed(seed, rep, usize::MAX)`), so consecutive points with
+//!   the same model form a *draw group* that shares a single draw per
+//!   repetition — the user-degree sweep's buckets collapse from one draw
+//!   per (bucket, repetition) to one per repetition. The draw for
+//!   repetition `rep + 1` is prefetched on a background thread while the
+//!   workers evaluate repetition `rep`; dense bitmap forms are
+//!   materialized on the draw thread when a policy needs them.
+//! * **A work-stealing worker pool.** Users are claimed dynamically off
+//!   a shared atomic counter — threads that draw cheap users keep
+//!   working instead of idling at a chunk boundary. Each worker checks
+//!   an [`EvalWorkspace`] out of a shared pool for the duration of its
+//!   run, so placement scratch (CELF heaps, cover buffers) and
+//!   evaluation scratch (co-online pools, replay samples) are allocated
+//!   once per thread slot and reused across every (repetition, point,
+//!   policy) evaluation of the plan.
+//! * **Deterministic folding and timing.** Workers return per-user
+//!   metric rows; the coordinating thread folds them in user order, so
+//!   the floating-point aggregation is independent of the thread count.
+//!   Every (repetition, user) pair derives its own RNG, and wall-clock
+//!   accounting lands in a [`SweepTiming`] keyed by (model, policy) in
+//!   first-evaluation order.
+//!
+//! Determinism note: per cell — one (point, policy, budget) — the fold
+//! order is repetition-ascending then user-ascending, and rows are
+//! emitted policy-major, point order, budget order. Both match the
+//! pre-engine sweep runners exactly, so CSV artifacts are byte-identical
+//! (held in place by `tests/engine_equivalence.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dosn_interval::DaySchedule;
+use dosn_onlinetime::OnlineSchedules;
+use dosn_replication::PlacementWorkspace;
+use dosn_socialgraph::UserId;
+use dosn_trace::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{derive_seed, StudyConfig};
+use crate::experiment::{evaluate_prefixes_in, PrefixScratch, UserMetrics};
+use crate::kinds::{ModelKind, PolicyKind};
+use crate::results::{CellMetrics, SweepRow, SweepTable};
+
+/// Wall-clock accounting of one (model, policy) pair across a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingEntry {
+    /// The online-time model's label.
+    pub model: String,
+    /// The policy's label.
+    pub policy: String,
+    /// User evaluations performed (studied users × repetitions,
+    /// accumulated over every cell of the sweep).
+    pub users_evaluated: usize,
+    /// Wall time spent on those evaluations, in seconds.
+    pub wall_secs: f64,
+}
+
+impl TimingEntry {
+    /// Throughput in user evaluations per second.
+    pub fn users_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.users_evaluated as f64 / self.wall_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Wall-clock accounting of a sweep, one entry per (model, policy) pair
+/// in first-evaluation order. Produced by the `*_timed` sweep variants;
+/// purely observational (the sweep results do not depend on it).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepTiming {
+    entries: Vec<TimingEntry>,
+}
+
+impl SweepTiming {
+    /// Folds one measured section into the (model, policy) entry.
+    fn record(&mut self, model: &str, policy: &str, users_evaluated: usize, wall_secs: f64) {
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.model == model && e.policy == policy)
+        {
+            Some(e) => {
+                e.users_evaluated += users_evaluated;
+                e.wall_secs += wall_secs;
+            }
+            None => self.entries.push(TimingEntry {
+                model: model.to_string(),
+                policy: policy.to_string(),
+                users_evaluated,
+                wall_secs,
+            }),
+        }
+    }
+
+    /// The entries, in first-evaluation order.
+    pub fn entries(&self) -> &[TimingEntry] {
+        &self.entries
+    }
+
+    /// A human-readable table: one line per (model, policy) with wall
+    /// time and users/sec.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("model\tpolicy\tusers\twall_s\tusers_per_s\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{:.3}\t{:.0}\n",
+                e.model,
+                e.policy,
+                e.users_evaluated,
+                e.wall_secs,
+                e.users_per_sec()
+            ));
+        }
+        out
+    }
+}
+
+/// Cheap stable hash of a policy label, to decorrelate per-policy RNGs.
+fn fx_hash(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+    })
+}
+
+/// One evaluated point of a sweep: a model, a studied user set, and an
+/// ascending ladder of replication budgets, each reported under its own
+/// x value.
+///
+/// The degree sweep is a single point whose ladder is `0..=max_degree`
+/// (each budget is its own x); the session-length and user-degree sweeps
+/// are many single-budget points.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Reported x value per budget (same length as `budgets`).
+    xs: Vec<f64>,
+    /// The online-time model drawn for this point.
+    model: ModelKind,
+    /// The studied users.
+    users: Vec<UserId>,
+    /// Replication budgets, ascending; each policy places once at the
+    /// maximum and is evaluated prefix-by-prefix at every rung.
+    budgets: Vec<usize>,
+}
+
+impl SweepPoint {
+    /// A new point; `xs` and `budgets` pair up one-to-one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or `budgets` is not sorted ascending.
+    pub fn new(xs: Vec<f64>, model: ModelKind, users: Vec<UserId>, budgets: Vec<usize>) -> Self {
+        assert_eq!(xs.len(), budgets.len(), "one x value per budget");
+        assert!(
+            budgets.windows(2).all(|w| w[0] <= w[1]),
+            "budgets must be sorted ascending"
+        );
+        SweepPoint {
+            xs,
+            model,
+            users,
+            budgets,
+        }
+    }
+
+    /// Whether the point has anything to evaluate.
+    fn is_active(&self) -> bool {
+        !self.users.is_empty() && !self.budgets.is_empty()
+    }
+}
+
+/// A full sweep, described as data: the x column's name, the policies,
+/// and the points. Run it with [`SweepPlan::run`] /
+/// [`SweepPlan::run_timed`].
+///
+/// # Examples
+///
+/// ```
+/// use dosn_core::engine::{SweepPlan, SweepPoint};
+/// use dosn_core::{ModelKind, PolicyKind, StudyConfig};
+/// use dosn_trace::synth;
+///
+/// let ds = synth::facebook_like(150, 1).expect("generation succeeds");
+/// let users = ds.users_with_degree(4);
+/// let plan = SweepPlan::new(
+///     "replication_degree",
+///     vec![PolicyKind::MaxAv],
+///     vec![SweepPoint::new(
+///         vec![0.0, 1.0, 2.0],
+///         ModelKind::sporadic_default(),
+///         users,
+///         vec![0, 1, 2],
+///     )],
+/// );
+/// let table = plan.run(&ds, &StudyConfig::default().with_repetitions(1));
+/// assert_eq!(table.rows().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    x_label: &'static str,
+    policies: Vec<PolicyKind>,
+    points: Vec<SweepPoint>,
+}
+
+impl SweepPlan {
+    /// A new plan over the given policies and points.
+    pub fn new(x_label: &'static str, policies: Vec<PolicyKind>, points: Vec<SweepPoint>) -> Self {
+        SweepPlan {
+            x_label,
+            policies,
+            points,
+        }
+    }
+
+    /// Executes the plan and returns the result table.
+    pub fn run(&self, dataset: &Dataset, config: &StudyConfig) -> SweepTable {
+        self.run_timed(dataset, config).0
+    }
+
+    /// [`SweepPlan::run`] plus wall-clock accounting per (model, policy).
+    pub fn run_timed(&self, dataset: &Dataset, config: &StudyConfig) -> (SweepTable, SweepTiming) {
+        let mut timing = SweepTiming::default();
+        let per_point = self.run_cells(dataset, config, &mut timing);
+        let mut rows = Vec::new();
+        for (pi, &policy) in self.policies.iter().enumerate() {
+            for (point, cells) in self.points.iter().zip(&per_point) {
+                for (bi, &x) in point.xs.iter().enumerate() {
+                    rows.push(SweepRow {
+                        x,
+                        policy: policy.label().to_string(),
+                        cell: cells[pi][bi].clone(),
+                    });
+                }
+            }
+        }
+        (SweepTable::new(self.x_label, rows), timing)
+    }
+
+    /// Aggregated cells indexed `[point][policy][budget]`.
+    fn run_cells(
+        &self,
+        dataset: &Dataset,
+        config: &StudyConfig,
+        timing: &mut SweepTiming,
+    ) -> Vec<Vec<Vec<CellMetrics>>> {
+        let mut per_point: Vec<Vec<Vec<CellMetrics>>> = self
+            .points
+            .iter()
+            .map(|p| vec![vec![CellMetrics::default(); p.budgets.len()]; self.policies.len()])
+            .collect();
+        if self.policies.is_empty() {
+            return per_point;
+        }
+        // Evaluation workspaces outlive every group: a worker thread
+        // checks one out for its run and returns it, so the arena-backed
+        // buffers are allocated once per thread slot for the whole plan.
+        let pool: Mutex<Vec<EvalWorkspace>> = Mutex::new(Vec::new());
+        let mut start = 0;
+        while start < self.points.len() {
+            // Consecutive points with the same model share the draws.
+            let mut end = start + 1;
+            while end < self.points.len() && self.points[end].model == self.points[start].model {
+                end += 1;
+            }
+            self.run_group(dataset, config, start..end, &mut per_point, timing, &pool);
+            start = end;
+        }
+        per_point
+    }
+
+    /// Runs the repetition × point × policy loop of one draw group
+    /// against shared per-repetition schedule draws.
+    ///
+    /// Policies that involve no randomness (and run under a
+    /// deterministic model) contribute a single repetition, exactly as
+    /// when run alone: repetition `r` of any policy sees the same
+    /// schedule draw and the same per-(repetition, user) RNG either way.
+    fn run_group(
+        &self,
+        dataset: &Dataset,
+        config: &StudyConfig,
+        range: std::ops::Range<usize>,
+        per_point: &mut [Vec<Vec<CellMetrics>>],
+        timing: &mut SweepTiming,
+        pool: &Mutex<Vec<EvalWorkspace>>,
+    ) {
+        let group = &self.points[range.clone()];
+        if !group.iter().any(SweepPoint::is_active) {
+            return;
+        }
+        let model = group[0].model;
+        let reps_for = |policy: PolicyKind| {
+            if model.is_randomized() || policy.is_randomized() {
+                config.repetitions()
+            } else {
+                1
+            }
+        };
+        let Some(max_reps) = self.policies.iter().map(|&p| reps_for(p)).max() else {
+            return;
+        };
+        let model_label = model.label();
+        // The MaxAv activity cover computes on bitmap schedules;
+        // materialize them on the draw thread so the conversion happens
+        // exactly once per draw, before any worker runs.
+        let needs_dense = self
+            .policies
+            .iter()
+            .any(|&p| matches!(p, PolicyKind::MaxAvOnDemandActivity));
+        // Schedules are global per repetition: one draw of everyone's
+        // online times, shared by every point, policy, and budget of the
+        // group (the seed derivation is policy- and point-free, so this
+        // is output-preserving). The draw for repetition `rep + 1` runs
+        // on a background thread while the workers evaluate repetition
+        // `rep` — each repetition's generator is seeded independently,
+        // so the prefetch is invisible to the results.
+        let draw = |rep: usize| {
+            let mut model_rng = StdRng::seed_from_u64(derive_seed(config.seed(), rep, usize::MAX));
+            let schedules = model.build().schedules(dataset, &mut model_rng);
+            if needs_dense {
+                schedules.dense_all();
+            }
+            schedules
+        };
+        let draw = &draw;
+        std::thread::scope(|scope| {
+            let mut pending = Some(scope.spawn(move || draw(0)));
+            for rep in 0..max_reps {
+                let Some(handle) = pending.take() else {
+                    unreachable!("a draw is prefetched for every repetition");
+                };
+                let schedules = match handle.join() {
+                    Ok(s) => s,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                };
+                if rep + 1 < max_reps {
+                    pending = Some(scope.spawn(move || draw(rep + 1)));
+                }
+                for (offset, point) in group.iter().enumerate() {
+                    if !point.is_active() {
+                        continue;
+                    }
+                    let Some(&max_budget) = point.budgets.last() else {
+                        continue;
+                    };
+                    // The demand unions depend on the draw but not on
+                    // the policy: derive them once per (repetition,
+                    // point) and share them across policies.
+                    let demands: Vec<DaySchedule> = point
+                        .users
+                        .iter()
+                        .map(|&u| schedules.union_of(dataset.replica_candidates(u).iter().copied()))
+                        .collect();
+                    let cells_per_policy = &mut per_point[range.start + offset];
+                    for (cells, &policy) in cells_per_policy.iter_mut().zip(&self.policies) {
+                        if rep >= reps_for(policy) {
+                            continue;
+                        }
+                        let watch = crate::timing::Stopwatch::start();
+                        let rows = evaluate_policy_users(
+                            dataset,
+                            &schedules,
+                            &demands,
+                            policy,
+                            &point.users,
+                            &point.budgets,
+                            config,
+                            rep,
+                            max_budget,
+                            pool,
+                        );
+                        for metrics in &rows {
+                            for (cell, m) in cells.iter_mut().zip(metrics) {
+                                cell.add(m);
+                            }
+                        }
+                        timing.record(
+                            &model_label,
+                            policy.label(),
+                            point.users.len(),
+                            watch.elapsed_secs(),
+                        );
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Per-worker scratch for one fused placement + evaluation step: the
+/// placement layer's buffers (greedy-cover heaps, universe schedules,
+/// ranking arrays), the placement output, and the prefix evaluator's
+/// pooled state. Checked out of the engine's shared pool at worker
+/// start, returned at worker exit; every entry point that uses it fully
+/// resets what it reads, so reuse can never leak state between users.
+#[derive(Debug, Default)]
+struct EvalWorkspace {
+    placement: PlacementWorkspace,
+    replicas: Vec<UserId>,
+    prefix: PrefixScratch,
+}
+
+/// Evaluates one policy over one point's users for one repetition's
+/// schedule draw. Users are claimed dynamically off a shared atomic
+/// counter; rows come back indexed by user position so the caller can
+/// fold them in user order regardless of which thread produced them.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_policy_users(
+    dataset: &Dataset,
+    schedules: &OnlineSchedules,
+    demands: &[DaySchedule],
+    policy: PolicyKind,
+    users: &[UserId],
+    budgets: &[usize],
+    config: &StudyConfig,
+    rep: usize,
+    max_budget: usize,
+    pool: &Mutex<Vec<EvalWorkspace>>,
+) -> Vec<Vec<UserMetrics>> {
+    let threads = config.effective_threads().min(users.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let mut rows: Vec<Option<Vec<UserMetrics>>> = vec![None; users.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let built_policy = policy.build();
+                    let mut ws = pool
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .pop()
+                        .unwrap_or_default();
+                    let mut claimed = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= users.len() {
+                            break;
+                        }
+                        let user = users[i];
+                        let mut rng = StdRng::seed_from_u64(derive_seed(
+                            config.seed() ^ fx_hash(policy.label()),
+                            rep,
+                            user.index(),
+                        ));
+                        built_policy.place_in(
+                            dataset,
+                            schedules,
+                            user,
+                            max_budget,
+                            config.connectivity(),
+                            &mut rng,
+                            &mut ws.placement,
+                            &mut ws.replicas,
+                        );
+                        let mut metrics = Vec::with_capacity(budgets.len());
+                        evaluate_prefixes_in(
+                            dataset,
+                            schedules,
+                            user,
+                            &ws.replicas,
+                            budgets,
+                            config.include_owner(),
+                            Some(&demands[i]),
+                            config.delay_samples(),
+                            &mut ws.prefix,
+                            &mut metrics,
+                        );
+                        claimed.push((i, metrics));
+                    }
+                    pool.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(ws);
+                    claimed
+                })
+            })
+            .collect();
+        for handle in handles {
+            let claimed = match handle.join() {
+                Ok(claimed) => claimed,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            for (i, metrics) in claimed {
+                rows[i] = Some(metrics);
+            }
+        }
+    });
+    rows.into_iter()
+        .map(|r| {
+            let Some(metrics) = r else {
+                unreachable!("every user is claimed exactly once");
+            };
+            metrics
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::MetricKind;
+    use dosn_trace::synth;
+
+    fn dataset() -> Dataset {
+        synth::facebook_like(250, 17).unwrap()
+    }
+
+    fn quick_config() -> StudyConfig {
+        StudyConfig::default()
+            .with_repetitions(2)
+            .with_threads(Some(2))
+    }
+
+    #[test]
+    fn fx_hash_is_stable_and_distinct() {
+        assert_eq!(fx_hash("maxav"), fx_hash("maxav"));
+        assert_ne!(fx_hash("maxav"), fx_hash("random"));
+        assert_ne!(fx_hash(""), fx_hash("a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one x value per budget")]
+    fn mismatched_xs_panic() {
+        SweepPoint::new(
+            vec![1.0],
+            ModelKind::sporadic_default(),
+            Vec::new(),
+            vec![1, 2],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "budgets must be sorted")]
+    fn unsorted_budgets_panic() {
+        SweepPoint::new(
+            vec![2.0, 1.0],
+            ModelKind::sporadic_default(),
+            Vec::new(),
+            vec![2, 1],
+        );
+    }
+
+    #[test]
+    fn grouped_points_share_draws_without_changing_results() {
+        // One plan holding both degree buckets in a single draw group
+        // must equal two standalone single-point plans: the draw seed is
+        // point-free, so sharing is output-preserving.
+        let ds = dataset();
+        let model = ModelKind::sporadic_default();
+        let policies = vec![PolicyKind::MaxAv, PolicyKind::Random];
+        let point = |d: usize| {
+            SweepPoint::new(vec![d as f64], model, ds.users_with_degree(d), vec![d])
+        };
+        let combined = SweepPlan::new("user_degree", policies.clone(), vec![point(4), point(5)])
+            .run(&ds, &quick_config());
+        for d in [4usize, 5] {
+            let alone = SweepPlan::new("user_degree", policies.clone(), vec![point(d)])
+                .run(&ds, &quick_config());
+            for policy in ["maxav", "random"] {
+                let c: Vec<_> = combined
+                    .rows()
+                    .iter()
+                    .filter(|r| r.policy == policy && r.x == d as f64)
+                    .collect();
+                let a: Vec<_> = alone.rows().iter().filter(|r| r.policy == policy).collect();
+                assert_eq!(c.len(), a.len());
+                for (cr, ar) in c.iter().zip(&a) {
+                    assert_eq!(cr.cell, ar.cell, "policy {policy} degree {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_models_split_into_separate_groups() {
+        // Points with different models cannot share draws; the plan
+        // still runs them in order and emits policy-major rows.
+        let ds = dataset();
+        let users = ds.users_with_degree(5);
+        let points = vec![
+            SweepPoint::new(
+                vec![600.0],
+                ModelKind::Sporadic { session_secs: 600 },
+                users.clone(),
+                vec![2],
+            ),
+            SweepPoint::new(
+                vec![1200.0],
+                ModelKind::Sporadic { session_secs: 1200 },
+                users.clone(),
+                vec![2],
+            ),
+        ];
+        let (table, timing) = SweepPlan::new("session_length_s", vec![PolicyKind::MaxAv], points)
+            .run_timed(&ds, &StudyConfig::default().with_repetitions(1));
+        assert_eq!(table.rows().len(), 2);
+        assert_eq!(table.rows()[0].x, 600.0);
+        assert_eq!(table.rows()[1].x, 1200.0);
+        // One timing entry per model label.
+        assert_eq!(timing.entries().len(), 2);
+        assert_eq!(timing.entries()[0].model, "sporadic(600s)");
+        assert_eq!(timing.entries()[1].model, "sporadic(1200s)");
+    }
+
+    #[test]
+    fn empty_points_are_skipped_but_still_emit_rows() {
+        let ds = dataset();
+        let plan = SweepPlan::new(
+            "user_degree",
+            vec![PolicyKind::MaxAv],
+            vec![SweepPoint::new(
+                vec![1000.0],
+                ModelKind::sporadic_default(),
+                ds.users_with_degree(1000),
+                vec![1000],
+            )],
+        );
+        let (table, timing) = plan.run_timed(&ds, &quick_config());
+        assert_eq!(table.rows().len(), 1);
+        assert_eq!(table.rows()[0].cell.availability.count(), 0);
+        assert!(timing.entries().is_empty(), "no evaluation, no timing");
+        assert!(table.series("maxav", MetricKind::Availability).is_empty());
+    }
+
+    #[test]
+    fn configured_delay_samples_feed_the_observed_delay() {
+        // More injection samples changes the observed-delay average (it
+        // is a sampled quantity) but nothing else.
+        let ds = dataset();
+        let users = ds.users_with_degree(6);
+        let point = SweepPoint::new(
+            vec![3.0],
+            ModelKind::sporadic_default(),
+            users,
+            vec![3],
+        );
+        let run = |samples: usize| {
+            SweepPlan::new("replication_degree", vec![PolicyKind::MaxAv], vec![point.clone()])
+                .run(
+                    &ds,
+                    &StudyConfig::default()
+                        .with_repetitions(1)
+                        .with_delay_samples(samples),
+                )
+        };
+        let four = run(4);
+        let twelve = run(12);
+        // Availability is sample-count-free.
+        assert_eq!(
+            four.rows()[0].cell.availability,
+            twelve.rows()[0].cell.availability
+        );
+        let od4 = four.rows()[0].cell.observed_delay_hours.mean();
+        let od12 = twelve.rows()[0].cell.observed_delay_hours.mean();
+        assert!(od4.is_some() && od12.is_some());
+        assert_ne!(od4, od12, "denser injection grid shifts the average");
+    }
+}

@@ -32,19 +32,25 @@ pub struct UserMetrics {
     pub observed_delay_hours: Option<f64>,
 }
 
-/// Injection times-of-day sampled when measuring the observed delay.
-const OBSERVED_DELAY_SAMPLES: [u32; 4] = [0, 6 * 3_600, 12 * 3_600, 18 * 3_600];
+/// Injection samples per day used when no [`crate::StudyConfig`] is in
+/// play — the paper's fixed 00:00 / 06:00 / 12:00 / 18:00 grid.
+pub(crate) const DEFAULT_DELAY_SAMPLES: usize = 4;
 
 /// The observed-delay component: replay an update from the first replica
-/// at each sample instant and average the receivers' online waiting
-/// time.
-fn observed_delay_hours(replicas: &[UserId], schedules: &OnlineSchedules) -> Option<f64> {
+/// at each of `delay_samples` evenly spaced injection instants (see
+/// [`crate::replay::injection_times`]) and average the receivers' online
+/// waiting time.
+fn observed_delay_hours(
+    replicas: &[UserId],
+    schedules: &OnlineSchedules,
+    delay_samples: usize,
+) -> Option<f64> {
     if replicas.len() < 2 {
         return Some(0.0);
     }
     let mut total_secs = 0u64;
     let mut observations = 0u64;
-    for &tod in &OBSERVED_DELAY_SAMPLES {
+    for tod in crate::replay::injection_times(delay_samples) {
         let start = Timestamp::from_day_and_offset(1, tod);
         let outcome = simulate_update(replicas, schedules, 0, start);
         for i in 1..replicas.len() {
@@ -71,7 +77,7 @@ pub fn evaluate_replica_set(
         on_demand_activity: on_demand_activity(user, replicas, dataset, schedules, include_owner)
             .fraction(),
         delay_hours: update_propagation_delay(replicas, schedules).worst_hours(),
-        observed_delay_hours: observed_delay_hours(replicas, schedules),
+        observed_delay_hours: observed_delay_hours(replicas, schedules, DEFAULT_DELAY_SAMPLES),
     }
 }
 
@@ -133,23 +139,44 @@ pub fn evaluate_user(
 /// schedules hold a handful of windows, so interval merges are cheaper
 /// than 1 350-word bitmap scans (the dense kernel wins on fragmented
 /// point sets instead — see the MaxAv activity cover).
-struct PrefixEvaluator<'a> {
+struct PrefixEvaluator<'a, 's> {
     schedules: &'a OnlineSchedules,
-    replicas: Vec<UserId>,
-    /// Union of the owner's schedule (when included) and the replicas'.
-    cover: DaySchedule,
     /// Union of the accessing friends' schedules; fixed per user, so the
     /// sweep computes it once per (repetition, user) and shares it
     /// across the policies (borrowed), while standalone evaluation
     /// derives it on the spot (owned).
     demand: std::borrow::Cow<'a, DaySchedule>,
     demand_secs: u32,
+    total_activities: usize,
+    stride: usize,
+    /// All growable state, borrowed from the caller so a sweep worker
+    /// reuses one set of buffers across every user it evaluates.
+    scratch: &'s mut PrefixScratch,
+}
+
+/// Reusable buffers for [`PrefixEvaluator`]: the replica list, running
+/// cover union, uncovered activity instants, per-pair co-online windows
+/// (pooled — the inner interval vectors survive resets), the incremental
+/// all-pairs distance matrix, and the per-injection replay samples.
+///
+/// Owned by a sweep worker (inside its `EvalWorkspace`) and threaded
+/// through every user evaluation; [`PrefixEvaluator::new`] fully resets
+/// the parts it uses, so reuse can never leak state between users.
+#[derive(Debug, Default)]
+pub(crate) struct PrefixScratch {
+    replicas: Vec<UserId>,
+    /// Union of the owner's schedule (when included) and the replicas'.
+    cover: DaySchedule,
+    /// Double-buffer partner for the cover union.
+    cover_tmp: DaySchedule,
     /// Activity instants on the profile not yet covered by `cover`.
     uncovered: Vec<u32>,
-    total_activities: usize,
     /// Co-online windows of each replica pair, lower triangle in append
     /// order: the pair `(i, j)` with `i < j` lives at `j*(j-1)/2 + i`.
+    /// Only the first `co_len` entries are live; stale tail entries keep
+    /// their allocations for the next evaluation to overwrite.
     co: Vec<DaySchedule>,
+    co_len: usize,
     /// Direct worst-case waits between replica pairs — the cached
     /// `max_gap` of the corresponding `co` entry (`None` = never
     /// co-online), same lower-triangle layout.
@@ -165,7 +192,6 @@ struct PrefixEvaluator<'a> {
     ///
     /// [`ReplicaConnectivityGraph::shortest_paths`]: dosn_metrics::ReplicaConnectivityGraph::shortest_paths
     dist: Vec<Option<u64>>,
-    stride: usize,
     /// One earliest-arrival replay per sampled injection time,
     /// maintained incrementally across appends.
     samples: Vec<ReplaySample>,
@@ -183,6 +209,7 @@ struct PrefixEvaluator<'a> {
 /// from the new node reconverges to the fixed point: O(n) hop lookups
 /// per append in the common no-improvement case, against a full O(n²)
 /// replay per budget.
+#[derive(Debug)]
 struct ReplaySample {
     start: Timestamp,
     arrivals: Vec<Option<Timestamp>>,
@@ -193,7 +220,8 @@ struct ReplaySample {
     unreachable: usize,
 }
 
-impl<'a> PrefixEvaluator<'a> {
+impl<'a, 's> PrefixEvaluator<'a, 's> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         dataset: &Dataset,
         schedules: &'a OnlineSchedules,
@@ -201,12 +229,16 @@ impl<'a> PrefixEvaluator<'a> {
         include_owner: bool,
         capacity: usize,
         demand: Option<&'a DaySchedule>,
+        delay_samples: usize,
+        scratch: &'s mut PrefixScratch,
     ) -> Self {
-        let cover = if include_owner {
-            schedules[user].clone()
+        scratch.replicas.clear();
+        scratch.replicas.reserve(capacity);
+        if include_owner {
+            scratch.cover.assign(&schedules[user]);
         } else {
-            DaySchedule::new()
-        };
+            scratch.cover.clear();
+        }
         let demand: std::borrow::Cow<'a, DaySchedule> = match demand {
             Some(d) => std::borrow::Cow::Borrowed(d),
             None => std::borrow::Cow::Owned(
@@ -214,62 +246,82 @@ impl<'a> PrefixEvaluator<'a> {
             ),
         };
         let demand_secs = demand.online_seconds();
-        let mut uncovered = Vec::new();
+        scratch.uncovered.clear();
         let mut total_activities = 0;
         for a in dataset.received_activities(user) {
             total_activities += 1;
             let tod = a.timestamp().time_of_day();
-            if !cover.contains(tod) {
-                uncovered.push(tod);
+            if !scratch.cover.contains(tod) {
+                scratch.uncovered.push(tod);
             }
         }
-        PrefixEvaluator {
-            schedules,
-            replicas: Vec::with_capacity(capacity),
-            cover,
-            demand,
-            demand_secs,
-            uncovered,
-            total_activities,
-            co: Vec::with_capacity(capacity * capacity.saturating_sub(1) / 2),
-            edges: Vec::with_capacity(capacity * capacity.saturating_sub(1) / 2),
-            dist: vec![None; capacity * capacity],
-            stride: capacity,
-            samples: OBSERVED_DELAY_SAMPLES
-                .iter()
-                .map(|&tod| ReplaySample {
+        scratch.co_len = 0;
+        scratch.edges.clear();
+        scratch.dist.clear();
+        scratch.dist.resize(capacity * capacity, None);
+        let delay_samples = delay_samples.max(1);
+        if scratch.samples.len() == delay_samples {
+            // Reuse the per-sample arrival buffers; the start grid is a
+            // pure function of the (fixed) sample count.
+            for sample in &mut scratch.samples {
+                sample.arrivals.clear();
+                sample.waited_secs = 0;
+                sample.unreachable = 0;
+            }
+        } else {
+            scratch.samples.clear();
+            scratch
+                .samples
+                .extend(crate::replay::injection_times(delay_samples).map(|tod| ReplaySample {
                     start: Timestamp::from_day_and_offset(1, tod),
                     arrivals: Vec::with_capacity(capacity),
                     waited_secs: 0,
                     unreachable: 0,
-                })
-                .collect(),
+                }));
+        }
+        PrefixEvaluator {
+            schedules,
+            demand,
+            demand_secs,
+            total_activities,
+            stride: capacity,
+            scratch,
         }
     }
 
     /// Appends the next replica of the placement order.
     fn push(&mut self, replica: UserId) {
-        let s = &self.schedules[replica];
-        let n = self.replicas.len();
-        for &earlier in &self.replicas {
-            let co = self.schedules[earlier].intersection(s);
-            self.edges.push(co.max_gap());
-            self.co.push(co);
+        let sched = &self.schedules[replica];
+        let n = self.scratch.replicas.len();
+        for idx in 0..n {
+            let earlier = self.scratch.replicas[idx];
+            // Write the pair's co-online windows into a pooled slot so
+            // the interval vector survives across user evaluations.
+            let pos = self.scratch.co_len;
+            if pos < self.scratch.co.len() {
+                self.schedules[earlier].intersection_into(sched, &mut self.scratch.co[pos]);
+            } else {
+                self.scratch.co.push(self.schedules[earlier].intersection(sched));
+            }
+            self.scratch.co_len += 1;
+            self.scratch.edges.push(self.scratch.co[pos].max_gap());
         }
-        self.cover = self.cover.union(s);
-        self.uncovered.retain(|&tod| !s.contains(tod));
-        self.replicas.push(replica);
+        self.scratch.cover.union_into(sched, &mut self.scratch.cover_tmp);
+        std::mem::swap(&mut self.scratch.cover, &mut self.scratch.cover_tmp);
+        self.scratch.uncovered.retain(|&tod| !sched.contains(tod));
+        self.scratch.replicas.push(replica);
 
         // Fill the new replica's row/column of the distance matrix.
         let m = n; // index of the new replica
         let stride = self.stride;
-        self.dist[m * stride + m] = Some(0);
+        self.scratch.dist[m * stride + m] = Some(0);
         // The new node's distances: a shortest path to `m` is a shortest
         // path to some old node `j` plus the direct edge `(j, m)`.
         for i in 0..n {
             let mut best: Option<u64> = None;
             for j in 0..n {
-                let (Some(dij), Some(w)) = (self.dist[i * stride + j], self.edge(j, m)) else {
+                let (Some(dij), Some(w)) = (self.scratch.dist[i * stride + j], self.edge(j, m))
+                else {
                     continue;
                 };
                 let through = dij + u64::from(w);
@@ -277,28 +329,28 @@ impl<'a> PrefixEvaluator<'a> {
                     best = Some(through);
                 }
             }
-            self.dist[i * stride + m] = best;
-            self.dist[m * stride + i] = best;
+            self.scratch.dist[i * stride + m] = best;
+            self.scratch.dist[m * stride + i] = best;
         }
         // Relax every old pair through the new node.
         for i in 0..n {
-            let Some(dim) = self.dist[i * stride + m] else { continue };
+            let Some(dim) = self.scratch.dist[i * stride + m] else { continue };
             for j in 0..n {
-                let Some(dmj) = self.dist[m * stride + j] else { continue };
+                let Some(dmj) = self.scratch.dist[m * stride + j] else { continue };
                 let through = dim + dmj;
-                if self.dist[i * stride + j].is_none_or(|d| through < d) {
-                    self.dist[i * stride + j] = Some(through);
+                if self.scratch.dist[i * stride + j].is_none_or(|d| through < d) {
+                    self.scratch.dist[i * stride + j] = Some(through);
                 }
             }
         }
 
         // Extend each replay sample with the new replica and re-relax
         // its earliest arrivals to the fixed point.
-        let mut samples = std::mem::take(&mut self.samples);
+        let mut samples = std::mem::take(&mut self.scratch.samples);
         for sample in &mut samples {
             self.extend_sample(sample, m);
         }
-        self.samples = samples;
+        self.scratch.samples = samples;
     }
 
     /// Appends replica `m` to one replay sample: its arrival is the best
@@ -316,12 +368,12 @@ impl<'a> PrefixEvaluator<'a> {
         for j in 0..m {
             let Some(tj) = sample.arrivals[j] else { continue };
             let pair = self.pair_index(j, m);
-            if self.edges[pair].is_none() {
+            if self.scratch.edges[pair].is_none() {
                 continue;
             }
-            let wait = self.co[pair]
-                .wait_until_online(tj.time_of_day())
-                .expect("non-empty intersection");
+            let Some(wait) = self.scratch.co[pair].wait_until_online(tj.time_of_day()) else {
+                unreachable!("a pair with an edge has a non-empty intersection");
+            };
             let candidate = tj.saturating_add(u64::from(wait));
             if best.is_none_or(|b| candidate < b) {
                 best = Some(candidate);
@@ -333,7 +385,7 @@ impl<'a> PrefixEvaluator<'a> {
             return;
         };
         sample.waited_secs += crate::replay::online_seconds_between(
-            &self.schedules[self.replicas[m]],
+            &self.schedules[self.scratch.replicas[m]],
             sample.start,
             tm,
         );
@@ -343,7 +395,9 @@ impl<'a> PrefixEvaluator<'a> {
         // processing order.
         let mut worklist = vec![m];
         while let Some(i) = worklist.pop() {
-            let ti = sample.arrivals[i].expect("worklist nodes are reached");
+            let Some(ti) = sample.arrivals[i] else {
+                unreachable!("worklist nodes are reached");
+            };
             let tod = ti.time_of_day();
             // Replica 0 injects at `start`; no arrival can undercut it.
             for j in 1..=m {
@@ -351,15 +405,15 @@ impl<'a> PrefixEvaluator<'a> {
                     continue;
                 }
                 let pair = self.pair_index(i, j);
-                if self.edges[pair].is_none() {
+                if self.scratch.edges[pair].is_none() {
                     continue;
                 }
-                let wait = self.co[pair]
-                    .wait_until_online(tod)
-                    .expect("non-empty intersection");
+                let Some(wait) = self.scratch.co[pair].wait_until_online(tod) else {
+                    unreachable!("a pair with an edge has a non-empty intersection");
+                };
                 let candidate = ti.saturating_add(u64::from(wait));
                 if sample.arrivals[j].is_none_or(|cur| candidate < cur) {
-                    let schedule = &self.schedules[self.replicas[j]];
+                    let schedule = &self.schedules[self.scratch.replicas[j]];
                     match sample.arrivals[j] {
                         None => sample.unreachable -= 1,
                         Some(old) => {
@@ -382,14 +436,14 @@ impl<'a> PrefixEvaluator<'a> {
     }
 
     fn edge(&self, i: usize, j: usize) -> Option<u32> {
-        self.edges[self.pair_index(i, j)]
+        self.scratch.edges[self.pair_index(i, j)]
     }
 
     /// The worst-case propagation delay of the current prefix: the
     /// weighted diameter of the incrementally-maintained all-pairs
     /// distances (mirrors [`update_propagation_delay`]).
     fn delay_hours(&self) -> Option<f64> {
-        let n = self.replicas.len();
+        let n = self.scratch.replicas.len();
         if n <= 1 {
             return Some(0.0);
         }
@@ -399,7 +453,7 @@ impl<'a> PrefixEvaluator<'a> {
                 if i == j {
                     continue;
                 }
-                match self.dist[i * self.stride + j] {
+                match self.scratch.dist[i * self.stride + j] {
                     Some(d) => worst = worst.max(d),
                     None => return None,
                 }
@@ -412,31 +466,32 @@ impl<'a> PrefixEvaluator<'a> {
     /// replay samples (mirrors the free [`observed_delay_hours`], which
     /// replays from scratch per snapshot).
     fn observed_delay_hours(&self) -> Option<f64> {
-        let n = self.replicas.len();
+        let n = self.scratch.replicas.len();
         if n < 2 {
             return Some(0.0);
         }
         let mut total_secs = 0u64;
-        for sample in &self.samples {
+        for sample in &self.scratch.samples {
             if sample.unreachable > 0 {
                 return None;
             }
             total_secs += sample.waited_secs;
         }
-        let observations = (self.samples.len() * (n - 1)) as u64;
+        let observations = (self.scratch.samples.len() * (n - 1)) as u64;
         Some(total_secs as f64 / observations as f64 / 3_600.0)
     }
 
     /// All metrics of the current prefix.
     fn metrics(&mut self) -> UserMetrics {
         UserMetrics {
-            replicas_used: self.replicas.len(),
-            availability: self.cover.fraction_of_day(),
+            replicas_used: self.scratch.replicas.len(),
+            availability: self.scratch.cover.fraction_of_day(),
             on_demand_time: (self.demand_secs > 0).then(|| {
-                f64::from(self.cover.overlap_seconds(&self.demand)) / f64::from(self.demand_secs)
+                f64::from(self.scratch.cover.overlap_seconds(&self.demand))
+                    / f64::from(self.demand_secs)
             }),
             on_demand_activity: (self.total_activities > 0).then(|| {
-                (self.total_activities - self.uncovered.len()) as f64
+                (self.total_activities - self.scratch.uncovered.len()) as f64
                     / self.total_activities as f64
             }),
             delay_hours: self.delay_hours(),
@@ -477,16 +532,32 @@ pub fn evaluate_prefixes(
     budgets: &[usize],
     include_owner: bool,
 ) -> Vec<UserMetrics> {
-    evaluate_prefixes_with_demand(dataset, schedules, user, placement, budgets, include_owner, None)
+    let mut scratch = PrefixScratch::default();
+    let mut out = Vec::with_capacity(budgets.len());
+    evaluate_prefixes_in(
+        dataset,
+        schedules,
+        user,
+        placement,
+        budgets,
+        include_owner,
+        None,
+        DEFAULT_DELAY_SAMPLES,
+        &mut scratch,
+        &mut out,
+    );
+    out
 }
 
-/// [`evaluate_prefixes`] with the user's demand union (the union of the
-/// accessing friends' schedules) precomputed by the caller. The demand
-/// depends only on the schedule draw — not on the policy — so the sweep
-/// derives it once per (repetition, user) and shares it across the
-/// policies instead of re-folding the candidates' schedules per policy.
+/// [`evaluate_prefixes`] with every reusable piece threaded in from the
+/// caller: the user's demand union (the union of the accessing friends'
+/// schedules, which depends only on the schedule draw — not the policy —
+/// so the sweep derives it once per (repetition, user) and shares it
+/// across policies), the configured injection-sample count, the worker's
+/// [`PrefixScratch`] buffers, and the output vector (cleared, then one
+/// entry appended per budget).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn evaluate_prefixes_with_demand(
+pub(crate) fn evaluate_prefixes_in(
     dataset: &Dataset,
     schedules: &OnlineSchedules,
     user: UserId,
@@ -494,34 +565,43 @@ pub(crate) fn evaluate_prefixes_with_demand(
     budgets: &[usize],
     include_owner: bool,
     demand: Option<&DaySchedule>,
-) -> Vec<UserMetrics> {
+    delay_samples: usize,
+    scratch: &mut PrefixScratch,
+    out: &mut Vec<UserMetrics>,
+) {
     assert!(
         budgets.windows(2).all(|w| w[0] <= w[1]),
         "budgets must be sorted ascending"
     );
-    let mut eval =
-        PrefixEvaluator::new(dataset, schedules, user, include_owner, placement.len(), demand);
+    let mut eval = PrefixEvaluator::new(
+        dataset,
+        schedules,
+        user,
+        include_owner,
+        placement.len(),
+        demand,
+        delay_samples,
+        scratch,
+    );
+    out.clear();
     let mut last: Option<(usize, UserMetrics)> = None;
-    budgets
-        .iter()
-        .map(|&k| {
-            let target = k.min(placement.len());
-            // Once the placement is exhausted (the policy ran out of
-            // admissible candidates), every further budget sees the same
-            // prefix — reuse the snapshot instead of re-deriving it.
-            if let Some((len, m)) = last {
-                if len == target {
-                    return m;
-                }
+    out.extend(budgets.iter().map(|&k| {
+        let target = k.min(placement.len());
+        // Once the placement is exhausted (the policy ran out of
+        // admissible candidates), every further budget sees the same
+        // prefix — reuse the snapshot instead of re-deriving it.
+        if let Some((len, m)) = last {
+            if len == target {
+                return m;
             }
-            while eval.replicas.len() < target {
-                eval.push(placement[eval.replicas.len()]);
-            }
-            let m = eval.metrics();
-            last = Some((target, m));
-            m
-        })
-        .collect()
+        }
+        while eval.scratch.replicas.len() < target {
+            eval.push(placement[eval.scratch.replicas.len()]);
+        }
+        let m = eval.metrics();
+        last = Some((target, m));
+        m
+    }));
 }
 
 #[cfg(test)]

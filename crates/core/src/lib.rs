@@ -17,7 +17,9 @@
 //! [`sweep::degree_sweep`] (replication degree 0..k, Figs. 3–7, 10, 11),
 //! [`sweep::session_length_sweep`] (Fig. 8) and
 //! [`sweep::user_degree_sweep`] (Fig. 9). Results come back as a
-//! [`SweepTable`] that prints the same series the paper plots.
+//! [`SweepTable`] that prints the same series the paper plots. All
+//! three are thin builders of a [`SweepPlan`] executed by the shared
+//! experiment engine in [`engine`].
 //!
 //! An event-driven cross-check of the analytic delay metric lives in
 //! [`replay`]: it propagates a concrete update replica-to-replica along
@@ -47,6 +49,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod config;
+pub mod engine;
 mod experiment;
 pub mod failure;
 mod kinds;
@@ -57,10 +60,10 @@ pub mod sweep;
 pub mod timing;
 
 pub use config::StudyConfig;
+pub use engine::{SweepPlan, SweepPoint, SweepTiming, TimingEntry};
 pub use experiment::{evaluate_prefixes, evaluate_replica_set, evaluate_user, UserMetrics};
 pub use kinds::{ModelKind, PolicyKind};
 pub use results::{MetricKind, SweepRow, SweepTable};
-pub use sweep::{SweepTiming, TimingEntry};
 
 /// Convenience re-exports of the sibling crates' main types.
 pub mod prelude {

@@ -87,6 +87,16 @@ impl UpdateOutcome {
     }
 }
 
+/// The `n` evenly spaced times-of-day (seconds from midnight) at which
+/// the observed-delay replay injects an update. `n` is clamped to at
+/// least 1; `n = 4` reproduces the paper's fixed 00:00 / 06:00 / 12:00 /
+/// 18:00 grid, and larger counts refine the same uniform stratification
+/// (see [`crate::StudyConfig::with_delay_samples`]).
+pub fn injection_times(n: usize) -> impl Iterator<Item = u32> {
+    let n = n.max(1) as u64;
+    (0..n).map(move |i| ((i * u64::from(SECONDS_PER_DAY)) / n) as u32)
+}
+
 /// Online seconds of `schedule` within the absolute window `[from, to)`.
 pub fn online_seconds_between(schedule: &DaySchedule, from: Timestamp, to: Timestamp) -> u64 {
     if to <= from {
@@ -176,13 +186,14 @@ pub fn simulate_update_from_sources(
         }
     }
     loop {
-        // Settle the earliest-arriving unsettled replica.
+        // Settle the earliest-arriving unsettled replica; ties break to
+        // the lowest index, as iteration order did before.
         let next = (0..n)
-            .filter(|&i| !settled[i] && arrival[i].is_some())
-            .min_by_key(|&i| arrival[i].expect("filtered on Some"));
-        let Some(i) = next else { break };
+            .filter(|&i| !settled[i])
+            .filter_map(|i| arrival[i].map(|t| (t, i)))
+            .min();
+        let Some((t, i)) = next else { break };
         settled[i] = true;
-        let t = arrival[i].expect("settled node has arrival");
         for j in 0..n {
             if settled[j] {
                 continue;
@@ -190,9 +201,9 @@ pub fn simulate_update_from_sources(
             let Some(inter) = &co_online[i * n + j] else {
                 continue;
             };
-            let wait = inter
-                .wait_until_online(t.time_of_day())
-                .expect("non-empty intersection");
+            let Some(wait) = inter.wait_until_online(t.time_of_day()) else {
+                unreachable!("co-online schedules are stored only when non-empty")
+            };
             let candidate = t.saturating_add(u64::from(wait));
             if arrival[j].is_none_or(|cur| candidate < cur) {
                 arrival[j] = Some(candidate);
@@ -331,6 +342,19 @@ mod tests {
         assert_eq!(o.observed_delay_secs(1, &s), Some(u64::from(h)));
         // The origin's own observed delay is zero seconds of waiting.
         assert_eq!(o.observed_delay_secs(0, &s), Some(0));
+    }
+
+    #[test]
+    fn injection_times_match_paper_grid_and_scale() {
+        assert_eq!(
+            injection_times(4).collect::<Vec<_>>(),
+            vec![0, 21_600, 43_200, 64_800],
+            "default grid must reproduce the fixed 6-hour samples"
+        );
+        assert_eq!(injection_times(0).collect::<Vec<_>>(), vec![0]);
+        let eight: Vec<u32> = injection_times(8).collect();
+        assert_eq!(eight.len(), 8);
+        assert!(eight.windows(2).all(|w| w[1] - w[0] == 10_800));
     }
 
     #[test]

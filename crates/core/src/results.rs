@@ -250,7 +250,7 @@ impl SweepTable {
     pub fn to_plot_block(&self, metric: MetricKind) -> String {
         let policies = self.policies();
         let mut xs: Vec<f64> = self.rows.iter().map(|r| r.x).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.sort_by(f64::total_cmp);
         xs.dedup();
         let mut out = format!("# {} — {}\n# x", self.x_label, metric.column());
         for p in &policies {

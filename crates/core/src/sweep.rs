@@ -7,284 +7,30 @@
 //! * [`user_degree_sweep`] — metrics vs user degree with the maximum
 //!   possible replication (Fig. 9).
 //!
+//! All three are thin builders of a [`SweepPlan`]: they describe *what*
+//! to sweep — the x axis, the points, the budget ladders — and hand the
+//! plan to the engine in [`crate::engine`], which owns *how* — shared
+//! per-repetition schedule draws with background prefetch, the
+//! work-stealing worker pool with pooled evaluation workspaces, and the
+//! deterministic user-order folding that makes results independent of
+//! the thread count.
+//!
 //! All sweeps average over the studied users and over
 //! [`StudyConfig::repetitions`] repetitions of the randomized components
 //! (online-time sampling, Random/MostActive tie-breaking), exactly as the
-//! paper repeats its randomized experiments 5 times.
-//!
-//! Per repetition there is exactly **one** draw of everyone's online
-//! times, shared by every policy and budget (the draw's seed derivation
-//! is policy-free, so this is output-preserving); its dense bitmap forms
-//! are materialized once before any worker runs. Users are then spread
-//! over worker threads through a shared claim counter — dynamic
-//! work-stealing rather than fixed chunks, so threads that draw cheap
-//! users keep working instead of idling at a chunk boundary. Workers
-//! return per-user metric rows and the coordinating thread folds them in
-//! user order, which makes the floating-point aggregation independent of
-//! the thread count; results are deterministic for a given seed because
-//! every (repetition, user) pair derives its own RNG.
-//!
-//! Each sweep has a `*_timed` variant that additionally reports wall
-//! time and throughput per (model, policy) pair — the data behind the
-//! CLI's `--timing` flag.
+//! paper repeats its randomized experiments 5 times. Each sweep has a
+//! `*_timed` variant that additionally reports wall time and throughput
+//! per (model, policy) pair — the data behind the CLI's `--timing` flag.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use dosn_onlinetime::OnlineSchedules;
 use dosn_socialgraph::UserId;
 use dosn_trace::Dataset;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use dosn_interval::DaySchedule;
-
-use crate::config::{derive_seed, StudyConfig};
-use crate::experiment::{evaluate_prefixes_with_demand, UserMetrics};
+use crate::config::StudyConfig;
+use crate::engine::{SweepPlan, SweepPoint};
 use crate::kinds::{ModelKind, PolicyKind};
-use crate::results::{CellMetrics, SweepRow, SweepTable};
+use crate::results::SweepTable;
 
-/// Wall-clock accounting of one (model, policy) pair across a sweep.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TimingEntry {
-    /// The online-time model's label.
-    pub model: String,
-    /// The policy's label.
-    pub policy: String,
-    /// User evaluations performed (studied users × repetitions,
-    /// accumulated over every cell of the sweep).
-    pub users_evaluated: usize,
-    /// Wall time spent on those evaluations, in seconds.
-    pub wall_secs: f64,
-}
-
-impl TimingEntry {
-    /// Throughput in user evaluations per second.
-    pub fn users_per_sec(&self) -> f64 {
-        if self.wall_secs > 0.0 {
-            self.users_evaluated as f64 / self.wall_secs
-        } else {
-            f64::INFINITY
-        }
-    }
-}
-
-/// Wall-clock accounting of a sweep, one entry per (model, policy) pair
-/// in first-evaluation order. Produced by the `*_timed` sweep variants;
-/// purely observational (the sweep results do not depend on it).
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct SweepTiming {
-    entries: Vec<TimingEntry>,
-}
-
-impl SweepTiming {
-    /// Folds one measured section into the (model, policy) entry.
-    fn record(&mut self, model: &str, policy: &str, users_evaluated: usize, wall_secs: f64) {
-        match self
-            .entries
-            .iter_mut()
-            .find(|e| e.model == model && e.policy == policy)
-        {
-            Some(e) => {
-                e.users_evaluated += users_evaluated;
-                e.wall_secs += wall_secs;
-            }
-            None => self.entries.push(TimingEntry {
-                model: model.to_string(),
-                policy: policy.to_string(),
-                users_evaluated,
-                wall_secs,
-            }),
-        }
-    }
-
-    /// The entries, in first-evaluation order.
-    pub fn entries(&self) -> &[TimingEntry] {
-        &self.entries
-    }
-
-    /// A human-readable table: one line per (model, policy) with wall
-    /// time and users/sec.
-    pub fn to_text(&self) -> String {
-        let mut out = String::from("model\tpolicy\tusers\twall_s\tusers_per_s\n");
-        for e in &self.entries {
-            out.push_str(&format!(
-                "{}\t{}\t{}\t{:.3}\t{:.0}\n",
-                e.model,
-                e.policy,
-                e.users_evaluated,
-                e.wall_secs,
-                e.users_per_sec()
-            ));
-        }
-        out
-    }
-}
-
-/// Evaluates one policy over all users for one repetition's schedule
-/// draw. Users are claimed dynamically off a shared atomic counter;
-/// rows come back indexed by user position so the caller can fold them
-/// in user order regardless of which thread produced them.
-#[allow(clippy::too_many_arguments)]
-fn evaluate_policy_users(
-    dataset: &Dataset,
-    schedules: &OnlineSchedules,
-    demands: &[DaySchedule],
-    policy: PolicyKind,
-    users: &[UserId],
-    budgets: &[usize],
-    config: &StudyConfig,
-    rep: usize,
-    max_budget: usize,
-) -> Vec<Vec<UserMetrics>> {
-    let threads = config.effective_threads().min(users.len()).max(1);
-    let next = AtomicUsize::new(0);
-    let mut rows: Vec<Option<Vec<UserMetrics>>> = vec![None; users.len()];
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let built_policy = policy.build();
-                    let mut claimed = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= users.len() {
-                            break;
-                        }
-                        let user = users[i];
-                        let mut rng = StdRng::seed_from_u64(derive_seed(
-                            config.seed() ^ fx_hash(policy.label()),
-                            rep,
-                            user.index(),
-                        ));
-                        let placement = built_policy.place(
-                            dataset,
-                            schedules,
-                            user,
-                            max_budget,
-                            config.connectivity(),
-                            &mut rng,
-                        );
-                        let metrics = evaluate_prefixes_with_demand(
-                            dataset,
-                            schedules,
-                            user,
-                            &placement,
-                            budgets,
-                            config.include_owner(),
-                            Some(&demands[i]),
-                        );
-                        claimed.push((i, metrics));
-                    }
-                    claimed
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, metrics) in handle.join().expect("worker thread panicked") {
-                rows[i] = Some(metrics);
-            }
-        }
-    });
-    rows.into_iter()
-        .map(|r| r.expect("every user claimed exactly once"))
-        .collect()
-}
-
-/// Runs the repetition × user loop for every policy against **shared**
-/// per-repetition schedule draws, returning one aggregated cell per
-/// (policy, budget).
-///
-/// Policies that involve no randomness (and run under a deterministic
-/// model) contribute a single repetition, exactly as when run alone:
-/// repetition `r` of any policy sees the same schedule draw and the
-/// same per-(repetition, user) RNG either way.
-fn run_cells_multi(
-    dataset: &Dataset,
-    model: ModelKind,
-    policies: &[PolicyKind],
-    users: &[UserId],
-    budgets: &[usize],
-    config: &StudyConfig,
-    timing: &mut SweepTiming,
-) -> Vec<Vec<CellMetrics>> {
-    let mut per_policy: Vec<Vec<CellMetrics>> =
-        vec![vec![CellMetrics::default(); budgets.len()]; policies.len()];
-    if users.is_empty() || budgets.is_empty() || policies.is_empty() {
-        return per_policy;
-    }
-    let reps_for = |policy: PolicyKind| {
-        if model.is_randomized() || policy.is_randomized() {
-            config.repetitions()
-        } else {
-            1
-        }
-    };
-    let max_reps = policies
-        .iter()
-        .map(|&p| reps_for(p))
-        .max()
-        .expect("policies non-empty");
-    let max_budget = *budgets.last().expect("budgets non-empty");
-    let model_label = model.label();
-    // Schedules are global per repetition: one draw of everyone's online
-    // times, shared by every policy and budget. The draw for repetition
-    // `rep + 1` runs on a background thread while the workers evaluate
-    // repetition `rep` — each repetition's generator is seeded
-    // independently, so the prefetch is invisible to the results.
-    let draw = |rep: usize| {
-        let mut model_rng = StdRng::seed_from_u64(derive_seed(config.seed(), rep, usize::MAX));
-        model.build().schedules(dataset, &mut model_rng)
-    };
-    let draw = &draw;
-    std::thread::scope(|scope| {
-        let mut pending = Some(scope.spawn(move || draw(0)));
-        for rep in 0..max_reps {
-            let schedules = pending
-                .take()
-                .expect("prefetch pending")
-                .join()
-                .expect("schedule draw panicked");
-            if rep + 1 < max_reps {
-                pending = Some(scope.spawn(move || draw(rep + 1)));
-            }
-            // The demand unions depend on the draw but not on the
-            // policy: derive them once and share them across policies.
-            let demands: Vec<DaySchedule> = users
-                .iter()
-                .map(|&u| schedules.union_of(dataset.replica_candidates(u).iter().copied()))
-                .collect();
-            for (cells, &policy) in per_policy.iter_mut().zip(policies) {
-                if rep >= reps_for(policy) {
-                    continue;
-                }
-                let watch = crate::timing::Stopwatch::start();
-                let rows = evaluate_policy_users(
-                    dataset, &schedules, &demands, policy, users, budgets, config, rep, max_budget,
-                );
-                for metrics in &rows {
-                    for (cell, m) in cells.iter_mut().zip(metrics) {
-                        cell.add(m);
-                    }
-                }
-                timing.record(
-                    &model_label,
-                    policy.label(),
-                    users.len(),
-                    watch.elapsed_secs(),
-                );
-            }
-        }
-    });
-    per_policy
-}
-
-/// Cheap stable hash of a policy label, to decorrelate per-policy RNGs.
-fn fx_hash(s: &str) -> u64 {
-    s.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
-        })
-}
+pub use crate::engine::{SweepTiming, TimingEntry};
 
 /// Metrics vs replication degree `0..=max_degree` for each policy — the
 /// sweep behind Figs. 3–7 (Facebook) and 10–11 (Twitter).
@@ -331,20 +77,15 @@ pub fn degree_sweep_timed(
     max_degree: usize,
     config: &StudyConfig,
 ) -> (SweepTable, SweepTiming) {
+    // One point: the budget ladder 0..=max_degree, each rung its own x.
     let budgets: Vec<usize> = (0..=max_degree).collect();
-    let mut timing = SweepTiming::default();
-    let per_policy = run_cells_multi(dataset, model, policies, users, &budgets, config, &mut timing);
-    let mut rows = Vec::new();
-    for (&policy, cells) in policies.iter().zip(per_policy) {
-        for (&k, cell) in budgets.iter().zip(cells) {
-            rows.push(SweepRow {
-                x: k as f64,
-                policy: policy.label().to_string(),
-                cell,
-            });
-        }
-    }
-    (SweepTable::new("replication_degree", rows), timing)
+    let xs: Vec<f64> = budgets.iter().map(|&k| k as f64).collect();
+    SweepPlan::new(
+        "replication_degree",
+        policies.to_vec(),
+        vec![SweepPoint::new(xs, model, users.to_vec(), budgets)],
+    )
+    .run_timed(dataset, config)
 }
 
 /// Metrics vs Sporadic session length at a fixed replication degree —
@@ -379,32 +120,20 @@ pub fn session_length_sweep_timed(
     replication_degree: usize,
     config: &StudyConfig,
 ) -> (SweepTable, SweepTiming) {
-    let budgets = [replication_degree];
-    let mut timing = SweepTiming::default();
-    // Evaluate length-major so each length's schedule draws are shared
-    // across the policies; emit rows policy-major to keep the table
-    // shape unchanged.
-    let per_length: Vec<Vec<CellMetrics>> = session_lengths
+    // One point per session length, each its own model (so each draws
+    // its own schedules); rows come out policy-major in length order.
+    let points = session_lengths
         .iter()
         .map(|&len| {
-            let model = ModelKind::Sporadic { session_secs: len };
-            run_cells_multi(dataset, model, policies, users, &budgets, config, &mut timing)
-                .into_iter()
-                .map(|cells| cells.into_iter().next().expect("one budget"))
-                .collect()
+            SweepPoint::new(
+                vec![f64::from(len)],
+                ModelKind::Sporadic { session_secs: len },
+                users.to_vec(),
+                vec![replication_degree],
+            )
         })
         .collect();
-    let mut rows = Vec::new();
-    for (pi, &policy) in policies.iter().enumerate() {
-        for (li, &len) in session_lengths.iter().enumerate() {
-            rows.push(SweepRow {
-                x: f64::from(len),
-                policy: policy.label().to_string(),
-                cell: per_length[li][pi].clone(),
-            });
-        }
-    }
-    (SweepTable::new("session_length_s", rows), timing)
+    SweepPlan::new("session_length_s", policies.to_vec(), points).run_timed(dataset, config)
 }
 
 /// Metrics vs user degree, each user granted the maximum possible
@@ -430,29 +159,20 @@ pub fn user_degree_sweep_timed(
     max_user_degree: usize,
     config: &StudyConfig,
 ) -> (SweepTable, SweepTiming) {
-    let mut timing = SweepTiming::default();
-    // Degree-major evaluation (shared schedule draws per degree),
-    // policy-major row order.
-    let per_degree: Vec<Vec<CellMetrics>> = (1..=max_user_degree)
+    // One point per degree bucket, all under the same model: the engine
+    // folds them into a single draw group, so every repetition draws
+    // everyone's schedules once — not once per bucket.
+    let points = (1..=max_user_degree)
         .map(|d| {
-            let users = dataset.users_with_degree(d);
-            run_cells_multi(dataset, model, policies, &users, &[d], config, &mut timing)
-                .into_iter()
-                .map(|cells| cells.into_iter().next().expect("one budget"))
-                .collect()
+            SweepPoint::new(
+                vec![d as f64],
+                model,
+                dataset.users_with_degree(d),
+                vec![d],
+            )
         })
         .collect();
-    let mut rows = Vec::new();
-    for (pi, &policy) in policies.iter().enumerate() {
-        for (di, cells) in per_degree.iter().enumerate() {
-            rows.push(SweepRow {
-                x: (di + 1) as f64,
-                policy: policy.label().to_string(),
-                cell: cells[pi].clone(),
-            });
-        }
-    }
-    (SweepTable::new("user_degree", rows), timing)
+    SweepPlan::new("user_degree", policies.to_vec(), points).run_timed(dataset, config)
 }
 
 #[cfg(test)]

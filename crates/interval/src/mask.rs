@@ -303,6 +303,12 @@ impl DenseSchedule {
         self.bits.fill(0);
     }
 
+    /// Copies `other` into `self`, reusing the allocation (both bitmaps
+    /// always span exactly one day).
+    pub fn assign(&mut self, other: &DenseSchedule) {
+        self.bits.copy_from_slice(&other.bits);
+    }
+
     /// Whether second-of-day `t` (reduced modulo the day) is online.
     pub fn contains(&self, t: u32) -> bool {
         let t = cast::usize_from(t % SECONDS_PER_DAY);

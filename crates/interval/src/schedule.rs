@@ -190,12 +190,34 @@ impl DaySchedule {
         }
     }
 
+    /// Writes the union of two schedules into `out`, reusing its
+    /// allocation.
+    pub fn union_into(&self, other: &DaySchedule, out: &mut DaySchedule) {
+        self.set.union_into(&other.set, &mut out.set);
+    }
+
+    /// Copies `other` into `self`, reusing the allocation.
+    pub fn assign(&mut self, other: &DaySchedule) {
+        self.set.assign(&other.set);
+    }
+
+    /// Removes all online time, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.set.clear();
+    }
+
     /// Intersection of two schedules: online whenever both are.
     #[must_use]
     pub fn intersection(&self, other: &DaySchedule) -> DaySchedule {
         DaySchedule {
             set: self.set.intersection(&other.set),
         }
+    }
+
+    /// Writes the intersection of two schedules into `out`, reusing its
+    /// allocation.
+    pub fn intersection_into(&self, other: &DaySchedule, out: &mut DaySchedule) {
+        self.set.intersection_into(&other.set, &mut out.set);
     }
 
     /// Seconds covered by `self` but not `other`.

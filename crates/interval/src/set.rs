@@ -63,6 +63,17 @@ impl IntervalSet {
         self.intervals.iter()
     }
 
+    /// Removes all intervals, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.intervals.clear();
+    }
+
+    /// Copies `other`'s contents into `self`, reusing the allocation.
+    pub fn assign(&mut self, other: &IntervalSet) {
+        self.intervals.clear();
+        self.intervals.extend_from_slice(&other.intervals);
+    }
+
     /// Whether second `t` is covered.
     pub fn contains(&self, t: u32) -> bool {
         // Find the last interval starting at or before t.
@@ -134,6 +145,43 @@ impl IntervalSet {
         out
     }
 
+    /// Writes the union of two sets into `out`, reusing its allocation.
+    ///
+    /// Equivalent to `*out = self.union(other)` but keeps `out`'s
+    /// backing storage, so a caller folding many unions in a loop
+    /// allocates only while the result still grows.
+    pub fn union_into(&self, other: &IntervalSet, out: &mut IntervalSet) {
+        out.intervals.clear();
+        out.intervals
+            .reserve(self.intervals.len() + other.intervals.len());
+        let mut a = self.intervals.iter().copied().peekable();
+        let mut b = other.intervals.iter().copied().peekable();
+        let mut next = || match (a.peek(), b.peek()) {
+            (Some(&x), Some(&y)) => {
+                if x.start() <= y.start() {
+                    a.next()
+                } else {
+                    b.next()
+                }
+            }
+            (Some(_), None) => a.next(),
+            (None, Some(_)) => b.next(),
+            (None, None) => None,
+        };
+        while let Some(iv) = next() {
+            match out.intervals.last_mut() {
+                // `merge` succeeds exactly when the intervals touch, so
+                // this is the same coalescing rule `union` applies.
+                Some(last) => match last.merge(iv) {
+                    Some(merged) => *last = merged,
+                    None => out.intervals.push(iv),
+                },
+                None => out.intervals.push(iv),
+            }
+        }
+        out.debug_assert_canonical();
+    }
+
     /// The intersection of two sets.
     #[must_use]
     pub fn intersection(&self, other: &IntervalSet) -> IntervalSet {
@@ -153,6 +201,25 @@ impl IntervalSet {
         let out = IntervalSet { intervals: out };
         out.debug_assert_canonical();
         out
+    }
+
+    /// Writes the intersection of two sets into `out`, reusing its
+    /// allocation. Equivalent to `*out = self.intersection(other)`.
+    pub fn intersection_into(&self, other: &IntervalSet, out: &mut IntervalSet) {
+        out.intervals.clear();
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let (x, y) = (self.intervals[i], other.intervals[j]);
+            if let Some(overlap) = x.intersect(y) {
+                out.intervals.push(overlap);
+            }
+            if x.end() <= y.end() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out.debug_assert_canonical();
     }
 
     /// The seconds covered by `self` but not by `other`.
@@ -184,6 +251,45 @@ impl IntervalSet {
         let out = IntervalSet { intervals: out };
         out.debug_assert_canonical();
         out
+    }
+
+    /// Writes the seconds covered by `self` but not by `other` into
+    /// `out`, reusing its allocation.
+    ///
+    /// Equivalent to `*out = self.difference(other)` but keeps `out`'s
+    /// backing storage; the greedy-cover kernels call this once per
+    /// pick, so the scratch buffer stops churning the allocator.
+    pub fn difference_into(&self, other: &IntervalSet, out: &mut IntervalSet) {
+        out.intervals.clear();
+        let mut j = 0;
+        for &x in &self.intervals {
+            let mut cursor = x.start();
+            while j < other.intervals.len() && other.intervals[j].end() <= cursor {
+                j += 1;
+            }
+            let mut k = j;
+            while k < other.intervals.len() && other.intervals[k].start() < x.end() {
+                let y = other.intervals[k];
+                if y.start() > cursor {
+                    let Ok(gap) = Interval::new(cursor, y.start()) else {
+                        unreachable!("gap is non-empty: cursor < y.start()")
+                    };
+                    out.intervals.push(gap);
+                }
+                cursor = cursor.max(y.end());
+                if cursor >= x.end() {
+                    break;
+                }
+                k += 1;
+            }
+            if cursor < x.end() {
+                let Ok(rest) = Interval::new(cursor, x.end()) else {
+                    unreachable!("remainder is non-empty: cursor < x.end()")
+                };
+                out.intervals.push(rest);
+            }
+        }
+        out.debug_assert_canonical();
     }
 
     /// The seconds of `span` not covered by `self`.
@@ -306,6 +412,29 @@ mod tests {
 
     fn set(pairs: &[(u32, u32)]) -> IntervalSet {
         pairs.iter().map(|&(s, e)| iv(s, e)).collect()
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ops() {
+        let cases = [
+            (set(&[(0, 10), (20, 30)]), set(&[(5, 25), (40, 50)])),
+            (set(&[]), set(&[(0, 10)])),
+            (set(&[(0, 100)]), set(&[])),
+            (set(&[(0, 10), (10, 20)]), set(&[(9, 11)])),
+            (set(&[(0, 50), (60, 80)]), set(&[(0, 50), (60, 80)])),
+        ];
+        // One output buffer reused across every case and operation.
+        let mut out = IntervalSet::new();
+        for (a, b) in &cases {
+            a.union_into(b, &mut out);
+            assert_eq!(out, a.union(b), "union {a} | {b}");
+            a.intersection_into(b, &mut out);
+            assert_eq!(out, a.intersection(b), "intersection {a} & {b}");
+            a.difference_into(b, &mut out);
+            assert_eq!(out, a.difference(b), "difference {a} - {b}");
+            out.assign(a);
+            assert_eq!(&out, a, "assign {a}");
+        }
     }
 
     #[test]

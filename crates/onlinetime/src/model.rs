@@ -108,6 +108,23 @@ impl OnlineSchedules {
             .fold(DaySchedule::new(), |acc, u| acc.union(self.schedule(u)))
     }
 
+    /// Like [`OnlineSchedules::union_of`], but folds into caller-owned
+    /// buffers so a loop computing many unions (one per user's candidate
+    /// set, per repetition) reuses two allocations instead of one per
+    /// fold step. `out` receives the union; `tmp` is the double-buffer
+    /// partner. The fold order — and therefore the result — is identical
+    /// to `union_of`.
+    pub fn union_of_into<I>(&self, users: I, out: &mut DaySchedule, tmp: &mut DaySchedule)
+    where
+        I: IntoIterator<Item = UserId>,
+    {
+        out.clear();
+        for u in users {
+            out.union_into(self.schedule(u), tmp);
+            std::mem::swap(out, tmp);
+        }
+    }
+
     /// The bitmap form of one user's schedule, from the shared cache.
     ///
     /// # Panics

@@ -46,9 +46,11 @@ mod most_active;
 mod policy;
 mod random;
 pub mod set_cover;
+mod workspace;
 
 pub use connectivity::{has_no_isolated_replica, is_time_connected_component};
 pub use maxav::{CoverageObjective, MaxAv};
 pub use most_active::MostActive;
 pub use policy::{Connectivity, ReplicaPolicy};
 pub use random::Random;
+pub use workspace::PlacementWorkspace;

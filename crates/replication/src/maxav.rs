@@ -1,11 +1,12 @@
-use dosn_interval::{DenseSchedule, IntervalSet};
+use dosn_interval::DenseSchedule;
 use dosn_onlinetime::OnlineSchedules;
 use dosn_socialgraph::UserId;
 use dosn_trace::Dataset;
 use rand::RngCore;
 
 use crate::policy::{Connectivity, ReplicaPolicy};
-use crate::set_cover::{greedy_cover_constrained, greedy_cover_constrained_dense};
+use crate::set_cover::{greedy_cover_constrained_dense_with, greedy_cover_constrained_with};
+use crate::workspace::PlacementWorkspace;
 
 /// What the MaxAv greedy cover tries to maximize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -99,13 +100,40 @@ impl ReplicaPolicy for MaxAv {
         user: UserId,
         max_replicas: usize,
         connectivity: Connectivity,
-        _rng: &mut dyn RngCore,
+        rng: &mut dyn RngCore,
     ) -> Vec<UserId> {
+        let mut ws = PlacementWorkspace::new();
+        let mut out = Vec::new();
+        self.place_in(
+            dataset,
+            schedules,
+            user,
+            max_replicas,
+            connectivity,
+            rng,
+            &mut ws,
+            &mut out,
+        );
+        out
+    }
+
+    fn place_in(
+        &self,
+        dataset: &Dataset,
+        schedules: &OnlineSchedules,
+        user: UserId,
+        max_replicas: usize,
+        connectivity: Connectivity,
+        _rng: &mut dyn RngCore,
+        ws: &mut PlacementWorkspace,
+        out: &mut Vec<UserId>,
+    ) {
+        out.clear();
         let candidates = dataset.replica_candidates(user);
         if candidates.is_empty() || max_replicas == 0 {
-            return Vec::new();
+            return;
         }
-        let steps = match self.objective {
+        match self.objective {
             // For availability the universe is the union of the
             // candidates' online times; for on-demand-time it is the
             // union of the accessing friends'. In the friend-to-friend
@@ -115,59 +143,74 @@ impl ReplicaPolicy for MaxAv {
             // so the sparse merge-based gains beat a 1 350-word bitmap
             // scan per evaluation here.
             CoverageObjective::Availability | CoverageObjective::OnDemandTime => {
-                let universe: IntervalSet =
-                    schedules.union_of(candidates.iter().copied()).into();
-                let subsets: Vec<&IntervalSet> = candidates
-                    .iter()
-                    .map(|&c| schedules[c].as_set())
-                    .collect();
-                match connectivity {
-                    Connectivity::UnconRep => {
-                        greedy_cover_constrained(&universe, &subsets, max_replicas, |_, _| true)
-                    }
-                    Connectivity::ConRep => {
-                        greedy_cover_constrained(&universe, &subsets, max_replicas, |chosen, i| {
+                schedules.union_of_into(
+                    candidates.iter().copied(),
+                    &mut ws.universe,
+                    &mut ws.universe_tmp,
+                );
+                let subset = |i: usize| schedules[candidates[i]].as_set();
+                let steps = match connectivity {
+                    Connectivity::UnconRep => greedy_cover_constrained_with(
+                        &mut ws.cover,
+                        ws.universe.as_set(),
+                        candidates.len(),
+                        subset,
+                        max_replicas,
+                        |_, _| true,
+                    ),
+                    Connectivity::ConRep => greedy_cover_constrained_with(
+                        &mut ws.cover,
+                        ws.universe.as_set(),
+                        candidates.len(),
+                        subset,
+                        max_replicas,
+                        |chosen, i| {
                             chosen.is_empty()
                                 || chosen
                                     .iter()
-                                    .any(|step| subsets[step.subset].intersects(subsets[i]))
-                        })
-                    }
-                }
+                                    .any(|step| subset(step.subset).intersects(subset(i)))
+                        },
+                    ),
+                };
+                out.extend(steps.iter().map(|s| candidates[s.subset]));
             }
             // Historical activity instants on the user's profile, each a
             // 1-second point on the day circle: a point universe can
             // fragment into thousands of intervals, where the dense
             // bitmap's word-level and-popcounts win.
             CoverageObjective::OnDemandActivity => {
-                let mut universe = DenseSchedule::new();
+                let universe = ws.dense_universe.get_or_insert_with(DenseSchedule::new);
+                universe.clear();
                 for a in dataset.received_activities(user) {
                     universe.set_wrapping(a.timestamp().time_of_day(), 1);
                 }
-                let subsets: Vec<&DenseSchedule> =
-                    candidates.iter().map(|&c| schedules.dense(c)).collect();
-                match connectivity {
-                    Connectivity::UnconRep => greedy_cover_constrained_dense(
-                        &universe,
-                        &subsets,
+                let subset = |i: usize| schedules.dense(candidates[i]);
+                let steps = match connectivity {
+                    Connectivity::UnconRep => greedy_cover_constrained_dense_with(
+                        &mut ws.cover,
+                        universe,
+                        candidates.len(),
+                        subset,
                         max_replicas,
                         |_, _| true,
                     ),
-                    Connectivity::ConRep => greedy_cover_constrained_dense(
-                        &universe,
-                        &subsets,
+                    Connectivity::ConRep => greedy_cover_constrained_dense_with(
+                        &mut ws.cover,
+                        universe,
+                        candidates.len(),
+                        subset,
                         max_replicas,
                         |chosen, i| {
                             chosen.is_empty()
                                 || chosen
                                     .iter()
-                                    .any(|step| subsets[step.subset].is_connected_to(subsets[i]))
+                                    .any(|step| subset(step.subset).is_connected_to(subset(i)))
                         },
                     ),
-                }
+                };
+                out.extend(steps.iter().map(|s| candidates[s.subset]));
             }
-        };
-        steps.into_iter().map(|s| candidates[s.subset]).collect()
+        }
     }
 }
 

@@ -4,6 +4,7 @@ use dosn_trace::Dataset;
 use rand::{Rng, RngCore};
 
 use crate::policy::{Connectivity, ReplicaPolicy};
+use crate::workspace::PlacementWorkspace;
 
 /// The paper's *MostActive* policy: replicate on the candidates who
 /// interacted with the user the most (by count of activities they created
@@ -31,9 +32,16 @@ impl MostActive {
         MostActive
     }
 
-    /// Candidates of `user` ranked most-active first; zero-activity
-    /// candidates appended in random order.
-    fn ranked(&self, dataset: &Dataset, user: UserId, rng: &mut dyn RngCore) -> Vec<UserId> {
+    /// Candidates of `user` ranked most-active first (written into
+    /// `out`); zero-activity candidates appended in random order.
+    fn ranked_into(
+        &self,
+        dataset: &Dataset,
+        user: UserId,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<UserId>,
+    ) {
+        out.clear();
         let mut counts = dataset.interaction_counts(user);
         // Active candidates: by count descending, id ascending for
         // determinism.
@@ -45,11 +53,8 @@ impl MostActive {
         for i in (1..counts.len()).rev() {
             counts.swap(i, rng.gen_range(0..=i));
         }
-        active
-            .into_iter()
-            .map(|(u, _)| u)
-            .chain(counts.into_iter().map(|(u, _)| u))
-            .collect()
+        out.extend(active.into_iter().map(|(u, _)| u));
+        out.extend(counts.into_iter().map(|(u, _)| u));
     }
 }
 
@@ -60,8 +65,10 @@ pub(crate) fn take_with_connectivity(
     schedules: &OnlineSchedules,
     k: usize,
     connectivity: Connectivity,
-) -> Vec<UserId> {
-    let mut chosen: Vec<UserId> = Vec::with_capacity(k.min(ranked.len()));
+    chosen: &mut Vec<UserId>,
+) {
+    chosen.clear();
+    chosen.reserve(k.min(ranked.len()));
     for &candidate in ranked {
         if chosen.len() == k {
             break;
@@ -79,7 +86,6 @@ pub(crate) fn take_with_connectivity(
             chosen.push(candidate);
         }
     }
-    chosen
 }
 
 impl ReplicaPolicy for MostActive {
@@ -96,11 +102,38 @@ impl ReplicaPolicy for MostActive {
         connectivity: Connectivity,
         rng: &mut dyn RngCore,
     ) -> Vec<UserId> {
+        let mut ws = PlacementWorkspace::new();
+        let mut out = Vec::new();
+        self.place_in(
+            dataset,
+            schedules,
+            user,
+            max_replicas,
+            connectivity,
+            rng,
+            &mut ws,
+            &mut out,
+        );
+        out
+    }
+
+    fn place_in(
+        &self,
+        dataset: &Dataset,
+        schedules: &OnlineSchedules,
+        user: UserId,
+        max_replicas: usize,
+        connectivity: Connectivity,
+        rng: &mut dyn RngCore,
+        ws: &mut PlacementWorkspace,
+        out: &mut Vec<UserId>,
+    ) {
+        out.clear();
         if max_replicas == 0 {
-            return Vec::new();
+            return;
         }
-        let ranked = self.ranked(dataset, user, rng);
-        take_with_connectivity(&ranked, schedules, max_replicas, connectivity)
+        self.ranked_into(dataset, user, rng, &mut ws.ranked);
+        take_with_connectivity(&ws.ranked, schedules, max_replicas, connectivity, out);
     }
 }
 

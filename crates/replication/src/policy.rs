@@ -3,6 +3,8 @@ use dosn_socialgraph::UserId;
 use dosn_trace::Dataset;
 use rand::RngCore;
 
+use crate::workspace::PlacementWorkspace;
+
 /// Whether chosen replicas must be *connected in time*.
 ///
 /// Under `ConRep` every replica's schedule must overlap at least one
@@ -61,6 +63,33 @@ pub trait ReplicaPolicy {
         connectivity: Connectivity,
         rng: &mut dyn RngCore,
     ) -> Vec<UserId>;
+
+    /// Arena form of [`ReplicaPolicy::place`]: writes the chosen hosts
+    /// into `out` (cleared first) and borrows transient storage from
+    /// `ws` instead of allocating per call — the sweep engine's worker
+    /// threads each own one workspace and thread it through every
+    /// placement they evaluate.
+    ///
+    /// The default implementation delegates to `place`. Overrides must
+    /// produce exactly the same hosts in the same order and consume the
+    /// RNG identically — the workspace may recycle allocations, never
+    /// state.
+    #[allow(clippy::too_many_arguments)]
+    fn place_in(
+        &self,
+        dataset: &Dataset,
+        schedules: &OnlineSchedules,
+        user: UserId,
+        max_replicas: usize,
+        connectivity: Connectivity,
+        rng: &mut dyn RngCore,
+        ws: &mut PlacementWorkspace,
+        out: &mut Vec<UserId>,
+    ) {
+        let _ = ws;
+        out.clear();
+        out.extend(self.place(dataset, schedules, user, max_replicas, connectivity, rng));
+    }
 }
 
 impl std::fmt::Debug for dyn ReplicaPolicy + '_ {

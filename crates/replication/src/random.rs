@@ -5,6 +5,7 @@ use rand::{Rng, RngCore};
 
 use crate::most_active::take_with_connectivity;
 use crate::policy::{Connectivity, ReplicaPolicy};
+use crate::workspace::PlacementWorkspace;
 
 /// The paper's *Random* baseline: replica hosts chosen uniformly at
 /// random among the candidates (subject to time-connectivity under
@@ -41,14 +42,43 @@ impl ReplicaPolicy for Random {
         connectivity: Connectivity,
         rng: &mut dyn RngCore,
     ) -> Vec<UserId> {
+        let mut ws = PlacementWorkspace::new();
+        let mut out = Vec::new();
+        self.place_in(
+            dataset,
+            schedules,
+            user,
+            max_replicas,
+            connectivity,
+            rng,
+            &mut ws,
+            &mut out,
+        );
+        out
+    }
+
+    fn place_in(
+        &self,
+        dataset: &Dataset,
+        schedules: &OnlineSchedules,
+        user: UserId,
+        max_replicas: usize,
+        connectivity: Connectivity,
+        rng: &mut dyn RngCore,
+        ws: &mut PlacementWorkspace,
+        out: &mut Vec<UserId>,
+    ) {
+        out.clear();
         if max_replicas == 0 {
-            return Vec::new();
+            return;
         }
-        let mut candidates: Vec<UserId> = dataset.replica_candidates(user).to_vec();
+        let candidates = &mut ws.ranked;
+        candidates.clear();
+        candidates.extend_from_slice(dataset.replica_candidates(user));
         for i in (1..candidates.len()).rev() {
             candidates.swap(i, rng.gen_range(0..=i));
         }
-        take_with_connectivity(&candidates, schedules, max_replicas, connectivity)
+        take_with_connectivity(candidates, schedules, max_replicas, connectivity, out);
     }
 }
 

@@ -59,7 +59,37 @@ impl PartialOrd for LazyGain {
     }
 }
 
-/// CELF lazy greedy over an abstract cover domain.
+/// Reusable scratch for the greedy-cover kernels: the CELF heap's
+/// backing storage, the deferred queue, the pick list, and the uncovered
+/// universes for the sparse and dense arms. A worker thread owns one of
+/// these (inside a `PlacementWorkspace`) and threads it through every
+/// placement it evaluates, so the per-candidate union folds and per-pick
+/// universe differences stop churning the allocator.
+///
+/// The scratch carries no state between calls — every `*_with` entry
+/// point fully resets the parts it uses — so reusing one across
+/// placements cannot change any pick sequence.
+#[derive(Debug, Default)]
+pub struct CoverScratch {
+    heap: Vec<LazyGain>,
+    deferred: Vec<LazyGain>,
+    steps: Vec<CoverStep>,
+    sparse: IntervalSet,
+    sparse_tmp: IntervalSet,
+    /// Lazily created so sparse-only callers never pay the bitmap
+    /// allocation.
+    dense: Option<DenseSchedule>,
+}
+
+impl CoverScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        CoverScratch::default()
+    }
+}
+
+/// CELF lazy greedy over an abstract cover domain, writing the picks
+/// into `steps` and borrowing all transient storage from the caller.
 ///
 /// `gain_of(i, uncovered)` is the marginal gain of subset `i`;
 /// `remove(i, uncovered)` subtracts subset `i` from the uncovered
@@ -67,37 +97,46 @@ impl PartialOrd for LazyGain {
 /// non-increasing in the picks (true for coverage), and equivalence with
 /// eager greedy additionally needs `admissible` to depend only on its
 /// arguments (not on how often or in what order it is called).
-fn celf_cover<U>(
-    mut uncovered: U,
+///
+/// The heap's pop order is fully determined by the `LazyGain` ordering —
+/// no two live entries share an index, so no two share a `(gain, index)`
+/// key — which is why rebuilding the heap from a reused buffer cannot
+/// perturb the pick sequence.
+#[allow(clippy::too_many_arguments)]
+fn celf_cover_in<U>(
+    uncovered: &mut U,
     n: usize,
     k: usize,
     mut gain_of: impl FnMut(usize, &U) -> u32,
     mut remove: impl FnMut(usize, &mut U),
     mut is_empty: impl FnMut(&U) -> bool,
     mut admissible: impl FnMut(&[CoverStep], usize) -> bool,
-) -> Vec<CoverStep> {
-    let mut steps: Vec<CoverStep> = Vec::new();
-    if k == 0 || is_empty(&uncovered) {
-        return steps;
+    heap_buf: &mut Vec<LazyGain>,
+    deferred: &mut Vec<LazyGain>,
+    steps: &mut Vec<CoverStep>,
+) {
+    steps.clear();
+    deferred.clear();
+    heap_buf.clear();
+    if k == 0 || is_empty(uncovered) {
+        return;
     }
-    let mut heap: BinaryHeap<LazyGain> = (0..n)
-        .filter_map(|i| {
-            let gain = gain_of(i, &uncovered);
-            (gain > 0).then_some(LazyGain {
+    let mut heap = BinaryHeap::from(std::mem::take(heap_buf));
+    for i in 0..n {
+        let gain = gain_of(i, uncovered);
+        if gain > 0 {
+            heap.push(LazyGain {
                 gain,
                 index: i,
                 stamp: 0,
-            })
-        })
-        .collect();
-    // Candidates popped this round that the constraint rejects; their
-    // cached bounds go back on the heap once the round's pick (which may
-    // unlock them) is made.
-    let mut deferred: Vec<LazyGain> = Vec::new();
-    while steps.len() < k && !is_empty(&uncovered) {
+            });
+        }
+    }
+    while steps.len() < k && !is_empty(uncovered) {
         let mut pick: Option<LazyGain> = None;
         while let Some(top) = heap.pop() {
-            if !admissible(&steps, top.index) {
+            if !admissible(steps, top.index) {
+                // Parked until the round's pick (which may unlock it).
                 deferred.push(top);
                 continue;
             }
@@ -108,7 +147,7 @@ fn celf_cover<U>(
                 pick = Some(top);
                 break;
             }
-            let gain = gain_of(top.index, &uncovered);
+            let gain = gain_of(top.index, uncovered);
             if gain > 0 {
                 heap.push(LazyGain {
                     gain,
@@ -122,14 +161,15 @@ fn celf_cover<U>(
             // nothing cannot change admissibility, so stop for good.
             break;
         };
-        remove(top.index, &mut uncovered);
+        remove(top.index, uncovered);
         steps.push(CoverStep {
             subset: top.index,
             gain: top.gain,
         });
         heap.extend(deferred.drain(..));
     }
-    steps
+    // Hand the heap's storage back so the next call reuses it.
+    *heap_buf = heap.into_vec();
 }
 
 /// Greedy maximum coverage: pick up to `k` subsets maximizing covered
@@ -187,15 +227,67 @@ where
     S: Borrow<IntervalSet>,
     F: FnMut(&[CoverStep], usize) -> bool,
 {
-    celf_cover(
-        universe.clone(),
+    let mut scratch = CoverScratch::new();
+    greedy_cover_constrained_with(
+        &mut scratch,
+        universe,
         subsets.len(),
+        |i| subsets[i].borrow(),
         k,
-        |i, uncovered| subsets[i].borrow().overlap_measure(uncovered),
-        |i, uncovered| *uncovered = uncovered.difference(subsets[i].borrow()),
-        IntervalSet::is_empty,
         admissible,
     )
+    .to_vec()
+}
+
+/// Arena form of [`greedy_cover_constrained`]: borrows all transient
+/// storage from `scratch` and returns the picks as a slice into it.
+///
+/// Subsets are supplied as an accessor `subset(i)` over `0..n` instead
+/// of a slice, so callers with candidates spread across a schedule table
+/// need not materialize a `Vec<&IntervalSet>` first. The pick sequence
+/// is identical to [`greedy_cover_constrained`]'s: the scratch only
+/// recycles allocations, never state.
+pub fn greedy_cover_constrained_with<'s, 'a, F, G>(
+    scratch: &'s mut CoverScratch,
+    universe: &IntervalSet,
+    n: usize,
+    subset: G,
+    k: usize,
+    admissible: F,
+) -> &'s [CoverStep]
+where
+    G: Fn(usize) -> &'a IntervalSet,
+    F: FnMut(&[CoverStep], usize) -> bool,
+{
+    let CoverScratch {
+        heap,
+        deferred,
+        steps,
+        sparse,
+        sparse_tmp,
+        ..
+    } = scratch;
+    sparse.assign(universe);
+    // The uncovered universe is a double buffer: each pick writes the
+    // difference into the partner set and swaps, so neither side ever
+    // reallocates once warm.
+    let mut uncovered = (sparse, sparse_tmp);
+    celf_cover_in(
+        &mut uncovered,
+        n,
+        k,
+        |i, u| subset(i).overlap_measure(u.0),
+        |i, u| {
+            u.0.difference_into(subset(i), u.1);
+            std::mem::swap(&mut *u.0, &mut *u.1);
+        },
+        |u| u.0.is_empty(),
+        admissible,
+        heap,
+        deferred,
+        steps,
+    );
+    steps
 }
 
 /// [`greedy_cover`] over dense bitmaps — the sweep hot path. Subsets are
@@ -225,15 +317,56 @@ pub fn greedy_cover_constrained_dense<F>(
 where
     F: FnMut(&[CoverStep], usize) -> bool,
 {
-    celf_cover(
-        universe.clone(),
+    let mut scratch = CoverScratch::new();
+    greedy_cover_constrained_dense_with(
+        &mut scratch,
+        universe,
         subsets.len(),
+        |i| subsets[i],
         k,
-        |i, uncovered| subsets[i].and_count(uncovered),
-        |i, uncovered| uncovered.difference_in_place(subsets[i]),
-        DenseSchedule::is_empty,
         admissible,
     )
+    .to_vec()
+}
+
+/// Arena form of [`greedy_cover_constrained_dense`]: borrows all
+/// transient storage (including the uncovered bitmap) from `scratch` and
+/// returns the picks as a slice into it. Same accessor-based subset
+/// interface and identical pick sequence as the slice-based function.
+pub fn greedy_cover_constrained_dense_with<'s, 'a, F, G>(
+    scratch: &'s mut CoverScratch,
+    universe: &DenseSchedule,
+    n: usize,
+    subset: G,
+    k: usize,
+    admissible: F,
+) -> &'s [CoverStep]
+where
+    G: Fn(usize) -> &'a DenseSchedule,
+    F: FnMut(&[CoverStep], usize) -> bool,
+{
+    let CoverScratch {
+        heap,
+        deferred,
+        steps,
+        dense,
+        ..
+    } = scratch;
+    let uncovered = dense.get_or_insert_with(DenseSchedule::new);
+    uncovered.assign(universe);
+    celf_cover_in(
+        uncovered,
+        n,
+        k,
+        |i, u| subset(i).and_count(u),
+        |i, u| u.difference_in_place(subset(i)),
+        |u| u.is_empty(),
+        admissible,
+        heap,
+        deferred,
+        steps,
+    );
+    steps
 }
 
 /// Eager (rescan-every-round) greedy — the reference implementation the
@@ -472,7 +605,7 @@ mod tests {
         for case in 0..1_200 {
             let (universe, subsets, k) = random_instance(&mut rng);
             let dense_universe = dense(&universe);
-            let dense_subsets: Vec<DenseSchedule> = subsets.iter().map(|s| dense(s)).collect();
+            let dense_subsets: Vec<DenseSchedule> = subsets.iter().map(dense).collect();
             let dense_refs: Vec<&DenseSchedule> = dense_subsets.iter().collect();
 
             let eager = eager_greedy_cover_constrained(&universe, &subsets, k, |_, _| true);
@@ -492,6 +625,41 @@ mod tests {
             let lazy_cd = greedy_cover_constrained_dense(&dense_universe, &dense_refs, k, conrep);
             assert_eq!(lazy_c, eager_c, "case {case} conrep");
             assert_eq!(lazy_cd, eager_c, "case {case} conrep dense");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // One scratch threaded through many instances (as a sweep worker
+        // does) must reproduce the fresh-allocation results exactly.
+        let mut rng = Lcg(0xBEEF_F00D);
+        let mut scratch = CoverScratch::new();
+        for case in 0..300 {
+            let (universe, subsets, k) = random_instance(&mut rng);
+            let fresh = greedy_cover(&universe, &subsets, k);
+            let reused = greedy_cover_constrained_with(
+                &mut scratch,
+                &universe,
+                subsets.len(),
+                |i| &subsets[i],
+                k,
+                |_, _| true,
+            )
+            .to_vec();
+            assert_eq!(reused, fresh, "case {case} sparse");
+
+            let dense_universe = dense(&universe);
+            let dense_subsets: Vec<DenseSchedule> = subsets.iter().map(dense).collect();
+            let reused_dense = greedy_cover_constrained_dense_with(
+                &mut scratch,
+                &dense_universe,
+                dense_subsets.len(),
+                |i| &dense_subsets[i],
+                k,
+                |_, _| true,
+            )
+            .to_vec();
+            assert_eq!(reused_dense, fresh, "case {case} dense");
         }
     }
 

@@ -1,0 +1,43 @@
+//! Per-worker placement arena.
+//!
+//! A sweep worker evaluates thousands of placements back to back; every
+//! one of them used to allocate its own cover universe, candidate list,
+//! and CELF heap. [`PlacementWorkspace`] owns all of that transient
+//! storage so a worker allocates once and reuses the buffers for every
+//! user it claims. The workspace carries no state between placements —
+//! each entry point fully resets the parts it touches — so threading one
+//! through a sweep cannot change any placement.
+
+use dosn_interval::{DaySchedule, DenseSchedule};
+use dosn_socialgraph::UserId;
+
+use crate::set_cover::CoverScratch;
+
+/// Reusable scratch for
+/// [`ReplicaPolicy::place_in`](crate::ReplicaPolicy::place_in):
+/// greedy-cover buffers, the sparse
+/// union universe and its double-buffer partner, the dense
+/// activity-instant universe, and the ranked/shuffled candidate list the
+/// ordering policies scan.
+#[derive(Debug, Default)]
+pub struct PlacementWorkspace {
+    /// Greedy-cover kernel scratch (heap storage, pick list, uncovered
+    /// universes).
+    pub(crate) cover: CoverScratch,
+    /// Union of the candidates' schedules — MaxAv's sparse universe.
+    pub(crate) universe: DaySchedule,
+    /// Double-buffer partner for the union fold.
+    pub(crate) universe_tmp: DaySchedule,
+    /// Activity-instant bitmap universe; created on first
+    /// on-demand-activity placement so other policies never pay for it.
+    pub(crate) dense_universe: Option<DenseSchedule>,
+    /// Ranked (MostActive) or shuffled (Random) candidate buffer.
+    pub(crate) ranked: Vec<UserId>,
+}
+
+impl PlacementWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        PlacementWorkspace::default()
+    }
+}

@@ -44,6 +44,30 @@ fn audit_csv_across_thread_counts(model: ModelKind) {
     }
 }
 
+/// Runs one sweep closure at 1, 2, and max threads and demands
+/// byte-identical CSVs.
+fn audit_sweep(label: &str, csv: impl Fn(usize) -> String) {
+    let reference = csv(1);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(2);
+    for threads in [2, max] {
+        let got = csv(threads);
+        assert_eq!(
+            got, reference,
+            "{label}: CSV bytes diverged between 1 and {threads} threads"
+        );
+    }
+}
+
+fn config(threads: usize) -> StudyConfig {
+    StudyConfig::default()
+        .with_repetitions(2)
+        .with_seed(41)
+        .with_threads(Some(threads))
+}
+
 /// Deterministic model: same bytes at 1, 2, and max threads.
 #[test]
 fn sporadic_sweep_csv_is_thread_count_invariant() {
@@ -55,4 +79,38 @@ fn sporadic_sweep_csv_is_thread_count_invariant() {
 #[test]
 fn randomized_sweep_csv_is_thread_count_invariant() {
     audit_csv_across_thread_counts(ModelKind::random_length_default());
+}
+
+/// The session-length sweep runs one engine draw group per length; its
+/// folding must be thread-count-invariant like the degree sweep's.
+#[test]
+fn session_length_sweep_csv_is_thread_count_invariant() {
+    let ds = synth::facebook_like(300, 23).expect("generation succeeds");
+    let users = ds.users_with_degree(6);
+    assert!(!users.is_empty(), "need degree-6 users in the fixture");
+    audit_sweep("session_length_sweep", |threads| {
+        session_length_sweep(
+            &ds,
+            &[600, 3_600, 14_400],
+            &PolicyKind::paper_trio(),
+            &users,
+            3,
+            &config(threads),
+        )
+        .to_csv()
+    });
+}
+
+/// The user-degree sweep shares one schedule draw per repetition across
+/// every degree bucket (a single engine draw group); the sharing and the
+/// per-bucket worker pools must both be invisible to the CSV bytes. Both
+/// model classes run: deterministic draws and RNG-driven ones.
+#[test]
+fn user_degree_sweep_csv_is_thread_count_invariant() {
+    let ds = synth::facebook_like(300, 23).expect("generation succeeds");
+    for model in [ModelKind::sporadic_default(), ModelKind::random_length_default()] {
+        audit_sweep("user_degree_sweep", |threads| {
+            user_degree_sweep(&ds, model, &PolicyKind::paper_trio(), 6, &config(threads)).to_csv()
+        });
+    }
 }

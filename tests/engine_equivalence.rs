@@ -1,0 +1,149 @@
+//! Engine-equivalence goldens: the plan/executor refactor of the sweep
+//! layer must not change a single output byte. These CSVs were captured
+//! from the pre-refactor runners (`degree_sweep`, `session_length_sweep`,
+//! `user_degree_sweep`) and every sweep is asserted byte-identical to
+//! them at 1, 2, and max worker threads, for a deterministic and a
+//! randomized online-time model.
+//!
+//! To regenerate after an *intentional* output change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test engine_equivalence
+//! ```
+//!
+//! and commit the rewritten files under `tests/goldens/`.
+
+use std::path::PathBuf;
+
+use dosn::prelude::*;
+use dosn_trace::Dataset;
+
+fn fixture() -> Dataset {
+    synth::facebook_like(200, 17).expect("generation succeeds")
+}
+
+fn config(threads: usize) -> StudyConfig {
+    StudyConfig::default()
+        .with_repetitions(2)
+        .with_seed(77)
+        .with_threads(Some(threads))
+}
+
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(2)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// Asserts `make(threads)` reproduces the committed golden byte-for-byte
+/// at 1, 2, and max threads. With `UPDATE_GOLDENS=1` the single-thread
+/// output rewrites the golden instead (the other thread counts are still
+/// checked against it, so a regeneration that is thread-dependent fails).
+fn assert_matches_golden(name: &str, make: impl Fn(usize) -> SweepTable) {
+    let path = golden_path(name);
+    let reference = make(1).to_csv();
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("goldens dir has a parent"))
+            .expect("create goldens dir");
+        std::fs::write(&path, &reference).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        reference, golden,
+        "{name}: single-thread CSV diverged from the committed golden"
+    );
+    for threads in [2, max_threads()] {
+        assert_eq!(
+            make(threads).to_csv(),
+            golden,
+            "{name}: CSV diverged from golden at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn degree_sweep_matches_golden_deterministic() {
+    let ds = fixture();
+    let users = ds.users_with_degree(5);
+    assert!(!users.is_empty(), "need degree-5 users in the fixture");
+    assert_matches_golden("degree_fixed.csv", |threads| {
+        degree_sweep(
+            &ds,
+            ModelKind::fixed_hours(4),
+            &PolicyKind::paper_trio(),
+            &users,
+            5,
+            &config(threads),
+        )
+    });
+}
+
+#[test]
+fn degree_sweep_matches_golden_randomized() {
+    let ds = fixture();
+    let users = ds.users_with_degree(5);
+    assert!(!users.is_empty(), "need degree-5 users in the fixture");
+    assert_matches_golden("degree_sporadic.csv", |threads| {
+        degree_sweep(
+            &ds,
+            ModelKind::sporadic_default(),
+            &PolicyKind::paper_trio(),
+            &users,
+            5,
+            &config(threads),
+        )
+    });
+}
+
+#[test]
+fn session_length_sweep_matches_golden() {
+    let ds = fixture();
+    let users = ds.users_with_degree(5);
+    assert!(!users.is_empty(), "need degree-5 users in the fixture");
+    assert_matches_golden("session_length.csv", |threads| {
+        session_length_sweep(
+            &ds,
+            &[600, 7_200],
+            &PolicyKind::paper_trio(),
+            &users,
+            2,
+            &config(threads),
+        )
+    });
+}
+
+#[test]
+fn user_degree_sweep_matches_golden_deterministic() {
+    let ds = fixture();
+    assert_matches_golden("user_degree_fixed.csv", |threads| {
+        user_degree_sweep(
+            &ds,
+            ModelKind::fixed_hours(4),
+            &PolicyKind::paper_trio(),
+            4,
+            &config(threads),
+        )
+    });
+}
+
+#[test]
+fn user_degree_sweep_matches_golden_randomized() {
+    let ds = fixture();
+    assert_matches_golden("user_degree_sporadic.csv", |threads| {
+        user_degree_sweep(
+            &ds,
+            ModelKind::sporadic_default(),
+            &PolicyKind::paper_trio(),
+            4,
+            &config(threads),
+        )
+    });
+}
