@@ -1,0 +1,187 @@
+//! Scaling benchmark — the sweep pipeline at 10k / 100k / 1M users.
+//!
+//! Runs the standard degree sweep on sharded, streamed facebook-like
+//! traces materialized as [`ScaleDataset`]s, and records the scaling
+//! trajectory to `BENCH_scale.json`: wall-clock per stage, end-to-end
+//! users per second, dataset footprint, peak RSS, and the dense-pool
+//! occupancy of the memory-bounded draw path.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `SCALE_USERS` — comma-separated scales, default `10000,100000,1000000`.
+//! * `SCALE_RSS_BUDGET_MB` — exit non-zero if peak RSS exceeds this
+//!   budget after any scale (CI regression gate).
+//! * `SCALE_OUT` — output path, default `BENCH_scale.json`.
+
+use dosn_core::{sweep, ModelKind, PolicyKind, StudyConfig, DENSE_CACHE_MAX_USERS};
+use dosn_socialgraph::UserId;
+use dosn_trace::{synth::TraceSynthesizer, ScaleDataset};
+use std::time::Instant;
+
+/// The degree bucket the sweep studies (the paper's modal degree).
+const STUDY_DEGREE: usize = 10;
+
+/// Studied users are capped so the sweep wall-clock stays dominated by
+/// the scaling stages, not by a linearly growing study population.
+const MAX_STUDIED: usize = 500;
+
+/// Users per generator shard — the streaming granularity.
+const SHARD_SIZE: usize = 65_536;
+
+const SEED: u64 = 2012;
+
+struct ScaleRow {
+    users: usize,
+    gen_s: f64,
+    sweep_s: f64,
+    total_s: f64,
+    users_per_s: f64,
+    studied: usize,
+    dataset_mb: f64,
+    peak_rss_mb: f64,
+    dense_pool_high_water: usize,
+    dense_pool_kb: f64,
+    dense_cached: bool,
+}
+
+fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} entry {s:?} is not a user count"))
+            })
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+fn run_scale(users: usize) -> ScaleRow {
+    let t0 = Instant::now();
+    let synth = TraceSynthesizer::new("facebook-like", users);
+    let shards = synth
+        .generate_shards(SEED, SHARD_SIZE)
+        .unwrap_or_else(|e| panic!("trace generation failed: {e}"));
+
+    // Pick the studied users from the graph alone (the activity stream
+    // is not materialized yet): everyone at the study degree, thinned
+    // deterministically to the cap.
+    let graph = shards.graph();
+    let at_degree: Vec<UserId> = graph
+        .nodes()
+        .filter(|&u| graph.degree(u) == STUDY_DEGREE)
+        .collect();
+    let step = at_degree.len().div_ceil(MAX_STUDIED).max(1);
+    let studied: Vec<UserId> = at_degree.iter().copied().step_by(step).collect();
+    assert!(!studied.is_empty(), "no degree-{STUDY_DEGREE} users at scale {users}");
+
+    let dataset = ScaleDataset::from_shards("facebook-like", shards, &studied);
+    let gen_s = t0.elapsed().as_secs_f64();
+
+    let policies = [
+        PolicyKind::MaxAv,
+        PolicyKind::MaxAvOnDemandActivity, // exercises the dense draw path
+        PolicyKind::MostActive,
+        PolicyKind::Random,
+    ];
+    let config = StudyConfig::default().with_seed(SEED).with_repetitions(2);
+    let t1 = Instant::now();
+    let (_table, timing) = sweep::degree_sweep_timed(
+        &dataset,
+        ModelKind::sporadic_default(),
+        &policies,
+        &studied,
+        5,
+        &config,
+    );
+    let sweep_s = t1.elapsed().as_secs_f64();
+    let total_s = t0.elapsed().as_secs_f64();
+
+    ScaleRow {
+        users,
+        gen_s,
+        sweep_s,
+        total_s,
+        users_per_s: users as f64 / total_s,
+        studied: studied.len(),
+        dataset_mb: dataset.memory_bytes() as f64 / (1024.0 * 1024.0),
+        peak_rss_mb: timing
+            .peak_rss_bytes()
+            .map_or(f64::NAN, |b| b as f64 / (1024.0 * 1024.0)),
+        dense_pool_high_water: timing.dense_pool_high_water(),
+        dense_pool_kb: timing.dense_pool_bytes() as f64 / 1024.0,
+        dense_cached: users <= DENSE_CACHE_MAX_USERS,
+    }
+}
+
+fn json_row(r: &ScaleRow) -> String {
+    format!(
+        "    {{\"users\": {}, \"gen_s\": {:.3}, \"sweep_s\": {:.3}, \"total_s\": {:.3}, \
+         \"users_per_s\": {:.1}, \"studied\": {}, \"dataset_mb\": {:.1}, \
+         \"peak_rss_mb\": {:.1}, \"dense_pool_high_water\": {}, \"dense_pool_kb\": {:.1}, \
+         \"dense_cached\": {}}}",
+        r.users,
+        r.gen_s,
+        r.sweep_s,
+        r.total_s,
+        r.users_per_s,
+        r.studied,
+        r.dataset_mb,
+        r.peak_rss_mb,
+        r.dense_pool_high_water,
+        r.dense_pool_kb,
+        r.dense_cached
+    )
+}
+
+fn main() {
+    let scales = env_usize_list("SCALE_USERS", &[10_000, 100_000, 1_000_000]);
+    let budget_mb: Option<f64> = std::env::var("SCALE_RSS_BUDGET_MB")
+        .ok()
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("SCALE_RSS_BUDGET_MB {s:?} is not a number")));
+    let out_path = std::env::var("SCALE_OUT").unwrap_or_else(|_| "BENCH_scale.json".into());
+
+    println!(
+        "{:>9} {:>8} {:>8} {:>8} {:>11} {:>8} {:>11} {:>12} {:>13}",
+        "users", "gen_s", "sweep_s", "total_s", "users/s", "data_mb", "peak_rss_mb", "pool_slots", "pool_kb"
+    );
+    let mut rows = Vec::new();
+    for users in scales {
+        let row = run_scale(users);
+        println!(
+            "{:>9} {:>8.2} {:>8.2} {:>8.2} {:>11.1} {:>8.1} {:>11.1} {:>12} {:>13.1}",
+            row.users,
+            row.gen_s,
+            row.sweep_s,
+            row.total_s,
+            row.users_per_s,
+            row.dataset_mb,
+            row.peak_rss_mb,
+            row.dense_pool_high_water,
+            row.dense_pool_kb
+        );
+        rows.push(row);
+    }
+
+    let body: Vec<String> = rows.iter().map(json_row).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"seed\": {SEED},\n  \"study_degree\": {STUDY_DEGREE},\n  \"shard_size\": {SHARD_SIZE},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+
+    if let Some(budget) = budget_mb {
+        let worst = rows.iter().map(|r| r.peak_rss_mb).fold(0.0, f64::max);
+        if worst > budget {
+            eprintln!("peak RSS {worst:.1} MiB exceeds budget {budget:.1} MiB");
+            std::process::exit(1);
+        }
+        println!("peak RSS {worst:.1} MiB within budget {budget:.1} MiB");
+    }
+}

@@ -25,6 +25,7 @@ pub struct StudyConfig {
     seed: u64,
     threads: Option<usize>,
     delay_samples: usize,
+    dense_cache_limit: usize,
 }
 
 impl Default for StudyConfig {
@@ -40,6 +41,7 @@ impl Default for StudyConfig {
             seed: 42,
             threads: None,
             delay_samples: 4,
+            dense_cache_limit: crate::engine::DENSE_CACHE_MAX_USERS,
         }
     }
 }
@@ -93,6 +95,18 @@ impl StudyConfig {
         self
     }
 
+    /// Sets the largest dataset (in users) for which the engine caches
+    /// every user's densified schedule per draw. Above the limit the
+    /// dense-demand policies stream candidate schedules through a
+    /// fixed-size per-worker pool instead — O(pool) instead of O(users)
+    /// memory, identical results. Lower it on memory-constrained runs;
+    /// `0` forces the pooled path everywhere.
+    #[must_use]
+    pub fn with_dense_cache_limit(mut self, dense_cache_limit: usize) -> Self {
+        self.dense_cache_limit = dense_cache_limit;
+        self
+    }
+
     /// The replica connectivity mode.
     pub fn connectivity(&self) -> Connectivity {
         self.connectivity
@@ -116,6 +130,11 @@ impl StudyConfig {
     /// Update-injection samples per day for the observed-delay replay.
     pub fn delay_samples(&self) -> usize {
         self.delay_samples
+    }
+
+    /// Largest user count for which dense schedules are cached per draw.
+    pub fn dense_cache_limit(&self) -> usize {
+        self.dense_cache_limit
     }
 
     /// The effective worker thread count.

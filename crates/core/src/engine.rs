@@ -45,7 +45,7 @@ use dosn_interval::DaySchedule;
 use dosn_onlinetime::OnlineSchedules;
 use dosn_replication::PlacementWorkspace;
 use dosn_socialgraph::UserId;
-use dosn_trace::Dataset;
+use dosn_trace::StudyView;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -53,6 +53,20 @@ use crate::config::{derive_seed, StudyConfig};
 use crate::experiment::{evaluate_prefixes_in, PrefixScratch, UserMetrics};
 use crate::kinds::{ModelKind, PolicyKind};
 use crate::results::{CellMetrics, SweepRow, SweepTable};
+
+/// Population ceiling for materializing the population-wide dense
+/// schedule cache (`OnlineSchedules::dense_all`).
+///
+/// Below it the activity-cover policy reads candidate bitmaps straight
+/// out of the shared cache — one 1.4 KiB bitmap per user per draw, cheap
+/// at study scale and pinned byte-identical by the golden CSVs. Above
+/// it that cache alone would cost `users × 1.4 KiB` per draw (≈ 1.3 GiB
+/// at a million users), so the engine skips it and placements densify
+/// just their candidate sets through each worker's fixed
+/// [`dosn_interval::DensePool`], keeping peak memory O(largest candidate
+/// set), not O(population). Both paths build bit-identical bitmaps, so
+/// results do not depend on which side of the threshold a run falls.
+pub const DENSE_CACHE_MAX_USERS: usize = 50_000;
 
 /// Wall-clock accounting of one (model, policy) pair across a sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +99,15 @@ impl TimingEntry {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepTiming {
     entries: Vec<TimingEntry>,
+    /// Peak resident set size of the whole process, if the platform
+    /// reports one (`VmHWM` on Linux).
+    peak_rss_bytes: Option<u64>,
+    /// Largest candidate-bitmap pool any worker grew while placing
+    /// without the population-wide dense cache; zero when every dense
+    /// placement hit the cache.
+    dense_pool_high_water: usize,
+    /// Total heap bytes held by the workers' candidate-bitmap pools.
+    dense_pool_bytes: usize,
 }
 
 impl SweepTiming {
@@ -108,9 +131,35 @@ impl SweepTiming {
         }
     }
 
+    /// Folds the end-of-run resource observations in.
+    fn note_resources(&mut self, peak_rss: Option<u64>, pool_high_water: usize, pool_bytes: usize) {
+        self.peak_rss_bytes = peak_rss;
+        self.dense_pool_high_water = self.dense_pool_high_water.max(pool_high_water);
+        self.dense_pool_bytes = self.dense_pool_bytes.max(pool_bytes);
+    }
+
     /// The entries, in first-evaluation order.
     pub fn entries(&self) -> &[TimingEntry] {
         &self.entries
+    }
+
+    /// Peak resident set size of the process over the sweep, when the
+    /// platform reports one.
+    pub fn peak_rss_bytes(&self) -> Option<u64> {
+        self.peak_rss_bytes
+    }
+
+    /// The largest number of candidate bitmaps any single placement
+    /// densified into a worker's pool (zero when the population-wide
+    /// dense cache served every dense placement).
+    pub fn dense_pool_high_water(&self) -> usize {
+        self.dense_pool_high_water
+    }
+
+    /// Total heap bytes held by the workers' candidate-bitmap pools at
+    /// the end of the sweep.
+    pub fn dense_pool_bytes(&self) -> usize {
+        self.dense_pool_bytes
     }
 
     /// A human-readable table: one line per (model, policy) with wall
@@ -127,6 +176,17 @@ impl SweepTiming {
                 e.users_per_sec()
             ));
         }
+        if let Some(rss) = self.peak_rss_bytes {
+            out.push_str(&format!(
+                "peak_rss_mb\t{:.1}\n",
+                rss as f64 / (1024.0 * 1024.0)
+            ));
+        }
+        out.push_str(&format!(
+            "dense_pool_high_water\t{}\ndense_pool_kb\t{:.1}\n",
+            self.dense_pool_high_water,
+            self.dense_pool_bytes as f64 / 1024.0
+        ));
         out
     }
 }
@@ -228,14 +288,19 @@ impl SweepPlan {
     }
 
     /// Executes the plan and returns the result table.
-    pub fn run(&self, dataset: &Dataset, config: &StudyConfig) -> SweepTable {
-        self.run_timed(dataset, config).0
+    ///
+    /// Accepts any [`StudyView`] — a fully-indexed
+    /// [`Dataset`](dosn_trace::Dataset) coerces implicitly, and a
+    /// [`ScaleDataset`](dosn_trace::ScaleDataset) runs the same plan
+    /// memory-bounded at million-user scale.
+    pub fn run(&self, view: &dyn StudyView, config: &StudyConfig) -> SweepTable {
+        self.run_timed(view, config).0
     }
 
     /// [`SweepPlan::run`] plus wall-clock accounting per (model, policy).
-    pub fn run_timed(&self, dataset: &Dataset, config: &StudyConfig) -> (SweepTable, SweepTiming) {
+    pub fn run_timed(&self, view: &dyn StudyView, config: &StudyConfig) -> (SweepTable, SweepTiming) {
         let mut timing = SweepTiming::default();
-        let per_point = self.run_cells(dataset, config, &mut timing);
+        let per_point = self.run_cells(view, config, &mut timing);
         let mut rows = Vec::new();
         for (pi, &policy) in self.policies.iter().enumerate() {
             for (point, cells) in self.points.iter().zip(&per_point) {
@@ -254,7 +319,7 @@ impl SweepPlan {
     /// Aggregated cells indexed `[point][policy][budget]`.
     fn run_cells(
         &self,
-        dataset: &Dataset,
+        view: &dyn StudyView,
         config: &StudyConfig,
         timing: &mut SweepTiming,
     ) -> Vec<Vec<Vec<CellMetrics>>> {
@@ -277,9 +342,25 @@ impl SweepPlan {
             while end < self.points.len() && self.points[end].model == self.points[start].model {
                 end += 1;
             }
-            self.run_group(dataset, config, start..end, &mut per_point, timing, &pool);
+            self.run_group(view, config, start..end, &mut per_point, timing, &pool);
             start = end;
         }
+        // Resource accounting: how big the pooled dense path grew (zero
+        // when the population-wide cache served everything) and how high
+        // the process's memory high-water mark sits.
+        let workspaces = pool
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let high_water = workspaces
+            .iter()
+            .map(|w| w.placement.dense_pool_high_water())
+            .max()
+            .unwrap_or(0);
+        let pool_bytes = workspaces
+            .iter()
+            .map(|w| w.placement.dense_pool_bytes())
+            .sum();
+        timing.note_resources(crate::timing::peak_rss_bytes(), high_water, pool_bytes);
         per_point
     }
 
@@ -292,7 +373,7 @@ impl SweepPlan {
     /// schedule draw and the same per-(repetition, user) RNG either way.
     fn run_group(
         &self,
-        dataset: &Dataset,
+        view: &dyn StudyView,
         config: &StudyConfig,
         range: std::ops::Range<usize>,
         per_point: &mut [Vec<Vec<CellMetrics>>],
@@ -315,13 +396,18 @@ impl SweepPlan {
             return;
         };
         let model_label = model.label();
-        // The MaxAv activity cover computes on bitmap schedules;
-        // materialize them on the draw thread so the conversion happens
-        // exactly once per draw, before any worker runs.
+        // The MaxAv activity cover computes on bitmap schedules. At
+        // study scale, materialize the population-wide cache on the draw
+        // thread so the conversion happens exactly once per draw, before
+        // any worker runs. Past the config's dense-cache limit (default
+        // [`DENSE_CACHE_MAX_USERS`]) the cache is skipped — workers
+        // densify just their candidate sets through the workspace bitmap
+        // pool, keeping memory bounded.
         let needs_dense = self
             .policies
             .iter()
-            .any(|&p| matches!(p, PolicyKind::MaxAvOnDemandActivity));
+            .any(|&p| matches!(p, PolicyKind::MaxAvOnDemandActivity))
+            && view.user_count() <= config.dense_cache_limit();
         // Schedules are global per repetition: one draw of everyone's
         // online times, shared by every point, policy, and budget of the
         // group (the seed derivation is policy- and point-free, so this
@@ -331,7 +417,7 @@ impl SweepPlan {
         // so the prefetch is invisible to the results.
         let draw = |rep: usize| {
             let mut model_rng = StdRng::seed_from_u64(derive_seed(config.seed(), rep, usize::MAX));
-            let schedules = model.build().schedules(dataset, &mut model_rng);
+            let schedules = model.build().schedules_from(view, &mut model_rng);
             if needs_dense {
                 schedules.dense_all();
             }
@@ -364,7 +450,7 @@ impl SweepPlan {
                     let demands: Vec<DaySchedule> = point
                         .users
                         .iter()
-                        .map(|&u| schedules.union_of(dataset.replica_candidates(u).iter().copied()))
+                        .map(|&u| schedules.union_of(view.replica_candidates(u).iter().copied()))
                         .collect();
                     let cells_per_policy = &mut per_point[range.start + offset];
                     for (cells, &policy) in cells_per_policy.iter_mut().zip(&self.policies) {
@@ -373,7 +459,7 @@ impl SweepPlan {
                         }
                         let watch = crate::timing::Stopwatch::start();
                         let rows = evaluate_policy_users(
-                            dataset,
+                            view,
                             &schedules,
                             &demands,
                             policy,
@@ -421,7 +507,7 @@ struct EvalWorkspace {
 /// fold them in user order regardless of which thread produced them.
 #[allow(clippy::too_many_arguments)]
 fn evaluate_policy_users(
-    dataset: &Dataset,
+    view: &dyn StudyView,
     schedules: &OnlineSchedules,
     demands: &[DaySchedule],
     policy: PolicyKind,
@@ -458,7 +544,7 @@ fn evaluate_policy_users(
                             user.index(),
                         ));
                         built_policy.place_in(
-                            dataset,
+                            view,
                             schedules,
                             user,
                             max_budget,
@@ -469,7 +555,7 @@ fn evaluate_policy_users(
                         );
                         let mut metrics = Vec::with_capacity(budgets.len());
                         evaluate_prefixes_in(
-                            dataset,
+                            view,
                             schedules,
                             user,
                             &ws.replicas,
@@ -513,7 +599,7 @@ fn evaluate_policy_users(
 mod tests {
     use super::*;
     use crate::results::MetricKind;
-    use dosn_trace::synth;
+    use dosn_trace::{synth, Dataset};
 
     fn dataset() -> Dataset {
         synth::facebook_like(250, 17).unwrap()

@@ -3,7 +3,7 @@ use dosn_metrics::{availability, on_demand_activity, on_demand_time, update_prop
 use dosn_onlinetime::OnlineSchedules;
 use dosn_replication::{Connectivity, ReplicaPolicy};
 use dosn_socialgraph::UserId;
-use dosn_trace::Dataset;
+use dosn_trace::{Dataset, StudyView};
 use rand::RngCore;
 
 use crate::replay::simulate_update;
@@ -223,7 +223,7 @@ struct ReplaySample {
 impl<'a, 's> PrefixEvaluator<'a, 's> {
     #[allow(clippy::too_many_arguments)]
     fn new(
-        dataset: &Dataset,
+        view: &dyn StudyView,
         schedules: &'a OnlineSchedules,
         user: UserId,
         include_owner: bool,
@@ -242,18 +242,21 @@ impl<'a, 's> PrefixEvaluator<'a, 's> {
         let demand: std::borrow::Cow<'a, DaySchedule> = match demand {
             Some(d) => std::borrow::Cow::Borrowed(d),
             None => std::borrow::Cow::Owned(
-                schedules.union_of(dataset.replica_candidates(user).iter().copied()),
+                schedules.union_of(view.replica_candidates(user).iter().copied()),
             ),
         };
         let demand_secs = demand.online_seconds();
         scratch.uncovered.clear();
         let mut total_activities = 0;
-        for a in dataset.received_activities(user) {
-            total_activities += 1;
-            let tod = a.timestamp().time_of_day();
-            if !scratch.cover.contains(tod) {
-                scratch.uncovered.push(tod);
-            }
+        {
+            let cover = &scratch.cover;
+            let uncovered = &mut scratch.uncovered;
+            view.for_each_received(user, &mut |_creator, tod| {
+                total_activities += 1;
+                if !cover.contains(tod) {
+                    uncovered.push(tod);
+                }
+            });
         }
         scratch.co_len = 0;
         scratch.edges.clear();
@@ -525,7 +528,7 @@ impl<'a, 's> PrefixEvaluator<'a, 's> {
 ///
 /// Panics if `budgets` is not sorted ascending.
 pub fn evaluate_prefixes(
-    dataset: &Dataset,
+    view: &dyn StudyView,
     schedules: &OnlineSchedules,
     user: UserId,
     placement: &[UserId],
@@ -535,7 +538,7 @@ pub fn evaluate_prefixes(
     let mut scratch = PrefixScratch::default();
     let mut out = Vec::with_capacity(budgets.len());
     evaluate_prefixes_in(
-        dataset,
+        view,
         schedules,
         user,
         placement,
@@ -558,7 +561,7 @@ pub fn evaluate_prefixes(
 /// entry appended per budget).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_prefixes_in(
-    dataset: &Dataset,
+    view: &dyn StudyView,
     schedules: &OnlineSchedules,
     user: UserId,
     placement: &[UserId],
@@ -574,7 +577,7 @@ pub(crate) fn evaluate_prefixes_in(
         "budgets must be sorted ascending"
     );
     let mut eval = PrefixEvaluator::new(
-        dataset,
+        view,
         schedules,
         user,
         include_owner,

@@ -60,7 +60,7 @@ pub mod sweep;
 pub mod timing;
 
 pub use config::StudyConfig;
-pub use engine::{SweepPlan, SweepPoint, SweepTiming, TimingEntry};
+pub use engine::{SweepPlan, SweepPoint, SweepTiming, TimingEntry, DENSE_CACHE_MAX_USERS};
 pub use experiment::{evaluate_prefixes, evaluate_replica_set, evaluate_user, UserMetrics};
 pub use kinds::{ModelKind, PolicyKind};
 pub use results::{MetricKind, SweepRow, SweepTable};
@@ -78,7 +78,7 @@ pub mod prelude {
     };
     pub use dosn_replication::{Connectivity, MaxAv, MostActive, Random, ReplicaPolicy};
     pub use dosn_socialgraph::UserId;
-    pub use dosn_trace::{synth, Dataset};
+    pub use dosn_trace::{synth, Dataset, ScaleDataset, StudyView};
 }
 
 #[doc(hidden)]

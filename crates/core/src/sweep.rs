@@ -23,7 +23,7 @@
 //! per (model, policy) pair — the data behind the CLI's `--timing` flag.
 
 use dosn_socialgraph::UserId;
-use dosn_trace::Dataset;
+use dosn_trace::StudyView;
 
 use crate::config::StudyConfig;
 use crate::engine::{SweepPlan, SweepPoint};
@@ -37,7 +37,12 @@ pub use crate::engine::{SweepTiming, TimingEntry};
 ///
 /// `users` selects who is studied; the paper uses all users of the
 /// dataset's modal degree (10), i.e.
-/// [`Dataset::users_with_degree`].
+/// [`StudyView::users_with_degree`].
+///
+/// All sweeps take any [`StudyView`]: a fully-indexed
+/// [`Dataset`](dosn_trace::Dataset) coerces implicitly, and a
+/// [`ScaleDataset`](dosn_trace::ScaleDataset) runs the same sweep
+/// memory-bounded at million-user scale.
 ///
 /// # Examples
 ///
@@ -58,7 +63,7 @@ pub use crate::engine::{SweepTiming, TimingEntry};
 /// assert_eq!(table.x_label(), "replication_degree");
 /// ```
 pub fn degree_sweep(
-    dataset: &Dataset,
+    dataset: &dyn StudyView,
     model: ModelKind,
     policies: &[PolicyKind],
     users: &[UserId],
@@ -70,7 +75,7 @@ pub fn degree_sweep(
 
 /// [`degree_sweep`] plus wall-clock accounting per (model, policy).
 pub fn degree_sweep_timed(
-    dataset: &Dataset,
+    dataset: &dyn StudyView,
     model: ModelKind,
     policies: &[PolicyKind],
     users: &[UserId],
@@ -92,7 +97,7 @@ pub fn degree_sweep_timed(
 /// the sweep behind Fig. 8 (the paper fixes degree 3 and sweeps 100 s to
 /// 100 000 s on a log axis).
 pub fn session_length_sweep(
-    dataset: &Dataset,
+    dataset: &dyn StudyView,
     session_lengths: &[u32],
     policies: &[PolicyKind],
     users: &[UserId],
@@ -113,7 +118,7 @@ pub fn session_length_sweep(
 /// [`session_length_sweep`] plus wall-clock accounting per (model,
 /// policy).
 pub fn session_length_sweep_timed(
-    dataset: &Dataset,
+    dataset: &dyn StudyView,
     session_lengths: &[u32],
     policies: &[PolicyKind],
     users: &[UserId],
@@ -142,7 +147,7 @@ pub fn session_length_sweep_timed(
 /// For each degree `d` in `1..=max_user_degree`, all users with exactly
 /// `d` candidates are studied with a budget of `d`.
 pub fn user_degree_sweep(
-    dataset: &Dataset,
+    dataset: &dyn StudyView,
     model: ModelKind,
     policies: &[PolicyKind],
     max_user_degree: usize,
@@ -153,7 +158,7 @@ pub fn user_degree_sweep(
 
 /// [`user_degree_sweep`] plus wall-clock accounting per (model, policy).
 pub fn user_degree_sweep_timed(
-    dataset: &Dataset,
+    dataset: &dyn StudyView,
     model: ModelKind,
     policies: &[PolicyKind],
     max_user_degree: usize,
@@ -179,7 +184,7 @@ pub fn user_degree_sweep_timed(
 mod tests {
     use super::*;
     use crate::results::MetricKind;
-    use dosn_trace::synth;
+    use dosn_trace::{synth, Dataset};
 
     fn dataset() -> Dataset {
         synth::facebook_like(250, 17).unwrap()

@@ -43,6 +43,25 @@ impl Stopwatch {
     }
 }
 
+/// The process's peak resident set size in bytes, when the platform
+/// reports one.
+///
+/// Reads `VmHWM` from `/proc/self/status` on Linux and returns `None`
+/// everywhere else (and on any read or parse failure). Like
+/// [`Stopwatch`], the value is observational by construction: it can
+/// only be reported alongside sweep timings, never fed back into
+/// results — which is why it lives in this one D2-allowlisted module.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,5 +73,15 @@ mod tests {
         let b = w.elapsed_secs();
         assert!(a >= 0.0);
         assert!(b >= a);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_reported_on_linux() {
+        let Some(rss) = peak_rss_bytes() else {
+            panic!("Linux reports VmHWM");
+        };
+        // Any running test process has at least a megabyte resident.
+        assert!(rss > 1 << 20, "implausible peak RSS {rss}");
     }
 }

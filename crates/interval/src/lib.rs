@@ -57,7 +57,7 @@ mod week;
 
 pub use error::IntervalError;
 pub use interval::Interval;
-pub use mask::{DenseSchedule, DenseWeekSchedule};
+pub use mask::{DensePool, DenseSchedule, DenseWeekSchedule};
 pub use schedule::{coverage_at_least, DaySchedule};
 pub use set::IntervalSet;
 pub use time::{Timestamp, SECONDS_PER_DAY, SECONDS_PER_HOUR, SECONDS_PER_MINUTE};

@@ -309,6 +309,18 @@ impl DenseSchedule {
         self.bits.copy_from_slice(&other.bits);
     }
 
+    /// Rebuilds this bitmap from a sparse schedule, reusing the
+    /// allocation. The result is identical to `DenseSchedule::from(s)` —
+    /// this is the densify step of the pooled sweep path, where
+    /// allocating a fresh ~10.8 KiB bitmap per candidate per user would
+    /// dominate the kernel.
+    pub fn assign_day_schedule(&mut self, s: &DaySchedule) {
+        self.bits.fill(0);
+        for iv in s.windows() {
+            bits::fill_range(&mut self.bits, iv.start(), iv.end());
+        }
+    }
+
     /// Whether second-of-day `t` (reduced modulo the day) is online.
     pub fn contains(&self, t: u32) -> bool {
         let t = cast::usize_from(t % SECONDS_PER_DAY);
@@ -492,6 +504,74 @@ impl std::fmt::Debug for DenseSchedule {
         f.debug_struct("DenseSchedule")
             .field("online_seconds", &self.online_seconds())
             .finish()
+    }
+}
+
+/// A bounded pool of reusable [`DenseSchedule`] buffers.
+///
+/// The memory-bounded sweep path densifies only the schedules one
+/// evaluation actually touches (a user plus their replica candidates)
+/// instead of materializing the whole population's bitmaps. Each worker
+/// owns one pool; [`DensePool::acquire`] hands back the first `n` slots,
+/// growing the pool only when a user needs more slots than any earlier
+/// one did. Capacity is therefore bounded by the largest candidate set —
+/// O(max degree) bitmaps per worker — independent of the user count.
+///
+/// Slots are returned *dirty*: callers overwrite them via
+/// [`DenseSchedule::assign_day_schedule`] or [`DenseSchedule::assign`],
+/// which reuse the allocation.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::{DaySchedule, DensePool};
+///
+/// # fn main() -> Result<(), dosn_interval::IntervalError> {
+/// let mut pool = DensePool::new();
+/// let sparse = DaySchedule::window_wrapping(100, 50)?;
+/// let slots = pool.acquire(3);
+/// slots[0].assign_day_schedule(&sparse);
+/// assert_eq!(slots[0].online_seconds(), 50);
+/// pool.acquire(2); // reuses existing slots
+/// assert_eq!(pool.high_water(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct DensePool {
+    slots: Vec<DenseSchedule>,
+    high_water: usize,
+}
+
+impl DensePool {
+    /// Creates an empty pool; slots are allocated on first acquire.
+    pub fn new() -> Self {
+        DensePool::default()
+    }
+
+    /// The first `n` slots, growing the pool if it has never been that
+    /// large. Slot contents are whatever the previous acquire left there.
+    pub fn acquire(&mut self, n: usize) -> &mut [DenseSchedule] {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, DenseSchedule::new);
+        }
+        self.high_water = self.high_water.max(n);
+        &mut self.slots[..n]
+    }
+
+    /// Number of slots currently allocated.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The largest `n` any acquire has requested.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Heap bytes held by the pooled bitmaps.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * DAY_WORDS * std::mem::size_of::<u64>()
     }
 }
 
@@ -959,6 +1039,45 @@ mod tests {
         assert!(DenseWeekSchedule::new().is_empty());
         assert_eq!(DenseWeekSchedule::new().max_gap(), None);
         assert_eq!(DenseWeekSchedule::new().wait_until_online(0), None);
+    }
+
+    #[test]
+    fn assign_day_schedule_matches_from() {
+        let mut s = DaySchedule::new();
+        s.insert_wrapping(86_350, 150).unwrap();
+        s.insert_wrapping(1_000, 64).unwrap();
+        let mut reused = DenseSchedule::full(); // dirty buffer
+        reused.assign_day_schedule(&s);
+        assert_eq!(reused, DenseSchedule::from(&s));
+        reused.assign_day_schedule(&DaySchedule::new());
+        assert!(reused.is_empty());
+    }
+
+    #[test]
+    fn pool_grows_to_high_water_only() {
+        let mut pool = DensePool::new();
+        assert_eq!(pool.capacity(), 0);
+        assert_eq!(pool.memory_bytes(), 0);
+        assert_eq!(pool.acquire(4).len(), 4);
+        pool.acquire(2);
+        assert_eq!(pool.capacity(), 4);
+        assert_eq!(pool.high_water(), 4);
+        pool.acquire(7);
+        assert_eq!(pool.capacity(), 7);
+        assert_eq!(pool.high_water(), 7);
+        assert_eq!(pool.memory_bytes(), 7 * DAY_WORDS * 8);
+    }
+
+    #[test]
+    fn pool_slots_keep_previous_contents_until_assigned() {
+        let mut pool = DensePool::new();
+        let sparse = DaySchedule::window_wrapping(10, 20).unwrap();
+        pool.acquire(1)[0].assign_day_schedule(&sparse);
+        // Re-acquired slot is dirty by contract…
+        assert_eq!(pool.acquire(1)[0].online_seconds(), 20);
+        // …and assign overwrites it completely.
+        pool.acquire(1)[0].assign_day_schedule(&DaySchedule::new());
+        assert!(pool.acquire(1)[0].is_empty());
     }
 
     #[test]

@@ -1,8 +1,42 @@
 use dosn_interval::{DaySchedule, SECONDS_PER_DAY, SECONDS_PER_HOUR};
-use dosn_trace::Dataset;
+use dosn_socialgraph::UserId;
+use dosn_trace::StudyView;
 use rand::{Rng, RngCore};
 
 use crate::model::{OnlineSchedules, OnlineTimeModel};
+
+/// Running circular mean over times-of-day. One accumulator backs both
+/// the iterator-based [`circular_mean_time`] and the callback-based
+/// per-user path, so the two produce bit-identical floating-point sums.
+#[derive(Debug, Default)]
+struct CircularMean {
+    sum_sin: f64,
+    sum_cos: f64,
+    any: bool,
+}
+
+impl CircularMean {
+    fn push(&mut self, t: u32) {
+        let angle = f64::from(t % SECONDS_PER_DAY) / f64::from(SECONDS_PER_DAY)
+            * std::f64::consts::TAU;
+        self.sum_sin += angle.sin();
+        self.sum_cos += angle.cos();
+        self.any = true;
+    }
+
+    fn mean(&self) -> Option<u32> {
+        if !self.any || (self.sum_sin.abs() < 1e-9 && self.sum_cos.abs() < 1e-9) {
+            return None;
+        }
+        let mean_angle = self
+            .sum_sin
+            .atan2(self.sum_cos)
+            .rem_euclid(std::f64::consts::TAU);
+        let secs =
+            (mean_angle / std::f64::consts::TAU * f64::from(SECONDS_PER_DAY)).round() as u32;
+        Some(secs.min(SECONDS_PER_DAY - 1))
+    }
+}
 
 /// The circular mean of a collection of times-of-day, in seconds.
 ///
@@ -26,40 +60,30 @@ pub fn circular_mean_time<I>(times: I) -> Option<u32>
 where
     I: IntoIterator<Item = u32>,
 {
-    let mut sum_sin = 0.0f64;
-    let mut sum_cos = 0.0f64;
-    let mut any = false;
+    let mut acc = CircularMean::default();
     for t in times {
-        let angle = f64::from(t % SECONDS_PER_DAY) / f64::from(SECONDS_PER_DAY)
-            * std::f64::consts::TAU;
-        sum_sin += angle.sin();
-        sum_cos += angle.cos();
-        any = true;
+        acc.push(t);
     }
-    if !any || (sum_sin.abs() < 1e-9 && sum_cos.abs() < 1e-9) {
-        return None;
-    }
-    let mean_angle = sum_sin.atan2(sum_cos).rem_euclid(std::f64::consts::TAU);
-    let secs = (mean_angle / std::f64::consts::TAU * f64::from(SECONDS_PER_DAY)).round() as u32;
-    Some(secs.min(SECONDS_PER_DAY - 1))
+    acc.mean()
 }
 
 /// Builds the daily window of `len_secs` seconds centered on the user's
 /// activity mass; users with no usable center get a random one.
-fn centered_window(
-    dataset: &Dataset,
-    user: dosn_socialgraph::UserId,
+pub(crate) fn centered_window(
+    view: &dyn StudyView,
+    user: UserId,
     len_secs: u32,
     rng: &mut dyn RngCore,
 ) -> DaySchedule {
-    let center = circular_mean_time(
-        dataset
-            .created_activities(user)
-            .map(|a| a.timestamp().time_of_day()),
-    )
-    .unwrap_or_else(|| rng.gen_range(0..SECONDS_PER_DAY));
-    DaySchedule::window_centered(center, len_secs.clamp(1, SECONDS_PER_DAY))
-        .expect("window parameters validated")
+    let mut acc = CircularMean::default();
+    view.for_each_created_tod(user, &mut |tod| acc.push(tod));
+    let center = acc
+        .mean()
+        .unwrap_or_else(|| rng.gen_range(0..SECONDS_PER_DAY));
+    match DaySchedule::window_centered(center, len_secs.clamp(1, SECONDS_PER_DAY)) {
+        Ok(w) => w,
+        Err(e) => panic!("window parameters validated: {e}"),
+    }
 }
 
 /// The paper's *Continuous – Fixed Length* model: every user is online
@@ -109,10 +133,9 @@ impl OnlineTimeModel for FixedLength {
         "fixed-length"
     }
 
-    fn schedules(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> OnlineSchedules {
-        let schedules = dataset
-            .users()
-            .map(|u| centered_window(dataset, u, self.window_secs, rng))
+    fn schedules_from(&self, view: &dyn StudyView, rng: &mut dyn RngCore) -> OnlineSchedules {
+        let schedules = (0..view.user_count())
+            .map(|u| centered_window(view, UserId::from_index(u), self.window_secs, rng))
             .collect();
         OnlineSchedules::new(schedules)
     }
@@ -166,12 +189,11 @@ impl OnlineTimeModel for RandomLength {
         "random-length"
     }
 
-    fn schedules(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> OnlineSchedules {
-        let schedules = dataset
-            .users()
+    fn schedules_from(&self, view: &dyn StudyView, rng: &mut dyn RngCore) -> OnlineSchedules {
+        let schedules = (0..view.user_count())
             .map(|u| {
                 let len = rng.gen_range(self.min_secs..=self.max_secs);
-                centered_window(dataset, u, len, rng)
+                centered_window(view, UserId::from_index(u), len, rng)
             })
             .collect();
         OnlineSchedules::new(schedules)
@@ -183,7 +205,7 @@ mod tests {
     use super::*;
     use dosn_interval::Timestamp;
     use dosn_socialgraph::{GraphBuilder, UserId};
-    use dosn_trace::Activity;
+    use dosn_trace::{Activity, Dataset};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -1,8 +1,9 @@
-use dosn_interval::{DaySchedule, SECONDS_PER_DAY};
-use dosn_trace::Dataset;
+use dosn_interval::SECONDS_PER_DAY;
+use dosn_socialgraph::UserId;
+use dosn_trace::StudyView;
 use rand::{Rng, RngCore};
 
-use crate::continuous::circular_mean_time;
+use crate::continuous::centered_window;
 use crate::model::{OnlineSchedules, OnlineTimeModel};
 
 /// The paper's proposed delay mitigation, made concrete: "the
@@ -68,25 +69,18 @@ impl<M: OnlineTimeModel> OnlineTimeModel for WithCoreGroup<M> {
         "core-group"
     }
 
-    fn schedules(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> OnlineSchedules {
-        let base = self.base.schedules(dataset, rng);
-        let schedules = dataset
-            .users()
+    fn schedules_from(&self, view: &dyn StudyView, rng: &mut dyn RngCore) -> OnlineSchedules {
+        let base = self.base.schedules_from(view, rng);
+        let schedules = (0..view.user_count())
             .map(|u| {
+                let u = UserId::from_index(u);
                 let sched = base.schedule(u).clone();
                 if rng.gen::<f64>() >= self.fraction {
                     return sched;
                 }
                 // Core member: add a long window centered on their usual
                 // activity time (or a random spot for silent users).
-                let center = circular_mean_time(
-                    dataset
-                        .created_activities(u)
-                        .map(|a| a.timestamp().time_of_day()),
-                )
-                .unwrap_or_else(|| rng.gen_range(0..SECONDS_PER_DAY));
-                let window = DaySchedule::window_centered(center, self.window_secs)
-                    .expect("window parameters validated");
+                let window = centered_window(view, u, self.window_secs, rng);
                 sched.union(&window)
             })
             .collect();
@@ -98,7 +92,7 @@ impl<M: OnlineTimeModel> OnlineTimeModel for WithCoreGroup<M> {
 mod tests {
     use super::*;
     use crate::sporadic::Sporadic;
-    use dosn_trace::synth;
+    use dosn_trace::{synth, Dataset};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

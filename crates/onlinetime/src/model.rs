@@ -1,6 +1,6 @@
 use dosn_interval::{DaySchedule, DenseSchedule};
 use dosn_socialgraph::UserId;
-use dosn_trace::Dataset;
+use dosn_trace::{Dataset, StudyView};
 use rand::RngCore;
 use std::sync::OnceLock;
 
@@ -9,14 +9,22 @@ use std::sync::OnceLock;
 ///
 /// Models receive the RNG as a trait object so the trait stays
 /// object-safe; deterministic models simply ignore it. Given the same
-/// dataset and RNG state, a model must produce the same schedules.
+/// trace view and RNG state, a model must produce the same schedules.
 pub trait OnlineTimeModel {
     /// Short machine-readable name, e.g. `"sporadic"`, used in result
     /// tables.
     fn name(&self) -> &'static str;
 
+    /// Computes the per-user schedules from any trace view — a fully
+    /// materialized [`Dataset`] or a compact sharded one. Implementations
+    /// must draw from `rng` in the same order regardless of the concrete
+    /// view, so both paths produce identical schedules.
+    fn schedules_from(&self, view: &dyn StudyView, rng: &mut dyn RngCore) -> OnlineSchedules;
+
     /// Computes the per-user schedules for `dataset`.
-    fn schedules(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> OnlineSchedules;
+    fn schedules(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> OnlineSchedules {
+        self.schedules_from(dataset, rng)
+    }
 }
 
 impl std::fmt::Debug for dyn OnlineTimeModel + '_ {
@@ -144,6 +152,15 @@ impl OnlineSchedules {
             .get_or_init(|| self.schedules.iter().map(DenseSchedule::from).collect())
     }
 
+    /// The shared dense cache if it has already been materialized, else
+    /// `None` — never triggers materialization. At large scale the engine
+    /// skips [`OnlineSchedules::dense_all`] (the full bitmap population
+    /// costs ~10.8 KB per user) and consumers fall back to densifying
+    /// just the schedules they need into pooled buffers.
+    pub fn dense_cached(&self) -> Option<&[DenseSchedule]> {
+        self.dense.get().map(Vec::as_slice)
+    }
+
     /// Iterates over `(user, schedule)` pairs.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (UserId, &DaySchedule)> + '_ {
         self.schedules
@@ -194,13 +211,16 @@ mod tests {
     #[test]
     fn dense_cache_matches_sparse_and_survives_clone() {
         let s = OnlineSchedules::new(vec![window(0, 100), window(86_300, 200)]);
+        assert!(s.dense_cached().is_none(), "cache must start cold");
         for (u, sparse) in s.iter() {
             assert_eq!(s.dense(u).online_seconds(), sparse.online_seconds());
             assert_eq!(s.dense(u).to_day_schedule(), *sparse);
         }
         assert_eq!(s.dense_all().len(), s.user_count());
+        assert_eq!(s.dense_cached().map(<[_]>::len), Some(s.user_count()));
         // Equality and clones ignore the cache.
         let cloned = s.clone();
+        assert!(cloned.dense_cached().is_none());
         assert_eq!(cloned, s);
         assert_eq!(cloned.dense(UserId::new(1)).online_seconds(), 200);
     }

@@ -1,5 +1,6 @@
 use dosn_interval::{DaySchedule, SECONDS_PER_DAY};
-use dosn_trace::Dataset;
+use dosn_socialgraph::UserId;
+use dosn_trace::StudyView;
 use rand::{Rng, RngCore};
 
 use crate::model::{OnlineSchedules, OnlineTimeModel};
@@ -56,25 +57,23 @@ impl OnlineTimeModel for Sporadic {
         "sporadic"
     }
 
-    fn schedules(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> OnlineSchedules {
+    fn schedules_from(&self, view: &dyn StudyView, rng: &mut dyn RngCore) -> OnlineSchedules {
         let len = self.session_len_secs;
-        let schedules = dataset
-            .users()
-            .map(|u| {
-                let mut s = DaySchedule::new();
-                for a in dataset.created_activities(u) {
-                    let tod = a.timestamp().time_of_day();
-                    // The activity sits at a uniform point inside the
-                    // session: offset in [0, len).
-                    let offset = rng.gen_range(0..len);
-                    let start = (tod + SECONDS_PER_DAY - offset % SECONDS_PER_DAY)
-                        % SECONDS_PER_DAY;
-                    s.insert_wrapping(start, len)
-                        .expect("session parameters validated");
+        let mut schedules = Vec::with_capacity(view.user_count());
+        for u in 0..view.user_count() {
+            let mut s = DaySchedule::new();
+            view.for_each_created_tod(UserId::from_index(u), &mut |tod| {
+                // The activity sits at a uniform point inside the
+                // session: offset in [0, len).
+                let offset = rng.gen_range(0..len);
+                let start =
+                    (tod + SECONDS_PER_DAY - offset % SECONDS_PER_DAY) % SECONDS_PER_DAY;
+                if let Err(e) = s.insert_wrapping(start, len) {
+                    panic!("session parameters validated: {e}");
                 }
-                s
-            })
-            .collect();
+            });
+            schedules.push(s);
+        }
         OnlineSchedules::new(schedules)
     }
 }
@@ -84,7 +83,7 @@ mod tests {
     use super::*;
     use dosn_interval::Timestamp;
     use dosn_socialgraph::{GraphBuilder, UserId};
-    use dosn_trace::Activity;
+    use dosn_trace::{Activity, Dataset};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

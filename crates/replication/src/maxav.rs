@@ -1,11 +1,13 @@
 use dosn_interval::DenseSchedule;
 use dosn_onlinetime::OnlineSchedules;
 use dosn_socialgraph::UserId;
-use dosn_trace::Dataset;
+use dosn_trace::StudyView;
 use rand::RngCore;
 
 use crate::policy::{Connectivity, ReplicaPolicy};
-use crate::set_cover::{greedy_cover_constrained_dense_with, greedy_cover_constrained_with};
+use crate::set_cover::{
+    greedy_cover_constrained_dense_with, greedy_cover_constrained_with, CoverScratch, CoverStep,
+};
 use crate::workspace::PlacementWorkspace;
 
 /// What the MaxAv greedy cover tries to maximize.
@@ -95,7 +97,7 @@ impl ReplicaPolicy for MaxAv {
 
     fn place(
         &self,
-        dataset: &Dataset,
+        view: &dyn StudyView,
         schedules: &OnlineSchedules,
         user: UserId,
         max_replicas: usize,
@@ -105,7 +107,7 @@ impl ReplicaPolicy for MaxAv {
         let mut ws = PlacementWorkspace::new();
         let mut out = Vec::new();
         self.place_in(
-            dataset,
+            view,
             schedules,
             user,
             max_replicas,
@@ -119,7 +121,7 @@ impl ReplicaPolicy for MaxAv {
 
     fn place_in(
         &self,
-        dataset: &Dataset,
+        view: &dyn StudyView,
         schedules: &OnlineSchedules,
         user: UserId,
         max_replicas: usize,
@@ -129,7 +131,7 @@ impl ReplicaPolicy for MaxAv {
         out: &mut Vec<UserId>,
     ) {
         out.clear();
-        let candidates = dataset.replica_candidates(user);
+        let candidates = view.replica_candidates(user);
         if candidates.is_empty() || max_replicas == 0 {
             return;
         }
@@ -179,37 +181,76 @@ impl ReplicaPolicy for MaxAv {
             // fragment into thousands of intervals, where the dense
             // bitmap's word-level and-popcounts win.
             CoverageObjective::OnDemandActivity => {
-                let universe = ws.dense_universe.get_or_insert_with(DenseSchedule::new);
+                let PlacementWorkspace {
+                    cover,
+                    dense_universe,
+                    dense_pool,
+                    ..
+                } = ws;
+                let universe = dense_universe.get_or_insert_with(DenseSchedule::new);
                 universe.clear();
-                for a in dataset.received_activities(user) {
-                    universe.set_wrapping(a.timestamp().time_of_day(), 1);
-                }
-                let subset = |i: usize| schedules.dense(candidates[i]);
-                let steps = match connectivity {
-                    Connectivity::UnconRep => greedy_cover_constrained_dense_with(
-                        &mut ws.cover,
+                view.for_each_received(user, &mut |_creator, tod| {
+                    universe.set_wrapping(tod, 1);
+                });
+                // Candidate bitmaps come from the population-wide cache
+                // when the engine has materialized it; at large scale
+                // that cache is skipped (10.8 KiB per user) and the few
+                // candidates this evaluation touches are densified into
+                // the worker's bounded pool instead.
+                let steps = if let Some(dense_all) = schedules.dense_cached() {
+                    cover_dense(
+                        cover,
                         universe,
                         candidates.len(),
-                        subset,
+                        |i| &dense_all[candidates[i].index()],
                         max_replicas,
-                        |_, _| true,
-                    ),
-                    Connectivity::ConRep => greedy_cover_constrained_dense_with(
-                        &mut ws.cover,
+                        connectivity,
+                    )
+                } else {
+                    let slots = dense_pool.acquire(candidates.len());
+                    for (slot, &c) in slots.iter_mut().zip(candidates) {
+                        slot.assign_day_schedule(schedules.schedule(c));
+                    }
+                    let slots: &[DenseSchedule] = slots;
+                    cover_dense(
+                        cover,
                         universe,
                         candidates.len(),
-                        subset,
+                        |i| &slots[i],
                         max_replicas,
-                        |chosen, i| {
-                            chosen.is_empty()
-                                || chosen
-                                    .iter()
-                                    .any(|step| subset(step.subset).is_connected_to(subset(i)))
-                        },
-                    ),
+                        connectivity,
+                    )
                 };
                 out.extend(steps.iter().map(|s| candidates[s.subset]));
             }
+        }
+    }
+}
+
+/// Runs the dense greedy cover under the given connectivity mode; the
+/// admissibility rule is the only difference between the two modes.
+fn cover_dense<'s, 'a, G>(
+    scratch: &'s mut CoverScratch,
+    universe: &DenseSchedule,
+    n: usize,
+    subset: G,
+    k: usize,
+    connectivity: Connectivity,
+) -> &'s [CoverStep]
+where
+    G: Fn(usize) -> &'a DenseSchedule + Copy,
+{
+    match connectivity {
+        Connectivity::UnconRep => {
+            greedy_cover_constrained_dense_with(scratch, universe, n, subset, k, |_, _| true)
+        }
+        Connectivity::ConRep => {
+            greedy_cover_constrained_dense_with(scratch, universe, n, subset, k, |chosen, i| {
+                chosen.is_empty()
+                    || chosen
+                        .iter()
+                        .any(|step| subset(step.subset).is_connected_to(subset(i)))
+            })
         }
     }
 }
@@ -220,7 +261,7 @@ mod tests {
     use crate::connectivity::is_time_connected_component;
     use dosn_interval::{DaySchedule, Timestamp};
     use dosn_socialgraph::GraphBuilder;
-    use dosn_trace::Activity;
+    use dosn_trace::{Activity, Dataset};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -1,6 +1,6 @@
 use dosn_onlinetime::OnlineSchedules;
 use dosn_socialgraph::UserId;
-use dosn_trace::Dataset;
+use dosn_trace::StudyView;
 use rand::{Rng, RngCore};
 
 use crate::policy::{Connectivity, ReplicaPolicy};
@@ -36,13 +36,13 @@ impl MostActive {
     /// `out`); zero-activity candidates appended in random order.
     fn ranked_into(
         &self,
-        dataset: &Dataset,
+        view: &dyn StudyView,
         user: UserId,
         rng: &mut dyn RngCore,
         out: &mut Vec<UserId>,
     ) {
         out.clear();
-        let mut counts = dataset.interaction_counts(user);
+        let mut counts = view.interaction_counts(user);
         // Active candidates: by count descending, id ascending for
         // determinism.
         let mut active: Vec<(UserId, usize)> =
@@ -95,7 +95,7 @@ impl ReplicaPolicy for MostActive {
 
     fn place(
         &self,
-        dataset: &Dataset,
+        view: &dyn StudyView,
         schedules: &OnlineSchedules,
         user: UserId,
         max_replicas: usize,
@@ -105,7 +105,7 @@ impl ReplicaPolicy for MostActive {
         let mut ws = PlacementWorkspace::new();
         let mut out = Vec::new();
         self.place_in(
-            dataset,
+            view,
             schedules,
             user,
             max_replicas,
@@ -119,7 +119,7 @@ impl ReplicaPolicy for MostActive {
 
     fn place_in(
         &self,
-        dataset: &Dataset,
+        view: &dyn StudyView,
         schedules: &OnlineSchedules,
         user: UserId,
         max_replicas: usize,
@@ -132,7 +132,7 @@ impl ReplicaPolicy for MostActive {
         if max_replicas == 0 {
             return;
         }
-        self.ranked_into(dataset, user, rng, &mut ws.ranked);
+        self.ranked_into(view, user, rng, &mut ws.ranked);
         take_with_connectivity(&ws.ranked, schedules, max_replicas, connectivity, out);
     }
 }
@@ -142,7 +142,7 @@ mod tests {
     use super::*;
     use dosn_interval::{DaySchedule, Timestamp};
     use dosn_socialgraph::GraphBuilder;
-    use dosn_trace::Activity;
+    use dosn_trace::{Activity, Dataset};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

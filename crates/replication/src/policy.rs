@@ -1,6 +1,6 @@
 use dosn_onlinetime::OnlineSchedules;
 use dosn_socialgraph::UserId;
-use dosn_trace::Dataset;
+use dosn_trace::StudyView;
 use rand::RngCore;
 
 use crate::workspace::PlacementWorkspace;
@@ -41,13 +41,15 @@ impl std::fmt::Display for Connectivity {
 ///
 /// Implementations must:
 ///
-/// * return a subset of `dataset.replica_candidates(user)` with no
+/// * return a subset of `view.replica_candidates(user)` with no
 ///   duplicates, never including `user` itself;
 /// * under [`Connectivity::ConRep`], return a set in which every replica
 ///   overlaps in time with at least one other chosen replica (a chain
 ///   built by construction), which may mean returning *fewer* than
 ///   `max_replicas` hosts;
-/// * be deterministic given the dataset, schedules and RNG state.
+/// * be deterministic given the trace view, schedules and RNG state —
+///   and view-agnostic: any two views reporting the same candidates and
+///   activities must yield the same placement.
 pub trait ReplicaPolicy {
     /// Short machine-readable name, e.g. `"maxav"`, used in result
     /// tables.
@@ -56,7 +58,7 @@ pub trait ReplicaPolicy {
     /// Chooses up to `max_replicas` replica hosts for `user`.
     fn place(
         &self,
-        dataset: &Dataset,
+        view: &dyn StudyView,
         schedules: &OnlineSchedules,
         user: UserId,
         max_replicas: usize,
@@ -77,7 +79,7 @@ pub trait ReplicaPolicy {
     #[allow(clippy::too_many_arguments)]
     fn place_in(
         &self,
-        dataset: &Dataset,
+        view: &dyn StudyView,
         schedules: &OnlineSchedules,
         user: UserId,
         max_replicas: usize,
@@ -88,7 +90,7 @@ pub trait ReplicaPolicy {
     ) {
         let _ = ws;
         out.clear();
-        out.extend(self.place(dataset, schedules, user, max_replicas, connectivity, rng));
+        out.extend(self.place(view, schedules, user, max_replicas, connectivity, rng));
     }
 }
 

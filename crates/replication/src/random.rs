@@ -1,6 +1,6 @@
 use dosn_onlinetime::OnlineSchedules;
 use dosn_socialgraph::UserId;
-use dosn_trace::Dataset;
+use dosn_trace::StudyView;
 use rand::{Rng, RngCore};
 
 use crate::most_active::take_with_connectivity;
@@ -35,7 +35,7 @@ impl ReplicaPolicy for Random {
 
     fn place(
         &self,
-        dataset: &Dataset,
+        view: &dyn StudyView,
         schedules: &OnlineSchedules,
         user: UserId,
         max_replicas: usize,
@@ -45,7 +45,7 @@ impl ReplicaPolicy for Random {
         let mut ws = PlacementWorkspace::new();
         let mut out = Vec::new();
         self.place_in(
-            dataset,
+            view,
             schedules,
             user,
             max_replicas,
@@ -59,7 +59,7 @@ impl ReplicaPolicy for Random {
 
     fn place_in(
         &self,
-        dataset: &Dataset,
+        view: &dyn StudyView,
         schedules: &OnlineSchedules,
         user: UserId,
         max_replicas: usize,
@@ -74,7 +74,7 @@ impl ReplicaPolicy for Random {
         }
         let candidates = &mut ws.ranked;
         candidates.clear();
-        candidates.extend_from_slice(dataset.replica_candidates(user));
+        candidates.extend_from_slice(view.replica_candidates(user));
         for i in (1..candidates.len()).rev() {
             candidates.swap(i, rng.gen_range(0..=i));
         }
@@ -87,6 +87,7 @@ mod tests {
     use super::*;
     use dosn_interval::DaySchedule;
     use dosn_socialgraph::GraphBuilder;
+    use dosn_trace::Dataset;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -8,7 +8,7 @@
 //! each entry point fully resets the parts it touches — so threading one
 //! through a sweep cannot change any placement.
 
-use dosn_interval::{DaySchedule, DenseSchedule};
+use dosn_interval::{DaySchedule, DensePool, DenseSchedule};
 use dosn_socialgraph::UserId;
 
 use crate::set_cover::CoverScratch;
@@ -17,7 +17,8 @@ use crate::set_cover::CoverScratch;
 /// [`ReplicaPolicy::place_in`](crate::ReplicaPolicy::place_in):
 /// greedy-cover buffers, the sparse
 /// union universe and its double-buffer partner, the dense
-/// activity-instant universe, and the ranked/shuffled candidate list the
+/// activity-instant universe, the candidate bitmap pool of the
+/// memory-bounded dense path, and the ranked/shuffled candidate list the
 /// ordering policies scan.
 #[derive(Debug, Default)]
 pub struct PlacementWorkspace {
@@ -31,6 +32,10 @@ pub struct PlacementWorkspace {
     /// Activity-instant bitmap universe; created on first
     /// on-demand-activity placement so other policies never pay for it.
     pub(crate) dense_universe: Option<DenseSchedule>,
+    /// Candidate bitmaps for dense placements when the population-wide
+    /// cache is not materialized; bounded by the largest candidate set
+    /// this worker has seen.
+    pub(crate) dense_pool: DensePool,
     /// Ranked (MostActive) or shuffled (Random) candidate buffer.
     pub(crate) ranked: Vec<UserId>,
 }
@@ -39,5 +44,17 @@ impl PlacementWorkspace {
     /// Creates an empty workspace; buffers grow on first use.
     pub fn new() -> Self {
         PlacementWorkspace::default()
+    }
+
+    /// The largest number of candidate bitmaps any single placement
+    /// densified into this workspace's pool — zero when every dense
+    /// placement hit the population-wide cache.
+    pub fn dense_pool_high_water(&self) -> usize {
+        self.dense_pool.high_water()
+    }
+
+    /// Heap bytes held by this workspace's candidate bitmap pool.
+    pub fn dense_pool_bytes(&self) -> usize {
+        self.dense_pool.memory_bytes()
     }
 }

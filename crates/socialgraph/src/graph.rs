@@ -15,10 +15,13 @@ pub enum EdgeKind {
 
 /// A compact, immutable social graph in CSR (compressed sparse row) form.
 ///
-/// Both out-adjacency and in-adjacency are materialized so that "who does
-/// `u` know" and "who knows `u`" are both `O(degree)` slice accesses; the
-/// study needs the former for Facebook friend sets and the latter for
-/// Twitter follower sets. Construct via [`GraphBuilder`].
+/// "Who does `u` know" and "who knows `u`" are both `O(degree)` slice
+/// accesses; the study needs the former for Facebook friend sets and the
+/// latter for Twitter follower sets. Offsets are `u32` (a graph holds at
+/// most `u32::MAX` directed edges) and undirected graphs store a single
+/// adjacency — in- and out-neighbor queries serve the same slices — so a
+/// million-user graph with lognormal degrees fits in a few hundred MB.
+/// Construct via [`GraphBuilder`].
 ///
 /// [`GraphBuilder`]: crate::GraphBuilder
 ///
@@ -38,21 +41,28 @@ pub enum EdgeKind {
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SocialGraph {
     kind: EdgeKind,
-    out_offsets: Vec<usize>,
+    out_offsets: Vec<u32>,
     out_targets: Vec<UserId>,
-    in_offsets: Vec<usize>,
+    /// Directed graphs only; undirected graphs leave these empty and
+    /// serve in-neighbor queries from the (symmetric) out-adjacency.
+    in_offsets: Vec<u32>,
     in_targets: Vec<UserId>,
 }
 
 impl SocialGraph {
     pub(crate) fn from_csr(
         kind: EdgeKind,
-        out_offsets: Vec<usize>,
+        out_offsets: Vec<u32>,
         out_targets: Vec<UserId>,
-        in_offsets: Vec<usize>,
+        in_offsets: Vec<u32>,
         in_targets: Vec<UserId>,
     ) -> Self {
-        debug_assert_eq!(out_offsets.len(), in_offsets.len());
+        match kind {
+            EdgeKind::Directed => debug_assert_eq!(out_offsets.len(), in_offsets.len()),
+            EdgeKind::Undirected => {
+                debug_assert!(in_offsets.is_empty() && in_targets.is_empty())
+            }
+        }
         SocialGraph {
             kind,
             out_offsets,
@@ -78,6 +88,15 @@ impl SocialGraph {
         self.out_targets.len()
     }
 
+    /// Heap bytes held by the CSR arrays — the number that must stay
+    /// bounded when the study scales to millions of users.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of_val(&self.out_offsets[..])
+            + std::mem::size_of_val(&self.out_targets[..])
+            + std::mem::size_of_val(&self.in_offsets[..])
+            + std::mem::size_of_val(&self.in_targets[..])
+    }
+
     /// Whether `node` is a valid node of this graph.
     pub fn contains(&self, node: UserId) -> bool {
         node.index() < self.node_count()
@@ -99,6 +118,10 @@ impl SocialGraph {
         }
     }
 
+    fn slice<'a>(offsets: &[u32], targets: &'a [UserId], i: usize) -> &'a [UserId] {
+        &targets[offsets[i] as usize..offsets[i + 1] as usize]
+    }
+
     /// Out-neighbors of `node`: friends (undirected) or followees
     /// (directed).
     ///
@@ -107,7 +130,10 @@ impl SocialGraph {
     /// Panics if `node` is out of range; use [`SocialGraph::try_out_neighbors`]
     /// for a fallible variant.
     pub fn out_neighbors(&self, node: UserId) -> &[UserId] {
-        self.try_out_neighbors(node).expect("node in range")
+        match self.try_out_neighbors(node) {
+            Ok(neighbors) => neighbors,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Fallible variant of [`SocialGraph::out_neighbors`].
@@ -117,8 +143,7 @@ impl SocialGraph {
     /// Returns [`GraphError::NodeOutOfRange`] for invalid nodes.
     pub fn try_out_neighbors(&self, node: UserId) -> Result<&[UserId], GraphError> {
         self.check(node)?;
-        let i = node.index();
-        Ok(&self.out_targets[self.out_offsets[i]..self.out_offsets[i + 1]])
+        Ok(Self::slice(&self.out_offsets, &self.out_targets, node.index()))
     }
 
     /// In-neighbors of `node`: friends (undirected) or followers
@@ -129,7 +154,10 @@ impl SocialGraph {
     /// Panics if `node` is out of range; use [`SocialGraph::try_in_neighbors`]
     /// for a fallible variant.
     pub fn in_neighbors(&self, node: UserId) -> &[UserId] {
-        self.try_in_neighbors(node).expect("node in range")
+        match self.try_in_neighbors(node) {
+            Ok(neighbors) => neighbors,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Fallible variant of [`SocialGraph::in_neighbors`].
@@ -139,8 +167,14 @@ impl SocialGraph {
     /// Returns [`GraphError::NodeOutOfRange`] for invalid nodes.
     pub fn try_in_neighbors(&self, node: UserId) -> Result<&[UserId], GraphError> {
         self.check(node)?;
-        let i = node.index();
-        Ok(&self.in_targets[self.in_offsets[i]..self.in_offsets[i + 1]])
+        match self.kind {
+            EdgeKind::Undirected => {
+                Ok(Self::slice(&self.out_offsets, &self.out_targets, node.index()))
+            }
+            EdgeKind::Directed => {
+                Ok(Self::slice(&self.in_offsets, &self.in_targets, node.index()))
+            }
+        }
     }
 
     /// Out-degree of `node`.
@@ -203,6 +237,14 @@ mod tests {
         }
         assert!(g.has_edge(UserId::new(0), UserId::new(1)));
         assert!(g.has_edge(UserId::new(1), UserId::new(0)));
+    }
+
+    #[test]
+    fn undirected_stores_a_single_adjacency() {
+        let g = triangle();
+        // One u32 offset array plus one target array; the in-side is
+        // served from the same storage rather than duplicated.
+        assert_eq!(g.memory_bytes(), 4 * (3 + 1) + 4 * 6);
     }
 
     #[test]

@@ -2,6 +2,7 @@ use dosn_socialgraph::{EdgeKind, GraphBuilder, SocialGraph, UserId};
 
 use crate::activity::Activity;
 use crate::error::TraceError;
+use crate::shard::TraceShards;
 use crate::stats::DatasetStats;
 
 /// A social graph together with its chronologically-sorted activity
@@ -282,6 +283,314 @@ impl Dataset {
     }
 }
 
+/// The read-only view of study inputs the sweep pipeline consumes.
+///
+/// The placement policies, online-time models, and prefix evaluator
+/// never need the full activity list — only each user's replica
+/// candidates, the times-of-day of the activities they *created* (which
+/// drive schedule inference), and the `(creator, time-of-day)` pairs of
+/// the activities they *received* (which drive the on-demand-activity
+/// metric and the MostActive ranking). Abstracting those accessors lets
+/// the engine run identically over a fully-indexed [`Dataset`] and over
+/// a compact [`ScaleDataset`] built from a streamed million-user trace.
+///
+/// Implementations must present created and received activities in
+/// chronological order (ties broken like [`Activity`]'s ordering): the
+/// randomized online-time models draw RNG values per created activity
+/// in iteration order, so presentation order is part of the
+/// reproducibility contract.
+pub trait StudyView: Sync {
+    /// The social graph under study.
+    fn graph(&self) -> &SocialGraph;
+
+    /// Number of users.
+    fn user_count(&self) -> usize {
+        self.graph().node_count()
+    }
+
+    /// The users who may host a replica of `user`'s profile: friends in
+    /// an undirected graph, followers in a directed one.
+    fn replica_candidates(&self, user: UserId) -> &[UserId] {
+        match self.graph().kind() {
+            EdgeKind::Undirected => self.graph().out_neighbors(user),
+            EdgeKind::Directed => self.graph().in_neighbors(user),
+        }
+    }
+
+    /// Calls `f` with the time-of-day of each activity `user` created,
+    /// chronologically.
+    fn for_each_created_tod(&self, user: UserId, f: &mut dyn FnMut(u32));
+
+    /// Number of activities that landed on `user`'s profile.
+    fn received_count(&self, user: UserId) -> usize;
+
+    /// Calls `f` with `(creator, time_of_day)` of each activity that
+    /// landed on `user`'s profile, chronologically.
+    fn for_each_received(&self, user: UserId, f: &mut dyn FnMut(UserId, u32));
+
+    /// For each replica candidate of `user`, how many activities that
+    /// candidate created on `user`'s profile, in candidate order.
+    fn interaction_counts(&self, user: UserId) -> Vec<(UserId, usize)> {
+        let candidates = self.replica_candidates(user);
+        let mut counts: Vec<(UserId, usize)> =
+            candidates.iter().map(|&c| (c, 0usize)).collect();
+        self.for_each_received(user, &mut |creator, _tod| {
+            // Candidate lists are sorted, so binary search is exact.
+            if let Ok(pos) = candidates.binary_search(&creator) {
+                counts[pos].1 += 1;
+            }
+        });
+        counts
+    }
+
+    /// Users whose replica-candidate count equals `degree`.
+    fn users_with_degree(&self, degree: usize) -> Vec<UserId> {
+        self.graph()
+            .nodes()
+            .filter(|&u| self.replica_candidates(u).len() == degree)
+            .collect()
+    }
+}
+
+impl StudyView for Dataset {
+    fn graph(&self) -> &SocialGraph {
+        Dataset::graph(self)
+    }
+
+    fn user_count(&self) -> usize {
+        Dataset::user_count(self)
+    }
+
+    fn replica_candidates(&self, user: UserId) -> &[UserId] {
+        Dataset::replica_candidates(self, user)
+    }
+
+    fn for_each_created_tod(&self, user: UserId, f: &mut dyn FnMut(u32)) {
+        for a in self.created_activities(user) {
+            f(a.timestamp().time_of_day());
+        }
+    }
+
+    fn received_count(&self, user: UserId) -> usize {
+        self.received_activities(user).len()
+    }
+
+    fn for_each_received(&self, user: UserId, f: &mut dyn FnMut(UserId, u32)) {
+        for a in self.received_activities(user) {
+            f(a.creator(), a.timestamp().time_of_day());
+        }
+    }
+
+    fn interaction_counts(&self, user: UserId) -> Vec<(UserId, usize)> {
+        Dataset::interaction_counts(self, user)
+    }
+
+    fn users_with_degree(&self, degree: usize) -> Vec<UserId> {
+        Dataset::users_with_degree(self, degree)
+    }
+}
+
+/// A memory-bounded study input for million-user traces, built by
+/// folding a [`TraceShards`] stream into compact u32-indexed CSR
+/// tables.
+///
+/// Where [`Dataset`] keeps every [`Activity`] (16 bytes each) plus two
+/// per-user index layers, `ScaleDataset` keeps only what the sweep
+/// consumes:
+///
+/// * per-user **created times-of-day** (one `u32` per activity) for
+///   schedule inference over the whole population, and
+/// * **received `(creator, time_of_day)` pairs for the studied users
+///   only** — the handful of users a sweep actually evaluates.
+///
+/// Each shard is folded and dropped before the next is generated, so
+/// peak memory is O(graph + created table + shard), independent of the
+/// trace's total activity count.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_trace::synth::TraceSynthesizer;
+/// use dosn_trace::{ScaleDataset, StudyView};
+///
+/// # fn main() -> Result<(), dosn_trace::TraceError> {
+/// let synth = TraceSynthesizer::new("t", 200);
+/// let shards = synth.generate_shards(42, 64)?;
+/// // Any user set works; here, every user of degree 5.
+/// let g = shards.graph();
+/// let studied: Vec<_> = g.nodes().filter(|&u| g.degree(u) == 5).collect();
+/// let scale = ScaleDataset::from_shards("t", shards, &studied);
+/// assert_eq!(scale.user_count(), 200);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScaleDataset {
+    name: String,
+    graph: SocialGraph,
+    /// CSR of created activity times-of-day over all users.
+    created_offsets: Vec<u32>,
+    created_tods: Vec<u32>,
+    /// Sorted studied users; only these answer received-activity
+    /// queries.
+    studied: Vec<UserId>,
+    /// CSR (parallel creator/tod arrays) over `studied` positions.
+    received_offsets: Vec<u32>,
+    received_creators: Vec<UserId>,
+    received_tods: Vec<u32>,
+}
+
+impl ScaleDataset {
+    /// Drains a [`TraceShards`] stream into a `ScaleDataset`, keeping
+    /// received-activity detail for `studied` users only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace exceeds `u32::MAX` activities (the u32 CSR
+    /// capacity — a 1M-user trace is two orders of magnitude under it).
+    pub fn from_shards(
+        name: impl Into<String>,
+        mut shards: TraceShards,
+        studied: &[UserId],
+    ) -> ScaleDataset {
+        let mut studied: Vec<UserId> = studied.to_vec();
+        studied.sort_unstable();
+        studied.dedup();
+
+        let n = shards.graph().node_count();
+        let mut created_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        created_offsets.push(0);
+        let mut created_tods: Vec<u32> = Vec::new();
+        let mut received: Vec<Vec<Activity>> = vec![Vec::new(); studied.len()];
+        let mut user_scratch: Vec<Activity> = Vec::new();
+
+        while let Some(shard) = shards.next_shard() {
+            let activities = shard.activities();
+            let mut i = 0;
+            for u in shard.users() {
+                let u = UserId::new(u);
+                user_scratch.clear();
+                while i < activities.len() && activities[i].creator() == u {
+                    let a = activities[i];
+                    if let Ok(pos) = studied.binary_search(&a.receiver()) {
+                        received[pos].push(a);
+                    }
+                    user_scratch.push(a);
+                    i += 1;
+                }
+                // Per-creator chronological order matches the sorted
+                // Dataset's `created_activities`: within one creator the
+                // global (timestamp, creator, receiver) order reduces to
+                // (timestamp, receiver).
+                user_scratch.sort_unstable();
+                created_tods
+                    .extend(user_scratch.iter().map(|a| a.timestamp().time_of_day()));
+                created_offsets.push(csr_offset(created_tods.len()));
+            }
+            debug_assert_eq!(i, activities.len(), "shard grouped by ascending creator");
+        }
+        debug_assert_eq!(created_offsets.len(), n + 1);
+
+        let mut received_offsets: Vec<u32> = Vec::with_capacity(studied.len() + 1);
+        received_offsets.push(0);
+        let mut received_creators: Vec<UserId> = Vec::new();
+        let mut received_tods: Vec<u32> = Vec::new();
+        for list in &mut received {
+            // Restore the global chronological order the streamed shards
+            // (grouped by creator) lost.
+            list.sort_unstable();
+            received_creators.extend(list.iter().map(|a| a.creator()));
+            received_tods.extend(list.iter().map(|a| a.timestamp().time_of_day()));
+            received_offsets.push(csr_offset(received_tods.len()));
+        }
+
+        ScaleDataset {
+            name: name.into(),
+            graph: shards.into_graph(),
+            created_offsets,
+            created_tods,
+            studied,
+            received_offsets,
+            received_creators,
+            received_tods,
+        }
+    }
+
+    /// The dataset's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying social graph.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// The sorted studied users — the only ones with received-activity
+    /// detail.
+    pub fn studied_users(&self) -> &[UserId] {
+        &self.studied
+    }
+
+    /// Total created activities across all users.
+    pub fn activity_count(&self) -> usize {
+        self.created_tods.len()
+    }
+
+    /// Heap bytes held by the graph and activity tables — the number the
+    /// scaling work bounds.
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes()
+            + std::mem::size_of_val(&self.created_offsets[..])
+            + std::mem::size_of_val(&self.created_tods[..])
+            + std::mem::size_of_val(&self.studied[..])
+            + std::mem::size_of_val(&self.received_offsets[..])
+            + std::mem::size_of_val(&self.received_creators[..])
+            + std::mem::size_of_val(&self.received_tods[..])
+    }
+
+    fn studied_index(&self, user: UserId) -> usize {
+        self.studied.binary_search(&user).unwrap_or_else(|_| {
+            panic!("user {user} is not in this scale dataset's studied set")
+        })
+    }
+}
+
+/// Converts a CSR cursor to `u32`, panicking past the format's capacity.
+fn csr_offset(len: usize) -> u32 {
+    u32::try_from(len)
+        .unwrap_or_else(|_| panic!("{len} activities exceed the u32 CSR capacity"))
+}
+
+impl StudyView for ScaleDataset {
+    fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    fn for_each_created_tod(&self, user: UserId, f: &mut dyn FnMut(u32)) {
+        let i = user.index();
+        let range =
+            self.created_offsets[i] as usize..self.created_offsets[i + 1] as usize;
+        for &tod in &self.created_tods[range] {
+            f(tod);
+        }
+    }
+
+    fn received_count(&self, user: UserId) -> usize {
+        let s = self.studied_index(user);
+        (self.received_offsets[s + 1] - self.received_offsets[s]) as usize
+    }
+
+    fn for_each_received(&self, user: UserId, f: &mut dyn FnMut(UserId, u32)) {
+        let s = self.studied_index(user);
+        let range =
+            self.received_offsets[s] as usize..self.received_offsets[s + 1] as usize;
+        for i in range {
+            f(self.received_creators[i], self.received_tods[i]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,5 +750,63 @@ mod tests {
             vec![UserId::new(1), UserId::new(2)]
         );
         assert_eq!(ds.users_with_degree(7), Vec::<UserId>::new());
+    }
+
+    /// The two StudyView implementations must answer every query
+    /// identically for studied users (and all-user queries globally).
+    #[test]
+    fn scale_dataset_agrees_with_dataset_view() {
+        let synth = crate::synth::TraceSynthesizer::new("parity", 150);
+        let ds = synth.generate(33).expect("valid params");
+        // Study the most populous degree bucket, whatever the generator
+        // produced for this seed.
+        let degree = (1..=10usize)
+            .max_by_key(|&d| ds.users_with_degree(d).len())
+            .unwrap_or(1);
+        let studied = ds.users_with_degree(degree);
+        assert!(!studied.is_empty(), "fixture has no users of degree 1..=10");
+        let shards = synth.generate_shards(33, 40).expect("valid params");
+        let scale = ScaleDataset::from_shards("parity", shards, &studied);
+
+        assert_eq!(StudyView::user_count(&scale), ds.user_count());
+        assert_eq!(scale.graph(), Dataset::graph(&ds));
+        assert_eq!(scale.activity_count(), ds.activity_count());
+        assert!(scale.memory_bytes() > 0);
+        for u in ds.users() {
+            let mut from_ds = Vec::new();
+            StudyView::for_each_created_tod(&ds, u, &mut |t| from_ds.push(t));
+            let mut from_scale = Vec::new();
+            scale.for_each_created_tod(u, &mut |t| from_scale.push(t));
+            assert_eq!(from_ds, from_scale, "created tods of {u}");
+            assert_eq!(
+                StudyView::replica_candidates(&scale, u),
+                ds.replica_candidates(u)
+            );
+        }
+        for &s in scale.studied_users() {
+            assert_eq!(scale.received_count(s), ds.received_activities(s).len());
+            let mut from_ds = Vec::new();
+            StudyView::for_each_received(&ds, s, &mut |c, t| from_ds.push((c, t)));
+            let mut from_scale = Vec::new();
+            scale.for_each_received(s, &mut |c, t| from_scale.push((c, t)));
+            assert_eq!(from_ds, from_scale, "received of {s}");
+            assert_eq!(
+                StudyView::interaction_counts(&scale, s),
+                ds.interaction_counts(s)
+            );
+        }
+        assert_eq!(
+            StudyView::users_with_degree(&scale, degree),
+            ds.users_with_degree(degree)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "studied set")]
+    fn scale_dataset_rejects_unstudied_received_queries() {
+        let synth = crate::synth::TraceSynthesizer::new("t", 50);
+        let shards = synth.generate_shards(1, 16).expect("valid params");
+        let scale = ScaleDataset::from_shards("t", shards, &[UserId::new(3)]);
+        scale.for_each_received(UserId::new(4), &mut |_, _| {});
     }
 }

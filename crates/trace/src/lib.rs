@@ -18,6 +18,10 @@
 //!   41 with ~50 activities each; 14 933 users at mean follower degree
 //!   76). These stand in for the proprietary crawls; see `DESIGN.md` for
 //!   the substitution argument.
+//! * [`shard`] — streaming generation of the same traces one user shard
+//!   at a time, and [`ScaleDataset`] — the compact CSR study input built
+//!   from that stream, so million-user sweeps stay memory-bounded. Both
+//!   paths feed the engine through the [`StudyView`] trait.
 //!
 //! [`facebook_like`]: synth::facebook_like
 //! [`twitter_like`]: synth::twitter_like
@@ -40,10 +44,12 @@ mod activity;
 mod dataset;
 mod error;
 pub mod parse;
+pub mod shard;
 mod stats;
 pub mod synth;
 
 pub use activity::Activity;
-pub use dataset::Dataset;
+pub use dataset::{Dataset, ScaleDataset, StudyView};
 pub use error::TraceError;
+pub use shard::{TraceShard, TraceShards};
 pub use stats::DatasetStats;

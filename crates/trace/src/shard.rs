@@ -1,0 +1,244 @@
+//! Sharded streaming trace generation.
+//!
+//! A million-user trace holds tens of millions of activities; holding
+//! them all in one `Vec<Activity>` (plus the per-user index the
+//! [`Dataset`] builds) is the memory wall that capped the study at a few
+//! thousand users. [`TraceShards`] removes it: the social graph is built
+//! up front, then activities are generated and handed out one
+//! *user shard* at a time. The caller consumes each shard — folding it
+//! into compact per-user tables, writing it to disk, whatever — and
+//! drops it before the next one is generated, so peak memory is
+//! O(graph + shard), not O(trace).
+//!
+//! Determinism is inherited, not re-proven: the stream advances the
+//! *same* sequential RNG through the *same* per-user generation step as
+//! [`TraceSynthesizer::generate`], so the shards concatenated in order
+//! are byte-identical to the unsharded activity list for the same seed
+//! (a property test in `tests/` pins this).
+//!
+//! [`Dataset`]: crate::Dataset
+//! [`TraceSynthesizer::generate`]: crate::synth::TraceSynthesizer::generate
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+
+use dosn_socialgraph::{SocialGraph, UserId};
+
+use crate::activity::Activity;
+use crate::synth::TraceSynthesizer;
+
+/// The activities created by one contiguous range of users, in
+/// generation order (per creator, ascending creator id).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceShard {
+    users: Range<u32>,
+    activities: Vec<Activity>,
+}
+
+impl TraceShard {
+    /// The user-id range `[start, end)` whose activities this shard
+    /// holds.
+    pub fn users(&self) -> Range<u32> {
+        self.users.clone()
+    }
+
+    /// The shard's activities: every activity *created by* a user in
+    /// [`TraceShard::users`], grouped by creator in ascending-id order.
+    pub fn activities(&self) -> &[Activity] {
+        &self.activities
+    }
+
+    /// Consumes the shard, returning its activities.
+    pub fn into_activities(self) -> Vec<Activity> {
+        self.activities
+    }
+}
+
+/// Streaming generator of per-user-shard activity slices; created by
+/// [`TraceSynthesizer::generate_shards`].
+///
+/// Iterate (by `&mut` reference or via [`TraceShards::next_shard`]) to
+/// drain the shards, then take the graph back with
+/// [`TraceShards::into_graph`].
+///
+/// [`TraceSynthesizer::generate_shards`]: crate::synth::TraceSynthesizer::generate_shards
+///
+/// # Examples
+///
+/// ```
+/// use dosn_trace::synth::TraceSynthesizer;
+///
+/// # fn main() -> Result<(), dosn_trace::TraceError> {
+/// let mut shards = TraceSynthesizer::new("t", 100).generate_shards(42, 32)?;
+/// assert_eq!(shards.shard_count(), 4); // 32 + 32 + 32 + 4 users
+/// let mut activities = 0;
+/// for shard in &mut shards {
+///     activities += shard.activities().len();
+/// }
+/// assert!(activities > 0);
+/// let graph = shards.into_graph();
+/// assert_eq!(graph.node_count(), 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceShards {
+    synth: TraceSynthesizer,
+    graph: SocialGraph,
+    rng: StdRng,
+    community_peaks: Option<(Vec<usize>, Vec<f64>)>,
+    shard_size: usize,
+    next_user: u32,
+}
+
+impl TraceShards {
+    pub(crate) fn new(
+        synth: TraceSynthesizer,
+        graph: SocialGraph,
+        rng: StdRng,
+        community_peaks: Option<(Vec<usize>, Vec<f64>)>,
+        shard_size: usize,
+    ) -> Self {
+        TraceShards {
+            synth,
+            graph,
+            rng,
+            community_peaks,
+            shard_size,
+            next_user: 0,
+        }
+    }
+
+    /// The social graph the activities are generated over.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// Users per shard (the last shard may be smaller).
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Total number of shards the stream yields.
+    pub fn shard_count(&self) -> usize {
+        self.graph.node_count().div_ceil(self.shard_size)
+    }
+
+    /// Generates and returns the next shard, or `None` once every user's
+    /// activities have been yielded.
+    pub fn next_shard(&mut self) -> Option<TraceShard> {
+        let n = self.graph.node_count() as u32;
+        if self.next_user >= n {
+            return None;
+        }
+        let start = self.next_user;
+        let end = n.min(start.saturating_add(self.shard_size as u32));
+        let mut activities = Vec::new();
+        for u in start..end {
+            self.synth.user_activities(
+                &self.graph,
+                UserId::new(u),
+                self.community_peaks.as_ref(),
+                &mut self.rng,
+                &mut activities,
+            );
+        }
+        self.next_user = end;
+        Some(TraceShard {
+            users: start..end,
+            activities,
+        })
+    }
+
+    /// Consumes the stream, returning the graph (typically after the
+    /// shards have been drained).
+    pub fn into_graph(self) -> SocialGraph {
+        self.graph
+    }
+}
+
+impl Iterator for TraceShards {
+    type Item = TraceShard;
+
+    fn next(&mut self) -> Option<TraceShard> {
+        self.next_shard()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.graph.node_count() - self.next_user as usize)
+            .div_ceil(self.shard_size);
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn shards_cover_all_users_exactly_once() {
+        let mut shards = TraceSynthesizer::new("t", 50)
+            .generate_shards(7, 16)
+            .expect("valid params");
+        assert_eq!(shards.shard_count(), 4);
+        let mut seen_end = 0u32;
+        while let Some(shard) = shards.next_shard() {
+            assert_eq!(shard.users().start, seen_end);
+            for a in shard.activities() {
+                assert!(shard.users().contains(&a.creator().as_u32()));
+            }
+            seen_end = shard.users().end;
+        }
+        assert_eq!(seen_end, 50);
+        assert!(shards.next_shard().is_none());
+    }
+
+    #[test]
+    fn concatenated_shards_match_unsharded_generation() {
+        let mut synth = TraceSynthesizer::new("t", 120);
+        synth.days(5);
+        let ds = synth.generate(13).expect("valid params");
+        for shard_size in [1usize, 7, 120, 500] {
+            let mut shards = synth.generate_shards(13, shard_size).expect("valid params");
+            let mut concat = Vec::new();
+            for shard in &mut shards {
+                concat.extend(shard.into_activities());
+            }
+            let graph = shards.into_graph();
+            assert_eq!(&graph, ds.graph(), "shard_size {shard_size}");
+            let rebuilt = crate::Dataset::new("t", graph, concat).expect("users in range");
+            assert_eq!(
+                rebuilt.activities(),
+                ds.activities(),
+                "shard_size {shard_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn homophily_survives_sharding() {
+        let mut s = TraceSynthesizer::new("sbm", 90);
+        s.graph(synth::GraphSpec::StochasticBlock {
+            communities: 3,
+            p_in: 0.3,
+            p_out: 0.01,
+        })
+        .temporal_homophily(0.9);
+        let ds = s.generate(21).expect("valid params");
+        let mut shards = s.generate_shards(21, 10).expect("valid params");
+        let mut concat = Vec::new();
+        for shard in &mut shards {
+            concat.extend(shard.into_activities());
+        }
+        let rebuilt = crate::Dataset::new("sbm", shards.into_graph(), concat)
+            .expect("users in range");
+        assert_eq!(rebuilt.activities(), ds.activities());
+    }
+
+    #[test]
+    fn zero_shard_size_is_rejected() {
+        assert!(TraceSynthesizer::new("t", 10).generate_shards(1, 0).is_err());
+    }
+}

@@ -28,6 +28,7 @@ use dosn_socialgraph::SocialGraph;
 use crate::activity::Activity;
 use crate::dataset::Dataset;
 use crate::error::TraceError;
+use crate::shard::TraceShards;
 
 /// Which synthetic graph model backs the trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -262,13 +263,7 @@ impl TraceSynthesizer {
         self
     }
 
-    /// Generates the dataset, deterministically for a given `seed`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TraceError::InvalidSynthParams`] for inconsistent
-    /// parameters, and propagates graph-generator parameter errors.
-    pub fn generate(&self, seed: u64) -> Result<Dataset, TraceError> {
+    fn validate_params(&self) -> Result<(), TraceError> {
         if self.users < 2 {
             return Err(TraceError::InvalidSynthParams {
                 reason: "need at least two users",
@@ -289,10 +284,59 @@ impl TraceSynthesizer {
                 reason: "self-activity fraction must lie in [0, 1]",
             });
         }
+        Ok(())
+    }
+
+    /// Generates the dataset, deterministically for a given `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidSynthParams`] for inconsistent
+    /// parameters, and propagates graph-generator parameter errors.
+    pub fn generate(&self, seed: u64) -> Result<Dataset, TraceError> {
+        self.validate_params()?;
         let mut rng = StdRng::seed_from_u64(seed);
         let graph = self.build_graph(&mut rng)?;
         let activities = self.build_activities(&graph, &mut rng);
         Dataset::new(self.name.clone(), graph, activities)
+    }
+
+    /// Generates the same trace as [`TraceSynthesizer::generate`] but as
+    /// a stream of per-user-shard activity slices, so the full activity
+    /// list is never materialized. The graph is built up front; each
+    /// [`TraceShards::next_shard`] call then yields the activities of the
+    /// next `shard_size` users.
+    ///
+    /// The stream consumes the *same* sequential RNG as `generate`, so
+    /// the shards concatenated in order are exactly the unsharded trace
+    /// (the dataset then sorts chronologically either way).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidSynthParams`] for inconsistent
+    /// parameters (including a zero `shard_size`), and propagates graph
+    /// generator parameter errors.
+    pub fn generate_shards(
+        &self,
+        seed: u64,
+        shard_size: usize,
+    ) -> Result<TraceShards, TraceError> {
+        self.validate_params()?;
+        if shard_size == 0 {
+            return Err(TraceError::InvalidSynthParams {
+                reason: "shard size must be at least one user",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = self.build_graph(&mut rng)?;
+        let community_peaks = self.community_peak_table(&mut rng);
+        Ok(TraceShards::new(
+            self.clone(),
+            graph,
+            rng,
+            community_peaks,
+            shard_size,
+        ))
     }
 
     fn build_graph(&self, rng: &mut StdRng) -> Result<SocialGraph, TraceError> {
@@ -323,9 +367,14 @@ impl TraceSynthesizer {
         })
     }
 
-    fn build_activities(&self, graph: &SocialGraph, rng: &mut StdRng) -> Vec<Activity> {
-        // Community-shared peaks for temporal homophily (SBM only).
-        let community_peaks: Option<(Vec<usize>, Vec<f64>)> = match self.graph {
+    /// Community-shared peaks for temporal homophily (SBM only). Drawn
+    /// once, before any per-user activity, in both the unsharded and the
+    /// sharded generation path.
+    pub(crate) fn community_peak_table(
+        &self,
+        rng: &mut StdRng,
+    ) -> Option<(Vec<usize>, Vec<f64>)> {
+        match self.graph {
             GraphSpec::StochasticBlock { communities, .. }
                 if self.temporal_homophily > 0.0 =>
             {
@@ -340,43 +389,61 @@ impl TraceSynthesizer {
                 Some((labels, peaks))
             }
             _ => None,
-        };
+        }
+    }
+
+    /// Generates one user's activities, appending to `out`. This is the
+    /// unit both [`TraceSynthesizer::generate`] and the sharded stream
+    /// advance by, so the two paths consume the RNG identically.
+    pub(crate) fn user_activities(
+        &self,
+        graph: &SocialGraph,
+        u: dosn_socialgraph::UserId,
+        community_peaks: Option<&(Vec<usize>, Vec<f64>)>,
+        rng: &mut StdRng,
+        out: &mut Vec<Activity>,
+    ) {
+        let (mut peak, spread) = self.diurnal.sample_user(rng);
+        if let Some((labels, peaks)) = community_peaks {
+            if rng.gen::<f64>() < self.temporal_homophily {
+                peak = peaks[labels[u.index()]];
+            }
+        }
+        let count = self.sample_activity_count(rng);
+        // Partners: people on whose profile u posts. Undirected:
+        // friends. Directed: followees (u follows them, so u is in
+        // their follower/replica set).
+        let partners = graph.out_neighbors(u);
+        // A fixed per-user preference order over partners creates a
+        // few strong ties: partner at preference rank r is picked
+        // with weight ~ (r+1)^-1.2.
+        let pref = sample_preference_weights(partners.len(), rng);
+        for _ in 0..count {
+            let day = self.sample_day(rng);
+            let weekend = matches!(day % 7, 5 | 6);
+            let shift = if weekend {
+                self.weekend_shift_hours * 3_600.0
+            } else {
+                0.0
+            };
+            let tod = wrap_time_of_day(peak + shift + spread * standard_normal(rng));
+            let ts = Timestamp::from_day_and_offset(day, tod);
+            let receiver = if partners.is_empty()
+                || rng.gen::<f64>() < self.self_activity_fraction
+            {
+                u
+            } else {
+                partners[weighted_pick(&pref, rng)]
+            };
+            out.push(Activity::new(u, receiver, ts));
+        }
+    }
+
+    fn build_activities(&self, graph: &SocialGraph, rng: &mut StdRng) -> Vec<Activity> {
+        let community_peaks = self.community_peak_table(rng);
         let mut activities = Vec::new();
         for u in graph.nodes() {
-            let (mut peak, spread) = self.diurnal.sample_user(rng);
-            if let Some((labels, peaks)) = &community_peaks {
-                if rng.gen::<f64>() < self.temporal_homophily {
-                    peak = peaks[labels[u.index()]];
-                }
-            }
-            let count = self.sample_activity_count(rng);
-            // Partners: people on whose profile u posts. Undirected:
-            // friends. Directed: followees (u follows them, so u is in
-            // their follower/replica set).
-            let partners = graph.out_neighbors(u);
-            // A fixed per-user preference order over partners creates a
-            // few strong ties: partner at preference rank r is picked
-            // with weight ~ (r+1)^-1.2.
-            let pref = sample_preference_weights(partners.len(), rng);
-            for _ in 0..count {
-                let day = self.sample_day(rng);
-                let weekend = matches!(day % 7, 5 | 6);
-                let shift = if weekend {
-                    self.weekend_shift_hours * 3_600.0
-                } else {
-                    0.0
-                };
-                let tod = wrap_time_of_day(peak + shift + spread * standard_normal(rng));
-                let ts = Timestamp::from_day_and_offset(day, tod);
-                let receiver = if partners.is_empty()
-                    || rng.gen::<f64>() < self.self_activity_fraction
-                {
-                    u
-                } else {
-                    partners[weighted_pick(&pref, rng)]
-                };
-                activities.push(Activity::new(u, receiver, ts));
-            }
+            self.user_activities(graph, u, community_peaks.as_ref(), rng, &mut activities);
         }
         activities
     }

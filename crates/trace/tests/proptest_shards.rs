@@ -1,0 +1,46 @@
+//! Property test pinning the sharded generator's determinism contract:
+//! for any synthesizer parameters, seed, and shard size, the shards
+//! concatenated in generation order rebuild *exactly* the unsharded
+//! dataset — same graph, byte-identical activity list after the
+//! chronological sort. This is the property the scaling pipeline's
+//! correctness rests on (`crates/trace/src/shard.rs` module docs).
+
+use dosn_trace::synth::TraceSynthesizer;
+use dosn_trace::Dataset;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharded_generation_concatenates_to_unsharded(
+        users in 2usize..150,
+        shard_size in 1usize..200,
+        seed in any::<u64>(),
+        days in 1u64..8,
+        mean_activities in 1.0f64..20.0,
+    ) {
+        let mut synth = TraceSynthesizer::new("prop", users);
+        synth.days(days).mean_activities(mean_activities);
+
+        let ds = synth.generate(seed).expect("valid params");
+
+        let mut shards = synth
+            .generate_shards(seed, shard_size)
+            .expect("valid params");
+        let mut concat = Vec::new();
+        while let Some(shard) = shards.next_shard() {
+            // Shards must be creator-grouped within their user range.
+            let range = shard.users();
+            for a in shard.activities() {
+                prop_assert!(range.contains(&a.creator().as_u32()));
+            }
+            concat.extend(shard.into_activities());
+        }
+
+        let graph = shards.into_graph();
+        prop_assert_eq!(&graph, ds.graph());
+        let rebuilt = Dataset::new("prop", graph, concat).expect("users in range");
+        prop_assert_eq!(rebuilt.activities(), ds.activities());
+    }
+}

@@ -22,15 +22,15 @@ impl ReplicaPolicy for HighestDegree {
 
     fn place(
         &self,
-        dataset: &Dataset,
+        view: &dyn StudyView,
         schedules: &dosn::onlinetime::OnlineSchedules,
         user: UserId,
         max_replicas: usize,
         connectivity: Connectivity,
         _rng: &mut dyn RngCore,
     ) -> Vec<UserId> {
-        let mut ranked: Vec<UserId> = dataset.replica_candidates(user).to_vec();
-        ranked.sort_by_key(|&c| std::cmp::Reverse(dataset.replica_candidates(c).len()));
+        let mut ranked: Vec<UserId> = view.replica_candidates(user).to_vec();
+        ranked.sort_by_key(|&c| std::cmp::Reverse(view.replica_candidates(c).len()));
         let mut chosen: Vec<UserId> = Vec::new();
         for candidate in ranked {
             if chosen.len() == max_replicas {

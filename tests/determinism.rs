@@ -114,3 +114,90 @@ fn user_degree_sweep_csv_is_thread_count_invariant() {
         });
     }
 }
+
+/// Policies including the dense-demand cover, for the scaling-path
+/// audits below.
+fn scale_policies() -> [PolicyKind; 4] {
+    [
+        PolicyKind::MaxAv,
+        PolicyKind::MaxAvOnDemandActivity,
+        PolicyKind::MostActive,
+        PolicyKind::Random,
+    ]
+}
+
+/// The streamed [`ScaleDataset`] twin of `facebook_like(300, 23)`, plus
+/// the studied users shared by both views.
+fn scale_fixture() -> (Dataset, ScaleDataset, Vec<UserId>) {
+    let synthesizer = synth::TraceSynthesizer::new("facebook-like", 300);
+    let ds = synthesizer.generate(23).expect("generation succeeds");
+    let users = ds.users_with_degree(6);
+    assert!(!users.is_empty(), "need degree-6 users in the fixture");
+    let shards = synthesizer
+        .generate_shards(23, 64)
+        .expect("generation succeeds");
+    let scale = ScaleDataset::from_shards("facebook-like", shards, &users);
+    (ds, scale, users)
+}
+
+/// The streamed, compacted `ScaleDataset` must be sweep-equivalent to
+/// the in-memory `Dataset` built from the same synthesizer and seed:
+/// identical CSV bytes, including the dense-demand policy.
+#[test]
+fn scale_dataset_sweep_csv_matches_dataset() {
+    let (ds, scale, users) = scale_fixture();
+    let run = |view: &dyn StudyView| {
+        degree_sweep(
+            view,
+            ModelKind::sporadic_default(),
+            &scale_policies(),
+            &users,
+            6,
+            &config(1),
+        )
+        .to_csv()
+    };
+    assert_eq!(run(&ds), run(&scale), "ScaleDataset diverged from Dataset");
+}
+
+/// The memory-bounded pooled densify path must produce the same bytes
+/// as the population-wide dense cache it replaces at scale: forcing the
+/// pool via a zero cache limit cannot change any CSV byte.
+#[test]
+fn pooled_dense_path_csv_matches_cached() {
+    let ds = synth::facebook_like(300, 23).expect("generation succeeds");
+    let users = ds.users_with_degree(6);
+    assert!(!users.is_empty(), "need degree-6 users in the fixture");
+    let run = |limit: usize| {
+        degree_sweep(
+            &ds,
+            ModelKind::sporadic_default(),
+            &scale_policies(),
+            &users,
+            6,
+            &config(2).with_dense_cache_limit(limit),
+        )
+        .to_csv()
+    };
+    let cached = run(usize::MAX);
+    let pooled = run(0);
+    assert_eq!(cached, pooled, "pooled densify diverged from dense cache");
+}
+
+/// The full scaling configuration — sharded dataset AND pooled densify —
+/// must stay thread-count-invariant like every other sweep path.
+#[test]
+fn sharded_pooled_sweep_csv_is_thread_count_invariant() {
+    let (_ds, scale, users) = scale_fixture();
+    audit_sweep("sharded_pooled_degree_sweep", |threads| {
+        degree_sweep(
+            &scale,
+            ModelKind::random_length_default(),
+            &scale_policies(),
+            &users,
+            6,
+            &config(threads).with_dense_cache_limit(0),
+        )
+        .to_csv()
+    });
+}
