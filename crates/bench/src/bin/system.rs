@@ -1,0 +1,181 @@
+//! Full-system benchmark — the event-driven node runtime at 1k / 100k
+//! users.
+//!
+//! Replays the whole activity trace through the layered runtime
+//! (scheduler, per-node state machines, in-memory transport) and records
+//! throughput to `BENCH_system.json`: events per second, wall-clock per
+//! stage, dataset footprint, and peak RSS. The small scale runs on an
+//! in-memory [`Dataset`]; the large scales run on sharded, streamed
+//! traces materialized as replay-retaining [`ScaleDataset`]s — the same
+//! code path either way, `SystemSim` only sees `&dyn StudyView`.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `SYSTEM_USERS` — comma-separated scales, default `1000,100000`.
+//! * `SYSTEM_RSS_BUDGET_MB` — exit non-zero if peak RSS exceeds this
+//!   budget after any scale (CI regression gate).
+//! * `SYSTEM_OUT` — output path, default `BENCH_system.json`.
+
+use dosn_core::{timing, ModelKind, PolicyKind, StudyConfig};
+use dosn_node::SystemSim;
+use dosn_trace::{synth::TraceSynthesizer, ScaleDataset, StudyView};
+use std::time::Instant;
+
+/// Users per generator shard — the streaming granularity.
+const SHARD_SIZE: usize = 65_536;
+
+/// Scales at or below this run on an in-memory [`Dataset`]; larger ones
+/// stream through a replay-retaining [`ScaleDataset`].
+const IN_MEMORY_MAX_USERS: usize = 10_000;
+
+const SEED: u64 = 2012;
+
+struct SystemRow {
+    users: usize,
+    gen_s: f64,
+    run_s: f64,
+    events: u64,
+    events_per_s: f64,
+    posts: usize,
+    delivery: f64,
+    reads: usize,
+    dataset_mb: f64,
+    peak_rss_mb: f64,
+    streamed: bool,
+}
+
+fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} entry {s:?} is not a user count"))
+            })
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+fn run_system(users: usize) -> SystemRow {
+    let t0 = Instant::now();
+    let synthesizer = TraceSynthesizer::new("facebook-like", users);
+    let streamed = users > IN_MEMORY_MAX_USERS;
+    // Both arms end up behind one `&dyn StudyView`; the runtime cannot
+    // tell them apart.
+    let (dataset, scale);
+    let dataset_mb;
+    let view: &dyn StudyView = if streamed {
+        let shards = synthesizer
+            .generate_shards(SEED, SHARD_SIZE)
+            .unwrap_or_else(|e| panic!("trace generation failed: {e}"));
+        scale = ScaleDataset::from_shards_replay("facebook-like", shards, &[]);
+        dataset_mb = scale.memory_bytes() as f64 / (1024.0 * 1024.0);
+        &scale
+    } else {
+        dataset = synthesizer
+            .generate(SEED)
+            .unwrap_or_else(|e| panic!("trace generation failed: {e}"));
+        // The in-memory arm's dominant footprint is the trace itself.
+        dataset_mb = std::mem::size_of_val(dataset.activities()) as f64 / (1024.0 * 1024.0);
+        &dataset
+    };
+    let gen_s = t0.elapsed().as_secs_f64();
+
+    // MaxAv placement: the paper's default, and (unlike MostActive) free
+    // of received-activity queries outside the studied set.
+    let config = StudyConfig::default().with_seed(SEED);
+    let t1 = Instant::now();
+    let (report, stats) = SystemSim::new(view)
+        .model(ModelKind::sporadic_default())
+        .policy(PolicyKind::MaxAv)
+        .replication_degree(4)
+        .run_with_stats(&config);
+    let run_s = t1.elapsed().as_secs_f64();
+
+    SystemRow {
+        users,
+        gen_s,
+        run_s,
+        events: stats.events_processed,
+        events_per_s: stats.events_processed as f64 / run_s.max(1e-9),
+        posts: report.posts_total(),
+        delivery: report.delivery_ratio().unwrap_or(0.0),
+        reads: report.reads_total(),
+        dataset_mb,
+        peak_rss_mb: timing::peak_rss_bytes()
+            .map_or(f64::NAN, |b| b as f64 / (1024.0 * 1024.0)),
+        streamed,
+    }
+}
+
+fn json_row(r: &SystemRow) -> String {
+    format!(
+        "    {{\"users\": {}, \"gen_s\": {:.3}, \"run_s\": {:.3}, \"events\": {}, \
+         \"events_per_s\": {:.1}, \"posts\": {}, \"delivery\": {:.4}, \"reads\": {}, \
+         \"dataset_mb\": {:.1}, \"peak_rss_mb\": {:.1}, \"streamed\": {}}}",
+        r.users,
+        r.gen_s,
+        r.run_s,
+        r.events,
+        r.events_per_s,
+        r.posts,
+        r.delivery,
+        r.reads,
+        r.dataset_mb,
+        r.peak_rss_mb,
+        r.streamed
+    )
+}
+
+fn main() {
+    let scales = env_usize_list("SYSTEM_USERS", &[1_000, 100_000]);
+    let budget_mb: Option<f64> = std::env::var("SYSTEM_RSS_BUDGET_MB").ok().map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| panic!("SYSTEM_RSS_BUDGET_MB {s:?} is not a number"))
+    });
+    let out_path = std::env::var("SYSTEM_OUT").unwrap_or_else(|_| "BENCH_system.json".into());
+
+    println!(
+        "{:>9} {:>8} {:>8} {:>12} {:>12} {:>9} {:>9} {:>8} {:>11}",
+        "users", "gen_s", "run_s", "events", "events/s", "posts", "delivery", "data_mb", "peak_rss_mb"
+    );
+    let mut rows = Vec::new();
+    for users in scales {
+        let row = run_system(users);
+        println!(
+            "{:>9} {:>8.2} {:>8.2} {:>12} {:>12.0} {:>9} {:>8.1}% {:>8.1} {:>11.1}",
+            row.users,
+            row.gen_s,
+            row.run_s,
+            row.events,
+            row.events_per_s,
+            row.posts,
+            100.0 * row.delivery,
+            row.dataset_mb,
+            row.peak_rss_mb
+        );
+        rows.push(row);
+    }
+
+    let body: Vec<String> = rows.iter().map(json_row).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"system\",\n  \"seed\": {SEED},\n  \"shard_size\": {SHARD_SIZE},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+
+    if let Some(budget) = budget_mb {
+        let worst = rows.iter().map(|r| r.peak_rss_mb).fold(0.0, f64::max);
+        if worst > budget {
+            eprintln!("peak RSS {worst:.1} MiB exceeds budget {budget:.1} MiB");
+            std::process::exit(1);
+        }
+        println!("peak RSS {worst:.1} MiB within budget {budget:.1} MiB");
+    }
+}

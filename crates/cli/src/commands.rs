@@ -309,13 +309,31 @@ fn system(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let budget = args.get_parsed("budget", 4usize)?;
     let policy_list = policies(args)?;
     let model = model(args)?;
+    let reads = args.get_parsed("reads", 0.1f64)?;
+    // --cloud [--latency SECS] switches dissemination to the always-on
+    // store; the default stays friend-to-friend epidemic.
+    let dissemination = if args.has("cloud") {
+        dosn_node::DisseminationMode::Cloud {
+            latency_secs: args.get_parsed("latency", 60u64)?,
+        }
+    } else {
+        dosn_node::DisseminationMode::FriendToFriend
+    };
+    let medium = match dissemination {
+        dosn_node::DisseminationMode::FriendToFriend => String::new(),
+        dosn_node::DisseminationMode::Cloud { latency_secs } => {
+            format!(", cloud {latency_secs}s")
+        }
+    };
     for policy in policy_list {
         let report = dosn_node::SystemSim::new(&ds)
             .model(model)
             .policy(policy)
             .replication_degree(budget)
+            .reads_per_friend_day(reads)
+            .dissemination(dissemination)
             .run(&config);
-        writeln!(out, "== {} x{budget} ==", policy.label())?;
+        writeln!(out, "== {} x{budget}{medium} ==", policy.label())?;
         writeln!(out, "{report}\n")?;
     }
     Ok(())
@@ -519,6 +537,20 @@ mod tests {
         .unwrap();
         assert!(text.contains("== maxav x2 =="));
         assert!(text.contains("delivered:"));
+    }
+
+    #[test]
+    fn system_command_cloud_dissemination() {
+        let text = run_capture(&[
+            "system", "--users", "150", "--budget", "2", "--policies", "maxav",
+            "--cloud", "--latency", "120", "--reads", "0.0",
+        ])
+        .unwrap();
+        assert!(text.contains("== maxav x2, cloud 120s =="), "{text}");
+        // The store bounds every wait by the host's own absence: with an
+        // upload latency every spread is complete or the post failed.
+        assert!(text.contains("incomplete spreads:    0"), "{text}");
+        assert!(text.contains("reads served:          0 of 0"), "{text}");
     }
 
     #[test]

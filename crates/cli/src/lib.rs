@@ -61,6 +61,9 @@ REPLAY / SYSTEM / FAIRNESS OPTIONS:
     --user N                     dense user id [default: highest-degree user]
     --budget K                   replication budget [default: 4]
     --capacity C                 fairness: also show a load-capped placement
+    --reads R                    system: profile reads per friend-day [default: 0.1]
+    --cloud                      system: disseminate via an always-on store
+    --latency SECS               system: store upload latency [default: 60]
 
 PREDICT OPTIONS:
     --history-days D             train on days 0..D [default: half the trace]

@@ -1,7 +1,5 @@
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use dosn_interval::{DaySchedule, Timestamp, SECONDS_PER_DAY};
+use dosn_node::{Event, EventQueue};
 use dosn_onlinetime::OnlineSchedules;
 use dosn_socialgraph::UserId;
 
@@ -37,6 +35,11 @@ impl ConvergenceReport {
 /// propagation delay: where the analytic metric bounds the worst case on
 /// the time-connectivity graph, the simulator executes the actual
 /// version-vector protocol and reports when state really converged.
+///
+/// Sync rounds ride the node runtime's shared [`EventQueue`] as
+/// `Disseminate` events rather than a private ad-hoc heap, so the
+/// consistency layer and the full-system runtime replay through one
+/// scheduler with one total order.
 ///
 /// # Examples
 ///
@@ -120,9 +123,25 @@ impl ConvergenceSim {
         let mut receipt: Vec<Option<Timestamp>> = vec![None; n];
         receipt[origin_index] = Some(start);
 
-        // Event queue: co-online window starts within the horizon, plus
-        // the injection instant for every pair co-online right then.
-        let mut queue: BinaryHeap<Reverse<(Timestamp, usize, usize)>> = BinaryHeap::new();
+        // The shared node-runtime scheduler carries the sync rounds as
+        // `Disseminate` events (a pair sync is a delivery opportunity
+        // from replica `i` to replica `j`): co-online window starts
+        // within the horizon, plus the injection instant for every pair
+        // co-online right then. Initial events enqueue in ascending
+        // (i, j) order per instant, and same-instant relays after them;
+        // receipts are unaffected (the same-instant epidemic closure is
+        // order-independent).
+        let mut queue = EventQueue::new();
+        let sync_round = |queue: &mut EventQueue<'_>, t: Timestamp, i: usize, j: usize| {
+            queue.schedule(
+                t,
+                Event::Disseminate {
+                    post: pair_code(n, i, j),
+                    host: self.replicas[j],
+                    source: self.replicas[i],
+                },
+            );
+        };
         let first_day = start.day_index();
         for i in 0..n {
             for j in (i + 1)..n {
@@ -131,19 +150,24 @@ impl ConvergenceSim {
                     for w in windows.windows() {
                         let t = Timestamp::from_day_and_offset(day, w.start());
                         if t >= start {
-                            queue.push(Reverse((t, i, j)));
+                            sync_round(&mut queue, t, i, j);
                         }
                     }
                 }
                 if windows.contains(start.time_of_day()) {
-                    queue.push(Reverse((start, i, j)));
+                    sync_round(&mut queue, start, i, j);
                 }
             }
         }
 
         let mut syncs = 0usize;
         let mut exchanged = 0usize;
-        while let Some(Reverse((t, i, j))) = queue.pop() {
+        while let Some(ev) = queue.pop() {
+            let t = ev.at;
+            let Event::Disseminate { post, .. } = ev.event else {
+                continue;
+            };
+            let (i, j) = pair_decode(n, post);
             let (lo, hi) = (i.min(j), i.max(j));
             let (head, tail) = states.split_at_mut(hi);
             let moved = head[lo].sync_with(&mut tail[0]);
@@ -159,7 +183,7 @@ impl ConvergenceSim {
                             if other != r {
                                 if let Some(w) = self.pair(r, other) {
                                     if w.contains(t.time_of_day()) {
-                                        queue.push(Reverse((t, r, other)));
+                                        sync_round(&mut queue, t, r, other);
                                     }
                                 }
                             }
@@ -204,6 +228,18 @@ impl ConvergenceSim {
         Timestamp::from_day_and_offset(start.day_index() + self.horizon_days, 0)
             .saturating_add(u64::from(SECONDS_PER_DAY))
     }
+}
+
+/// Packs a replica-index pair into a `Disseminate` event's post id.
+fn pair_code(n: usize, i: usize, j: usize) -> u32 {
+    u32::try_from(i * n + j)
+        .unwrap_or_else(|_| panic!("replica set of {n} exceeds the pair-encoding capacity"))
+}
+
+/// Inverse of [`pair_code`].
+fn pair_decode(n: usize, code: u32) -> (usize, usize) {
+    let code = code as usize;
+    (code / n, code % n)
 }
 
 #[cfg(test)]

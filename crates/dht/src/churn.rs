@@ -1,12 +1,26 @@
 use std::collections::HashMap;
 
-use dosn_interval::SECONDS_PER_DAY;
+use dosn_interval::{Timestamp, SECONDS_PER_DAY};
+use dosn_node::{session_events_for_day, Event};
 use dosn_onlinetime::OnlineSchedules;
 use dosn_socialgraph::UserId;
 use rand::Rng;
 
 use crate::key::Key;
 use crate::ring::ChordRing;
+
+/// One ring-membership change in an event-driven churn replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipChange {
+    /// When the change happened.
+    pub at: Timestamp,
+    /// The user whose node joined or left the ring.
+    pub user: UserId,
+    /// True if the node joined (came online), false if it left.
+    pub joined: bool,
+    /// Ring size immediately after the change.
+    pub ring_size: usize,
+}
 
 /// A DHT whose membership follows the OSN's own users: a node is a ring
 /// member only while its user is online.
@@ -81,6 +95,37 @@ impl<'a> ScheduleDrivenDht<'a> {
             })
             .map(|(_, &k)| k)
             .collect()
+    }
+
+    /// Replays one day of session churn through the node runtime's
+    /// shared `SessionStart`/`SessionEnd` event stream, folding it into
+    /// the sequence of ring-membership changes — the event-driven
+    /// counterpart of sampling [`ScheduleDrivenDht::ring_at`].
+    ///
+    /// The timeline covers `[day 00:00, day+1 00:00]`; the terminal
+    /// events at the next midnight close out windows running to the end
+    /// of the day (a multi-day replay would feed subsequent days, whose
+    /// start-of-day events reopen them).
+    pub fn churn_timeline(&self, day: u64) -> Vec<MembershipChange> {
+        let mut online = vec![false; self.schedules.user_count()];
+        let mut ring_size = 0usize;
+        let mut changes = Vec::new();
+        for ev in session_events_for_day(self.schedules, day) {
+            match ev.event {
+                Event::SessionStart { user } if !online[user.index()] => {
+                    online[user.index()] = true;
+                    ring_size += 1;
+                    changes.push(MembershipChange { at: ev.at, user, joined: true, ring_size });
+                }
+                Event::SessionEnd { user } if online[user.index()] => {
+                    online[user.index()] = false;
+                    ring_size -= 1;
+                    changes.push(MembershipChange { at: ev.at, user, joined: false, ring_size });
+                }
+                _ => {}
+            }
+        }
+        changes
     }
 
     /// Whether a content item published at `publish_tod` with
@@ -190,6 +235,40 @@ mod tests {
         let r4 = dht.retrievability(4, 400, &mut rng);
         assert!(r4 >= r1, "k=4 {r4:.3} < k=1 {r1:.3}");
         assert!(r4 > 0.2);
+    }
+
+    /// The event-driven churn replay must agree with direct schedule
+    /// sampling: after the last membership change at any instant, the
+    /// ring is exactly `ring_at` of that second.
+    #[test]
+    fn churn_timeline_matches_ring_at() {
+        let schedules = OnlineSchedules::new(
+            (0..12u32)
+                .map(|i| window((i * 7_000) % 86_000, 9_000 + i * 500))
+                .collect(),
+        );
+        let dht = ScheduleDrivenDht::new(&schedules);
+        let timeline = dht.churn_timeline(0);
+        assert!(!timeline.is_empty());
+        let mut checked = 0;
+        for (k, c) in timeline.iter().enumerate() {
+            let last_at_instant = timeline.get(k + 1).is_none_or(|next| next.at != c.at);
+            if last_at_instant && c.at.day_index() == 0 {
+                assert_eq!(
+                    dht.ring_at(c.at.time_of_day()).len(),
+                    c.ring_size,
+                    "ring size diverged at {:?}",
+                    c.at
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 4, "too few comparable change points: {checked}");
+        // Joins and leaves balance: every window that opened also closed
+        // (possibly at the day-boundary terminal events).
+        let joins = timeline.iter().filter(|c| c.joined).count();
+        let leaves = timeline.len() - joins;
+        assert_eq!(joins, leaves);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 // u32; all supported targets have at least 32-bit usize, making the
 // widening conversions lossless. The narrowing ones are debug-checked.
 const _: () = assert!(usize::BITS >= u32::BITS, "usize narrower than u32");
+#[allow(clippy::assertions_on_constants)] // documents the contract even where it is trivially true
 const _: () = assert!(u64::BITS >= u32::BITS, "u64 narrower than u32");
 
 /// Widens a `u32` to `usize`. Lossless on every supported target

@@ -10,8 +10,8 @@ const WEEK_WORDS: usize = cast::usize_from(SECONDS_PER_WEEK).div_ceil(64);
 
 // Both circles are exact multiples of 64 seconds, so no bitset ever has a
 // partial last word and none of the kernels below need tail masks.
-const _: () = assert!(cast::usize_from(SECONDS_PER_DAY) % 64 == 0);
-const _: () = assert!(cast::usize_from(SECONDS_PER_WEEK) % 64 == 0);
+const _: () = assert!(cast::usize_from(SECONDS_PER_DAY).is_multiple_of(64));
+const _: () = assert!(cast::usize_from(SECONDS_PER_WEEK).is_multiple_of(64));
 
 /// Word-level kernels shared by [`DenseSchedule`] and
 /// [`DenseWeekSchedule`]. All functions assume `total = words.len() * 64`

@@ -1,13 +1,14 @@
-use dosn_core::replay::simulate_update_from_sources;
 use dosn_core::{ModelKind, PolicyKind, StudyConfig};
-use dosn_metrics::Summary;
 use dosn_onlinetime::OnlineSchedules;
 use dosn_socialgraph::UserId;
-use dosn_trace::Dataset;
+use dosn_trace::{Activity, StudyView};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::report::{NodeAccounting, SystemReport};
+use crate::events::{Event, EventQueue, ScheduledEvent};
+use crate::report::SystemReport;
+use crate::state::NodeRuntime;
+use crate::transport::{InstantTransport, Transport};
 
 /// How a delivered post reaches the profile hosts that were offline at
 /// post time.
@@ -25,13 +26,41 @@ pub enum DisseminationMode {
     },
 }
 
-/// Builder for a full-system run: dataset in, [`SystemReport`] out.
+/// Event-loop counters of one full-system run, for throughput reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total events consumed by the state machine.
+    pub events_processed: u64,
+    /// `SessionStart`/`SessionEnd` events.
+    pub session_events: u64,
+    /// `Post` events (equals the trace's activity count).
+    pub post_events: u64,
+    /// `ProfileRead` events.
+    pub read_events: u64,
+    /// `Disseminate`/`CloudFetch` delivery events.
+    pub delivery_events: u64,
+}
+
+/// Builder for a full-system run: study view in, [`SystemReport`] out.
 ///
-/// The simulation proceeds in three stages per the study's pipeline:
-/// model everyone's online schedule, place every user's replicas, then
-/// replay the entire activity trace chronologically — each post lands on
-/// whichever profile hosts are online at its timestamp and disseminates
-/// to the rest over co-online contacts.
+/// The facade over the event-driven node runtime. A run compiles the
+/// study inputs into a deterministic event stream and consumes it
+/// through the layered machinery:
+///
+/// 1. model everyone's online schedule and place every user's replicas
+///    (placement is seeded per user, so it parallelizes over
+///    [`StudyConfig::effective_threads`] without changing any byte);
+/// 2. compile the trace, the drawn read schedule, and the session
+///    boundaries into the scheduler's [`EventQueue`];
+/// 3. run the [`NodeRuntime`] state machine over the stream — post
+///    landings and profile reads consult live online flags, offline-host
+///    deliveries are scheduled through the [`Transport`];
+/// 4. fold per-post outcomes and per-node accounting into the report.
+///
+/// Any [`StudyView`] with [`StudyView::supports_replay`] works — a
+/// fully-indexed [`Dataset`](dosn_trace::Dataset), or a compact
+/// [`ScaleDataset`](dosn_trace::ScaleDataset) built via
+/// `from_shards_replay` for 100k–1M-user runs.
 ///
 /// # Examples
 ///
@@ -47,27 +76,42 @@ pub enum DisseminationMode {
 ///     .run(&StudyConfig::default());
 /// assert_eq!(report.posts_total(), dataset.activity_count());
 /// ```
-#[derive(Debug)]
 pub struct SystemSim<'a> {
-    dataset: &'a Dataset,
+    view: &'a dyn StudyView,
     model: ModelKind,
     policy: PolicyKind,
     replication_degree: usize,
     reads_per_friend_day: f64,
     dissemination: DisseminationMode,
+    transport: Option<&'a dyn Transport>,
+}
+
+impl std::fmt::Debug for SystemSim<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemSim")
+            .field("users", &self.view.user_count())
+            .field("model", &self.model)
+            .field("policy", &self.policy)
+            .field("replication_degree", &self.replication_degree)
+            .field("reads_per_friend_day", &self.reads_per_friend_day)
+            .field("dissemination", &self.dissemination)
+            .field("transport", &self.transport.map(Transport::name))
+            .finish()
+    }
 }
 
 impl<'a> SystemSim<'a> {
-    /// A simulation of `dataset` with the paper's defaults: Sporadic
+    /// A simulation of `view` with the paper's defaults: Sporadic
     /// sessions, MaxAv placement, 4 replicas.
-    pub fn new(dataset: &'a Dataset) -> Self {
+    pub fn new(view: &'a dyn StudyView) -> Self {
         SystemSim {
-            dataset,
+            view,
             model: ModelKind::sporadic_default(),
             policy: PolicyKind::MaxAv,
             replication_degree: 4,
             reads_per_friend_day: 0.1,
             dissemination: DisseminationMode::FriendToFriend,
+            transport: None,
         }
     }
 
@@ -102,146 +146,128 @@ impl<'a> SystemSim<'a> {
         self
     }
 
+    /// Overrides the transport used for friend-to-friend dissemination
+    /// (defaults to [`InstantTransport`]).
+    pub fn transport(&mut self, transport: &'a dyn Transport) -> &mut Self {
+        self.transport = Some(transport);
+        self
+    }
+
     /// Runs the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view does not retain the full activity stream
+    /// ([`StudyView::supports_replay`] is false).
     pub fn run(&self, config: &StudyConfig) -> SystemReport {
-        let dataset = self.dataset;
+        self.run_with_stats(config).0
+    }
+
+    /// Runs the simulation and also returns the event-loop counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view does not retain the full activity stream.
+    pub fn run_with_stats(&self, config: &StudyConfig) -> (SystemReport, RunStats) {
+        let view = self.view;
+        // Stage 1: model everyone's online schedule.
         let built_model = self.model.build();
         let mut model_rng = StdRng::seed_from_u64(config.seed() ^ 0x51D);
-        let schedules: OnlineSchedules = built_model.schedules(dataset, &mut model_rng);
+        let schedules: OnlineSchedules = built_model.schedules_from(view, &mut model_rng);
 
-        // Stage 2: placement for every user.
-        let built_policy = self.policy.build();
-        let placements: Vec<Vec<UserId>> = dataset
-            .users()
-            .map(|user| {
+        // Stage 2: placement for every user. Each placement draws from
+        // its own user-seeded RNG, so contiguous chunks parallelize
+        // without changing a single choice.
+        let placements = self.place_all(&schedules, config);
+
+        // Stage 3: compile the inputs into the event stream.
+        let mut activities: Vec<Activity> = Vec::with_capacity(view.activity_count());
+        view.for_each_activity(&mut |a| activities.push(*a));
+        let span_days = activities
+            .last()
+            .map(|a| a.timestamp().day_index() + 1)
+            .unwrap_or(1);
+        let posts: Vec<ScheduledEvent> = activities
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                ScheduledEvent::new(a.timestamp(), i as u64, Event::Post { activity: event_index(i) })
+            })
+            .collect();
+        let reads = self.draw_reads(view, &schedules, span_days, config);
+
+        // Stage 4: run the state machine over the merged stream.
+        let transport = self.transport.unwrap_or(&InstantTransport);
+        let mut queue = EventQueue::new().with_sessions(&schedules, 0..span_days);
+        queue.push_stream(posts);
+        queue.push_stream(reads);
+        let mut runtime = NodeRuntime::new(
+            &schedules,
+            &placements,
+            &activities,
+            transport,
+            self.dissemination,
+        );
+        while let Some(ev) = queue.pop() {
+            runtime.handle(ev, &mut queue);
+        }
+        let stats = runtime.stats();
+        (runtime.into_report(), stats)
+    }
+
+    /// Stage-2 placements, parallelized over contiguous user chunks.
+    fn place_all(&self, schedules: &OnlineSchedules, config: &StudyConfig) -> Vec<Vec<UserId>> {
+        let view = self.view;
+        let n = view.user_count();
+        let threads = config.effective_threads().min(n.max(1));
+        let mut placements: Vec<Vec<UserId>> = vec![Vec::new(); n];
+        let chunk_len = n.div_ceil(threads.max(1));
+        let place_chunk = |start: usize, out: &mut [Vec<UserId>]| {
+            let built_policy = self.policy.build();
+            for (off, slot) in out.iter_mut().enumerate() {
+                let user = UserId::from_index(start + off);
                 let mut rng = StdRng::seed_from_u64(config.seed() ^ u64::from(user.as_u32()));
-                built_policy.place(
-                    dataset,
-                    &schedules,
+                *slot = built_policy.place(
+                    view,
+                    schedules,
                     user,
                     self.replication_degree,
                     config.connectivity(),
                     &mut rng,
-                )
-            })
-            .collect();
-
-        // Stage 3: chronological trace replay.
-        let n = dataset.user_count();
-        let mut stored = vec![0u64; n];
-        let mut sent = vec![0u64; n];
-        let mut delivered = 0usize;
-        let mut staleness = Summary::new();
-        let mut incomplete = 0usize;
-
-        for activity in dataset.activities() {
-            let receiver = activity.receiver();
-            let t = activity.timestamp();
-            // The profile's hosts: the owner plus the replicas.
-            let mut hosts: Vec<UserId> = Vec::with_capacity(
-                placements[receiver.index()].len() + 1,
-            );
-            hosts.push(receiver);
-            hosts.extend_from_slice(&placements[receiver.index()]);
-            // Which hosts are online at the post's instant?
-            let online: Vec<usize> = hosts
-                .iter()
-                .enumerate()
-                .filter(|(_, &h)| schedules[h].contains(t.time_of_day()))
-                .map(|(i, _)| i)
-                .collect();
-            if online.is_empty() {
-                continue; // post failed: profile unavailable
+                );
             }
-            delivered += 1;
-            // The online hosts store the update immediately; the
-            // creator's node sent one message per online host it is not
-            // itself.
-            for &i in &online {
-                stored[hosts[i].index()] += 1;
-                if hosts[i] != activity.creator() {
-                    sent[activity.creator().index()] += 1;
+        };
+        if threads <= 1 || chunk_len == 0 {
+            place_chunk(0, &mut placements);
+        } else {
+            std::thread::scope(|scope| {
+                for (i, out) in placements.chunks_mut(chunk_len).enumerate() {
+                    let place_chunk = &place_chunk;
+                    scope.spawn(move || place_chunk(i * chunk_len, out));
                 }
-            }
-            if online.len() == hosts.len() {
-                staleness.add(0.0);
-                continue;
-            }
-            // Dissemination to the offline hosts.
-            match self.dissemination {
-                DisseminationMode::FriendToFriend => {
-                    let outcome = simulate_update_from_sources(&hosts, &schedules, &online, t);
-                    let mut worst = 0u64;
-                    let mut all_reached = true;
-                    for (i, arrival) in outcome.arrivals().iter().enumerate() {
-                        if online.contains(&i) {
-                            continue;
-                        }
-                        match arrival.arrival {
-                            Some(at) => {
-                                worst = worst.max(at.seconds_since(t));
-                                stored[hosts[i].index()] += 1;
-                                // Attribute one message to some
-                                // already-holding host; the epidemic
-                                // sender is whichever peer it met —
-                                // accounting to the receiver's first
-                                // online source keeps totals right.
-                                sent[hosts[online[0]].index()] += 1;
-                            }
-                            None => all_reached = false,
-                        }
-                    }
-                    if all_reached {
-                        staleness.add(worst as f64 / 3_600.0);
-                    } else {
-                        incomplete += 1;
-                    }
-                }
-                DisseminationMode::Cloud { latency_secs } => {
-                    // One upload, then every offline host fetches at
-                    // its next online instant.
-                    sent[activity.creator().index()] += 1;
-                    let ready = t.saturating_add(latency_secs);
-                    let mut worst = 0u64;
-                    let mut all_reached = true;
-                    for (i, &host) in hosts.iter().enumerate() {
-                        if online.contains(&i) {
-                            continue;
-                        }
-                        match schedules[host].wait_until_online(ready.time_of_day()) {
-                            Some(wait) => {
-                                let delay =
-                                    latency_secs + u64::from(wait);
-                                worst = worst.max(delay);
-                                stored[host.index()] += 1;
-                                sent[host.index()] += 1; // the fetch
-                            }
-                            None => all_reached = false,
-                        }
-                    }
-                    if all_reached {
-                        staleness.add(worst as f64 / 3_600.0);
-                    } else {
-                        incomplete += 1;
-                    }
-                }
-            }
+            });
         }
+        placements
+    }
 
-        // Stage 4: read traffic — friends fetch profiles while online.
-        let span_days = dataset
-            .activities()
-            .last()
-            .map(|a| a.timestamp().day_index() + 1)
-            .unwrap_or(1);
+    /// Draws the profile-read schedule: for every (owner, friend) pair,
+    /// a count with expectation `rate × span_days`, each read at one of
+    /// the friend's online seconds. The RNG consumption order is the
+    /// batch pipeline's (owner-major, then candidate order); each read's
+    /// day is assigned round-robin without consuming randomness.
+    fn draw_reads(
+        &self,
+        view: &dyn StudyView,
+        schedules: &OnlineSchedules,
+        span_days: u64,
+        config: &StudyConfig,
+    ) -> Vec<ScheduledEvent> {
         let mut read_rng = StdRng::seed_from_u64(config.seed() ^ 0x5EAD);
-        let mut reads_total = 0usize;
-        let mut reads_served = 0usize;
-        for user in dataset.users() {
-            let hosts: Vec<UserId> = std::iter::once(user)
-                .chain(placements[user.index()].iter().copied())
-                .collect();
-            for &friend in dataset.replica_candidates(user) {
+        let mut events: Vec<ScheduledEvent> = Vec::new();
+        let mut seq = 0u64;
+        for i in 0..view.user_count() {
+            let owner = UserId::from_index(i);
+            for &friend in view.replica_candidates(owner) {
                 let reads = sample_count(
                     self.reads_per_friend_day * span_days as f64,
                     &mut read_rng,
@@ -251,29 +277,24 @@ impl<'a> SystemSim<'a> {
                     else {
                         break; // friend never online: no reads issued
                     };
-                    reads_total += 1;
-                    if hosts.iter().any(|&h| schedules[h].contains(tod)) {
-                        reads_served += 1;
-                    }
+                    let day = seq % span_days;
+                    events.push(ScheduledEvent::new(
+                        dosn_interval::Timestamp::from_day_and_offset(day, tod),
+                        seq,
+                        Event::ProfileRead { owner, reader: friend },
+                    ));
+                    seq += 1;
                 }
             }
         }
-
-        let mut accounting = NodeAccounting::default();
-        for u in 0..n {
-            accounting.stored_updates.add(stored[u] as f64);
-            accounting.messages_sent.add(sent[u] as f64);
-        }
-        SystemReport::new(
-            dataset.activity_count(),
-            delivered,
-            staleness,
-            incomplete,
-            reads_total,
-            reads_served,
-            accounting,
-        )
+        events.sort_unstable();
+        events
     }
+}
+
+/// Converts an activity index to the event payload's u32.
+fn event_index(i: usize) -> u32 {
+    u32::try_from(i).unwrap_or_else(|_| panic!("{i} activities exceed the event index capacity"))
 }
 
 /// Draws an integer count with the given expectation (floor plus a
@@ -303,7 +324,7 @@ fn random_online_second(
 mod tests {
     use super::*;
     use dosn_replication::Connectivity;
-    use dosn_trace::synth;
+    use dosn_trace::{synth, Dataset};
 
     fn dataset() -> Dataset {
         synth::facebook_like(150, 13).unwrap()
@@ -434,5 +455,42 @@ mod tests {
         let a = SystemSim::new(&ds).run(&config);
         let b = SystemSim::new(&ds).run(&config);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_count_every_event_class() {
+        let ds = dataset();
+        let (report, stats) = SystemSim::new(&ds)
+            .model(ModelKind::fixed_hours(6))
+            .run_with_stats(&StudyConfig::default());
+        assert_eq!(stats.post_events as usize, report.posts_total());
+        assert_eq!(stats.read_events as usize, report.reads_total());
+        assert!(stats.session_events > 0);
+        assert!(stats.delivery_events > 0, "fixed-hours runs disseminate");
+        assert_eq!(
+            stats.events_processed,
+            stats.session_events + stats.post_events + stats.read_events + stats.delivery_events
+        );
+    }
+
+    #[test]
+    fn custom_transport_slots_into_the_runtime() {
+        use crate::transport::FixedLatencyTransport;
+        let ds = dataset();
+        let config = StudyConfig::default();
+        let instant = SystemSim::new(&ds)
+            .model(ModelKind::fixed_hours(4))
+            .run(&config);
+        let slow = FixedLatencyTransport { latency_secs: 1_800 };
+        let delayed = SystemSim::new(&ds)
+            .model(ModelKind::fixed_hours(4))
+            .transport(&slow)
+            .run(&config);
+        // Same delivery decisions (post-time availability is unchanged)…
+        assert_eq!(instant.posts_delivered(), delayed.posts_delivered());
+        // …but every non-instant arrival is later.
+        let a = instant.staleness_hours().mean().unwrap();
+        let b = delayed.staleness_hours().mean().unwrap();
+        assert!(b > a, "latency transport should raise staleness: {a} vs {b}");
     }
 }

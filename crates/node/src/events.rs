@@ -1,0 +1,448 @@
+//! The discrete-event scheduler: a deterministic, stable-ordered queue
+//! of typed node-runtime events.
+//!
+//! Three event sources feed the queue:
+//!
+//! * **static streams** — pre-sorted vectors (trace posts, drawn profile
+//!   reads) drained by cursor, zero rescheduling cost;
+//! * **session boundaries** — `SessionStart`/`SessionEnd` pairs derived
+//!   from the drawn [`OnlineSchedules`], generated lazily one day at a
+//!   time so a 100k-user multi-week replay never materializes the full
+//!   boundary stream;
+//! * **dynamic events** — `Disseminate`/`CloudFetch` deliveries the
+//!   state machine schedules while handling earlier events.
+//!
+//! Every event carries a total order key `(time, class, seq)`: `class`
+//! ranks same-instant events (session boundaries settle before payload
+//! events consult online flags; `SessionEnd` precedes `SessionStart` so
+//! a midnight-wrapping window's split at the day boundary closes and
+//! reopens without a gap), and `seq` is the creation sequence within a
+//! source — so the pop order is independent of thread count, hash state,
+//! and insertion batching.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dosn_interval::Timestamp;
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+
+/// A typed node-runtime event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A node comes online: one of its schedule windows opens.
+    SessionStart {
+        /// The node going online.
+        user: UserId,
+    },
+    /// A node goes offline: one of its schedule windows closes.
+    SessionEnd {
+        /// The node going offline.
+        user: UserId,
+    },
+    /// A wall post lands on its receiver's profile; `activity` indexes
+    /// the compiled trace.
+    Post {
+        /// Index into the chronological activity stream.
+        activity: u32,
+    },
+    /// A friend fetches a profile during its own online time.
+    ProfileRead {
+        /// The profile's owner.
+        owner: UserId,
+        /// The reading friend.
+        reader: UserId,
+    },
+    /// A pending update reaches a host that was offline at post time,
+    /// over co-online replica contacts.
+    Disseminate {
+        /// Index of the post being delivered.
+        post: u32,
+        /// The host receiving its copy now.
+        host: UserId,
+        /// The already-holding peer the transfer is accounted to.
+        source: UserId,
+    },
+    /// A host that was offline at post time fetches the update from the
+    /// always-on store upon coming back online.
+    CloudFetch {
+        /// Index of the post being delivered.
+        post: u32,
+        /// The host fetching its copy now.
+        host: UserId,
+    },
+}
+
+impl Event {
+    /// Same-instant processing rank. Session boundaries settle first
+    /// (End before Start, see the module docs), then deliveries of
+    /// already-pending state, then new work.
+    fn class(self) -> u8 {
+        match self {
+            Event::SessionEnd { .. } => 0,
+            Event::SessionStart { .. } => 1,
+            Event::Disseminate { .. } => 2,
+            Event::CloudFetch { .. } => 3,
+            Event::Post { .. } => 4,
+            Event::ProfileRead { .. } => 5,
+        }
+    }
+}
+
+/// An [`Event`] with its position in the global total order.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledEvent {
+    /// Absolute fire time.
+    pub at: Timestamp,
+    /// Same-instant class rank (see [`Event::class`]).
+    class: u8,
+    /// Creation sequence within the event's source; breaks remaining
+    /// ties deterministically.
+    seq: u64,
+    /// The payload.
+    pub event: Event,
+}
+
+impl ScheduledEvent {
+    /// Wraps `event` for time `at` with tie-break sequence `seq`.
+    pub fn new(at: Timestamp, seq: u64, event: Event) -> Self {
+        ScheduledEvent {
+            at,
+            class: event.class(),
+            seq,
+            event,
+        }
+    }
+
+    fn key(&self) -> (Timestamp, u8, u64) {
+        (self.at, self.class, self.seq)
+    }
+}
+
+// The order (and equality) is the queue key alone: sources never emit
+// two events with the same (time, class, seq), and keeping the payload
+// out of the comparison keeps Ord consistent with Eq by construction.
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// The `SessionStart`/`SessionEnd` events of every user's schedule for
+/// one day, in queue order. A window `[s, e)` on day `d` opens at
+/// `(d, s)` and closes at `(d, e)` — a midnight-wrapping window is
+/// already split into two within-day windows by [`DaySchedule`]'s
+/// canonical form, and the End-before-Start class rank rejoins the
+/// halves seamlessly at the boundary.
+///
+/// [`DaySchedule`]: dosn_interval::DaySchedule
+pub fn session_events_for_day(schedules: &OnlineSchedules, day: u64) -> Vec<ScheduledEvent> {
+    let mut raw: Vec<(Timestamp, u8, UserId)> = Vec::new();
+    for (user, schedule) in schedules.iter() {
+        for w in schedule.windows() {
+            raw.push((Timestamp::from_day_and_offset(day, w.start()), 1, user));
+            raw.push((Timestamp::from_day_and_offset(day, w.end()), 0, user));
+        }
+    }
+    // Users iterate in id order, so the sort tie-breaks identically
+    // every run; per-day seq numbers then pin the order in the queue.
+    raw.sort_unstable_by_key(|&(at, class, user)| (at, class, user));
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(at, class, user))| {
+            let event = if class == 0 {
+                Event::SessionEnd { user }
+            } else {
+                Event::SessionStart { user }
+            };
+            ScheduledEvent::new(at, i as u64, event)
+        })
+        .collect()
+}
+
+/// A pre-sorted event vector drained front to back.
+#[derive(Debug, Default)]
+struct Stream {
+    events: Vec<ScheduledEvent>,
+    cursor: usize,
+}
+
+impl Stream {
+    fn head(&self) -> Option<&ScheduledEvent> {
+        self.events.get(self.cursor)
+    }
+
+    fn pop(&mut self) -> Option<ScheduledEvent> {
+        let ev = self.events.get(self.cursor).copied();
+        self.cursor += ev.is_some() as usize;
+        ev
+    }
+}
+
+/// Lazy per-day session boundary generation over a day range.
+#[derive(Debug)]
+struct SessionFeeder<'a> {
+    schedules: &'a OnlineSchedules,
+    next_day: u64,
+    end_day: u64,
+    buffer: Stream,
+}
+
+impl SessionFeeder<'_> {
+    /// Whether another day can still be generated.
+    fn has_more_days(&self) -> bool {
+        self.next_day < self.end_day
+    }
+
+    fn feed_next_day(&mut self) {
+        debug_assert!(self.has_more_days());
+        debug_assert!(self.buffer.head().is_none(), "previous day not drained");
+        self.buffer = Stream {
+            events: session_events_for_day(self.schedules, self.next_day),
+            cursor: 0,
+        };
+        self.next_day += 1;
+    }
+}
+
+/// The deterministic event queue: a k-way merge of static streams, the
+/// lazy session feeder, and a heap of dynamically scheduled events.
+///
+/// # Examples
+///
+/// ```
+/// use dosn_interval::Timestamp;
+/// use dosn_node::{Event, EventQueue, ScheduledEvent};
+/// use dosn_socialgraph::UserId;
+///
+/// let mut q = EventQueue::new();
+/// q.push_stream(vec![ScheduledEvent::new(
+///     Timestamp::new(50),
+///     0,
+///     Event::Post { activity: 0 },
+/// )]);
+/// q.schedule(
+///     Timestamp::new(10),
+///     Event::Disseminate { post: 0, host: UserId::new(1), source: UserId::new(0) },
+/// );
+/// let first = q.pop().expect("two events queued");
+/// assert_eq!(first.at, Timestamp::new(10));
+/// assert!(q.pop().is_some());
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<'a> {
+    streams: Vec<Stream>,
+    heap: BinaryHeap<Reverse<ScheduledEvent>>,
+    next_seq: u64,
+    sessions: Option<SessionFeeder<'a>>,
+}
+
+impl Default for EventQueue<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> EventQueue<'a> {
+    /// An empty queue.
+    pub fn new() -> EventQueue<'a> {
+        EventQueue {
+            streams: Vec::new(),
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            sessions: None,
+        }
+    }
+
+    /// Attaches lazy session boundary generation for `days` (half-open
+    /// day range) over `schedules`.
+    #[must_use]
+    pub fn with_sessions(mut self, schedules: &'a OnlineSchedules, days: std::ops::Range<u64>) -> Self {
+        self.sessions = Some(SessionFeeder {
+            schedules,
+            next_day: days.start,
+            end_day: days.end,
+            buffer: Stream::default(),
+        });
+        self
+    }
+
+    /// Adds a static stream. `events` must already be sorted by queue
+    /// order ([`ScheduledEvent`]'s `Ord`).
+    pub fn push_stream(&mut self, events: Vec<ScheduledEvent>) {
+        debug_assert!(
+            events.windows(2).all(|w| w[0] <= w[1]),
+            "static stream must be pre-sorted"
+        );
+        self.streams.push(Stream { events, cursor: 0 });
+    }
+
+    /// Schedules a dynamic event; among dynamic events at equal time and
+    /// class, creation order is the pop order.
+    pub fn schedule(&mut self, at: Timestamp, event: Event) {
+        let ev = ScheduledEvent::new(at, self.next_seq, event);
+        self.next_seq += 1;
+        self.heap.push(Reverse(ev));
+    }
+
+    /// Index of the non-feeder source currently holding the smallest
+    /// head, if any. `usize::MAX` denotes the heap.
+    fn best_source(&self) -> Option<(usize, ScheduledEvent)> {
+        let mut best: Option<(usize, ScheduledEvent)> = None;
+        let consider = |best: &mut Option<(usize, ScheduledEvent)>, src: usize, ev: ScheduledEvent| {
+            if best.is_none_or(|(_, b)| ev < b) {
+                *best = Some((src, ev));
+            }
+        };
+        for (i, s) in self.streams.iter().enumerate() {
+            if let Some(&ev) = s.head() {
+                consider(&mut best, i, ev);
+            }
+        }
+        if let Some(f) = &self.sessions {
+            if let Some(&ev) = f.buffer.head() {
+                consider(&mut best, usize::MAX - 1, ev);
+            }
+        }
+        if let Some(&Reverse(ev)) = self.heap.peek() {
+            consider(&mut best, usize::MAX, ev);
+        }
+        best
+    }
+
+    /// Removes and returns the globally next event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        loop {
+            let best = self.best_source();
+            // Generate the next day of session events once the merge
+            // front reaches (or runs past) that day's start.
+            if let Some(f) = self.sessions.as_mut() {
+                if f.buffer.head().is_none() && f.has_more_days() {
+                    let boundary = Timestamp::from_day_and_offset(f.next_day, 0);
+                    let need_day = match best {
+                        None => true,
+                        Some((_, ev)) => ev.at >= boundary,
+                    };
+                    if need_day {
+                        f.feed_next_day();
+                        continue;
+                    }
+                }
+            }
+            return match best {
+                None => None,
+                Some((src, _)) if src == usize::MAX => self.heap.pop().map(|Reverse(ev)| ev),
+                Some((src, _)) if src == usize::MAX - 1 => {
+                    self.sessions.as_mut().and_then(|f| f.buffer.pop())
+                }
+                Some((src, _)) => self.streams[src].pop(),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_interval::DaySchedule;
+
+    fn user(i: u32) -> UserId {
+        UserId::new(i)
+    }
+
+    #[test]
+    fn classes_rank_session_boundaries_before_payloads() {
+        let t = Timestamp::new(1_000);
+        let mut q = EventQueue::new();
+        q.push_stream(vec![ScheduledEvent::new(t, 0, Event::Post { activity: 0 })]);
+        q.schedule(t, Event::Disseminate { post: 0, host: user(1), source: user(0) });
+        let mut classes = Vec::new();
+        while let Some(ev) = q.pop() {
+            classes.push(ev.event);
+        }
+        assert!(matches!(classes[0], Event::Disseminate { .. }));
+        assert!(matches!(classes[1], Event::Post { .. }));
+    }
+
+    #[test]
+    fn equal_keys_pop_in_creation_order() {
+        let t = Timestamp::new(7);
+        let mut q = EventQueue::new();
+        for post in 0..5u32 {
+            q.schedule(t, Event::CloudFetch { post, host: user(post) });
+        }
+        let mut posts = Vec::new();
+        while let Some(ev) = q.pop() {
+            match ev.event {
+                Event::CloudFetch { post, .. } => posts.push(post),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(posts, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn session_events_split_wrapping_windows_at_midnight() {
+        let schedules = OnlineSchedules::new(vec![
+            DaySchedule::window_wrapping(80_000, 10_000).expect("valid window"),
+        ]);
+        let events = session_events_for_day(&schedules, 0);
+        // The wrapping window canonicalizes to [0, 3600) and [80000, 86400):
+        // Start@0, End@3600, Start@80000, End@86400 (= next-day 00:00).
+        assert_eq!(events.len(), 4);
+        assert!(matches!(events[0].event, Event::SessionStart { .. }));
+        assert_eq!(events[0].at, Timestamp::new(0));
+        assert!(matches!(events[3].event, Event::SessionEnd { .. }));
+        assert_eq!(events[3].at, Timestamp::from_day_and_offset(1, 0));
+    }
+
+    #[test]
+    fn lazy_feeder_merges_with_streams_in_global_order() {
+        let schedules = OnlineSchedules::new(vec![
+            DaySchedule::window_wrapping(100, 200).expect("valid window"),
+        ]);
+        let mut q = EventQueue::new().with_sessions(&schedules, 0..3);
+        let posts: Vec<ScheduledEvent> = (0..3u32)
+            .map(|d| {
+                ScheduledEvent::new(
+                    Timestamp::from_day_and_offset(u64::from(d), 150),
+                    u64::from(d),
+                    Event::Post { activity: d },
+                )
+            })
+            .collect();
+        q.push_stream(posts);
+        let mut order = Vec::new();
+        let mut last: Option<ScheduledEvent> = None;
+        while let Some(ev) = q.pop() {
+            if let Some(prev) = last {
+                assert!(prev <= ev, "events popped out of order");
+            }
+            last = Some(ev);
+            order.push(ev.event);
+        }
+        // Per day: Start@100, Post@150, End@300 — three days' worth.
+        assert_eq!(order.len(), 9);
+        for day in 0..3 {
+            assert!(matches!(order[day * 3], Event::SessionStart { .. }));
+            assert!(matches!(order[day * 3 + 1], Event::Post { .. }));
+            assert!(matches!(order[day * 3 + 2], Event::SessionEnd { .. }));
+        }
+    }
+}

@@ -14,6 +14,20 @@
 //! * **overhead** — replica messages exchanged and per-node storage
 //!   (the paper's storage/communication fairness concern, measured).
 //!
+//! # Architecture
+//!
+//! The replay is layered (DESIGN.md §9): `events.rs` is a
+//! deterministic discrete-event scheduler — an [`EventQueue`] totally
+//! ordered by `(time, class, seq)` that feeds session events one day
+//! at a time; `state.rs` holds the per-node state machines
+//! ([`NodeRuntime`] consumes one event at a time and folds post
+//! outcomes into the report in trace order); `transport.rs` answers
+//! when offline hosts receive an update ([`InstantTransport`] wraps
+//! the co-online propagation oracle; latency-injecting or lossy media
+//! are one-struct additions). [`SystemSim`] is the facade that wires
+//! them up over any [`dosn_trace::StudyView`] — in-memory datasets or
+//! CSR shard datasets built with a replay log.
+//!
 //! # Examples
 //!
 //! ```
@@ -35,7 +49,13 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod engine;
+mod events;
 mod report;
+mod state;
+mod transport;
 
-pub use engine::{DisseminationMode, SystemSim};
+pub use engine::{DisseminationMode, RunStats, SystemSim};
+pub use events::{session_events_for_day, Event, EventQueue, ScheduledEvent};
 pub use report::{NodeAccounting, SystemReport};
+pub use state::{NodeRuntime, NodeState};
+pub use transport::{FixedLatencyTransport, InstantTransport, Transport};

@@ -1,0 +1,306 @@
+//! The per-node state machine layer: replica stores, pending-update
+//! queues, and the forwarding logic, driven one [`Event`] at a time.
+//!
+//! [`NodeRuntime`] owns one [`NodeState`] per user and consumes the
+//! scheduler's event stream: session boundaries toggle online flags,
+//! posts land on whichever profile hosts are online and hand the rest to
+//! the [`Transport`], and delivery events (`Disseminate`/`CloudFetch`)
+//! move updates from pending to stored with the per-node message
+//! accounting the batch pipeline used to do inline. At the end of the
+//! stream [`NodeRuntime::into_report`] folds the per-post outcomes (in
+//! trace order, so float accumulation is bit-identical to the historic
+//! batch loop) and the per-node counters into a [`SystemReport`].
+
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+use dosn_trace::Activity;
+
+use crate::engine::{DisseminationMode, RunStats};
+use crate::events::{Event, EventQueue, ScheduledEvent};
+use crate::report::{NodeAccounting, SystemReport};
+use crate::transport::Transport;
+
+/// One node's live state during a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeState {
+    /// Whether the node is inside one of its online sessions.
+    pub online: bool,
+    /// Updates held: the node's own accepted posts plus replicated ones.
+    pub stored_updates: u64,
+    /// Transfer messages attributed to this node as the sender (or, for
+    /// cloud fetches, as the fetching client).
+    pub messages_sent: u64,
+    /// Updates en route: scheduled to arrive but not yet delivered.
+    pub pending_updates: u64,
+}
+
+/// What became of one post; folded into the report in trace order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PostOutcome {
+    /// No profile host online at the post instant: the post failed.
+    Failed,
+    /// Every host was online: stored instantly everywhere.
+    Instant,
+    /// Dissemination reached every offline host; worst arrival lag.
+    Complete {
+        /// Seconds until the last host held the update.
+        worst_secs: u64,
+    },
+    /// At least one offline host is unreachable within the horizon.
+    Incomplete,
+}
+
+/// The event-consuming node state machine.
+///
+/// Feed it every event the scheduler pops; it updates node state,
+/// schedules delivery events back onto the queue, and accumulates the
+/// run's report.
+pub struct NodeRuntime<'a> {
+    nodes: Vec<NodeState>,
+    schedules: &'a OnlineSchedules,
+    placements: &'a [Vec<UserId>],
+    activities: &'a [Activity],
+    transport: &'a dyn Transport,
+    dissemination: DisseminationMode,
+    outcomes: Vec<PostOutcome>,
+    reads_total: usize,
+    reads_served: usize,
+    stats: RunStats,
+}
+
+impl std::fmt::Debug for NodeRuntime<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRuntime")
+            .field("nodes", &self.nodes.len())
+            .field("posts", &self.activities.len())
+            .field("transport", &self.transport.name())
+            .field("dissemination", &self.dissemination)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> NodeRuntime<'a> {
+    /// A runtime over every user of `schedules`, with all nodes initially
+    /// offline (the day-0 `SessionStart` events bring them up).
+    pub fn new(
+        schedules: &'a OnlineSchedules,
+        placements: &'a [Vec<UserId>],
+        activities: &'a [Activity],
+        transport: &'a dyn Transport,
+        dissemination: DisseminationMode,
+    ) -> Self {
+        NodeRuntime {
+            nodes: vec![NodeState::default(); schedules.user_count()],
+            schedules,
+            placements,
+            activities,
+            transport,
+            dissemination,
+            outcomes: vec![PostOutcome::Failed; activities.len()],
+            reads_total: 0,
+            reads_served: 0,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// One node's current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn node(&self, user: UserId) -> &NodeState {
+        &self.nodes[user.index()]
+    }
+
+    /// Event counts so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Consumes one event, possibly scheduling delivery events onto
+    /// `queue`.
+    pub fn handle(&mut self, ev: ScheduledEvent, queue: &mut EventQueue<'_>) {
+        self.stats.events_processed += 1;
+        match ev.event {
+            Event::SessionStart { user } => {
+                self.stats.session_events += 1;
+                self.nodes[user.index()].online = true;
+            }
+            Event::SessionEnd { user } => {
+                self.stats.session_events += 1;
+                self.nodes[user.index()].online = false;
+            }
+            Event::Post { activity } => {
+                self.stats.post_events += 1;
+                self.handle_post(activity, ev, queue);
+            }
+            Event::ProfileRead { owner, reader: _ } => {
+                self.stats.read_events += 1;
+                self.reads_total += 1;
+                let served = self.nodes[owner.index()].online
+                    || self.placements[owner.index()]
+                        .iter()
+                        .any(|&h| self.nodes[h.index()].online);
+                self.reads_served += served as usize;
+            }
+            Event::Disseminate { post: _, host, source } => {
+                self.stats.delivery_events += 1;
+                let h = &mut self.nodes[host.index()];
+                h.stored_updates += 1;
+                h.pending_updates -= 1;
+                self.nodes[source.index()].messages_sent += 1;
+            }
+            Event::CloudFetch { post: _, host } => {
+                self.stats.delivery_events += 1;
+                let h = &mut self.nodes[host.index()];
+                h.stored_updates += 1;
+                h.pending_updates -= 1;
+                h.messages_sent += 1; // the fetch
+            }
+        }
+    }
+
+    fn handle_post(&mut self, activity: u32, ev: ScheduledEvent, queue: &mut EventQueue<'_>) {
+        let idx = activity as usize;
+        let a = self.activities[idx];
+        let receiver = a.receiver();
+        let t = ev.at;
+        // The profile's hosts: the owner plus the replicas.
+        let placement = &self.placements[receiver.index()];
+        let mut hosts: Vec<UserId> = Vec::with_capacity(placement.len() + 1);
+        hosts.push(receiver);
+        hosts.extend_from_slice(placement);
+        // Which hosts are online at the post's instant? The session
+        // events have already settled this instant's flags.
+        let online: Vec<usize> = hosts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| self.nodes[h.index()].online)
+            .map(|(i, _)| i)
+            .collect();
+        if online.is_empty() {
+            self.outcomes[idx] = PostOutcome::Failed;
+            return;
+        }
+        // The online hosts store the update immediately; the creator's
+        // node sent one message per online host it is not itself.
+        for &i in &online {
+            self.nodes[hosts[i].index()].stored_updates += 1;
+            if hosts[i] != a.creator() {
+                self.nodes[a.creator().index()].messages_sent += 1;
+            }
+        }
+        if online.len() == hosts.len() {
+            self.outcomes[idx] = PostOutcome::Instant;
+            return;
+        }
+        // Dissemination to the offline hosts: ask the transport when
+        // each copy lands, then schedule the delivery events.
+        self.outcomes[idx] = match self.dissemination {
+            DisseminationMode::FriendToFriend => {
+                let arrivals = self.transport.disseminate(&hosts, self.schedules, &online, t);
+                // Attribute transfers to some already-holding host; the
+                // epidemic sender is whichever peer it met — accounting
+                // to the first online source keeps totals right.
+                let source = hosts[online[0]];
+                let mut worst = 0u64;
+                let mut all_reached = true;
+                for (i, arrival) in arrivals.iter().enumerate() {
+                    if online.contains(&i) {
+                        continue;
+                    }
+                    match *arrival {
+                        Some(at) => {
+                            worst = worst.max(at.seconds_since(t));
+                            self.nodes[hosts[i].index()].pending_updates += 1;
+                            queue.schedule(
+                                at,
+                                Event::Disseminate { post: activity, host: hosts[i], source },
+                            );
+                        }
+                        None => all_reached = false,
+                    }
+                }
+                if all_reached {
+                    PostOutcome::Complete { worst_secs: worst }
+                } else {
+                    PostOutcome::Incomplete
+                }
+            }
+            DisseminationMode::Cloud { latency_secs } => {
+                // One upload, then every offline host fetches at its
+                // next online instant after the store has the update.
+                self.nodes[a.creator().index()].messages_sent += 1;
+                let ready = t.saturating_add(latency_secs);
+                let mut worst = 0u64;
+                let mut all_reached = true;
+                for (i, &host) in hosts.iter().enumerate() {
+                    if online.contains(&i) {
+                        continue;
+                    }
+                    match self.schedules[host].wait_until_online(ready.time_of_day()) {
+                        Some(wait) => {
+                            let delay = latency_secs + u64::from(wait);
+                            worst = worst.max(delay);
+                            self.nodes[host.index()].pending_updates += 1;
+                            queue.schedule(
+                                t.saturating_add(delay),
+                                Event::CloudFetch { post: activity, host },
+                            );
+                        }
+                        None => all_reached = false,
+                    }
+                }
+                if all_reached {
+                    PostOutcome::Complete { worst_secs: worst }
+                } else {
+                    PostOutcome::Incomplete
+                }
+            }
+        };
+    }
+
+    /// Folds the run into a [`SystemReport`]: per-post outcomes in trace
+    /// order first (the float-accumulation order of the historic batch
+    /// loop), then per-node accounting in user order.
+    ///
+    /// Counts reads issued via the queue's `ProfileRead` events.
+    pub fn into_report(self) -> SystemReport {
+        let mut delivered = 0usize;
+        let mut staleness = dosn_metrics::Summary::new();
+        let mut incomplete = 0usize;
+        for outcome in &self.outcomes {
+            match *outcome {
+                PostOutcome::Failed => {}
+                PostOutcome::Instant => {
+                    delivered += 1;
+                    staleness.add(0.0);
+                }
+                PostOutcome::Complete { worst_secs } => {
+                    delivered += 1;
+                    staleness.add(worst_secs as f64 / 3_600.0);
+                }
+                PostOutcome::Incomplete => {
+                    delivered += 1;
+                    incomplete += 1;
+                }
+            }
+        }
+        let mut accounting = NodeAccounting::default();
+        for node in &self.nodes {
+            debug_assert_eq!(node.pending_updates, 0, "undelivered scheduled update");
+            accounting.stored_updates.add(node.stored_updates as f64);
+            accounting.messages_sent.add(node.messages_sent as f64);
+        }
+        SystemReport::new(
+            self.activities.len(),
+            delivered,
+            staleness,
+            incomplete,
+            self.reads_total,
+            self.reads_served,
+            accounting,
+        )
+    }
+}

@@ -350,6 +350,34 @@ pub trait StudyView: Sync {
             .filter(|&u| self.replica_candidates(u).len() == degree)
             .collect()
     }
+
+    /// Total number of activities in the trace.
+    fn activity_count(&self) -> usize;
+
+    /// Whether [`StudyView::for_each_activity`] works on this view — the
+    /// full-system replay needs the complete chronological stream, which
+    /// a compacted view may not retain.
+    fn supports_replay(&self) -> bool {
+        false
+    }
+
+    /// Calls `f` with every activity of the trace in chronological order
+    /// (ties broken like [`Activity`]'s ordering) — the stream the
+    /// full-system runtime compiles into its event queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view does not retain the full stream; check
+    /// [`StudyView::supports_replay`] first. [`Dataset`] always does, a
+    /// [`ScaleDataset`] only when built via
+    /// [`ScaleDataset::from_shards_replay`].
+    fn for_each_activity(&self, f: &mut dyn FnMut(&Activity)) {
+        let _ = f;
+        panic!(
+            "this StudyView does not retain the full activity stream; \
+             build it with a replay log (e.g. ScaleDataset::from_shards_replay)"
+        )
+    }
 }
 
 impl StudyView for Dataset {
@@ -387,6 +415,20 @@ impl StudyView for Dataset {
 
     fn users_with_degree(&self, degree: usize) -> Vec<UserId> {
         Dataset::users_with_degree(self, degree)
+    }
+
+    fn activity_count(&self) -> usize {
+        Dataset::activity_count(self)
+    }
+
+    fn supports_replay(&self) -> bool {
+        true
+    }
+
+    fn for_each_activity(&self, f: &mut dyn FnMut(&Activity)) {
+        for a in &self.activities {
+            f(a);
+        }
     }
 }
 
@@ -438,6 +480,10 @@ pub struct ScaleDataset {
     received_offsets: Vec<u32>,
     received_creators: Vec<UserId>,
     received_tods: Vec<u32>,
+    /// Chronologically sorted full activity stream, retained only when
+    /// built via [`ScaleDataset::from_shards_replay`] — the full-system
+    /// runtime's input.
+    replay: Option<Vec<Activity>>,
 }
 
 impl ScaleDataset {
@@ -450,8 +496,33 @@ impl ScaleDataset {
     /// capacity — a 1M-user trace is two orders of magnitude under it).
     pub fn from_shards(
         name: impl Into<String>,
+        shards: TraceShards,
+        studied: &[UserId],
+    ) -> ScaleDataset {
+        Self::build(name, shards, studied, false)
+    }
+
+    /// Like [`ScaleDataset::from_shards`], but additionally retains the
+    /// full chronological activity stream (16 bytes per activity) so the
+    /// full-system runtime can replay it: [`StudyView::supports_replay`]
+    /// is true on the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace exceeds `u32::MAX` activities.
+    pub fn from_shards_replay(
+        name: impl Into<String>,
+        shards: TraceShards,
+        studied: &[UserId],
+    ) -> ScaleDataset {
+        Self::build(name, shards, studied, true)
+    }
+
+    fn build(
+        name: impl Into<String>,
         mut shards: TraceShards,
         studied: &[UserId],
+        keep_replay: bool,
     ) -> ScaleDataset {
         let mut studied: Vec<UserId> = studied.to_vec();
         studied.sort_unstable();
@@ -463,9 +534,13 @@ impl ScaleDataset {
         let mut created_tods: Vec<u32> = Vec::new();
         let mut received: Vec<Vec<Activity>> = vec![Vec::new(); studied.len()];
         let mut user_scratch: Vec<Activity> = Vec::new();
+        let mut replay: Option<Vec<Activity>> = keep_replay.then(Vec::new);
 
         while let Some(shard) = shards.next_shard() {
             let activities = shard.activities();
+            if let Some(log) = replay.as_mut() {
+                log.extend_from_slice(activities);
+            }
             let mut i = 0;
             for u in shard.users() {
                 let u = UserId::new(u);
@@ -504,6 +579,12 @@ impl ScaleDataset {
             received_offsets.push(csr_offset(received_tods.len()));
         }
 
+        if let Some(log) = replay.as_mut() {
+            // Shards arrive grouped by creator; the runtime wants global
+            // chronological order (the sorted Dataset's order).
+            log.sort_unstable();
+        }
+
         ScaleDataset {
             name: name.into(),
             graph: shards.into_graph(),
@@ -513,6 +594,7 @@ impl ScaleDataset {
             received_offsets,
             received_creators,
             received_tods,
+            replay,
         }
     }
 
@@ -547,6 +629,10 @@ impl ScaleDataset {
             + std::mem::size_of_val(&self.received_offsets[..])
             + std::mem::size_of_val(&self.received_creators[..])
             + std::mem::size_of_val(&self.received_tods[..])
+            + self
+                .replay
+                .as_deref()
+                .map_or(0, std::mem::size_of_val)
     }
 
     fn studied_index(&self, user: UserId) -> usize {
@@ -587,6 +673,26 @@ impl StudyView for ScaleDataset {
             self.received_offsets[s] as usize..self.received_offsets[s + 1] as usize;
         for i in range {
             f(self.received_creators[i], self.received_tods[i]);
+        }
+    }
+
+    fn activity_count(&self) -> usize {
+        ScaleDataset::activity_count(self)
+    }
+
+    fn supports_replay(&self) -> bool {
+        self.replay.is_some()
+    }
+
+    fn for_each_activity(&self, f: &mut dyn FnMut(&Activity)) {
+        let Some(log) = self.replay.as_deref() else {
+            panic!(
+                "this ScaleDataset was built without a replay log; \
+                 use ScaleDataset::from_shards_replay for full-system runs"
+            )
+        };
+        for a in log {
+            f(a);
         }
     }
 }
@@ -799,6 +905,35 @@ mod tests {
             StudyView::users_with_degree(&scale, degree),
             ds.users_with_degree(degree)
         );
+    }
+
+    /// A replay-retaining `ScaleDataset` must present the exact activity
+    /// stream the sorted `Dataset` holds; a compacted one must say so.
+    #[test]
+    fn scale_dataset_replay_log_matches_dataset_stream() {
+        let synth = crate::synth::TraceSynthesizer::new("parity", 150);
+        let ds = synth.generate(33).expect("valid params");
+        let shards = synth.generate_shards(33, 40).expect("valid params");
+        let scale = ScaleDataset::from_shards_replay("parity", shards, &[]);
+        assert!(StudyView::supports_replay(&scale));
+        assert!(StudyView::supports_replay(&ds));
+        let mut replayed = Vec::new();
+        StudyView::for_each_activity(&scale, &mut |a| replayed.push(*a));
+        assert_eq!(replayed, ds.activities());
+
+        let shards = synth.generate_shards(33, 40).expect("valid params");
+        let compact = ScaleDataset::from_shards("parity", shards, &[]);
+        assert!(!StudyView::supports_replay(&compact));
+        assert!(compact.memory_bytes() < scale.memory_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "replay log")]
+    fn scale_dataset_without_replay_log_rejects_replay() {
+        let synth = crate::synth::TraceSynthesizer::new("t", 50);
+        let shards = synth.generate_shards(1, 16).expect("valid params");
+        let scale = ScaleDataset::from_shards("t", shards, &[]);
+        StudyView::for_each_activity(&scale, &mut |_| {});
     }
 
     #[test]

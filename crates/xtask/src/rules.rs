@@ -24,13 +24,14 @@ use crate::scan::SourceModel;
 
 /// Crates whose output feeds byte-identical sweep comparisons; keyed
 /// collections there must be order-deterministic (rule D1).
-pub const DETERMINISTIC_CRATES: [&str; 6] = [
+pub const DETERMINISTIC_CRATES: [&str; 7] = [
     "interval",
     "onlinetime",
     "replication",
     "metrics",
     "core",
     "consistency",
+    "node",
 ];
 
 /// Library crates covered by the D4 unwrap/expect ratchet.

@@ -1,12 +1,19 @@
 //! Running the decentralized OSN as a *system*: the whole activity
-//! trace replayed through online sessions, post delivery, and replica
-//! dissemination — the empirical counterpart of the analytic metrics.
+//! trace replayed through the event-driven node runtime — online
+//! sessions, post delivery, replica dissemination — the empirical
+//! counterpart of the analytic metrics. Both dissemination media run:
+//! friend-to-friend epidemic and an always-on cloud store.
 //!
 //! Run with `cargo run --release --example full_system`.
 
 use dosn::core::{ModelKind, PolicyKind, StudyConfig};
-use dosn::node::SystemSim;
+use dosn::node::{DisseminationMode, SystemReport, SystemSim};
 use dosn::prelude::*;
+
+fn traffic(report: &SystemReport) -> f64 {
+    let sent = &report.accounting().messages_sent;
+    sent.mean().unwrap_or(0.0) * sent.count() as f64
+}
 
 fn main() {
     let dataset = synth::facebook_like(1_000, 42).expect("generation succeeds");
@@ -28,9 +35,51 @@ fn main() {
         println!("== {label} ==");
         println!("{report}\n");
     }
+
+    // The same placement under both dissemination media: replicas
+    // syncing over co-online contacts vs an always-on store every
+    // offline host fetches from (60 s upload latency).
+    let f2f = SystemSim::new(&dataset)
+        .model(ModelKind::sporadic_default())
+        .replication_degree(4)
+        .run(&config);
+    let cloud = SystemSim::new(&dataset)
+        .model(ModelKind::sporadic_default())
+        .replication_degree(4)
+        .dissemination(DisseminationMode::Cloud { latency_secs: 60 })
+        .run(&config);
+    println!("== maxav x4, cloud dissemination (60 s latency) ==");
+    println!("{cloud}\n");
+
+    let delivery_delta = cloud.delivery_ratio().unwrap_or(0.0) - f2f.delivery_ratio().unwrap_or(0.0);
+    let f2f_traffic = traffic(&f2f);
+    let cloud_traffic = traffic(&cloud);
+    let f2f_stale = f2f.staleness_hours().mean().unwrap_or(0.0);
+    let cloud_stale = cloud.staleness_hours().mean().unwrap_or(0.0);
+    println!("== friend-to-friend vs cloud (maxav x4) ==");
+    println!(
+        "delivery          {:>8.1}% vs {:>7.1}%   (delta {:+.2} pts — post-time availability is placement's, not the medium's)",
+        100.0 * f2f.delivery_ratio().unwrap_or(0.0),
+        100.0 * cloud.delivery_ratio().unwrap_or(0.0),
+        100.0 * delivery_delta,
+    );
+    println!(
+        "messages          {f2f_traffic:>9.0} vs {cloud_traffic:>8.0}   ({:+.1}% — upload + per-host fetches vs epidemic transfers)",
+        100.0 * (cloud_traffic - f2f_traffic) / f2f_traffic.max(1.0),
+    );
+    println!(
+        "mean staleness    {f2f_stale:>8.2}h vs {cloud_stale:>7.2}h   (the store bounds every wait by the host's own absence)",
+    );
+    println!(
+        "incomplete        {:>9} vs {:>8}\n",
+        f2f.incomplete_dissemination(),
+        cloud.incomplete_dissemination(),
+    );
+
     println!(
         "reading: replication lifts post delivery (empirical availability-on-\n\
          demand-activity) at the cost of dissemination traffic and storage;\n\
-         the policy ordering matches the analytic study."
+         the policy ordering matches the analytic study, and the cloud medium\n\
+         trades third-party dependence for lower staleness at similar traffic."
     );
 }

@@ -201,3 +201,36 @@ fn sharded_pooled_sweep_csv_is_thread_count_invariant() {
         .to_csv()
     });
 }
+
+/// The event-driven full-system runtime parallelizes only replica
+/// placement (per-user chunks); the event loop itself is serial. The
+/// report — counters AND float accumulators — must not change with the
+/// worker count, for either dissemination medium and for randomized as
+/// well as deterministic models.
+#[test]
+fn system_report_is_thread_count_invariant() {
+    use dosn::node::{DisseminationMode, SystemSim};
+
+    let ds = synth::facebook_like(300, 23).expect("generation succeeds");
+    for (label, model, dissemination) in [
+        (
+            "sporadic/f2f",
+            ModelKind::sporadic_default(),
+            DisseminationMode::FriendToFriend,
+        ),
+        (
+            "random-length/cloud",
+            ModelKind::random_length_default(),
+            DisseminationMode::Cloud { latency_secs: 120 },
+        ),
+    ] {
+        audit_sweep(label, |threads| {
+            let report = SystemSim::new(&ds)
+                .model(model)
+                .replication_degree(3)
+                .dissemination(dissemination)
+                .run(&config(threads));
+            format!("{report:?}")
+        });
+    }
+}

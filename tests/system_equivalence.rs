@@ -1,0 +1,332 @@
+//! Report-equivalence pin for the event-driven node runtime.
+//!
+//! `SystemSim` was restructured from a monolithic three-stage batch loop
+//! into scheduler / state machine / transport layers. This test keeps a
+//! faithful copy of the *pre-refactor batch loop* as a reference oracle
+//! and demands the layered runtime reproduce its `SystemReport`
+//! **byte-identically** — delivery counts, per-node traffic and storage
+//! summaries, and the staleness float accumulation in trace order —
+//! across models, policies, seeds, connectivity and dissemination modes
+//! on `facebook_like` seeds.
+//!
+//! The oracle is embedded (not a committed artifact) so the pin is
+//! independent of the `rand` implementation backing `StdRng`: both sides
+//! consume the same streams, whatever generates them.
+
+use dosn::core::replay::simulate_update_from_sources;
+use dosn::core::{ModelKind, PolicyKind, StudyConfig};
+use dosn::interval::DaySchedule;
+use dosn::metrics::Summary;
+use dosn::node::{DisseminationMode, SystemSim};
+use dosn::onlinetime::OnlineSchedules;
+use dosn::prelude::*;
+use dosn::replication::Connectivity;
+use dosn::socialgraph::UserId;
+use dosn::trace::{Dataset, ScaleDataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Everything a batch run produced, in comparable form.
+#[derive(Debug, PartialEq)]
+struct BatchReport {
+    posts_total: usize,
+    delivered: usize,
+    staleness: Summary,
+    incomplete: usize,
+    reads_total: usize,
+    reads_served: usize,
+    stored: Summary,
+    sent: Summary,
+}
+
+/// The pre-refactor `SystemSim::run` body, verbatim modulo the struct
+/// fields it reads from arguments.
+#[allow(clippy::too_many_arguments)]
+fn batch_reference(
+    dataset: &Dataset,
+    model: ModelKind,
+    policy: PolicyKind,
+    replication_degree: usize,
+    reads_per_friend_day: f64,
+    dissemination: DisseminationMode,
+    config: &StudyConfig,
+) -> BatchReport {
+    let built_model = model.build();
+    let mut model_rng = StdRng::seed_from_u64(config.seed() ^ 0x51D);
+    let schedules: OnlineSchedules = built_model.schedules_from(dataset, &mut model_rng);
+
+    let built_policy = policy.build();
+    let placements: Vec<Vec<UserId>> = dataset
+        .users()
+        .map(|user| {
+            let mut rng = StdRng::seed_from_u64(config.seed() ^ u64::from(user.as_u32()));
+            built_policy.place(
+                dataset,
+                &schedules,
+                user,
+                replication_degree,
+                config.connectivity(),
+                &mut rng,
+            )
+        })
+        .collect();
+
+    let n = dataset.user_count();
+    let mut stored = vec![0u64; n];
+    let mut sent = vec![0u64; n];
+    let mut delivered = 0usize;
+    let mut staleness = Summary::new();
+    let mut incomplete = 0usize;
+
+    for activity in dataset.activities() {
+        let receiver = activity.receiver();
+        let t = activity.timestamp();
+        let mut hosts: Vec<UserId> =
+            Vec::with_capacity(placements[receiver.index()].len() + 1);
+        hosts.push(receiver);
+        hosts.extend_from_slice(&placements[receiver.index()]);
+        let online: Vec<usize> = hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, &h)| schedules[h].contains(t.time_of_day()))
+            .map(|(i, _)| i)
+            .collect();
+        if online.is_empty() {
+            continue; // post failed: profile unavailable
+        }
+        delivered += 1;
+        for &i in &online {
+            stored[hosts[i].index()] += 1;
+            if hosts[i] != activity.creator() {
+                sent[activity.creator().index()] += 1;
+            }
+        }
+        if online.len() == hosts.len() {
+            staleness.add(0.0);
+            continue;
+        }
+        match dissemination {
+            DisseminationMode::FriendToFriend => {
+                let outcome = simulate_update_from_sources(&hosts, &schedules, &online, t);
+                let mut worst = 0u64;
+                let mut all_reached = true;
+                for (i, arrival) in outcome.arrivals().iter().enumerate() {
+                    if online.contains(&i) {
+                        continue;
+                    }
+                    match arrival.arrival {
+                        Some(at) => {
+                            worst = worst.max(at.seconds_since(t));
+                            stored[hosts[i].index()] += 1;
+                            sent[hosts[online[0]].index()] += 1;
+                        }
+                        None => all_reached = false,
+                    }
+                }
+                if all_reached {
+                    staleness.add(worst as f64 / 3_600.0);
+                } else {
+                    incomplete += 1;
+                }
+            }
+            DisseminationMode::Cloud { latency_secs } => {
+                sent[activity.creator().index()] += 1;
+                let ready = t.saturating_add(latency_secs);
+                let mut worst = 0u64;
+                let mut all_reached = true;
+                for (i, &host) in hosts.iter().enumerate() {
+                    if online.contains(&i) {
+                        continue;
+                    }
+                    match schedules[host].wait_until_online(ready.time_of_day()) {
+                        Some(wait) => {
+                            let delay = latency_secs + u64::from(wait);
+                            worst = worst.max(delay);
+                            stored[host.index()] += 1;
+                            sent[host.index()] += 1;
+                        }
+                        None => all_reached = false,
+                    }
+                }
+                if all_reached {
+                    staleness.add(worst as f64 / 3_600.0);
+                } else {
+                    incomplete += 1;
+                }
+            }
+        }
+    }
+
+    let span_days = dataset
+        .activities()
+        .last()
+        .map(|a| a.timestamp().day_index() + 1)
+        .unwrap_or(1);
+    let mut read_rng = StdRng::seed_from_u64(config.seed() ^ 0x5EAD);
+    let mut reads_total = 0usize;
+    let mut reads_served = 0usize;
+    for user in dataset.users() {
+        let hosts: Vec<UserId> = std::iter::once(user)
+            .chain(placements[user.index()].iter().copied())
+            .collect();
+        for &friend in dataset.replica_candidates(user) {
+            let reads = sample_count(reads_per_friend_day * span_days as f64, &mut read_rng);
+            for _ in 0..reads {
+                let Some(tod) = random_online_second(&schedules[friend], &mut read_rng) else {
+                    break;
+                };
+                reads_total += 1;
+                if hosts.iter().any(|&h| schedules[h].contains(tod)) {
+                    reads_served += 1;
+                }
+            }
+        }
+    }
+
+    let mut stored_summary = Summary::new();
+    let mut sent_summary = Summary::new();
+    for u in 0..n {
+        stored_summary.add(stored[u] as f64);
+        sent_summary.add(sent[u] as f64);
+    }
+    BatchReport {
+        posts_total: dataset.activity_count(),
+        delivered,
+        staleness,
+        incomplete,
+        reads_total,
+        reads_served,
+        stored: stored_summary,
+        sent: sent_summary,
+    }
+}
+
+fn sample_count(expectation: f64, rng: &mut StdRng) -> u64 {
+    let base = expectation.floor();
+    let extra = rng.gen::<f64>() < (expectation - base);
+    base as u64 + u64::from(extra)
+}
+
+fn random_online_second(schedule: &DaySchedule, rng: &mut StdRng) -> Option<u32> {
+    let total = schedule.online_seconds();
+    if total == 0 {
+        return None;
+    }
+    schedule.nth_online_second(rng.gen_range(0..total))
+}
+
+/// Runs both pipelines on one configuration and demands bit equality of
+/// every report field (Summary equality includes the float accumulators,
+/// so ordering differences would show).
+#[allow(clippy::too_many_arguments)]
+fn assert_equivalent(
+    label: &str,
+    dataset: &Dataset,
+    model: ModelKind,
+    policy: PolicyKind,
+    k: usize,
+    reads: f64,
+    dissemination: DisseminationMode,
+    config: &StudyConfig,
+) {
+    let oracle = batch_reference(dataset, model, policy, k, reads, dissemination, config);
+    let report = SystemSim::new(dataset)
+        .model(model)
+        .policy(policy)
+        .replication_degree(k)
+        .reads_per_friend_day(reads)
+        .dissemination(dissemination)
+        .run(config);
+    let got = BatchReport {
+        posts_total: report.posts_total(),
+        delivered: report.posts_delivered(),
+        staleness: *report.staleness_hours(),
+        incomplete: report.incomplete_dissemination(),
+        reads_total: report.reads_total(),
+        reads_served: report.reads_served(),
+        stored: report.accounting().stored_updates,
+        sent: report.accounting().messages_sent,
+    };
+    assert_eq!(got, oracle, "{label}: event-driven runtime diverged from the batch oracle");
+}
+
+const F2F: DisseminationMode = DisseminationMode::FriendToFriend;
+
+#[test]
+fn event_runtime_matches_batch_oracle_on_defaults() {
+    let ds = synth::facebook_like(150, 13).expect("generation succeeds");
+    let config = StudyConfig::default();
+    assert_equivalent("defaults", &ds, ModelKind::sporadic_default(), PolicyKind::MaxAv, 4, 0.1, F2F, &config);
+}
+
+#[test]
+fn event_runtime_matches_batch_oracle_on_fixed_hours() {
+    let ds = synth::facebook_like(150, 13).expect("generation succeeds");
+    let config = StudyConfig::default();
+    assert_equivalent("fixed-hours", &ds, ModelKind::fixed_hours(4), PolicyKind::MaxAv, 4, 0.1, F2F, &config);
+}
+
+#[test]
+fn event_runtime_matches_batch_oracle_on_cloud_dissemination() {
+    let ds = synth::facebook_like(150, 13).expect("generation succeeds");
+    let config = StudyConfig::default();
+    let cloud = DisseminationMode::Cloud { latency_secs: 60 };
+    assert_equivalent("cloud", &ds, ModelKind::fixed_hours(4), PolicyKind::MaxAv, 4, 0.1, cloud, &config);
+}
+
+#[test]
+fn event_runtime_matches_batch_oracle_on_most_active() {
+    let ds = synth::facebook_like(150, 13).expect("generation succeeds");
+    let config = StudyConfig::default().with_seed(77);
+    assert_equivalent("most-active", &ds, ModelKind::sporadic_default(), PolicyKind::MostActive, 2, 0.3, F2F, &config);
+}
+
+#[test]
+fn event_runtime_matches_batch_oracle_on_unconrep_random() {
+    let ds = synth::facebook_like(150, 13).expect("generation succeeds");
+    let config = StudyConfig::default().with_connectivity(Connectivity::UnconRep);
+    assert_equivalent("unconrep-random", &ds, ModelKind::sporadic_default(), PolicyKind::Random, 3, 0.1, F2F, &config);
+}
+
+#[test]
+fn event_runtime_matches_batch_oracle_on_randomized_model() {
+    let ds = synth::facebook_like(300, 23).expect("generation succeeds");
+    let config = StudyConfig::default().with_seed(41);
+    assert_equivalent("random-length", &ds, ModelKind::random_length_default(), PolicyKind::MaxAv, 3, 0.1, F2F, &config);
+}
+
+#[test]
+fn event_runtime_matches_batch_oracle_without_replication_or_reads() {
+    let ds = synth::facebook_like(300, 23).expect("generation succeeds");
+    let config = StudyConfig::default();
+    assert_equivalent("bare", &ds, ModelKind::sporadic_default(), PolicyKind::MaxAv, 0, 0.0, F2F, &config);
+}
+
+/// A replay-retaining `ScaleDataset` must drive the runtime to the very
+/// same report as the `Dataset` twin — the 100k–1M path is the same
+/// simulation.
+#[test]
+fn scale_dataset_replay_matches_dataset_run() {
+    let synthesizer = synth::TraceSynthesizer::new("facebook-like", 300);
+    let ds = synthesizer.generate(23).expect("generation succeeds");
+    let shards = synthesizer.generate_shards(23, 64).expect("generation succeeds");
+    let scale = ScaleDataset::from_shards_replay("facebook-like", shards, &[]);
+    let config = StudyConfig::default().with_seed(7);
+    let run = |view: &dyn StudyView| {
+        SystemSim::new(view)
+            .model(ModelKind::fixed_hours(6))
+            .replication_degree(3)
+            .run(&config)
+    };
+    assert_eq!(run(&ds), run(&scale), "ScaleDataset replay diverged from Dataset");
+}
+
+/// An empty-trace dataset exercises the `span_days` fallback and the
+/// degenerate event stream.
+#[test]
+fn event_runtime_matches_batch_oracle_on_empty_trace() {
+    let ds = synth::facebook_like(150, 13).expect("generation succeeds");
+    let (empty, _) = ds.split_at_day(0);
+    let config = StudyConfig::default();
+    assert_equivalent("empty-trace", &empty, ModelKind::sporadic_default(), PolicyKind::MaxAv, 3, 0.2, F2F, &config);
+}
