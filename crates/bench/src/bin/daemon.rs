@@ -1,0 +1,127 @@
+//! Daemon serving benchmark — the node runtime behind the wire.
+//!
+//! Starts an in-process daemon on a temporary Unix socket, replays the
+//! synthesized trace against it as live request traffic with `drive`,
+//! and records service quality to `BENCH_daemon.json`: sustained req/s
+//! plus p50/p99/max round-trip latency — alongside the delivery and
+//! read-success ratios, which must match the batch path bit for bit.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `DAEMON_USERS` — trace scale, default `1000`.
+//! * `DAEMON_P99_BUDGET_MS` — exit non-zero if the p99 round trip
+//!   exceeds this budget (CI regression gate).
+//! * `DAEMON_OUT` — output path, default `BENCH_daemon.json`.
+
+use std::path::PathBuf;
+
+use dosn_core::{ModelKind, PolicyKind};
+use dosn_daemon::{drive, DatasetFamily, DriveOutcome, Server, ServerConfig, ShutdownFlag, SimSpec};
+use dosn_node::DisseminationMode;
+
+const SEED: u64 = 2012;
+const READS_PER_FRIEND_DAY: f64 = 0.1;
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(raw) => raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} entry {raw:?} is not valid")),
+        Err(_) => default,
+    }
+}
+
+fn bench_socket() -> PathBuf {
+    std::env::temp_dir().join(format!("dosn-bench-daemon-{}.sock", std::process::id()))
+}
+
+fn json_record(users: u32, outcome: &DriveOutcome) -> String {
+    format!(
+        "{{\n  \"bench\": \"daemon\",\n  \"seed\": {SEED},\n  \"users\": {users},\n  \
+         \"requests\": {},\n  \"elapsed_s\": {:.3},\n  \"req_per_s\": {:.1},\n  \
+         \"p50_ms\": {:.4},\n  \"p99_ms\": {:.4},\n  \"max_ms\": {:.4},\n  \
+         \"delivery\": {:.4},\n  \"read_success\": {:.4}\n}}\n",
+        outcome.requests,
+        outcome.elapsed_secs,
+        outcome.req_per_s,
+        outcome.latency.p50_ms,
+        outcome.latency.p99_ms,
+        outcome.latency.max_ms,
+        outcome.report.delivery_ratio().unwrap_or(0.0),
+        outcome.report.read_success_ratio().unwrap_or(0.0),
+    )
+}
+
+fn main() {
+    let users: u32 = env_parse("DAEMON_USERS", 1_000);
+    let p99_budget_ms: Option<f64> = std::env::var("DAEMON_P99_BUDGET_MS")
+        .ok()
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("DAEMON_P99_BUDGET_MS {s:?} is not a number")));
+    let out_path = std::env::var("DAEMON_OUT").unwrap_or_else(|_| "BENCH_daemon.json".into());
+
+    let socket = bench_socket();
+    let _ = std::fs::remove_file(&socket);
+    let config = ServerConfig { socket: socket.clone(), pidfile: None };
+    let server = Server::bind(&config).unwrap_or_else(|e| panic!("cannot bind {}: {e}", socket.display()));
+    let flag = ShutdownFlag::new();
+    let run_flag = flag.clone();
+    let daemon = std::thread::spawn(move || server.run(&run_flag));
+
+    let spec = SimSpec {
+        family: DatasetFamily::Facebook,
+        users,
+        dataset_seed: SEED,
+        config_seed: SEED,
+        model: ModelKind::sporadic_default(),
+        policy: PolicyKind::MaxAv,
+        replication_degree: 4,
+        unconrep: false,
+        dissemination: DisseminationMode::FriendToFriend,
+    };
+    let outcome = drive(&socket, &spec, READS_PER_FRIEND_DAY)
+        .unwrap_or_else(|e| panic!("drive failed: {e}"));
+
+    flag.request();
+    daemon
+        .join()
+        .unwrap_or_else(|_| panic!("daemon thread panicked"))
+        .unwrap_or_else(|e| panic!("daemon exited with error: {e}"));
+    assert!(!socket.exists(), "daemon left its socket behind");
+
+    println!(
+        "{:>7} {:>9} {:>9} {:>10} {:>9} {:>9} {:>9}",
+        "users", "requests", "elapsed_s", "req/s", "p50_ms", "p99_ms", "max_ms"
+    );
+    println!(
+        "{:>7} {:>9} {:>9.2} {:>10.0} {:>9.3} {:>9.3} {:>9.3}",
+        users,
+        outcome.requests,
+        outcome.elapsed_secs,
+        outcome.req_per_s,
+        outcome.latency.p50_ms,
+        outcome.latency.p99_ms,
+        outcome.latency.max_ms,
+    );
+
+    let json = json_record(users, &outcome);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+
+    if let Some(budget) = p99_budget_ms {
+        if outcome.latency.p99_ms > budget {
+            eprintln!(
+                "p99 round trip {:.3} ms exceeds budget {budget:.1} ms",
+                outcome.latency.p99_ms
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "p99 round trip {:.3} ms within budget {budget:.1} ms",
+            outcome.latency.p99_ms
+        );
+    }
+}

@@ -30,6 +30,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// Dataset construction failed.
     Trace(TraceError),
+    /// A daemon exchange failed (`dosn drive`).
+    Daemon(String),
 }
 
 impl fmt::Display for CliError {
@@ -39,6 +41,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Io(e) => write!(f, "cannot read dataset file: {e}"),
             CliError::Trace(e) => e.fmt(f),
+            CliError::Daemon(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -81,6 +84,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         Some("system") => system(args, out),
         Some("fairness") => fairness(args, out),
         Some("predict") => predict(args, out),
+        Some("daemon") => daemon_cmd(args, out),
+        Some("drive") => drive_cmd(args, out),
         Some(other) => Err(CliError::Usage(format!(
             "unknown command {other:?}; run `dosn help`"
         ))),
@@ -287,20 +292,116 @@ fn replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
     let start = Timestamp::from_day_and_offset(1, 12 * 3_600);
     let outcome = simulate_update(&replicas, &schedules, 0, start);
+    if args.has("json") {
+        let rows: Vec<String> = outcome
+            .arrivals()
+            .iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                let delay = arrival.arrival.map(|t| t.seconds_since(start));
+                replay_arrival_json(
+                    arrival.replica,
+                    delay,
+                    outcome.observed_delay_secs(i, &schedules),
+                )
+            })
+            .collect();
+        writeln!(
+            out,
+            "{{\"user\":{},\"injected_at\":{},\"arrivals\":[{}]}}",
+            user.as_u32(),
+            start.as_secs(),
+            rows.join(",")
+        )?;
+        return Ok(());
+    }
     writeln!(out, "update injected at {start} on {}", replicas[0])?;
     for (i, arrival) in outcome.arrivals().iter().enumerate() {
-        match arrival.arrival {
-            Some(t) => writeln!(
-                out,
-                "  {}: +{:.2} h (observed {:.2} h)",
+        let delay = arrival.arrival.map(|t| t.seconds_since(start));
+        writeln!(
+            out,
+            "{}",
+            replay_arrival_line(
                 arrival.replica,
-                t.seconds_since(start) as f64 / 3_600.0,
-                outcome.observed_delay_secs(i, &schedules).unwrap_or(0) as f64 / 3_600.0,
-            )?,
-            None => writeln!(out, "  {}: never reached", arrival.replica)?,
-        }
+                delay,
+                outcome.observed_delay_secs(i, &schedules),
+            )
+        )?;
     }
     Ok(())
+}
+
+/// One replica row of the replay table. An update that never arrives —
+/// or arrives with no observed wait on record — renders a `-` cell:
+/// "undelivered" must never be printed as the `0.00 h` of an instant
+/// delivery.
+fn replay_arrival_line(
+    replica: UserId,
+    delay_secs: Option<u64>,
+    observed_secs: Option<u64>,
+) -> String {
+    match delay_secs {
+        Some(delay) => {
+            let observed = match observed_secs {
+                Some(s) => format!("{:.2} h", s as f64 / 3_600.0),
+                None => "-".to_string(),
+            };
+            format!(
+                "  {replica}: +{:.2} h (observed {observed})",
+                delay as f64 / 3_600.0
+            )
+        }
+        None => format!("  {replica}: never reached (observed -)"),
+    }
+}
+
+/// One replica row of `replay --json`: a missing delay is `null`, never
+/// a numeric zero.
+fn replay_arrival_json(
+    replica: UserId,
+    delay_secs: Option<u64>,
+    observed_secs: Option<u64>,
+) -> String {
+    let num = |v: Option<u64>| match v {
+        Some(s) => format!("{:.6}", s as f64 / 3_600.0),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"replica\":{},\"delay_h\":{},\"observed_h\":{}}}",
+        replica.as_u32(),
+        num(delay_secs),
+        num(observed_secs)
+    )
+}
+
+/// Parses `--cloud [--latency SECS]` into a dissemination mode.
+/// `--latency` without `--cloud` is rejected outright: the flag only
+/// parameterizes the store, and silently ignoring it would report
+/// friend-to-friend numbers as if they honored the requested latency.
+fn dissemination(args: &Args) -> Result<dosn_node::DisseminationMode, CliError> {
+    if args.has("cloud") {
+        Ok(dosn_node::DisseminationMode::Cloud {
+            latency_secs: args.get_parsed("latency", 60u64)?,
+        })
+    } else if args.get("latency").is_some() {
+        Err(CliError::Usage(
+            "--latency only applies to --cloud dissemination; \
+             add --cloud or drop --latency"
+                .to_string(),
+        ))
+    } else {
+        Ok(dosn_node::DisseminationMode::FriendToFriend)
+    }
+}
+
+/// The `, cloud Ns` suffix of the per-policy report header.
+fn medium_suffix(dissemination: dosn_node::DisseminationMode) -> String {
+    match dissemination {
+        dosn_node::DisseminationMode::FriendToFriend => String::new(),
+        dosn_node::DisseminationMode::Cloud { latency_secs } => {
+            format!(", cloud {latency_secs}s")
+        }
+    }
 }
 
 fn system(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -310,21 +411,8 @@ fn system(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let policy_list = policies(args)?;
     let model = model(args)?;
     let reads = args.get_parsed("reads", 0.1f64)?;
-    // --cloud [--latency SECS] switches dissemination to the always-on
-    // store; the default stays friend-to-friend epidemic.
-    let dissemination = if args.has("cloud") {
-        dosn_node::DisseminationMode::Cloud {
-            latency_secs: args.get_parsed("latency", 60u64)?,
-        }
-    } else {
-        dosn_node::DisseminationMode::FriendToFriend
-    };
-    let medium = match dissemination {
-        dosn_node::DisseminationMode::FriendToFriend => String::new(),
-        dosn_node::DisseminationMode::Cloud { latency_secs } => {
-            format!(", cloud {latency_secs}s")
-        }
-    };
+    let dissemination = dissemination(args)?;
+    let medium = medium_suffix(dissemination);
     for policy in policy_list {
         let report = dosn_node::SystemSim::new(&ds)
             .model(model)
@@ -419,6 +507,134 @@ fn predict(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "recall:    {recall}")?;
     writeln!(out, "F1:        {f1}")?;
     Ok(())
+}
+
+/// The socket both serving commands default to.
+const DEFAULT_SOCKET: &str = "dosn-daemon.sock";
+
+fn daemon_cmd(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use dosn_daemon::{shutdown, Server, ServerConfig, ShutdownFlag};
+    let socket = std::path::PathBuf::from(args.get("socket").unwrap_or(DEFAULT_SOCKET));
+    let mut server_config = ServerConfig::at(&socket);
+    if let Some(pidfile) = args.get("pidfile") {
+        server_config.pidfile = Some(std::path::PathBuf::from(pidfile));
+    }
+    shutdown::install_signal_handlers();
+    let server = Server::bind(&server_config)
+        .map_err(|e| CliError::Daemon(format!("cannot bind {}: {e}", socket.display())))?;
+    writeln!(
+        out,
+        "dosn daemon: serving on {} (pid {})",
+        socket.display(),
+        std::process::id()
+    )?;
+    out.flush()?;
+    let flag = ShutdownFlag::new();
+    server
+        .run(&flag)
+        .map_err(|e| CliError::Daemon(format!("daemon failed: {e}")))?;
+    writeln!(out, "dosn daemon: shut down cleanly")?;
+    Ok(())
+}
+
+/// Builds the wire spec `drive` ships; the daemon resynthesizes the
+/// dataset from it, so only synthetic recipes can cross the wire.
+fn drive_spec(args: &Args, policy: PolicyKind) -> Result<dosn_daemon::SimSpec, CliError> {
+    use dosn_daemon::{DatasetFamily, SimSpec};
+    if args.get("edges").is_some() || args.get("activities").is_some() {
+        return Err(CliError::Usage(
+            "drive replays synthetic datasets only (the daemon resynthesizes \
+             the trace from the spec); drop --edges/--activities"
+                .to_string(),
+        ));
+    }
+    let family = match args.get("dataset").unwrap_or("facebook") {
+        "facebook" => DatasetFamily::Facebook,
+        "twitter" => DatasetFamily::Twitter,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown dataset family {other:?}; expected facebook or twitter"
+            )))
+        }
+    };
+    let users = args.get_parsed("users", 2_000u32)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    Ok(SimSpec {
+        family,
+        users,
+        dataset_seed: seed,
+        config_seed: seed,
+        model: model(args)?,
+        policy,
+        replication_degree: args.get_parsed("budget", 4u32)?,
+        unconrep: args.has("unconrep"),
+        dissemination: dissemination(args)?,
+    })
+}
+
+fn drive_cmd(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let socket = std::path::PathBuf::from(args.get("socket").unwrap_or(DEFAULT_SOCKET));
+    let reads = args.get_parsed("reads", 0.1f64)?;
+    let policy_list = policies(args)?;
+    let bench_out = args.get("bench-out");
+    if bench_out.is_some() && policy_list.len() != 1 {
+        return Err(CliError::Usage(
+            "--bench-out records exactly one run; pass a single --policies value".to_string(),
+        ));
+    }
+    for policy in policy_list {
+        let spec = drive_spec(args, policy)?;
+        let outcome = dosn_daemon::drive(&socket, &spec, reads)
+            .map_err(|e| CliError::Daemon(e.to_string()))?;
+        let medium = medium_suffix(spec.dissemination);
+        writeln!(
+            out,
+            "== {} x{}{medium} ==",
+            policy.label(),
+            spec.replication_degree
+        )?;
+        writeln!(out, "{}", outcome.report)?;
+        writeln!(
+            out,
+            "requests:              {} in {:.2} s ({:.0} req/s)",
+            outcome.requests, outcome.elapsed_secs, outcome.req_per_s
+        )?;
+        writeln!(
+            out,
+            "latency:               p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+            outcome.latency.p50_ms, outcome.latency.p99_ms, outcome.latency.max_ms
+        )?;
+        writeln!(out)?;
+        if let Some(path) = bench_out {
+            std::fs::write(path, drive_bench_json(&spec, &outcome))?;
+            writeln!(out, "bench record written to {path}")?;
+        }
+    }
+    Ok(())
+}
+
+/// The `BENCH_daemon.json` record of one drive.
+fn drive_bench_json(spec: &dosn_daemon::SimSpec, outcome: &dosn_daemon::DriveOutcome) -> String {
+    let ratio = |v: Option<f64>| match v {
+        Some(r) => format!("{r:.6}"),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\n  \"users\": {},\n  \"policy\": \"{}\",\n  \"requests\": {},\n  \
+         \"elapsed_s\": {:.6},\n  \"req_per_s\": {:.1},\n  \"p50_ms\": {:.4},\n  \
+         \"p99_ms\": {:.4},\n  \"max_ms\": {:.4},\n  \"delivery_ratio\": {},\n  \
+         \"read_success_ratio\": {}\n}}\n",
+        spec.users,
+        spec.policy.label(),
+        outcome.requests,
+        outcome.elapsed_secs,
+        outcome.req_per_s,
+        outcome.latency.p50_ms,
+        outcome.latency.p99_ms,
+        outcome.latency.max_ms,
+        ratio(outcome.report.delivery_ratio()),
+        ratio(outcome.report.read_success_ratio()),
+    )
 }
 
 #[cfg(test)]
@@ -551,6 +767,129 @@ mod tests {
         // upload latency every spread is complete or the post failed.
         assert!(text.contains("incomplete spreads:    0"), "{text}");
         assert!(text.contains("reads served:          0 of 0"), "{text}");
+    }
+
+    #[test]
+    fn system_rejects_latency_without_cloud() {
+        let err = run_capture(&[
+            "system", "--users", "150", "--budget", "2", "--policies", "maxav",
+            "--latency", "120",
+        ])
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("--latency only applies to --cloud"),
+            "{err}"
+        );
+        // The drive command shares the same parse.
+        let err = run_capture(&["drive", "--latency", "120"]).unwrap_err();
+        assert!(err.to_string().contains("--cloud"), "{err}");
+    }
+
+    #[test]
+    fn replay_renders_missing_observed_delay_as_blank() {
+        use dosn_socialgraph::UserId;
+        // An unreached replica must render a '-' cell, never the 0.00 h
+        // of an instant delivery.
+        let line = replay_arrival_line(UserId::new(7), None, None);
+        assert_eq!(line, "  u7: never reached (observed -)");
+        assert!(!line.contains("0.00"), "{line}");
+        // A reached replica with no observed wait on record: delay
+        // prints, the observed cell stays blank.
+        let partial = replay_arrival_line(UserId::new(3), Some(7_200), None);
+        assert_eq!(partial, "  u3: +2.00 h (observed -)");
+        // The delivered case still reports both numbers.
+        let full = replay_arrival_line(UserId::new(3), Some(7_200), Some(3_600));
+        assert_eq!(full, "  u3: +2.00 h (observed 1.00 h)");
+        // JSON: missing values are null, not zero.
+        let json = replay_arrival_json(UserId::new(7), None, None);
+        assert_eq!(json, "{\"replica\":7,\"delay_h\":null,\"observed_h\":null}");
+        let json = replay_arrival_json(UserId::new(2), Some(3_600), Some(1_800));
+        assert_eq!(json, "{\"replica\":2,\"delay_h\":1.000000,\"observed_h\":0.500000}");
+    }
+
+    #[test]
+    fn replay_json_mode_emits_a_document() {
+        let text = run_capture(&["replay", "--users", "200", "--budget", "3", "--json"]).unwrap();
+        assert!(text.contains("\"arrivals\":["), "{text}");
+        assert!(text.contains("\"injected_at\":"), "{text}");
+    }
+
+    #[test]
+    fn drive_without_daemon_reports_connection_failure() {
+        let err = run_capture(&[
+            "drive", "--socket", "/nonexistent/dosn.sock", "--users", "120",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Daemon(_)), "{err}");
+    }
+
+    #[test]
+    fn drive_rejects_parsed_datasets() {
+        let err = run_capture(&[
+            "drive", "--edges", "x.edges", "--activities", "x.activities",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("synthetic"), "{err}");
+    }
+
+    /// The report lines of every `== policy ==` block, for comparing
+    /// batch and live output.
+    fn report_lines(text: &str) -> Vec<&str> {
+        text.lines()
+            .filter(|l| {
+                [
+                    "posts:", "delivered:", "failed:", "staleness", "incomplete",
+                    "reads served:", "stored updates", "messages sent",
+                ]
+                .iter()
+                .any(|p| l.trim_start().starts_with(p))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn drive_against_live_daemon_matches_batch_system() {
+        let socket = std::env::temp_dir()
+            .join(format!("dosn-cli-eq-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let sock = socket.to_str().expect("utf-8 temp path").to_string();
+        let daemon_sock = sock.clone();
+        let daemon = std::thread::spawn(move || {
+            run_capture(&["daemon", "--socket", &daemon_sock])
+        });
+        // Wait for the daemon to bind.
+        for _ in 0..200 {
+            if socket.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        assert!(socket.exists(), "daemon did not bind its socket");
+        let common = [
+            "--users", "150", "--seed", "7", "--budget", "2",
+            "--policies", "maxav", "--reads", "0.2",
+        ];
+        let mut drive_args = vec!["drive", "--socket", &sock];
+        drive_args.extend_from_slice(&common);
+        let live = run_capture(&drive_args).expect("drive succeeds");
+        let mut system_args = vec!["system"];
+        system_args.extend_from_slice(&common);
+        let batch = run_capture(&system_args).expect("system succeeds");
+        assert_eq!(
+            report_lines(&live),
+            report_lines(&batch),
+            "live and batch reports diverged:\n--- live ---\n{live}\n--- batch ---\n{batch}"
+        );
+        assert!(live.contains("latency:"), "{live}");
+        assert!(live.contains("req/s"), "{live}");
+        // A graceful stop via the wire, so the daemon thread joins.
+        dosn_daemon::DaemonClient::connect(&socket)
+            .expect("connect for shutdown")
+            .shutdown()
+            .expect("daemon acknowledges");
+        let text = daemon.join().expect("no panic").expect("daemon exits cleanly");
+        assert!(text.contains("shut down cleanly"), "{text}");
+        assert!(!socket.exists(), "socket removed");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //!   printed as plot blocks or CSV.
 //! * `dosn replay` — propagate one update through a user's replica set
 //!   and print per-replica arrival times.
+//! * `dosn daemon` / `dosn drive` — serve the node runtime on a Unix
+//!   socket and replay the trace against it as live request traffic.
 //!
 //! The library portion exists so the argument parsing and command logic
 //! are unit-testable; `main` is a thin wrapper.
@@ -34,6 +36,8 @@ COMMANDS:
     predict       schedule-prediction quality from trace history
     system        full-system trace replay (delivery, staleness, overhead)
     fairness      system-wide hosting-load distribution per policy
+    daemon        serve the node runtime on a Unix-domain socket
+    drive         replay the trace as live requests against a daemon
     help          show this message
 
 DATASET OPTIONS (all commands):
@@ -63,7 +67,13 @@ REPLAY / SYSTEM / FAIRNESS OPTIONS:
     --capacity C                 fairness: also show a load-capped placement
     --reads R                    system: profile reads per friend-day [default: 0.1]
     --cloud                      system: disseminate via an always-on store
-    --latency SECS               system: store upload latency [default: 60]
+    --latency SECS               system: store upload latency (requires --cloud) [default: 60]
+    --json                       replay: print arrivals as a JSON document
+
+SERVING OPTIONS (daemon / drive):
+    --socket PATH                Unix socket path [default: dosn-daemon.sock]
+    --pidfile PATH               daemon: pid-file path [default: <socket>.pid]
+    --bench-out FILE             drive: write a JSON bench record (one policy only)
 
 PREDICT OPTIONS:
     --history-days D             train on days 0..D [default: half the trace]
@@ -75,7 +85,10 @@ PREDICT OPTIONS:
 mod tests {
     #[test]
     fn usage_mentions_every_command() {
-        for cmd in ["stats", "sweep", "replay", "system", "fairness", "predict", "help"] {
+        for cmd in [
+            "stats", "sweep", "replay", "system", "fairness", "predict", "daemon", "drive",
+            "help",
+        ] {
             assert!(crate::USAGE.contains(cmd), "usage must mention {cmd}");
         }
     }

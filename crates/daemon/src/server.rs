@@ -1,0 +1,171 @@
+//! The accept loop: a Unix-domain listener, one thread per connection,
+//! and the cooperative teardown that makes SIGTERM clean.
+//!
+//! The listener is non-blocking so the loop can poll the
+//! [`ShutdownFlag`] between accepts; sessions poll the same flag via
+//! their read timeouts. On shutdown the loop stops accepting, joins
+//! every session thread, and removes the socket and pid file — so an
+//! orchestrator (or the CI smoke job) can treat "socket gone, exit 0"
+//! as the definition of a clean stop.
+
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::session;
+use crate::shutdown::{PidFile, ShutdownFlag};
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Where the daemon listens and records its pid.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The Unix-domain socket path to bind.
+    pub socket: PathBuf,
+    /// Pid-file path; `None` skips the pid file (in-process servers,
+    /// e.g. the benchmark harness).
+    pub pidfile: Option<PathBuf>,
+}
+
+impl ServerConfig {
+    /// A config serving on `socket` with a `<socket>.pid` pid file.
+    pub fn at(socket: impl Into<PathBuf>) -> Self {
+        let socket = socket.into();
+        let pidfile = Some(socket.with_extension("pid"));
+        ServerConfig { socket, pidfile }
+    }
+}
+
+/// A bound daemon: listener up, pid file written, not yet serving.
+#[derive(Debug)]
+pub struct Server {
+    listener: UnixListener,
+    socket: PathBuf,
+    _pidfile: Option<PidFile>,
+}
+
+impl Server {
+    /// Binds the socket and writes the pid file.
+    ///
+    /// A left-over socket file from a crashed daemon is reclaimed iff
+    /// nothing answers on it; a live daemon on the path is an
+    /// `AddrInUse` error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/write failures.
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        if config.socket.exists() {
+            if UnixStream::connect(&config.socket).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("a daemon is already serving on {}", config.socket.display()),
+                ));
+            }
+            std::fs::remove_file(&config.socket)?;
+        }
+        let listener = UnixListener::bind(&config.socket)?;
+        let pidfile = match &config.pidfile {
+            Some(path) => Some(PidFile::create(path)?),
+            None => None,
+        };
+        Ok(Server {
+            listener,
+            socket: config.socket.clone(),
+            _pidfile: pidfile,
+        })
+    }
+
+    /// The bound socket path.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// Serves until the flag trips, then joins every session and
+    /// removes the socket (and, via drop, the pid file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected accept errors; per-session I/O errors only
+    /// end that session.
+    pub fn run(self, flag: &ShutdownFlag) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+        while !flag.is_set() {
+            match self.listener.accept() {
+                Ok((stream, _addr)) => {
+                    stream.set_nonblocking(false)?;
+                    let session_flag = flag.clone();
+                    sessions.push(std::thread::spawn(move || {
+                        if let Err(e) = session::serve(stream, &session_flag) {
+                            eprintln!("dosn-daemon: session ended with error: {e}");
+                        }
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    let _ = std::fs::remove_file(&self.socket);
+                    return Err(e);
+                }
+            }
+            // Reap finished sessions so a long-lived daemon's handle
+            // list stays bounded by its live connections.
+            sessions.retain(|h| !h.is_finished());
+        }
+        for handle in sessions {
+            let _ = handle.join();
+        }
+        std::fs::remove_file(&self.socket)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_socket(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dosn-srv-{tag}-{}.sock", std::process::id()))
+    }
+
+    #[test]
+    fn bind_reclaims_stale_sockets_and_refuses_live_ones() {
+        let path = temp_socket("stale");
+        let _ = std::fs::remove_file(&path);
+        // A stale socket file with no listener behind it.
+        drop(UnixListener::bind(&path).expect("fresh bind"));
+        assert!(path.exists(), "closing the listener leaves the file");
+        let config = ServerConfig { socket: path.clone(), pidfile: None };
+        let server = Server::bind(&config).expect("stale socket is reclaimed");
+        // While this server is live, a second bind must refuse.
+        let err = Server::bind(&config).expect_err("live socket refuses rebinding");
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        drop(server);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_exits_cleanly_on_flag_and_removes_socket() {
+        let path = temp_socket("flagged");
+        let _ = std::fs::remove_file(&path);
+        let pid = path.with_extension("pid");
+        let config = ServerConfig { socket: path.clone(), pidfile: Some(pid.clone()) };
+        let server = Server::bind(&config).expect("bind succeeds");
+        assert!(pid.exists(), "pid file written on bind");
+        let flag = ShutdownFlag::new();
+        let run_flag = flag.clone();
+        let handle = std::thread::spawn(move || server.run(&run_flag));
+        // Let the loop start, then trip the flag.
+        std::thread::sleep(Duration::from_millis(50));
+        flag.request();
+        handle.join().expect("no panic").expect("clean shutdown");
+        assert!(!path.exists(), "socket removed on shutdown");
+        assert!(!pid.exists(), "pid file removed on shutdown");
+    }
+}

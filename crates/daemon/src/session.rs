@@ -1,0 +1,292 @@
+//! The per-connection state machine: handshake, one simulation per
+//! `Open`, and the incremental event-loop advance that keeps the live
+//! replay byte-identical to the batch run.
+//!
+//! A session thread owns its whole simulation — dataset, schedules,
+//! placements, event queue, node runtime — on its stack. Each `Post` or
+//! `Read` request carries the `(time, seq)` scheduler key the batch
+//! pipeline would have assigned; the session first drains every queued
+//! event that orders strictly before that key
+//! ([`EventQueue::pop_before`]), then feeds the request event itself,
+//! so the state machine consumes the exact event sequence the batch
+//! facade's `pop` loop would have. Request events rank after
+//! same-instant session/delivery events by class, so no tie is ever
+//! ambiguous. `Finish` drains the remainder and folds the report.
+//!
+//! [`EventQueue::pop_before`]: dosn_node::EventQueue::pop_before
+
+use std::io::{self, Read};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use dosn_interval::Timestamp;
+use dosn_node::{
+    model_schedules, place_replicas, trace_span_days, Event, EventQueue, InstantTransport,
+    NodeRuntime, ScheduledEvent,
+};
+use dosn_socialgraph::UserId;
+
+use crate::codec::{decode_request, encode_response, write_frame, MAX_FRAME_BYTES, WireError};
+use crate::protocol::{ReportParts, Request, Response, SimSpec, PROTOCOL_VERSION};
+use crate::shutdown::ShutdownFlag;
+
+/// How long a blocking read waits before the session re-checks the
+/// shutdown flag. Short enough for a prompt SIGTERM exit, long enough
+/// to stay off the scheduler between requests.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// What a frame read produced.
+enum Incoming {
+    /// A complete request.
+    Frame(Request),
+    /// The peer closed the connection at a frame boundary.
+    Eof,
+    /// The shutdown flag tripped while waiting.
+    Shutdown,
+}
+
+/// Serves one connection until EOF, shutdown, or a fatal I/O error.
+///
+/// # Errors
+///
+/// Propagates I/O errors on the stream; protocol violations are
+/// answered with [`Response::Error`] frames instead of erroring out.
+pub fn serve(mut stream: UnixStream, flag: &ShutdownFlag) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    // Handshake: the first frame must be a compatible Hello.
+    match next_request(&mut stream, flag)? {
+        Incoming::Eof | Incoming::Shutdown => return Ok(()),
+        Incoming::Frame(Request::Hello { version }) if version == PROTOCOL_VERSION => {
+            respond(&mut stream, &Response::Welcome { version: PROTOCOL_VERSION })?;
+        }
+        Incoming::Frame(Request::Hello { version }) => {
+            return respond(&mut stream, &Response::Error {
+                message: format!(
+                    "protocol version {version} unsupported (daemon speaks {PROTOCOL_VERSION})"
+                ),
+            });
+        }
+        Incoming::Frame(_) => {
+            return respond(&mut stream, &Response::Error {
+                message: "expected Hello as the first frame".to_string(),
+            });
+        }
+    }
+    // Steady state: sessions open, run, and may open again.
+    loop {
+        match next_request(&mut stream, flag)? {
+            Incoming::Eof | Incoming::Shutdown => return Ok(()),
+            Incoming::Frame(Request::Ping) => respond(&mut stream, &Response::Pong)?,
+            Incoming::Frame(Request::Shutdown) => {
+                respond(&mut stream, &Response::ShuttingDown)?;
+                flag.request();
+                return Ok(());
+            }
+            Incoming::Frame(Request::Open(spec)) => {
+                if !run_simulation(&mut stream, flag, &spec)? {
+                    return Ok(());
+                }
+            }
+            Incoming::Frame(other) => respond(&mut stream, &Response::Error {
+                message: format!("no session open; {} is out of order", request_name(&other)),
+            })?,
+        }
+    }
+}
+
+/// Runs one opened simulation to its `Finish` (or EOF/shutdown).
+/// Returns whether the connection should keep serving.
+fn run_simulation(
+    stream: &mut UnixStream,
+    flag: &ShutdownFlag,
+    spec: &SimSpec,
+) -> io::Result<bool> {
+    let dataset = match spec.synthesize() {
+        Ok(ds) => ds,
+        Err(e) => {
+            respond(stream, &Response::Error { message: format!("cannot open session: {e}") })?;
+            return Ok(true);
+        }
+    };
+    let config = spec.study_config();
+    let schedules = model_schedules(&dataset, spec.model, &config);
+    let placements = place_replicas(
+        &dataset,
+        &schedules,
+        spec.policy,
+        spec.replication_degree as usize,
+        &config,
+    );
+    let activities = dataset.activities();
+    let span_days = trace_span_days(activities);
+    let mut queue = EventQueue::new().with_sessions(&schedules, 0..span_days);
+    let transport = InstantTransport;
+    let mut runtime = NodeRuntime::new(
+        &schedules,
+        &placements,
+        activities,
+        &transport,
+        spec.dissemination,
+    );
+    respond(stream, &Response::Opened {
+        users: dataset.user_count().min(u32::MAX as usize) as u32,
+        span_days,
+        posts: activities.len().min(u32::MAX as usize) as u32,
+    })?;
+
+    loop {
+        match next_request(stream, flag)? {
+            Incoming::Eof => return Ok(false),
+            Incoming::Shutdown => {
+                // Sessions are replay state, not durable data: a daemon
+                // shutdown simply abandons the run.
+                return Ok(false);
+            }
+            Incoming::Frame(Request::Ping) => respond(stream, &Response::Pong)?,
+            Incoming::Frame(Request::Shutdown) => {
+                respond(stream, &Response::ShuttingDown)?;
+                flag.request();
+                return Ok(false);
+            }
+            Incoming::Frame(Request::Post { index, creator, receiver, at_secs }) => {
+                let idx = index as usize;
+                let expected = activities.get(idx).copied();
+                let matches = expected.is_some_and(|a| {
+                    a.creator().as_u32() == creator
+                        && a.receiver().as_u32() == receiver
+                        && a.timestamp().as_secs() == at_secs
+                });
+                if !matches {
+                    respond(stream, &Response::Error {
+                        message: format!("post {index} does not match the synthesized trace"),
+                    })?;
+                    continue;
+                }
+                let ev = ScheduledEvent::new(
+                    Timestamp::new(at_secs),
+                    u64::from(index),
+                    Event::Post { activity: index },
+                );
+                while let Some(due) = queue.pop_before(&ev) {
+                    runtime.handle(due, &mut queue);
+                }
+                let owner = UserId::new(receiver);
+                let delivered = runtime.node(owner).online
+                    || placements[owner.index()]
+                        .iter()
+                        .any(|&h| runtime.node(h).online);
+                runtime.handle(ev, &mut queue);
+                respond(stream, &Response::PostAck { delivered })?;
+            }
+            Incoming::Frame(Request::Read { seq, owner, reader, at_secs }) => {
+                let in_range =
+                    (owner as usize) < placements.len() && (reader as usize) < placements.len();
+                if !in_range {
+                    respond(stream, &Response::Error {
+                        message: format!("read names user {owner}/{reader} outside the dataset"),
+                    })?;
+                    continue;
+                }
+                let owner = UserId::new(owner);
+                let ev = ScheduledEvent::new(
+                    Timestamp::new(at_secs),
+                    seq,
+                    Event::ProfileRead { owner, reader: UserId::new(reader) },
+                );
+                while let Some(due) = queue.pop_before(&ev) {
+                    runtime.handle(due, &mut queue);
+                }
+                let served = runtime.node(owner).online
+                    || placements[owner.index()]
+                        .iter()
+                        .any(|&h| runtime.node(h).online);
+                runtime.handle(ev, &mut queue);
+                respond(stream, &Response::ReadAck { served })?;
+            }
+            Incoming::Frame(Request::Finish) => {
+                while let Some(due) = queue.pop() {
+                    runtime.handle(due, &mut queue);
+                }
+                let report = runtime.into_report();
+                respond(stream, &Response::Report(ReportParts::from_report(&report)))?;
+                return Ok(true);
+            }
+            Incoming::Frame(other) => respond(stream, &Response::Error {
+                message: format!("session already open; {} is out of order", request_name(&other)),
+            })?,
+        }
+    }
+}
+
+fn request_name(req: &Request) -> &'static str {
+    match req {
+        Request::Hello { .. } => "Hello",
+        Request::Open(_) => "Open",
+        Request::Post { .. } => "Post",
+        Request::Read { .. } => "Read",
+        Request::Finish => "Finish",
+        Request::Ping => "Ping",
+        Request::Shutdown => "Shutdown",
+    }
+}
+
+fn respond(stream: &mut UnixStream, resp: &Response) -> io::Result<()> {
+    write_frame(stream, &encode_response(resp))
+}
+
+/// Reads the next request frame, polling the shutdown flag on read
+/// timeouts. A malformed frame is a hard error (the stream position is
+/// unrecoverable once framing is suspect).
+fn next_request(stream: &mut UnixStream, flag: &ShutdownFlag) -> io::Result<Incoming> {
+    let mut header = [0u8; 4];
+    match read_full(stream, &mut header, flag, true)? {
+        Progress::Done => {}
+        Progress::Eof => return Ok(Incoming::Eof),
+        Progress::Shutdown => return Ok(Incoming::Shutdown),
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized { announced: len as u64 }.into());
+    }
+    let mut payload = vec![0u8; len];
+    match read_full(stream, &mut payload, flag, false)? {
+        Progress::Done => {}
+        Progress::Eof => return Err(io::ErrorKind::UnexpectedEof.into()),
+        Progress::Shutdown => return Ok(Incoming::Shutdown),
+    }
+    Ok(Incoming::Frame(decode_request(&payload)?))
+}
+
+enum Progress {
+    Done,
+    Eof,
+    Shutdown,
+}
+
+/// Fills `buf` from the stream, treating read timeouts as shutdown-poll
+/// points. `eof_ok` marks the frame boundary, where a clean close is
+/// expected; inside a frame EOF stays an error signal.
+fn read_full(
+    stream: &mut UnixStream,
+    buf: &mut [u8],
+    flag: &ShutdownFlag,
+    eof_ok: bool,
+) -> io::Result<Progress> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        if flag.is_set() {
+            return Ok(Progress::Shutdown);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 && eof_ok => return Ok(Progress::Eof),
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Progress::Done)
+}

@@ -1,0 +1,142 @@
+//! Graceful-shutdown plumbing: a cooperative flag, SIGTERM/SIGINT
+//! registration, and the pid file.
+//!
+//! Everything in the daemon polls one [`ShutdownFlag`]: the accept loop
+//! between `accept` attempts, every session between frames (their
+//! sockets carry a short read timeout precisely so the poll happens).
+//! A flag trips either programmatically (a `Shutdown` request) or from
+//! a signal; the two `signal(2)` registrations below are the only
+//! unsafe code in the workspace.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Process-wide flag the signal handler can reach. Sessions observe it
+/// through their [`ShutdownFlag`].
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+#[allow(unsafe_code)]
+mod ffi {
+    use std::sync::atomic::Ordering;
+
+    // `signal(2)` from the C runtime — registering a handler needs no
+    // libc crate, just the symbol. The handler only stores to an atomic,
+    // which is async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn note_signal(_signum: i32) {
+        super::SIGNALED.store(true, Ordering::SeqCst);
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Routes SIGTERM and SIGINT into the process-wide shutdown flag.
+    pub fn install() {
+        // SAFETY: `signal` is only handed a valid signal number and an
+        // async-signal-safe extern "C" handler; the previous disposition
+        // (the return value) is deliberately discarded.
+        unsafe {
+            signal(SIGTERM, note_signal);
+            signal(SIGINT, note_signal);
+        }
+    }
+}
+
+/// Installs the SIGTERM/SIGINT handlers that trip every
+/// [`ShutdownFlag`]. Call once, before [`Server::run`].
+///
+/// [`Server::run`]: crate::server::Server::run
+pub fn install_signal_handlers() {
+    ffi::install();
+}
+
+/// Has a signal arrived? Exposed for the CLI's exit message.
+pub fn signal_received() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}
+
+/// A cooperative shutdown flag, cloned into every session thread.
+///
+/// `is_set` also observes the process-wide signal flag, so a SIGTERM
+/// stops sessions without any cross-thread wiring beyond the atomic.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag {
+    requested: Arc<AtomicBool>,
+}
+
+impl ShutdownFlag {
+    /// A fresh, untripped flag.
+    pub fn new() -> Self {
+        ShutdownFlag::default()
+    }
+
+    /// Trips the flag programmatically (the `Shutdown` request path).
+    pub fn request(&self) {
+        self.requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown was requested — by request or by signal.
+    pub fn is_set(&self) -> bool {
+        self.requested.load(Ordering::SeqCst) || signal_received()
+    }
+}
+
+/// The daemon's pid file: written on bind, removed on clean shutdown,
+/// so orchestration (and the CI smoke job) can signal and await the
+/// right process.
+#[derive(Debug)]
+pub struct PidFile {
+    path: PathBuf,
+}
+
+impl PidFile {
+    /// Writes the current pid to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn create(path: &Path) -> std::io::Result<PidFile> {
+        std::fs::write(path, format!("{}\n", std::process::id()))?;
+        Ok(PidFile { path: path.to_path_buf() })
+    }
+
+    /// Where the pid was written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for PidFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_trips_once_and_stays() {
+        let flag = ShutdownFlag::new();
+        assert!(!flag.is_set());
+        let clone = flag.clone();
+        clone.request();
+        assert!(flag.is_set(), "clones share the flag");
+    }
+
+    #[test]
+    fn pidfile_writes_and_removes() {
+        let path = std::env::temp_dir().join(format!("dosn-pid-test-{}", std::process::id()));
+        {
+            let pid = PidFile::create(&path).expect("temp dir is writable");
+            let content = std::fs::read_to_string(pid.path()).expect("pid file exists");
+            assert_eq!(content.trim(), std::process::id().to_string());
+        }
+        assert!(!path.exists(), "dropped pid file is removed");
+    }
+}

@@ -1,0 +1,121 @@
+//! Pins the acceptance criterion: `drive` against a live daemon
+//! reproduces the exact delivery/staleness aggregates the batch
+//! `system` path computes for the same seed — bit for bit, including
+//! the float accumulators inside every summary.
+
+use std::path::PathBuf;
+
+use dosn_core::{ModelKind, PolicyKind};
+use dosn_daemon::{drive, DaemonClient, DatasetFamily, Server, ServerConfig, ShutdownFlag, SimSpec};
+use dosn_node::{DisseminationMode, SystemSim};
+
+fn temp_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dosn-eq-{tag}-{}.sock", std::process::id()))
+}
+
+/// Starts an in-process daemon on a fresh socket; returns the socket
+/// path, the shutdown flag, and the join handle.
+fn start_daemon(
+    tag: &str,
+) -> (PathBuf, ShutdownFlag, std::thread::JoinHandle<std::io::Result<()>>) {
+    let socket = temp_socket(tag);
+    let _ = std::fs::remove_file(&socket);
+    let config = ServerConfig { socket: socket.clone(), pidfile: None };
+    let server = Server::bind(&config).expect("bind test socket");
+    let flag = ShutdownFlag::new();
+    let run_flag = flag.clone();
+    let handle = std::thread::spawn(move || server.run(&run_flag));
+    (socket, flag, handle)
+}
+
+fn batch_report(spec: &SimSpec, reads: f64) -> dosn_node::SystemReport {
+    let ds = spec.synthesize().expect("spec synthesizes");
+    SystemSim::new(&ds)
+        .model(spec.model)
+        .policy(spec.policy)
+        .replication_degree(spec.replication_degree as usize)
+        .reads_per_friend_day(reads)
+        .dissemination(spec.dissemination)
+        .run(&spec.study_config())
+}
+
+#[test]
+fn live_replay_reproduces_batch_aggregates() {
+    let (socket, flag, handle) = start_daemon("batch");
+    let specs = [
+        SimSpec {
+            family: DatasetFamily::Facebook,
+            users: 150,
+            dataset_seed: 42,
+            config_seed: 42,
+            model: ModelKind::sporadic_default(),
+            policy: PolicyKind::MaxAv,
+            replication_degree: 4,
+            unconrep: false,
+            dissemination: DisseminationMode::FriendToFriend,
+        },
+        SimSpec {
+            family: DatasetFamily::Twitter,
+            users: 120,
+            dataset_seed: 7,
+            config_seed: 99,
+            model: ModelKind::fixed_hours(4),
+            policy: PolicyKind::MostActive,
+            replication_degree: 3,
+            unconrep: true,
+            dissemination: DisseminationMode::Cloud { latency_secs: 120 },
+        },
+    ];
+    for (i, spec) in specs.iter().enumerate() {
+        let reads = 0.2;
+        let outcome = drive(&socket, spec, reads).expect("drive succeeds");
+        let batch = batch_report(spec, reads);
+        assert_eq!(outcome.report, batch, "spec {i} diverged from the batch run");
+        // The per-request acks agree with the folded aggregates too.
+        assert_eq!(outcome.posts_delivered_live, batch.posts_delivered() as u64);
+        assert_eq!(outcome.reads_served_live, batch.reads_served() as u64);
+        assert_eq!(
+            outcome.requests,
+            (batch.posts_total() + batch.reads_total()) as u64
+        );
+        assert!(outcome.elapsed_secs > 0.0);
+        assert!(outcome.req_per_s > 0.0);
+        assert!(outcome.latency.p50_ms <= outcome.latency.p99_ms);
+        assert!(outcome.latency.p99_ms <= outcome.latency.max_ms);
+    }
+    flag.request();
+    handle.join().expect("no panic").expect("clean shutdown");
+    assert!(!socket.exists(), "socket removed on shutdown");
+}
+
+#[test]
+fn shutdown_request_stops_the_daemon() {
+    let (socket, _flag, handle) = start_daemon("stop");
+    let mut client = DaemonClient::connect(&socket).expect("connect");
+    client.ping().expect("daemon answers ping");
+    DaemonClient::connect(&socket)
+        .expect("second connection")
+        .shutdown()
+        .expect("daemon acknowledges shutdown");
+    handle.join().expect("no panic").expect("clean shutdown");
+    assert!(!socket.exists(), "socket removed on shutdown");
+}
+
+#[test]
+fn out_of_order_requests_are_refused_without_killing_the_session() {
+    use dosn_daemon::Request;
+    let (socket, flag, handle) = start_daemon("order");
+    let mut client = DaemonClient::connect(&socket).expect("connect");
+    // A Post before any Open is refused...
+    let resp = client
+        .request(&Request::Post { index: 0, creator: 0, receiver: 0, at_secs: 0 })
+        .expect("exchange survives");
+    assert!(
+        matches!(resp, dosn_daemon::Response::Error { .. }),
+        "expected refusal, got {resp:?}"
+    );
+    // ...and the connection still serves afterwards.
+    client.ping().expect("session still usable");
+    flag.request();
+    handle.join().expect("no panic").expect("clean shutdown");
+}

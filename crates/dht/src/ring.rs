@@ -99,8 +99,15 @@ impl ChordRing {
         if self.nodes.is_empty() {
             return Err(DhtError::EmptyRing);
         }
-        let pos = self.nodes.partition_point(|&n| n < key);
-        Ok(self.nodes[pos % self.nodes.len()])
+        Ok(self.nodes[self.successor_index(key)])
+    }
+
+    /// Index of the first node clockwise at or after `key`.
+    ///
+    /// Callers must ensure the ring is non-empty; every public entry
+    /// point checks (or asserts membership, which implies it).
+    fn successor_index(&self, key: Key) -> usize {
+        self.nodes.partition_point(|&n| n < key) % self.nodes.len()
     }
 
     /// The `k` distinct nodes that replicate `key`: the owner and its
@@ -109,7 +116,7 @@ impl ChordRing {
         if self.nodes.is_empty() || k == 0 {
             return Vec::new();
         }
-        let start = self.nodes.partition_point(|&n| n < key) % self.nodes.len();
+        let start = self.successor_index(key);
         (0..k.min(self.nodes.len()))
             .map(|i| self.nodes[(start + i) % self.nodes.len()])
             .collect()
@@ -140,7 +147,9 @@ impl ChordRing {
     /// lookups only make sense from member nodes.
     pub fn lookup(&self, from: Key, key: Key) -> (Key, usize) {
         assert!(self.contains(from), "lookup must start at a member node");
-        let owner = self.successor(key).expect("member implies non-empty");
+        // Membership implies a non-empty ring, so direct indexing is
+        // safe from here on.
+        let owner = self.nodes[self.successor_index(key)];
         let mut current = from;
         let mut hops = 0;
         // Greedy routing: hop to the finger that gets closest to (but
@@ -167,10 +176,9 @@ impl ChordRing {
 
     /// The ring successor of a member node (the next node clockwise).
     fn successor_of_node(&self, node: Key) -> Key {
-        let pos = self
-            .nodes
-            .binary_search(&node)
-            .expect("node is a member");
+        // A member is its own at-or-after successor, so its index is
+        // exactly `successor_index`.
+        let pos = self.successor_index(node);
         self.nodes[(pos + 1) % self.nodes.len()]
     }
 
@@ -178,9 +186,7 @@ impl ChordRing {
     fn closest_preceding_finger(&self, from: Key, key: Key) -> Key {
         let mut best = from;
         for i in (0..FINGER_BITS).rev() {
-            let finger = self
-                .successor(from.finger_start(i))
-                .expect("non-empty ring");
+            let finger = self.nodes[self.successor_index(from.finger_start(i))];
             if finger != from && finger.in_range(from, key) && finger != key {
                 // Candidate strictly between from and key (clockwise).
                 let d = finger.distance_to(key);

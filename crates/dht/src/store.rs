@@ -109,16 +109,13 @@ impl DhtStore {
     /// holders all left are lost and returned.
     pub fn stabilize(&mut self, ring: &ChordRing) -> Vec<StoredUpdate> {
         let mut lost = Vec::new();
-        let keys: Vec<Key> = self.entries.keys().copied().collect();
-        for key in keys {
-            let (update, holders) = self.entries.get(&key).expect("key just listed");
-            let survives = holders.iter().any(|&h| ring.contains(h));
-            let update = *update;
-            if survives && !ring.is_empty() {
+        for (key, (update, holders)) in std::mem::take(&mut self.entries) {
+            // A surviving holder is a ring member, so the ring is
+            // necessarily non-empty here and re-placement succeeds.
+            if holders.iter().any(|&h| ring.contains(h)) {
                 let holders = ring.successors(key, self.replication);
                 self.entries.insert(key, (update, holders));
             } else {
-                self.entries.remove(&key);
                 lost.push(update);
             }
         }

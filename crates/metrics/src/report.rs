@@ -84,6 +84,31 @@ impl Summary {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Decomposes the summary into its raw accumulator state
+    /// `(count, sum, sum_sq, min, max)` — the wire/persistence escape
+    /// hatch. [`Summary::from_parts`] reconstructs the identical value,
+    /// so summaries can cross process boundaries without re-observing
+    /// the underlying samples.
+    pub fn to_parts(&self) -> (usize, f64, f64, f64, f64) {
+        (self.count, self.sum, self.sum_sq, self.min, self.max)
+    }
+
+    /// Rebuilds a summary from [`Summary::to_parts`] output. The caller
+    /// vouches for consistency (a `count` of zero ignores the float
+    /// fields, matching the empty summary).
+    pub fn from_parts(count: usize, sum: f64, sum_sq: f64, min: f64, max: f64) -> Self {
+        if count == 0 {
+            return Summary::default();
+        }
+        Summary {
+            count,
+            sum,
+            sum_sq,
+            min,
+            max,
+        }
+    }
+
     /// Merges another summary into this one.
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {
@@ -148,6 +173,18 @@ mod tests {
         assert_eq!(s.min(), None);
         assert_eq!(s.max(), None);
         assert_eq!(s.to_string(), "no observations");
+    }
+
+    #[test]
+    fn parts_roundtrip_bit_exactly() {
+        let s: Summary = [0.25, 1.75, -3.5].into_iter().collect();
+        let (count, sum, sum_sq, min, max) = s.to_parts();
+        let back = Summary::from_parts(count, sum, sum_sq, min, max);
+        assert_eq!(back, s);
+        // The empty summary survives the roundtrip too, whatever floats
+        // ride along.
+        let empty = Summary::from_parts(0, 9.0, 9.0, 9.0, 9.0);
+        assert_eq!(empty, Summary::new());
     }
 
     #[test]

@@ -171,22 +171,17 @@ impl<'a> SystemSim<'a> {
     pub fn run_with_stats(&self, config: &StudyConfig) -> (SystemReport, RunStats) {
         let view = self.view;
         // Stage 1: model everyone's online schedule.
-        let built_model = self.model.build();
-        let mut model_rng = StdRng::seed_from_u64(config.seed() ^ 0x51D);
-        let schedules: OnlineSchedules = built_model.schedules_from(view, &mut model_rng);
+        let schedules = model_schedules(view, self.model, config);
 
         // Stage 2: placement for every user. Each placement draws from
         // its own user-seeded RNG, so contiguous chunks parallelize
         // without changing a single choice.
-        let placements = self.place_all(&schedules, config);
+        let placements = place_replicas(view, &schedules, self.policy, self.replication_degree, config);
 
         // Stage 3: compile the inputs into the event stream.
         let mut activities: Vec<Activity> = Vec::with_capacity(view.activity_count());
         view.for_each_activity(&mut |a| activities.push(*a));
-        let span_days = activities
-            .last()
-            .map(|a| a.timestamp().day_index() + 1)
-            .unwrap_or(1);
+        let span_days = trace_span_days(&activities);
         let posts: Vec<ScheduledEvent> = activities
             .iter()
             .enumerate()
@@ -194,7 +189,8 @@ impl<'a> SystemSim<'a> {
                 ScheduledEvent::new(a.timestamp(), i as u64, Event::Post { activity: event_index(i) })
             })
             .collect();
-        let reads = self.draw_reads(view, &schedules, span_days, config);
+        let reads =
+            draw_profile_reads(view, &schedules, span_days, self.reads_per_friend_day, config);
 
         // Stage 4: run the state machine over the merged stream.
         let transport = self.transport.unwrap_or(&InstantTransport);
@@ -215,81 +211,108 @@ impl<'a> SystemSim<'a> {
         (runtime.into_report(), stats)
     }
 
-    /// Stage-2 placements, parallelized over contiguous user chunks.
-    fn place_all(&self, schedules: &OnlineSchedules, config: &StudyConfig) -> Vec<Vec<UserId>> {
-        let view = self.view;
-        let n = view.user_count();
-        let threads = config.effective_threads().min(n.max(1));
-        let mut placements: Vec<Vec<UserId>> = vec![Vec::new(); n];
-        let chunk_len = n.div_ceil(threads.max(1));
-        let place_chunk = |start: usize, out: &mut [Vec<UserId>]| {
-            let built_policy = self.policy.build();
-            for (off, slot) in out.iter_mut().enumerate() {
-                let user = UserId::from_index(start + off);
-                let mut rng = StdRng::seed_from_u64(config.seed() ^ u64::from(user.as_u32()));
-                *slot = built_policy.place(
-                    view,
-                    schedules,
-                    user,
-                    self.replication_degree,
-                    config.connectivity(),
-                    &mut rng,
-                );
-            }
-        };
-        if threads <= 1 || chunk_len == 0 {
-            place_chunk(0, &mut placements);
-        } else {
-            std::thread::scope(|scope| {
-                for (i, out) in placements.chunks_mut(chunk_len).enumerate() {
-                    let place_chunk = &place_chunk;
-                    scope.spawn(move || place_chunk(i * chunk_len, out));
-                }
-            });
-        }
-        placements
-    }
+}
 
-    /// Draws the profile-read schedule: for every (owner, friend) pair,
-    /// a count with expectation `rate × span_days`, each read at one of
-    /// the friend's online seconds. The RNG consumption order is the
-    /// batch pipeline's (owner-major, then candidate order); each read's
-    /// day is assigned round-robin without consuming randomness.
-    fn draw_reads(
-        &self,
-        view: &dyn StudyView,
-        schedules: &OnlineSchedules,
-        span_days: u64,
-        config: &StudyConfig,
-    ) -> Vec<ScheduledEvent> {
-        let mut read_rng = StdRng::seed_from_u64(config.seed() ^ 0x5EAD);
-        let mut events: Vec<ScheduledEvent> = Vec::new();
-        let mut seq = 0u64;
-        for i in 0..view.user_count() {
-            let owner = UserId::from_index(i);
-            for &friend in view.replica_candidates(owner) {
-                let reads = sample_count(
-                    self.reads_per_friend_day * span_days as f64,
-                    &mut read_rng,
-                );
-                for _ in 0..reads {
-                    let Some(tod) = random_online_second(&schedules[friend], &mut read_rng)
-                    else {
-                        break; // friend never online: no reads issued
-                    };
-                    let day = seq % span_days;
-                    events.push(ScheduledEvent::new(
-                        dosn_interval::Timestamp::from_day_and_offset(day, tod),
-                        seq,
-                        Event::ProfileRead { owner, reader: friend },
-                    ));
-                    seq += 1;
-                }
+/// Stage-1 online schedules: everyone's modeled schedule, drawn from the
+/// run's model RNG. Exposed so a live serving session can reproduce the
+/// exact schedules the batch pipeline uses for the same config.
+pub fn model_schedules(
+    view: &dyn StudyView,
+    model: ModelKind,
+    config: &StudyConfig,
+) -> OnlineSchedules {
+    let built_model = model.build();
+    let mut model_rng = StdRng::seed_from_u64(config.seed() ^ 0x51D);
+    built_model.schedules_from(view, &mut model_rng)
+}
+
+/// Stage-2 placements for every user, parallelized over contiguous user
+/// chunks. Each placement draws from its own user-seeded RNG, so the
+/// chunking never changes a choice.
+pub fn place_replicas(
+    view: &dyn StudyView,
+    schedules: &OnlineSchedules,
+    policy: PolicyKind,
+    replication_degree: usize,
+    config: &StudyConfig,
+) -> Vec<Vec<UserId>> {
+    let n = view.user_count();
+    let threads = config.effective_threads().min(n.max(1));
+    let mut placements: Vec<Vec<UserId>> = vec![Vec::new(); n];
+    let chunk_len = n.div_ceil(threads.max(1));
+    let place_chunk = |start: usize, out: &mut [Vec<UserId>]| {
+        let built_policy = policy.build();
+        for (off, slot) in out.iter_mut().enumerate() {
+            let user = UserId::from_index(start + off);
+            let mut rng = StdRng::seed_from_u64(config.seed() ^ u64::from(user.as_u32()));
+            *slot = built_policy.place(
+                view,
+                schedules,
+                user,
+                replication_degree,
+                config.connectivity(),
+                &mut rng,
+            );
+        }
+    };
+    if threads <= 1 || chunk_len == 0 {
+        place_chunk(0, &mut placements);
+    } else {
+        std::thread::scope(|scope| {
+            for (i, out) in placements.chunks_mut(chunk_len).enumerate() {
+                let place_chunk = &place_chunk;
+                scope.spawn(move || place_chunk(i * chunk_len, out));
+            }
+        });
+    }
+    placements
+}
+
+/// The replay horizon in days: one past the last activity's day (and at
+/// least one, so empty traces still have a session day).
+pub fn trace_span_days(activities: &[Activity]) -> u64 {
+    activities
+        .last()
+        .map(|a| a.timestamp().day_index() + 1)
+        .unwrap_or(1)
+}
+
+/// Draws the profile-read schedule: for every (owner, friend) pair, a
+/// count with expectation `rate × span_days`, each read at one of the
+/// friend's online seconds. The RNG consumption order is the batch
+/// pipeline's (owner-major, then candidate order); each read's day is
+/// assigned round-robin without consuming randomness. Exposed so a live
+/// driver can derive the identical request schedule the batch run uses.
+pub fn draw_profile_reads(
+    view: &dyn StudyView,
+    schedules: &OnlineSchedules,
+    span_days: u64,
+    reads_per_friend_day: f64,
+    config: &StudyConfig,
+) -> Vec<ScheduledEvent> {
+    let mut read_rng = StdRng::seed_from_u64(config.seed() ^ 0x5EAD);
+    let mut events: Vec<ScheduledEvent> = Vec::new();
+    let mut seq = 0u64;
+    for i in 0..view.user_count() {
+        let owner = UserId::from_index(i);
+        for &friend in view.replica_candidates(owner) {
+            let reads = sample_count(reads_per_friend_day * span_days as f64, &mut read_rng);
+            for _ in 0..reads {
+                let Some(tod) = random_online_second(&schedules[friend], &mut read_rng) else {
+                    break; // friend never online: no reads issued
+                };
+                let day = seq % span_days;
+                events.push(ScheduledEvent::new(
+                    dosn_interval::Timestamp::from_day_and_offset(day, tod),
+                    seq,
+                    Event::ProfileRead { owner, reader: friend },
+                ));
+                seq += 1;
             }
         }
-        events.sort_unstable();
-        events
     }
+    events.sort_unstable();
+    events
 }
 
 /// Converts an activity index to the event payload's u32.

@@ -115,6 +115,13 @@ impl ScheduledEvent {
         }
     }
 
+    /// The creation sequence within the event's source — the final
+    /// tie-break of the queue order. A live driver ships it with each
+    /// request so the serving side reconstructs the identical order.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
     fn key(&self) -> (Timestamp, u8, u64) {
         (self.at, self.class, self.seq)
     }
@@ -355,6 +362,49 @@ impl<'a> EventQueue<'a> {
             };
         }
     }
+
+    /// Removes and returns the globally next event, but only if it
+    /// orders strictly before `limit`; otherwise leaves the queue
+    /// untouched and returns `None`.
+    ///
+    /// This is the incremental-advance primitive a live session uses:
+    /// before handling an externally supplied event it drains every
+    /// queued event that the batch loop would have popped first, so the
+    /// interleaving matches the batch run exactly. Session days are only
+    /// generated once the limit reaches them, keeping the lazy feeder
+    /// lazy across calls.
+    pub fn pop_before(&mut self, limit: &ScheduledEvent) -> Option<ScheduledEvent> {
+        loop {
+            let best = self.best_source();
+            // Generate the next day of session events once the merge
+            // front reaches that day's start — but never a day the limit
+            // has not reached, so pop_before stays incremental.
+            if let Some(f) = self.sessions.as_mut() {
+                if f.buffer.head().is_none() && f.has_more_days() {
+                    let boundary = Timestamp::from_day_and_offset(f.next_day, 0);
+                    let limit_wants_day = limit.at >= boundary;
+                    let need_day = limit_wants_day
+                        && match best {
+                            None => true,
+                            Some((_, ev)) => ev.at >= boundary,
+                        };
+                    if need_day {
+                        f.feed_next_day();
+                        continue;
+                    }
+                }
+            }
+            return match best {
+                Some((_, ev)) if ev >= *limit => None,
+                None => None,
+                Some((src, _)) if src == usize::MAX => self.heap.pop().map(|Reverse(ev)| ev),
+                Some((src, _)) if src == usize::MAX - 1 => {
+                    self.sessions.as_mut().and_then(|f| f.buffer.pop())
+                }
+                Some((src, _)) => self.streams[src].pop(),
+            };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -410,6 +460,103 @@ mod tests {
         assert_eq!(events[0].at, Timestamp::new(0));
         assert!(matches!(events[3].event, Event::SessionEnd { .. }));
         assert_eq!(events[3].at, Timestamp::from_day_and_offset(1, 0));
+    }
+
+    #[test]
+    fn pop_before_stops_at_the_limit_and_resumes() {
+        let mut q = EventQueue::new();
+        for post in 0..6u32 {
+            q.schedule(Timestamp::new(u64::from(post) * 10), Event::CloudFetch {
+                post,
+                host: user(post),
+            });
+        }
+        // A limit at t=30 with the highest payload class: events at
+        // t=0,10,20 drain, the t=30 CloudFetch (class 3 < ProfileRead's 5
+        // but same time) also orders before the limit.
+        let limit = ScheduledEvent::new(Timestamp::new(30), 0, Event::ProfileRead {
+            owner: user(0),
+            reader: user(1),
+        });
+        let mut drained = Vec::new();
+        while let Some(ev) = q.pop_before(&limit) {
+            drained.push(ev.at.as_secs());
+        }
+        assert_eq!(drained, vec![0, 10, 20, 30]);
+        // The queue is untouched past the limit; a full pop resumes.
+        assert_eq!(q.pop().expect("t=40 still queued").at, Timestamp::new(40));
+        assert_eq!(q.pop().expect("t=50 still queued").at, Timestamp::new(50));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_before_feeds_sessions_only_up_to_the_limit() {
+        let schedules = OnlineSchedules::new(vec![
+            DaySchedule::window_wrapping(100, 200).expect("valid window"),
+        ]);
+        let mut q = EventQueue::new().with_sessions(&schedules, 0..5);
+        // A limit on day 1 drains day 0's boundaries and day 1's start,
+        // but must not generate days 2..5.
+        let limit = ScheduledEvent::new(
+            Timestamp::from_day_and_offset(1, 150),
+            0,
+            Event::ProfileRead { owner: user(0), reader: user(0) },
+        );
+        let mut drained = Vec::new();
+        while let Some(ev) = q.pop_before(&limit) {
+            drained.push(ev.at);
+        }
+        assert_eq!(drained, vec![
+            Timestamp::from_day_and_offset(0, 100),
+            Timestamp::from_day_and_offset(0, 300),
+            Timestamp::from_day_and_offset(1, 100),
+        ]);
+        // Draining the rest still yields the remaining days in order.
+        let mut rest = Vec::new();
+        while let Some(ev) = q.pop() {
+            rest.push(ev.at);
+        }
+        assert_eq!(rest.len(), 7, "day 1's end plus days 2..5");
+        assert_eq!(rest[0], Timestamp::from_day_and_offset(1, 300));
+    }
+
+    #[test]
+    fn interleaved_pop_before_matches_batch_pop_order() {
+        let schedules = OnlineSchedules::new(vec![
+            DaySchedule::window_wrapping(50, 400).expect("valid window"),
+            DaySchedule::window_wrapping(200, 100).expect("valid window"),
+        ]);
+        let posts: Vec<ScheduledEvent> = (0..4u32)
+            .map(|d| {
+                ScheduledEvent::new(
+                    Timestamp::from_day_and_offset(u64::from(d), 250),
+                    u64::from(d),
+                    Event::Post { activity: d },
+                )
+            })
+            .collect();
+
+        let mut batch = EventQueue::new().with_sessions(&schedules, 0..4);
+        batch.push_stream(posts.clone());
+        let mut expect = Vec::new();
+        while let Some(ev) = batch.pop() {
+            expect.push((ev.at, ev.event));
+        }
+
+        // Live mode: the posts arrive as external requests, everything
+        // else drains via pop_before keyed on each request.
+        let mut live = EventQueue::new().with_sessions(&schedules, 0..4);
+        let mut got = Vec::new();
+        for post in &posts {
+            while let Some(ev) = live.pop_before(post) {
+                got.push((ev.at, ev.event));
+            }
+            got.push((post.at, post.event));
+        }
+        while let Some(ev) = live.pop() {
+            got.push((ev.at, ev.event));
+        }
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -54,7 +54,10 @@ mod report;
 mod state;
 mod transport;
 
-pub use engine::{DisseminationMode, RunStats, SystemSim};
+pub use engine::{
+    draw_profile_reads, model_schedules, place_replicas, trace_span_days, DisseminationMode,
+    RunStats, SystemSim,
+};
 pub use events::{session_events_for_day, Event, EventQueue, ScheduledEvent};
 pub use report::{NodeAccounting, SystemReport};
 pub use state::{NodeRuntime, NodeState};

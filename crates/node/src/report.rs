@@ -48,6 +48,33 @@ impl SystemReport {
         }
     }
 
+    /// Rebuilds a report from already-aggregated parts — the wire
+    /// escape hatch, so a serving daemon can ship a report to its
+    /// driver without the driver re-running the simulation. The
+    /// invariant `posts_total = delivered + failed` is restored here
+    /// rather than trusted from the caller (a delivered count exceeding
+    /// the total is clamped, not trusted).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        posts_total: usize,
+        posts_delivered: usize,
+        staleness_hours: Summary,
+        incomplete_dissemination: usize,
+        reads_total: usize,
+        reads_served: usize,
+        accounting: NodeAccounting,
+    ) -> Self {
+        SystemReport::new(
+            posts_total,
+            posts_delivered.min(posts_total),
+            staleness_hours,
+            incomplete_dissemination,
+            reads_total,
+            reads_served,
+            accounting,
+        )
+    }
+
     /// Posts the trace attempted.
     pub fn posts_total(&self) -> usize {
         self.posts_total
@@ -168,6 +195,20 @@ mod tests {
         assert!(text.contains("delivered:             8 (80.0%)"));
         assert!(text.contains("reads served:          15 of 20 (75.0%)"));
         assert!(text.contains("staleness"));
+    }
+
+    #[test]
+    fn from_parts_rebuilds_and_clamps() {
+        let staleness: Summary = [2.0].into_iter().collect();
+        let direct = SystemReport::new(5, 4, staleness, 0, 6, 3, NodeAccounting::default());
+        let rebuilt =
+            SystemReport::from_parts(5, 4, staleness, 0, 6, 3, NodeAccounting::default());
+        assert_eq!(rebuilt, direct);
+        // An inconsistent wire value cannot underflow the failed count.
+        let clamped =
+            SystemReport::from_parts(5, 9, staleness, 0, 0, 0, NodeAccounting::default());
+        assert_eq!(clamped.posts_delivered(), 5);
+        assert_eq!(clamped.posts_failed(), 0);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Property tests for the transport layer.
+//!
+//! `FixedLatencyTransport` wraps the instantaneous oracle, so its
+//! contract is relational: whatever the oracle computes, the wrapper
+//! may only *delay* non-source arrivals — never revive an unreachable
+//! host, never touch a source, and never reorder against a smaller
+//! latency.
+
+use dosn_interval::{DaySchedule, Timestamp};
+use dosn_node::{FixedLatencyTransport, InstantTransport, Transport};
+use dosn_onlinetime::OnlineSchedules;
+use dosn_socialgraph::UserId;
+use proptest::prelude::*;
+
+/// Per-host day windows; `None` is a host that never comes online.
+type Windows = Vec<Option<(u32, u32)>>;
+
+fn windows_strategy() -> impl Strategy<Value = Windows> {
+    proptest::collection::vec(
+        proptest::option::weighted(0.85, (0u32..86_400, 1u32..86_400)),
+        2..8,
+    )
+}
+
+fn build(windows: &Windows) -> (Vec<UserId>, OnlineSchedules) {
+    let hosts: Vec<UserId> = (0..windows.len()).map(|i| UserId::new(i as u32)).collect();
+    let schedules = OnlineSchedules::new(
+        windows
+            .iter()
+            .map(|w| match w {
+                Some((start, len)) => DaySchedule::window_wrapping(*start, *len)
+                    .unwrap_or_else(|e| panic!("valid window: {e}")),
+                None => DaySchedule::new(),
+            })
+            .collect(),
+    );
+    (hosts, schedules)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fixed_latency_only_delays_non_sources(
+        windows in windows_strategy(),
+        source_pick in 0usize..8,
+        latency in 0u64..100_000,
+        at_secs in 0u64..(86_400 * 3),
+    ) {
+        let (hosts, schedules) = build(&windows);
+        let source = source_pick % hosts.len();
+        let at = Timestamp::new(at_secs);
+        let sources = [source];
+        let instant = InstantTransport.disseminate(&hosts, &schedules, &sources, at);
+        let delayed = FixedLatencyTransport { latency_secs: latency }
+            .disseminate(&hosts, &schedules, &sources, at);
+        prop_assert_eq!(instant.len(), hosts.len());
+        prop_assert_eq!(delayed.len(), hosts.len());
+        for i in 0..hosts.len() {
+            if i == source {
+                // Sources hold the update immediately, undelayed.
+                prop_assert_eq!(instant[i], Some(at));
+                prop_assert_eq!(delayed[i], Some(at));
+            } else {
+                match (instant[i], delayed[i]) {
+                    // Unreachable hosts stay unreachable.
+                    (None, None) => {}
+                    // Reachable hosts land exactly `latency` later, and
+                    // never before the injection instant.
+                    (Some(t0), Some(t1)) => {
+                        prop_assert_eq!(t1, t0.saturating_add(latency));
+                        prop_assert!(t1 >= t0);
+                        prop_assert!(t0.as_secs() >= at.as_secs());
+                    }
+                    (a, b) => {
+                        prop_assert!(
+                            false,
+                            "latency changed reachability at host {i}: {a:?} vs {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_are_monotone_in_latency(
+        windows in windows_strategy(),
+        lat_fast in 0u64..50_000,
+        extra in 0u64..50_000,
+        at_secs in 0u64..86_400,
+    ) {
+        let (hosts, schedules) = build(&windows);
+        let at = Timestamp::new(at_secs);
+        let lat_slow = lat_fast + extra;
+        let fast = FixedLatencyTransport { latency_secs: lat_fast }
+            .disseminate(&hosts, &schedules, &[0], at);
+        let slow = FixedLatencyTransport { latency_secs: lat_slow }
+            .disseminate(&hosts, &schedules, &[0], at);
+        for i in 0..hosts.len() {
+            match (fast[i], slow[i]) {
+                (None, None) => {}
+                (Some(t_fast), Some(t_slow)) => {
+                    prop_assert!(
+                        t_slow >= t_fast,
+                        "host {i}: latency {lat_slow} arrived before latency {lat_fast}"
+                    );
+                }
+                (a, b) => {
+                    prop_assert!(
+                        false,
+                        "latency changed reachability at host {i}: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_latency_is_the_instant_transport(
+        windows in windows_strategy(),
+        at_secs in 0u64..86_400,
+    ) {
+        let (hosts, schedules) = build(&windows);
+        let at = Timestamp::new(at_secs);
+        let instant = InstantTransport.disseminate(&hosts, &schedules, &[0], at);
+        let zero = FixedLatencyTransport { latency_secs: 0 }
+            .disseminate(&hosts, &schedules, &[0], at);
+        prop_assert_eq!(instant, zero);
+    }
+}

@@ -235,7 +235,7 @@ impl Dataset {
             })
             .collect();
         Dataset::new(self.name.clone(), b.build(), activities)
-            .expect("remapped activities are in range")
+            .unwrap_or_else(|e| panic!("remapped activities are in range: {e}"))
     }
 
     /// Splits the trace at the start of `day` (counted from the epoch):
@@ -258,13 +258,13 @@ impl Dataset {
             self.graph.clone(),
             self.activities[..split].to_vec(),
         )
-        .expect("subset of validated activities");
+        .unwrap_or_else(|e| panic!("subset of validated activities: {e}"));
         let future = Dataset::new(
             format!("{}[day {day}..]", self.name),
             self.graph.clone(),
             self.activities[split..].to_vec(),
         )
-        .expect("subset of validated activities");
+        .unwrap_or_else(|e| panic!("subset of validated activities: {e}"));
         (history, future)
     }
 

@@ -147,7 +147,11 @@ fn run_lints(
         for entry in std::fs::read_dir(root.join("crates")).map_err(|e| e.to_string())? {
             let entry = entry.map_err(|e| e.to_string())?;
             let name = entry.file_name().to_string_lossy().into_owned();
-            if name == "bench" || name == "xtask" {
+            if name == "bench" || name == "xtask" || name == "daemon" {
+                // The daemon crate is the serving shell: wall-clock
+                // latency measurement is its job, so D2's ambient-time
+                // ban does not apply there (the sim core it hosts
+                // still falls under D1/D2 via its own crates).
                 continue;
             }
             dirs.push(PathBuf::from("crates").join(&name).join("src"));

@@ -35,7 +35,7 @@ pub const DETERMINISTIC_CRATES: [&str; 7] = [
 ];
 
 /// Library crates covered by the D4 unwrap/expect ratchet.
-pub const LIBRARY_CRATES: [&str; 10] = [
+pub const LIBRARY_CRATES: [&str; 11] = [
     "interval",
     "socialgraph",
     "trace",
@@ -46,6 +46,7 @@ pub const LIBRARY_CRATES: [&str; 10] = [
     "dht",
     "consistency",
     "node",
+    "daemon",
 ];
 
 /// Word-level kernel files where every cast must be checked (rule D3).
