@@ -102,7 +102,9 @@ pub fn place_all_capped(
         let mut covered = schedules[user].clone();
         let mut chosen = Vec::new();
         while chosen.len() < replication_degree && !candidates.is_empty() {
-            let (best_ix, _) = candidates
+            // The loop condition keeps `candidates` non-empty, so the
+            // max always exists; the break is the total fallback.
+            let Some((best_ix, _)) = candidates
                 .iter()
                 .enumerate()
                 .map(|(i, &c)| {
@@ -110,7 +112,9 @@ pub fn place_all_capped(
                     (i, gain)
                 })
                 .max_by_key(|&(i, gain)| (gain, std::cmp::Reverse(i)))
-                .expect("candidates non-empty");
+            else {
+                break;
+            };
             let host = candidates.swap_remove(best_ix);
             let gain = schedules[host].difference(&covered).online_seconds();
             if gain == 0 && !chosen.is_empty() {

@@ -146,7 +146,11 @@ impl LatencyStats {
         latencies.sort_unstable_by(f64::total_cmp);
         let at = |q: f64| {
             let pos = (q * (latencies.len() - 1) as f64).round() as usize;
-            latencies[pos.min(latencies.len() - 1)] * 1_000.0
+            let secs = latencies
+                .get(pos.min(latencies.len() - 1))
+                .copied()
+                .unwrap_or(0.0);
+            secs * 1_000.0
         };
         LatencyStats { p50_ms: at(0.5), p99_ms: at(0.99), max_ms: at(1.0) }
     }
@@ -239,7 +243,11 @@ pub fn drive(
     for ev in &stream {
         let request = match ev.event {
             Event::Post { activity } => {
-                let a = activities[activity as usize];
+                let Some(&a) = activities.get(activity as usize) else {
+                    return Err(ClientError::Protocol(format!(
+                        "request stream names post {activity} outside the trace"
+                    )));
+                };
                 Request::Post {
                     index: activity,
                     creator: a.creator().as_u32(),

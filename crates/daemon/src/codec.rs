@@ -107,8 +107,9 @@ impl Enc {
     }
 
     fn str(&mut self, s: &str) {
-        self.u32(s.len().min(u32::MAX as usize) as u32);
-        self.buf.extend_from_slice(&s.as_bytes()[..s.len().min(u32::MAX as usize)]);
+        let len = s.len().min(u32::MAX as usize);
+        self.u32(len as u32);
+        self.buf.extend(s.as_bytes().iter().take(len));
     }
 }
 
@@ -127,7 +128,7 @@ impl<'a> Dec<'a> {
     }
 
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(WireError::Truncated)
     }
 
     fn bool(&mut self, field: &'static str) -> Result<bool, WireError> {
@@ -140,7 +141,9 @@ impl<'a> Dec<'a> {
 
     fn u32(&mut self) -> Result<u32, WireError> {
         let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(b);
+        Ok(u32::from_le_bytes(raw))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
@@ -503,7 +506,8 @@ enum ReadOutcome {
 fn read_exact_or_eof(r: &mut dyn Read, buf: &mut [u8]) -> io::Result<ReadOutcome> {
     let mut filled = 0usize;
     while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
+        let Some(rest) = buf.get_mut(filled..) else { break };
+        match r.read(rest) {
             Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
             Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
             Ok(n) => filled += n,

@@ -172,9 +172,9 @@ fn run_simulation(
                 }
                 let owner = UserId::new(receiver);
                 let delivered = runtime.node(owner).online
-                    || placements[owner.index()]
-                        .iter()
-                        .any(|&h| runtime.node(h).online);
+                    || placements
+                        .get(owner.index())
+                        .is_some_and(|hosts| hosts.iter().any(|&h| runtime.node(h).online));
                 runtime.handle(ev, &mut queue);
                 respond(stream, &Response::PostAck { delivered })?;
             }
@@ -197,9 +197,9 @@ fn run_simulation(
                     runtime.handle(due, &mut queue);
                 }
                 let served = runtime.node(owner).online
-                    || placements[owner.index()]
-                        .iter()
-                        .any(|&h| runtime.node(h).online);
+                    || placements
+                        .get(owner.index())
+                        .is_some_and(|hosts| hosts.iter().any(|&h| runtime.node(h).online));
                 runtime.handle(ev, &mut queue);
                 respond(stream, &Response::ReadAck { served })?;
             }
@@ -277,7 +277,8 @@ fn read_full(
         if flag.is_set() {
             return Ok(Progress::Shutdown);
         }
-        match stream.read(&mut buf[filled..]) {
+        let Some(rest) = buf.get_mut(filled..) else { break };
+        match stream.read(rest) {
             Ok(0) if filled == 0 && eof_ok => return Ok(Progress::Eof),
             Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
             Ok(n) => filled += n,

@@ -110,16 +110,21 @@ impl DaySchedule {
         if len == 0 || len > SECONDS_PER_DAY {
             return Err(IntervalError::BadSessionLength { len });
         }
+        // The range checks above validate every constructed interval, so
+        // none of the `Ok` branches can be missed.
         let end = start as u64 + len as u64;
         if end <= SECONDS_PER_DAY as u64 {
-            self.set
-                .insert(Interval::new(start, end as u32).expect("validated window"));
+            if let Ok(window) = Interval::new(start, end as u32) {
+                self.set.insert(window);
+            }
         } else {
-            self.set
-                .insert(Interval::new(start, SECONDS_PER_DAY).expect("validated head"));
+            if let Ok(head) = Interval::new(start, SECONDS_PER_DAY) {
+                self.set.insert(head);
+            }
             let tail = (end - SECONDS_PER_DAY as u64) as u32;
-            self.set
-                .insert(Interval::new(0, tail).expect("validated tail"));
+            if let Ok(tail) = Interval::new(0, tail) {
+                self.set.insert(tail);
+            }
         }
         Ok(())
     }
@@ -365,9 +370,14 @@ pub fn coverage_at_least(schedules: &[DaySchedule], k: usize) -> DaySchedule {
         if before < k as i32 && depth >= k as i32 {
             covered_since = Some(t);
         } else if before >= k as i32 && depth < k as i32 {
-            let start = covered_since.take().expect("was covered");
-            if t > start {
-                out.insert(Interval::new(start, t).expect("start < t <= day"));
+            // Crossing k downward implies a prior upward crossing set
+            // `covered_since`; `start < t <= day` validates the window.
+            if let Some(start) = covered_since.take() {
+                if t > start {
+                    if let Ok(window) = Interval::new(start, t) {
+                        out.insert(window);
+                    }
+                }
             }
         }
     }

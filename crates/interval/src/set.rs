@@ -135,7 +135,10 @@ impl IntervalSet {
         while let Some(iv) = next() {
             match out.last_mut() {
                 Some(last) if last.touches(iv) => {
-                    *last = last.merge(iv).expect("touching intervals merge");
+                    // The guard's `touches` makes the merge total.
+                    if let Some(merged) = last.merge(iv) {
+                        *last = merged;
+                    }
                 }
                 _ => out.push(iv),
             }
@@ -235,8 +238,11 @@ impl IntervalSet {
             let mut k = j;
             while k < other.intervals.len() && other.intervals[k].start() < x.end() {
                 let y = other.intervals[k];
+                // `cursor < y.start() <= day` keeps the gap valid.
                 if y.start() > cursor {
-                    out.push(Interval::new(cursor, y.start()).expect("non-empty gap"));
+                    if let Ok(gap) = Interval::new(cursor, y.start()) {
+                        out.push(gap);
+                    }
                 }
                 cursor = cursor.max(y.end());
                 if cursor >= x.end() {
@@ -245,7 +251,9 @@ impl IntervalSet {
                 k += 1;
             }
             if cursor < x.end() {
-                out.push(Interval::new(cursor, x.end()).expect("non-empty remainder"));
+                if let Ok(rest) = Interval::new(cursor, x.end()) {
+                    out.push(rest);
+                }
             }
         }
         let out = IntervalSet { intervals: out };
@@ -362,7 +370,10 @@ impl FromIterator<Interval> for IntervalSet {
         for iv in intervals {
             match out.intervals.last_mut() {
                 Some(last) if last.touches(iv) => {
-                    *last = last.merge(iv).expect("touching intervals merge");
+                    // The guard's `touches` makes the merge total.
+                    if let Some(merged) = last.merge(iv) {
+                        *last = merged;
+                    }
                 }
                 _ => out.intervals.push(iv),
             }

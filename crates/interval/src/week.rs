@@ -164,10 +164,10 @@ impl WeekSchedule {
             let day = (start / SECONDS_PER_DAY) as usize;
             let tod = start % SECONDS_PER_DAY;
             let in_day = (SECONDS_PER_DAY - tod).min(remaining);
-            // A piece never crosses midnight, so no wrap inside the day.
-            self.days[day]
-                .insert_wrapping(tod, in_day)
-                .expect("piece fits within the day");
+            // A piece never crosses midnight, so no wrap inside the day
+            // and `tod + in_day <= SECONDS_PER_DAY` keeps the insert
+            // infallible.
+            let _ = self.days[day].insert_wrapping(tod, in_day);
             start = (start + in_day) % SECONDS_PER_WEEK;
             remaining -= in_day;
         }

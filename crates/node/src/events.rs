@@ -294,7 +294,7 @@ impl<'a> EventQueue<'a> {
     /// order ([`ScheduledEvent`]'s `Ord`).
     pub fn push_stream(&mut self, events: Vec<ScheduledEvent>) {
         debug_assert!(
-            events.windows(2).all(|w| w[0] <= w[1]),
+            events.windows(2).all(|w| w.first() <= w.last()),
             "static stream must be pre-sorted"
         );
         self.streams.push(Stream { events, cursor: 0 });
@@ -358,7 +358,7 @@ impl<'a> EventQueue<'a> {
                 Some((src, _)) if src == usize::MAX - 1 => {
                     self.sessions.as_mut().and_then(|f| f.buffer.pop())
                 }
-                Some((src, _)) => self.streams[src].pop(),
+                Some((src, _)) => self.streams.get_mut(src).and_then(Stream::pop),
             };
         }
     }
@@ -401,7 +401,7 @@ impl<'a> EventQueue<'a> {
                 Some((src, _)) if src == usize::MAX - 1 => {
                     self.sessions.as_mut().and_then(|f| f.buffer.pop())
                 }
-                Some((src, _)) => self.streams[src].pop(),
+                Some((src, _)) => self.streams.get_mut(src).and_then(Stream::pop),
             };
         }
     }

@@ -34,6 +34,16 @@ pub struct NodeState {
     pub pending_updates: u64,
 }
 
+/// The state reported for a user id outside the runtime's range: such a
+/// node is never online and holds nothing. Keeps [`NodeRuntime::node`]
+/// total — the serving path must not panic on a hostile user id.
+const OFFLINE_NODE: NodeState = NodeState {
+    online: false,
+    stored_updates: 0,
+    messages_sent: 0,
+    pending_updates: 0,
+};
+
 /// What became of one post; folded into the report in trace order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PostOutcome {
@@ -104,13 +114,37 @@ impl<'a> NodeRuntime<'a> {
         }
     }
 
-    /// One node's current state.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `user` is out of range.
+    /// One node's current state. A user id outside the runtime's range
+    /// reads as a permanently offline, empty node.
     pub fn node(&self, user: UserId) -> &NodeState {
-        &self.nodes[user.index()]
+        self.nodes.get(user.index()).unwrap_or(&OFFLINE_NODE)
+    }
+
+    /// Whether `user`'s node is inside one of its online sessions.
+    fn online(&self, user: UserId) -> bool {
+        self.nodes.get(user.index()).is_some_and(|n| n.online)
+    }
+
+    /// The profile hosts placed for `owner` (empty when out of range).
+    fn placement(&self, owner: UserId) -> &'a [UserId] {
+        self.placements
+            .get(owner.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Applies `f` to `user`'s node state, ignoring out-of-range ids.
+    fn with_node(&mut self, user: UserId, f: impl FnOnce(&mut NodeState)) {
+        if let Some(n) = self.nodes.get_mut(user.index()) {
+            f(n);
+        }
+    }
+
+    /// Records `outcome` for the post at trace index `idx`.
+    fn set_outcome(&mut self, idx: usize, outcome: PostOutcome) {
+        if let Some(slot) = self.outcomes.get_mut(idx) {
+            *slot = outcome;
+        }
     }
 
     /// Event counts so far.
@@ -125,11 +159,11 @@ impl<'a> NodeRuntime<'a> {
         match ev.event {
             Event::SessionStart { user } => {
                 self.stats.session_events += 1;
-                self.nodes[user.index()].online = true;
+                self.with_node(user, |n| n.online = true);
             }
             Event::SessionEnd { user } => {
                 self.stats.session_events += 1;
-                self.nodes[user.index()].online = false;
+                self.with_node(user, |n| n.online = false);
             }
             Event::Post { activity } => {
                 self.stats.post_events += 1;
@@ -138,36 +172,38 @@ impl<'a> NodeRuntime<'a> {
             Event::ProfileRead { owner, reader: _ } => {
                 self.stats.read_events += 1;
                 self.reads_total += 1;
-                let served = self.nodes[owner.index()].online
-                    || self.placements[owner.index()]
-                        .iter()
-                        .any(|&h| self.nodes[h.index()].online);
+                let served = self.online(owner)
+                    || self.placement(owner).iter().any(|&h| self.online(h));
                 self.reads_served += served as usize;
             }
             Event::Disseminate { post: _, host, source } => {
                 self.stats.delivery_events += 1;
-                let h = &mut self.nodes[host.index()];
-                h.stored_updates += 1;
-                h.pending_updates -= 1;
-                self.nodes[source.index()].messages_sent += 1;
+                self.with_node(host, |h| {
+                    h.stored_updates += 1;
+                    h.pending_updates = h.pending_updates.saturating_sub(1);
+                });
+                self.with_node(source, |s| s.messages_sent += 1);
             }
             Event::CloudFetch { post: _, host } => {
                 self.stats.delivery_events += 1;
-                let h = &mut self.nodes[host.index()];
-                h.stored_updates += 1;
-                h.pending_updates -= 1;
-                h.messages_sent += 1; // the fetch
+                self.with_node(host, |h| {
+                    h.stored_updates += 1;
+                    h.pending_updates = h.pending_updates.saturating_sub(1);
+                    h.messages_sent += 1; // the fetch
+                });
             }
         }
     }
 
     fn handle_post(&mut self, activity: u32, ev: ScheduledEvent, queue: &mut EventQueue<'_>) {
         let idx = activity as usize;
-        let a = self.activities[idx];
+        let Some(&a) = self.activities.get(idx) else {
+            return; // an index outside the trace delivers nothing
+        };
         let receiver = a.receiver();
         let t = ev.at;
         // The profile's hosts: the owner plus the replicas.
-        let placement = &self.placements[receiver.index()];
+        let placement = self.placement(receiver);
         let mut hosts: Vec<UserId> = Vec::with_capacity(placement.len() + 1);
         hosts.push(receiver);
         hosts.extend_from_slice(placement);
@@ -176,47 +212,54 @@ impl<'a> NodeRuntime<'a> {
         let online: Vec<usize> = hosts
             .iter()
             .enumerate()
-            .filter(|&(_, &h)| self.nodes[h.index()].online)
+            .filter(|&(_, &h)| self.online(h))
             .map(|(i, _)| i)
             .collect();
         if online.is_empty() {
-            self.outcomes[idx] = PostOutcome::Failed;
+            self.set_outcome(idx, PostOutcome::Failed);
             return;
         }
         // The online hosts store the update immediately; the creator's
         // node sent one message per online host it is not itself.
         for &i in &online {
-            self.nodes[hosts[i].index()].stored_updates += 1;
-            if hosts[i] != a.creator() {
-                self.nodes[a.creator().index()].messages_sent += 1;
+            let Some(&host) = hosts.get(i) else { continue };
+            self.with_node(host, |n| n.stored_updates += 1);
+            if host != a.creator() {
+                self.with_node(a.creator(), |c| c.messages_sent += 1);
             }
         }
         if online.len() == hosts.len() {
-            self.outcomes[idx] = PostOutcome::Instant;
+            self.set_outcome(idx, PostOutcome::Instant);
             return;
         }
         // Dissemination to the offline hosts: ask the transport when
         // each copy lands, then schedule the delivery events.
-        self.outcomes[idx] = match self.dissemination {
+        let outcome = match self.dissemination {
             DisseminationMode::FriendToFriend => {
                 let arrivals = self.transport.disseminate(&hosts, self.schedules, &online, t);
                 // Attribute transfers to some already-holding host; the
                 // epidemic sender is whichever peer it met — accounting
-                // to the first online source keeps totals right.
-                let source = hosts[online[0]];
+                // to the first online source keeps totals right. (The
+                // receiver fallback is unreachable: `online` is
+                // non-empty and indexes `hosts`.)
+                let source = online
+                    .first()
+                    .and_then(|&i| hosts.get(i))
+                    .copied()
+                    .unwrap_or(receiver);
                 let mut worst = 0u64;
                 let mut all_reached = true;
-                for (i, arrival) in arrivals.iter().enumerate() {
+                for ((i, &host), arrival) in hosts.iter().enumerate().zip(arrivals.iter()) {
                     if online.contains(&i) {
                         continue;
                     }
                     match *arrival {
                         Some(at) => {
                             worst = worst.max(at.seconds_since(t));
-                            self.nodes[hosts[i].index()].pending_updates += 1;
+                            self.with_node(host, |n| n.pending_updates += 1);
                             queue.schedule(
                                 at,
-                                Event::Disseminate { post: activity, host: hosts[i], source },
+                                Event::Disseminate { post: activity, host, source },
                             );
                         }
                         None => all_reached = false,
@@ -231,7 +274,7 @@ impl<'a> NodeRuntime<'a> {
             DisseminationMode::Cloud { latency_secs } => {
                 // One upload, then every offline host fetches at its
                 // next online instant after the store has the update.
-                self.nodes[a.creator().index()].messages_sent += 1;
+                self.with_node(a.creator(), |c| c.messages_sent += 1);
                 let ready = t.saturating_add(latency_secs);
                 let mut worst = 0u64;
                 let mut all_reached = true;
@@ -239,11 +282,15 @@ impl<'a> NodeRuntime<'a> {
                     if online.contains(&i) {
                         continue;
                     }
-                    match self.schedules[host].wait_until_online(ready.time_of_day()) {
+                    let wait = self
+                        .schedules
+                        .get(host)
+                        .and_then(|s| s.wait_until_online(ready.time_of_day()));
+                    match wait {
                         Some(wait) => {
                             let delay = latency_secs + u64::from(wait);
                             worst = worst.max(delay);
-                            self.nodes[host.index()].pending_updates += 1;
+                            self.with_node(host, |n| n.pending_updates += 1);
                             queue.schedule(
                                 t.saturating_add(delay),
                                 Event::CloudFetch { post: activity, host },
@@ -259,6 +306,7 @@ impl<'a> NodeRuntime<'a> {
                 }
             }
         };
+        self.set_outcome(idx, outcome);
     }
 
     /// Folds the run into a [`SystemReport`]: per-post outcomes in trace

@@ -102,6 +102,13 @@ impl OnlineSchedules {
         &self.schedules[user.index()]
     }
 
+    /// The schedule of one user, or `None` when `user` is out of range.
+    /// The total sibling of [`OnlineSchedules::schedule`] for serving
+    /// paths that must not panic.
+    pub fn get(&self, user: UserId) -> Option<&DaySchedule> {
+        self.schedules.get(user.index())
+    }
+
     /// The union schedule of a set of users — e.g. the maximum
     /// achievable availability `∪_{f ∈ NG_u} OT_f` of a friend set.
     pub fn union_of<I>(&self, users: I) -> DaySchedule

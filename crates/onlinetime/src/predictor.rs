@@ -95,11 +95,13 @@ impl SchedulePredictor {
         let mut s = DaySchedule::new();
         for a in dataset.created_activities(user) {
             if a.timestamp().day_index() == day {
-                s.insert_wrapping(
+                // `session_secs` is clamped to [1, day] at construction
+                // and the centered start is a valid second-of-day, so
+                // the insert cannot fail.
+                let _ = s.insert_wrapping(
                     centered_start(a.timestamp().time_of_day(), self.session_secs),
                     self.session_secs,
-                )
-                .expect("validated session");
+                );
             }
         }
         s

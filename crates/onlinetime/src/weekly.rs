@@ -180,10 +180,13 @@ impl Weekly {
                 // Weekend behaviour falls back to weekday habits when a
                 // user has no weekend activity.
                 let weekend_center = center_of(true).unwrap_or(weekday_center);
+                // Centers are valid seconds-of-day and the lengths are
+                // validated at model construction, so the windows always
+                // build; the empty-schedule fallback is unreachable.
                 let weekday = DaySchedule::window_centered(weekday_center, self.weekday_secs)
-                    .expect("validated window");
+                    .unwrap_or_else(|_| DaySchedule::new());
                 let weekend = DaySchedule::window_centered(weekend_center, self.weekend_secs)
-                    .expect("validated window");
+                    .unwrap_or_else(|_| DaySchedule::new());
                 WeekSchedule::from_day_types(&weekday, &weekend)
             })
             .collect();

@@ -59,7 +59,9 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
     for i in (m + 1)..n {
         chosen.clear();
         while chosen.len() < m {
-            let candidate = *stubs.choose(rng).expect("stubs non-empty");
+            // The seed clique keeps `stubs` non-empty, so the break is
+            // unreachable and the RNG walk is unchanged.
+            let Some(&candidate) = stubs.choose(rng) else { break };
             if !chosen.contains(&candidate) {
                 chosen.push(candidate);
             }
@@ -190,7 +192,9 @@ pub fn directed_preferential<R: Rng + ?Sized>(
     for i in (m + 1)..n {
         chosen.clear();
         while chosen.len() < m {
-            let candidate = *stubs.choose(rng).expect("stubs non-empty");
+            // The seed entries keep `stubs` non-empty, so the break is
+            // unreachable and the RNG walk is unchanged.
+            let Some(&candidate) = stubs.choose(rng) else { break };
             if candidate.index() != i && !chosen.contains(&candidate) {
                 chosen.push(candidate);
             }

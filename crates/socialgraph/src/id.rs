@@ -31,7 +31,10 @@ impl UserId {
     /// Panics if `index` exceeds `u32::MAX`; graphs in this study are far
     /// smaller.
     pub fn from_index(index: usize) -> Self {
-        UserId(u32::try_from(index).expect("node index fits in u32"))
+        match u32::try_from(index) {
+            Ok(raw) => UserId(raw),
+            Err(_) => panic!("node index {index} does not fit in u32"),
+        }
     }
 
     /// The raw dense index.

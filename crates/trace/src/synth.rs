@@ -512,7 +512,8 @@ fn sample_preference_weights(len: usize, rng: &mut StdRng) -> Vec<(usize, f64)> 
 
 /// Picks a partner index by binary search over the cumulative weights.
 fn weighted_pick(pref: &[(usize, f64)], rng: &mut StdRng) -> usize {
-    let total = pref.last().expect("non-empty preference list").1;
+    // Preference lists are built non-empty; an empty list draws nothing.
+    let total = pref.last().map_or(0.0, |&(_, c)| c);
     let target = rng.gen::<f64>() * total;
     let pos = pref.partition_point(|&(_, c)| c < target);
     pref[pos.min(pref.len() - 1)].0

@@ -1,20 +1,38 @@
-//! The D4 ratchet baseline: a tiny committed TOML file mapping library
-//! source files to their allowed `.unwrap()`/`.expect(` count.
+//! Committed lint baselines: tiny TOML files mapping source files to an
+//! allowed site count under one table header.
 //!
 //! Parsed and written by hand (the linter is dependency-free); the
-//! format is the `"path" = count` subset of TOML under one table
-//! header, so external tooling can still read it.
+//! format is the `"path" = count` subset of TOML, so external tooling
+//! can still read it. Two tables exist today:
+//!
+//! * `[d4-unwrap-baseline]` in `lint-baseline.toml` — retired. The D4
+//!   ratchet was burned to zero; the table must stay empty and the
+//!   runner enforces that.
+//! * `[d7-concurrency-baseline]` in `concurrency-baseline.toml` — the
+//!   shrink-only concurrency-primitive inventory of rule D7.
 
 use std::path::Path;
 
 use crate::rules::UnwrapCounts;
 
-/// Table header the counts live under.
-const TABLE: &str = "[d4-unwrap-baseline]";
+/// Retired D4 table header; must parse to an empty map.
+pub const D4_TABLE: &str = "[d4-unwrap-baseline]";
 
-/// Parses the baseline file. Missing file means an empty baseline
-/// (every unwrap is then a violation, which is the safe default).
-pub fn load(path: &Path) -> Result<UnwrapCounts, String> {
+/// D7 inventory table header.
+pub const D7_TABLE: &str = "[d7-concurrency-baseline]";
+
+/// Header comment written above the D7 table.
+pub const D7_HEADER: &str = "\
+# D7 concurrency-primitive inventory (shrink-only baseline).
+# Counts Mutex/RwLock/Arc/Atomic*/spawn sites per file in non-test code.
+# Regenerate with `cargo xtask lint --update-baseline`; additions should
+# be deliberate and reviewed, removals are always welcome.
+";
+
+/// Parses the `"path" = count` pairs under `table` in the given file.
+/// A missing file means an empty baseline (every site is then a
+/// violation, which is the safe default).
+pub fn load(path: &Path, table: &str) -> Result<UnwrapCounts, String> {
     let mut counts = UnwrapCounts::new();
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -28,7 +46,7 @@ pub fn load(path: &Path) -> Result<UnwrapCounts, String> {
             continue;
         }
         if line.starts_with('[') {
-            in_table = line == TABLE;
+            in_table = line == table;
             continue;
         }
         if !in_table {
@@ -51,15 +69,12 @@ pub fn load(path: &Path) -> Result<UnwrapCounts, String> {
     Ok(counts)
 }
 
-/// Serializes the counts in sorted order with a regeneration header.
-pub fn render(counts: &UnwrapCounts) -> String {
+/// Serializes the counts in sorted order under `table`, preceded by the
+/// given header comment.
+pub fn render(header: &str, table: &str, counts: &UnwrapCounts) -> String {
     let mut out = String::new();
-    out.push_str(
-        "# D4 unwrap/expect ratchet baseline.\n\
-         # Regenerate with `cargo xtask lint --update-baseline`; counts may only shrink.\n\
-         # A file above its count fails `cargo xtask lint`; files not listed must be clean.\n",
-    );
-    out.push_str(TABLE);
+    out.push_str(header);
+    out.push_str(table);
     out.push('\n');
     for (file, n) in counts {
         out.push_str(&format!("\"{file}\" = {n}\n"));
@@ -67,9 +82,10 @@ pub fn render(counts: &UnwrapCounts) -> String {
     out
 }
 
-/// Writes the baseline file.
-pub fn store(path: &Path, counts: &UnwrapCounts) -> Result<(), String> {
-    std::fs::write(path, render(counts)).map_err(|e| format!("writing {}: {e}", path.display()))
+/// Writes a baseline file.
+pub fn store(path: &Path, header: &str, table: &str, counts: &UnwrapCounts) -> Result<(), String> {
+    std::fs::write(path, render(header, table, counts))
+        .map_err(|e| format!("writing {}: {e}", path.display()))
 }
 
 #[cfg(test)]
@@ -81,20 +97,22 @@ mod tests {
         let mut counts = UnwrapCounts::new();
         counts.insert("crates/core/src/sweep.rs".into(), 7);
         counts.insert("crates/interval/src/mask.rs".into(), 2);
-        let text = render(&counts);
-        assert!(text.contains("[d4-unwrap-baseline]"));
+        let text = render(D7_HEADER, D7_TABLE, &counts);
+        assert!(text.contains("[d7-concurrency-baseline]"));
         assert!(text.contains("\"crates/core/src/sweep.rs\" = 7"));
 
         let dir = std::env::temp_dir().join("xtask-baseline-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("baseline.toml");
-        store(&path, &counts).unwrap();
-        assert_eq!(load(&path).unwrap(), counts);
+        store(&path, D7_HEADER, D7_TABLE, &counts).unwrap();
+        assert_eq!(load(&path, D7_TABLE).unwrap(), counts);
+        // The wrong table header parses to empty.
+        assert!(load(&path, D4_TABLE).unwrap().is_empty());
     }
 
     #[test]
     fn missing_file_is_empty() {
-        let counts = load(Path::new("/nonexistent/baseline.toml")).unwrap();
+        let counts = load(Path::new("/nonexistent/baseline.toml"), D7_TABLE).unwrap();
         assert!(counts.is_empty());
     }
 
@@ -103,9 +121,9 @@ mod tests {
         let dir = std::env::temp_dir().join("xtask-baseline-test2");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.toml");
-        std::fs::write(&path, "[d4-unwrap-baseline]\nnot a pair\n").unwrap();
-        assert!(load(&path).is_err());
-        std::fs::write(&path, "[d4-unwrap-baseline]\n\"x\" = many\n").unwrap();
-        assert!(load(&path).is_err());
+        std::fs::write(&path, "[d7-concurrency-baseline]\nnot a pair\n").unwrap();
+        assert!(load(&path, D7_TABLE).is_err());
+        std::fs::write(&path, "[d7-concurrency-baseline]\n\"x\" = many\n").unwrap();
+        assert!(load(&path, D7_TABLE).is_err());
     }
 }

@@ -1,0 +1,12 @@
+//! Repo-local automation, exposed as a library so the lint self-tests
+//! (`crates/xtask/tests/`) can drive individual rules against fixture
+//! sources. The `cargo xtask` binary in `main.rs` is a thin CLI over
+//! [`runner::run_lints`].
+
+pub mod baseline;
+pub mod rules;
+pub mod rules_d5;
+pub mod rules_d6;
+pub mod rules_d7;
+pub mod runner;
+pub mod scan;

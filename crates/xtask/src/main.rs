@@ -4,22 +4,18 @@
 //! contract:
 //!
 //! ```text
-//! cargo xtask lint                     # run rules D1-D4, exit 1 on any violation
-//! cargo xtask lint --rule d2           # run a single rule
-//! cargo xtask lint --update-baseline   # rewrite the D4 ratchet baseline
+//! cargo xtask lint                     # run rules D1-D7, exit 1 on any violation
+//! cargo xtask lint --rule d6           # run a single rule
+//! cargo xtask lint --json              # machine-readable report on stdout
+//! cargo xtask lint --update-baseline   # rewrite the D7 concurrency baseline
 //! ```
 //!
 //! The linter is deliberately dependency-free so it builds before (and
 //! independently of) everything else in CI.
 
-mod baseline;
-mod rules;
-mod scan;
-
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use rules::{Violation, DETERMINISTIC_CRATES, KERNEL_FILES, LIBRARY_CRATES};
+use xtask::runner::{self, ALL_RULES};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,26 +34,43 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage: cargo xtask lint [--rule d1|d2|d3|d4] [--update-baseline]
+usage: cargo xtask lint [--rule d1|..|d7] [--json] [--update-baseline]
 
 Runs the determinism-contract lints over the workspace:
   D1  no HashMap/HashSet in deterministic crates
   D2  no ambient nondeterminism outside sanctioned modules
   D3  no bare `as` casts in the word-level kernel files
-  D4  unwrap()/expect() ratchet against crates/xtask/lint-baseline.toml
+  D4  no unwrap()/expect() in library non-test code (hard zero)
+  D5  no panicking construct or bare index on the serving path
+  D6  protocol totality: every Request/Response variant encoded,
+      decoded, and dispatched; wire tags dense and unique
+  D7  concurrency inventory vs the shrink-only baseline, plus
+      no lock guard held across blocking daemon I/O
+
+--json prints the report as JSON on stdout (CI uploads it as an
+artifact); --update-baseline rewrites crates/xtask/concurrency-baseline.toml
+from the observed D7 inventory.
 ";
 
 fn lint(args: &[String]) -> ExitCode {
     let mut update_baseline = false;
+    let mut json = false;
     let mut only_rule: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--update-baseline" => update_baseline = true,
+            "--json" => json = true,
             "--rule" => match it.next() {
-                Some(r) => only_rule = Some(r.to_ascii_lowercase()),
+                Some(r) if ALL_RULES.contains(&r.to_ascii_lowercase().as_str()) => {
+                    only_rule = Some(r.to_ascii_lowercase());
+                }
+                Some(r) => {
+                    eprintln!("unknown rule {r:?} (expected d1..d7)");
+                    return ExitCode::FAILURE;
+                }
                 None => {
-                    eprintln!("--rule needs an argument (d1..d4)");
+                    eprintln!("--rule needs an argument (d1..d7)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -68,140 +81,44 @@ fn lint(args: &[String]) -> ExitCode {
             }
         }
     }
-    let Some(root) = workspace_root() else {
+    let Some(root) = runner::workspace_root() else {
         eprintln!("could not locate the workspace root (no Cargo.toml with [workspace] above)");
         return ExitCode::FAILURE;
     };
-    match run_lints(&root, only_rule.as_deref(), update_baseline) {
-        Ok(violations) if violations.is_empty() => {
-            println!("cargo xtask lint: determinism contract holds (rules D1-D4)");
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                if v.line > 0 {
-                    println!("{}: {}:{}: {}", v.rule, v.file, v.line, v.message);
+    match runner::run_lints(&root, only_rule.as_deref(), update_baseline) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                for note in &report.notes {
+                    println!("note: {note}");
+                }
+                for v in &report.violations {
+                    println!("{}: {}:{}:{}: {}", v.rule, v.file, v.line, v.col, v.message);
+                    println!("    hint: {}", v.hint);
+                }
+                if report.violations.is_empty() {
+                    println!(
+                        "cargo xtask lint: determinism contract holds ({})",
+                        report.summary_line()
+                    );
                 } else {
-                    println!("{}: {}: {}", v.rule, v.file, v.message);
+                    println!(
+                        "\ncargo xtask lint: {} violation(s) ({})",
+                        report.violations.len(),
+                        report.summary_line()
+                    );
                 }
             }
-            println!("\ncargo xtask lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
+            if report.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("cargo xtask lint: {e}");
             ExitCode::FAILURE
         }
     }
-}
-
-/// Workspace root: `$CARGO_MANIFEST_DIR/../..` when run through cargo,
-/// otherwise the nearest ancestor of the current directory whose
-/// Cargo.toml declares `[workspace]`.
-fn workspace_root() -> Option<PathBuf> {
-    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
-        let p = PathBuf::from(manifest);
-        if let Some(root) = p.parent().and_then(Path::parent) {
-            if root.join("Cargo.toml").exists() {
-                return Some(root.to_path_buf());
-            }
-        }
-    }
-    let mut dir = std::env::current_dir().ok()?;
-    loop {
-        let manifest = dir.join("Cargo.toml");
-        if manifest.exists() {
-            if let Ok(text) = std::fs::read_to_string(&manifest) {
-                if text.contains("[workspace]") {
-                    return Some(dir);
-                }
-            }
-        }
-        if !dir.pop() {
-            return None;
-        }
-    }
-}
-
-fn run_lints(
-    root: &Path,
-    only_rule: Option<&str>,
-    update_baseline: bool,
-) -> Result<Vec<Violation>, String> {
-    let enabled = |rule: &str| only_rule.is_none_or(|r| r == rule);
-    let mut violations = Vec::new();
-
-    if enabled("d1") {
-        let dirs: Vec<PathBuf> = DETERMINISTIC_CRATES
-            .iter()
-            .map(|c| PathBuf::from("crates").join(c).join("src"))
-            .collect();
-        let files = rules::load_files(root, &dirs).map_err(|e| e.to_string())?;
-        violations.extend(rules::check_d1(&files));
-    }
-
-    if enabled("d2") {
-        // Everything that ships behavior: all crate sources except the
-        // bench harness and this linter, plus the root library.
-        let mut dirs = vec![PathBuf::from("src")];
-        for entry in std::fs::read_dir(root.join("crates")).map_err(|e| e.to_string())? {
-            let entry = entry.map_err(|e| e.to_string())?;
-            let name = entry.file_name().to_string_lossy().into_owned();
-            if name == "bench" || name == "xtask" || name == "daemon" {
-                // The daemon crate is the serving shell: wall-clock
-                // latency measurement is its job, so D2's ambient-time
-                // ban does not apply there (the sim core it hosts
-                // still falls under D1/D2 via its own crates).
-                continue;
-            }
-            dirs.push(PathBuf::from("crates").join(&name).join("src"));
-        }
-        dirs.sort();
-        let files = rules::load_files(root, &dirs).map_err(|e| e.to_string())?;
-        violations.extend(rules::check_d2(&files));
-    }
-
-    if enabled("d3") {
-        let dirs: Vec<PathBuf> = KERNEL_FILES
-            .iter()
-            .map(|f| {
-                PathBuf::from(f)
-                    .parent()
-                    .expect("kernel files live in src dirs")
-                    .to_path_buf()
-            })
-            .collect();
-        let files = rules::load_files(root, &dirs).map_err(|e| e.to_string())?;
-        violations.extend(rules::check_d3(&files));
-    }
-
-    if enabled("d4") {
-        let mut dirs: Vec<PathBuf> = LIBRARY_CRATES
-            .iter()
-            .map(|c| PathBuf::from("crates").join(c).join("src"))
-            .collect();
-        dirs.push(PathBuf::from("src"));
-        let files = rules::load_files(root, &dirs).map_err(|e| e.to_string())?;
-        let observed = rules::count_unwraps(&files);
-        let baseline_path = root.join("crates/xtask/lint-baseline.toml");
-        if update_baseline {
-            baseline::store(&baseline_path, &observed)?;
-            println!(
-                "wrote {} ({} files with unwrap/expect sites)",
-                baseline_path.display(),
-                observed.len()
-            );
-        } else {
-            let baseline = baseline::load(&baseline_path)?;
-            violations.extend(rules::check_d4(&observed, &baseline));
-            for (file, allowed, now) in rules::d4_ratchet_candidates(&observed, &baseline) {
-                println!(
-                    "note: {file} is below its D4 baseline ({now} < {allowed}); \
-                     run `cargo xtask lint --update-baseline` to ratchet down"
-                );
-            }
-        }
-    }
-
-    Ok(violations)
 }

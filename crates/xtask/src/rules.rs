@@ -13,9 +13,14 @@
 //! * **D3** — no bare `as` casts in the word-level kernel files; all
 //!   width changes route through the checked helpers in
 //!   `dosn_interval::cast`.
-//! * **D4** — no new `.unwrap()`/`.expect(` in library-crate non-test
-//!   code: per-file counts are ratcheted against the committed baseline
-//!   (`crates/xtask/lint-baseline.toml`), which may only shrink.
+//! * **D4** — no `.unwrap()`/`.expect(` in library-crate non-test code.
+//!   The original ratchet baseline (`crates/xtask/lint-baseline.toml`)
+//!   was burned to zero and the rule is now a hard gate; the file stays
+//!   as an empty tombstone so additions are conspicuous.
+//!
+//! Rules D5-D7 (panic-free serving path, protocol totality, concurrency
+//! discipline) live in the sibling `rules_d5`/`rules_d6`/`rules_d7`
+//! modules.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -71,18 +76,22 @@ pub const D2_TOKENS: [&str; 4] = [
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id: "D1".."D4".
+    /// Rule id: "D1".."D7".
     pub rule: &'static str,
     /// Path relative to the workspace root.
     pub file: String,
     /// 1-based line, when the finding points at a specific site.
     pub line: usize,
+    /// 1-based column, when the finding points at a specific site.
+    pub col: usize,
     /// Human-readable description.
     pub message: String,
+    /// Suggested fix, shown alongside the diagnostic.
+    pub hint: String,
 }
 
-/// Per-file `.unwrap()`/`.expect(` counts observed in non-test library
-/// code — the quantity ratcheted by rule D4.
+/// Per-file site counts, keyed by workspace-relative path. Used by the
+/// shrink-only baselines (today only D7's concurrency inventory).
 pub type UnwrapCounts = BTreeMap<String, usize>;
 
 /// A parsed source file plus its workspace-relative path.
@@ -144,9 +153,11 @@ pub fn check_d1(files: &[WorkspaceFile]) -> Vec<Violation> {
                     rule: "D1",
                     file: file.rel_path.clone(),
                     line: file.model.line_of(at),
-                    message: format!(
-                        "{token} in a deterministic crate; use BTreeMap/BTreeSet or an indexed Vec"
-                    ),
+                    col: file.model.col_of(at),
+                    message: format!("{token} in a deterministic crate"),
+                    hint: "use BTreeMap/BTreeSet or an indexed Vec; iteration order must not \
+                           depend on hasher seeds"
+                        .to_string(),
                 });
             }
         }
@@ -167,10 +178,10 @@ pub fn check_d2(files: &[WorkspaceFile]) -> Vec<Violation> {
                     rule: "D2",
                     file: file.rel_path.clone(),
                     line: file.model.line_of(at),
-                    message: format!(
-                        "{token} is ambient nondeterminism; inject a seeded RNG or use \
-                         dosn_core's timing module"
-                    ),
+                    col: file.model.col_of(at),
+                    message: format!("{token} is ambient nondeterminism"),
+                    hint: "inject a seeded RNG or route timing through dosn_core's timing module"
+                        .to_string(),
                 });
             }
         }
@@ -194,9 +205,9 @@ pub fn check_d3(files: &[WorkspaceFile]) -> Vec<Violation> {
                 rule: "D3",
                 file: file.rel_path.clone(),
                 line: file.model.line_of(at),
-                message: "bare `as` cast in a word-level kernel file; route through \
-                          dosn_interval::cast helpers"
-                    .to_string(),
+                col: file.model.col_of(at),
+                message: "bare `as` cast in a word-level kernel file".to_string(),
+                hint: "route width changes through the dosn_interval::cast helpers".to_string(),
             });
         }
     }
@@ -218,53 +229,28 @@ fn is_use_rename(code: &str, at: usize) -> bool {
         || head.starts_with("extern crate ")
 }
 
-/// Rule D4 observation: count `.unwrap()` / `.expect(` sites per file.
-/// The caller compares against the committed baseline.
-pub fn count_unwraps(files: &[WorkspaceFile]) -> UnwrapCounts {
-    let mut counts = UnwrapCounts::new();
+/// Rule D4: no `.unwrap()` / `.expect(` in library-crate non-test code.
+/// The former ratchet baseline was burned to zero, so every site is now
+/// a violation with an exact position.
+pub fn check_d4(files: &[WorkspaceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
     for file in files {
-        let n = file.model.find_token(".unwrap()").len() + file.model.find_token(".expect(").len();
-        if n > 0 {
-            counts.insert(file.rel_path.clone(), n);
+        for token in [".unwrap()", ".expect("] {
+            for at in file.model.find_token(token) {
+                out.push(Violation {
+                    rule: "D4",
+                    file: file.rel_path.clone(),
+                    line: file.model.line_of(at),
+                    col: file.model.col_of(at),
+                    message: format!("{token} in library non-test code"),
+                    hint: "return the crate's error type, or make the fallback explicit with \
+                           unwrap_or/ok_or/let-else"
+                        .to_string(),
+                });
+            }
         }
     }
-    counts
-}
-
-/// Compares observed D4 counts against the baseline: a count above
-/// baseline is a violation; a file absent from the baseline must have
-/// zero sites.
-pub fn check_d4(observed: &UnwrapCounts, baseline: &UnwrapCounts) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for (file, &n) in observed {
-        let allowed = baseline.get(file).copied().unwrap_or(0);
-        if n > allowed {
-            out.push(Violation {
-                rule: "D4",
-                file: file.clone(),
-                line: 0,
-                message: format!(
-                    "{n} unwrap()/expect() sites exceed the baseline of {allowed}; return the \
-                     crate's error type instead (the baseline only ratchets down)"
-                ),
-            });
-        }
-    }
-    out
-}
-
-/// Files that dropped below their baseline: safe ratchet opportunities.
-pub fn d4_ratchet_candidates(
-    observed: &UnwrapCounts,
-    baseline: &UnwrapCounts,
-) -> Vec<(String, usize, usize)> {
-    let mut out = Vec::new();
-    for (file, &allowed) in baseline {
-        let n = observed.get(file).copied().unwrap_or(0);
-        if n < allowed {
-            out.push((file.clone(), allowed, n));
-        }
-    }
+    out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
     out
 }
 
@@ -320,30 +306,24 @@ mod tests {
     }
 
     #[test]
-    fn d4_ratchet_detects_growth_and_shrink() {
+    fn d4_flags_every_site_with_position() {
         let files = [file(
             "crates/core/src/a.rs",
-            "fn f() { x.unwrap(); y.expect(\"boom\"); }\n",
+            "fn f() { x.unwrap(); }\nfn g() { y.expect(\"boom\"); }\n",
         )];
-        let observed = count_unwraps(&files);
-        assert_eq!(observed.get("crates/core/src/a.rs"), Some(&2));
-
-        let mut baseline = UnwrapCounts::new();
-        baseline.insert("crates/core/src/a.rs".into(), 1);
-        assert_eq!(check_d4(&observed, &baseline).len(), 1);
-
-        baseline.insert("crates/core/src/a.rs".into(), 3);
-        assert!(check_d4(&observed, &baseline).is_empty());
-        let ratchet = d4_ratchet_candidates(&observed, &baseline);
-        assert_eq!(ratchet, vec![("crates/core/src/a.rs".to_string(), 3, 2)]);
+        let v = check_d4(&files);
+        assert_eq!(v.len(), 2);
+        assert_eq!((v[0].line, v[0].col), (1, 11));
+        assert_eq!(v[1].line, 2);
     }
 
     #[test]
-    fn d4_unwrap_or_is_not_flagged() {
+    fn d4_skips_tests_and_total_fallbacks() {
         let files = [file(
             "crates/core/src/a.rs",
-            "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }\n",
+            "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }\n\
+             #[cfg(test)]\nmod tests { fn t() { q.unwrap(); } }\n",
         )];
-        assert!(count_unwraps(&files).is_empty());
+        assert!(check_d4(&files).is_empty());
     }
 }

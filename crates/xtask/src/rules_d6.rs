@@ -1,0 +1,544 @@
+//! Rule D6 — protocol totality.
+//!
+//! Every `Request`/`Response` variant declared in
+//! `crates/daemon/src/protocol.rs` must be handled end to end:
+//!
+//! * encoded in `codec.rs::encode_request`/`encode_response`,
+//! * decoded in `codec.rs::decode_request`/`decode_response`,
+//! * (requests only) dispatched in `session.rs::serve` or
+//!   `run_simulation`.
+//!
+//! Wire tags are cross-checked too: the set of tags written by the
+//! encoder must equal the set matched by the decoder, with no
+//! duplicates and no holes (dense `0..n`). A forgotten match arm or a
+//! tag typo fails the lint instead of surfacing as a live protocol
+//! error.
+
+use std::collections::BTreeSet;
+
+use crate::rules::{Violation, WorkspaceFile};
+use crate::scan::SourceModel;
+
+/// The protocol files, workspace-relative.
+pub const D6_PROTOCOL_FILE: &str = "crates/daemon/src/protocol.rs";
+/// The codec implementing the wire form of every variant.
+pub const D6_CODEC_FILE: &str = "crates/daemon/src/codec.rs";
+/// The session loop dispatching decoded requests.
+pub const D6_SESSION_FILE: &str = "crates/daemon/src/session.rs";
+
+/// Functions in `session.rs` that constitute request dispatch. The
+/// check is restricted to their bodies so that helper tables (like the
+/// `request_name` debug formatter) cannot mask a deleted arm.
+pub const D6_DISPATCH_FNS: [&str; 2] = ["serve", "run_simulation"];
+
+/// Checks rule D6 given the three protocol-layer files. Any of them
+/// absent is itself a violation (the contract cannot be verified).
+pub fn check_d6(
+    protocol: Option<&WorkspaceFile>,
+    codec: Option<&WorkspaceFile>,
+    session: Option<&WorkspaceFile>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let (Some(protocol), Some(codec), Some(session)) = (protocol, codec, session) else {
+        for (f, present) in [
+            (D6_PROTOCOL_FILE, protocol.is_some()),
+            (D6_CODEC_FILE, codec.is_some()),
+            (D6_SESSION_FILE, session.is_some()),
+        ] {
+            if !present {
+                out.push(missing_file(f));
+            }
+        }
+        return out;
+    };
+
+    for (enum_name, enc_fn, dec_fn, dispatch) in [
+        ("Request", "encode_request", "decode_request", true),
+        ("Response", "encode_response", "decode_response", false),
+    ] {
+        let variants = enum_variants(&protocol.model, enum_name);
+        if variants.is_empty() {
+            out.push(Violation {
+                rule: "D6",
+                file: protocol.rel_path.clone(),
+                line: 1,
+                col: 1,
+                message: format!("enum {enum_name} not found or has no variants"),
+                hint: "the protocol enums anchor the totality check; keep them in protocol.rs"
+                    .to_string(),
+            });
+            continue;
+        }
+        let spans = [(enc_fn, codec), (dec_fn, codec)];
+        for (fn_name, file) in spans {
+            let Some(span) = file.model.fn_body_span(fn_name) else {
+                out.push(Violation {
+                    rule: "D6",
+                    file: file.rel_path.clone(),
+                    line: 1,
+                    col: 1,
+                    message: format!("fn {fn_name} not found"),
+                    hint: "the codec must keep one encode and one decode fn per protocol enum"
+                        .to_string(),
+                });
+                continue;
+            };
+            for (variant, _decl_at) in &variants {
+                let qualified = format!("{enum_name}::{variant}");
+                if !span_contains_token(&file.model, span, &qualified) {
+                    out.push(Violation {
+                        rule: "D6",
+                        file: file.rel_path.clone(),
+                        line: file.model.line_of(span.0),
+                        col: file.model.col_of(span.0),
+                        message: format!("{qualified} is not handled in {fn_name}"),
+                        hint: format!(
+                            "add a match arm for {qualified}; every wire variant must round-trip"
+                        ),
+                    });
+                }
+            }
+        }
+        if dispatch {
+            for (variant, decl_at) in &variants {
+                let qualified = format!("{enum_name}::{variant}");
+                let dispatched = D6_DISPATCH_FNS.iter().any(|f| {
+                    session
+                        .model
+                        .fn_body_span(f)
+                        .is_some_and(|span| span_contains_token(&session.model, span, &qualified))
+                });
+                if !dispatched {
+                    out.push(Violation {
+                        rule: "D6",
+                        file: protocol.rel_path.clone(),
+                        line: protocol.model.line_of(*decl_at),
+                        col: protocol.model.col_of(*decl_at),
+                        message: format!(
+                            "{qualified} is never dispatched in session.rs ({})",
+                            D6_DISPATCH_FNS.join("/")
+                        ),
+                        hint: "handle the variant in the session loop or remove it from the \
+                               protocol"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        out.extend(check_tags(codec, enc_fn, dec_fn, variants.len()));
+    }
+    out
+}
+
+fn missing_file(rel: &str) -> Violation {
+    Violation {
+        rule: "D6",
+        file: rel.to_string(),
+        line: 1,
+        col: 1,
+        message: "protocol-layer file missing; cannot verify totality".to_string(),
+        hint: "keep protocol.rs, codec.rs, and session.rs in crates/daemon/src".to_string(),
+    }
+}
+
+/// Whether `token` occurs (identifier-boundary-checked, non-test) inside
+/// the byte span.
+fn span_contains_token(model: &SourceModel, span: (usize, usize), token: &str) -> bool {
+    model
+        .find_token(token)
+        .iter()
+        .any(|&at| at >= span.0 && at <= span.1)
+}
+
+/// Variant names of `enum <name>` with the byte offset of each
+/// declaration. Parses the masked text: finds the enum keyword, brace
+/// matches the body, and takes the first identifier of each depth-0
+/// variant (skipping attributes).
+pub fn enum_variants(model: &SourceModel, name: &str) -> Vec<(String, usize)> {
+    let needle = format!("enum {name}");
+    let Some(at) = model.find_token(&needle).first().copied() else {
+        return Vec::new();
+    };
+    let bytes = model.code.as_bytes();
+    let mut i = at + needle.len();
+    while i < bytes.len() && bytes[i] != b'{' {
+        i += 1;
+    }
+    if i == bytes.len() {
+        return Vec::new();
+    }
+    let open = i;
+    // Body span via brace matching.
+    let mut depth = 0usize;
+    let mut close = bytes.len();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let mut out = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        // Skip whitespace and attributes to the variant name.
+        while j < close {
+            if bytes[j].is_ascii_whitespace() {
+                j += 1;
+            } else if bytes[j] == b'#' {
+                while j < close && bytes[j] != b']' {
+                    j += 1;
+                }
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        if j >= close || !is_ident_start(bytes[j]) {
+            break;
+        }
+        let start = j;
+        while j < close && is_ident_continue(bytes[j]) {
+            j += 1;
+        }
+        out.push((model.code[start..j].to_string(), start));
+        // Skip the variant payload to the separating comma at depth 0.
+        let mut nest = 0usize;
+        while j < close {
+            match bytes[j] {
+                b'{' | b'(' | b'[' => nest += 1,
+                b'}' | b')' | b']' => nest = nest.saturating_sub(1),
+                b',' if nest == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Cross-checks the wire tags of one enum: `Enc::new(N)` calls in the
+/// encode fn against `N =>` arms of the outer tag match in the decode
+/// fn. Both sets must be identical, duplicate-free, and dense `0..n`.
+fn check_tags(codec: &WorkspaceFile, enc_fn: &str, dec_fn: &str, n_variants: usize) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let model = &codec.model;
+    let enc_tags = model
+        .fn_body_span(enc_fn)
+        .map(|span| encode_tags(model, span))
+        .unwrap_or_default();
+    let dec_tags = model
+        .fn_body_span(dec_fn)
+        .map(|span| decode_tags(model, span))
+        .unwrap_or_default();
+    let mut flag = |line: usize, message: String, hint: &str| {
+        out.push(Violation {
+            rule: "D6",
+            file: codec.rel_path.clone(),
+            line,
+            col: 1,
+            message,
+            hint: hint.to_string(),
+        });
+    };
+    for (tags, fn_name) in [(&enc_tags, enc_fn), (&dec_tags, dec_fn)] {
+        let unique: BTreeSet<u64> = tags.iter().map(|&(t, _)| t).collect();
+        if unique.len() != tags.len() {
+            flag(
+                tags.first().map(|&(_, at)| model.line_of(at)).unwrap_or(1),
+                format!("{fn_name} uses a wire tag more than once"),
+                "each variant needs a distinct tag",
+            );
+        }
+        if unique.len() == n_variants && unique.iter().next_back() != Some(&(n_variants as u64 - 1))
+        {
+            flag(
+                tags.first().map(|&(_, at)| model.line_of(at)).unwrap_or(1),
+                format!("{fn_name} tags are not dense 0..{n_variants}"),
+                "renumber the tags contiguously from 0; holes invite silent reuse",
+            );
+        }
+    }
+    let enc_set: BTreeSet<u64> = enc_tags.iter().map(|&(t, _)| t).collect();
+    let dec_set: BTreeSet<u64> = dec_tags.iter().map(|&(t, _)| t).collect();
+    for &tag in enc_set.difference(&dec_set) {
+        let at = enc_tags.iter().find(|&&(t, _)| t == tag).map(|&(_, at)| at);
+        flag(
+            at.map(|a| model.line_of(a)).unwrap_or(1),
+            format!("tag {tag} is encoded by {enc_fn} but never decoded by {dec_fn}"),
+            "add the decode arm; the peer cannot parse this frame otherwise",
+        );
+    }
+    for &tag in dec_set.difference(&enc_set) {
+        let at = dec_tags.iter().find(|&&(t, _)| t == tag).map(|&(_, at)| at);
+        flag(
+            at.map(|a| model.line_of(a)).unwrap_or(1),
+            format!("tag {tag} is decoded by {dec_fn} but never produced by {enc_fn}"),
+            "dead decode arms hide renumbering mistakes; remove or re-wire it",
+        );
+    }
+    if enc_set.len() != n_variants {
+        flag(
+            1,
+            format!(
+                "{enc_fn} writes {} distinct tag(s) for {n_variants} variant(s)",
+                enc_set.len()
+            ),
+            "every variant must write exactly one distinct Enc::new(tag)",
+        );
+    }
+    out
+}
+
+/// `(tag, offset)` of every `Enc::new(N)` inside the span.
+fn encode_tags(model: &SourceModel, span: (usize, usize)) -> Vec<(u64, usize)> {
+    let mut out = Vec::new();
+    for at in model.find_token("Enc::new(") {
+        if at < span.0 || at > span.1 {
+            continue;
+        }
+        if let Some(tag) = parse_int(&model.code, at + "Enc::new(".len()) {
+            out.push((tag, at));
+        }
+    }
+    out
+}
+
+/// `(tag, offset)` of every integer-literal match arm `N =>` that
+/// belongs to the *outer* tag match of the span — the first `match`
+/// whose scrutinee reads a `u8`. Arms of nested matches (field decoding)
+/// sit at deeper brace depth and are skipped.
+fn decode_tags(model: &SourceModel, span: (usize, usize)) -> Vec<(u64, usize)> {
+    let bytes = model.code.as_bytes();
+    let Some(match_at) = model
+        .find_token("match")
+        .into_iter()
+        .find(|&at| at >= span.0 && at <= span.1)
+    else {
+        return Vec::new();
+    };
+    // Body of that match.
+    let mut i = match_at;
+    while i < bytes.len() && bytes[i] != b'{' {
+        i += 1;
+    }
+    let open = i;
+    let mut depth = 0usize;
+    let mut close = span.1;
+    while i <= span.1 && i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Collect `N =>` at depth 1 relative to the match body.
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < close {
+        match bytes[j] {
+            b'{' | b'(' | b'[' => depth += 1,
+            b'}' | b')' | b']' => depth = depth.saturating_sub(1),
+            b'0'..=b'9' if depth == 1 => {
+                let start = j;
+                while j < close && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // Only a direct arm: the literal must be followed by
+                // (whitespace then) `=>` and preceded by a non-ident.
+                let prev_ok = start == 0 || !is_ident_continue(bytes[start - 1]);
+                let mut k = j;
+                while k < close && bytes[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                if prev_ok && bytes.get(k) == Some(&b'=') && bytes.get(k + 1) == Some(&b'>') {
+                    if let Some(tag) = parse_int(&model.code, start) {
+                        out.push((tag, start));
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Parses the decimal integer starting at `at`, if any.
+fn parse_int(code: &str, at: usize) -> Option<u64> {
+    let digits: String = code[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> WorkspaceFile {
+        WorkspaceFile {
+            rel_path: rel.to_string(),
+            model: SourceModel::new(src),
+        }
+    }
+
+    const PROTOCOL: &str = "\
+pub enum Request {
+    /// Doc line mentioning Response::Done, which must not count.
+    Alpha { x: u32 },
+    Beta(u64),
+}
+pub enum Response {
+    Done,
+}
+";
+
+    const CODEC: &str = "\
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Alpha { x } => Enc::new(0).u32(*x),
+        Request::Beta(v) => Enc::new(1).u64(*v),
+    }
+}
+pub fn decode_request(d: &mut Dec) -> Result<Request, WireError> {
+    Ok(match d.u8()? {
+        0 => Request::Alpha { x: d.u32()? },
+        1 => {
+            let inner = match d.u8()? { 0 => 7, _ => 9 };
+            Request::Beta(inner)
+        }
+        tag => return Err(WireError::UnknownTag { tag }),
+    })
+}
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Done => Enc::new(0).buf,
+    }
+}
+pub fn decode_response(d: &mut Dec) -> Result<Response, WireError> {
+    Ok(match d.u8()? {
+        0 => Response::Done,
+        tag => return Err(WireError::UnknownTag { tag }),
+    })
+}
+";
+
+    const SESSION: &str = "\
+fn request_name(req: &Request) -> &'static str {
+    match req {
+        Request::Alpha { .. } => \"alpha\",
+        Request::Beta(_) => \"beta\",
+    }
+}
+pub fn serve() {
+    match next() {
+        Request::Alpha { x } => handle_alpha(x),
+        Request::Beta(v) => run_simulation(v),
+    }
+}
+fn run_simulation(v: u64) {}
+";
+
+    fn run(protocol: &str, codec: &str, session: &str) -> Vec<Violation> {
+        check_d6(
+            Some(&file(D6_PROTOCOL_FILE, protocol)),
+            Some(&file(D6_CODEC_FILE, codec)),
+            Some(&file(D6_SESSION_FILE, session)),
+        )
+    }
+
+    #[test]
+    fn total_protocol_passes() {
+        assert_eq!(run(PROTOCOL, CODEC, SESSION), Vec::new());
+    }
+
+    #[test]
+    fn enum_parser_sees_variants_not_docs() {
+        let m = SourceModel::new(PROTOCOL);
+        let names: Vec<String> = enum_variants(&m, "Request")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, ["Alpha", "Beta"]);
+        let names: Vec<String> = enum_variants(&m, "Response")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, ["Done"]);
+    }
+
+    #[test]
+    fn deleted_dispatch_arm_fails() {
+        let session = SESSION.replace("Request::Beta(v) => run_simulation(v),", "");
+        let v = run(PROTOCOL, CODEC, &session);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("Request::Beta"));
+        assert!(v[0].message.contains("never dispatched"));
+    }
+
+    #[test]
+    fn deleted_decode_arm_fails() {
+        let codec = CODEC.replace("0 => Request::Alpha { x: d.u32()? },", "");
+        let v = run(PROTOCOL, codec.as_str(), SESSION);
+        // Missing construction site and missing tag 0 in the decoder.
+        assert!(v.iter().any(|v| v.message.contains("Request::Alpha")));
+        assert!(v
+            .iter()
+            .any(|v| v.message.contains("tag 0") && v.message.contains("never decoded")));
+    }
+
+    #[test]
+    fn nested_match_arms_are_not_tags() {
+        // The inner `match d.u8()?` in Beta's decode has arms 0 => 7;
+        // if the tag collector picked those up it would report a
+        // duplicate tag 0. The passing baseline above already proves it
+        // does not; flip the inner arm to an out-of-range tag to be
+        // explicit.
+        let codec = CODEC.replace("0 => 7, _ => 9", "9 => 7, _ => 9");
+        assert_eq!(run(PROTOCOL, codec.as_str(), SESSION), Vec::new());
+    }
+
+    #[test]
+    fn sparse_tags_fail() {
+        let codec = CODEC
+            .replace("Enc::new(1)", "Enc::new(2)")
+            .replace("1 => {", "2 => {");
+        let v = run(PROTOCOL, codec.as_str(), SESSION);
+        assert!(v.iter().any(|v| v.message.contains("not dense")));
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let v = check_d6(None, None, None);
+        assert_eq!(v.len(), 3);
+    }
+}

@@ -1,0 +1,200 @@
+//! Rule D7 — concurrency discipline.
+//!
+//! Shared-state primitives are easy to sprinkle and hard to reason
+//! about afterwards. D7 keeps an explicit inventory: every
+//! `Mutex`/`RwLock`/`Arc`/`Atomic*`/spawn site in workspace non-test
+//! code is counted per file and compared against the committed
+//! shrink-only baseline (`crates/xtask/concurrency-baseline.toml`).
+//! New primitives require a deliberate baseline update
+//! (`cargo xtask lint --update-baseline`), which code review then sees
+//! as a one-line diff.
+//!
+//! On top of the inventory, a daemon-specific heuristic flags lock
+//! guards whose lexical scope spans a blocking I/O call: holding a
+//! mutex across a socket read stalls every other session on that lock.
+
+use crate::rules::{UnwrapCounts, Violation, WorkspaceFile};
+
+/// Tokens counted into the concurrency inventory. `Atomic` is matched
+/// as an identifier prefix (`AtomicBool`, `AtomicUsize`, ...).
+pub const D7_TOKENS: [&str; 6] = [
+    "Mutex",
+    "RwLock",
+    "Arc",
+    "thread::spawn",
+    "thread::scope",
+    ".spawn(",
+];
+
+/// Blocking calls that must not happen under a held lock guard in the
+/// daemon. All of these can park the thread on the network or disk.
+const BLOCKING_TOKENS: [&str; 7] = [
+    ".read(",
+    ".read_exact(",
+    "read_full(",
+    "read_exact_or_eof(",
+    ".write_all(",
+    ".flush(",
+    ".accept(",
+];
+
+/// Counts concurrency-primitive sites per file (non-test code only).
+pub fn concurrency_counts(files: &[WorkspaceFile]) -> UnwrapCounts {
+    let mut counts = UnwrapCounts::new();
+    for file in files {
+        let mut n = 0;
+        for token in D7_TOKENS {
+            n += file.model.find_token(token).len();
+        }
+        n += file.model.find_ident_prefix("Atomic").len();
+        if n > 0 {
+            counts.insert(file.rel_path.clone(), n);
+        }
+    }
+    counts
+}
+
+/// Compares observed counts against the baseline: any file above its
+/// allowance (absent files have an allowance of zero) is a violation.
+pub fn check_d7_inventory(observed: &UnwrapCounts, baseline: &UnwrapCounts) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (file, &n) in observed {
+        let allowed = baseline.get(file).copied().unwrap_or(0);
+        if n > allowed {
+            out.push(Violation {
+                rule: "D7",
+                file: file.clone(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "{n} concurrency-primitive site(s) exceed the baseline of {allowed}"
+                ),
+                hint: "avoid new shared state if possible; otherwise record the addition with \
+                       `cargo xtask lint --update-baseline` so review sees it"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Baseline entries above the observed count: ratchet opportunities.
+pub fn d7_ratchet_candidates(
+    observed: &UnwrapCounts,
+    baseline: &UnwrapCounts,
+) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    for (file, &allowed) in baseline {
+        let n = observed.get(file).copied().unwrap_or(0);
+        if n < allowed {
+            out.push((file.clone(), allowed, n));
+        }
+    }
+    out
+}
+
+/// Flags `.lock(` guards in daemon files whose enclosing block performs
+/// a blocking call after the lock is taken. Lexical heuristic: the
+/// guard is assumed live from the lock site to the end of its enclosing
+/// block (true unless explicitly `drop`ped, which the hint suggests).
+pub fn check_d7_lock_guards(files: &[WorkspaceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        if !file.rel_path.starts_with("crates/daemon/") {
+            continue;
+        }
+        for at in file.model.find_token(".lock(") {
+            let span = file.model.rest_of_enclosing_block(at);
+            for blocking in BLOCKING_TOKENS {
+                let hit = file
+                    .model
+                    .find_token(blocking)
+                    .into_iter()
+                    .find(|&b| b > at && b < span.1);
+                if let Some(b) = hit {
+                    out.push(Violation {
+                        rule: "D7",
+                        file: file.rel_path.clone(),
+                        line: file.model.line_of(at),
+                        col: file.model.col_of(at),
+                        message: format!(
+                            "lock guard held across blocking call {blocking}... on line {}",
+                            file.model.line_of(b)
+                        ),
+                        hint: "narrow the guard: copy what you need out of the lock and drop() \
+                               it before doing I/O"
+                            .to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceModel;
+
+    fn file(rel: &str, src: &str) -> WorkspaceFile {
+        WorkspaceFile {
+            rel_path: rel.to_string(),
+            model: SourceModel::new(src),
+        }
+    }
+
+    #[test]
+    fn inventory_counts_primitives_and_atomics() {
+        let files = [file(
+            "crates/core/src/engine.rs",
+            "use std::sync::{Arc, Mutex};\nstatic N: AtomicUsize = AtomicUsize::new(0);\n\
+             fn f() { thread::scope(|s| { s.spawn(|| {}); }); }\n",
+        )];
+        let counts = concurrency_counts(&files);
+        // Arc, Mutex, two AtomicUsize, thread::scope, .spawn(.
+        assert_eq!(counts.get("crates/core/src/engine.rs"), Some(&6));
+    }
+
+    #[test]
+    fn inventory_is_shrink_only() {
+        let mut observed = UnwrapCounts::new();
+        observed.insert("a.rs".into(), 3);
+        let mut baseline = UnwrapCounts::new();
+        baseline.insert("a.rs".into(), 2);
+        assert_eq!(check_d7_inventory(&observed, &baseline).len(), 1);
+        baseline.insert("a.rs".into(), 4);
+        assert!(check_d7_inventory(&observed, &baseline).is_empty());
+        assert_eq!(
+            d7_ratchet_candidates(&observed, &baseline),
+            vec![("a.rs".to_string(), 4, 3)]
+        );
+    }
+
+    #[test]
+    fn lock_across_blocking_io_is_flagged() {
+        let src = "\
+fn f(stream: &mut TcpStream, m: &Mutex<u32>) {
+    let g = m.lock().unwrap_or_else(|e| e.into_inner());
+    stream.write_all(&[*g]).ok();
+}
+";
+        let v = check_d7_lock_guards(&[file("crates/daemon/src/server.rs", src)]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("write_all"));
+        // The same pattern outside the daemon is not this rule's business.
+        assert!(check_d7_lock_guards(&[file("crates/core/src/engine.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn narrowed_guard_passes() {
+        let src = "\
+fn f(stream: &mut TcpStream, m: &Mutex<u32>) {
+    let v = { let g = m.lock().unwrap_or_else(|e| e.into_inner()); *g };
+    stream.write_all(&[v]).ok();
+}
+";
+        assert!(check_d7_lock_guards(&[file("crates/daemon/src/server.rs", src)]).is_empty());
+    }
+}

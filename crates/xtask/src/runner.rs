@@ -1,0 +1,303 @@
+//! Orchestration: resolve the workspace root, run the requested rules
+//! over the right file sets, and render the results (text or JSON).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::baseline;
+use crate::rules::{self, Violation, DETERMINISTIC_CRATES, KERNEL_FILES, LIBRARY_CRATES};
+use crate::rules_d5;
+use crate::rules_d6::{self, D6_CODEC_FILE, D6_PROTOCOL_FILE, D6_SESSION_FILE};
+use crate::rules_d7;
+
+/// Every rule id, in report order.
+pub const ALL_RULES: [&str; 7] = ["d1", "d2", "d3", "d4", "d5", "d6", "d7"];
+
+/// The outcome of one lint run.
+pub struct LintReport {
+    /// All findings, in rule order.
+    pub violations: Vec<Violation>,
+    /// Per-rule violation counts for the rules that ran ("D1".."D7").
+    pub summary: BTreeMap<&'static str, usize>,
+    /// Informational notes (ratchet opportunities, baseline writes).
+    pub notes: Vec<String>,
+}
+
+/// Workspace root: `$CARGO_MANIFEST_DIR/../..` when run through cargo,
+/// otherwise the nearest ancestor of the current directory whose
+/// Cargo.toml declares `[workspace]`.
+pub fn workspace_root() -> Option<PathBuf> {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.parent().and_then(Path::parent) {
+            if root.join("Cargo.toml").exists() {
+                return Some(root.to_path_buf());
+            }
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Source directories of every crate except the given names, plus the
+/// root `src/`.
+fn crate_src_dirs(root: &Path, skip: &[&str]) -> Result<Vec<PathBuf>, String> {
+    let mut dirs = vec![PathBuf::from("src")];
+    for entry in std::fs::read_dir(root.join("crates")).map_err(|e| e.to_string())? {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if skip.contains(&name.as_str()) {
+            continue;
+        }
+        dirs.push(PathBuf::from("crates").join(&name).join("src"));
+    }
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// Runs the requested rules (all seven when `only_rule` is `None`).
+pub fn run_lints(
+    root: &Path,
+    only_rule: Option<&str>,
+    update_baseline: bool,
+) -> Result<LintReport, String> {
+    let enabled = |rule: &str| only_rule.is_none_or(|r| r == rule);
+    let mut report = LintReport {
+        violations: Vec::new(),
+        summary: BTreeMap::new(),
+        notes: Vec::new(),
+    };
+
+    if enabled("d1") {
+        let dirs: Vec<PathBuf> = DETERMINISTIC_CRATES
+            .iter()
+            .map(|c| PathBuf::from("crates").join(c).join("src"))
+            .collect();
+        let files = rules::load_files(root, &dirs).map_err(|e| e.to_string())?;
+        record(&mut report, "D1", rules::check_d1(&files));
+    }
+
+    if enabled("d2") {
+        // Everything that ships behavior: all crate sources except the
+        // bench harness and this linter, plus the root library. The
+        // daemon crate is the serving shell: wall-clock latency
+        // measurement is its job, so D2's ambient-time ban does not
+        // apply there (the sim core it hosts still falls under D1/D2
+        // via its own crates).
+        let dirs = crate_src_dirs(root, &["bench", "xtask", "daemon"])?;
+        let files = rules::load_files(root, &dirs).map_err(|e| e.to_string())?;
+        record(&mut report, "D2", rules::check_d2(&files));
+    }
+
+    if enabled("d3") {
+        let dirs: Vec<PathBuf> = KERNEL_FILES
+            .iter()
+            .filter_map(|f| Some(PathBuf::from(f).parent()?.to_path_buf()))
+            .collect();
+        let files = rules::load_files(root, &dirs).map_err(|e| e.to_string())?;
+        record(&mut report, "D3", rules::check_d3(&files));
+    }
+
+    if enabled("d4") {
+        let mut dirs: Vec<PathBuf> = LIBRARY_CRATES
+            .iter()
+            .map(|c| PathBuf::from("crates").join(c).join("src"))
+            .collect();
+        dirs.push(PathBuf::from("src"));
+        let files = rules::load_files(root, &dirs).map_err(|e| e.to_string())?;
+        let mut violations = rules::check_d4(&files);
+        // The retired ratchet file must stay an empty tombstone.
+        let tombstone = root.join("crates/xtask/lint-baseline.toml");
+        let legacy = baseline::load(&tombstone, baseline::D4_TABLE)?;
+        for (file, n) in legacy {
+            violations.push(Violation {
+                rule: "D4",
+                file: "crates/xtask/lint-baseline.toml".to_string(),
+                line: 1,
+                col: 1,
+                message: format!("retired D4 baseline lists {file} = {n}"),
+                hint: "the D4 ratchet was burned to zero and is a hard gate now; the baseline \
+                       table must stay empty"
+                    .to_string(),
+            });
+        }
+        record(&mut report, "D4", violations);
+    }
+
+    if enabled("d5") {
+        let dirs = [
+            PathBuf::from("crates/daemon/src"),
+            PathBuf::from("crates/node/src"),
+        ];
+        let files = rules::load_files(root, &dirs).map_err(|e| e.to_string())?;
+        record(&mut report, "D5", rules_d5::check_d5(&files));
+    }
+
+    if enabled("d6") {
+        let dirs = [PathBuf::from("crates/daemon/src")];
+        let files = rules::load_files(root, &dirs).map_err(|e| e.to_string())?;
+        let by_path = |p: &str| files.iter().find(|f| f.rel_path == p);
+        record(
+            &mut report,
+            "D6",
+            rules_d6::check_d6(
+                by_path(D6_PROTOCOL_FILE),
+                by_path(D6_CODEC_FILE),
+                by_path(D6_SESSION_FILE),
+            ),
+        );
+    }
+
+    if enabled("d7") {
+        let dirs = crate_src_dirs(root, &["xtask"])?;
+        let files = rules::load_files(root, &dirs).map_err(|e| e.to_string())?;
+        let observed = rules_d7::concurrency_counts(&files);
+        let baseline_path = root.join("crates/xtask/concurrency-baseline.toml");
+        if update_baseline {
+            baseline::store(
+                &baseline_path,
+                baseline::D7_HEADER,
+                baseline::D7_TABLE,
+                &observed,
+            )?;
+            report.notes.push(format!(
+                "wrote {} ({} files with concurrency primitives)",
+                baseline_path.display(),
+                observed.len()
+            ));
+        }
+        let allowed = baseline::load(&baseline_path, baseline::D7_TABLE)?;
+        let mut violations = rules_d7::check_d7_inventory(&observed, &allowed);
+        violations.extend(rules_d7::check_d7_lock_guards(&files));
+        for (file, was, now) in rules_d7::d7_ratchet_candidates(&observed, &allowed) {
+            report.notes.push(format!(
+                "{file} is below its D7 baseline ({now} < {was}); run `cargo xtask lint \
+                 --update-baseline` to ratchet down"
+            ));
+        }
+        record(&mut report, "D7", violations);
+    }
+
+    Ok(report)
+}
+
+fn record(report: &mut LintReport, rule: &'static str, violations: Vec<Violation>) {
+    report.summary.insert(rule, violations.len());
+    report.violations.extend(violations);
+}
+
+impl LintReport {
+    /// One-line per-rule summary, e.g. `D1=0 D2=0 ... D7=2`.
+    pub fn summary_line(&self) -> String {
+        self.summary
+            .iter()
+            .map(|(rule, n)| format!("{rule}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The report as a JSON document (hand-rolled; the linter is
+    /// dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \
+                 \"message\": {}, \"hint\": {}}}",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                v.col,
+                json_str(&v.message),
+                json_str(&v.hint),
+            ));
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"summary\": {");
+        for (i, (rule, n)) in self.summary.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {n}", json_str(rule)));
+        }
+        out.push_str("},\n  \"notes\": [");
+        for (i, note) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(note));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_renders_json_and_summary() {
+        let mut report = LintReport {
+            violations: vec![Violation {
+                rule: "D5",
+                file: "crates/daemon/src/session.rs".to_string(),
+                line: 3,
+                col: 9,
+                message: "boom".to_string(),
+                hint: "fix it".to_string(),
+            }],
+            summary: BTreeMap::new(),
+            notes: vec!["note".to_string()],
+        };
+        report.summary.insert("D5", 1);
+        report.summary.insert("D1", 0);
+        assert_eq!(report.summary_line(), "D1=0 D5=1");
+        let json = report.to_json();
+        assert!(json.contains("\"rule\": \"D5\""));
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("\"D1\": 0"));
+        assert!(json.contains("\"note\""));
+    }
+}

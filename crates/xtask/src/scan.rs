@@ -40,6 +40,15 @@ impl SourceModel {
             + 1
     }
 
+    /// 1-based column number of a byte offset.
+    pub fn col_of(&self, offset: usize) -> usize {
+        let upto = &self.code.as_bytes()[..offset.min(self.code.len())];
+        match upto.iter().rposition(|&b| b == b'\n') {
+            Some(nl) => offset - nl,
+            None => offset + 1,
+        }
+    }
+
     /// Whether the byte offset falls inside a `#[cfg(test)]` region.
     pub fn in_test_region(&self, offset: usize) -> bool {
         self.test_region.get(offset).copied().unwrap_or(false)
@@ -72,6 +81,120 @@ impl SourceModel {
                 !needs_after || after >= bytes.len() || !is_ident_byte(bytes[after]);
             if before_ok && after_ok && !self.in_test_region(at) {
                 out.push(at);
+            }
+        }
+        out
+    }
+
+    /// All positions where an identifier *starting with* `prefix` begins,
+    /// outside test regions. Unlike [`find_token`](Self::find_token) the
+    /// identifier may continue after the prefix — `find_ident_prefix("Atomic")`
+    /// matches `AtomicBool`, `AtomicUsize`, and bare `Atomic`.
+    pub fn find_ident_prefix(&self, prefix: &str) -> Vec<usize> {
+        let bytes = self.code.as_bytes();
+        let mut out = Vec::new();
+        let mut from = 0;
+        while let Some(pos) = self.code[from..].find(prefix) {
+            let at = from + pos;
+            from = at + 1;
+            let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+            if before_ok && !self.in_test_region(at) {
+                out.push(at);
+            }
+        }
+        out
+    }
+
+    /// The byte span of the brace-matched body of `fn name`, searching
+    /// non-test code first and falling back to any match. Returns the
+    /// offsets of the opening and closing braces (inclusive), or `None`
+    /// when the function is absent.
+    pub fn fn_body_span(&self, name: &str) -> Option<(usize, usize)> {
+        let bytes = self.code.as_bytes();
+        let mut from = 0;
+        while let Some(pos) = self.code[from..].find("fn ") {
+            let at = from + pos;
+            from = at + 1;
+            if at > 0 && is_ident_byte(bytes[at - 1]) {
+                continue;
+            }
+            let after = &self.code[at + 3..];
+            let rest = after.trim_start();
+            if !rest.starts_with(name)
+                || rest[name.len()..]
+                    .bytes()
+                    .next()
+                    .is_some_and(is_ident_byte)
+            {
+                continue;
+            }
+            // Walk to the body's opening brace. `where` clauses and
+            // signatures contain no braces, so the first `{` is the body.
+            let mut i = at;
+            while i < bytes.len() && bytes[i] != b'{' {
+                i += 1;
+            }
+            if i == bytes.len() {
+                return None;
+            }
+            let open = i;
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some((open, i));
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            return Some((open, bytes.len().saturating_sub(1)));
+        }
+        None
+    }
+
+    /// The span from `offset` to the `}` closing its innermost enclosing
+    /// block (exclusive). Used to approximate the lexical scope of a
+    /// binding created at `offset` — e.g. a lock guard.
+    pub fn rest_of_enclosing_block(&self, offset: usize) -> (usize, usize) {
+        let bytes = self.code.as_bytes();
+        let mut depth = 0usize;
+        let mut i = offset;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    if depth == 0 {
+                        return (offset, i);
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        (offset, bytes.len())
+    }
+
+    /// Positions of `[` that open an *index expression* in non-test code:
+    /// the byte immediately before is an identifier character, `)`, `]`,
+    /// `?`, or `"` (a value being indexed). Attribute brackets (`#[`),
+    /// macro brackets (`vec![`), array types, and slice patterns are all
+    /// preceded by other bytes and are not reported.
+    pub fn bare_index_sites(&self) -> Vec<usize> {
+        let bytes = self.code.as_bytes();
+        let mut out = Vec::new();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b != b'[' || i == 0 || self.in_test_region(i) {
+                continue;
+            }
+            let prev = bytes[i - 1];
+            if is_ident_byte(prev) || prev == b')' || prev == b']' || prev == b'?' || prev == b'"' {
+                out.push(i);
             }
         }
         out
@@ -123,14 +246,21 @@ fn mask_comments_and_literals(source: &str) -> String {
                 }
             }
             b'r' | b'b'
-                if is_raw_string_start(bytes, i) =>
+                if (i == 0 || !is_ident_byte(bytes[i - 1]))
+                    && is_raw_string_start(bytes, i) =>
             {
                 i = mask_raw_string(bytes, &mut out, i);
             }
-            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'"' => {
+            b'b' if (i == 0 || !is_ident_byte(bytes[i - 1]))
+                && i + 1 < bytes.len()
+                && bytes[i + 1] == b'"' =>
+            {
                 i = mask_plain_string(bytes, &mut out, i + 1);
             }
-            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'\'' => {
+            b'b' if (i == 0 || !is_ident_byte(bytes[i - 1]))
+                && i + 1 < bytes.len()
+                && bytes[i + 1] == b'\'' =>
+            {
                 i = mask_char_literal(bytes, &mut out, i + 1);
             }
             b'"' => {
@@ -417,5 +547,95 @@ fn prod2() { w.unwrap(); }
         let hits = m.find_token("HashMap");
         assert_eq!(hits.len(), 1);
         assert_eq!(m.line_of(hits[0]), 2);
+    }
+
+    #[test]
+    fn columns_are_one_based() {
+        let m = SourceModel::new("ab\ncd HashMap\n");
+        let hits = m.find_token("HashMap");
+        assert_eq!(m.col_of(hits[0]), 4);
+        assert_eq!(m.col_of(0), 1);
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        // `xr` ends in `r`. If the scanner treated that `r` as a raw
+        // string opener it would ignore the escape in the plain string
+        // that follows, end the "raw string" at the escaped quote, and
+        // leak `HashMap` into code.
+        let m = SourceModel::new("m!(xr\"a\\\" HashMap\"); let t = u.unwrap();\n");
+        assert!(m.find_token("HashMap").is_empty());
+        assert_eq!(m.find_token(".unwrap()").len(), 1);
+        // A real raw string right after a non-identifier byte still
+        // masks.
+        let m = SourceModel::new("let s = r#\"HashMap \"#; let t = r\"HashSet\";\n");
+        assert!(m.find_token("HashMap").is_empty());
+        assert!(m.find_token("HashSet").is_empty());
+    }
+
+    #[test]
+    fn nested_block_comment_depth_three() {
+        let m = SourceModel::new("/* a /* b /* HashMap */ c */ d */ let x = 1;\n");
+        assert!(m.find_token("HashMap").is_empty());
+        assert_eq!(m.find_token("let").len(), 1);
+    }
+
+    #[test]
+    fn char_tick_vs_lifetime_in_one_expression() {
+        let m = SourceModel::new(
+            "fn f<'a>(x: &'a [u8]) -> u8 { if x[0] == b'[' { b'x' } else { x[1] } }\n",
+        );
+        // Both index sites survive the char literals around them.
+        assert_eq!(m.bare_index_sites().len(), 2);
+    }
+
+    #[test]
+    fn ident_prefix_matches_longer_identifiers() {
+        let m = SourceModel::new("use std::sync::atomic::AtomicBool;\nstatic F: AtomicUsize = x;\n");
+        assert_eq!(m.find_ident_prefix("Atomic").len(), 2);
+        // Embedded occurrences do not count.
+        let m = SourceModel::new("let subatomic = NonAtomicBool;\n");
+        assert!(m.find_ident_prefix("Atomic").is_empty());
+    }
+
+    #[test]
+    fn fn_body_span_brace_matches() {
+        let src = "fn a() { inner(); }\nfn b() { other(); { nested(); } }\n";
+        let m = SourceModel::new(src);
+        let (open, close) = m.fn_body_span("b").unwrap();
+        let body = &src[open..=close];
+        assert!(body.contains("other"));
+        assert!(body.contains("nested"));
+        assert!(!body.contains("inner"));
+        assert!(m.fn_body_span("missing").is_none());
+        // `a` does not match a prefix of a longer name.
+        let (open, close) = m.fn_body_span("a").unwrap();
+        assert!(src[open..=close].contains("inner"));
+    }
+
+    #[test]
+    fn bare_index_sites_skip_attributes_macros_and_types() {
+        let src = "\
+#[derive(Debug)]
+fn f(buf: &mut [u8]) -> u8 {
+    let v = vec![1, 2];
+    let arr: [u8; 2] = [0; 2];
+    let [a, b] = arr;
+    buf[0] + v[1] + arr[a as usize]
+}
+";
+        let m = SourceModel::new(src);
+        assert_eq!(m.bare_index_sites().len(), 3);
+    }
+
+    #[test]
+    fn rest_of_enclosing_block_stops_at_close() {
+        let src = "fn f() { { let g = lock(); use_it(); } after(); }\n";
+        let m = SourceModel::new(src);
+        let at = src.find("let g").unwrap();
+        let (start, end) = m.rest_of_enclosing_block(at);
+        let span = &src[start..end];
+        assert!(span.contains("use_it"));
+        assert!(!span.contains("after"));
     }
 }

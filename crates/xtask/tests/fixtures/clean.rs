@@ -1,0 +1,20 @@
+//! Fixture: a file that passes every rule even under the strictest
+//! scopes (deterministic crate, kernel file, serving path): total code,
+//! no casts, no hashed collections, no shared state, no ambient clocks.
+
+/// Sum of the first `n` values, saturating, with an explicit fallback
+/// for every partial operation.
+pub fn total_sum(xs: &[u64], n: usize) -> u64 {
+    let upto = n.min(xs.len());
+    let mut acc: u64 = 0;
+    for v in xs.iter().take(upto) {
+        acc = acc.saturating_add(*v);
+    }
+    acc
+}
+
+/// The last element, or zero: `.get()` instead of indexing, explicit
+/// fallback instead of unwrap.
+pub fn last_or_zero(xs: &[u64]) -> u64 {
+    xs.last().copied().unwrap_or(0)
+}

@@ -1,0 +1,7 @@
+//! Fixture: trips rule D1 exactly once (one hashed collection in what
+//! the self-test presents as a deterministic crate).
+
+pub fn count(keys: &[u32]) -> usize {
+    let set: HashSet<u32> = keys.iter().copied().collect();
+    set.len()
+}

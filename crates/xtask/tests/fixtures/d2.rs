@@ -1,0 +1,6 @@
+//! Fixture: trips rule D2 exactly once (one ambient-clock read outside
+//! the sanctioned timing module).
+
+pub fn stamp() -> std::time::Instant {
+    Instant::now()
+}

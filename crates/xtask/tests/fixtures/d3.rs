@@ -1,0 +1,6 @@
+//! Fixture: trips rule D3 exactly once (one bare cast in what the
+//! self-test presents as a word-level kernel file).
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}

@@ -1,0 +1,13 @@
+//! Fixture: trips rule D4 exactly once (one unwrap in library non-test
+//! code; the test-gated unwrap below must not count).
+
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn also(xs: &[u32]) -> u32 {
+        xs.last().copied().unwrap()
+    }
+}

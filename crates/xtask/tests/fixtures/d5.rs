@@ -1,0 +1,7 @@
+//! Fixture: trips rule D5 exactly once (one bare slice index on what
+//! the self-test presents as a serving-path file; everything else is
+//! total).
+
+pub fn head(xs: &[u32]) -> u32 {
+    xs[0]
+}

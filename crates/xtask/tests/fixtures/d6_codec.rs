@@ -1,0 +1,39 @@
+//! Fixture codec: encodes and decodes every variant with dense tags.
+
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Alpha { x } => {
+            let mut e = Enc::new(0);
+            e.u32(*x);
+            e.buf
+        }
+        Request::Beta(v) => {
+            let mut e = Enc::new(1);
+            e.u64(*v);
+            e.buf
+        }
+    }
+}
+
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut d = Dec { buf: payload };
+    Ok(match d.u8()? {
+        0 => Request::Alpha { x: d.u32()? },
+        1 => Request::Beta(d.u64()?),
+        tag => return Err(WireError::UnknownTag { tag }),
+    })
+}
+
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Done => Enc::new(0).buf,
+    }
+}
+
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut d = Dec { buf: payload };
+    Ok(match d.u8()? {
+        0 => Response::Done,
+        tag => return Err(WireError::UnknownTag { tag }),
+    })
+}

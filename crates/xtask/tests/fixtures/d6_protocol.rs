@@ -1,0 +1,13 @@
+//! Fixture protocol: two requests, one response. Paired with
+//! `d6_codec.rs` (total) and `d6_session.rs` (dispatches only `Alpha`),
+//! the trio trips rule D6 exactly once: `Beta` is never dispatched.
+
+pub enum Request {
+    /// Doc prose naming Request::Beta must not satisfy the check.
+    Alpha { x: u32 },
+    Beta(u64),
+}
+
+pub enum Response {
+    Done,
+}

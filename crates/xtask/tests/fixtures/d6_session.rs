@@ -1,0 +1,21 @@
+//! Fixture session: dispatches only `Alpha`. The helper below names
+//! every variant, which must not count as dispatch — only the bodies of
+//! `serve`/`run_simulation` do.
+
+fn request_name(req: &Request) -> &'static str {
+    match req {
+        Request::Alpha { .. } => "alpha",
+        Request::Beta(_) => "beta",
+    }
+}
+
+pub fn serve(queue: &mut Queue) -> Response {
+    match queue.next() {
+        Request::Alpha { x } => run_simulation(x),
+    }
+}
+
+fn run_simulation(x: u32) -> Response {
+    let _ = x;
+    Response::Done
+}

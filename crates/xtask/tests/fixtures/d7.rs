@@ -1,0 +1,6 @@
+//! Fixture: trips rule D7 exactly once (one shared-state primitive
+//! against an empty concurrency baseline).
+
+pub struct Shared {
+    inner: std::sync::Mutex<u32>,
+}

@@ -1,0 +1,226 @@
+//! Lint self-test: proves every rule actually fires.
+//!
+//! Each fixture in `tests/fixtures/` trips exactly one rule exactly
+//! once when presented under that rule's strictest scope, and
+//! `clean.rs` trips nothing anywhere. On top of the fixtures, the
+//! acceptance tests mutate *real* workspace sources in memory (inject
+//! an unwrap into session.rs, delete a dispatch or decode arm) and
+//! assert the suite catches each mutation — the lint is only a gate if
+//! a regression it exists to stop cannot slip past it.
+
+use std::path::{Path, PathBuf};
+
+use xtask::rules::{check_d1, check_d2, check_d3, check_d4, WorkspaceFile};
+use xtask::rules_d5::check_d5;
+use xtask::rules_d6::{check_d6, D6_CODEC_FILE, D6_PROTOCOL_FILE, D6_SESSION_FILE};
+use xtask::rules_d7::{check_d7_inventory, check_d7_lock_guards, concurrency_counts};
+use xtask::scan::SourceModel;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Wraps source text under an arbitrary workspace-relative path, so a
+/// fixture can be presented as a kernel file, serving file, etc.
+fn present(rel: &str, src: &str) -> WorkspaceFile {
+    WorkspaceFile {
+        rel_path: rel.to_string(),
+        model: SourceModel::new(src),
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn real(rel: &str) -> String {
+    let path = workspace_root().join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn d1_fixture_fires_exactly_once() {
+    let v = check_d1(&[present("crates/core/src/x.rs", &fixture("d1.rs"))]);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "D1");
+}
+
+#[test]
+fn d2_fixture_fires_exactly_once() {
+    let v = check_d2(&[present("crates/core/src/x.rs", &fixture("d2.rs"))]);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "D2");
+}
+
+#[test]
+fn d3_fixture_fires_exactly_once() {
+    let v = check_d3(&[present("crates/interval/src/mask.rs", &fixture("d3.rs"))]);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "D3");
+}
+
+#[test]
+fn d4_fixture_fires_exactly_once() {
+    let v = check_d4(&[present("crates/interval/src/set.rs", &fixture("d4.rs"))]);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "D4");
+}
+
+#[test]
+fn d5_fixture_fires_exactly_once() {
+    let v = check_d5(&[present("crates/daemon/src/session.rs", &fixture("d5.rs"))]);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "D5");
+    assert!(v[0].message.contains("bare slice index"));
+}
+
+#[test]
+fn d6_fixture_trio_fires_exactly_once() {
+    let v = check_d6(
+        Some(&present(D6_PROTOCOL_FILE, &fixture("d6_protocol.rs"))),
+        Some(&present(D6_CODEC_FILE, &fixture("d6_codec.rs"))),
+        Some(&present(D6_SESSION_FILE, &fixture("d6_session.rs"))),
+    );
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "D6");
+    assert!(v[0].message.contains("Request::Beta"));
+    assert!(v[0].message.contains("never dispatched"));
+}
+
+#[test]
+fn d7_fixture_fires_exactly_once() {
+    let files = [present("crates/metrics/src/x.rs", &fixture("d7.rs"))];
+    let observed = concurrency_counts(&files);
+    let empty = Default::default();
+    let v = check_d7_inventory(&observed, &empty);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "D7");
+}
+
+#[test]
+fn clean_fixture_passes_every_rule_under_strictest_scopes() {
+    let src = fixture("clean.rs");
+    // Present the same contents under each rule's most demanding path.
+    assert!(check_d1(&[present("crates/core/src/x.rs", &src)]).is_empty());
+    assert!(check_d2(&[present("crates/core/src/x.rs", &src)]).is_empty());
+    assert!(check_d3(&[present("crates/interval/src/mask.rs", &src)]).is_empty());
+    assert!(check_d4(&[present("crates/interval/src/mask.rs", &src)]).is_empty());
+    assert!(check_d5(&[present("crates/daemon/src/session.rs", &src)]).is_empty());
+    let files = [present("crates/daemon/src/server.rs", &src)];
+    assert!(concurrency_counts(&files).is_empty());
+    assert!(check_d7_lock_guards(&files).is_empty());
+}
+
+// ---- acceptance: mutations of the real sources must be caught ----
+
+#[test]
+fn real_workspace_protocol_is_total() {
+    let v = check_d6(
+        Some(&present(D6_PROTOCOL_FILE, &real(D6_PROTOCOL_FILE))),
+        Some(&present(D6_CODEC_FILE, &real(D6_CODEC_FILE))),
+        Some(&present(D6_SESSION_FILE, &real(D6_SESSION_FILE))),
+    );
+    assert_eq!(v, Vec::new());
+}
+
+#[test]
+fn injected_unwrap_in_session_fails_d5() {
+    let clean = real("crates/daemon/src/session.rs");
+    assert!(check_d5(&[present(D6_SESSION_FILE, &clean)]).is_empty());
+    let mutated = clean.replacen(
+        "pub fn serve(",
+        "fn sneak(x: Option<u8>) -> u8 { x.unwrap() }\npub fn serve(",
+        1,
+    );
+    assert_ne!(clean, mutated, "the anchor for the mutation vanished");
+    let v = check_d5(&[present(D6_SESSION_FILE, &mutated)]);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].message.contains(".unwrap()"));
+}
+
+#[test]
+fn deleting_any_session_dispatch_arm_fails_d6() {
+    let protocol = real(D6_PROTOCOL_FILE);
+    let codec = real(D6_CODEC_FILE);
+    let session = real(D6_SESSION_FILE);
+    // Remove each Request dispatch token from the session in turn; D6
+    // must notice every single one.
+    for variant in ["Hello", "Open", "Post", "Read", "Finish", "Ping", "Shutdown"] {
+        let needle = format!("Request::{variant}");
+        let mutated = session.replace(&needle, "Request::__deleted");
+        assert_ne!(session, mutated, "session.rs no longer mentions {needle}");
+        let v = check_d6(
+            Some(&present(D6_PROTOCOL_FILE, &protocol)),
+            Some(&present(D6_CODEC_FILE, &codec)),
+            Some(&present(D6_SESSION_FILE, &mutated)),
+        );
+        assert!(
+            v.iter()
+                .any(|v| v.message.contains(&needle) && v.message.contains("never dispatched")),
+            "deleting the {needle} dispatch went unnoticed: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn deleting_any_codec_decode_arm_fails_d6() {
+    let protocol = real(D6_PROTOCOL_FILE);
+    let codec = real(D6_CODEC_FILE);
+    let session = real(D6_SESSION_FILE);
+    for variant in ["Hello", "Open", "Post", "Read", "Finish", "Ping", "Shutdown"] {
+        let needle = format!("Request::{variant}");
+        // Blank the decoder's construction of the variant while leaving
+        // the encoder intact: rename it only after the decode fn starts.
+        let dec_start = codec.find("pub fn decode_request").expect("decode_request exists");
+        let mutated = format!(
+            "{}{}",
+            &codec[..dec_start],
+            codec[dec_start..].replace(&needle, "Request::__deleted")
+        );
+        assert_ne!(codec, mutated, "decode_request no longer mentions {needle}");
+        let v = check_d6(
+            Some(&present(D6_PROTOCOL_FILE, &protocol)),
+            Some(&present(D6_CODEC_FILE, &mutated)),
+            Some(&present(D6_SESSION_FILE, &session)),
+        );
+        assert!(
+            v.iter()
+                .any(|v| v.message.contains(&needle) && v.message.contains("decode_request")),
+            "deleting the {needle} decode arm went unnoticed: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn real_workspace_lint_is_green_via_cli() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .current_dir(workspace_root())
+        .output()
+        .expect("spawning the xtask binary");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "lint failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("determinism contract holds"), "{stdout}");
+
+    let json = std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--json"])
+        .current_dir(workspace_root())
+        .output()
+        .expect("spawning the xtask binary");
+    let text = String::from_utf8_lossy(&json.stdout);
+    assert!(json.status.success());
+    assert!(text.trim_start().starts_with('{'), "{text}");
+    assert!(text.contains("\"summary\""), "{text}");
+    assert!(text.contains("\"D6\": 0"), "{text}");
+}
