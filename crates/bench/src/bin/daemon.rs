@@ -62,7 +62,7 @@ fn main() {
 
     let socket = bench_socket();
     let _ = std::fs::remove_file(&socket);
-    let config = ServerConfig { socket: socket.clone(), pidfile: None };
+    let config = ServerConfig { socket: socket.clone(), pidfile: None, store: None };
     let server = Server::bind(&config).unwrap_or_else(|e| panic!("cannot bind {}: {e}", socket.display()));
     let flag = ShutdownFlag::new();
     let run_flag = flag.clone();

@@ -1,0 +1,131 @@
+//! Store benchmark — the append-only event log under the node runtime.
+//!
+//! Runs the full-system simulation with every consumed event streamed
+//! into a fresh events log, then replays that log from disk into a
+//! fresh runtime, and records both sides to `BENCH_store.json`: append
+//! throughput (events/s and MB/s, including the final seal) and replay
+//! throughput (events/s) — plus a byte-identity check between the
+//! captured and the replayed report, which must never drift.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `STORE_USERS` — trace scale, default `1000`.
+//! * `STORE_OUT` — output path, default `BENCH_store.json`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dosn_core::{ModelKind, PolicyKind};
+use dosn_daemon::{encode_spec, DatasetFamily, SimSpec};
+use dosn_node::{
+    model_schedules, place_replicas, DisseminationMode, InstantTransport, NodeRuntime,
+    SystemSim,
+};
+use dosn_store::{replay_into, LogKind, LogWriter};
+
+const SEED: u64 = 2012;
+const READS_PER_FRIEND_DAY: f64 = 0.1;
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(raw) => raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} entry {raw:?} is not valid")),
+        Err(_) => default,
+    }
+}
+
+fn bench_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("dosn-bench-store-{}", std::process::id()))
+}
+
+fn main() {
+    let users: u32 = env_parse("STORE_USERS", 1_000);
+    let out_path = std::env::var("STORE_OUT").unwrap_or_else(|_| "BENCH_store.json".into());
+    let dir = bench_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let spec = SimSpec {
+        family: DatasetFamily::Facebook,
+        users,
+        dataset_seed: SEED,
+        config_seed: SEED,
+        model: ModelKind::sporadic_default(),
+        policy: PolicyKind::MaxAv,
+        replication_degree: 4,
+        unconrep: false,
+        dissemination: DisseminationMode::FriendToFriend,
+    };
+    let ds = spec.synthesize().unwrap_or_else(|e| panic!("cannot synthesize: {e}"));
+    let config = spec.study_config();
+
+    // Append: the batch run streamed into the log, sealed at the end.
+    let mut writer = LogWriter::create(&dir, LogKind::Events, &encode_spec(&spec))
+        .unwrap_or_else(|e| panic!("cannot create log in {}: {e}", dir.display()));
+    let append_clock = Instant::now();
+    let captured = SystemSim::new(&ds)
+        .model(spec.model)
+        .policy(spec.policy)
+        .replication_degree(spec.replication_degree as usize)
+        .reads_per_friend_day(READS_PER_FRIEND_DAY)
+        .dissemination(spec.dissemination)
+        .run_with_sink(&config, &mut writer);
+    let stats = writer.finish().unwrap_or_else(|e| panic!("log seal failed: {e}"));
+    let append_s = append_clock.elapsed().as_secs_f64();
+
+    // Replay: a fresh runtime fed purely from the segment files.
+    let schedules = model_schedules(&ds, spec.model, &config);
+    let placements = place_replicas(
+        &ds,
+        &schedules,
+        spec.policy,
+        spec.replication_degree as usize,
+        &config,
+    );
+    let transport = InstantTransport;
+    let mut runtime = NodeRuntime::new(
+        &schedules,
+        &placements,
+        ds.activities(),
+        &transport,
+        spec.dissemination,
+    );
+    let replay_clock = Instant::now();
+    let scanned = replay_into(&dir, &mut runtime).unwrap_or_else(|e| panic!("replay failed: {e}"));
+    let replay_s = replay_clock.elapsed().as_secs_f64();
+    let replayed = runtime.into_report();
+    assert_eq!(replayed, captured, "replayed report diverged from the captured run");
+    assert_eq!(scanned.records, stats.records, "record count drifted");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let events = stats.records as f64;
+    let mb = stats.bytes as f64 / (1024.0 * 1024.0);
+    let append_events_per_s = if append_s > 0.0 { events / append_s } else { 0.0 };
+    let append_mb_per_s = if append_s > 0.0 { mb / append_s } else { 0.0 };
+    let replay_events_per_s = if replay_s > 0.0 { events / replay_s } else { 0.0 };
+
+    println!(
+        "{:>7} {:>10} {:>10} {:>9} {:>14} {:>12} {:>14}",
+        "users", "events", "log_bytes", "segments", "append_ev/s", "append_MB/s", "replay_ev/s"
+    );
+    println!(
+        "{:>7} {:>10} {:>10} {:>9} {:>14.0} {:>12.1} {:>14.0}",
+        users, stats.records, stats.bytes, stats.segments,
+        append_events_per_s, append_mb_per_s, replay_events_per_s,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"store\",\n  \"seed\": {SEED},\n  \"users\": {users},\n  \
+         \"events\": {},\n  \"log_bytes\": {},\n  \"segments\": {},\n  \
+         \"append_s\": {append_s:.3},\n  \"append_events_per_s\": {append_events_per_s:.0},\n  \
+         \"append_mb_per_s\": {append_mb_per_s:.2},\n  \"replay_s\": {replay_s:.3},\n  \
+         \"replay_events_per_s\": {replay_events_per_s:.0},\n  \"replay_identical\": true\n}}\n",
+        stats.records, stats.bytes, stats.segments,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+}

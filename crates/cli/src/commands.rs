@@ -32,6 +32,8 @@ pub enum CliError {
     Trace(TraceError),
     /// A daemon exchange failed (`dosn drive`).
     Daemon(String),
+    /// A store operation failed (`--store`, `dosn log`).
+    Store(String),
 }
 
 impl fmt::Display for CliError {
@@ -42,6 +44,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "cannot read dataset file: {e}"),
             CliError::Trace(e) => e.fmt(f),
             CliError::Daemon(msg) => write!(f, "{msg}"),
+            CliError::Store(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -86,6 +89,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         Some("predict") => predict(args, out),
         Some("daemon") => daemon_cmd(args, out),
         Some("drive") => drive_cmd(args, out),
+        Some("log") => log_cmd(args, out),
         Some(other) => Err(CliError::Usage(format!(
             "unknown command {other:?}; run `dosn help`"
         ))),
@@ -405,6 +409,9 @@ fn medium_suffix(dissemination: dosn_node::DisseminationMode) -> String {
 }
 
 fn system(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    if args.get("store").is_some() {
+        return system_store(args, out);
+    }
     let ds = dataset(args)?;
     let config = config(args)?;
     let budget = args.get_parsed("budget", 4usize)?;
@@ -424,6 +431,185 @@ fn system(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(out, "== {} x{budget}{medium} ==", policy.label())?;
         writeln!(out, "{report}\n")?;
     }
+    Ok(())
+}
+
+fn store_err(e: dosn_store::StoreError) -> CliError {
+    CliError::Store(e.to_string())
+}
+
+/// `system --store DIR`: the batch run with every consumed event
+/// streamed into a fresh append-only event log, so `dosn log replay`
+/// can reproduce the report from disk alone. The log header records the
+/// wire spec, which restricts this mode to a single policy over a
+/// synthetic dataset — the same restriction `drive` has.
+fn system_store(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use dosn_store::{log_exists, LogKind, LogWriter};
+    let dir = std::path::PathBuf::from(args.get("store").unwrap_or_default());
+    let policy_list = policies(args)?;
+    let [policy] = policy_list[..] else {
+        return Err(CliError::Usage(
+            "--store captures exactly one run; pass a single --policies value".to_string(),
+        ));
+    };
+    if log_exists(&dir) {
+        return Err(CliError::Store(format!(
+            "{} already holds a log; pass a fresh directory",
+            dir.display()
+        )));
+    }
+    let spec = drive_spec(args, policy)?;
+    let reads = args.get_parsed("reads", 0.1f64)?;
+    let ds = spec
+        .synthesize()
+        .map_err(|e| CliError::Store(format!("cannot realize spec: {e}")))?;
+    let mut writer = LogWriter::create(&dir, LogKind::Events, &dosn_daemon::encode_spec(&spec))
+        .map_err(store_err)?;
+    let report = dosn_node::SystemSim::new(&ds)
+        .model(spec.model)
+        .policy(spec.policy)
+        .replication_degree(spec.replication_degree as usize)
+        .reads_per_friend_day(reads)
+        .dissemination(spec.dissemination)
+        .run_with_sink(&spec.study_config(), &mut writer);
+    let stats = writer.finish().map_err(store_err)?;
+    let medium = medium_suffix(spec.dissemination);
+    writeln!(out, "== {} x{}{medium} ==", policy.label(), spec.replication_degree)?;
+    writeln!(out, "{report}")?;
+    writeln!(
+        out,
+        "store:                 {} events, {} bytes in {} segment(s) -> {}",
+        stats.records,
+        stats.bytes,
+        stats.segments,
+        dir.display()
+    )?;
+    Ok(())
+}
+
+/// `dosn log <verify|compact|replay> --store DIR` — offline inspection
+/// and maintenance of a store directory.
+fn log_cmd(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let dir = std::path::PathBuf::from(args.get("store").ok_or_else(|| {
+        CliError::Usage("log requires --store DIR".to_string())
+    })?);
+    match args.positional().get(1).map(String::as_str) {
+        Some("verify") => log_verify(&dir, out),
+        Some("compact") => log_compact(&dir, out),
+        Some("replay") => log_replay(&dir, out),
+        other => Err(CliError::Usage(format!(
+            "unknown log sub-command {other:?}; expected verify, compact or replay"
+        ))),
+    }
+}
+
+fn log_verify(dir: &std::path::Path, out: &mut dyn Write) -> Result<(), CliError> {
+    use dosn_store::{IndexFinding, TailState};
+    let report = dosn_store::verify(dir).map_err(store_err)?;
+    writeln!(out, "log:      {} ({})", dir.display(), report.kind)?;
+    writeln!(
+        out,
+        "records:  {} across {} chain(s) in {} segment(s)",
+        report.records, report.chains, report.segments
+    )?;
+    match report.tail {
+        TailState::Clean => writeln!(out, "tail:     clean ({} bytes)", report.clean_bytes)?,
+        TailState::Torn { valid_bytes, dropped_bytes } => writeln!(
+            out,
+            "tail:     torn — {valid_bytes} valid bytes, {dropped_bytes} unrecoverable \
+             (a writer crashed mid-frame; resume or compact to truncate)"
+        )?,
+    }
+    match &report.index {
+        IndexFinding::Matches => writeln!(out, "index:    matches the scan")?,
+        IndexFinding::Absent => writeln!(out, "index:    absent (log was not sealed)")?,
+        IndexFinding::Stale(why) => writeln!(out, "index:    stale — {why}")?,
+    }
+    Ok(())
+}
+
+fn log_compact(dir: &std::path::Path, out: &mut dyn Write) -> Result<(), CliError> {
+    let report = dosn_store::compact(dir).map_err(store_err)?;
+    writeln!(
+        out,
+        "compacted {}: {} records, {} -> {} bytes, {} -> {} segment(s)",
+        dir.display(),
+        report.records,
+        report.bytes_before,
+        report.bytes_after,
+        report.segments_before,
+        report.segments_after
+    )?;
+    if report.dropped_tail_bytes > 0 {
+        writeln!(out, "dropped a torn tail of {} bytes", report.dropped_tail_bytes)?;
+    }
+    Ok(())
+}
+
+/// Rebuilds the simulation recorded in a store directory and folds its
+/// report. An events log replays verbatim; a journal re-drives the
+/// recorded requests through the scheduler (the daemon's recovery path)
+/// and then drains the queue, reporting what a `Finish` at the log's
+/// end would have.
+fn log_replay(dir: &std::path::Path, out: &mut dyn Write) -> Result<(), CliError> {
+    use dosn_daemon::decode_spec;
+    use dosn_node::{
+        model_schedules, place_replicas, trace_span_days, EventQueue, InstantTransport,
+        NodeRuntime,
+    };
+    use dosn_store::{read_header, replay_into, scan_with, LogKind};
+    let (kind, meta) = read_header(dir).map_err(store_err)?;
+    let spec = decode_spec(&meta)
+        .map_err(|e| CliError::Store(format!("log header spec invalid: {e}")))?;
+    let ds = spec
+        .synthesize()
+        .map_err(|e| CliError::Store(format!("cannot realize logged spec: {e}")))?;
+    let config = spec.study_config();
+    let schedules = model_schedules(&ds, spec.model, &config);
+    let placements = place_replicas(
+        &ds,
+        &schedules,
+        spec.policy,
+        spec.replication_degree as usize,
+        &config,
+    );
+    let activities = ds.activities();
+    let transport = InstantTransport;
+    let mut runtime = NodeRuntime::new(
+        &schedules,
+        &placements,
+        activities,
+        &transport,
+        spec.dissemination,
+    );
+    let records = match kind {
+        LogKind::Events => replay_into(dir, &mut runtime).map_err(store_err)?.records,
+        LogKind::Journal => {
+            let span_days = trace_span_days(activities);
+            let mut queue = EventQueue::new().with_sessions(&schedules, 0..span_days);
+            let scanned = scan_with(dir, |_, rec| {
+                let ev = rec.scheduled();
+                while let Some(due) = queue.pop_before(&ev) {
+                    runtime.handle(due, &mut queue);
+                }
+                runtime.handle(ev, &mut queue);
+            })
+            .map_err(store_err)?;
+            while let Some(due) = queue.pop() {
+                runtime.handle(due, &mut queue);
+            }
+            scanned.records
+        }
+    };
+    let report = runtime.into_report();
+    let medium = medium_suffix(spec.dissemination);
+    writeln!(
+        out,
+        "== {} x{}{medium} (replayed {records} {kind} records) ==",
+        spec.policy.label(),
+        spec.replication_degree
+    )?;
+    writeln!(out, "{report}")?;
     Ok(())
 }
 
@@ -519,6 +705,9 @@ fn daemon_cmd(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(pidfile) = args.get("pidfile") {
         server_config.pidfile = Some(std::path::PathBuf::from(pidfile));
     }
+    if let Some(store) = args.get("store") {
+        server_config.store = Some(std::path::PathBuf::from(store));
+    }
     shutdown::install_signal_handlers();
     let server = Server::bind(&server_config)
         .map_err(|e| CliError::Daemon(format!("cannot bind {}: {e}", socket.display())))?;
@@ -528,6 +717,9 @@ fn daemon_cmd(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         socket.display(),
         std::process::id()
     )?;
+    if let Some(store) = &server_config.store {
+        writeln!(out, "dosn daemon: journaling sessions to {}", store.display())?;
+    }
     out.flush()?;
     let flag = ShutdownFlag::new();
     server
@@ -582,6 +774,29 @@ fn drive_cmd(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             "--bench-out records exactly one run; pass a single --policies value".to_string(),
         ));
     }
+    // `--max-requests N` sends a prefix and abandons the session without
+    // `Finish` — against a journaling daemon, a later full drive resumes
+    // from exactly where this one stopped.
+    if let Some(raw) = args.get("max-requests") {
+        let max: u64 = raw.parse().map_err(|_| {
+            CliError::Usage(format!("--max-requests {raw:?} is not a number"))
+        })?;
+        let [policy] = policy_list[..] else {
+            return Err(CliError::Usage(
+                "--max-requests drives exactly one run; pass a single --policies value"
+                    .to_string(),
+            ));
+        };
+        let spec = drive_spec(args, policy)?;
+        let position = dosn_daemon::drive_prefix(&socket, &spec, reads, max)
+            .map_err(|e| CliError::Daemon(e.to_string()))?;
+        writeln!(
+            out,
+            "sent through request {position}, then abandoned the session \
+             (resume with a full drive)"
+        )?;
+        return Ok(());
+    }
     for policy in policy_list {
         let spec = drive_spec(args, policy)?;
         let outcome = dosn_daemon::drive(&socket, &spec, reads)
@@ -594,6 +809,13 @@ fn drive_cmd(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             spec.replication_degree
         )?;
         writeln!(out, "{}", outcome.report)?;
+        if outcome.recovered > 0 {
+            writeln!(
+                out,
+                "recovered:             {} requests from the daemon's journal",
+                outcome.recovered
+            )?;
+        }
         writeln!(
             out,
             "requests:              {} in {:.2} s ({:.0} req/s)",
@@ -890,6 +1112,135 @@ mod tests {
         let text = daemon.join().expect("no panic").expect("daemon exits cleanly");
         assert!(text.contains("shut down cleanly"), "{text}");
         assert!(!socket.exists(), "socket removed");
+    }
+
+    /// A fresh per-test store directory under the system temp dir.
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dosn-cli-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn system_store_captures_and_log_replay_reproduces_the_report() {
+        let dir = temp_store("events");
+        let dir_s = dir.to_str().expect("utf-8 temp path").to_string();
+        let common = [
+            "--users", "150", "--seed", "7", "--budget", "2",
+            "--policies", "maxav", "--reads", "0.2",
+        ];
+        let mut capture_args = vec!["system", "--store", &dir_s];
+        capture_args.extend_from_slice(&common);
+        let captured = run_capture(&capture_args).expect("system --store succeeds");
+        assert!(captured.contains("store:"), "{captured}");
+        // The captured report matches a plain batch run...
+        let mut system_args = vec!["system"];
+        system_args.extend_from_slice(&common);
+        let batch = run_capture(&system_args).expect("system succeeds");
+        assert_eq!(report_lines(&captured), report_lines(&batch));
+        // ...verify sees a clean, sealed log...
+        let verified = run_capture(&["log", "verify", "--store", &dir_s]).unwrap();
+        assert!(verified.contains("tail:     clean"), "{verified}");
+        assert!(verified.contains("index:    matches the scan"), "{verified}");
+        // ...replaying it from disk reproduces the report...
+        let replayed = run_capture(&["log", "replay", "--store", &dir_s]).unwrap();
+        assert_eq!(report_lines(&replayed), report_lines(&batch));
+        // ...and so does replaying the compacted log.
+        let compacted = run_capture(&["log", "compact", "--store", &dir_s]).unwrap();
+        assert!(compacted.contains("compacted"), "{compacted}");
+        let after = run_capture(&["log", "replay", "--store", &dir_s]).unwrap();
+        assert_eq!(report_lines(&after), report_lines(&batch));
+        // A second capture into the same directory is refused.
+        let err = run_capture(&capture_args).unwrap_err();
+        assert!(err.to_string().contains("already holds a log"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn log_command_validates_its_arguments() {
+        let err = run_capture(&["log", "verify"]).unwrap_err();
+        assert!(err.to_string().contains("--store"), "{err}");
+        let err = run_capture(&["log", "defragment", "--store", "/tmp/x"]).unwrap_err();
+        assert!(err.to_string().contains("unknown log sub-command"), "{err}");
+        let dir = temp_store("missing");
+        let err =
+            run_capture(&["log", "verify", "--store", dir.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(err, CliError::Store(_)), "{err}");
+    }
+
+    #[test]
+    fn journaled_daemon_resumes_an_interrupted_drive() {
+        let dir = temp_store("journal");
+        let dir_s = dir.to_str().expect("utf-8 temp path").to_string();
+        let socket = std::env::temp_dir()
+            .join(format!("dosn-cli-journal-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let sock = socket.to_str().expect("utf-8 temp path").to_string();
+        let common = [
+            "--users", "150", "--seed", "7", "--budget", "2",
+            "--policies", "maxav", "--reads", "0.2",
+        ];
+        let start_daemon = |sock: &str, dir: &str| {
+            let sock = sock.to_string();
+            let dir = dir.to_string();
+            std::thread::spawn(move || {
+                run_capture(&["daemon", "--socket", &sock, "--store", &dir])
+            })
+        };
+        let wait_for_bind = |socket: &std::path::Path| {
+            for _ in 0..200 {
+                if socket.exists() {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            panic!("daemon did not bind its socket");
+        };
+        let shutdown = |socket: &std::path::Path| {
+            dosn_daemon::DaemonClient::connect(socket)
+                .expect("connect for shutdown")
+                .shutdown()
+                .expect("daemon acknowledges");
+        };
+        // Session 1: send a prefix, abandon without Finish, stop the daemon.
+        let daemon = start_daemon(&sock, &dir_s);
+        wait_for_bind(&socket);
+        let mut prefix_args = vec!["drive", "--socket", &sock, "--max-requests", "40"];
+        prefix_args.extend_from_slice(&common);
+        let partial = run_capture(&prefix_args).expect("prefix drive succeeds");
+        assert!(partial.contains("sent through request 40"), "{partial}");
+        shutdown(&socket);
+        daemon.join().expect("no panic").expect("daemon exits cleanly");
+        // Session 2: a fresh daemon on the same store resumes from the
+        // journal; the full drive skips the recovered prefix and its
+        // report matches the uninterrupted batch run.
+        let daemon = start_daemon(&sock, &dir_s);
+        wait_for_bind(&socket);
+        let mut drive_args = vec!["drive", "--socket", &sock];
+        drive_args.extend_from_slice(&common);
+        let live = run_capture(&drive_args).expect("resumed drive succeeds");
+        assert!(
+            live.contains("recovered:             40 requests"),
+            "{live}"
+        );
+        let mut system_args = vec!["system"];
+        system_args.extend_from_slice(&common);
+        let batch = run_capture(&system_args).expect("system succeeds");
+        assert_eq!(
+            report_lines(&live),
+            report_lines(&batch),
+            "resumed live run diverged from batch:\n--- live ---\n{live}\n--- batch ---\n{batch}"
+        );
+        shutdown(&socket);
+        daemon.join().expect("no panic").expect("daemon exits cleanly");
+        // The finished journal verifies clean and replays offline to the
+        // same report the batch run produced.
+        let verified = run_capture(&["log", "verify", "--store", &dir_s]).unwrap();
+        assert!(verified.contains("(journal)"), "{verified}");
+        assert!(verified.contains("tail:     clean"), "{verified}");
+        let replayed = run_capture(&["log", "replay", "--store", &dir_s]).unwrap();
+        assert_eq!(report_lines(&replayed), report_lines(&batch));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

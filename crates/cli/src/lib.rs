@@ -9,6 +9,9 @@
 //!   and print per-replica arrival times.
 //! * `dosn daemon` / `dosn drive` — serve the node runtime on a Unix
 //!   socket and replay the trace against it as live request traffic.
+//! * `dosn log` — verify, compact, or replay a persistent append-only
+//!   event log captured with `system --store` or journaled by
+//!   `daemon --store`.
 //!
 //! The library portion exists so the argument parsing and command logic
 //! are unit-testable; `main` is a thin wrapper.
@@ -38,6 +41,7 @@ COMMANDS:
     fairness      system-wide hosting-load distribution per policy
     daemon        serve the node runtime on a Unix-domain socket
     drive         replay the trace as live requests against a daemon
+    log           inspect a store directory (verify | compact | replay)
     help          show this message
 
 DATASET OPTIONS (all commands):
@@ -74,6 +78,15 @@ SERVING OPTIONS (daemon / drive):
     --socket PATH                Unix socket path [default: dosn-daemon.sock]
     --pidfile PATH               daemon: pid-file path [default: <socket>.pid]
     --bench-out FILE             drive: write a JSON bench record (one policy only)
+    --max-requests N             drive: send N requests, abandon the session (no Finish)
+
+STORE OPTIONS (persistent append-only event log):
+    --store DIR                  system: capture the run's event stream into DIR
+                                 daemon: journal sessions into DIR, recover on restart
+                                 log: the store directory to operate on
+    log verify --store DIR       scan a log: records, chains, tail and index state
+    log compact --store DIR      rewrite a log into fresh sealed segments
+    log replay --store DIR       rebuild the logged simulation and print its report
 
 PREDICT OPTIONS:
     --history-days D             train on days 0..D [default: half the trace]
@@ -87,7 +100,7 @@ mod tests {
     fn usage_mentions_every_command() {
         for cmd in [
             "stats", "sweep", "replay", "system", "fairness", "predict", "daemon", "drive",
-            "help",
+            "log", "help",
         ] {
             assert!(crate::USAGE.contains(cmd), "usage must mention {cmd}");
         }

@@ -14,6 +14,7 @@ use std::path::Path;
 
 use dosn_core::timing::Stopwatch;
 use dosn_node::{draw_profile_reads, model_schedules, trace_span_days, Event, ScheduledEvent, SystemReport};
+use dosn_trace::{Activity, Dataset};
 
 use crate::codec::{decode_response, encode_request, read_frame, write_frame, WireError};
 use crate::protocol::{Request, Response, SimSpec, PROTOCOL_VERSION};
@@ -162,6 +163,9 @@ impl LatencyStats {
 pub struct DriveOutcome {
     /// The daemon's folded report — byte-identical to the batch run's.
     pub report: SystemReport,
+    /// Requests the daemon had already applied from a recovered journal;
+    /// the driver skipped this prefix of its request stream.
+    pub recovered: u64,
     /// Post/read requests issued (excludes handshake and `Finish`).
     pub requests: u64,
     /// Post requests the daemon acknowledged as delivered.
@@ -190,83 +194,25 @@ pub fn drive(
     spec: &SimSpec,
     reads_per_friend_day: f64,
 ) -> Result<DriveOutcome, ClientError> {
-    let dataset = spec
-        .synthesize()
-        .map_err(|e| ClientError::Protocol(format!("cannot realize spec: {e}")))?;
-    let config = spec.study_config();
-    let schedules = model_schedules(&dataset, spec.model, &config);
+    let (dataset, stream) = request_stream(spec, reads_per_friend_day)?;
     let activities = dataset.activities();
-    let span_days = trace_span_days(activities);
-
-    // The batch scheduler's two static request streams, merged into one
-    // send order by the queue key. Sequence numbers ride along so the
-    // daemon reconstructs the identical total order.
-    let mut stream: Vec<ScheduledEvent> = activities
-        .iter()
-        .enumerate()
-        .map(|(i, a)| {
-            ScheduledEvent::new(
-                a.timestamp(),
-                i as u64,
-                Event::Post { activity: i.min(u32::MAX as usize) as u32 },
-            )
-        })
-        .collect();
-    stream.extend(draw_profile_reads(
-        &dataset,
-        &schedules,
-        span_days,
-        reads_per_friend_day.max(0.0),
-        &config,
-    ));
-    stream.sort_unstable();
 
     let mut client = DaemonClient::connect(socket)?;
-    match client.request(&Request::Open(*spec))? {
-        Response::Opened { users, posts, .. } => {
-            let local_users = dataset.user_count().min(u32::MAX as usize) as u32;
-            let local_posts = activities.len().min(u32::MAX as usize) as u32;
-            if users != local_users || posts != local_posts {
-                return Err(ClientError::Protocol(format!(
-                    "daemon synthesized {users} users/{posts} posts, driver has \
-                     {local_users}/{local_posts} — spec drift"
-                )));
-            }
-        }
-        other => return Err(unexpected("Opened", &other)),
-    }
+    let recovered = open_session(&mut client, spec, &dataset)?;
+    let Some(remainder) = stream.get(recovered as usize..) else {
+        return Err(ClientError::Protocol(format!(
+            "daemon recovered {recovered} requests from its journal, but the driver's \
+             stream holds only {} — spec or journal drift",
+            stream.len()
+        )));
+    };
 
-    let mut latencies: Vec<f64> = Vec::with_capacity(stream.len());
+    let mut latencies: Vec<f64> = Vec::with_capacity(remainder.len());
     let mut posts_delivered_live = 0u64;
     let mut reads_served_live = 0u64;
     let total = Stopwatch::start();
-    for ev in &stream {
-        let request = match ev.event {
-            Event::Post { activity } => {
-                let Some(&a) = activities.get(activity as usize) else {
-                    return Err(ClientError::Protocol(format!(
-                        "request stream names post {activity} outside the trace"
-                    )));
-                };
-                Request::Post {
-                    index: activity,
-                    creator: a.creator().as_u32(),
-                    receiver: a.receiver().as_u32(),
-                    at_secs: a.timestamp().as_secs(),
-                }
-            }
-            Event::ProfileRead { owner, reader } => Request::Read {
-                seq: ev.seq(),
-                owner: owner.as_u32(),
-                reader: reader.as_u32(),
-                at_secs: ev.at.as_secs(),
-            },
-            other => {
-                return Err(ClientError::Protocol(format!(
-                    "request stream holds a non-request event {other:?}"
-                )))
-            }
-        };
+    for ev in remainder {
+        let request = event_request(ev, activities)?;
         let rtt = Stopwatch::start();
         let response = client.request(&request)?;
         latencies.push(rtt.elapsed_secs());
@@ -286,6 +232,7 @@ pub fn drive(
     let req_per_s = if elapsed_secs > 0.0 { requests as f64 / elapsed_secs } else { 0.0 };
     Ok(DriveOutcome {
         report,
+        recovered,
         requests,
         posts_delivered_live,
         reads_served_live,
@@ -293,6 +240,138 @@ pub fn drive(
         req_per_s,
         latency: LatencyStats::from_latencies_secs(&mut latencies),
     })
+}
+
+/// Sends at most `max_requests` requests past any journal-recovered
+/// prefix, then drops the connection *without* `Finish` — an
+/// interrupted driver whose session a later [`drive`] resumes from the
+/// daemon's journal. Returns the stream position reached (recovered
+/// prefix plus requests sent), so callers know where the journal ends.
+///
+/// # Errors
+///
+/// Spec realization failures, connection/protocol failures, or any
+/// request the daemon refuses.
+pub fn drive_prefix(
+    socket: &Path,
+    spec: &SimSpec,
+    reads_per_friend_day: f64,
+    max_requests: u64,
+) -> Result<u64, ClientError> {
+    let (dataset, stream) = request_stream(spec, reads_per_friend_day)?;
+    let activities = dataset.activities();
+
+    let mut client = DaemonClient::connect(socket)?;
+    let recovered = open_session(&mut client, spec, &dataset)?;
+    let Some(remainder) = stream.get(recovered as usize..) else {
+        return Err(ClientError::Protocol(format!(
+            "daemon recovered {recovered} requests from its journal, but the driver's \
+             stream holds only {} — spec or journal drift",
+            stream.len()
+        )));
+    };
+
+    let mut sent = 0u64;
+    for ev in remainder.iter().take(max_requests.min(usize::MAX as u64) as usize) {
+        let request = event_request(ev, activities)?;
+        match client.request(&request)? {
+            Response::PostAck { .. } | Response::ReadAck { .. } => sent += 1,
+            other => return Err(unexpected("PostAck/ReadAck", &other)),
+        }
+    }
+    // Dropping the client here abandons the session mid-stream; with a
+    // journaling daemon, everything acknowledged above is durable.
+    Ok(recovered + sent)
+}
+
+/// Rebuilds the driver-side view of `spec`: the dataset plus the batch
+/// scheduler's two static request streams, merged into one send order
+/// by the queue key. Sequence numbers ride along so the daemon
+/// reconstructs the identical total order.
+fn request_stream(
+    spec: &SimSpec,
+    reads_per_friend_day: f64,
+) -> Result<(Dataset, Vec<ScheduledEvent>), ClientError> {
+    let dataset = spec
+        .synthesize()
+        .map_err(|e| ClientError::Protocol(format!("cannot realize spec: {e}")))?;
+    let config = spec.study_config();
+    let schedules = model_schedules(&dataset, spec.model, &config);
+    let span_days = trace_span_days(dataset.activities());
+
+    let mut stream: Vec<ScheduledEvent> = dataset
+        .activities()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            ScheduledEvent::new(
+                a.timestamp(),
+                i as u64,
+                Event::Post { activity: i.min(u32::MAX as usize) as u32 },
+            )
+        })
+        .collect();
+    stream.extend(draw_profile_reads(
+        &dataset,
+        &schedules,
+        span_days,
+        reads_per_friend_day.max(0.0),
+        &config,
+    ));
+    stream.sort_unstable();
+    Ok((dataset, stream))
+}
+
+/// Opens the session, cross-checks the daemon's synthesized trace
+/// against the driver's, and returns how many requests the daemon
+/// already recovered from its journal.
+fn open_session(
+    client: &mut DaemonClient,
+    spec: &SimSpec,
+    dataset: &Dataset,
+) -> Result<u64, ClientError> {
+    match client.request(&Request::Open(*spec))? {
+        Response::Opened { users, posts, recovered, .. } => {
+            let local_users = dataset.user_count().min(u32::MAX as usize) as u32;
+            let local_posts = dataset.activities().len().min(u32::MAX as usize) as u32;
+            if users != local_users || posts != local_posts {
+                return Err(ClientError::Protocol(format!(
+                    "daemon synthesized {users} users/{posts} posts, driver has \
+                     {local_users}/{local_posts} — spec drift"
+                )));
+            }
+            Ok(recovered)
+        }
+        other => Err(unexpected("Opened", &other)),
+    }
+}
+
+/// Translates one stream entry into its wire request.
+fn event_request(ev: &ScheduledEvent, activities: &[Activity]) -> Result<Request, ClientError> {
+    match ev.event {
+        Event::Post { activity } => {
+            let Some(&a) = activities.get(activity as usize) else {
+                return Err(ClientError::Protocol(format!(
+                    "request stream names post {activity} outside the trace"
+                )));
+            };
+            Ok(Request::Post {
+                index: activity,
+                creator: a.creator().as_u32(),
+                receiver: a.receiver().as_u32(),
+                at_secs: a.timestamp().as_secs(),
+            })
+        }
+        Event::ProfileRead { owner, reader } => Ok(Request::Read {
+            seq: ev.seq(),
+            owner: owner.as_u32(),
+            reader: reader.as_u32(),
+            at_secs: ev.at.as_secs(),
+        }),
+        other => Err(ClientError::Protocol(format!(
+            "request stream holds a non-request event {other:?}"
+        ))),
+    }
 }
 
 #[cfg(test)]

@@ -250,6 +250,90 @@ fn dec_summary(d: &mut Dec<'_>) -> Result<SummaryParts, WireError> {
 }
 
 // ---------------------------------------------------------------------
+// SimSpec body (shared by the Open frame and the journal log header)
+
+fn enc_spec(e: &mut Enc, spec: &SimSpec) {
+    e.u8(match spec.family {
+        DatasetFamily::Facebook => 0,
+        DatasetFamily::Twitter => 1,
+    });
+    e.u32(spec.users);
+    e.u64(spec.dataset_seed);
+    e.u64(spec.config_seed);
+    enc_model(e, spec.model);
+    enc_policy(e, spec.policy);
+    e.u32(spec.replication_degree);
+    e.bool(spec.unconrep);
+    match spec.dissemination {
+        DisseminationMode::FriendToFriend => {
+            e.u8(0);
+            e.u64(0);
+        }
+        DisseminationMode::Cloud { latency_secs } => {
+            e.u8(1);
+            e.u64(latency_secs);
+        }
+    }
+}
+
+fn dec_spec(d: &mut Dec<'_>) -> Result<SimSpec, WireError> {
+    let family = match d.u8()? {
+        0 => DatasetFamily::Facebook,
+        1 => DatasetFamily::Twitter,
+        _ => return Err(WireError::BadValue { field: "family" }),
+    };
+    let users = d.u32()?;
+    let dataset_seed = d.u64()?;
+    let config_seed = d.u64()?;
+    let model = dec_model(d)?;
+    let policy = dec_policy(d)?;
+    let replication_degree = d.u32()?;
+    let unconrep = d.bool("unconrep")?;
+    let dissemination = match d.u8()? {
+        0 => {
+            let _reserved = d.u64()?;
+            DisseminationMode::FriendToFriend
+        }
+        1 => DisseminationMode::Cloud { latency_secs: d.u64()? },
+        _ => return Err(WireError::BadValue { field: "dissemination" }),
+    };
+    Ok(SimSpec {
+        family,
+        users,
+        dataset_seed,
+        config_seed,
+        model,
+        policy,
+        replication_degree,
+        unconrep,
+        dissemination,
+    })
+}
+
+/// Encodes a spec standalone — the form a journal log's header metadata
+/// stores, so a restarted daemon can check the recovered journal
+/// belongs to the session being opened.
+pub fn encode_spec(spec: &SimSpec) -> Vec<u8> {
+    // Reuse the Open frame's field layout, minus its frame tag.
+    let mut e = Enc { buf: Vec::new() };
+    enc_spec(&mut e, spec);
+    e.buf
+}
+
+/// Decodes a standalone spec (see [`encode_spec`]).
+///
+/// # Errors
+///
+/// Any [`WireError`]: the payload must parse completely with no bytes
+/// to spare.
+pub fn decode_spec(payload: &[u8]) -> Result<SimSpec, WireError> {
+    let mut d = Dec { buf: payload };
+    let spec = dec_spec(&mut d)?;
+    d.finish()?;
+    Ok(spec)
+}
+
+// ---------------------------------------------------------------------
 // Frame payloads
 
 /// Encodes one request as a frame payload (no length prefix).
@@ -262,27 +346,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Open(spec) => {
             let mut e = Enc::new(1);
-            e.u8(match spec.family {
-                DatasetFamily::Facebook => 0,
-                DatasetFamily::Twitter => 1,
-            });
-            e.u32(spec.users);
-            e.u64(spec.dataset_seed);
-            e.u64(spec.config_seed);
-            enc_model(&mut e, spec.model);
-            enc_policy(&mut e, spec.policy);
-            e.u32(spec.replication_degree);
-            e.bool(spec.unconrep);
-            match spec.dissemination {
-                DisseminationMode::FriendToFriend => {
-                    e.u8(0);
-                    e.u64(0);
-                }
-                DisseminationMode::Cloud { latency_secs } => {
-                    e.u8(1);
-                    e.u64(latency_secs);
-                }
-            }
+            enc_spec(&mut e, spec);
             e.buf
         }
         Request::Post { index, creator, receiver, at_secs } => {
@@ -317,39 +381,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
     let mut d = Dec { buf: payload };
     let req = match d.u8()? {
         0 => Request::Hello { version: d.u32()? },
-        1 => {
-            let family = match d.u8()? {
-                0 => DatasetFamily::Facebook,
-                1 => DatasetFamily::Twitter,
-                _ => return Err(WireError::BadValue { field: "family" }),
-            };
-            let users = d.u32()?;
-            let dataset_seed = d.u64()?;
-            let config_seed = d.u64()?;
-            let model = dec_model(&mut d)?;
-            let policy = dec_policy(&mut d)?;
-            let replication_degree = d.u32()?;
-            let unconrep = d.bool("unconrep")?;
-            let dissemination = match d.u8()? {
-                0 => {
-                    let _reserved = d.u64()?;
-                    DisseminationMode::FriendToFriend
-                }
-                1 => DisseminationMode::Cloud { latency_secs: d.u64()? },
-                _ => return Err(WireError::BadValue { field: "dissemination" }),
-            };
-            Request::Open(SimSpec {
-                family,
-                users,
-                dataset_seed,
-                config_seed,
-                model,
-                policy,
-                replication_degree,
-                unconrep,
-                dissemination,
-            })
-        }
+        1 => Request::Open(dec_spec(&mut d)?),
         2 => Request::Post {
             index: d.u32()?,
             creator: d.u32()?,
@@ -379,11 +411,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             e.u32(*version);
             e.buf
         }
-        Response::Opened { users, span_days, posts } => {
+        Response::Opened { users, span_days, posts, recovered } => {
             let mut e = Enc::new(1);
             e.u32(*users);
             e.u64(*span_days);
             e.u32(*posts);
+            e.u64(*recovered);
             e.buf
         }
         Response::PostAck { delivered } => {
@@ -432,6 +465,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             users: d.u32()?,
             span_days: d.u64()?,
             posts: d.u32()?,
+            recovered: d.u64()?,
         },
         2 => Response::PostAck { delivered: d.bool("delivered")? },
         3 => Response::ReadAck { served: d.bool("served")? },
@@ -560,7 +594,8 @@ mod tests {
         let summary = SummaryParts { count: 3, sum: 4.5, sum_sq: 8.25, min: 0.5, max: 2.5 };
         vec![
             Response::Welcome { version: PROTOCOL_VERSION },
-            Response::Opened { users: 1_000, span_days: 28, posts: 44_000 },
+            Response::Opened { users: 1_000, span_days: 28, posts: 44_000, recovered: 0 },
+            Response::Opened { users: 1_000, span_days: 28, posts: 44_000, recovered: 512 },
             Response::PostAck { delivered: true },
             Response::PostAck { delivered: false },
             Response::ReadAck { served: true },
@@ -596,6 +631,19 @@ mod tests {
             let bytes = encode_response(&resp);
             assert_eq!(decode_response(&bytes).expect("roundtrip"), resp, "{resp:?}");
         }
+    }
+
+    #[test]
+    fn standalone_specs_roundtrip_and_reject_damage() {
+        let spec = sample_spec();
+        let bytes = encode_spec(&spec);
+        assert_eq!(decode_spec(&bytes).expect("roundtrip"), spec);
+        for cut in 0..bytes.len() {
+            assert!(decode_spec(&bytes[..cut]).is_err(), "spec decoded from {cut} bytes");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(decode_spec(&trailing), Err(WireError::TrailingBytes { extra: 1 }));
     }
 
     #[test]

@@ -29,6 +29,12 @@
 //! only feeds the same [`dosn_node::EventQueue`] the batch facade uses,
 //! one request at a time, via
 //! [`EventQueue::pop_before`](dosn_node::EventQueue::pop_before).
+//!
+//! With a store directory configured ([`ServerConfig::store`]), each
+//! opened session journals its validated requests write-ahead into a
+//! `dosn-store` append-only log and recovers an interrupted session
+//! from that journal on the next open — [`Response::Opened`] tells the
+//! driver how many requests to skip.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -40,7 +46,8 @@ pub mod server;
 pub mod session;
 pub mod shutdown;
 
-pub use client::{drive, ClientError, DaemonClient, DriveOutcome, LatencyStats};
+pub use client::{drive, drive_prefix, ClientError, DaemonClient, DriveOutcome, LatencyStats};
+pub use codec::{decode_spec, encode_spec};
 pub use protocol::{DatasetFamily, Request, Response, SimSpec, PROTOCOL_VERSION};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, StoreClaim, StoreGate};
 pub use shutdown::ShutdownFlag;

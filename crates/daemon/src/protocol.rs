@@ -25,7 +25,9 @@ use dosn_replication::Connectivity;
 use dosn_trace::{synth, Dataset, TraceError};
 
 /// Protocol revision; a `Hello` with any other version is refused.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added the `recovered` count to [`Response::Opened`] (the
+/// journal-recovery handshake).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Which synthetic dataset family a session replays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,6 +228,10 @@ pub enum Response {
         span_days: u64,
         /// Activities in the trace.
         posts: u32,
+        /// Requests already applied from a recovered journal (zero for
+        /// a fresh session). The driver must skip this many entries of
+        /// its request stream before sending the remainder.
+        recovered: u64,
     },
     /// Post accepted.
     PostAck {

@@ -11,6 +11,8 @@
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -28,14 +30,68 @@ pub struct ServerConfig {
     /// Pid-file path; `None` skips the pid file (in-process servers,
     /// e.g. the benchmark harness).
     pub pidfile: Option<PathBuf>,
+    /// Journal directory: sessions journal validated requests here and
+    /// recover from the journal on restart. `None` serves in-memory
+    /// only.
+    pub store: Option<PathBuf>,
 }
 
 impl ServerConfig {
-    /// A config serving on `socket` with a `<socket>.pid` pid file.
+    /// A config serving on `socket` with a `<socket>.pid` pid file and
+    /// no journal.
     pub fn at(socket: impl Into<PathBuf>) -> Self {
         let socket = socket.into();
         let pidfile = Some(socket.with_extension("pid"));
-        ServerConfig { socket, pidfile }
+        ServerConfig { socket, pidfile, store: None }
+    }
+}
+
+/// The daemon's one journal directory, claimed by at most one session
+/// at a time — two sessions appending to the same segment files would
+/// interleave their frames into garbage.
+#[derive(Debug)]
+pub struct StoreGate {
+    dir: PathBuf,
+    busy: AtomicBool,
+}
+
+impl StoreGate {
+    fn new(dir: PathBuf) -> Self {
+        StoreGate { dir, busy: AtomicBool::new(false) }
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Claims exclusive use of the journal; `None` while another
+    /// session holds it.
+    pub fn claim(self: &Arc<Self>) -> Option<StoreClaim> {
+        self.busy
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .ok()
+            .map(|_| StoreClaim { gate: Arc::clone(self) })
+    }
+}
+
+/// RAII guard for a claimed [`StoreGate`]; dropping it releases the
+/// journal for the next session.
+#[derive(Debug)]
+pub struct StoreClaim {
+    gate: Arc<StoreGate>,
+}
+
+impl StoreClaim {
+    /// The journal directory this claim covers.
+    pub fn dir(&self) -> &Path {
+        self.gate.dir()
+    }
+}
+
+impl Drop for StoreClaim {
+    fn drop(&mut self) {
+        self.gate.busy.store(false, Ordering::Release);
     }
 }
 
@@ -44,6 +100,7 @@ impl ServerConfig {
 pub struct Server {
     listener: UnixListener,
     socket: PathBuf,
+    store: Option<Arc<StoreGate>>,
     _pidfile: Option<PidFile>,
 }
 
@@ -56,7 +113,9 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind/write failures.
+    /// Propagates bind/write failures. A failure after the socket is
+    /// bound unlinks the socket file again, so no early exit strands a
+    /// stale socket or pid file for the next start to trip over.
     pub fn bind(config: &ServerConfig) -> io::Result<Server> {
         if config.socket.exists() {
             if UnixStream::connect(&config.socket).is_ok() {
@@ -68,13 +127,23 @@ impl Server {
             std::fs::remove_file(&config.socket)?;
         }
         let listener = UnixListener::bind(&config.socket)?;
+        // From here on every early exit must unlink the socket file:
+        // dropping the listener does not remove it, and a stranded file
+        // would make the next bind think a daemon crashed.
         let pidfile = match &config.pidfile {
-            Some(path) => Some(PidFile::create(path)?),
+            Some(path) => match PidFile::create(path) {
+                Ok(pidfile) => Some(pidfile),
+                Err(e) => {
+                    let _ = std::fs::remove_file(&config.socket);
+                    return Err(e);
+                }
+            },
             None => None,
         };
         Ok(Server {
             listener,
             socket: config.socket.clone(),
+            store: config.store.clone().map(|dir| Arc::new(StoreGate::new(dir))),
             _pidfile: pidfile,
         })
     }
@@ -90,8 +159,17 @@ impl Server {
     /// # Errors
     ///
     /// Propagates unexpected accept errors; per-session I/O errors only
-    /// end that session.
+    /// end that session. The socket file is removed on every exit path,
+    /// clean or not.
     pub fn run(self, flag: &ShutdownFlag) -> io::Result<()> {
+        let result = self.accept_loop(flag);
+        // Unconditional cleanup: errors above must not strand the
+        // socket file (the pid file is removed by PidFile's drop).
+        let _ = std::fs::remove_file(&self.socket);
+        result
+    }
+
+    fn accept_loop(&self, flag: &ShutdownFlag) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let mut sessions: Vec<JoinHandle<()>> = Vec::new();
         while !flag.is_set() {
@@ -99,8 +177,11 @@ impl Server {
                 Ok((stream, _addr)) => {
                     stream.set_nonblocking(false)?;
                     let session_flag = flag.clone();
+                    let session_store = self.store.clone();
                     sessions.push(std::thread::spawn(move || {
-                        if let Err(e) = session::serve(stream, &session_flag) {
+                        if let Err(e) =
+                            session::serve(stream, &session_flag, session_store.as_ref())
+                        {
                             eprintln!("dosn-daemon: session ended with error: {e}");
                         }
                     }));
@@ -109,10 +190,7 @@ impl Server {
                     std::thread::sleep(ACCEPT_POLL);
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => {
-                    let _ = std::fs::remove_file(&self.socket);
-                    return Err(e);
-                }
+                Err(e) => return Err(e),
             }
             // Reap finished sessions so a long-lived daemon's handle
             // list stays bounded by its live connections.
@@ -121,7 +199,6 @@ impl Server {
         for handle in sessions {
             let _ = handle.join();
         }
-        std::fs::remove_file(&self.socket)?;
         Ok(())
     }
 }
@@ -141,7 +218,7 @@ mod tests {
         // A stale socket file with no listener behind it.
         drop(UnixListener::bind(&path).expect("fresh bind"));
         assert!(path.exists(), "closing the listener leaves the file");
-        let config = ServerConfig { socket: path.clone(), pidfile: None };
+        let config = ServerConfig { socket: path.clone(), pidfile: None, store: None };
         let server = Server::bind(&config).expect("stale socket is reclaimed");
         // While this server is live, a second bind must refuse.
         let err = Server::bind(&config).expect_err("live socket refuses rebinding");
@@ -155,7 +232,8 @@ mod tests {
         let path = temp_socket("flagged");
         let _ = std::fs::remove_file(&path);
         let pid = path.with_extension("pid");
-        let config = ServerConfig { socket: path.clone(), pidfile: Some(pid.clone()) };
+        let config =
+            ServerConfig { socket: path.clone(), pidfile: Some(pid.clone()), store: None };
         let server = Server::bind(&config).expect("bind succeeds");
         assert!(pid.exists(), "pid file written on bind");
         let flag = ShutdownFlag::new();
@@ -167,5 +245,38 @@ mod tests {
         handle.join().expect("no panic").expect("clean shutdown");
         assert!(!path.exists(), "socket removed on shutdown");
         assert!(!pid.exists(), "pid file removed on shutdown");
+    }
+
+    #[test]
+    fn failed_bind_does_not_strand_the_socket_file() {
+        let path = temp_socket("strand");
+        let _ = std::fs::remove_file(&path);
+        // A pid file inside a directory that does not exist makes
+        // PidFile::create fail *after* the socket is bound.
+        let bad_pid = std::env::temp_dir()
+            .join(format!("dosn-no-such-dir-{}", std::process::id()))
+            .join("daemon.pid");
+        let config =
+            ServerConfig { socket: path.clone(), pidfile: Some(bad_pid), store: None };
+        Server::bind(&config).expect_err("pid file creation must fail");
+        assert!(
+            !path.exists(),
+            "socket file must be cleaned up when bind fails after the socket was created"
+        );
+        // And the path is immediately reusable.
+        let retry = ServerConfig { socket: path.clone(), pidfile: None, store: None };
+        let server = Server::bind(&retry).expect("rebind after failed bind");
+        drop(server);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn store_gate_admits_one_claim_at_a_time() {
+        let gate = Arc::new(StoreGate::new(PathBuf::from("/tmp/dosn-gate-test")));
+        let first = gate.claim().expect("first claim");
+        assert!(gate.claim().is_none(), "journal is exclusive");
+        assert_eq!(first.dir(), Path::new("/tmp/dosn-gate-test"));
+        drop(first);
+        assert!(gate.claim().is_some(), "released claim is reusable");
     }
 }

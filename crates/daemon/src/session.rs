@@ -17,6 +17,8 @@
 
 use std::io::{self, Read};
 use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 use dosn_interval::Timestamp;
@@ -25,9 +27,14 @@ use dosn_node::{
     NodeRuntime, ScheduledEvent,
 };
 use dosn_socialgraph::UserId;
+use dosn_store::{log_exists, read_header, scan_with, LogKind, LogWriter};
 
-use crate::codec::{decode_request, encode_response, write_frame, MAX_FRAME_BYTES, WireError};
+use crate::codec::{
+    decode_request, decode_spec, encode_response, encode_spec, write_frame, MAX_FRAME_BYTES,
+    WireError,
+};
 use crate::protocol::{ReportParts, Request, Response, SimSpec, PROTOCOL_VERSION};
+use crate::server::StoreGate;
 use crate::shutdown::ShutdownFlag;
 
 /// How long a blocking read waits before the session re-checks the
@@ -47,11 +54,20 @@ enum Incoming {
 
 /// Serves one connection until EOF, shutdown, or a fatal I/O error.
 ///
+/// With `store` set, each opened simulation journals its validated
+/// requests into the store directory (write-ahead) and recovers from an
+/// existing journal on open; only one session may hold the journal at a
+/// time.
+///
 /// # Errors
 ///
 /// Propagates I/O errors on the stream; protocol violations are
 /// answered with [`Response::Error`] frames instead of erroring out.
-pub fn serve(mut stream: UnixStream, flag: &ShutdownFlag) -> io::Result<()> {
+pub fn serve(
+    mut stream: UnixStream,
+    flag: &ShutdownFlag,
+    store: Option<&Arc<StoreGate>>,
+) -> io::Result<()> {
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     // Handshake: the first frame must be a compatible Hello.
     match next_request(&mut stream, flag)? {
@@ -83,7 +99,7 @@ pub fn serve(mut stream: UnixStream, flag: &ShutdownFlag) -> io::Result<()> {
                 return Ok(());
             }
             Incoming::Frame(Request::Open(spec)) => {
-                if !run_simulation(&mut stream, flag, &spec)? {
+                if !run_simulation(&mut stream, flag, &spec, store)? {
                     return Ok(());
                 }
             }
@@ -94,12 +110,59 @@ pub fn serve(mut stream: UnixStream, flag: &ShutdownFlag) -> io::Result<()> {
     }
 }
 
+/// Opens (or recovers) the journal for one simulation session.
+///
+/// An existing log must be a journal whose header metadata decodes to
+/// exactly the spec being opened; its records are then re-driven
+/// through the event queue — the same `pop_before` interleaving the
+/// live path uses — so the runtime resumes in precisely the state it
+/// had when the previous daemon stopped. Any torn tail frame left by a
+/// crash is truncated before the re-drive.
+///
+/// Returns the appendable writer and how many requests were recovered;
+/// a refusal reason otherwise.
+fn open_journal(
+    dir: &Path,
+    spec: &SimSpec,
+    queue: &mut EventQueue<'_>,
+    runtime: &mut NodeRuntime<'_>,
+) -> Result<(LogWriter, u64), String> {
+    if !log_exists(dir) {
+        let writer = LogWriter::create(dir, LogKind::Journal, &encode_spec(spec))
+            .map_err(|e| format!("cannot create journal: {e}"))?;
+        return Ok((writer, 0));
+    }
+    let (kind, meta) = read_header(dir).map_err(|e| format!("journal unreadable: {e}"))?;
+    if kind != LogKind::Journal {
+        return Err(format!("{} holds an {kind} log, not a journal", dir.display()));
+    }
+    let logged = decode_spec(&meta).map_err(|e| format!("journal header spec invalid: {e}"))?;
+    if logged != *spec {
+        return Err("journal records a different simulation spec; \
+                    refusing to mix sessions"
+            .to_string());
+    }
+    // Truncate any torn tail, then re-drive the surviving records.
+    let (writer, _) =
+        LogWriter::resume(dir).map_err(|e| format!("journal recovery failed: {e}"))?;
+    let scanned = scan_with(dir, |_, rec| {
+        let ev = rec.scheduled();
+        while let Some(due) = queue.pop_before(&ev) {
+            runtime.handle(due, queue);
+        }
+        runtime.handle(ev, queue);
+    })
+    .map_err(|e| format!("journal replay failed: {e}"))?;
+    Ok((writer, scanned.records))
+}
+
 /// Runs one opened simulation to its `Finish` (or EOF/shutdown).
 /// Returns whether the connection should keep serving.
 fn run_simulation(
     stream: &mut UnixStream,
     flag: &ShutdownFlag,
     spec: &SimSpec,
+    store: Option<&Arc<StoreGate>>,
 ) -> io::Result<bool> {
     let dataset = match spec.synthesize() {
         Ok(ds) => ds,
@@ -128,10 +191,37 @@ fn run_simulation(
         &transport,
         spec.dissemination,
     );
+    // Claim and open the journal (recovering an interrupted session)
+    // before Opened, so the driver learns how many requests to skip.
+    // `_journal_claim` holds the store gate for the whole session; its
+    // drop (on every exit path) releases the journal for the next open.
+    let mut _journal_claim = None;
+    let mut journal: Option<LogWriter> = None;
+    let mut recovered = 0u64;
+    if let Some(gate) = store {
+        let Some(held) = gate.claim() else {
+            respond(stream, &Response::Error {
+                message: "the journal is held by another session".to_string(),
+            })?;
+            return Ok(true);
+        };
+        match open_journal(held.dir(), spec, &mut queue, &mut runtime) {
+            Ok((writer, n)) => {
+                journal = Some(writer);
+                recovered = n;
+                _journal_claim = Some(held);
+            }
+            Err(message) => {
+                respond(stream, &Response::Error { message })?;
+                return Ok(true);
+            }
+        }
+    }
     respond(stream, &Response::Opened {
         users: dataset.user_count().min(u32::MAX as usize) as u32,
         span_days,
         posts: activities.len().min(u32::MAX as usize) as u32,
+        recovered,
     })?;
 
     loop {
@@ -167,6 +257,17 @@ fn run_simulation(
                     u64::from(index),
                     Event::Post { activity: index },
                 );
+                // Write-ahead: the request reaches the journal (flushed)
+                // before any of its effects reach the runtime, so a
+                // crash at any point is recoverable.
+                if let Some(j) = journal.as_mut() {
+                    if let Err(e) = j.append(&ev, UserId::new(receiver)) {
+                        respond(stream, &Response::Error {
+                            message: format!("journal append failed: {e}"),
+                        })?;
+                        continue;
+                    }
+                }
                 while let Some(due) = queue.pop_before(&ev) {
                     runtime.handle(due, &mut queue);
                 }
@@ -193,6 +294,14 @@ fn run_simulation(
                     seq,
                     Event::ProfileRead { owner, reader: UserId::new(reader) },
                 );
+                if let Some(j) = journal.as_mut() {
+                    if let Err(e) = j.append(&ev, owner) {
+                        respond(stream, &Response::Error {
+                            message: format!("journal append failed: {e}"),
+                        })?;
+                        continue;
+                    }
+                }
                 while let Some(due) = queue.pop_before(&ev) {
                     runtime.handle(due, &mut queue);
                 }
@@ -204,6 +313,17 @@ fn run_simulation(
                 respond(stream, &Response::ReadAck { served })?;
             }
             Incoming::Frame(Request::Finish) => {
+                // Seal the journal (final sync + index) before folding
+                // the report: a durability failure must surface, not
+                // vanish behind a successful-looking report.
+                if let Some(j) = journal.take() {
+                    if let Err(e) = j.finish() {
+                        respond(stream, &Response::Error {
+                            message: format!("journal finish failed: {e}"),
+                        })?;
+                        return Ok(true);
+                    }
+                }
                 while let Some(due) = queue.pop() {
                     runtime.handle(due, &mut queue);
                 }

@@ -20,7 +20,7 @@ fn start_daemon(
 ) -> (PathBuf, ShutdownFlag, std::thread::JoinHandle<std::io::Result<()>>) {
     let socket = temp_socket(tag);
     let _ = std::fs::remove_file(&socket);
-    let config = ServerConfig { socket: socket.clone(), pidfile: None };
+    let config = ServerConfig { socket: socket.clone(), pidfile: None, store: None };
     let server = Server::bind(&config).expect("bind test socket");
     let flag = ShutdownFlag::new();
     let run_flag = flag.clone();

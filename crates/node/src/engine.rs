@@ -26,6 +26,38 @@ pub enum DisseminationMode {
     },
 }
 
+/// An observer the full-system run streams every consumed event into,
+/// in exact pop order — the hook a persistent event log attaches to
+/// (DESIGN.md §11).
+///
+/// `record` is deliberately infallible: a sink that can fail (a disk
+/// writer, say) latches its first error internally and surfaces it when
+/// the caller finalizes the sink, so the deterministic event loop never
+/// grows an error path.
+pub trait EventSink {
+    /// Observes one event immediately before the runtime applies it.
+    /// `chain` identifies the user whose per-user chain the event
+    /// belongs to: the session user, the profile owner of a post or
+    /// read, or the receiving host of a delivery event.
+    fn record(&mut self, ev: &ScheduledEvent, chain: UserId);
+}
+
+/// The per-user chain an event belongs to (see [`EventSink::record`]).
+/// A post's chain is its receiver, looked up in the compiled trace; an
+/// out-of-range activity index (which the runtime ignores) maps to the
+/// saturated user id rather than panicking.
+fn event_chain(ev: &ScheduledEvent, activities: &[Activity]) -> UserId {
+    match ev.event {
+        Event::SessionStart { user } | Event::SessionEnd { user } => user,
+        Event::Post { activity } => activities
+            .get(activity as usize)
+            .map(|a| a.receiver())
+            .unwrap_or(UserId::new(u32::MAX)),
+        Event::ProfileRead { owner, .. } => owner,
+        Event::Disseminate { host, .. } | Event::CloudFetch { host, .. } => host,
+    }
+}
+
 /// Event-loop counters of one full-system run, for throughput reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunStats {
@@ -169,6 +201,26 @@ impl<'a> SystemSim<'a> {
     ///
     /// Panics if the view does not retain the full activity stream.
     pub fn run_with_stats(&self, config: &StudyConfig) -> (SystemReport, RunStats) {
+        self.run_impl(config, None)
+    }
+
+    /// Runs the simulation while streaming every consumed event into
+    /// `sink`, in exact pop order. The report is byte-identical to
+    /// [`SystemSim::run`]'s — the sink observes the stream, it never
+    /// perturbs it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view does not retain the full activity stream.
+    pub fn run_with_sink(&self, config: &StudyConfig, sink: &mut dyn EventSink) -> SystemReport {
+        self.run_impl(config, Some(sink)).0
+    }
+
+    fn run_impl(
+        &self,
+        config: &StudyConfig,
+        mut sink: Option<&mut dyn EventSink>,
+    ) -> (SystemReport, RunStats) {
         let view = self.view;
         // Stage 1: model everyone's online schedule.
         let schedules = model_schedules(view, self.model, config);
@@ -205,6 +257,9 @@ impl<'a> SystemSim<'a> {
             self.dissemination,
         );
         while let Some(ev) = queue.pop() {
+            if let Some(s) = sink.as_deref_mut() {
+                s.record(&ev, event_chain(&ev, &activities));
+            }
             runtime.handle(ev, &mut queue);
         }
         let stats = runtime.stats();
@@ -498,6 +553,27 @@ mod tests {
         assert_eq!(
             stats.events_processed,
             stats.session_events + stats.post_events + stats.read_events + stats.delivery_events
+        );
+    }
+
+    #[test]
+    fn sink_observes_the_exact_pop_order_without_perturbing_the_run() {
+        struct Collect(Vec<(u64, u64, UserId)>);
+        impl EventSink for Collect {
+            fn record(&mut self, ev: &ScheduledEvent, chain: UserId) {
+                self.0.push((ev.at.as_secs(), ev.seq(), chain));
+            }
+        }
+        let ds = dataset();
+        let config = StudyConfig::default();
+        let (baseline, stats) = SystemSim::new(&ds).run_with_stats(&config);
+        let mut sink = Collect(Vec::new());
+        let report = SystemSim::new(&ds).run_with_sink(&config, &mut sink);
+        assert_eq!(report, baseline, "the sink must not perturb the run");
+        assert_eq!(sink.0.len() as u64, stats.events_processed);
+        assert!(
+            sink.0.windows(2).all(|w| w[0].0 <= w[1].0),
+            "recorded times must be non-decreasing"
         );
     }
 

@@ -56,7 +56,7 @@ mod transport;
 
 pub use engine::{
     draw_profile_reads, model_schedules, place_replicas, trace_span_days, DisseminationMode,
-    RunStats, SystemSim,
+    EventSink, RunStats, SystemSim,
 };
 pub use events::{session_events_for_day, Event, EventQueue, ScheduledEvent};
 pub use report::{NodeAccounting, SystemReport};

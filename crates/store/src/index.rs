@@ -1,0 +1,251 @@
+//! The advisory index snapshot: `index.bin` caches the scan's result —
+//! record count, clean byte length, segment count, and every chain
+//! head — so tooling can answer "what is in this log?" without walking
+//! the segments.
+//!
+//! The index is *advisory*: the segments are always the source of
+//! truth. A missing, stale, or damaged index never fails an operation —
+//! `verify` reports it, `compact` and `finish` rewrite it. The file is
+//! self-checksummed and replaced atomically (write-temp-then-rename),
+//! so a crash mid-write leaves either the old index or a file the
+//! loader rejects as [`IndexState::Invalid`].
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::crc::crc32;
+use crate::reader::ScannedLog;
+use crate::{LogKind, StoreError};
+
+/// The index file's name inside the log directory.
+pub const INDEX_FILE: &str = "index.bin";
+
+const MAGIC: &[u8; 4] = b"DSIX";
+const VERSION: u8 = 1;
+
+/// A decoded `index.bin` snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexFile {
+    /// What the log holds.
+    pub kind: LogKind,
+    /// Event records in the log at snapshot time.
+    pub records: u64,
+    /// Global byte length of the valid prefix at snapshot time.
+    pub clean_bytes: u64,
+    /// Segment files at snapshot time.
+    pub segments: u64,
+    /// Every chain head at snapshot time.
+    pub heads: BTreeMap<u32, u64>,
+}
+
+impl IndexFile {
+    /// Builds the snapshot a scan would be summarized as.
+    pub fn from_scan(scanned: &ScannedLog) -> IndexFile {
+        IndexFile {
+            kind: scanned.kind,
+            records: scanned.records,
+            clean_bytes: scanned.clean_bytes,
+            segments: scanned.segments,
+            heads: scanned.heads.clone(),
+        }
+    }
+}
+
+/// What loading the index found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexState {
+    /// No `index.bin` in the directory.
+    Absent,
+    /// The file exists but is not a well-formed snapshot (truncated,
+    /// bad magic, bad checksum). The reason is human-readable.
+    Invalid(String),
+    /// A well-formed snapshot. Whether it *matches* the segments is the
+    /// caller's comparison to make.
+    Valid(IndexFile),
+}
+
+fn encode_index(index: &IndexFile) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(34 + index.heads.len() * 12);
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
+    buf.push(index.kind.as_u8());
+    buf.extend_from_slice(&index.records.to_le_bytes());
+    buf.extend_from_slice(&index.clean_bytes.to_le_bytes());
+    buf.extend_from_slice(&index.segments.to_le_bytes());
+    let head_count = index.heads.len().min(u32::MAX as usize) as u32;
+    buf.extend_from_slice(&head_count.to_le_bytes());
+    for (&chain, &pos) in &index.heads {
+        buf.extend_from_slice(&chain.to_le_bytes());
+        buf.extend_from_slice(&pos.to_le_bytes());
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Some(head)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(self.take(4)?);
+        Some(u32::from_le_bytes(raw))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(self.take(8)?);
+        Some(u64::from_le_bytes(raw))
+    }
+}
+
+fn decode_index(bytes: &[u8]) -> Result<IndexFile, String> {
+    if bytes.len() < 4 + 1 + 1 + 24 + 4 + 4 {
+        return Err("file too short for an index snapshot".to_string());
+    }
+    let body_len = bytes.len() - 4;
+    let (body, crc_bytes) = bytes.split_at(body_len);
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(crc_bytes);
+    if crc32(body) != u32::from_le_bytes(raw) {
+        return Err("checksum mismatch".to_string());
+    }
+    let mut c = Cursor { buf: body };
+    if c.take(4) != Some(MAGIC.as_slice()) {
+        return Err("bad magic".to_string());
+    }
+    match c.take(1) {
+        Some([VERSION]) => {}
+        Some(v) => return Err(format!("unsupported index version {v:?}")),
+        None => return Err("truncated version".to_string()),
+    }
+    let kind = c
+        .take(1)
+        .and_then(|b| b.first().copied())
+        .and_then(LogKind::from_u8)
+        .ok_or_else(|| "bad log kind".to_string())?;
+    let records = c.u64().ok_or_else(|| "truncated record count".to_string())?;
+    let clean_bytes = c.u64().ok_or_else(|| "truncated byte count".to_string())?;
+    let segments = c.u64().ok_or_else(|| "truncated segment count".to_string())?;
+    let head_count = c.u32().ok_or_else(|| "truncated head count".to_string())?;
+    let mut heads = BTreeMap::new();
+    for _ in 0..head_count {
+        let chain = c.u32().ok_or_else(|| "truncated chain id".to_string())?;
+        let pos = c.u64().ok_or_else(|| "truncated head position".to_string())?;
+        heads.insert(chain, pos);
+    }
+    if !c.buf.is_empty() {
+        return Err(format!("{} trailing bytes", c.buf.len()));
+    }
+    Ok(IndexFile { kind, records, clean_bytes, segments, heads })
+}
+
+/// Loads `index.bin` from a log directory.
+///
+/// # Errors
+///
+/// Only on filesystem failure. A missing or malformed file is a state,
+/// not an error — the index is advisory.
+pub fn load_index(dir: &Path) -> Result<IndexState, StoreError> {
+    let path = dir.join(INDEX_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(IndexState::Absent),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    match decode_index(&bytes) {
+        Ok(index) => Ok(IndexState::Valid(index)),
+        Err(reason) => Ok(IndexState::Invalid(reason)),
+    }
+}
+
+/// Atomically writes `index.bin` for a log directory.
+///
+/// # Errors
+///
+/// On filesystem failure only.
+pub(crate) fn write_index(dir: &Path, index: &IndexFile) -> Result<(), StoreError> {
+    let tmp = dir.join("index.tmp");
+    std::fs::write(&tmp, encode_index(index))?;
+    std::fs::rename(&tmp, dir.join(INDEX_FILE))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dosn-store-index-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn sample() -> IndexFile {
+        let mut heads = BTreeMap::new();
+        heads.insert(3, 24);
+        heads.insert(90, 1_024);
+        IndexFile {
+            kind: LogKind::Journal,
+            records: 17,
+            clean_bytes: 2_048,
+            segments: 2,
+            heads,
+        }
+    }
+
+    #[test]
+    fn index_roundtrips_through_disk() {
+        let dir = tmp_dir("roundtrip");
+        let index = sample();
+        write_index(&dir, &index).expect("write");
+        assert_eq!(load_index(&dir).expect("load"), IndexState::Valid(index));
+    }
+
+    #[test]
+    fn absent_and_damaged_indexes_are_states_not_errors() {
+        let dir = tmp_dir("absent");
+        assert_eq!(load_index(&dir).expect("load"), IndexState::Absent);
+        // A damaged file — flip one byte of a valid snapshot.
+        write_index(&dir, &sample()).expect("write");
+        let path = dir.join(INDEX_FILE);
+        let mut bytes = std::fs::read(&path).expect("read back");
+        bytes[6] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        assert!(matches!(load_index(&dir).expect("load"), IndexState::Invalid(_)));
+        // Truncation is also invalid, not an error.
+        std::fs::write(&path, &bytes[..10]).expect("truncate");
+        assert!(matches!(load_index(&dir).expect("load"), IndexState::Invalid(_)));
+        // Garbage magic.
+        std::fs::write(&path, b"NOPEnopeNOPEnopeNOPEnopeNOPEnopeNOPE40+").expect("garbage");
+        assert!(matches!(load_index(&dir).expect("load"), IndexState::Invalid(_)));
+    }
+
+    #[test]
+    fn empty_heads_roundtrip() {
+        let dir = tmp_dir("empty-heads");
+        let index = IndexFile {
+            kind: LogKind::Events,
+            records: 0,
+            clean_bytes: 20,
+            segments: 1,
+            heads: BTreeMap::new(),
+        };
+        write_index(&dir, &index).expect("write");
+        assert_eq!(load_index(&dir).expect("load"), IndexState::Valid(index));
+    }
+}

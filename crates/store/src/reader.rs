@@ -1,0 +1,404 @@
+//! Log readers: segment discovery, header inspection, and the
+//! streaming scan every higher-level operation builds on.
+//!
+//! The scan is a single forward pass that verifies the full structural
+//! contract as it goes — frames checksum, records decode, the header
+//! appears exactly once at position zero, every chain link points at
+//! the chain's current head — and classifies damage by position: a bad
+//! frame at the end of the *last* segment is a torn tail (a crash
+//! mid-append, dropped cleanly); the same bytes anywhere else are
+//! [`StoreError::Corrupt`].
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::record::{decode_record, next_frame, Frame, Record};
+use crate::record::{EventRecord, NO_PREV};
+use crate::{LogKind, StoreError};
+
+/// The on-disk name of segment `n`.
+pub fn segment_file_name(n: u64) -> String {
+    format!("seg-{n:08}.log")
+}
+
+/// Parses a segment file name back to its number.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    if digits.len() != 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Whether a log exists in `dir` (segment zero is present).
+pub fn log_exists(dir: &Path) -> bool {
+    dir.join(segment_file_name(0)).is_file()
+}
+
+/// Lists the log's segments in order.
+///
+/// # Errors
+///
+/// [`StoreError::NotFound`] if the directory holds no segments, and
+/// [`StoreError::Corrupt`] if the segment numbers are not contiguous
+/// from zero — a gap means a segment file was lost.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut segments = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(StoreError::NotFound(dir.to_path_buf()))
+        }
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(n) = name.to_str().and_then(parse_segment_name) {
+            segments.push((n, entry.path()));
+        }
+    }
+    if segments.is_empty() {
+        return Err(StoreError::NotFound(dir.to_path_buf()));
+    }
+    segments.sort_unstable_by_key(|&(n, _)| n);
+    for (expect, &(n, _)) in segments.iter().enumerate() {
+        if n != expect as u64 {
+            return Err(StoreError::Corrupt {
+                pos: 0,
+                detail: format!("segment {expect} missing (found segment {n} instead)"),
+            });
+        }
+    }
+    Ok(segments)
+}
+
+/// Reads only the header record of a log — its kind and metadata —
+/// without scanning the body.
+///
+/// # Errors
+///
+/// [`StoreError::NotFound`] without a log, [`StoreError::Corrupt`] if
+/// the first frame of segment zero is not a valid header record. An
+/// unreadable first frame is corruption even when the log has a single
+/// segment: a torn tail can only follow a valid header, because
+/// creation flushes the header before any append.
+pub fn read_header(dir: &Path) -> Result<(LogKind, Vec<u8>), StoreError> {
+    if !log_exists(dir) {
+        return Err(StoreError::NotFound(dir.to_path_buf()));
+    }
+    let bytes = std::fs::read(dir.join(segment_file_name(0)))?;
+    match next_frame(&bytes) {
+        Frame::Ok { payload, .. } => match decode_record(payload) {
+            Ok(Record::Header { kind, meta }) => Ok((kind, meta)),
+            Ok(Record::Event(_)) => Err(StoreError::Corrupt {
+                pos: 0,
+                detail: "first record is an event, not the log header".to_string(),
+            }),
+            Err(e) => Err(StoreError::Corrupt { pos: 0, detail: format!("bad header: {e}") }),
+        },
+        Frame::End | Frame::Torn => Err(StoreError::Corrupt {
+            pos: 0,
+            detail: "log header frame missing or damaged".to_string(),
+        }),
+    }
+}
+
+/// How the log ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailState {
+    /// The last segment ends on a frame boundary.
+    Clean,
+    /// The last segment ends mid-frame — a crash interrupted an append.
+    /// The scan stopped at `valid_bytes` into the log and ignored the
+    /// `dropped_bytes` partial frame after it.
+    Torn {
+        /// Global byte length of the valid prefix.
+        valid_bytes: u64,
+        /// Bytes of torn frame beyond the valid prefix.
+        dropped_bytes: u64,
+    },
+}
+
+/// The result of scanning a log front to back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedLog {
+    /// What the log holds.
+    pub kind: LogKind,
+    /// The header's opaque metadata.
+    pub meta: Vec<u8>,
+    /// How many segment files the log spans.
+    pub segments: u64,
+    /// Event records in the valid prefix (the header is not counted).
+    pub records: u64,
+    /// Global byte length of the valid prefix across all segments.
+    pub clean_bytes: u64,
+    /// Valid bytes within the last segment alone.
+    pub last_segment_bytes: u64,
+    /// Each user chain's head: global byte position of its newest
+    /// record.
+    pub heads: BTreeMap<u32, u64>,
+    /// Whether a torn tail was dropped.
+    pub tail: TailState,
+}
+
+/// Scans the whole log, invoking `visit` with each event record's
+/// global byte position, in append order.
+///
+/// A torn tail frame in the last segment stops the scan cleanly
+/// ([`TailState::Torn`]); the file is not modified — truncation is
+/// [`LogWriter::resume`](crate::LogWriter::resume)'s job.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] for structural damage the torn-tail rule
+/// cannot explain: a bad frame before the last segment's tail, a
+/// checksum-valid record that does not decode, a header anywhere but
+/// position zero, or a chain link that does not match the chain's
+/// head.
+pub fn scan_with(
+    dir: &Path,
+    mut visit: impl FnMut(u64, &EventRecord),
+) -> Result<ScannedLog, StoreError> {
+    let segments = list_segments(dir)?;
+    let last_segment = segments.len().saturating_sub(1) as u64;
+    let mut header: Option<(LogKind, Vec<u8>)> = None;
+    let mut heads: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut records = 0u64;
+    let mut base = 0u64; // global position of the current segment's start
+    let mut tail = TailState::Clean;
+    let mut last_segment_bytes = 0u64;
+
+    for (n, path) in &segments {
+        let bytes = std::fs::read(path)?;
+        let mut offset = 0usize;
+        loop {
+            let pos = base + offset as u64;
+            let Some(rest) = bytes.get(offset..) else {
+                break;
+            };
+            match next_frame(rest) {
+                Frame::End => break,
+                Frame::Torn => {
+                    if *n == last_segment {
+                        tail = TailState::Torn {
+                            valid_bytes: pos,
+                            dropped_bytes: (bytes.len() - offset) as u64,
+                        };
+                        break;
+                    }
+                    return Err(StoreError::Corrupt {
+                        pos,
+                        detail: format!("bad frame inside sealed segment {n}"),
+                    });
+                }
+                Frame::Ok { payload, frame_len } => {
+                    let record = decode_record(payload).map_err(|e| StoreError::Corrupt {
+                        pos,
+                        detail: format!("frame checksums but does not decode: {e}"),
+                    })?;
+                    match record {
+                        Record::Header { kind, meta } => {
+                            if pos != 0 {
+                                return Err(StoreError::Corrupt {
+                                    pos,
+                                    detail: "header record after the log start".to_string(),
+                                });
+                            }
+                            header = Some((kind, meta));
+                        }
+                        Record::Event(rec) => {
+                            if pos == 0 {
+                                return Err(StoreError::Corrupt {
+                                    pos: 0,
+                                    detail: "first record is an event, not the log header"
+                                        .to_string(),
+                                });
+                            }
+                            let expected =
+                                heads.get(&rec.chain).copied().unwrap_or(NO_PREV);
+                            if rec.prev != expected {
+                                return Err(StoreError::Corrupt {
+                                    pos,
+                                    detail: format!(
+                                        "chain {} links to byte {} but its head is {}",
+                                        rec.chain, rec.prev, expected
+                                    ),
+                                });
+                            }
+                            heads.insert(rec.chain, pos);
+                            records += 1;
+                            visit(pos, &rec);
+                        }
+                    }
+                    offset += frame_len as usize;
+                }
+            }
+        }
+        let valid_in_segment = offset as u64;
+        if *n == last_segment {
+            last_segment_bytes = valid_in_segment;
+        }
+        base += valid_in_segment;
+    }
+
+    let Some((kind, meta)) = header else {
+        return Err(StoreError::Corrupt {
+            pos: 0,
+            detail: "log header frame missing or damaged".to_string(),
+        });
+    };
+    Ok(ScannedLog {
+        kind,
+        meta,
+        segments: segments.len() as u64,
+        records,
+        clean_bytes: base,
+        last_segment_bytes,
+        heads,
+        tail,
+    })
+}
+
+/// Scans the whole log without visiting records — structure and
+/// checksum verification only.
+///
+/// # Errors
+///
+/// As [`scan_with`].
+pub fn scan(dir: &Path) -> Result<ScannedLog, StoreError> {
+    scan_with(dir, |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{append_frame, encode_record};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("dosn-store-reader-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn header_frame(kind: LogKind, meta: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        append_frame(
+            &mut out,
+            &encode_record(&Record::Header { kind, meta: meta.to_vec() }),
+        );
+        out
+    }
+
+    fn event_frame(chain: u32, prev: u64, seq: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        append_frame(
+            &mut out,
+            &encode_record(&Record::Event(EventRecord {
+                at_secs: 100 + seq,
+                seq,
+                chain,
+                prev,
+                event: dosn_node::Event::Post { activity: seq as u32 },
+            })),
+        );
+        out
+    }
+
+    #[test]
+    fn segment_names_roundtrip() {
+        assert_eq!(segment_file_name(0), "seg-00000000.log");
+        assert_eq!(parse_segment_name("seg-00000042.log"), Some(42));
+        assert_eq!(parse_segment_name("seg-42.log"), None);
+        assert_eq!(parse_segment_name("compact.tmp"), None);
+        assert_eq!(parse_segment_name("index.bin"), None);
+    }
+
+    #[test]
+    fn scan_walks_a_two_segment_log_and_tracks_heads() {
+        let dir = tmp_dir("two-seg");
+        let mut seg0 = header_frame(LogKind::Events, b"meta");
+        let header_len = seg0.len() as u64;
+        let e0 = event_frame(7, NO_PREV, 0);
+        let first_pos = header_len;
+        seg0.extend_from_slice(&e0);
+        let seg0_len = seg0.len() as u64;
+        std::fs::write(dir.join(segment_file_name(0)), &seg0).expect("write seg0");
+        // Second segment: chain 7 again (prev = first record), then a new chain.
+        let mut seg1 = event_frame(7, first_pos, 1);
+        let second_pos = seg0_len;
+        let third_pos = seg0_len + seg1.len() as u64;
+        seg1.extend_from_slice(&event_frame(9, NO_PREV, 2));
+        std::fs::write(dir.join(segment_file_name(1)), &seg1).expect("write seg1");
+
+        let mut seen = Vec::new();
+        let scanned = scan_with(&dir, |pos, rec| seen.push((pos, rec.chain))).expect("scan");
+        assert_eq!(scanned.kind, LogKind::Events);
+        assert_eq!(scanned.meta, b"meta");
+        assert_eq!(scanned.segments, 2);
+        assert_eq!(scanned.records, 3);
+        assert_eq!(scanned.tail, TailState::Clean);
+        assert_eq!(scanned.clean_bytes, seg0_len + seg1.len() as u64);
+        assert_eq!(scanned.last_segment_bytes, seg1.len() as u64);
+        assert_eq!(seen, vec![(first_pos, 7), (second_pos, 7), (third_pos, 9)]);
+        assert_eq!(scanned.heads.get(&7), Some(&second_pos));
+        assert_eq!(scanned.heads.get(&9), Some(&third_pos));
+        let (kind, meta) = read_header(&dir).expect("header");
+        assert_eq!((kind, meta.as_slice()), (LogKind::Events, &b"meta"[..]));
+    }
+
+    #[test]
+    fn torn_tail_in_last_segment_is_dropped_but_not_elsewhere() {
+        let dir = tmp_dir("torn");
+        let mut seg0 = header_frame(LogKind::Journal, &[]);
+        seg0.extend_from_slice(&event_frame(1, NO_PREV, 0));
+        let clean = seg0.len() as u64;
+        seg0.extend_from_slice(&[0xAB, 0xCD, 0xEF]); // torn partial frame
+        std::fs::write(dir.join(segment_file_name(0)), &seg0).expect("write");
+        let scanned = scan(&dir).expect("torn tail is recoverable");
+        assert_eq!(scanned.records, 1);
+        assert_eq!(
+            scanned.tail,
+            TailState::Torn { valid_bytes: clean, dropped_bytes: 3 }
+        );
+        assert_eq!(scanned.clean_bytes, clean);
+        // The same damage in a sealed (non-last) segment is corruption.
+        std::fs::write(dir.join(segment_file_name(1)), event_frame(1, clean, 9))
+            .expect("write seg1");
+        // (seg1's prev link is wrong too, but the torn frame in seg0 is hit first.)
+        assert!(matches!(scan(&dir), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn structural_damage_is_corrupt() {
+        // Missing header: an event record at position zero.
+        let dir = tmp_dir("no-header");
+        std::fs::write(dir.join(segment_file_name(0)), event_frame(1, NO_PREV, 0))
+            .expect("write");
+        assert!(matches!(scan(&dir), Err(StoreError::Corrupt { .. })));
+        assert!(matches!(read_header(&dir), Err(StoreError::Corrupt { .. })));
+
+        // Broken chain link.
+        let dir = tmp_dir("bad-link");
+        let mut seg0 = header_frame(LogKind::Events, &[]);
+        seg0.extend_from_slice(&event_frame(3, 999, 0)); // chain 3 has no head yet
+        std::fs::write(dir.join(segment_file_name(0)), &seg0).expect("write");
+        assert!(matches!(scan(&dir), Err(StoreError::Corrupt { .. })));
+
+        // Gap in segment numbering.
+        let dir = tmp_dir("gap");
+        std::fs::write(dir.join(segment_file_name(0)), header_frame(LogKind::Events, &[]))
+            .expect("write");
+        std::fs::write(dir.join(segment_file_name(2)), event_frame(1, NO_PREV, 0))
+            .expect("write");
+        assert!(matches!(list_segments(&dir), Err(StoreError::Corrupt { .. })));
+
+        // Nothing at all.
+        let dir = tmp_dir("empty");
+        assert!(!log_exists(&dir));
+        assert!(matches!(scan(&dir), Err(StoreError::NotFound(_))));
+        assert!(matches!(read_header(&dir), Err(StoreError::NotFound(_))));
+    }
+}

@@ -1,0 +1,49 @@
+//! Replaying a persisted event log back into a live node runtime.
+//!
+//! An [`LogKind::Events`](crate::LogKind::Events) log holds the exact
+//! stream the batch engine consumed, in pop order — including the
+//! `Disseminate`/`CloudFetch` deliveries the runtime itself scheduled.
+//! Replay therefore feeds each record straight to
+//! [`NodeRuntime::handle`] and deliberately discards the handler's own
+//! re-scheduled deliveries: they are already in the log, later in the
+//! stream, and popping them as well would apply each delivery twice.
+//! The scratch queue passed to `handle` exists only to absorb them.
+//!
+//! Because the log captures the scheduler's total order `(time, class,
+//! seq)` exactly, a replayed runtime finishes in the same state as the
+//! original run and
+//! [`into_report`](dosn_node::NodeRuntime::into_report) reproduces the
+//! batch [`SystemReport`](dosn_node::SystemReport) byte-identically —
+//! the same contract `tests/store_equivalence.rs` pins.
+
+use std::path::Path;
+
+use dosn_node::{EventQueue, NodeRuntime};
+
+use crate::reader::{read_header, scan_with, ScannedLog};
+use crate::{LogKind, StoreError};
+
+/// Replays an events log into `runtime`, applying every record in
+/// logged order.
+///
+/// The runtime must be freshly constructed over the same dataset,
+/// schedules, placements, and activities the logged run used; the log
+/// does not carry them.
+///
+/// # Errors
+///
+/// [`StoreError::WrongKind`] for a journal log (journals hold only the
+/// served requests, not the full stream — the daemon re-drives those
+/// itself), or any scan error.
+pub fn replay_into(dir: &Path, runtime: &mut NodeRuntime<'_>) -> Result<ScannedLog, StoreError> {
+    let (kind, _) = read_header(dir)?;
+    if kind != LogKind::Events {
+        return Err(StoreError::WrongKind { expected: LogKind::Events, found: kind });
+    }
+    // Deliveries the handlers schedule land here and are never popped:
+    // the logged stream already contains them.
+    let mut scratch = EventQueue::new();
+    scan_with(dir, |_, rec| {
+        runtime.handle(rec.scheduled(), &mut scratch);
+    })
+}

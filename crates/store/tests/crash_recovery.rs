@@ -1,0 +1,169 @@
+//! Crash-recovery contract: a log truncated anywhere inside its final
+//! frame recovers to the longest valid record prefix — the torn tail is
+//! detected by length/checksum, dropped by the scan, and physically
+//! truncated by `LogWriter::resume`, after which appends continue
+//! cleanly.
+
+use std::path::{Path, PathBuf};
+
+use dosn_interval::Timestamp;
+use dosn_node::{Event, ScheduledEvent};
+use dosn_socialgraph::UserId;
+use dosn_store::{
+    scan, scan_with, segment_file_name, LogKind, LogWriter, StoreError, TailState,
+};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dosn-store-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn post(at: u64, seq: u64) -> ScheduledEvent {
+    ScheduledEvent::new(Timestamp::new(at), seq, Event::Post { activity: seq as u32 })
+}
+
+/// Builds a journal of `n` events across a handful of chains and
+/// returns the frame boundaries (byte offsets where each record frame
+/// starts, plus the final length).
+fn build_journal(dir: &Path, n: u64) -> Vec<u64> {
+    let mut w = LogWriter::create(dir, LogKind::Journal, b"crash-test").expect("create");
+    let mut boundaries = vec![];
+    for seq in 0..n {
+        w.append(&post(10_000 + seq, seq), UserId::new((seq % 5) as u32)).expect("append");
+    }
+    w.finish().expect("finish");
+    // Recover the frame boundaries from a scan.
+    boundaries.push(0);
+    let scanned = scan_with(dir, |pos, _| boundaries.push(pos)).expect("scan");
+    boundaries.push(scanned.clean_bytes);
+    boundaries
+}
+
+#[test]
+fn truncation_at_every_byte_recovers_the_longest_valid_prefix() {
+    let dir = tmp_dir("every-cut");
+    let boundaries = build_journal(&dir, 8);
+    let seg = dir.join(segment_file_name(0));
+    let pristine = std::fs::read(&seg).expect("read log");
+    let total = pristine.len() as u64;
+    assert_eq!(*boundaries.last().expect("total"), total);
+
+    // Cut the file at every byte length from just-past-the-header to
+    // full. After each cut the scan must (a) not error, (b) report
+    // exactly the records whose frames fit inside the cut, (c) flag a
+    // torn tail iff the cut is not on a frame boundary.
+    let header_end = boundaries.get(1).copied().expect("first record start");
+    for cut in header_end..=total {
+        std::fs::write(&seg, &pristine[..cut as usize]).expect("truncate");
+        let scanned = scan(&dir).expect("truncated log must stay readable");
+        // boundaries = [0, r0, r1, ..., total] holds frame starts plus
+        // the end; a record frame is intact when its *end* (the next
+        // boundary) fits inside the cut. Subtract one for the header
+        // frame.
+        let intact = boundaries.windows(2).filter(|w| w[1] <= cut).count() as u64 - 1;
+        assert_eq!(scanned.records, intact, "cut at {cut}");
+        let on_boundary = boundaries.contains(&cut);
+        match scanned.tail {
+            TailState::Clean => assert!(on_boundary, "cut {cut} mid-frame but tail Clean"),
+            TailState::Torn { valid_bytes, dropped_bytes } => {
+                assert!(!on_boundary, "cut {cut} on a boundary but tail Torn");
+                assert_eq!(valid_bytes + dropped_bytes, cut, "cut at {cut}");
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_after_mid_frame_crash_truncates_and_continues() {
+    let dir = tmp_dir("resume-continue");
+    let boundaries = build_journal(&dir, 6);
+    let seg = dir.join(segment_file_name(0));
+    let pristine = std::fs::read(&seg).expect("read log");
+    // Crash three bytes into the last frame.
+    let last_start = boundaries.get(boundaries.len() - 2).copied().expect("last frame start");
+    std::fs::write(&seg, &pristine[..last_start as usize + 3]).expect("tear");
+
+    let (mut w, scanned) = LogWriter::resume(&dir).expect("resume");
+    assert_eq!(scanned.records, 5, "final record dropped");
+    assert!(matches!(scanned.tail, TailState::Torn { .. }));
+    // The torn bytes are physically gone.
+    assert_eq!(std::fs::metadata(&seg).expect("stat").len(), last_start);
+
+    // Appends after recovery extend the log cleanly and re-link chains.
+    w.append(&post(20_000, 100), UserId::new(0)).expect("append");
+    w.append(&post(20_001, 101), UserId::new(99)).expect("append");
+    let stats = w.finish().expect("finish");
+    assert_eq!(stats.records, 7);
+    let rescanned = scan(&dir).expect("rescan");
+    assert_eq!(rescanned.records, 7);
+    assert_eq!(rescanned.tail, TailState::Clean);
+    // Chain 0's head moved past the recovery point; the new chain 99
+    // appeared.
+    assert!(rescanned.heads.get(&0).copied().expect("chain 0") >= last_start);
+    assert!(rescanned.heads.contains_key(&99));
+}
+
+#[test]
+fn double_crash_recovers_twice() {
+    let dir = tmp_dir("double");
+    build_journal(&dir, 4);
+    let seg = dir.join(segment_file_name(0));
+    // First crash.
+    let bytes = std::fs::read(&seg).expect("read");
+    std::fs::write(&seg, &bytes[..bytes.len() - 2]).expect("tear 1");
+    let (mut w, scanned) = LogWriter::resume(&dir).expect("resume 1");
+    assert_eq!(scanned.records, 3);
+    w.append(&post(30_000, 50), UserId::new(1)).expect("append");
+    w.finish().expect("finish");
+    // Second crash, torn mid-header of the newest frame.
+    let bytes = std::fs::read(&seg).expect("read");
+    std::fs::write(&seg, &bytes[..bytes.len() - 5]).expect("tear 2");
+    let (w, scanned) = LogWriter::resume(&dir).expect("resume 2");
+    assert_eq!(scanned.records, 3, "the post-recovery append was torn off again");
+    assert_eq!(w.finish().expect("finish").records, 3);
+    assert_eq!(scan(&dir).expect("scan").tail, TailState::Clean);
+}
+
+#[test]
+fn damage_mid_last_segment_truncates_from_the_damage_point() {
+    // WAL semantics: once a frame in the last segment fails its
+    // checksum, frame boundaries after it are unknowable — everything
+    // from the damage point is the torn tail, even if stray bytes
+    // beyond it would checksum. Recovery keeps the prefix.
+    let dir = tmp_dir("mid-corrupt");
+    let boundaries = build_journal(&dir, 6);
+    let seg = dir.join(segment_file_name(0));
+    let pristine = std::fs::read(&seg).expect("read");
+    let third = boundaries.get(3).copied().expect("third frame") as usize;
+    let mut bytes = pristine.clone();
+    bytes[third + 10] ^= 0xFF;
+    std::fs::write(&seg, &bytes).expect("corrupt");
+    let scanned = scan(&dir).expect("prefix stays readable");
+    assert_eq!(scanned.records, 2);
+    assert_eq!(
+        scanned.tail,
+        TailState::Torn {
+            valid_bytes: third as u64,
+            dropped_bytes: (pristine.len() - third) as u64
+        }
+    );
+}
+
+#[test]
+fn damage_in_a_sealed_segment_is_corruption() {
+    // The same flip in a non-last segment cannot be a torn tail — a
+    // crash mid-append only ever damages the newest segment.
+    let dir = tmp_dir("sealed-corrupt");
+    let boundaries = build_journal(&dir, 6);
+    let seg0 = dir.join(segment_file_name(0));
+    let third = boundaries.get(3).copied().expect("third frame") as usize;
+    let mut bytes = std::fs::read(&seg0).expect("read");
+    bytes[third + 10] ^= 0xFF;
+    std::fs::write(&seg0, &bytes).expect("corrupt");
+    // Seal segment 0 by giving the log a (bogus but well-formed) later
+    // segment; the scan must now refuse rather than drop valid data.
+    std::fs::write(dir.join(segment_file_name(1)), b"").expect("empty seg1");
+    assert!(matches!(scan(&dir), Err(StoreError::Corrupt { .. })));
+    assert!(matches!(LogWriter::resume(&dir), Err(StoreError::Corrupt { .. })));
+}

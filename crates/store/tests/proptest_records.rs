@@ -1,0 +1,76 @@
+//! Property tests for the record codec: arbitrary events round-trip
+//! through encode/decode exactly, and no truncation of a valid payload
+//! decodes.
+
+use dosn_node::Event;
+use dosn_socialgraph::UserId;
+use dosn_store::{decode_record, encode_record, EventRecord, Record};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        any::<u32>().prop_map(|u| Event::SessionStart { user: UserId::new(u) }),
+        any::<u32>().prop_map(|u| Event::SessionEnd { user: UserId::new(u) }),
+        any::<u32>().prop_map(|activity| Event::Post { activity }),
+        (any::<u32>(), any::<u32>()).prop_map(|(o, r)| Event::ProfileRead {
+            owner: UserId::new(o),
+            reader: UserId::new(r),
+        }),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(p, h, s)| Event::Disseminate {
+            post: p,
+            host: UserId::new(h),
+            source: UserId::new(s),
+        }),
+        (any::<u32>(), any::<u32>()).prop_map(|(p, h)| Event::CloudFetch {
+            post: p,
+            host: UserId::new(h),
+        }),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    let header = (any::<bool>(), proptest::collection::vec(any::<u8>(), 0..200)).prop_map(
+        |(journal, meta)| Record::Header {
+            kind: if journal {
+                dosn_store::LogKind::Journal
+            } else {
+                dosn_store::LogKind::Events
+            },
+            meta,
+        },
+    );
+    let event = (any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>(), arb_event()).prop_map(
+        |(at_secs, seq, chain, prev, event)| {
+            Record::Event(EventRecord { at_secs, seq, chain, prev, event })
+        },
+    );
+    prop_oneof![header, event]
+}
+
+proptest! {
+    #[test]
+    fn every_record_roundtrips(record in arb_record()) {
+        let payload = encode_record(&record);
+        prop_assert!(payload.len() <= dosn_store::MAX_RECORD_BYTES);
+        prop_assert_eq!(decode_record(&payload).expect("roundtrip"), record);
+    }
+
+    #[test]
+    fn no_truncation_of_a_valid_payload_decodes(record in arb_record(), frac in 0.0f64..1.0) {
+        let payload = encode_record(&record);
+        let cut = ((payload.len() as f64) * frac) as usize;
+        prop_assume!(cut < payload.len());
+        prop_assert!(decode_record(&payload[..cut]).is_err());
+    }
+
+    #[test]
+    fn scheduled_events_preserve_the_queue_key(
+        at_secs in any::<u64>(), seq in any::<u64>(), event in arb_event()
+    ) {
+        let rec = EventRecord { at_secs, seq, chain: 0, prev: dosn_store::NO_PREV, event };
+        let ev = rec.scheduled();
+        prop_assert_eq!(ev.at.as_secs(), at_secs);
+        prop_assert_eq!(ev.seq(), seq);
+        prop_assert_eq!(ev.event, event);
+    }
+}

@@ -29,7 +29,7 @@ use crate::scan::SourceModel;
 
 /// Crates whose output feeds byte-identical sweep comparisons; keyed
 /// collections there must be order-deterministic (rule D1).
-pub const DETERMINISTIC_CRATES: [&str; 7] = [
+pub const DETERMINISTIC_CRATES: [&str; 8] = [
     "interval",
     "onlinetime",
     "replication",
@@ -37,10 +37,11 @@ pub const DETERMINISTIC_CRATES: [&str; 7] = [
     "core",
     "consistency",
     "node",
+    "store",
 ];
 
 /// Library crates covered by the D4 unwrap/expect ratchet.
-pub const LIBRARY_CRATES: [&str; 11] = [
+pub const LIBRARY_CRATES: [&str; 12] = [
     "interval",
     "socialgraph",
     "trace",
@@ -52,6 +53,7 @@ pub const LIBRARY_CRATES: [&str; 11] = [
     "consistency",
     "node",
     "daemon",
+    "store",
 ];
 
 /// Word-level kernel files where every cast must be checked (rule D3).

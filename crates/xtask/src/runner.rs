@@ -140,6 +140,7 @@ pub fn run_lints(
         let dirs = [
             PathBuf::from("crates/daemon/src"),
             PathBuf::from("crates/node/src"),
+            PathBuf::from("crates/store/src"),
         ];
         let files = rules::load_files(root, &dirs).map_err(|e| e.to_string())?;
         record(&mut report, "D5", rules_d5::check_d5(&files));
